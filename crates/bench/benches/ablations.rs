@@ -1,0 +1,78 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * M-Loc vertex-centroid (paper) vs. exact region centroid,
+//! * LP radius estimation vs. a fixed global radius,
+//! * overestimate factors around the truth (Theorem 3's tradeoff).
+//!
+//! These report *accuracy* as well as speed: each bench body computes
+//! the estimate so the relative cost of the variants is visible, and
+//! the accompanying `cargo test -p marauder-bench` assertions (in the
+//! figure modules) pin the accuracy ordering.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use marauder_core::algorithms::{CoverageDisc, MLoc};
+use marauder_geo::montecarlo::SplitMix64;
+use marauder_geo::Point;
+
+fn sample_discs(k: usize, r: f64, seed: u64) -> Vec<CoverageDisc> {
+    let mut rng = SplitMix64::new(seed);
+    (0..k)
+        .map(|_| loop {
+            let x = rng.uniform(-r, r);
+            let y = rng.uniform(-r, r);
+            if x * x + y * y <= r * r {
+                return CoverageDisc::new(Point::new(x, y), r);
+            }
+        })
+        .collect()
+}
+
+fn bench_centroid_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mloc_centroid_mode");
+    let discs = sample_discs(10, 100.0, 5);
+    group.bench_function("vertex_average_paper", |b| {
+        b.iter(|| MLoc::paper().locate(black_box(&discs)))
+    });
+    group.bench_function("region_centroid_exact", |b| {
+        b.iter(|| MLoc::region_centroid().locate(black_box(&discs)))
+    });
+    group.finish();
+}
+
+fn bench_overestimate_factor(c: &mut Criterion) {
+    // Theorem 3 ablation: locate with radii scaled by a factor; the
+    // accuracy cost shows up as region area (asserted in tests), the
+    // time cost here.
+    let mut group = c.benchmark_group("radius_overestimate_factor");
+    for factor in [1.0f64, 1.5, 2.0, 3.0] {
+        let discs: Vec<CoverageDisc> = sample_discs(10, 100.0, 9)
+            .into_iter()
+            .map(|d| CoverageDisc::new(d.center, d.radius * factor))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &discs, |b, discs| {
+            b.iter(|| MLoc::paper().locate(black_box(discs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inflation_fallback(c: &mut Criterion) {
+    // Worst case for the empty-region fallback: disjoint discs that need
+    // bisection to inflate.
+    let disjoint = vec![
+        CoverageDisc::new(Point::new(0.0, 0.0), 20.0),
+        CoverageDisc::new(Point::new(200.0, 0.0), 20.0),
+        CoverageDisc::new(Point::new(100.0, 150.0), 20.0),
+    ];
+    c.bench_function("mloc_inflation_fallback", |b| {
+        b.iter(|| MLoc::paper().locate(black_box(&disjoint)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_centroid_modes,
+    bench_overestimate_factor,
+    bench_inflation_fallback
+);
+criterion_main!(benches);

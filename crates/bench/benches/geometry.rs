@@ -1,0 +1,87 @@
+//! Criterion benches for the geometric core: k-disc intersection
+//! (vertices + exact area/centroid) as a function of k.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use marauder_geo::montecarlo::SplitMix64;
+use marauder_geo::{monte_carlo_intersection_area, Circle, DiscIntersection, Point};
+
+fn discs(k: usize, seed: u64) -> Vec<Circle> {
+    let mut rng = SplitMix64::new(seed);
+    (0..k)
+        .map(|_| loop {
+            let x = rng.uniform(-1.0, 1.0);
+            let y = rng.uniform(-1.0, 1.0);
+            if x * x + y * y <= 1.0 {
+                return Circle::new(Point::new(x, y), 1.0);
+            }
+        })
+        .collect()
+}
+
+fn bench_disc_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disc_intersection");
+    for k in [2usize, 5, 10, 20, 50] {
+        let input = discs(k, 42);
+        group.bench_with_input(BenchmarkId::new("exact", k), &input, |b, input| {
+            b.iter(|| {
+                let region = DiscIntersection::new(black_box(input));
+                black_box((region.area(), region.centroid()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("area_estimation");
+    let input = discs(10, 7);
+    group.bench_function("exact_green_theorem", |b| {
+        b.iter(|| DiscIntersection::new(black_box(&input)).area())
+    });
+    group.bench_function("monte_carlo_10k", |b| {
+        b.iter(|| monte_carlo_intersection_area(black_box(&input), 10_000, 3))
+    });
+    group.finish();
+}
+
+fn bench_lens_area(c: &mut Criterion) {
+    let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+    let b2 = Circle::new(Point::new(0.7, 0.3), 1.2);
+    c.bench_function("lens_area", |b| {
+        b.iter(|| black_box(&a).lens_area(black_box(&b2)))
+    });
+}
+
+fn bench_spatial_index(c: &mut Criterion) {
+    use marauder_geo::GridIndex;
+    let mut rng = SplitMix64::new(77);
+    let pts: Vec<Point> = (0..2000)
+        .map(|_| Point::new(rng.uniform(-1000.0, 1000.0), rng.uniform(-1000.0, 1000.0)))
+        .collect();
+    let mut idx = GridIndex::new(120.0);
+    for (i, p) in pts.iter().enumerate() {
+        idx.insert(*p, i);
+    }
+    let center = Point::new(50.0, -30.0);
+    let mut group = c.benchmark_group("radius_query_2000pts");
+    group.bench_function("grid_index", |b| {
+        b.iter(|| idx.within(black_box(center), 120.0).count())
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            pts.iter()
+                .filter(|p| p.distance(black_box(center)) <= 120.0)
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disc_intersection,
+    bench_exact_vs_monte_carlo,
+    bench_lens_area,
+    bench_spatial_index
+);
+criterion_main!(benches);

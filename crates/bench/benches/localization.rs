@@ -1,0 +1,119 @@
+//! Criterion benches for the three localization algorithms.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use marauder_core::algorithms::{ApLoc, ApRad, Centroid, CoverageDisc, MLoc};
+use marauder_geo::montecarlo::SplitMix64;
+use marauder_geo::Point;
+use marauder_sim::wardrive::TrainingTuple;
+use marauder_wifi::mac::MacAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn world(n: usize, r: f64, seed: u64) -> (BTreeMap<MacAddr, Point>, f64) {
+    let mut rng = SplitMix64::new(seed);
+    let locations = (0..n)
+        .map(|i| {
+            (
+                MacAddr::from_index(i as u64),
+                Point::new(rng.uniform(-400.0, 400.0), rng.uniform(-400.0, 400.0)),
+            )
+        })
+        .collect();
+    (locations, r)
+}
+
+fn observe(locations: &BTreeMap<MacAddr, Point>, r: f64, at: Point) -> BTreeSet<MacAddr> {
+    locations
+        .iter()
+        .filter(|(_, p)| p.distance(at) <= r)
+        .map(|(m, _)| *m)
+        .collect()
+}
+
+fn bench_mloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mloc");
+    for k in [3usize, 8, 15, 30] {
+        let mut rng = SplitMix64::new(k as u64);
+        let discs: Vec<CoverageDisc> = (0..k)
+            .map(|_| loop {
+                let x = rng.uniform(-100.0, 100.0);
+                let y = rng.uniform(-100.0, 100.0);
+                if x * x + y * y <= 100.0 * 100.0 {
+                    return CoverageDisc::new(Point::new(x, y), 100.0);
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &discs, |b, discs| {
+            b.iter(|| MLoc::paper().locate(black_box(discs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aprad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aprad_full");
+    group.sample_size(10);
+    for n in [15usize, 30] {
+        let (locations, r) = world(n, 150.0, n as u64);
+        let mut rng = SplitMix64::new(1);
+        let observations: Vec<BTreeSet<MacAddr>> = (0..40)
+            .map(|_| {
+                observe(
+                    &locations,
+                    r,
+                    Point::new(rng.uniform(-400.0, 400.0), rng.uniform(-400.0, 400.0)),
+                )
+            })
+            .filter(|s| !s.is_empty())
+            .collect();
+        let gamma = observe(&locations, r, Point::new(0.0, 0.0));
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let aprad = ApRad {
+                    max_radius: 400.0,
+                    ..ApRad::default()
+                };
+                aprad.locate(
+                    black_box(&locations),
+                    black_box(&observations),
+                    black_box(&gamma),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aploc_training(c: &mut Criterion) {
+    let (locations, r) = world(25, 150.0, 3);
+    let mut training = Vec::new();
+    for i in 0..12 {
+        for j in 0..12 {
+            let p = Point::new(i as f64 * 70.0 - 400.0, j as f64 * 70.0 - 400.0);
+            training.push(TrainingTuple {
+                location: p,
+                aps: observe(&locations, r, p),
+            });
+        }
+    }
+    c.bench_function("aploc_estimate_ap_locations_144_tuples", |b| {
+        b.iter(|| ApLoc::default().estimate_ap_locations(black_box(&training)))
+    });
+}
+
+fn bench_centroid(c: &mut Criterion) {
+    let pts: Vec<Point> = (0..20)
+        .map(|i| Point::new(i as f64 * 13.0, (i * i % 37) as f64))
+        .collect();
+    c.bench_function("centroid_baseline_20aps", |b| {
+        b.iter(|| Centroid.locate(black_box(&pts)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mloc,
+    bench_aprad,
+    bench_aploc_training,
+    bench_centroid
+);
+criterion_main!(benches);

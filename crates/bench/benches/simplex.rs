@@ -1,0 +1,64 @@
+//! Criterion benches for the simplex solver on AP-Rad-shaped LPs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use marauder_geo::montecarlo::SplitMix64;
+use marauder_lp::{Problem, Relation};
+
+/// Builds an AP-Rad-shaped LP: n APs on a jittered grid, constraints
+/// from a plausible co-observation pattern.
+fn aprad_lp(n: usize, seed: u64) -> Problem {
+    let mut rng = SplitMix64::new(seed);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            (
+                (i % side) as f64 * 80.0 + rng.uniform(-10.0, 10.0),
+                (i / side) as f64 * 80.0 + rng.uniform(-10.0, 10.0),
+            )
+        })
+        .collect();
+    let dist = |i: usize, j: usize| {
+        let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut p = Problem::maximize(&vec![1.0; n]);
+    for i in 0..n {
+        p.add_upper_bound(i, 400.0);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(i, j);
+            if d < 150.0 {
+                p.add_constraint(&[(i, 1.0), (j, 1.0)], Relation::Ge, d);
+            } else if d < 800.0 {
+                p.add_constraint(&[(i, 1.0), (j, 1.0)], Relation::Le, d - 1e-3);
+            }
+        }
+    }
+    p
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_aprad_shape");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let p = aprad_lp(n, 99);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(p).solve())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_feasible(c: &mut Criterion) {
+    // A classic dense LP for reference.
+    let n = 30;
+    let mut p = Problem::maximize(&vec![1.0; n]);
+    for i in 0..n {
+        p.add_constraint(&[(i, 1.0), ((i + 1) % n, 0.5)], Relation::Le, 10.0);
+    }
+    c.bench_function("simplex_ring_30", |b| b.iter(|| black_box(&p).solve()));
+}
+
+criterion_group!(benches, bench_simplex, bench_dense_feasible);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the campus simulator and frame codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use marauder_sim::scenario::CampusScenario;
+use marauder_wifi::frame::Frame;
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::ssid::Ssid;
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campus_scenario");
+    group.sample_size(10);
+    for (aps, mobiles) in [(30usize, 3usize), (80, 8)] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{aps}aps_{mobiles}mob")),
+            |b| {
+                b.iter(|| {
+                    CampusScenario::builder()
+                        .seed(7)
+                        .num_aps(aps)
+                        .num_mobiles(mobiles)
+                        .duration_s(120.0)
+                        .beacon_period_s(None)
+                        .build()
+                        .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let frame = Frame::probe_response(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        Ssid::new("a-typical-ssid").expect("short"),
+        marauder_wifi::channel::Channel::bg(6).expect("valid"),
+    );
+    let bytes = frame.encode();
+    c.bench_function("frame_encode", |b| b.iter(|| black_box(&frame).encode()));
+    c.bench_function("frame_decode", |b| {
+        b.iter(|| Frame::decode(black_box(&bytes)).expect("valid"))
+    });
+}
+
+criterion_group!(benches, bench_scenario, bench_frame_codec);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates every figure of the paper.
+//!
+//! ```text
+//! experiments [fig2|fig3|...|fig17|all] ...
+//! ```
+//!
+//! Tables print to stdout and are also written to `results/<fig>.txt`.
+//! With no arguments, runs everything. Figures 13–16 share one simulated
+//! campaign (as one real campaign fed all four in the paper).
+
+use marauder_bench::common::run_attack_experiment;
+use marauder_bench::{extensions, figures};
+use marauder_sim::scenario::WorldModel;
+use std::fs;
+use std::path::Path;
+
+fn write_result(name: &str, table: &str) {
+    println!("{table}");
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Err(e) = fs::write(&path, table) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        figures::all()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .chain(extensions::all().iter().map(|(n, _)| n.to_string()))
+            .collect()
+    } else {
+        args
+    };
+
+    let shared_needed = wanted
+        .iter()
+        .filter(|w| ["fig13", "fig14", "fig15", "fig16"].contains(&w.as_str()))
+        .count();
+    let shared = if shared_needed >= 2 {
+        eprintln!("running the shared attack campaign for figs 13-16 ...");
+        Some(run_attack_experiment(&[1, 2, 3], WorldModel::FreeSpace))
+    } else {
+        None
+    };
+
+    for name in &wanted {
+        eprintln!("=== {name} ===");
+        let table = match (name.as_str(), &shared) {
+            ("fig13", Some(s)) => figures::fig13::run_with(s),
+            ("fig14", Some(s)) => figures::fig14::run_with(s),
+            ("fig15", Some(s)) => figures::fig15::run_with(s),
+            ("fig16", Some(s)) => figures::fig16::run_with(s),
+            _ => match figures::all()
+                .into_iter()
+                .chain(extensions::all())
+                .find(|(n, _)| n == name)
+            {
+                Some((_, runner)) => runner(),
+                None => {
+                    eprintln!(
+                        "unknown experiment {name:?}; known: fig2..fig17 (no fig1/fig7), \
+                         ext-active, ext-smoothing, ext-mismatch, ext-pseudonym"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        };
+        write_result(name, &table);
+    }
+}

@@ -1,0 +1,95 @@
+//! Extension: the 802.11a blind spot.
+//!
+//! Section III-B1 notes that covering 802.11a needs 12 more cards. On a
+//! dual-band campus, what does the b/g-only rig miss — and what does the
+//! full 15-card rig buy back?
+
+use crate::common::Table;
+use marauder_sim::scenario::CampusScenario;
+use marauder_wifi::channel::A_CHANNELS;
+
+struct RigView {
+    aps_heard: usize,
+    a_band_frames: usize,
+    total_frames: usize,
+}
+
+fn observe(seed: u64, a_fraction: f64, dual_band_rig: bool) -> (RigView, usize) {
+    let mut channels: Vec<u8> = vec![1, 6, 11];
+    if dual_band_rig {
+        channels.extend(A_CHANNELS);
+    }
+    let result = CampusScenario::builder()
+        .seed(seed)
+        .region_half_width(300.0)
+        .num_aps(80)
+        .num_mobiles(8)
+        .duration_s(360.0)
+        .beacon_period_s(None)
+        .a_band_fraction(a_fraction)
+        .sniffer_channels(channels)
+        .build()
+        .run();
+    let a_aps = result
+        .aps
+        .iter()
+        .filter(|ap| ap.channel.number() > 11)
+        .count();
+    (
+        RigView {
+            aps_heard: result.captures.access_points().len(),
+            a_band_frames: result
+                .captures
+                .iter()
+                .filter(|r| r.frame.channel.number() > 11)
+                .count(),
+            total_frames: result.captures.len(),
+        },
+        a_aps,
+    )
+}
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Extension — 802.11a coverage (30% of APs on 5 GHz)",
+        &["rig", "APs heard", "5 GHz frames", "total frames"],
+    );
+    let (bg, a_aps) = observe(1, 0.3, false);
+    let (dual, _) = observe(1, 0.3, true);
+    t.row(&[
+        "3 cards (b/g only)".into(),
+        bg.aps_heard.to_string(),
+        bg.a_band_frames.to_string(),
+        bg.total_frames.to_string(),
+    ]);
+    t.row(&[
+        "15 cards (b/g + 802.11a)".into(),
+        dual.aps_heard.to_string(),
+        dual.a_band_frames.to_string(),
+        dual.total_frames.to_string(),
+    ]);
+    t.row(&[
+        "5 GHz APs deployed".into(),
+        a_aps.to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_band_rig_recovers_the_blind_spot() {
+        let (bg, a_aps) = observe(4, 0.3, false);
+        let (dual, _) = observe(4, 0.3, true);
+        assert!(a_aps > 10);
+        assert_eq!(bg.a_band_frames, 0);
+        assert!(dual.a_band_frames > 0);
+        assert!(dual.aps_heard > bg.aps_heard);
+        assert!(run().contains("5 GHz"));
+    }
+}

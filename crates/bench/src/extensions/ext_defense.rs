@@ -1,0 +1,139 @@
+//! Extension: what do probing defenses actually buy?
+//!
+//! The paper's related work (Mix zones, random silent periods) proposes
+//! suppressing transmissions to protect location privacy. This sweep
+//! quantifies the trade: a victim that scans less often yields fewer
+//! fixes and longer blind gaps — but every fix it does yield is exactly
+//! as accurate, so the defense rations exposure rather than preventing
+//! it.
+
+use crate::common::{measured_knowledge, Table};
+use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauder_geo::Point;
+use marauder_sim::link::LinkModel;
+use marauder_sim::mobility::CircuitWalk;
+use marauder_sim::scenario::CampusScenario;
+use marauder_wifi::device::{MobileStation, OsProfile, ScanBehavior};
+use marauder_wifi::mac::MacAddr;
+
+struct DefenseOutcome {
+    fixes: usize,
+    mean_error_m: f64,
+    max_gap_s: f64,
+}
+
+fn experiment(seed: u64, scan_interval_s: f64) -> Option<DefenseOutcome> {
+    let victim = MobileStation::new(MacAddr::from_index(0xDEF), OsProfile::Linux).with_behavior(
+        ScanBehavior::Active {
+            interval_s: scan_interval_s,
+            directed: false,
+        },
+    );
+    let mac = victim.mac;
+    let duration = 900.0;
+    let scenario = CampusScenario::builder()
+        .seed(seed)
+        .region_half_width(300.0)
+        .num_aps(90)
+        .num_mobiles(5)
+        .duration_s(duration)
+        .beacon_period_s(None)
+        .mobile(
+            victim,
+            Box::new(CircuitWalk::new(Point::ORIGIN, 130.0, 1.4)),
+        )
+        .build();
+    let result = scenario.run();
+    let link = LinkModel::free_space(result.environment_margin);
+    let db = measured_knowledge(&result, &link);
+    let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+    map.ingest(&result.captures);
+    let fixes = map.track(&result.captures, mac);
+    if fixes.is_empty() {
+        return None;
+    }
+    let truth: Vec<_> = result
+        .ground_truth
+        .iter()
+        .filter(|g| g.mobile == mac)
+        .collect();
+    let mut err = 0.0;
+    for fix in &fixes {
+        let t = truth
+            .iter()
+            .min_by(|a, b| {
+                (a.time_s - fix.time_s)
+                    .abs()
+                    .partial_cmp(&(b.time_s - fix.time_s).abs())
+                    .expect("finite")
+            })
+            .expect("truth");
+        err += fix.estimate.position.distance(t.position);
+    }
+    // Blind gaps: longest stretch without a fix (including the edges).
+    let mut gaps = vec![fixes[0].time_s];
+    for w in fixes.windows(2) {
+        gaps.push(w[1].time_s - w[0].time_s);
+    }
+    gaps.push(duration - fixes.last().expect("non-empty").time_s);
+    Some(DefenseOutcome {
+        fixes: fixes.len(),
+        mean_error_m: err / fixes.len() as f64,
+        max_gap_s: gaps.into_iter().fold(0.0, f64::max),
+    })
+}
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Extension — the silent-period defense (15-minute walk)",
+        &[
+            "scan interval (s)",
+            "fixes",
+            "mean error (m)",
+            "longest blind gap (s)",
+        ],
+    );
+    for interval in [20.0, 60.0, 180.0, 450.0] {
+        match experiment(1, interval) {
+            Some(o) => t.row(&[
+                format!("{interval:.0}"),
+                o.fixes.to_string(),
+                format!("{:.1}", o.mean_error_m),
+                format!("{:.0}", o.max_gap_s),
+            ]),
+            None => t.row(&[
+                format!("{interval:.0}"),
+                "0".into(),
+                "-".into(),
+                "900".into(),
+            ]),
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_rations_fixes_but_not_accuracy() {
+        let chatty = experiment(2, 20.0).expect("chatty victim tracked");
+        let quiet = experiment(2, 300.0).expect("quiet victim still tracked");
+        assert!(
+            chatty.fixes > quiet.fixes * 3,
+            "chatty {} vs quiet {}",
+            chatty.fixes,
+            quiet.fixes
+        );
+        assert!(quiet.max_gap_s > chatty.max_gap_s);
+        // The defense does not blur individual fixes.
+        assert!(
+            quiet.mean_error_m < chatty.mean_error_m * 2.0,
+            "quiet fixes got blurry: {} vs {}",
+            quiet.mean_error_m,
+            chatty.mean_error_m
+        );
+    }
+}

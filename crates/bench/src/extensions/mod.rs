@@ -1,0 +1,32 @@
+//! Extension experiments beyond the paper's figures: the active attack's
+//! population gain, Kalman smoothing of tracks, propagation-model
+//! mismatch, and the pseudonym defense. Each is an ablation called out
+//! in DESIGN.md.
+
+pub mod ext_aband;
+pub mod ext_active;
+pub mod ext_cards;
+pub mod ext_dbnoise;
+pub mod ext_defense;
+pub mod ext_fixedradius;
+pub mod ext_mismatch;
+pub mod ext_pseudonym;
+pub mod ext_smoothing;
+
+/// A named experiment runner.
+pub type NamedRunner = (&'static str, fn() -> String);
+
+/// Every extension experiment id, with its runner.
+pub fn all() -> Vec<NamedRunner> {
+    vec![
+        ("ext-active", ext_active::run as fn() -> String),
+        ("ext-smoothing", ext_smoothing::run),
+        ("ext-dbnoise", ext_dbnoise::run),
+        ("ext-cards", ext_cards::run),
+        ("ext-fixedradius", ext_fixedradius::run),
+        ("ext-defense", ext_defense::run),
+        ("ext-aband", ext_aband::run),
+        ("ext-mismatch", ext_mismatch::run),
+        ("ext-pseudonym", ext_pseudonym::run),
+    ]
+}

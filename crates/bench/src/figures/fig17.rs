@@ -1,0 +1,141 @@
+//! Fig. 17: AP-Loc's mean localization error vs. the number of training
+//! tuples. Paper: 12.21 m with only 19 tuples — far better than the
+//! Centroid baseline — and improving as training grows.
+
+use crate::common::{link_for, victim_scenario, Table};
+use marauder_core::algorithms::Centroid;
+use marauder_core::pipeline::{AttackConfig, MaraudersMap};
+use marauder_geo::Point;
+use marauder_sim::deploy::Rect;
+use marauder_sim::scenario::WorldModel;
+use marauder_sim::wardrive::{wardrive, WardriveRoute};
+
+/// Mean AP-Loc tracking error given a training route producing roughly
+/// `target_tuples` tuples, plus the actual tuple count.
+fn aploc_error(seed: u64, passes: usize, sample_every_s: f64) -> Option<(usize, f64, f64)> {
+    let world = WorldModel::FreeSpace;
+    let (result, victim) = victim_scenario(seed, world);
+    let link = link_for(&result, world, seed);
+    let route =
+        WardriveRoute::lawnmower(Rect::centered_square(380.0), passes, 12.0, sample_every_s);
+    let training = wardrive(&route, &result.aps, &link);
+    let n_tuples = training.len();
+
+    // The "theoretical upper bound" radius the paper prescribes for the
+    // training discs: Theorem 1 with worst-case client assumptions gives
+    // ≈ 170 m for 100 mW APs under the campus margin.
+    let config = AttackConfig {
+        window_s: 15.0,
+        aploc: marauder_core::algorithms::ApLoc {
+            training_radius: 170.0,
+            aprad: marauder_core::algorithms::ApRad {
+                max_radius: 250.0,
+                ..Default::default()
+            },
+        },
+        aprad: marauder_core::algorithms::ApRad {
+            max_radius: 250.0,
+            ..Default::default()
+        },
+        ..AttackConfig::default()
+    };
+    let mut map = MaraudersMap::from_training(&training, config.clone());
+    map.ingest(&result.captures);
+
+    let truth: Vec<_> = result
+        .ground_truth
+        .iter()
+        .filter(|g| g.mobile == victim)
+        .collect();
+    if truth.is_empty() {
+        return None;
+    }
+    let nearest = |t: f64| {
+        truth
+            .iter()
+            .min_by(|a, b| {
+                (a.time_s - t)
+                    .abs()
+                    .partial_cmp(&(b.time_s - t).abs())
+                    .expect("finite")
+            })
+            .expect("non-empty")
+    };
+
+    let fixes = map.track(&result.captures, victim);
+    if fixes.is_empty() {
+        return None;
+    }
+    let mut aploc_sum = 0.0;
+    let mut centroid_sum = 0.0;
+    let mut centroid_n = 0usize;
+    for fix in &fixes {
+        let t = nearest(fix.time_s + 7.5);
+        aploc_sum += fix.estimate.position.distance(t.position);
+        // Centroid over the *trained* AP positions for the same window.
+        let positions: Vec<Point> = fix
+            .gamma
+            .iter()
+            .filter_map(|m| map.ap_locations().get(m).copied())
+            .collect();
+        if let Some(c) = Centroid.locate(&positions) {
+            centroid_sum += c.distance(t.position);
+            centroid_n += 1;
+        }
+    }
+    Some((
+        n_tuples,
+        aploc_sum / fixes.len() as f64,
+        centroid_sum / centroid_n.max(1) as f64,
+    ))
+}
+
+/// Regenerates the figure.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Fig. 17 — AP-Loc mean error vs number of training tuples",
+        &["training tuples", "AP-Loc error (m)", "Centroid error (m)"],
+    );
+    // Route configurations of increasing density.
+    for (passes, every) in [(3, 40.0), (4, 25.0), (5, 18.0), (7, 12.0), (9, 8.0)] {
+        if let Some((n, aploc, centroid)) = aploc_error(1, passes, every) {
+            t.row(&[
+                n.to_string(),
+                format!("{aploc:.2}"),
+                format!("{centroid:.2}"),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aploc_beats_centroid_and_improves_with_training() {
+        let sparse = aploc_error(2, 3, 40.0).expect("fixes");
+        let dense = aploc_error(2, 9, 8.0).expect("fixes");
+        assert!(
+            dense.0 > sparse.0,
+            "tuple counts {} !> {}",
+            dense.0,
+            sparse.0
+        );
+        // More training helps (or at least does not hurt much).
+        assert!(
+            dense.1 <= sparse.1 * 1.15,
+            "dense {} should be <= sparse {}",
+            dense.1,
+            sparse.1
+        );
+        // AP-Loc beats the centroid-over-trained-positions baseline.
+        assert!(
+            dense.1 < dense.2,
+            "AP-Loc {} !< centroid {}",
+            dense.1,
+            dense.2
+        );
+    }
+}

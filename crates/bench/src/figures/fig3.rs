@@ -1,0 +1,39 @@
+//! Fig. 3: intersected area vs. maximum transmission distance at fixed
+//! AP density (Corollary 1: the area *decreases* as the radius grows,
+//! because `k = πr²ρ` grows quadratically).
+
+use crate::common::Table;
+use marauder_core::theory::expected_area_at_density;
+
+/// Regenerates the figure (density ρ = 3 APs per unit area).
+pub fn run() -> String {
+    let rho = 3.0;
+    let mut t = Table::new(
+        "Fig. 3 — intersected area vs maximum transmission distance (density = 3 AP/unit^2)",
+        &["r", "k = pi*r^2*rho", "CA"],
+    );
+    for i in 4..=20 {
+        let r = i as f64 / 10.0;
+        let k = (std::f64::consts::PI * r * r * rho).max(1.0);
+        t.row(&[
+            format!("{r:.1}"),
+            format!("{k:.2}"),
+            format!("{:.4}", expected_area_at_density(r, rho)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_decreases_with_radius() {
+        let s = run();
+        assert!(s.contains("Fig. 3"));
+        let a_small = expected_area_at_density(0.5, 3.0);
+        let a_large = expected_area_at_density(2.0, 3.0);
+        assert!(a_large < a_small);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 5: intersected area vs. the *estimated* maximum transmission
+//! distance `R ≥ r` (Theorem 3, `k = 10`, `r = 1`): overestimates blow
+//! the area up rapidly, so a loose theoretical upper bound is not good
+//! enough — motivating AP-Rad's LP estimation.
+
+use crate::common::Table;
+use marauder_core::theory::expected_intersection_area_overestimate;
+
+/// Regenerates the figure.
+pub fn run() -> String {
+    let (k, r) = (10.0, 1.0);
+    let mut t = Table::new(
+        "Fig. 5 — intersected area vs estimated radius R (k = 10, r = 1)",
+        &["R", "CA", "CA / CA(R=1)"],
+    );
+    let base = expected_intersection_area_overestimate(k, r, 1.0);
+    for i in 0..=10 {
+        let big_r = 1.0 + 0.2 * i as f64;
+        let ca = expected_intersection_area_overestimate(k, r, big_r);
+        t.row(&[
+            format!("{big_r:.1}"),
+            format!("{ca:.4}"),
+            format!("{:.2}x", ca / base),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_rapid() {
+        let s = run();
+        assert!(s.contains("Fig. 5"));
+        let base = expected_intersection_area_overestimate(10.0, 1.0, 1.0);
+        let triple = expected_intersection_area_overestimate(10.0, 1.0, 3.0);
+        assert!(triple / base > 8.0, "growth {}", triple / base);
+    }
+}

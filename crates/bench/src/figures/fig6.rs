@@ -1,0 +1,36 @@
+//! Fig. 6: probability that the intersected area covers the true
+//! location when the radius is *under*estimated (`R < r`, Theorem 3):
+//! the probability `(R/r)^{2k}` collapses, so underestimates are fatal.
+
+use crate::common::Table;
+use marauder_core::theory::coverage_probability;
+
+/// Regenerates the figure.
+pub fn run() -> String {
+    let (k, r) = (10.0, 1.0);
+    let mut t = Table::new(
+        "Fig. 6 — coverage probability vs estimated radius R (k = 10, r = 1)",
+        &["R", "P(covered)"],
+    );
+    for i in 0..=10 {
+        let big_r = 0.5 + 0.05 * i as f64;
+        t.row(&[
+            format!("{big_r:.2}"),
+            format!("{:.6}", coverage_probability(k, r, big_r)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_collapses_below_one() {
+        let s = run();
+        assert!(s.contains("Fig. 6"));
+        assert!(coverage_probability(10.0, 1.0, 0.5) < 1e-5);
+        assert_eq!(coverage_probability(10.0, 1.0, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! One module per regenerated figure. Each exposes `run() -> String`
+//! returning the text table; Figs. 13–16 additionally expose
+//! `run_with(&AttackOutcomes)` so one simulated campaign can feed all
+//! four (as one real campaign did in the paper).
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+
+/// A named experiment runner.
+pub type NamedRunner = (&'static str, fn() -> String);
+
+/// Every figure id in paper order, with its runner.
+pub fn all() -> Vec<NamedRunner> {
+    vec![
+        ("fig2", fig2::run as fn() -> String),
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("fig5", fig5::run),
+        ("fig6", fig6::run),
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+    ]
+}

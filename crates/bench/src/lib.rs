@@ -1,0 +1,28 @@
+//! Experiment harness: one module per figure of the paper.
+//!
+//! Every figure in the evaluation (and the theory figures of Section
+//! III) has a `run()` function that regenerates it as a text table —
+//! the same rows/series the paper plots. The `experiments` binary runs
+//! them and writes the tables under `results/`.
+//!
+//! | Module | Paper figure | Content |
+//! |--------|--------------|---------|
+//! | [`figures::fig2`]  | Fig. 2  | intersected area vs. k (Theorem 2 + simulation) |
+//! | [`figures::fig3`]  | Fig. 3  | intersected area vs. radius at fixed density |
+//! | [`figures::fig4`]  | Fig. 4  | centroid vs. disc intersection under bias |
+//! | [`figures::fig5`]  | Fig. 5  | intersected area vs. overestimated radius (Theorem 3) |
+//! | [`figures::fig6`]  | Fig. 6  | coverage probability vs. underestimated radius |
+//! | [`figures::fig8`]  | Fig. 8  | campus channel distribution |
+//! | [`figures::fig9`]  | Fig. 9  | adjacent-channel decoding |
+//! | [`figures::fig10`] | Fig. 10 | mobiles found per day |
+//! | [`figures::fig11`] | Fig. 11 | probing fraction per day |
+//! | [`figures::fig12`] | Fig. 12 | coverage radius per receiver chain |
+//! | [`figures::fig13`] | Fig. 13 | localization error histogram |
+//! | [`figures::fig14`] | Fig. 14 | error vs. min communicable APs |
+//! | [`figures::fig15`] | Fig. 15 | intersected area vs. min communicable APs |
+//! | [`figures::fig16`] | Fig. 16 | coverage probability vs. min communicable APs |
+//! | [`figures::fig17`] | Fig. 17 | AP-Loc error vs. training tuples |
+
+pub mod common;
+pub mod extensions;
+pub mod figures;

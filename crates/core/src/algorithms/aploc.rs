@@ -1,0 +1,287 @@
+//! AP-Loc: localization with no prior AP knowledge (paper Section
+//! III-C3 and the "AP-Loc" pseudocode).
+//!
+//! The adversary first wardrives the area collecting training tuples
+//! (location, communicable-AP set). Each AP's location is then estimated
+//! as the centroid of the intersection of discs centered at the training
+//! locations that saw it — with a theoretical upper-bound radius, since
+//! neither the true radii nor (yet) the AP positions are known. With AP
+//! locations estimated, AP-Rad takes over: LP radius estimation, then
+//! M-Loc.
+
+use super::{ApRad, CoverageDisc, Estimate, MLoc};
+use marauder_geo::Point;
+use marauder_sim::wardrive::TrainingTuple;
+use marauder_wifi::mac::MacAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The AP-Loc localizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApLoc {
+    /// Theoretical upper bound on AP transmission distance used for the
+    /// training discs, meters (the paper: "use a theoretical upper bound
+    /// as the radius").
+    pub training_radius: f64,
+    /// The AP-Rad stage run after AP locations are estimated.
+    pub aprad: ApRad,
+}
+
+impl Default for ApLoc {
+    fn default() -> Self {
+        ApLoc {
+            training_radius: 250.0,
+            aprad: ApRad::default(),
+        }
+    }
+}
+
+impl ApLoc {
+    /// Estimates the location of every AP that appears in at least one
+    /// training tuple, by intersecting discs around the training
+    /// locations that saw it (region centroid, as the paper specifies
+    /// "estimate the AP's location as the centroid of the intersected
+    /// area").
+    pub fn estimate_ap_locations(&self, training: &[TrainingTuple]) -> BTreeMap<MacAddr, Point> {
+        let mut seen_at: BTreeMap<MacAddr, Vec<Point>> = BTreeMap::new();
+        for t in training {
+            for mac in &t.aps {
+                seen_at.entry(*mac).or_default().push(t.location);
+            }
+        }
+        let mloc = MLoc::region_centroid();
+        seen_at
+            .into_iter()
+            .filter_map(|(mac, points)| {
+                let discs: Vec<CoverageDisc> = points
+                    .into_iter()
+                    .map(|p| CoverageDisc::new(p, self.training_radius))
+                    .collect();
+                let est = mloc.locate(&discs)?;
+                Some((mac, est.position))
+            })
+            .collect()
+    }
+
+    /// Lower bounds on the radii implied by the training data: an AP
+    /// heard from a training location must reach at least from its
+    /// (estimated) position to that location. Feeding these into the
+    /// AP-Rad LP keeps radii from collapsing when the trained positions
+    /// distort pairwise distances.
+    pub fn training_radius_bounds(
+        &self,
+        training: &[TrainingTuple],
+        locations: &BTreeMap<MacAddr, Point>,
+    ) -> BTreeMap<MacAddr, f64> {
+        let mut bounds: BTreeMap<MacAddr, f64> = BTreeMap::new();
+        for t in training {
+            for mac in &t.aps {
+                if let Some(loc) = locations.get(mac) {
+                    let d = loc.distance(t.location);
+                    let e = bounds.entry(*mac).or_insert(0.0);
+                    *e = e.max(d);
+                }
+            }
+        }
+        bounds
+    }
+
+    /// Full AP-Loc: estimate AP locations from `training`, estimate
+    /// radii from `observations` (AP-Rad with training lower bounds),
+    /// then locate the mobile whose communicable set is `gamma`.
+    ///
+    /// Returns `None` when no AP in `gamma` could be located from the
+    /// training data.
+    pub fn locate(
+        &self,
+        training: &[TrainingTuple],
+        observations: &[BTreeSet<MacAddr>],
+        gamma: &BTreeSet<MacAddr>,
+    ) -> Option<Estimate> {
+        let locations = self.estimate_ap_locations(training);
+        let bounds = self.training_radius_bounds(training, &locations);
+        let radii = self
+            .aprad
+            .estimate_radii_with_bounds(&locations, observations, &bounds);
+        let discs: Vec<CoverageDisc> = gamma
+            .iter()
+            .filter_map(|mac| {
+                let loc = locations.get(mac)?;
+                let r = radii.get(mac)?;
+                Some(CoverageDisc::new(*loc, *r))
+            })
+            .collect();
+        self.aprad.mloc.locate(&discs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    /// Ground truth world shared by the tests: APs with true radius `r`.
+    struct World {
+        aps: BTreeMap<MacAddr, Point>,
+        r: f64,
+    }
+
+    impl World {
+        fn new(r: f64) -> World {
+            let mut aps = BTreeMap::new();
+            aps.insert(mac(1), Point::new(0.0, 0.0));
+            aps.insert(mac(2), Point::new(140.0, 30.0));
+            aps.insert(mac(3), Point::new(60.0, 150.0));
+            aps.insert(mac(4), Point::new(-80.0, 110.0));
+            aps.insert(mac(5), Point::new(40.0, -120.0));
+            World { aps, r }
+        }
+
+        fn observe(&self, at: Point) -> BTreeSet<MacAddr> {
+            self.aps
+                .iter()
+                .filter(|(_, p)| p.distance(at) <= self.r)
+                .map(|(m, _)| *m)
+                .collect()
+        }
+
+        /// Wardrive a grid and keep tuples (including empty ones).
+        fn training(&self, pitch: f64, half: f64) -> Vec<TrainingTuple> {
+            let mut out = Vec::new();
+            let mut x = -half;
+            while x <= half {
+                let mut y = -half;
+                while y <= half {
+                    let p = Point::new(x, y);
+                    out.push(TrainingTuple {
+                        location: p,
+                        aps: self.observe(p),
+                    });
+                    y += pitch;
+                }
+                x += pitch;
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn ap_locations_recovered_from_dense_training() {
+        let world = World::new(120.0);
+        let training = world.training(30.0, 200.0);
+        let aploc = ApLoc {
+            training_radius: 130.0,
+            ..ApLoc::default()
+        };
+        let est = aploc.estimate_ap_locations(&training);
+        assert_eq!(est.len(), world.aps.len());
+        for (mac, true_pos) in &world.aps {
+            let got = est[mac];
+            let err = got.distance(*true_pos);
+            assert!(
+                err < 40.0,
+                "AP {mac} estimated {got}, truth {true_pos} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_training_still_gives_estimates() {
+        // The paper's Fig. 17 point: even ~19 tuples give usable AP
+        // positions.
+        let world = World::new(120.0);
+        let training = world.training(100.0, 200.0); // 5x5 = 25 tuples
+        let aploc = ApLoc {
+            training_radius: 150.0,
+            ..ApLoc::default()
+        };
+        let est = aploc.estimate_ap_locations(&training);
+        assert!(!est.is_empty());
+        for (mac, got) in &est {
+            let err = got.distance(world.aps[mac]);
+            assert!(err < 120.0, "AP {mac} err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_training_gives_nothing() {
+        let aploc = ApLoc::default();
+        assert!(aploc.estimate_ap_locations(&[]).is_empty());
+        assert!(aploc.locate(&[], &[], &BTreeSet::new()).is_none());
+    }
+
+    #[test]
+    fn tuples_with_empty_ap_sets_are_harmless() {
+        let world = World::new(100.0);
+        let mut training = world.training(50.0, 150.0);
+        training.push(TrainingTuple {
+            location: Point::new(10_000.0, 10_000.0),
+            aps: BTreeSet::new(),
+        });
+        let est = ApLoc::default().estimate_ap_locations(&training);
+        assert!(!est.is_empty());
+    }
+
+    #[test]
+    fn full_pipeline_localizes_a_victim() {
+        let world = World::new(130.0);
+        let training = world.training(40.0, 200.0);
+        // Attack-phase observations: mobiles wandering around.
+        let mut observations = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let p = Point::new(i as f64 * 35.0 - 150.0, j as f64 * 35.0 - 150.0);
+                let obs = world.observe(p);
+                if !obs.is_empty() {
+                    observations.push(obs);
+                }
+            }
+        }
+        let victim = Point::new(30.0, 40.0);
+        let gamma = world.observe(victim);
+        assert!(gamma.len() >= 2, "victim must see APs");
+        let aploc = ApLoc {
+            training_radius: 140.0,
+            aprad: ApRad {
+                // A tight theoretical cap: with only 5 APs most pairs are
+                // co-observed, so the maximize-sum LP pushes unconstrained
+                // radii to this bound (exactly the paper's preference for
+                // overestimates); a sane bound keeps the region tight.
+                max_radius: 150.0,
+                ..ApRad::default()
+            },
+        };
+        let est = aploc
+            .locate(&training, &observations, &gamma)
+            .expect("locatable");
+        let err = est.position.distance(victim);
+        // AP-Loc is the weakest knowledge level; accept a coarser error
+        // than M-Loc but still far better than the area size.
+        assert!(err < 100.0, "error {err}");
+    }
+
+    #[test]
+    fn more_training_tuples_reduce_ap_error() {
+        // Fig. 17's trend: average AP-position error decreases with the
+        // number of training tuples.
+        let world = World::new(120.0);
+        let mean_err = |pitch: f64| {
+            let training = world.training(pitch, 200.0);
+            let est = ApLoc {
+                training_radius: 140.0,
+                ..ApLoc::default()
+            }
+            .estimate_ap_locations(&training);
+            let total: f64 = est.iter().map(|(m, p)| p.distance(world.aps[m])).sum();
+            total / est.len().max(1) as f64
+        };
+        let sparse = mean_err(130.0);
+        let dense = mean_err(25.0);
+        assert!(
+            dense < sparse,
+            "dense training err {dense} !< sparse err {sparse}"
+        );
+    }
+}

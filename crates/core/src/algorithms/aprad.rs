@@ -1,0 +1,476 @@
+//! AP-Rad: estimate AP maximum transmission distances by linear
+//! programming, then localize with M-Loc (paper Section III-C2 and the
+//! "AP-Rad" pseudocode).
+//!
+//! Constraint generation follows the paper exactly:
+//!
+//! * if two APs were observed communicating with the same mobile in the
+//!   same observation window, `rᵢ + rⱼ ≥ dᵢⱼ`,
+//! * if two APs were *never* co-observed over the capture,
+//!   `rᵢ + rⱼ < dᵢⱼ` (encoded as `≤ dᵢⱼ − ε`),
+//! * objective: maximize `Σ rⱼ` (overestimates are safer than
+//!   underestimates, Theorem 3).
+//!
+//! Real captures can make this system infeasible (two never-co-observed
+//! APs may simply never have had a mobile in their overlap). When that
+//! happens the negative constraints are dropped, tightest first, until
+//! the system becomes feasible — the paper's "highly likely" hedge made
+//! operational.
+
+use super::{CoverageDisc, Estimate, MLoc};
+use marauder_geo::Point;
+use marauder_lp::{Outcome, Problem, Relation};
+use marauder_wifi::mac::MacAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The AP-Rad localizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApRad {
+    /// Theoretical upper bound on any AP's radius, meters (caps the LP).
+    pub max_radius: f64,
+    /// Margin subtracted from strict `<` constraints, meters.
+    pub epsilon: f64,
+    /// Per AP, how many nearest never-co-observed neighbours contribute
+    /// `<` constraints. Bounds the LP size on dense campuses; looser
+    /// constraints on the same variables essentially never bind.
+    pub max_negative_per_ap: usize,
+    /// The paper's "over a sufficient amount of time" gate: a
+    /// never-co-observed pair only yields a `<` constraint when *both*
+    /// APs were seen in at least this many observation sets — otherwise
+    /// the absence of co-observation is sampling noise, not evidence.
+    pub min_observations_for_negative: usize,
+    /// The M-Loc instance used after radii are estimated.
+    pub mloc: MLoc,
+}
+
+impl Default for ApRad {
+    fn default() -> Self {
+        ApRad {
+            max_radius: 1000.0,
+            epsilon: 1e-3,
+            max_negative_per_ap: 12,
+            min_observations_for_negative: 3,
+            mloc: MLoc::default(),
+        }
+    }
+}
+
+impl ApRad {
+    /// Estimates a radius for every AP that appears in at least one
+    /// observation set and has a known location.
+    ///
+    /// `locations` maps BSSIDs to positions (the external knowledge);
+    /// `observations` are per-mobile-per-window communicable-AP sets
+    /// (`Γ_k` in the paper). APs in observations without a known
+    /// location are ignored.
+    pub fn estimate_radii(
+        &self,
+        locations: &BTreeMap<MacAddr, Point>,
+        observations: &[BTreeSet<MacAddr>],
+    ) -> BTreeMap<MacAddr, f64> {
+        self.estimate_radii_with_bounds(locations, observations, &BTreeMap::new())
+    }
+
+    /// Like [`estimate_radii`](Self::estimate_radii), with additional
+    /// per-AP lower bounds `r_i ≥ min_radii[i]`.
+    ///
+    /// AP-Loc supplies these from its training tuples: an AP heard from
+    /// a training location must reach at least that far, which keeps the
+    /// LP from collapsing radii when trained AP positions distort the
+    /// pairwise distances.
+    pub fn estimate_radii_with_bounds(
+        &self,
+        locations: &BTreeMap<MacAddr, Point>,
+        observations: &[BTreeSet<MacAddr>],
+        min_radii: &BTreeMap<MacAddr, f64>,
+    ) -> BTreeMap<MacAddr, f64> {
+        // Variables: APs that are both observed and located.
+        let mut observed: BTreeSet<MacAddr> = BTreeSet::new();
+        for obs in observations {
+            for mac in obs {
+                if locations.contains_key(mac) {
+                    observed.insert(*mac);
+                }
+            }
+        }
+        let vars: Vec<MacAddr> = observed.iter().copied().collect();
+        if vars.is_empty() {
+            return BTreeMap::new();
+        }
+        let index: BTreeMap<MacAddr, usize> =
+            vars.iter().enumerate().map(|(i, m)| (*m, i)).collect();
+
+        // Co-observed pairs.
+        let mut co: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for obs in observations {
+            let present: Vec<usize> = obs.iter().filter_map(|m| index.get(m).copied()).collect();
+            for (a, &i) in present.iter().enumerate() {
+                for &j in &present[a + 1..] {
+                    co.insert((i.min(j), i.max(j)));
+                }
+            }
+        }
+
+        let dist = |i: usize, j: usize| locations[&vars[i]].distance(locations[&vars[j]]);
+
+        // Per-variable lower bounds (0 without training data), and the
+        // substitution r_i = lo_i + s_i, s_i >= 0 that turns them into
+        // plain non-negativity — the LP then needs no >= rows at all for
+        // the bounds.
+        let lo: Vec<f64> = vars
+            .iter()
+            .map(|m| {
+                min_radii
+                    .get(m)
+                    .copied()
+                    .unwrap_or(0.0)
+                    .clamp(0.0, self.max_radius)
+            })
+            .collect();
+
+        // Negative (never-co-observed) pairs, tightest first. Two
+        // prunings keep the LP small on dense campuses:
+        // * a pair farther apart than 2·max_radius constrains nothing,
+        // * per AP only the `max_negative_per_ap` nearest negative
+        //   neighbours are kept — looser constraints on the same
+        //   variables essentially never bind under the maximize-sum
+        //   objective.
+        // A negative constraint contradicting the training lower bounds
+        // is certainly wrong (the estimated pair distance is too small)
+        // and is discarded.
+        // How often each AP was seen at all — the negative-evidence gate.
+        let mut seen_count = vec![0usize; vars.len()];
+        for obs in observations {
+            for mac in obs {
+                if let Some(&i) = index.get(mac) {
+                    seen_count[i] += 1;
+                }
+            }
+        }
+
+        let mut neighbour_lists: Vec<Vec<(usize, f64)>> = vec![Vec::new(); vars.len()];
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                if co.contains(&(i, j)) {
+                    continue;
+                }
+                if seen_count[i] < self.min_observations_for_negative
+                    || seen_count[j] < self.min_observations_for_negative
+                {
+                    continue; // not enough evidence that they never meet
+                }
+                let d = dist(i, j);
+                if d >= 2.0 * self.max_radius || lo[i] + lo[j] > d - self.epsilon {
+                    continue;
+                }
+                neighbour_lists[i].push((j, d));
+                neighbour_lists[j].push((i, d));
+            }
+        }
+        let mut keep: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (i, list) in neighbour_lists.iter_mut().enumerate() {
+            list.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+            for &(j, _) in list.iter().take(self.max_negative_per_ap) {
+                keep.insert((i.min(j), i.max(j)));
+            }
+        }
+        let mut negative: Vec<(usize, usize, f64)> =
+            keep.into_iter().map(|(i, j)| (i, j, dist(i, j))).collect();
+        negative.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("distances are finite"));
+
+        // Key structural insight: under `maximize Σ r`, the co-observation
+        // constraints `r_i + r_j >= d_ij` can never lower the optimum —
+        // they are either satisfied by the unconstrained maximum or make
+        // the program infeasible. So solve WITHOUT them first (slack-only
+        // LP: phase 1 is free), then verify and only materialize the
+        // violated ones. This keeps the tableau small on real campuses
+        // where co-pairs vastly outnumber binding constraints.
+        let mut forced: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut active_from = 0usize; // negative[..active_from] dropped
+        let mut best: Option<Vec<f64>> = None;
+        for _round in 0..12 {
+            let mut p = Problem::maximize(&vec![1.0; vars.len()]);
+            for (i, l) in lo.iter().enumerate() {
+                p.add_upper_bound(i, self.max_radius - l);
+            }
+            for &(i, j, d) in &negative[active_from..] {
+                p.add_constraint(
+                    &[(i, 1.0), (j, 1.0)],
+                    Relation::Le,
+                    d - self.epsilon - lo[i] - lo[j],
+                );
+            }
+            for &(i, j) in &forced {
+                let rhs = dist(i, j) - lo[i] - lo[j];
+                if rhs > 0.0 {
+                    p.add_constraint(&[(i, 1.0), (j, 1.0)], Relation::Ge, rhs);
+                }
+            }
+            match p.solve() {
+                Outcome::Optimal(sol) => {
+                    let r: Vec<f64> = sol
+                        .values
+                        .iter()
+                        .zip(&lo)
+                        .map(|(s, l)| (s.max(0.0) + l).min(self.max_radius))
+                        .collect();
+                    // Verify every co-observation constraint.
+                    let mut new_violation = false;
+                    for &(i, j) in &co {
+                        if r[i] + r[j] < dist(i, j) - 1e-6 && forced.insert((i, j)) {
+                            new_violation = true;
+                        }
+                    }
+                    best = Some(r);
+                    if !new_violation {
+                        break;
+                    }
+                }
+                Outcome::Infeasible => {
+                    // Forced >= rows conflict with kept <= rows: drop the
+                    // tightest remaining negative rows (the paper's
+                    // "highly likely" constraints are the suspect ones).
+                    if active_from >= negative.len() {
+                        break; // only forced rows left; repair below
+                    }
+                    let step = ((negative.len() - active_from) / 10).max(1);
+                    active_from += step;
+                }
+                Outcome::Unbounded => {
+                    unreachable!("all variables are capped at max_radius")
+                }
+            }
+        }
+        // Final repair: whatever co-pairs remain violated (iteration cap
+        // or irreparable conflicts) are fixed by raising both radii to
+        // half the pair distance — a guaranteed-feasible overestimate.
+        let mut r = best.unwrap_or_else(|| lo.clone());
+        for &(i, j) in &co {
+            let d = dist(i, j);
+            if r[i] + r[j] < d - 1e-6 {
+                r[i] = r[i].max((d / 2.0).min(self.max_radius));
+                r[j] = r[j].max((d / 2.0).min(self.max_radius));
+            }
+        }
+        vars.iter().zip(r).map(|(m, v)| (*m, v)).collect()
+    }
+
+    /// Full AP-Rad: estimate radii from `observations`, then locate the
+    /// mobile whose communicable set is `gamma`.
+    ///
+    /// Returns `None` when no AP in `gamma` has both a location and an
+    /// estimated radius.
+    pub fn locate(
+        &self,
+        locations: &BTreeMap<MacAddr, Point>,
+        observations: &[BTreeSet<MacAddr>],
+        gamma: &BTreeSet<MacAddr>,
+    ) -> Option<Estimate> {
+        let radii = self.estimate_radii(locations, observations);
+        let discs: Vec<CoverageDisc> = gamma
+            .iter()
+            .filter_map(|mac| {
+                let loc = locations.get(mac)?;
+                let r = radii.get(mac)?;
+                Some(CoverageDisc::new(*loc, *r))
+            })
+            .collect();
+        self.mloc.locate(&discs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn set(macs: &[u64]) -> BTreeSet<MacAddr> {
+        macs.iter().map(|&i| mac(i)).collect()
+    }
+
+    /// A simple world: APs on a grid with true radius `r`; observations
+    /// generated from mobiles at given positions.
+    struct World {
+        locations: BTreeMap<MacAddr, Point>,
+        r: f64,
+    }
+
+    impl World {
+        fn grid(n: usize, pitch: f64, r: f64) -> World {
+            let mut locations = BTreeMap::new();
+            for i in 0..n {
+                for j in 0..n {
+                    locations.insert(
+                        mac((i * n + j) as u64),
+                        Point::new(i as f64 * pitch, j as f64 * pitch),
+                    );
+                }
+            }
+            World { locations, r }
+        }
+
+        fn observe(&self, at: Point) -> BTreeSet<MacAddr> {
+            self.locations
+                .iter()
+                .filter(|(_, p)| p.distance(at) <= self.r)
+                .map(|(m, _)| *m)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let aprad = ApRad::default();
+        assert!(aprad.estimate_radii(&BTreeMap::new(), &[]).is_empty());
+        assert!(aprad
+            .locate(&BTreeMap::new(), &[], &BTreeSet::new())
+            .is_none());
+    }
+
+    #[test]
+    fn radii_respect_constraints() {
+        let world = World::grid(4, 60.0, 80.0);
+        // Sample observations over the grid.
+        let mut observations = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let p = Point::new(i as f64 * 25.0, j as f64 * 25.0);
+                let obs = world.observe(p);
+                if !obs.is_empty() {
+                    observations.push(obs);
+                }
+            }
+        }
+        let aprad = ApRad {
+            max_radius: 300.0,
+            ..ApRad::default()
+        };
+        let radii = aprad.estimate_radii(&world.locations, &observations);
+        assert!(!radii.is_empty());
+        // Every co-observed constraint holds.
+        for obs in &observations {
+            let present: Vec<&MacAddr> = obs.iter().collect();
+            for (a, &i) in present.iter().enumerate() {
+                for &j in &present[a + 1..] {
+                    if let (Some(ri), Some(rj)) = (radii.get(i), radii.get(j)) {
+                        let d = world.locations[i].distance(world.locations[j]);
+                        assert!(
+                            ri + rj >= d - 1e-6,
+                            "co-observed pair violates: {ri} + {rj} < {d}"
+                        );
+                    }
+                }
+            }
+        }
+        // Estimates never exceed the cap.
+        for r in radii.values() {
+            assert!(*r <= 300.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn radii_are_overestimates_of_truth_on_dense_data() {
+        // With dense sampling, the LP's maximize-sum objective pushes
+        // every radius to the largest value consistent with the negative
+        // constraints — at or above the truth for most APs.
+        let world = World::grid(4, 70.0, 75.0);
+        let mut observations = Vec::new();
+        for i in 0..18 {
+            for j in 0..18 {
+                let p = Point::new(i as f64 * 13.0 - 10.0, j as f64 * 13.0 - 10.0);
+                let obs = world.observe(p);
+                if !obs.is_empty() {
+                    observations.push(obs);
+                }
+            }
+        }
+        let aprad = ApRad {
+            max_radius: 400.0,
+            ..ApRad::default()
+        };
+        let radii = aprad.estimate_radii(&world.locations, &observations);
+        let over = radii.values().filter(|r| **r >= world.r * 0.8).count();
+        assert!(
+            over * 10 >= radii.len() * 7,
+            "only {over}/{} radii near or above truth",
+            radii.len()
+        );
+    }
+
+    #[test]
+    fn unlocated_aps_are_ignored() {
+        let mut locations = BTreeMap::new();
+        locations.insert(mac(1), Point::new(0.0, 0.0));
+        locations.insert(mac(2), Point::new(50.0, 0.0));
+        // mac(3) appears in observations but has no location.
+        let observations = vec![set(&[1, 2, 3])];
+        let radii = ApRad::default().estimate_radii(&locations, &observations);
+        assert_eq!(radii.len(), 2);
+        assert!(!radii.contains_key(&mac(3)));
+    }
+
+    #[test]
+    fn locate_reconstructs_position() {
+        let world = World::grid(5, 50.0, 70.0);
+        let mut observations = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let p = Point::new(i as f64 * 18.0, j as f64 * 18.0);
+                let obs = world.observe(p);
+                if obs.len() >= 2 {
+                    observations.push(obs);
+                }
+            }
+        }
+        let victim_pos = Point::new(105.0, 95.0);
+        let gamma = world.observe(victim_pos);
+        assert!(gamma.len() >= 3);
+        let aprad = ApRad {
+            max_radius: 250.0,
+            ..ApRad::default()
+        };
+        let est = aprad
+            .locate(&world.locations, &observations, &gamma)
+            .expect("locatable");
+        let err = est.position.distance(victim_pos);
+        assert!(err < 60.0, "error {err} too large");
+    }
+
+    #[test]
+    fn infeasible_constraints_are_dropped() {
+        // Construct a contradiction: A and B co-observed at distance 200
+        // (r_a + r_b >= 200), but A-C and B-C never co-observed with C
+        // close to both (r_a + r_c <= 10, r_b + r_c <= 10 would force
+        // r_a + r_b <= 20 < 200 after accounting r_c >= 0).
+        let mut locations = BTreeMap::new();
+        locations.insert(mac(1), Point::new(0.0, 0.0));
+        locations.insert(mac(2), Point::new(200.0, 0.0));
+        locations.insert(mac(3), Point::new(100.0, 1.0));
+        let observations = vec![set(&[1, 2]), set(&[3])];
+        let radii = ApRad::default().estimate_radii(&locations, &observations);
+        // Must return something sensible despite the contradiction.
+        assert_eq!(radii.len(), 3);
+        let (ra, rb) = (radii[&mac(1)], radii[&mac(2)]);
+        assert!(ra + rb >= 200.0 - 1e-6, "kept constraint violated");
+    }
+
+    #[test]
+    fn far_apart_negative_pairs_do_not_bloat_the_lp() {
+        // APs further apart than 2*max_radius yield no constraint; the
+        // solver should happily give everyone the cap.
+        let mut locations = BTreeMap::new();
+        locations.insert(mac(1), Point::new(0.0, 0.0));
+        locations.insert(mac(2), Point::new(1e6, 0.0));
+        let observations = vec![set(&[1]), set(&[2])];
+        let aprad = ApRad {
+            max_radius: 100.0,
+            ..ApRad::default()
+        };
+        let radii = aprad.estimate_radii(&locations, &observations);
+        assert!((radii[&mac(1)] - 100.0).abs() < 1e-6);
+        assert!((radii[&mac(2)] - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Baseline localizers from prior work.
+//!
+//! * [`Centroid`] — estimate the mobile at the arithmetic mean of its
+//!   communicable APs' positions (the range-free approach of the paper's
+//!   ref. [26]). Vulnerable to biased AP distributions (Fig. 4): a dense
+//!   cluster of APs drags the estimate toward the cluster.
+//! * [`NearestAp`] — estimate the mobile at a single AP's location (the
+//!   "closest AP" approach, paper refs. [5]); equals disc intersection at
+//!   `k = 1`. Without signal strength the attacker cannot know which AP
+//!   is truly nearest, so the smallest-radius communicable AP (the
+//!   tightest constraint) is used when radii are known.
+
+use marauder_geo::Point;
+
+/// The centroid-of-APs baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Centroid;
+
+impl Centroid {
+    /// The mean of the communicable APs' positions, or `None` when the
+    /// slice is empty.
+    pub fn locate(&self, ap_positions: &[Point]) -> Option<Point> {
+        Point::mean(ap_positions.iter().copied())
+    }
+}
+
+/// The nearest-AP baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NearestAp;
+
+impl NearestAp {
+    /// Picks the AP with the smallest known radius (tightest disc); ties
+    /// and unknown radii fall back to the first AP. Returns `None` for
+    /// an empty slice.
+    pub fn locate(&self, aps: &[(Point, Option<f64>)]) -> Option<Point> {
+        if aps.is_empty() {
+            return None;
+        }
+        let best = aps
+            .iter()
+            .min_by(|a, b| {
+                let ra = a.1.unwrap_or(f64::INFINITY);
+                let rb = b.1.unwrap_or(f64::INFINITY);
+                ra.partial_cmp(&rb).expect("radii are not NaN")
+            })
+            .expect("non-empty");
+        Some(best.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centroid_basics() {
+        let c = Centroid;
+        assert_eq!(c.locate(&[]), None);
+        assert_eq!(
+            c.locate(&[Point::new(2.0, 4.0)]),
+            Some(Point::new(2.0, 4.0))
+        );
+        let mean = c
+            .locate(&[
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(5.0, 9.0),
+            ])
+            .unwrap();
+        assert_eq!(mean, Point::new(5.0, 3.0));
+    }
+
+    #[test]
+    fn centroid_is_dragged_by_clusters() {
+        // Fig. 4's failure mode: 2 spread APs + 8 clustered far away.
+        let mut aps = vec![Point::new(-100.0, 0.0), Point::new(100.0, 0.0)];
+        for i in 0..8 {
+            aps.push(Point::new(400.0 + i as f64, 400.0));
+        }
+        let est = Centroid.locate(&aps).unwrap();
+        // The estimate is pulled deep into the cluster's direction even
+        // though the mobile (near the origin) hears all of them.
+        assert!(est.x > 300.0 && est.y > 300.0, "estimate {est}");
+    }
+
+    #[test]
+    fn nearest_ap_prefers_smallest_radius() {
+        let aps = [
+            (Point::new(0.0, 0.0), Some(500.0)),
+            (Point::new(50.0, 0.0), Some(80.0)),
+            (Point::new(90.0, 0.0), Some(200.0)),
+        ];
+        assert_eq!(NearestAp.locate(&aps), Some(Point::new(50.0, 0.0)));
+    }
+
+    #[test]
+    fn nearest_ap_without_radii_takes_first() {
+        let aps = [(Point::new(1.0, 1.0), None), (Point::new(2.0, 2.0), None)];
+        assert_eq!(NearestAp.locate(&aps), Some(Point::new(1.0, 1.0)));
+        assert_eq!(NearestAp.locate(&[]), None);
+    }
+
+    #[test]
+    fn known_radius_beats_unknown() {
+        let aps = [
+            (Point::new(1.0, 1.0), None),
+            (Point::new(2.0, 2.0), Some(100.0)),
+        ];
+        assert_eq!(NearestAp.locate(&aps), Some(Point::new(2.0, 2.0)));
+    }
+}

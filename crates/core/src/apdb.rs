@@ -1,0 +1,325 @@
+//! The access-point knowledge database.
+//!
+//! The attacker's external knowledge — a WiGLE-like registry of AP
+//! locations and (sometimes) maximum transmission distances. Built
+//! either from downloaded data (simulated: the scenario's deployed APs)
+//! or from the training phase (AP-Loc estimates). Supports the CSV
+//! interchange format wardriving tools dump.
+
+use marauder_geo::Point;
+use marauder_rf::units::Db;
+use marauder_wifi::device::AccessPoint;
+use marauder_wifi::mac::MacAddr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One AP's knowledge record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApRecord {
+    /// The AP's BSSID.
+    pub bssid: MacAddr,
+    /// Network name, when known.
+    pub ssid: Option<String>,
+    /// Position in the local ENU plane, meters.
+    pub location: Point,
+    /// Maximum transmission distance in meters, when known (WiGLE does
+    /// not publish this; the paper measures it by driving around).
+    pub radius: Option<f64>,
+}
+
+/// The attacker's AP database.
+///
+/// # Example
+///
+/// ```
+/// use marauder_core::apdb::{ApDatabase, ApRecord};
+/// use marauder_geo::Point;
+/// use marauder_wifi::mac::MacAddr;
+///
+/// let mut db = ApDatabase::new();
+/// db.insert(ApRecord {
+///     bssid: MacAddr::from_index(1),
+///     ssid: Some("cafe".into()),
+///     location: Point::new(10.0, 5.0),
+///     radius: Some(120.0),
+/// });
+/// assert_eq!(db.len(), 1);
+/// assert!(db.get(MacAddr::from_index(1)).is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ApDatabase {
+    records: BTreeMap<MacAddr, ApRecord>,
+}
+
+/// Error returned when parsing the CSV interchange format fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    line: usize,
+    reason: String,
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv parse error on line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+impl ApDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        ApDatabase::default()
+    }
+
+    /// Builds ground-truth external knowledge from deployed APs: exact
+    /// locations plus the free-space maximum transmission distance under
+    /// `environment_margin` — what the paper measures by driving around
+    /// with a tablet.
+    pub fn from_access_points(aps: &[AccessPoint], environment_margin: Db) -> Self {
+        let mut db = ApDatabase::new();
+        for ap in aps {
+            db.insert(ApRecord {
+                bssid: ap.bssid,
+                ssid: Some(ap.ssid.as_str().to_string()),
+                location: ap.location,
+                radius: Some(ap.max_transmission_distance(environment_margin).meters()),
+            });
+        }
+        db
+    }
+
+    /// Inserts (or replaces) a record, returning the previous one.
+    pub fn insert(&mut self, rec: ApRecord) -> Option<ApRecord> {
+        self.records.insert(rec.bssid, rec)
+    }
+
+    /// Looks up a record by BSSID.
+    pub fn get(&self, bssid: MacAddr) -> Option<&ApRecord> {
+        self.records.get(&bssid)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over records in BSSID order.
+    pub fn iter(&self) -> impl Iterator<Item = &ApRecord> {
+        self.records.values()
+    }
+
+    /// A copy with all radii removed — the "only AP locations are known"
+    /// knowledge level (what WiGLE actually gives you).
+    pub fn without_radii(&self) -> ApDatabase {
+        let mut db = self.clone();
+        for rec in db.records.values_mut() {
+            rec.radius = None;
+        }
+        db
+    }
+
+    /// `true` when every record carries a radius.
+    pub fn has_all_radii(&self) -> bool {
+        self.records.values().all(|r| r.radius.is_some())
+    }
+
+    /// Sets the radius for one AP (used by AP-Rad to write back its LP
+    /// estimates). Returns `false` when the BSSID is unknown.
+    pub fn set_radius(&mut self, bssid: MacAddr, radius: f64) -> bool {
+        match self.records.get_mut(&bssid) {
+            Some(r) => {
+                r.radius = Some(radius);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Serializes to the CSV interchange format:
+    /// `bssid,ssid,x,y,radius` with empty fields for unknowns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bssid,ssid,x,y,radius\n");
+        for r in self.records.values() {
+            let ssid = r.ssid.as_deref().unwrap_or("");
+            let radius = r.radius.map(|v| format!("{v:.3}")).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3},{}\n",
+                r.bssid, ssid, r.location.x, r.location.y, radius
+            ));
+        }
+        out
+    }
+
+    /// Parses the CSV interchange format produced by
+    /// [`to_csv`](Self::to_csv).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCsvError`] naming the offending line.
+    pub fn from_csv(text: &str) -> Result<Self, ParseCsvError> {
+        let mut db = ApDatabase::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue; // header / blank
+            }
+            let err = |reason: &str| ParseCsvError {
+                line: i + 1,
+                reason: reason.to_string(),
+            };
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(err("expected 5 fields"));
+            }
+            let bssid: MacAddr = fields[0].parse().map_err(|_| err("bad bssid"))?;
+            let ssid = if fields[1].is_empty() {
+                None
+            } else {
+                Some(fields[1].to_string())
+            };
+            let x: f64 = fields[2].parse().map_err(|_| err("bad x"))?;
+            let y: f64 = fields[3].parse().map_err(|_| err("bad y"))?;
+            let radius = if fields[4].is_empty() {
+                None
+            } else {
+                Some(fields[4].parse().map_err(|_| err("bad radius"))?)
+            };
+            if radius.is_some_and(|r| r < 0.0) {
+                return Err(err("negative radius"));
+            }
+            db.insert(ApRecord {
+                bssid,
+                ssid,
+                location: Point::new(x, y),
+                radius,
+            });
+        }
+        Ok(db)
+    }
+}
+
+impl FromIterator<ApRecord> for ApDatabase {
+    fn from_iter<T: IntoIterator<Item = ApRecord>>(iter: T) -> Self {
+        let mut db = ApDatabase::new();
+        for r in iter {
+            db.insert(r);
+        }
+        db
+    }
+}
+
+impl Extend<ApRecord> for ApDatabase {
+    fn extend<T: IntoIterator<Item = ApRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_wifi::channel::Channel;
+    use marauder_wifi::ssid::Ssid;
+
+    fn rec(i: u64, radius: Option<f64>) -> ApRecord {
+        ApRecord {
+            bssid: MacAddr::from_index(i),
+            ssid: Some(format!("net-{i}")),
+            location: Point::new(i as f64, -(i as f64)),
+            radius,
+        }
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut db = ApDatabase::new();
+        assert!(db.is_empty());
+        assert!(db.insert(rec(1, Some(100.0))).is_none());
+        assert!(db.insert(rec(2, None)).is_none());
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(MacAddr::from_index(1)).unwrap().radius, Some(100.0));
+        assert!(db.get(MacAddr::from_index(9)).is_none());
+        // Replacement returns the old record.
+        let old = db.insert(rec(1, Some(50.0))).unwrap();
+        assert_eq!(old.radius, Some(100.0));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn without_radii_strips_everything() {
+        let db: ApDatabase = (0..5).map(|i| rec(i, Some(100.0))).collect();
+        assert!(db.has_all_radii());
+        let stripped = db.without_radii();
+        assert_eq!(stripped.len(), 5);
+        assert!(!stripped.has_all_radii());
+        assert!(stripped.iter().all(|r| r.radius.is_none()));
+        // Original untouched.
+        assert!(db.has_all_radii());
+    }
+
+    #[test]
+    fn set_radius() {
+        let mut db: ApDatabase = (0..3).map(|i| rec(i, None)).collect();
+        assert!(db.set_radius(MacAddr::from_index(0), 42.0));
+        assert!(!db.set_radius(MacAddr::from_index(99), 1.0));
+        assert_eq!(db.get(MacAddr::from_index(0)).unwrap().radius, Some(42.0));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let db: ApDatabase = vec![rec(1, Some(123.456)), rec(2, None)]
+            .into_iter()
+            .collect();
+        let csv = db.to_csv();
+        let back = ApDatabase::from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        let r1 = back.get(MacAddr::from_index(1)).unwrap();
+        assert!((r1.radius.unwrap() - 123.456).abs() < 1e-6);
+        assert_eq!(r1.ssid.as_deref(), Some("net-1"));
+        let r2 = back.get(MacAddr::from_index(2)).unwrap();
+        assert_eq!(r2.radius, None);
+    }
+
+    #[test]
+    fn csv_rejects_malformed() {
+        assert!(ApDatabase::from_csv("header\nnot,enough,fields").is_err());
+        assert!(ApDatabase::from_csv("h\nzz:zz,s,1,2,3").is_err());
+        assert!(ApDatabase::from_csv("h\n00:16:00:00:00:01,s,x,2,3").is_err());
+        let neg = ApDatabase::from_csv("h\n00:16:00:00:00:01,s,1,2,-5");
+        assert!(neg.unwrap_err().to_string().contains("negative radius"));
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let db = ApDatabase::from_csv("bssid,ssid,x,y,radius\n\n\n").unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn from_access_points_computes_radii() {
+        let aps = vec![AccessPoint::new(
+            MacAddr::from_index(7),
+            Ssid::new("x").unwrap(),
+            Channel::bg(6).unwrap(),
+            Point::new(1.0, 2.0),
+        )];
+        let db = ApDatabase::from_access_points(&aps, Db::new(21.0));
+        let r = db.get(MacAddr::from_index(7)).unwrap();
+        assert_eq!(r.location, Point::new(1.0, 2.0));
+        assert!(r.radius.unwrap() > 10.0);
+        assert_eq!(r.ssid.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut db: ApDatabase = vec![rec(1, None)].into_iter().collect();
+        db.extend(vec![rec(2, None), rec(3, None)]);
+        assert_eq!(db.len(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! The Digital Marauder's Map — malicious WiFi localization.
+//!
+//! This crate implements the paper's contribution on top of the
+//! workspace substrates: given the set of access points observed
+//! communicating with a mobile device (no signal strength!), estimate
+//! the device's position.
+//!
+//! Three algorithms cover three knowledge levels (Section III-C/D):
+//!
+//! | Algorithm | Needs | Idea |
+//! |-----------|-------|------|
+//! | [`algorithms::MLoc`] | AP locations **and** radii | intersect coverage discs, average the boundary vertices |
+//! | [`algorithms::ApRad`] | AP locations only | estimate radii by linear programming over co-observation constraints, then M-Loc |
+//! | [`algorithms::ApLoc`] | nothing (training tuples) | locate APs from wardriving tuples by disc intersection, then AP-Rad |
+//!
+//! Baselines from prior work: [`algorithms::Centroid`] and
+//! [`algorithms::NearestAp`].
+//!
+//! The [`theory`] module evaluates the paper's Theorems 1–3 numerically
+//! (Figs. 2, 3, 5, 6); [`pipeline`] packages the full training +
+//! attacking phases; [`eval`] computes the accuracy statistics of
+//! Figs. 13–17; [`map`] renders results as GeoJSON (the paper used
+//! Google Maps).
+//!
+//! # Example
+//!
+//! ```
+//! use marauder_core::algorithms::{CoverageDisc, MLoc};
+//! use marauder_geo::Point;
+//!
+//! // Three APs with known positions and ranges saw the mobile:
+//! let discs = vec![
+//!     CoverageDisc::new(Point::new(0.0, 0.0), 120.0),
+//!     CoverageDisc::new(Point::new(150.0, 20.0), 130.0),
+//!     CoverageDisc::new(Point::new(60.0, 140.0), 125.0),
+//! ];
+//! let estimate = MLoc::default().locate(&discs).expect("discs intersect");
+//! assert!(estimate.position.distance(Point::new(60.0, 40.0)) < 60.0);
+//! ```
+
+pub mod algorithms;
+pub mod apdb;
+pub mod eval;
+pub mod map;
+pub mod pipeline;
+pub mod pseudonym;
+pub mod report;
+pub mod theory;
+pub mod tracker;
+
+pub use algorithms::{ApLoc, ApRad, Centroid, CoverageDisc, Estimate, MLoc, NearestAp};
+pub use apdb::{ApDatabase, ApRecord};
+pub use eval::{bucket_by_min_aps, ErrorStats, EvalOutcome};
+pub use pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap, TrackFix};
+pub use pseudonym::{LinkedDevice, PseudonymLinker};
+pub use report::{AttackReport, DeviceSummary};
+pub use tracker::{KalmanSmoother, TrackPoint};

@@ -1,0 +1,370 @@
+//! The full attack pipeline (paper Fig. 1).
+//!
+//! A [`MaraudersMap`] is the malicious-localization component: it holds
+//! the AP knowledge (downloaded, measured, or trained), ingests the
+//! sniffer's capture database, fills any missing radii with AP-Rad's LP
+//! estimates, and then locates or tracks any mobile the sniffer saw.
+
+use crate::algorithms::{ApLoc, ApRad, CoverageDisc, Estimate, MLoc};
+use crate::apdb::ApDatabase;
+use marauder_geo::Point;
+use marauder_sim::wardrive::TrainingTuple;
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::sniffer::CaptureDatabase;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the attacker knows about the APs beforehand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnowledgeLevel {
+    /// Locations and maximum transmission distances (M-Loc).
+    Full,
+    /// Locations only, e.g. from WiGLE (AP-Rad).
+    LocationsOnly,
+    /// Nothing: AP knowledge comes from wardriving training (AP-Loc).
+    NoKnowledge,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConfig {
+    /// Window length for grouping probe responses into observation sets,
+    /// seconds.
+    pub window_s: f64,
+    /// The M-Loc instance used for final localization.
+    pub mloc: MLoc,
+    /// The AP-Rad instance used when radii must be estimated.
+    pub aprad: ApRad,
+    /// The AP-Loc instance used when locations must be trained.
+    pub aploc: ApLoc,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            window_s: 30.0,
+            mloc: MLoc::default(),
+            aprad: ApRad::default(),
+            aploc: ApLoc::default(),
+        }
+    }
+}
+
+/// One tracked position of one mobile.
+#[derive(Debug, Clone)]
+pub struct TrackFix {
+    /// Window start time, seconds.
+    pub time_s: f64,
+    /// The tracked mobile.
+    pub mobile: MacAddr,
+    /// The communicable-AP set observed in the window.
+    pub gamma: BTreeSet<MacAddr>,
+    /// The localization estimate.
+    pub estimate: Estimate,
+}
+
+/// The digital Marauder's Map.
+///
+/// # Example
+///
+/// ```no_run
+/// use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+/// use marauder_core::apdb::ApDatabase;
+/// use marauder_wifi::sniffer::CaptureDatabase;
+///
+/// let knowledge: ApDatabase = unimplemented!("download from WiGLE");
+/// let captures: CaptureDatabase = unimplemented!("sniff");
+/// let mut map = MaraudersMap::new(knowledge, KnowledgeLevel::LocationsOnly,
+///                                 AttackConfig::default());
+/// map.ingest(&captures);
+/// for fix in map.track_all(&captures) {
+///     println!("{} is near {}", fix.mobile, fix.estimate.position);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaraudersMap {
+    knowledge: KnowledgeLevel,
+    config: AttackConfig,
+    locations: BTreeMap<MacAddr, Point>,
+    radii: BTreeMap<MacAddr, f64>,
+    /// Training-implied lower bounds on radii (NoKnowledge level only).
+    min_radii: BTreeMap<MacAddr, f64>,
+    observations: Vec<BTreeSet<MacAddr>>,
+}
+
+impl MaraudersMap {
+    /// Builds the map from an AP database (knowledge levels
+    /// [`Full`](KnowledgeLevel::Full) and
+    /// [`LocationsOnly`](KnowledgeLevel::LocationsOnly)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `Full` knowledge is claimed but some record lacks a
+    /// radius, and when called with
+    /// [`NoKnowledge`](KnowledgeLevel::NoKnowledge) (use
+    /// [`from_training`](Self::from_training) instead).
+    pub fn new(db: ApDatabase, knowledge: KnowledgeLevel, config: AttackConfig) -> Self {
+        assert!(
+            knowledge != KnowledgeLevel::NoKnowledge,
+            "use MaraudersMap::from_training for the no-knowledge level"
+        );
+        if knowledge == KnowledgeLevel::Full {
+            assert!(
+                db.has_all_radii(),
+                "Full knowledge requires a radius on every AP record"
+            );
+        }
+        let mut locations = BTreeMap::new();
+        let mut radii = BTreeMap::new();
+        for rec in db.iter() {
+            locations.insert(rec.bssid, rec.location);
+            if knowledge == KnowledgeLevel::Full {
+                radii.insert(rec.bssid, rec.radius.expect("checked above"));
+            }
+        }
+        MaraudersMap {
+            knowledge,
+            config,
+            locations,
+            radii,
+            min_radii: BTreeMap::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Builds the map from wardriving training tuples (knowledge level
+    /// [`NoKnowledge`](KnowledgeLevel::NoKnowledge)): AP locations are
+    /// estimated with AP-Loc's disc intersection.
+    pub fn from_training(training: &[TrainingTuple], config: AttackConfig) -> Self {
+        let locations = config.aploc.estimate_ap_locations(training);
+        let min_radii = config.aploc.training_radius_bounds(training, &locations);
+        MaraudersMap {
+            knowledge: KnowledgeLevel::NoKnowledge,
+            config,
+            locations,
+            radii: BTreeMap::new(),
+            min_radii,
+            observations: Vec::new(),
+        }
+    }
+
+    /// The knowledge level this map operates at.
+    pub fn knowledge(&self) -> KnowledgeLevel {
+        self.knowledge
+    }
+
+    /// The AP locations in use (trained or known).
+    pub fn ap_locations(&self) -> &BTreeMap<MacAddr, Point> {
+        &self.locations
+    }
+
+    /// The AP radii in use (known or LP-estimated; empty before
+    /// [`ingest`](Self::ingest) at the non-Full levels).
+    pub fn ap_radii(&self) -> &BTreeMap<MacAddr, f64> {
+        &self.radii
+    }
+
+    /// Ingests a capture database: extracts windowed observation sets
+    /// and, when radii are not part of the knowledge, estimates them
+    /// with the AP-Rad linear program.
+    pub fn ingest(&mut self, captures: &CaptureDatabase) {
+        self.observations = captures
+            .observation_sets(self.config.window_s)
+            .into_iter()
+            .map(|o| o.aps)
+            .collect();
+        if self.knowledge != KnowledgeLevel::Full {
+            self.radii = self.config.aprad.estimate_radii_with_bounds(
+                &self.locations,
+                &self.observations,
+                &self.min_radii,
+            );
+        }
+    }
+
+    /// Locates a mobile from its communicable-AP set.
+    ///
+    /// Returns `None` when no AP in `gamma` has both a known location
+    /// and radius.
+    pub fn locate(&self, gamma: &BTreeSet<MacAddr>) -> Option<Estimate> {
+        let discs: Vec<CoverageDisc> = gamma
+            .iter()
+            .filter_map(|mac| {
+                let loc = self.locations.get(mac)?;
+                let r = self.radii.get(mac)?;
+                Some(CoverageDisc::new(*loc, *r))
+            })
+            .collect();
+        self.config.mloc.locate(&discs)
+    }
+
+    /// Tracks one mobile across the capture: one fix per observation
+    /// window in which it was seen.
+    pub fn track(&self, captures: &CaptureDatabase, mobile: MacAddr) -> Vec<TrackFix> {
+        captures
+            .observation_sets(self.config.window_s)
+            .into_iter()
+            .filter(|o| o.mobile == mobile)
+            .filter_map(|o| {
+                let estimate = self.locate(&o.aps)?;
+                Some(TrackFix {
+                    time_s: o.window_start_s,
+                    mobile,
+                    gamma: o.aps,
+                    estimate,
+                })
+            })
+            .collect()
+    }
+
+    /// Tracks every mobile in the capture — the full Marauder's-Map
+    /// display (paper Fig. 7).
+    pub fn track_all(&self, captures: &CaptureDatabase) -> Vec<TrackFix> {
+        captures
+            .observation_sets(self.config.window_s)
+            .into_iter()
+            .filter_map(|o| {
+                let estimate = self.locate(&o.aps)?;
+                Some(TrackFix {
+                    time_s: o.window_start_s,
+                    mobile: o.mobile,
+                    gamma: o.aps,
+                    estimate,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_geo::Point;
+    use marauder_sim::link::LinkModel;
+    use marauder_sim::mobility::CircuitWalk;
+    use marauder_sim::scenario::CampusScenario;
+    use marauder_sim::wardrive::{wardrive, WardriveRoute};
+    use marauder_wifi::device::{MobileStation, OsProfile};
+
+    fn scenario_with_victim() -> (marauder_sim::scenario::SimulationResult, MacAddr) {
+        let victim = MobileStation::new(MacAddr::from_index(0xFACE), OsProfile::MacOs);
+        let mac = victim.mac;
+        let scenario = CampusScenario::builder()
+            .seed(11)
+            .num_aps(60)
+            .num_mobiles(6)
+            .duration_s(240.0)
+            .beacon_period_s(None)
+            .mobile(
+                victim,
+                Box::new(CircuitWalk::new(Point::ORIGIN, 120.0, 1.4)),
+            )
+            .build();
+        (scenario.run(), mac)
+    }
+
+    #[test]
+    fn full_knowledge_tracks_the_victim_accurately() {
+        let (result, mac) = scenario_with_victim();
+        let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+        map.ingest(&result.captures);
+        let fixes = map.track(&result.captures, mac);
+        assert!(!fixes.is_empty(), "victim must be tracked");
+        // Compare each fix against the nearest-in-time ground truth.
+        let mut total_err = 0.0;
+        for fix in &fixes {
+            let truth = result
+                .ground_truth
+                .iter()
+                .filter(|g| g.mobile == mac)
+                .min_by(|a, b| {
+                    let da = (a.time_s - fix.time_s).abs();
+                    let db = (b.time_s - fix.time_s).abs();
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .expect("ground truth exists");
+            total_err += fix.estimate.position.distance(truth.position);
+        }
+        let mean = total_err / fixes.len() as f64;
+        // The victim walks ~42 m per window; windowed Γ mixes positions,
+        // so allow a generous bound — still far below the AP radius.
+        assert!(mean < 120.0, "mean tracking error {mean}");
+    }
+
+    #[test]
+    fn locations_only_estimates_radii_on_ingest() {
+        let (result, mac) = scenario_with_victim();
+        let db =
+            ApDatabase::from_access_points(&result.aps, result.environment_margin).without_radii();
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default());
+        assert!(map.ap_radii().is_empty());
+        map.ingest(&result.captures);
+        assert!(!map.ap_radii().is_empty(), "AP-Rad must fill radii");
+        let fixes = map.track(&result.captures, mac);
+        assert!(!fixes.is_empty());
+    }
+
+    #[test]
+    fn no_knowledge_level_trains_locations() {
+        let (result, mac) = scenario_with_victim();
+        let link = LinkModel::free_space(result.environment_margin);
+        let route = WardriveRoute::lawnmower(
+            marauder_sim::deploy::Rect::centered_square(400.0),
+            8,
+            10.0,
+            8.0,
+        );
+        let training = wardrive(&route, &result.aps, &link);
+        let map_cfg = AttackConfig::default();
+        let mut map = MaraudersMap::from_training(&training, map_cfg);
+        assert_eq!(map.knowledge(), KnowledgeLevel::NoKnowledge);
+        assert!(!map.ap_locations().is_empty());
+        map.ingest(&result.captures);
+        let fixes = map.track(&result.captures, mac);
+        assert!(!fixes.is_empty(), "AP-Loc pipeline must produce fixes");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a radius")]
+    fn full_knowledge_without_radii_panics() {
+        let db: ApDatabase = vec![crate::apdb::ApRecord {
+            bssid: MacAddr::from_index(1),
+            ssid: None,
+            location: Point::ORIGIN,
+            radius: None,
+        }]
+        .into_iter()
+        .collect();
+        let _ = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "from_training")]
+    fn no_knowledge_via_new_panics() {
+        let _ = MaraudersMap::new(
+            ApDatabase::new(),
+            KnowledgeLevel::NoKnowledge,
+            AttackConfig::default(),
+        );
+    }
+
+    #[test]
+    fn locate_unknown_gamma_returns_none() {
+        let db = ApDatabase::new();
+        let map = MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default());
+        let gamma: BTreeSet<MacAddr> = [MacAddr::from_index(5)].into_iter().collect();
+        assert!(map.locate(&gamma).is_none());
+    }
+
+    #[test]
+    fn track_all_covers_background_mobiles() {
+        let (result, _) = scenario_with_victim();
+        let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+        map.ingest(&result.captures);
+        let fixes = map.track_all(&result.captures);
+        let tracked: BTreeSet<MacAddr> = fixes.iter().map(|f| f.mobile).collect();
+        // Several distinct mobiles tracked (victim + probing background).
+        assert!(tracked.len() >= 2, "tracked {} mobiles", tracked.len());
+    }
+}

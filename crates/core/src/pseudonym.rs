@@ -1,0 +1,233 @@
+//! Defeating MAC pseudonyms with implicit identifiers.
+//!
+//! The paper (Section I): "Pang et al. \[13\] demonstrate that many
+//! implicit identifiers such as network names in probing traffic may
+//! break those pseudonyms. Combined with their schemes, the digital
+//! Marauder's map can also track a victim in case pseudo-MAC addresses
+//! are used." This module implements that combination: wire identities
+//! are clustered by the *preferred-network fingerprint* their directed
+//! probes leak, and tracking then follows the cluster instead of any
+//! single MAC.
+//!
+//! Fingerprints are not globally unique: two devices that only remember
+//! "linksys" are indistinguishable and will be over-linked. Raise
+//! [`PseudonymLinker::min_fingerprint_len`] (and the Jaccard threshold)
+//! when the population probes for common default SSIDs; distinctive
+//! home/work network names — Pang et al.'s observation — are what make
+//! the identifier strong.
+
+use crate::pipeline::{MaraudersMap, TrackFix};
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::sniffer::CaptureDatabase;
+use marauder_wifi::ssid::Ssid;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A device recovered by linking pseudonymous wire identities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkedDevice {
+    /// The wire MACs attributed to this physical device, in first-seen
+    /// order.
+    pub pseudonyms: Vec<MacAddr>,
+    /// The implicit identifier that linked them: the union of SSIDs the
+    /// device probed for.
+    pub fingerprint: BTreeSet<Ssid>,
+}
+
+impl LinkedDevice {
+    /// Tracks the linked device across all of its pseudonyms, merging
+    /// and time-sorting the per-MAC fixes.
+    pub fn track(&self, map: &MaraudersMap, captures: &CaptureDatabase) -> Vec<TrackFix> {
+        let mut fixes: Vec<TrackFix> = self
+            .pseudonyms
+            .iter()
+            .flat_map(|mac| map.track(captures, *mac))
+            .collect();
+        fixes.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
+        fixes
+    }
+}
+
+/// Clusters wire identities by fingerprint similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PseudonymLinker {
+    /// Minimum Jaccard similarity between two fingerprints to link them
+    /// (1.0 = identical preferred lists only).
+    pub min_jaccard: f64,
+    /// Fingerprints smaller than this cannot be linked reliably and are
+    /// left as singleton devices.
+    pub min_fingerprint_len: usize,
+}
+
+impl Default for PseudonymLinker {
+    fn default() -> Self {
+        PseudonymLinker {
+            min_jaccard: 0.5,
+            min_fingerprint_len: 1,
+        }
+    }
+}
+
+fn jaccard(a: &BTreeSet<Ssid>, b: &BTreeSet<Ssid>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+impl PseudonymLinker {
+    /// Links the capture's probing identities into physical devices.
+    ///
+    /// Identities whose directed probes revealed similar
+    /// preferred-network fingerprints (Jaccard ≥ `min_jaccard`) are
+    /// merged with union-find; identities that only ever sent wildcard
+    /// probes stay unlinked singletons.
+    pub fn link(&self, captures: &CaptureDatabase) -> Vec<LinkedDevice> {
+        let macs: Vec<MacAddr> = captures.probing_mobiles().into_iter().collect();
+        let prints: Vec<BTreeSet<Ssid>> =
+            macs.iter().map(|m| captures.ssids_probed_by(*m)).collect();
+
+        // Union-find over identity indices.
+        let mut parent: Vec<usize> = (0..macs.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..macs.len() {
+            if prints[i].len() < self.min_fingerprint_len {
+                continue;
+            }
+            for j in (i + 1)..macs.len() {
+                if prints[j].len() < self.min_fingerprint_len {
+                    continue;
+                }
+                if jaccard(&prints[i], &prints[j]) >= self.min_jaccard {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[rj] = ri;
+                    }
+                }
+            }
+        }
+
+        let mut clusters: BTreeMap<usize, LinkedDevice> = BTreeMap::new();
+        for i in 0..macs.len() {
+            let root = find(&mut parent, i);
+            let entry = clusters.entry(root).or_insert_with(|| LinkedDevice {
+                pseudonyms: Vec::new(),
+                fingerprint: BTreeSet::new(),
+            });
+            entry.pseudonyms.push(macs[i]);
+            entry.fingerprint.extend(prints[i].iter().cloned());
+        }
+        clusters.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_wifi::frame::Frame;
+    use marauder_wifi::sniffer::CapturedFrame;
+
+    fn probe(mac: MacAddr, ssid: Option<&str>, t: f64) -> CapturedFrame {
+        CapturedFrame {
+            time_s: t,
+            card: 0,
+            frame: Frame::probe_request(mac, ssid.map(|s| Ssid::new(s).expect("short")), 6),
+        }
+    }
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    #[test]
+    fn identical_fingerprints_link() {
+        let mut db = CaptureDatabase::new();
+        for (i, m) in [mac(1), mac(2)].into_iter().enumerate() {
+            db.push(probe(m, Some("home"), i as f64));
+            db.push(probe(m, Some("work"), i as f64 + 0.1));
+        }
+        db.push(probe(mac(3), Some("cafe"), 5.0));
+        let devices = PseudonymLinker::default().link(&db);
+        assert_eq!(devices.len(), 2);
+        let big = devices
+            .iter()
+            .find(|d| d.pseudonyms.len() == 2)
+            .expect("linked pair");
+        assert!(big.fingerprint.contains(&Ssid::new("home").unwrap()));
+        assert_eq!(big.fingerprint.len(), 2);
+    }
+
+    #[test]
+    fn partial_overlap_respects_threshold() {
+        let mut db = CaptureDatabase::new();
+        // {a,b,c} vs {a,b,d}: Jaccard = 2/4 = 0.5.
+        for s in ["a", "b", "c"] {
+            db.push(probe(mac(1), Some(s), 0.0));
+        }
+        for s in ["a", "b", "d"] {
+            db.push(probe(mac(2), Some(s), 1.0));
+        }
+        let strict = PseudonymLinker {
+            min_jaccard: 0.6,
+            ..Default::default()
+        };
+        assert_eq!(strict.link(&db).len(), 2, "0.5 < 0.6 must not link");
+        let loose = PseudonymLinker {
+            min_jaccard: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(loose.link(&db).len(), 1, "0.5 >= 0.5 must link");
+    }
+
+    #[test]
+    fn wildcard_only_identities_stay_singletons() {
+        let mut db = CaptureDatabase::new();
+        db.push(probe(mac(1), None, 0.0));
+        db.push(probe(mac(2), None, 1.0));
+        let devices = PseudonymLinker::default().link(&db);
+        assert_eq!(devices.len(), 2);
+        for d in devices {
+            assert_eq!(d.pseudonyms.len(), 1);
+            assert!(d.fingerprint.is_empty());
+        }
+    }
+
+    #[test]
+    fn transitive_linking_via_union_find() {
+        // A~B (share x,y), B~C (share y,z with B's superset) — check the
+        // cluster closes transitively.
+        let mut db = CaptureDatabase::new();
+        for s in ["x", "y"] {
+            db.push(probe(mac(1), Some(s), 0.0));
+        }
+        for s in ["x", "y", "z"] {
+            db.push(probe(mac(2), Some(s), 1.0));
+        }
+        for s in ["y", "z"] {
+            db.push(probe(mac(3), Some(s), 2.0));
+        }
+        let devices = PseudonymLinker {
+            min_jaccard: 0.6,
+            ..Default::default()
+        }
+        .link(&db);
+        assert_eq!(devices.len(), 1, "expected one transitive cluster");
+        assert_eq!(devices[0].pseudonyms.len(), 3);
+    }
+
+    #[test]
+    fn jaccard_edge_cases() {
+        let empty: BTreeSet<Ssid> = BTreeSet::new();
+        assert_eq!(jaccard(&empty, &empty), 0.0);
+        let a: BTreeSet<Ssid> = [Ssid::new("x").unwrap()].into_iter().collect();
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+}

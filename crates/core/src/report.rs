@@ -1,0 +1,250 @@
+//! Human-readable attack reports.
+//!
+//! The paper's display is a map; an analyst also wants the summary
+//! behind it: who was seen, what hardware they carry, which identities
+//! belong together, and where each device went. [`AttackReport`]
+//! assembles that from a capture database and a prepared
+//! [`MaraudersMap`].
+
+use crate::pipeline::{MaraudersMap, TrackFix};
+use crate::pseudonym::PseudonymLinker;
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::sniffer::CaptureDatabase;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Summary of one tracked device.
+#[derive(Debug, Clone)]
+pub struct DeviceSummary {
+    /// The device's (possibly pseudonymous) identities.
+    pub identities: Vec<MacAddr>,
+    /// Adapter vendor, when the OUI reveals it.
+    pub vendor: Option<&'static str>,
+    /// Preferred networks leaked by directed probes.
+    pub fingerprint: Vec<String>,
+    /// Number of localization fixes.
+    pub fixes: usize,
+    /// Time span covered by the fixes, seconds.
+    pub track_span_s: f64,
+    /// Straight-line path length across the fixes, meters.
+    pub path_length_m: f64,
+    /// Mean uncertainty radius over the fixes, meters.
+    pub mean_uncertainty_m: f64,
+}
+
+/// A full attack report.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// Total frames captured.
+    pub frames: usize,
+    /// Capture time span, seconds.
+    pub span_s: f64,
+    /// Distinct wire identities seen.
+    pub wire_identities: usize,
+    /// Identities that sent probe requests.
+    pub probing_identities: usize,
+    /// Distinct APs heard.
+    pub aps_heard: usize,
+    /// Per-device summaries, most-tracked first.
+    pub devices: Vec<DeviceSummary>,
+}
+
+impl AttackReport {
+    /// Builds the report: links pseudonyms, tracks every linked device,
+    /// and summarizes.
+    pub fn generate(
+        map: &MaraudersMap,
+        captures: &CaptureDatabase,
+        linker: &PseudonymLinker,
+    ) -> AttackReport {
+        let (t0, t1) = captures.iter().fold((f64::MAX, f64::MIN), |(lo, hi), r| {
+            (lo.min(r.time_s), hi.max(r.time_s))
+        });
+        let span_s = if captures.is_empty() { 0.0 } else { t1 - t0 };
+
+        let mut devices: Vec<DeviceSummary> = linker
+            .link(captures)
+            .into_iter()
+            .map(|linked| {
+                let fixes = linked.track(map, captures);
+                let vendor = linked.pseudonyms.iter().find_map(|m| m.vendor());
+                DeviceSummary {
+                    vendor,
+                    fingerprint: linked
+                        .fingerprint
+                        .iter()
+                        .map(|s| s.as_str().to_string())
+                        .collect(),
+                    fixes: fixes.len(),
+                    track_span_s: track_span(&fixes),
+                    path_length_m: path_length(&fixes),
+                    mean_uncertainty_m: mean_uncertainty(&fixes),
+                    identities: linked.pseudonyms,
+                }
+            })
+            .collect();
+        devices.sort_by_key(|d| std::cmp::Reverse(d.fixes));
+
+        AttackReport {
+            frames: captures.len(),
+            span_s,
+            wire_identities: captures.mobiles().len(),
+            probing_identities: captures.probing_mobiles().len(),
+            aps_heard: captures.access_points().len(),
+            devices,
+        }
+    }
+
+    /// Renders the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== Marauder's Map attack report ===");
+        let _ = writeln!(
+            out,
+            "capture: {} frames over {:.0} s; {} wire identities ({} probing); {} APs heard",
+            self.frames, self.span_s, self.wire_identities, self.probing_identities, self.aps_heard
+        );
+        let _ = writeln!(out, "devices ({} linked):", self.devices.len());
+        for (i, d) in self.devices.iter().enumerate() {
+            let ids: Vec<String> = d.identities.iter().map(|m| m.to_string()).collect();
+            let _ = writeln!(out, "  #{i} {}", ids.join(" ~ "));
+            if let Some(v) = d.vendor {
+                let _ = writeln!(out, "     vendor: {v}");
+            }
+            if !d.fingerprint.is_empty() {
+                let _ = writeln!(out, "     probes for: {}", d.fingerprint.join(", "));
+            }
+            let _ = writeln!(
+                out,
+                "     {} fixes over {:.0} s, path {:.0} m, mean uncertainty {:.0} m",
+                d.fixes, d.track_span_s, d.path_length_m, d.mean_uncertainty_m
+            );
+        }
+        // Vendor histogram across identities (not devices) — hardware mix.
+        let mut vendors: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for d in &self.devices {
+            for id in &d.identities {
+                if let Some(v) = id.vendor() {
+                    *vendors.entry(v).or_default() += 1;
+                }
+            }
+        }
+        if !vendors.is_empty() {
+            let _ = writeln!(out, "adapter vendors:");
+            for (v, c) in vendors {
+                let _ = writeln!(out, "  {v}: {c}");
+            }
+        }
+        out
+    }
+}
+
+fn track_span(fixes: &[TrackFix]) -> f64 {
+    match (fixes.first(), fixes.last()) {
+        (Some(a), Some(b)) => b.time_s - a.time_s,
+        _ => 0.0,
+    }
+}
+
+fn path_length(fixes: &[TrackFix]) -> f64 {
+    fixes
+        .windows(2)
+        .map(|w| w[0].estimate.position.distance(w[1].estimate.position))
+        .sum()
+}
+
+fn mean_uncertainty(fixes: &[TrackFix]) -> f64 {
+    let vals: Vec<f64> = fixes
+        .iter()
+        .filter_map(|f| f.estimate.uncertainty_radius())
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apdb::ApDatabase;
+    use crate::pipeline::{AttackConfig, KnowledgeLevel};
+    use marauder_geo::Point;
+    use marauder_sim::mobility::CircuitWalk;
+    use marauder_sim::scenario::CampusScenario;
+    use marauder_wifi::device::{MobileStation, OsProfile, ScanBehavior};
+    use marauder_wifi::ssid::Ssid;
+
+    fn scenario_report() -> AttackReport {
+        let victim = MobileStation::new(MacAddr::from_index(0x2E9), OsProfile::MacOs)
+            .with_preferred(Ssid::new("report-home").unwrap())
+            .with_behavior(ScanBehavior::Active {
+                interval_s: 30.0,
+                directed: true,
+            });
+        let result = CampusScenario::builder()
+            .seed(21)
+            .region_half_width(300.0)
+            .num_aps(60)
+            .num_mobiles(4)
+            .duration_s(300.0)
+            .beacon_period_s(None)
+            .mobile(
+                victim,
+                Box::new(CircuitWalk::new(Point::ORIGIN, 100.0, 1.4)),
+            )
+            .build()
+            .run();
+        let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+        map.ingest(&result.captures);
+        AttackReport::generate(&map, &result.captures, &PseudonymLinker::default())
+    }
+
+    #[test]
+    fn report_covers_the_population() {
+        let r = scenario_report();
+        assert!(r.frames > 0);
+        assert!(r.span_s > 0.0);
+        assert!(r.wire_identities >= 4);
+        assert!(!r.devices.is_empty());
+        // Devices sorted by fixes, descending.
+        for w in r.devices.windows(2) {
+            assert!(w[0].fixes >= w[1].fixes);
+        }
+        // The directed prober's fingerprint shows up.
+        assert!(r
+            .devices
+            .iter()
+            .any(|d| d.fingerprint.contains(&"report-home".to_string())));
+    }
+
+    #[test]
+    fn render_is_complete_text() {
+        let r = scenario_report();
+        let text = r.render();
+        assert!(text.contains("attack report"));
+        assert!(text.contains("devices ("));
+        assert!(text.contains("fixes over"));
+        assert!(text.contains("probes for: report-home"));
+        // Every device header line present.
+        assert_eq!(
+            text.matches("\n  #").count(),
+            r.devices.len(),
+            "one header per device"
+        );
+    }
+
+    #[test]
+    fn empty_capture_is_fine() {
+        let db = ApDatabase::new();
+        let map = MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default());
+        let captures = CaptureDatabase::new();
+        let r = AttackReport::generate(&map, &captures, &PseudonymLinker::default());
+        assert_eq!(r.frames, 0);
+        assert_eq!(r.span_s, 0.0);
+        assert!(r.devices.is_empty());
+        assert!(r.render().contains("0 frames"));
+    }
+}

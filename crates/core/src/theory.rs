@@ -1,0 +1,391 @@
+//! Numerical evaluation of the paper's theorems (Figs. 2, 3, 5, 6).
+//!
+//! * Theorem 2: expected intersected area of the disc-intersection
+//!   approach with `k` communicable APs of true radius `r`,
+//! * Corollary 1: that area decreases in `k` (and in AP density),
+//! * Theorem 3: the same with an over-estimated radius `R ≥ r`, plus
+//!   the coverage probability `(R/r)^{2k}` when `R < r`.
+//!
+//! The integrals have no closed form; they are evaluated with adaptive
+//! Simpson quadrature. Each one is cross-validated against direct Monte
+//! Carlo simulation in the test suite.
+
+use marauder_geo::{Circle, Point};
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` with absolute
+/// tolerance `tol`.
+///
+/// # Panics
+///
+/// Panics when `a > b` or `tol` is not positive.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a <= b, "integration bounds reversed: {a} > {b}");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a == b {
+        return 0.0;
+    }
+    fn simpson<F: Fn(f64) -> f64>(f: &F, a: f64, fa: f64, b: f64, fb: f64) -> (f64, f64, f64) {
+        let m = (a + b) / 2.0;
+        let fm = f(m);
+        ((b - a) / 6.0 * (fa + 4.0 * fm + fb), m, fm)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn recurse<F: Fn(f64) -> f64>(
+        f: &F,
+        a: f64,
+        fa: f64,
+        b: f64,
+        fb: f64,
+        whole: f64,
+        m: f64,
+        fm: f64,
+        tol: f64,
+        depth: u32,
+    ) -> f64 {
+        let (left, lm, flm) = simpson(f, a, fa, m, fm);
+        let (right, rm, frm) = simpson(f, m, fm, b, fb);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            return left + right + delta / 15.0;
+        }
+        recurse(f, a, fa, m, fm, left, lm, flm, tol / 2.0, depth - 1)
+            + recurse(f, m, fm, b, fb, right, rm, frm, tol / 2.0, depth - 1)
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let (whole, m, fm) = simpson(&f, a, fa, b, fb);
+    recurse(&f, a, fa, b, fb, whole, m, fm, tol, 40)
+}
+
+/// The probability that a uniformly placed AP is communicable from both
+/// the mobile and a point at normalized distance `y = x / (2r)` — the
+/// integrand kernel of Theorem 2.
+fn kernel(y: f64) -> f64 {
+    let y = y.clamp(0.0, 1.0);
+    (2.0 / std::f64::consts::PI) * (y.acos() - y * (1.0 - y * y).sqrt())
+}
+
+/// Theorem 2: expected intersected area `CA` for a mobile communicable
+/// with `k` APs of maximum transmission distance `r`, APs uniformly
+/// distributed.
+///
+/// `k` may be fractional (useful for density sweeps where `k = πr²ρ`).
+///
+/// # Panics
+///
+/// Panics for `k < 1` or non-positive `r`.
+///
+/// # Example
+///
+/// ```
+/// use marauder_core::theory::expected_intersection_area;
+/// let a1 = expected_intersection_area(1.0, 1.0);
+/// let a10 = expected_intersection_area(10.0, 1.0);
+/// assert!(a10 < a1); // Corollary 1
+/// ```
+pub fn expected_intersection_area(k: f64, r: f64) -> f64 {
+    assert!(k >= 1.0, "need at least one communicable AP, got k={k}");
+    assert!(r > 0.0, "radius must be positive, got {r}");
+    let integral = integrate(|y| y * kernel(y).powf(k), 0.0, 1.0, 1e-10);
+    8.0 * std::f64::consts::PI * r * r * integral
+}
+
+/// Corollary 1 viewpoint for Fig. 3: expected intersected area as a
+/// function of the radius `r` at fixed AP density `rho` (APs/m²), where
+/// the expected number of communicable APs is `k = π r² ρ` (clamped to
+/// at least 1).
+pub fn expected_area_at_density(r: f64, rho: f64) -> f64 {
+    assert!(rho > 0.0, "density must be positive");
+    let k = (std::f64::consts::PI * r * r * rho).max(1.0);
+    expected_intersection_area(k, r)
+}
+
+/// Theorem 3 (`R ≥ r`): expected intersected area when the attacker
+/// assumes radius `R` while the true radius is `r`.
+///
+/// # Panics
+///
+/// Panics unless `R ≥ r > 0` and `k ≥ 1`.
+///
+/// # Example
+///
+/// ```
+/// use marauder_core::theory::{expected_intersection_area, expected_intersection_area_overestimate};
+/// let exact = expected_intersection_area(10.0, 1.0);
+/// let matched = expected_intersection_area_overestimate(10.0, 1.0, 1.0);
+/// assert!((exact - matched).abs() / exact < 0.01); // R = r reduces to Theorem 2
+/// let over = expected_intersection_area_overestimate(10.0, 1.0, 2.0);
+/// assert!(over > exact); // overestimates grow the area
+/// ```
+pub fn expected_intersection_area_overestimate(k: f64, r: f64, big_r: f64) -> f64 {
+    assert!(k >= 1.0, "need at least one communicable AP");
+    assert!(
+        r > 0.0 && big_r >= r,
+        "need R >= r > 0, got r={r}, R={big_r}"
+    );
+    let c1 = Circle::new(Point::ORIGIN, r);
+    let denom = std::f64::consts::PI * r * r;
+    // CA = π ∫₀^{(2R)²} Pr(x)^k du  with u = x², Pr = A(C₁₂)/(πr²).
+    let integral = integrate(
+        |u| {
+            let x = u.max(0.0).sqrt();
+            let c2 = Circle::new(Point::new(x, 0.0), big_r);
+            (c1.lens_area(&c2) / denom).powf(k)
+        },
+        0.0,
+        (2.0 * big_r) * (2.0 * big_r),
+        1e-9,
+    );
+    std::f64::consts::PI * integral
+}
+
+/// Theorem 3 (`R < r`): probability that the intersected area covers the
+/// mobile's true location when radii are *under*estimated.
+///
+/// Returns 1 for `R ≥ r`.
+///
+/// # Panics
+///
+/// Panics for non-positive radii or `k < 1`.
+pub fn coverage_probability(k: f64, r: f64, big_r: f64) -> f64 {
+    assert!(k >= 1.0, "need at least one communicable AP");
+    assert!(r > 0.0 && big_r > 0.0, "radii must be positive");
+    if big_r >= r {
+        1.0
+    } else {
+        (big_r / r).powf(2.0 * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_geo::{monte_carlo_intersection_area, DiscIntersection};
+
+    #[test]
+    fn quadrature_on_known_integrals() {
+        assert!((integrate(|x| x * x, 0.0, 1.0, 1e-12) - 1.0 / 3.0).abs() < 1e-10);
+        assert!((integrate(f64::sin, 0.0, std::f64::consts::PI, 1e-12) - 2.0).abs() < 1e-10);
+        assert!((integrate(|x| x.exp(), 0.0, 1.0, 1e-12) - (1f64.exp() - 1.0)).abs() < 1e-10);
+        assert_eq!(integrate(|x| x, 2.0, 2.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds reversed")]
+    fn reversed_bounds_panic() {
+        let _ = integrate(|x| x, 1.0, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn kernel_properties() {
+        assert!((kernel(0.0) - 1.0).abs() < 1e-12, "p(0) = 1 (same point)");
+        assert!(kernel(1.0).abs() < 1e-12, "p(1) = 0 (distance 2r)");
+        // Monotone decreasing.
+        let mut last = 1.1;
+        for i in 0..=20 {
+            let v = kernel(i as f64 / 20.0);
+            assert!(v <= last + 1e-12);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn theorem2_decreases_with_k() {
+        // Corollary 1 / Fig. 2.
+        let mut last = f64::INFINITY;
+        for k in 1..=30 {
+            let ca = expected_intersection_area(k as f64, 1.0);
+            assert!(ca < last, "CA(k={k}) = {ca} did not decrease");
+            assert!(ca > 0.0);
+            last = ca;
+        }
+    }
+
+    #[test]
+    fn theorem2_scales_with_r_squared() {
+        let a1 = expected_intersection_area(5.0, 1.0);
+        let a3 = expected_intersection_area(5.0, 3.0);
+        assert!((a3 / a1 - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem2_roughly_inverse_in_k() {
+        // "the intersected area is roughly inversely proportional with
+        // the number of communicable APs" (paper, Fig. 2 discussion).
+        let a5 = expected_intersection_area(5.0, 1.0);
+        let a10 = expected_intersection_area(10.0, 1.0);
+        let ratio = a5 / a10;
+        assert!((1.5..3.5).contains(&ratio), "ratio {ratio} not ≈ 2");
+    }
+
+    #[test]
+    fn theorem2_matches_simulation() {
+        // Direct Monte Carlo of the generative model: k APs uniform in
+        // the disc of radius r around the mobile; area of the
+        // intersection of their coverage discs.
+        use marauder_geo::montecarlo::SplitMix64;
+        let r = 1.0;
+        let k = 4;
+        let mut rng = SplitMix64::new(2024);
+        let trials = 400;
+        let mut total = 0.0;
+        for t in 0..trials {
+            let discs: Vec<marauder_geo::Circle> = (0..k)
+                .map(|_| {
+                    // Uniform in disc via rejection.
+                    loop {
+                        let x = rng.uniform(-r, r);
+                        let y = rng.uniform(-r, r);
+                        if x * x + y * y <= r * r {
+                            return marauder_geo::Circle::new(Point::new(x, y), r);
+                        }
+                    }
+                })
+                .collect();
+            let exact = DiscIntersection::new(&discs).area();
+            // Cross-check a few trials against the sampling estimator.
+            if t < 3 {
+                let mc = monte_carlo_intersection_area(&discs, 50_000, t as u64);
+                assert!((exact - mc).abs() < 0.05);
+            }
+            total += exact;
+        }
+        let simulated = total / trials as f64;
+        let theory = expected_intersection_area(k as f64, r);
+        let rel = (simulated - theory).abs() / theory;
+        assert!(
+            rel < 0.12,
+            "simulated {simulated} vs theory {theory} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn density_view_decreases_with_r() {
+        // Corollary 1 / Fig. 3: at fixed density, larger radius means
+        // smaller intersected area (once k > 1 kicks in).
+        let rho = 3.0; // APs per unit area: k = π r² ρ > 1 for r >= 0.4
+        let mut last = f64::INFINITY;
+        for i in 4..=20 {
+            let r = i as f64 / 10.0;
+            let ca = expected_area_at_density(r, rho);
+            assert!(ca < last, "CA(r={r}) = {ca} did not decrease");
+            last = ca;
+        }
+    }
+
+    #[test]
+    fn theorem3_reduces_to_theorem2_at_matched_radius() {
+        for k in [1.0, 3.0, 10.0] {
+            let t2 = expected_intersection_area(k, 1.0);
+            let t3 = expected_intersection_area_overestimate(k, 1.0, 1.0);
+            let rel = (t2 - t3).abs() / t2;
+            assert!(rel < 1e-6, "k={k}: {t2} vs {t3}");
+        }
+    }
+
+    #[test]
+    fn theorem3_grows_rapidly_with_overestimate() {
+        // Fig. 5: CA grows with R (k = 10, r = 1).
+        let mut last = 0.0;
+        for i in 0..=8 {
+            let big_r = 1.0 + i as f64 * 0.25;
+            let ca = expected_intersection_area_overestimate(10.0, 1.0, big_r);
+            assert!(ca > last, "CA(R={big_r}) = {ca} did not grow");
+            last = ca;
+        }
+        // Doubling R inflates the area by far more than 2x.
+        let a1 = expected_intersection_area_overestimate(10.0, 1.0, 1.0);
+        let a2 = expected_intersection_area_overestimate(10.0, 1.0, 2.0);
+        assert!(a2 / a1 > 4.0, "growth factor {}", a2 / a1);
+    }
+
+    #[test]
+    fn theorem3_overestimate_matches_simulation() {
+        use marauder_geo::montecarlo::SplitMix64;
+        let (k, r, big_r) = (3usize, 1.0, 1.5);
+        let mut rng = SplitMix64::new(7);
+        let trials = 300;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let discs: Vec<marauder_geo::Circle> = (0..k)
+                .map(|_| loop {
+                    let x = rng.uniform(-r, r);
+                    let y = rng.uniform(-r, r);
+                    if x * x + y * y <= r * r {
+                        return marauder_geo::Circle::new(Point::new(x, y), big_r);
+                    }
+                })
+                .collect();
+            total += DiscIntersection::new(&discs).area();
+        }
+        let simulated = total / trials as f64;
+        let theory = expected_intersection_area_overestimate(k as f64, r, big_r);
+        let rel = (simulated - theory).abs() / theory;
+        assert!(
+            rel < 0.12,
+            "simulated {simulated} vs theory {theory} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn coverage_probability_fig6() {
+        // Fig. 6: k = 10, r = 1; probability collapses as R shrinks.
+        assert_eq!(coverage_probability(10.0, 1.0, 1.0), 1.0);
+        assert_eq!(coverage_probability(10.0, 1.0, 2.0), 1.0);
+        let p9 = coverage_probability(10.0, 1.0, 0.9);
+        assert!((p9 - 0.9f64.powi(20)).abs() < 1e-12);
+        let p5 = coverage_probability(10.0, 1.0, 0.5);
+        assert!(p5 < 1e-5, "p(R=0.5) = {p5}");
+        // Monotone in R.
+        assert!(p9 > p5);
+        // Larger k collapses faster.
+        assert!(coverage_probability(20.0, 1.0, 0.9) < p9);
+    }
+
+    #[test]
+    fn coverage_probability_matches_simulation() {
+        // Simulate: k APs uniform in disc(r); does ∩ disc(AP, R) with
+        // R < r cover the mobile (origin)? Theorem: p = (R/r)^{2k}.
+        use marauder_geo::montecarlo::SplitMix64;
+        let (k, r, big_r) = (3usize, 1.0, 0.8);
+        let mut rng = SplitMix64::new(99);
+        let trials = 4000;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let mut all_in = true;
+            for _ in 0..k {
+                loop {
+                    let x = rng.uniform(-r, r);
+                    let y = rng.uniform(-r, r);
+                    if x * x + y * y <= r * r {
+                        if x * x + y * y > big_r * big_r {
+                            all_in = false;
+                        }
+                        break;
+                    }
+                }
+            }
+            if all_in {
+                covered += 1;
+            }
+        }
+        let simulated = covered as f64 / trials as f64;
+        let theory = coverage_probability(k as f64, r, big_r);
+        assert!(
+            (simulated - theory).abs() < 0.03,
+            "simulated {simulated} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one communicable AP")]
+    fn k_zero_panics() {
+        let _ = expected_intersection_area(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "R >= r")]
+    fn underestimate_in_area_fn_panics() {
+        let _ = expected_intersection_area_overestimate(5.0, 1.0, 0.5);
+    }
+}

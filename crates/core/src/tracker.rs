@@ -1,0 +1,326 @@
+//! Trajectory smoothing over localization fixes.
+//!
+//! The paper localizes each observation window independently; a real
+//! tracking adversary would exploit the fact that victims move along
+//! continuous paths. This module adds a constant-velocity Kalman filter
+//! over the fix sequence — an extension the paper's future-work
+//! discussion points toward ("tracking mobiles"), ablated in the
+//! benchmark suite.
+
+use crate::pipeline::TrackFix;
+use marauder_geo::Point;
+
+/// A 2-D constant-velocity Kalman filter over position fixes.
+///
+/// State: `[x, y, vx, vy]`; measurements: the M-Loc position estimates,
+/// with measurement noise derived from each fix's intersected-area size
+/// (a bigger region means a less certain fix).
+///
+/// # Example
+///
+/// ```
+/// use marauder_core::tracker::KalmanSmoother;
+/// let smoother = KalmanSmoother::default();
+/// assert!(smoother.process_noise > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanSmoother {
+    /// Process noise intensity (m²/s³): how much the velocity is allowed
+    /// to wander. Pedestrians: ~0.1–1.
+    pub process_noise: f64,
+    /// Floor on the per-fix measurement standard deviation, meters.
+    pub min_measurement_std: f64,
+}
+
+impl Default for KalmanSmoother {
+    fn default() -> Self {
+        KalmanSmoother {
+            process_noise: 0.5,
+            min_measurement_std: 5.0,
+        }
+    }
+}
+
+/// One smoothed track point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackPoint {
+    /// Fix time, seconds.
+    pub time_s: f64,
+    /// Smoothed position.
+    pub position: Point,
+    /// Estimated velocity, m/s.
+    pub velocity: (f64, f64),
+}
+
+/// 4×4 matrix as row-major array (internal helper).
+type Mat4 = [[f64; 4]; 4];
+
+fn mat_mul(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = [[0.0; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (0..4).map(|k| a[i][k] * b[k][j]).sum();
+        }
+    }
+    out
+}
+
+fn mat_add(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = *a;
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] += b[i][j];
+        }
+    }
+    out
+}
+
+fn transpose(a: &Mat4) -> Mat4 {
+    let mut out = [[0.0; 4]; 4];
+    for (i, row) in a.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            out[j][i] = *v;
+        }
+    }
+    out
+}
+
+impl KalmanSmoother {
+    /// Runs the filter over time-ordered fixes, returning one smoothed
+    /// point per fix. Returns an empty vector for no fixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixes are not sorted by time.
+    pub fn smooth(&self, fixes: &[TrackFix]) -> Vec<TrackPoint> {
+        let Some(first) = fixes.first() else {
+            return Vec::new();
+        };
+        // State and covariance.
+        let mut x = [
+            first.estimate.position.x,
+            first.estimate.position.y,
+            0.0,
+            0.0,
+        ];
+        let mut p: Mat4 = [[0.0; 4]; 4];
+        let r0 = self.measurement_var(first);
+        p[0][0] = r0;
+        p[1][1] = r0;
+        p[2][2] = 4.0; // generous initial velocity uncertainty (±2 m/s)
+        p[3][3] = 4.0;
+
+        let mut out = Vec::with_capacity(fixes.len());
+        out.push(TrackPoint {
+            time_s: first.time_s,
+            position: first.estimate.position,
+            velocity: (0.0, 0.0),
+        });
+        let mut last_t = first.time_s;
+
+        for fix in &fixes[1..] {
+            let dt = fix.time_s - last_t;
+            assert!(dt >= 0.0, "fixes must be time-sorted");
+            let dt = dt.max(1e-3);
+            last_t = fix.time_s;
+
+            // Predict: x' = F x,  P' = F P Fᵀ + Q.
+            let f: Mat4 = [
+                [1.0, 0.0, dt, 0.0],
+                [0.0, 1.0, 0.0, dt],
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ];
+            let q_pos = self.process_noise * dt * dt * dt / 3.0;
+            let q_cross = self.process_noise * dt * dt / 2.0;
+            let q_vel = self.process_noise * dt;
+            let q: Mat4 = [
+                [q_pos, 0.0, q_cross, 0.0],
+                [0.0, q_pos, 0.0, q_cross],
+                [q_cross, 0.0, q_vel, 0.0],
+                [0.0, q_cross, 0.0, q_vel],
+            ];
+            x = [x[0] + dt * x[2], x[1] + dt * x[3], x[2], x[3]];
+            p = mat_add(&mat_mul(&mat_mul(&f, &p), &transpose(&f)), &q);
+
+            // Update with measurement z = (mx, my), H = [I2 0].
+            let r = self.measurement_var(fix);
+            let (zx, zy) = (fix.estimate.position.x, fix.estimate.position.y);
+            // Innovation covariance S = HPHᵀ + R (2x2).
+            let s = [[p[0][0] + r, p[0][1]], [p[1][0], p[1][1] + r]];
+            let det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
+            let s_inv = [
+                [s[1][1] / det, -s[0][1] / det],
+                [-s[1][0] / det, s[0][0] / det],
+            ];
+            // Kalman gain K = P Hᵀ S⁻¹ (4x2).
+            let mut k = [[0.0; 2]; 4];
+            for (i, krow) in k.iter_mut().enumerate() {
+                for (j, kv) in krow.iter_mut().enumerate() {
+                    *kv = p[i][0] * s_inv[0][j] + p[i][1] * s_inv[1][j];
+                }
+            }
+            let (ix, iy) = (zx - x[0], zy - x[1]);
+            for (xi, krow) in x.iter_mut().zip(&k) {
+                *xi += krow[0] * ix + krow[1] * iy;
+            }
+            // P = (I − K H) P.
+            let mut ikh: Mat4 = [[0.0; 4]; 4];
+            for (i, row) in ikh.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    let kh = if j < 2 { k[i][j] } else { 0.0 };
+                    *v = if i == j { 1.0 - kh } else { -kh };
+                }
+            }
+            p = mat_mul(&ikh, &p);
+
+            out.push(TrackPoint {
+                time_s: fix.time_s,
+                position: Point::new(x[0], x[1]),
+                velocity: (x[2], x[3]),
+            });
+        }
+        out
+    }
+
+    /// Per-fix measurement variance: the intersected region's "radius"
+    /// (√(area/π)) as a 1-σ proxy, floored at `min_measurement_std`.
+    fn measurement_var(&self, fix: &TrackFix) -> f64 {
+        let area = fix.estimate.area();
+        let std = if area.is_finite() && area > 0.0 {
+            (area / std::f64::consts::PI).sqrt() / 2.0
+        } else {
+            self.min_measurement_std
+        };
+        std.max(self.min_measurement_std).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{CoverageDisc, MLoc};
+    use marauder_geo::montecarlo::SplitMix64;
+    use marauder_wifi::mac::MacAddr;
+    use std::collections::BTreeSet;
+
+    /// Builds a synthetic fix at a given position by running M-Loc on
+    /// discs jittered around it.
+    fn fix_at(true_pos: Point, t: f64, rng: &mut SplitMix64) -> TrackFix {
+        let r = 80.0;
+        let discs: Vec<CoverageDisc> = (0..5)
+            .map(|_| loop {
+                let x = rng.uniform(-r, r);
+                let y = rng.uniform(-r, r);
+                if x * x + y * y <= r * r {
+                    return CoverageDisc::new(Point::new(true_pos.x + x, true_pos.y + y), r);
+                }
+            })
+            .collect();
+        let estimate = MLoc::paper().locate(&discs).expect("discs share true_pos");
+        TrackFix {
+            time_s: t,
+            mobile: MacAddr::from_index(1),
+            gamma: BTreeSet::new(),
+            estimate,
+        }
+    }
+
+    fn straight_walk(n: usize, dt: f64, speed: f64, seed: u64) -> (Vec<TrackFix>, Vec<Point>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut fixes = Vec::new();
+        let mut truth = Vec::new();
+        for k in 0..n {
+            let t = k as f64 * dt;
+            let pos = Point::new(speed * t, 20.0);
+            truth.push(pos);
+            fixes.push(fix_at(pos, t, &mut rng));
+        }
+        (fixes, truth)
+    }
+
+    fn rms(points: &[Point], truth: &[Point]) -> f64 {
+        let sum: f64 = points
+            .iter()
+            .zip(truth)
+            .map(|(p, t)| p.distance_sq(*t))
+            .sum();
+        (sum / points.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn empty_and_single_fix() {
+        let s = KalmanSmoother::default();
+        assert!(s.smooth(&[]).is_empty());
+        let mut rng = SplitMix64::new(1);
+        let f = fix_at(Point::new(10.0, 10.0), 0.0, &mut rng);
+        let out = s.smooth(std::slice::from_ref(&f));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].position, f.estimate.position);
+    }
+
+    #[test]
+    fn smoothing_reduces_rms_error_on_a_straight_walk() {
+        let (fixes, truth) = straight_walk(40, 10.0, 1.4, 7);
+        let raw: Vec<Point> = fixes.iter().map(|f| f.estimate.position).collect();
+        let smoothed: Vec<Point> = KalmanSmoother::default()
+            .smooth(&fixes)
+            .iter()
+            .map(|p| p.position)
+            .collect();
+        // Compare on the second half, after the filter has converged.
+        let h = truth.len() / 2;
+        let e_raw = rms(&raw[h..], &truth[h..]);
+        let e_smooth = rms(&smoothed[h..], &truth[h..]);
+        assert!(
+            e_smooth < e_raw * 0.9,
+            "smoothing did not help: {e_smooth} vs raw {e_raw}"
+        );
+    }
+
+    #[test]
+    fn velocity_estimate_converges() {
+        let (fixes, _) = straight_walk(60, 10.0, 1.4, 3);
+        let out = KalmanSmoother::default().smooth(&fixes);
+        // Instantaneous velocity is noisy; average the converged tail.
+        let tail = &out[out.len() - 20..];
+        let vx = tail.iter().map(|p| p.velocity.0).sum::<f64>() / tail.len() as f64;
+        let vy = tail.iter().map(|p| p.velocity.1).sum::<f64>() / tail.len() as f64;
+        assert!((vx - 1.4).abs() < 0.5, "vx {vx}");
+        assert!(vy.abs() < 0.5, "vy {vy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_fixes_panic() {
+        let mut rng = SplitMix64::new(5);
+        let a = fix_at(Point::ORIGIN, 10.0, &mut rng);
+        let b = fix_at(Point::ORIGIN, 5.0, &mut rng);
+        let _ = KalmanSmoother::default().smooth(&[a, b]);
+    }
+
+    #[test]
+    fn stationary_target_collapses_to_mean() {
+        let mut rng = SplitMix64::new(11);
+        let truth = Point::new(50.0, -30.0);
+        let fixes: Vec<TrackFix> = (0..50)
+            .map(|k| fix_at(truth, k as f64 * 5.0, &mut rng))
+            .collect();
+        let out = KalmanSmoother {
+            process_noise: 0.05,
+            ..Default::default()
+        }
+        .smooth(&fixes);
+        let last = out.last().expect("non-empty");
+        let raw_err: f64 = fixes
+            .iter()
+            .map(|f| f.estimate.position.distance(truth))
+            .sum::<f64>()
+            / fixes.len() as f64;
+        assert!(
+            last.position.distance(truth) < raw_err,
+            "converged estimate {} not better than raw mean error {raw_err}",
+            last.position.distance(truth)
+        );
+    }
+}

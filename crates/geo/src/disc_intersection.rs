@@ -1,0 +1,513 @@
+//! Exact intersection of `k` discs: vertices, boundary arcs, area and
+//! centroid.
+//!
+//! This is the geometric engine behind the paper's *disc-intersection
+//! approach* (Section III-C). The intersection of discs is convex; its
+//! boundary is a sequence of circular arcs meeting at vertices (pairwise
+//! circle intersection points that lie inside every disc). Area and first
+//! moments are integrated exactly with Green's theorem along those arcs,
+//! so the centroid is the true centroid of the region — a strictly
+//! stronger primitive than the paper's `AVG(Δ)` vertex average, which is
+//! also provided as [`DiscIntersection::vertex_centroid`].
+
+use crate::interval::normalize_angle;
+use crate::{AngularIntervalSet, Circle, Point};
+use std::f64::consts::TAU;
+
+/// One circular arc of the intersection region's boundary.
+///
+/// The arc lies on `circle` and spans angles `start..end` (radians,
+/// `end > start`, measured from the circle's center); traversing arcs in
+/// increasing angle walks the region boundary counter-clockwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// Index of the supporting circle in the input slice.
+    pub circle_index: usize,
+    /// The supporting circle.
+    pub circle: Circle,
+    /// Start angle, radians in `[0, 2π)`.
+    pub start: f64,
+    /// End angle, radians in `(start, start + 2π]`.
+    pub end: f64,
+}
+
+impl Arc {
+    /// Angular span of the arc in radians.
+    pub fn span(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Arc length in the same units as the circle radius.
+    pub fn length(&self) -> f64 {
+        self.span() * self.circle.radius
+    }
+
+    /// Midpoint of the arc (on the circle).
+    pub fn midpoint(&self) -> Point {
+        self.circle.point_at((self.start + self.end) / 2.0)
+    }
+}
+
+/// The intersection region `⋂ᵢ D(cᵢ, rᵢ)` of a set of discs.
+///
+/// Construction computes everything eagerly (vertices, arcs, exact area
+/// and centroid); all queries afterwards are `O(1)` except
+/// [`contains`](Self::contains), which checks every disc.
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{Circle, DiscIntersection, Point};
+/// let discs = [
+///     Circle::new(Point::new(0.0, 0.0), 1.0),
+///     Circle::new(Point::new(1.0, 0.0), 1.0),
+/// ];
+/// let lens = DiscIntersection::new(&discs);
+/// // Two-disc case agrees with the closed-form lens area.
+/// let expected = discs[0].lens_area(&discs[1]);
+/// assert!((lens.area() - expected).abs() < 1e-9);
+/// // Symmetry puts the centroid at the midpoint of the centers.
+/// let c = lens.centroid().unwrap();
+/// assert!(c.distance(Point::new(0.5, 0.0)) < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscIntersection {
+    discs: Vec<Circle>,
+    vertices: Vec<Point>,
+    arcs: Vec<Arc>,
+    area: f64,
+    centroid: Option<Point>,
+}
+
+impl DiscIntersection {
+    /// Intersects the given discs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `discs` is empty: the intersection of zero discs is the
+    /// whole plane, which has no finite description. Localization callers
+    /// always have at least one communicable AP.
+    pub fn new(discs: &[Circle]) -> Self {
+        assert!(!discs.is_empty(), "cannot intersect zero discs");
+        // Coincident duplicates would double-count boundary arcs; merge
+        // them (the region is unchanged).
+        let mut discs_vec: Vec<Circle> = Vec::with_capacity(discs.len());
+        for &d in discs {
+            let dup = discs_vec.iter().any(|e| {
+                e.center.distance(d.center) <= crate::EPS
+                    && (e.radius - d.radius).abs() <= crate::EPS
+            });
+            if !dup {
+                discs_vec.push(d);
+            }
+        }
+        let discs = discs_vec;
+        let tol = containment_tolerance(&discs);
+
+        // Vertices: pairwise boundary intersections inside all discs.
+        let mut vertices: Vec<Point> = Vec::new();
+        for i in 0..discs.len() {
+            for j in (i + 1)..discs.len() {
+                for p in discs[i].intersection_points(&discs[j]) {
+                    if discs.iter().all(|d| d.contains_with_tolerance(p, tol)) {
+                        vertices.push(p);
+                    }
+                }
+            }
+        }
+        dedup_points(&mut vertices, tol);
+
+        // Arcs: for each circle, the part of its boundary inside all
+        // other discs.
+        let mut arcs: Vec<Arc> = Vec::new();
+        'circles: for (i, ci) in discs.iter().enumerate() {
+            let mut active = AngularIntervalSet::full();
+            for (j, cj) in discs.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                match ci.boundary_inside(cj) {
+                    None => continue 'circles,
+                    Some((theta, hw)) => active.intersect_arc(theta, hw),
+                }
+                if active.is_empty() {
+                    continue 'circles;
+                }
+            }
+            // A single arc crossing the zero angle is stored by the
+            // interval set as two segments; re-join them so callers see
+            // one contiguous arc (end may exceed 2π).
+            let mut segs: Vec<(f64, f64)> = active.segments().to_vec();
+            if segs.len() >= 2 {
+                let first = segs[0];
+                let last = *segs.last().expect("len >= 2");
+                if first.0 <= 1e-12 && (TAU - last.1).abs() <= 1e-12 && !active.is_full() {
+                    segs.pop();
+                    segs.remove(0);
+                    segs.push((last.0, first.1 + TAU));
+                }
+            }
+            for (s, e) in segs {
+                arcs.push(Arc {
+                    circle_index: i,
+                    circle: *ci,
+                    start: s,
+                    end: e,
+                });
+            }
+        }
+
+        // Exact area and centroid by Green's theorem over the boundary
+        // arcs (the arcs form the full closed boundary, traversed CCW).
+        let mut area = 0.0;
+        let mut mx = 0.0;
+        let mut my = 0.0;
+        for arc in &arcs {
+            let (da, dmx, dmy) = green_contributions(arc);
+            area += da;
+            mx += dmx;
+            my += dmy;
+        }
+        let area = area.max(0.0);
+        let centroid = if area > tol * tol {
+            Some(Point::new(mx / area, my / area))
+        } else if !vertices.is_empty() {
+            // Degenerate (tangency) region: use the vertex mean.
+            Point::mean(vertices.iter().copied())
+        } else {
+            None
+        };
+
+        DiscIntersection {
+            discs,
+            vertices,
+            arcs,
+            area,
+            centroid,
+        }
+    }
+
+    /// The input discs.
+    pub fn discs(&self) -> &[Circle] {
+        &self.discs
+    }
+
+    /// Vertices of the region boundary: every pairwise circle intersection
+    /// point that lies inside all discs. This is the set `Δ` of the
+    /// paper's M-Loc algorithm.
+    ///
+    /// A region bounded by a single full circle (one disc contained in all
+    /// others) has no vertices even though it is non-empty.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Boundary arcs in no particular global order (each arc CCW).
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Exact area of the intersection region.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// `true` when the discs share no common point (within tolerance, a
+    /// region that degenerates to a single tangency point still counts as
+    /// non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty() && self.vertices.is_empty()
+    }
+
+    /// Exact centroid of the region, or `None` for an empty region.
+    ///
+    /// For a zero-area region that is a single tangency point, returns
+    /// that point.
+    pub fn centroid(&self) -> Option<Point> {
+        self.centroid
+    }
+
+    /// Mean of the boundary vertices — the paper's `AVG(Δ)` estimator
+    /// (M-Loc line 11). `None` when there are no vertices, which happens
+    /// both for empty regions and for regions bounded by a single circle.
+    pub fn vertex_centroid(&self) -> Option<Point> {
+        Point::mean(self.vertices.iter().copied())
+    }
+
+    /// Returns `true` when `p` lies in every disc (with tolerance).
+    pub fn contains(&self, p: Point) -> bool {
+        let tol = containment_tolerance(&self.discs);
+        self.discs.iter().all(|d| d.contains_with_tolerance(p, tol))
+    }
+
+    /// An axis-aligned bounding box `(min, max)` of the region, or `None`
+    /// when empty. The box is the tight box around boundary arcs and
+    /// vertices.
+    pub fn bounding_box(&self) -> Option<(Point, Point)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut grow = |p: Point| {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        };
+        for v in &self.vertices {
+            grow(*v);
+        }
+        for arc in &self.arcs {
+            grow(arc.circle.point_at(arc.start));
+            grow(arc.circle.point_at(arc.end));
+            // Axis-extreme angles contained in the arc extend the box.
+            for quad in 0..4 {
+                let ang = quad as f64 * TAU / 4.0;
+                if angle_in_arc(ang, arc.start, arc.end) {
+                    grow(arc.circle.point_at(ang));
+                }
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+/// Tolerance used for containment tests, scaled to the largest radius so
+/// meter-scale and kilometer-scale scenarios behave alike.
+fn containment_tolerance(discs: &[Circle]) -> f64 {
+    let rmax = discs.iter().map(|d| d.radius).fold(1.0, f64::max);
+    1e-9 * rmax.max(1.0) + 1e-9
+}
+
+/// Removes near-duplicate points (within `tol`) in `O(n²)`; vertex sets
+/// are tiny (at most `k(k-1)` candidates).
+fn dedup_points(points: &mut Vec<Point>, tol: f64) {
+    let mut out: Vec<Point> = Vec::with_capacity(points.len());
+    for &p in points.iter() {
+        if !out.iter().any(|q| q.distance(p) <= tol * 10.0) {
+            out.push(p);
+        }
+    }
+    *points = out;
+}
+
+/// Whether `angle` lies within the CCW arc `[start, end]` (angles may
+/// exceed 2π in `end`).
+fn angle_in_arc(angle: f64, start: f64, end: f64) -> bool {
+    let a = normalize_angle(angle);
+    if a >= start - 1e-12 && a <= end + 1e-12 {
+        return true;
+    }
+    let a2 = a + TAU;
+    a2 >= start - 1e-12 && a2 <= end + 1e-12
+}
+
+/// Green's theorem contributions of a boundary arc:
+/// `(area, ∬x dA, ∬y dA)` pieces.
+fn green_contributions(arc: &Arc) -> (f64, f64, f64) {
+    let (a, b) = (arc.start, arc.end);
+    let r = arc.circle.radius;
+    let (cx, cy) = (arc.circle.center.x, arc.circle.center.y);
+    let (sa, ca) = a.sin_cos();
+    let (sb, cb) = b.sin_cos();
+
+    // Area: ½∮(x dy − y dx)
+    let area = 0.5 * (r * r * (b - a) + cx * r * (sb - sa) - cy * r * (cb - ca));
+
+    // Mx = ∬x dA = ½∮ x² dy
+    let i1 = sb - sa; // ∫cos
+    let i2 = (b - a) / 2.0 + ((2.0 * b).sin() - (2.0 * a).sin()) / 4.0; // ∫cos²
+    let i3 = (sb - sb.powi(3) / 3.0) - (sa - sa.powi(3) / 3.0); // ∫cos³
+    let mx = 0.5 * (r * cx * cx * i1 + 2.0 * cx * r * r * i2 + r.powi(3) * i3);
+
+    // My = ∬y dA = −½∮ y² dx
+    let j1 = ca - cb; // ∫sin
+    let j2 = (b - a) / 2.0 - ((2.0 * b).sin() - (2.0 * a).sin()) / 4.0; // ∫sin²
+    let j3 = (-cb + cb.powi(3) / 3.0) - (-ca + ca.powi(3) / 3.0); // ∫sin³
+    let my = 0.5 * (r * cy * cy * j1 + 2.0 * cy * r * r * j2 + r.powi(3) * j3);
+
+    (area, mx, my)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    #[should_panic(expected = "zero discs")]
+    fn empty_input_panics() {
+        let _ = DiscIntersection::new(&[]);
+    }
+
+    #[test]
+    fn single_disc_is_itself() {
+        let region = DiscIntersection::new(&[c(2.0, -1.0, 3.0)]);
+        assert!(!region.is_empty());
+        assert!((region.area() - 9.0 * PI).abs() < 1e-9);
+        assert_eq!(region.centroid(), Some(Point::new(2.0, -1.0)));
+        assert!(region.vertices().is_empty());
+        assert_eq!(region.vertex_centroid(), None);
+        assert_eq!(region.arcs().len(), 1);
+        assert!((region.arcs()[0].span() - TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_disc_lens_matches_closed_form() {
+        for &d in &[0.2, 0.7, 1.3, 1.9] {
+            let discs = [c(0.0, 0.0, 1.0), c(d, 0.0, 1.0)];
+            let region = DiscIntersection::new(&discs);
+            let expected = discs[0].lens_area(&discs[1]);
+            assert!(
+                (region.area() - expected).abs() < 1e-9,
+                "d={d}: {} vs {}",
+                region.area(),
+                expected
+            );
+            assert_eq!(region.vertices().len(), 2);
+            let cen = region.centroid().unwrap();
+            assert!(cen.distance(Point::new(d / 2.0, 0.0)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn disjoint_discs_are_empty() {
+        let region = DiscIntersection::new(&[c(0.0, 0.0, 1.0), c(5.0, 0.0, 1.0)]);
+        assert!(region.is_empty());
+        assert_eq!(region.area(), 0.0);
+        assert_eq!(region.centroid(), None);
+        assert_eq!(region.bounding_box(), None);
+    }
+
+    #[test]
+    fn pairwise_overlap_but_empty_triple() {
+        // Three discs where every pair overlaps but no common point exists.
+        let r = 1.1;
+        let discs = [c(0.0, 0.0, r), c(2.0, 0.0, r), c(1.0, 1.9, r)];
+        // sanity: pairwise overlap
+        assert!(discs[0].lens_area(&discs[1]) > 0.0);
+        assert!(discs[0].lens_area(&discs[2]) > 0.0);
+        assert!(discs[1].lens_area(&discs[2]) > 0.0);
+        let region = DiscIntersection::new(&discs);
+        assert!(region.is_empty(), "area={}", region.area());
+    }
+
+    #[test]
+    fn contained_disc_dominates() {
+        // Small disc inside two big ones: region == small disc.
+        let discs = [c(0.0, 0.0, 10.0), c(1.0, 0.0, 10.0), c(0.5, 0.0, 1.0)];
+        let region = DiscIntersection::new(&discs);
+        assert!((region.area() - PI).abs() < 1e-9);
+        assert!(region.centroid().unwrap().distance(Point::new(0.5, 0.0)) < 1e-9);
+        // Boundary is the small circle alone; no vertices.
+        assert!(region.vertices().is_empty());
+        assert_eq!(region.arcs().len(), 1);
+        assert_eq!(region.arcs()[0].circle_index, 2);
+    }
+
+    #[test]
+    fn three_symmetric_discs() {
+        // Three unit discs centered on an equilateral triangle around the
+        // origin; by symmetry the centroid is the origin.
+        let d = 0.8;
+        let discs: Vec<Circle> = (0..3)
+            .map(|k| {
+                let ang = k as f64 * TAU / 3.0 + 0.3;
+                c(d * ang.cos(), d * ang.sin(), 1.0)
+            })
+            .collect();
+        let region = DiscIntersection::new(&discs);
+        assert!(!region.is_empty());
+        let cen = region.centroid().unwrap();
+        assert!(cen.distance(Point::ORIGIN) < 1e-9, "centroid {cen}");
+        assert_eq!(region.vertices().len(), 3);
+        assert_eq!(region.arcs().len(), 3);
+        // Reuleaux-like region: centroid and vertex centroid coincide by
+        // symmetry here.
+        let vc = region.vertex_centroid().unwrap();
+        assert!(vc.distance(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn area_shrinks_as_discs_are_added() {
+        let mut discs = vec![c(0.0, 0.0, 1.0)];
+        let mut last = DiscIntersection::new(&discs).area();
+        let offsets = [(0.5, 0.1), (-0.3, 0.4), (0.2, -0.5), (0.0, 0.6)];
+        for (dx, dy) in offsets {
+            discs.push(c(dx, dy, 1.0));
+            let a = DiscIntersection::new(&discs).area();
+            assert!(a <= last + 1e-12, "area grew: {a} > {last}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn centroid_inside_region() {
+        let discs = [
+            c(0.0, 0.0, 1.0),
+            c(0.9, 0.2, 1.1),
+            c(0.4, 0.7, 0.9),
+            c(0.5, -0.3, 1.3),
+        ];
+        let region = DiscIntersection::new(&discs);
+        assert!(!region.is_empty());
+        let cen = region.centroid().unwrap();
+        assert!(region.contains(cen));
+        // Convexity: the true centroid lies in the region; so does the
+        // vertex centroid.
+        let vc = region.vertex_centroid().unwrap();
+        assert!(region.contains(vc));
+    }
+
+    #[test]
+    fn tangent_discs_meet_in_a_point() {
+        let region = DiscIntersection::new(&[c(0.0, 0.0, 1.0), c(2.0, 0.0, 1.0)]);
+        assert!(!region.is_empty());
+        assert!(region.area() < 1e-9);
+        let cen = region.centroid().unwrap();
+        assert!(cen.distance(Point::new(1.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn bounding_box_contains_region() {
+        let discs = [c(0.0, 0.0, 1.0), c(1.0, 0.0, 1.0)];
+        let region = DiscIntersection::new(&discs);
+        let (lo, hi) = region.bounding_box().unwrap();
+        // The lens spans x in [0.?, ...]: vertices at x=0.5, arcs bulge to
+        // x=0 (on circle 2) and x=1 (on circle 1).
+        assert!(lo.x <= 0.0 + 1e-9 && hi.x >= 1.0 - 1e-9);
+        for v in region.vertices() {
+            assert!(v.x >= lo.x - 1e-9 && v.x <= hi.x + 1e-9);
+            assert!(v.y >= lo.y - 1e-9 && v.y <= hi.y + 1e-9);
+        }
+        let cen = region.centroid().unwrap();
+        assert!(cen.x >= lo.x && cen.x <= hi.x);
+    }
+
+    #[test]
+    fn identical_discs_collapse() {
+        let region = DiscIntersection::new(&[c(0.0, 0.0, 1.0), c(0.0, 0.0, 1.0)]);
+        assert!((region.area() - PI).abs() < 1e-9);
+        assert!(region.centroid().unwrap().distance(Point::ORIGIN) < 1e-9);
+    }
+
+    #[test]
+    fn arc_metadata_consistent() {
+        let discs = [c(0.0, 0.0, 1.0), c(1.0, 0.0, 1.0)];
+        let region = DiscIntersection::new(&discs);
+        assert_eq!(region.arcs().len(), 2);
+        for arc in region.arcs() {
+            assert!(arc.span() > 0.0);
+            assert!(arc.length() > 0.0);
+            // Arc midpoint must lie inside the region.
+            assert!(region.contains(arc.midpoint()));
+        }
+        // Total boundary should connect through both vertices.
+        assert_eq!(region.vertices().len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Smallest enclosing circle (Welzl's algorithm).
+//!
+//! Used to report a single uncertainty radius for a localization
+//! estimate: the smallest circle containing the intersected region's
+//! boundary samples is an honest "the victim is within R of here"
+//! statement for the map display.
+
+use crate::{Circle, Point, EPS};
+
+/// Computes the smallest circle enclosing all `points`.
+///
+/// Returns `None` for an empty slice. Runs Welzl's algorithm in
+/// expected linear time using a deterministic shuffle (no RNG
+/// dependency), which is ample for boundary-sample inputs.
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{smallest_enclosing_circle, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0),
+/// ];
+/// let c = smallest_enclosing_circle(&pts).unwrap();
+/// assert!((c.center.distance(Point::new(1.0, 0.0)) < 1e-9));
+/// assert!((c.radius - 1.0).abs() < 1e-9);
+/// ```
+pub fn smallest_enclosing_circle(points: &[Point]) -> Option<Circle> {
+    if points.is_empty() {
+        return None;
+    }
+    // Deterministic pseudo-shuffle: iterate in an order derived from a
+    // multiplicative hash of the index. Welzl's expected-linear bound
+    // needs randomness only against adversarial orders; boundary samples
+    // are benign and this keeps results reproducible.
+    let n = points.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    if n > 3 {
+        order.sort_by_key(|&i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32);
+    }
+    let mut c = Circle::new(points[order[0]], 0.0);
+    for (k, &i) in order.iter().enumerate().skip(1) {
+        let p = points[i];
+        if c.contains_with_tolerance(p, EPS) {
+            continue;
+        }
+        // p is on the boundary of the new circle.
+        c = Circle::new(p, 0.0);
+        for (l, &j) in order.iter().enumerate().take(k) {
+            let q = points[j];
+            if c.contains_with_tolerance(q, EPS) {
+                continue;
+            }
+            // p and q on the boundary.
+            c = circle_from_2(p, q);
+            for &m in order.iter().take(l) {
+                let r = points[m];
+                if !c.contains_with_tolerance(r, EPS) {
+                    c = circle_from_3(p, q, r);
+                }
+            }
+        }
+    }
+    Some(c)
+}
+
+fn circle_from_2(a: Point, b: Point) -> Circle {
+    let center = a.midpoint(b);
+    Circle::new(center, center.distance(a))
+}
+
+fn circle_from_3(a: Point, b: Point, c: Point) -> Circle {
+    // Circumcircle via perpendicular-bisector intersection; falls back
+    // to the best 2-point circle when (nearly) collinear.
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    if d.abs() < EPS {
+        // Collinear: the diameter circle of the farthest pair.
+        let candidates = [
+            circle_from_2(a, b),
+            circle_from_2(a, c),
+            circle_from_2(b, c),
+        ];
+        return candidates
+            .into_iter()
+            .max_by(|x, y| x.radius.partial_cmp(&y.radius).expect("finite radii"))
+            .expect("three candidates");
+    }
+    let ux = ((a.x * a.x + a.y * a.y) * (b.y - c.y)
+        + (b.x * b.x + b.y * b.y) * (c.y - a.y)
+        + (c.x * c.x + c.y * c.y) * (a.y - b.y))
+        / d;
+    let uy = ((a.x * a.x + a.y * a.y) * (c.x - b.x)
+        + (b.x * b.x + b.y * b.y) * (a.x - c.x)
+        + (c.x * c.x + c.y * c.y) * (b.x - a.x))
+        / d;
+    let center = Point::new(ux, uy);
+    Circle::new(center, center.distance(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert!(smallest_enclosing_circle(&[]).is_none());
+        let one = smallest_enclosing_circle(&[Point::new(3.0, 4.0)]).unwrap();
+        assert_eq!(one.center, Point::new(3.0, 4.0));
+        assert_eq!(one.radius, 0.0);
+        let two = smallest_enclosing_circle(&[Point::new(0.0, 0.0), Point::new(4.0, 0.0)]).unwrap();
+        assert!(two.center.distance(Point::new(2.0, 0.0)) < 1e-9);
+        assert!((two.radius - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilateral_triangle() {
+        let pts: Vec<Point> = (0..3)
+            .map(|k| {
+                let a = k as f64 * std::f64::consts::TAU / 3.0;
+                Point::new(a.cos(), a.sin())
+            })
+            .collect();
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert!(c.center.distance(Point::ORIGIN) < 1e-9);
+        assert!((c.radius - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // For an obtuse triangle the MEC is the diameter circle of the
+        // longest side, not the circumcircle.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.5),
+        ];
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 5.0).abs() < 1e-9, "radius {}", c.radius);
+        assert!(c.center.distance(Point::new(5.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..7)
+            .map(|k| Point::new(k as f64, 2.0 * k as f64))
+            .collect();
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        for p in &pts {
+            assert!(c.contains_with_tolerance(*p, 1e-9));
+        }
+        let expected_r = pts[0].distance(pts[6]) / 2.0;
+        assert!((c.radius - expected_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encloses_all_and_is_minimal_on_random_sets() {
+        use crate::montecarlo::SplitMix64;
+        let mut rng = SplitMix64::new(2718);
+        for trial in 0..50 {
+            let n = 3 + (trial % 20);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)))
+                .collect();
+            let c = smallest_enclosing_circle(&pts).unwrap();
+            // Encloses everything.
+            for p in &pts {
+                assert!(
+                    c.contains_with_tolerance(*p, 1e-7),
+                    "trial {trial}: {p} outside {c}"
+                );
+            }
+            // Minimality witness: at least 2 points on the boundary.
+            let on_boundary = pts
+                .iter()
+                .filter(|p| (c.center.distance(**p) - c.radius).abs() < 1e-6)
+                .count();
+            assert!(
+                on_boundary >= 2 || c.radius < 1e-9,
+                "trial {trial}: only {on_boundary} support points"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_fine() {
+        let p = Point::new(1.0, 1.0);
+        let c = smallest_enclosing_circle(&[p, p, p, Point::new(3.0, 1.0)]).unwrap();
+        assert!((c.radius - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,374 @@
+//! WGS-84 geodesy: geodetic ↔ ECEF ↔ local ENU conversions.
+//!
+//! The paper's algorithms state "all coordinates … are for the
+//! Earth-Centered, Earth-Fixed (ECEF) Cartesian coordinate system"
+//! (Section III-D). Disc intersection is planar, so the pipeline converts
+//! AP and training coordinates from geodetic (as a wardriving database
+//! like WiGLE stores them) through ECEF onto a local east-north-up (ENU)
+//! tangent plane, runs the planar algorithms there, and converts results
+//! back.
+
+use crate::Point;
+use std::fmt;
+
+/// WGS-84 semi-major axis, meters.
+pub const WGS84_A: f64 = 6_378_137.0;
+/// WGS-84 flattening.
+pub const WGS84_F: f64 = 1.0 / 298.257_223_563;
+/// WGS-84 first eccentricity squared.
+pub const WGS84_E2: f64 = WGS84_F * (2.0 - WGS84_F);
+
+/// A geodetic coordinate: latitude/longitude in degrees, height in meters
+/// above the WGS-84 ellipsoid.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Geodetic {
+    /// Latitude, degrees, positive north. Must lie in `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude, degrees, positive east. Must lie in `[-180, 180]`.
+    pub lon_deg: f64,
+    /// Ellipsoidal height, meters.
+    pub height_m: f64,
+}
+
+/// An Earth-Centered Earth-Fixed Cartesian coordinate, meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Ecef {
+    /// X axis: through the equator/prime-meridian intersection.
+    pub x: f64,
+    /// Y axis: through the equator at 90° E.
+    pub y: f64,
+    /// Z axis: through the north pole.
+    pub z: f64,
+}
+
+/// A local east-north-up coordinate relative to an [`EnuFrame`] origin,
+/// meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Enu {
+    /// East, meters.
+    pub east: f64,
+    /// North, meters.
+    pub north: f64,
+    /// Up, meters.
+    pub up: f64,
+}
+
+/// A local tangent-plane frame anchored at a geodetic origin.
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{EnuFrame, Geodetic};
+///
+/// // UMass Lowell north campus, roughly.
+/// let origin = Geodetic::new(42.655, -71.325, 30.0);
+/// let frame = EnuFrame::new(origin);
+/// // A point ~111 m north should map to ~(0, 111).
+/// let p = frame.geodetic_to_plane(Geodetic::new(42.656, -71.325, 30.0));
+/// assert!((p.y - 111.0).abs() < 1.0);
+/// assert!(p.x.abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnuFrame {
+    origin: Geodetic,
+    origin_ecef: Ecef,
+    // Rotation rows (east, north, up) expressed in ECEF.
+    east: [f64; 3],
+    north: [f64; 3],
+    up: [f64; 3],
+}
+
+impl Geodetic {
+    /// Creates a geodetic coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when latitude is outside `[-90, 90]` or longitude outside
+    /// `[-180, 180]`.
+    pub fn new(lat_deg: f64, lon_deg: f64, height_m: f64) -> Self {
+        assert!(
+            (-90.0..=90.0).contains(&lat_deg),
+            "latitude out of range: {lat_deg}"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude out of range: {lon_deg}"
+        );
+        Geodetic {
+            lat_deg,
+            lon_deg,
+            height_m,
+        }
+    }
+
+    /// Converts to ECEF (exact closed form).
+    pub fn to_ecef(self) -> Ecef {
+        let lat = self.lat_deg.to_radians();
+        let lon = self.lon_deg.to_radians();
+        let (slat, clat) = lat.sin_cos();
+        let (slon, clon) = lon.sin_cos();
+        // Prime-vertical radius of curvature.
+        let n = WGS84_A / (1.0 - WGS84_E2 * slat * slat).sqrt();
+        Ecef {
+            x: (n + self.height_m) * clat * clon,
+            y: (n + self.height_m) * clat * slon,
+            z: (n * (1.0 - WGS84_E2) + self.height_m) * slat,
+        }
+    }
+}
+
+impl Ecef {
+    /// Converts to geodetic coordinates using Bowring's iteration
+    /// (converges to sub-millimeter in a few steps).
+    pub fn to_geodetic(self) -> Geodetic {
+        let p = (self.x * self.x + self.y * self.y).sqrt();
+        let lon = self.y.atan2(self.x);
+        if p < 1e-9 {
+            // On the polar axis.
+            let b = WGS84_A * (1.0 - WGS84_F);
+            let lat = if self.z >= 0.0 {
+                std::f64::consts::FRAC_PI_2
+            } else {
+                -std::f64::consts::FRAC_PI_2
+            };
+            return Geodetic {
+                lat_deg: lat.to_degrees(),
+                lon_deg: 0.0,
+                height_m: self.z.abs() - b,
+            };
+        }
+        let mut lat = (self.z / (p * (1.0 - WGS84_E2))).atan();
+        let mut height = 0.0;
+        for _ in 0..10 {
+            let (slat, clat) = lat.sin_cos();
+            let n = WGS84_A / (1.0 - WGS84_E2 * slat * slat).sqrt();
+            // Near the poles `p / cos(lat)` is ill-conditioned; switch to
+            // the z-based height formula there.
+            height = if clat.abs() > 0.1 {
+                p / clat - n
+            } else {
+                self.z / slat - n * (1.0 - WGS84_E2)
+            };
+            let new_lat = (self.z / (p * (1.0 - WGS84_E2 * n / (n + height)))).atan();
+            if (new_lat - lat).abs() < 1e-15 {
+                lat = new_lat;
+                break;
+            }
+            lat = new_lat;
+        }
+        Geodetic {
+            lat_deg: lat.to_degrees(),
+            lon_deg: lon.to_degrees(),
+            height_m: height,
+        }
+    }
+
+    /// Euclidean distance to another ECEF point, meters.
+    pub fn distance(self, other: Ecef) -> f64 {
+        let (dx, dy, dz) = (self.x - other.x, self.y - other.y, self.z - other.z);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+impl EnuFrame {
+    /// Creates a frame anchored at `origin`.
+    pub fn new(origin: Geodetic) -> Self {
+        let lat = origin.lat_deg.to_radians();
+        let lon = origin.lon_deg.to_radians();
+        let (slat, clat) = lat.sin_cos();
+        let (slon, clon) = lon.sin_cos();
+        EnuFrame {
+            origin,
+            origin_ecef: origin.to_ecef(),
+            east: [-slon, clon, 0.0],
+            north: [-slat * clon, -slat * slon, clat],
+            up: [clat * clon, clat * slon, slat],
+        }
+    }
+
+    /// The geodetic origin of the frame.
+    pub fn origin(&self) -> Geodetic {
+        self.origin
+    }
+
+    /// Converts an ECEF point into this local frame.
+    pub fn ecef_to_enu(&self, p: Ecef) -> Enu {
+        let d = [
+            p.x - self.origin_ecef.x,
+            p.y - self.origin_ecef.y,
+            p.z - self.origin_ecef.z,
+        ];
+        let dot = |row: &[f64; 3]| row[0] * d[0] + row[1] * d[1] + row[2] * d[2];
+        Enu {
+            east: dot(&self.east),
+            north: dot(&self.north),
+            up: dot(&self.up),
+        }
+    }
+
+    /// Converts a local ENU point back to ECEF.
+    pub fn enu_to_ecef(&self, p: Enu) -> Ecef {
+        let col = |i: usize| self.east[i] * p.east + self.north[i] * p.north + self.up[i] * p.up;
+        Ecef {
+            x: self.origin_ecef.x + col(0),
+            y: self.origin_ecef.y + col(1),
+            z: self.origin_ecef.z + col(2),
+        }
+    }
+
+    /// Projects a geodetic coordinate to the planar `(east, north)` point
+    /// used by the localization algorithms, discarding the up component.
+    pub fn geodetic_to_plane(&self, g: Geodetic) -> Point {
+        let enu = self.ecef_to_enu(g.to_ecef());
+        Point::new(enu.east, enu.north)
+    }
+
+    /// Lifts a planar `(east, north)` point back to a geodetic coordinate
+    /// at the frame origin's height.
+    pub fn plane_to_geodetic(&self, p: Point) -> Geodetic {
+        let ecef = self.enu_to_ecef(Enu {
+            east: p.x,
+            north: p.y,
+            up: 0.0,
+        });
+        ecef.to_geodetic()
+    }
+}
+
+impl fmt::Display for Geodetic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6}°, {:.6}°, {:.1} m",
+            self.lat_deg, self.lon_deg, self.height_m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UML: Geodetic = Geodetic {
+        lat_deg: 42.6555,
+        lon_deg: -71.3251,
+        height_m: 30.0,
+    };
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn invalid_latitude_panics() {
+        let _ = Geodetic::new(91.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn ecef_of_known_points() {
+        // Equator / prime meridian at height 0: (a, 0, 0).
+        let e = Geodetic::new(0.0, 0.0, 0.0).to_ecef();
+        assert!((e.x - WGS84_A).abs() < 1e-6);
+        assert!(e.y.abs() < 1e-6 && e.z.abs() < 1e-6);
+        // North pole: (0, 0, b).
+        let p = Geodetic::new(90.0, 0.0, 0.0).to_ecef();
+        let b = WGS84_A * (1.0 - WGS84_F);
+        assert!(p.x.abs() < 1e-6 && p.y.abs() < 1e-6);
+        assert!((p.z - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geodetic_ecef_round_trip() {
+        for &(lat, lon, h) in &[
+            (42.6555, -71.3251, 30.0),
+            (38.8997, -77.0486, 20.0), // GWU
+            (-33.9, 151.2, 5.0),
+            (0.0, 0.0, 0.0),
+            (89.9, 45.0, 100.0),
+            (-89.9, -120.0, -50.0),
+        ] {
+            let g = Geodetic::new(lat, lon, h);
+            let back = g.to_ecef().to_geodetic();
+            assert!(
+                (back.lat_deg - lat).abs() < 1e-9,
+                "lat {lat}: {}",
+                back.lat_deg
+            );
+            assert!(
+                (back.lon_deg - lon).abs() < 1e-9,
+                "lon {lon}: {}",
+                back.lon_deg
+            );
+            assert!((back.height_m - h).abs() < 1e-6, "h {h}: {}", back.height_m);
+        }
+    }
+
+    #[test]
+    fn polar_axis_round_trip() {
+        let e = Ecef {
+            x: 0.0,
+            y: 0.0,
+            z: WGS84_A,
+        };
+        let g = e.to_geodetic();
+        assert!((g.lat_deg - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enu_round_trip() {
+        let frame = EnuFrame::new(UML);
+        let g = Geodetic::new(42.6570, -71.3230, 42.0);
+        let enu = frame.ecef_to_enu(g.to_ecef());
+        let back = frame.enu_to_ecef(enu).to_geodetic();
+        assert!((back.lat_deg - g.lat_deg).abs() < 1e-9);
+        assert!((back.lon_deg - g.lon_deg).abs() < 1e-9);
+        assert!((back.height_m - g.height_m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn enu_axes_make_sense() {
+        let frame = EnuFrame::new(UML);
+        // 0.001° north ≈ 111 m north, ~0 east.
+        let n = frame.geodetic_to_plane(Geodetic::new(UML.lat_deg + 0.001, UML.lon_deg, 30.0));
+        assert!((n.y - 111.0).abs() < 1.0, "north {}", n.y);
+        assert!(n.x.abs() < 0.2);
+        // 0.001° east ≈ 111·cos(lat) ≈ 81.7 m east.
+        let e = frame.geodetic_to_plane(Geodetic::new(UML.lat_deg, UML.lon_deg + 0.001, 30.0));
+        assert!((e.x - 81.7).abs() < 1.0, "east {}", e.x);
+        assert!(e.y.abs() < 0.2);
+    }
+
+    #[test]
+    fn plane_round_trip_is_metric_locally() {
+        let frame = EnuFrame::new(UML);
+        let p = Point::new(250.0, -120.0);
+        let g = frame.plane_to_geodetic(p);
+        let back = frame.geodetic_to_plane(g);
+        // Sub-millimeter round trip at campus scale.
+        assert!(
+            back.distance(p) < 1e-3,
+            "round trip error {}",
+            back.distance(p)
+        );
+    }
+
+    #[test]
+    fn local_distances_match_ecef_chords() {
+        let frame = EnuFrame::new(UML);
+        let a = Geodetic::new(42.6555, -71.3251, 30.0);
+        let b = Geodetic::new(42.6600, -71.3200, 30.0);
+        let chord = a.to_ecef().distance(b.to_ecef());
+        let pa = frame.geodetic_to_plane(a);
+        let pb = frame.geodetic_to_plane(b);
+        let planar = pa.distance(pb);
+        // At sub-km scale the tangent plane distortion is tiny.
+        assert!(
+            (chord - planar).abs() < 0.05,
+            "chord {chord} vs planar {planar}"
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let s = UML.to_string();
+        assert!(s.contains("42.6555"));
+        assert!(s.contains("-71.3251"));
+    }
+}

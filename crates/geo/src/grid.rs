@@ -1,0 +1,237 @@
+//! A uniform-grid spatial index over points.
+//!
+//! Campus-scale scenarios ask "which APs are within range of this
+//! position?" thousands of times; the index answers radius queries in
+//! expected `O(results)` instead of scanning every AP. Benchmarked
+//! against the linear scan in the `geometry` bench group.
+
+use crate::Point;
+use std::collections::HashMap;
+
+/// A bucket-grid index mapping points to payloads of type `T`.
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{GridIndex, Point};
+/// let mut idx = GridIndex::new(50.0);
+/// idx.insert(Point::new(0.0, 0.0), "a");
+/// idx.insert(Point::new(30.0, 40.0), "b");
+/// idx.insert(Point::new(500.0, 0.0), "far");
+/// let mut near: Vec<&str> = idx
+///     .within(Point::new(0.0, 0.0), 60.0)
+///     .map(|(_, v)| *v)
+///     .collect();
+/// near.sort();
+/// assert_eq!(near, vec!["a", "b"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an index with the given cell size (meters). Pick a cell
+    /// on the order of the typical query radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell_size` is positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        GridIndex {
+            cell: cell_size,
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    fn key(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// Inserts a point with its payload.
+    pub fn insert(&mut self, p: Point, value: T) {
+        self.buckets
+            .entry(self.key(p))
+            .or_default()
+            .push((p, value));
+        self.len += 1;
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All entries within `radius` of `center` (inclusive boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite radius.
+    pub fn within(&self, center: Point, radius: f64) -> impl Iterator<Item = &(Point, T)> {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be finite and >= 0, got {radius}"
+        );
+        let lo = self.key(Point::new(center.x - radius, center.y - radius));
+        let hi = self.key(Point::new(center.x + radius, center.y + radius));
+        let r2 = radius * radius;
+        (lo.0..=hi.0)
+            .flat_map(move |cx| (lo.1..=hi.1).map(move |cy| (cx, cy)))
+            .filter_map(move |k| self.buckets.get(&k))
+            .flatten()
+            .filter(move |(p, _)| p.distance_sq(center) <= r2)
+    }
+
+    /// The nearest entry to `center`, or `None` when empty. Expands the
+    /// search ring by ring, so cost is proportional to the local density
+    /// (falls back to a full scan in pathological spreads).
+    pub fn nearest(&self, center: Point) -> Option<&(Point, T)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut radius = self.cell;
+        loop {
+            let best = self.within(center, radius).min_by(|a, b| {
+                a.0.distance_sq(center)
+                    .partial_cmp(&b.0.distance_sq(center))
+                    .expect("finite coordinates")
+            });
+            if let Some(hit) = best {
+                // A closer point could hide just outside the scanned
+                // square's inscribed circle; one confirming pass at the
+                // found distance settles it.
+                let d = hit.0.distance(center);
+                return self.within(center, d + crate::EPS).min_by(|a, b| {
+                    a.0.distance_sq(center)
+                        .partial_cmp(&b.0.distance_sq(center))
+                        .expect("finite coordinates")
+                });
+            }
+            radius *= 2.0;
+            if radius > 1e12 {
+                return None; // unreachable with len > 0, defensive
+            }
+        }
+    }
+}
+
+impl<T> Extend<(Point, T)> for GridIndex<T> {
+    fn extend<I: IntoIterator<Item = (Point, T)>>(&mut self, iter: I) {
+        for (p, v) in iter {
+            self.insert(p, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::SplitMix64;
+
+    #[test]
+    fn within_matches_linear_scan() {
+        let mut rng = SplitMix64::new(5);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.uniform(-1000.0, 1000.0), rng.uniform(-1000.0, 1000.0)))
+            .collect();
+        let mut idx = GridIndex::new(120.0);
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(*p, i);
+        }
+        assert_eq!(idx.len(), 500);
+        for trial in 0..30 {
+            let c = Point::new(rng.uniform(-1000.0, 1000.0), rng.uniform(-1000.0, 1000.0));
+            let r = rng.uniform(10.0, 400.0);
+            let mut got: Vec<usize> = idx.within(c, r).map(|(_, i)| *i).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(c) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "trial {trial} mismatch");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let mut rng = SplitMix64::new(9);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0)))
+            .collect();
+        let mut idx = GridIndex::new(80.0);
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(*p, i);
+        }
+        for _ in 0..30 {
+            let c = Point::new(rng.uniform(-600.0, 600.0), rng.uniform(-600.0, 600.0));
+            let (_, got) = idx.nearest(c).expect("non-empty");
+            let want = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.distance_sq(c)
+                        .partial_cmp(&b.1.distance_sq(c))
+                        .expect("finite")
+                })
+                .expect("non-empty")
+                .0;
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn empty_and_edge_cases() {
+        let idx: GridIndex<()> = GridIndex::new(10.0);
+        assert!(idx.is_empty());
+        assert!(idx.nearest(Point::ORIGIN).is_none());
+        assert_eq!(idx.within(Point::ORIGIN, 100.0).count(), 0);
+
+        let mut idx = GridIndex::new(10.0);
+        idx.insert(Point::ORIGIN, 1);
+        // Zero radius still finds the exact point.
+        assert_eq!(idx.within(Point::ORIGIN, 0.0).count(), 1);
+        // Boundary inclusive.
+        idx.insert(Point::new(5.0, 0.0), 2);
+        assert_eq!(idx.within(Point::ORIGIN, 5.0).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_panics() {
+        let _: GridIndex<()> = GridIndex::new(0.0);
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let mut idx = GridIndex::new(10.0);
+        idx.insert(Point::new(-0.1, -0.1), "neg");
+        idx.insert(Point::new(0.1, 0.1), "pos");
+        // Straddling the origin cell boundary: both found.
+        assert_eq!(idx.within(Point::ORIGIN, 1.0).count(), 2);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut idx = GridIndex::new(10.0);
+        idx.extend((0..10).map(|i| (Point::new(i as f64, 0.0), i)));
+        assert_eq!(idx.len(), 10);
+    }
+}

@@ -1,0 +1,133 @@
+//! Convex hull (Andrew's monotone chain).
+//!
+//! The attack pipeline uses hulls to outline coverage areas and AP
+//! deployments on the map display.
+
+use crate::{Point, Polygon};
+
+/// Computes the convex hull of a point set as a counter-clockwise
+/// [`Polygon`].
+///
+/// Collinear points on hull edges are dropped. Inputs with fewer than
+/// three distinct points return a degenerate polygon containing the
+/// distinct points.
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{convex_hull, Point};
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(0.0, 1.0),
+///     Point::new(0.5, 0.5), // interior
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// assert_eq!(hull.area(), 1.0);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Polygon {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("coordinates are finite")
+            .then(a.y.partial_cmp(&b.y).expect("coordinates are finite"))
+    });
+    pts.dedup_by(|a, b| a.distance(*b) < crate::EPS);
+
+    if pts.len() < 3 {
+        return Polygon::new(pts);
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+
+    let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    Polygon::new(lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.5, 1.5),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert_eq!(hull.area(), 4.0);
+        assert!(hull.signed_area() > 0.0, "hull must be CCW");
+    }
+
+    #[test]
+    fn collinear_points_collapse() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        // Degenerate: all collinear -> area 0.
+        assert_eq!(hull.area(), 0.0);
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 2.0)]).len(), 1);
+        assert_eq!(
+            convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).len(),
+            2
+        );
+        // Duplicates collapse.
+        assert_eq!(
+            convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| {
+                let a = i as f64 * 0.61;
+                Point::new(a.sin() * (i % 7) as f64, a.cos() * (i % 5) as f64)
+            })
+            .collect();
+        let hull = convex_hull(&pts);
+        // All strictly-interior test points must be contained; vertices may
+        // land on either side of the ray-cast, so shrink towards centroid.
+        let c = hull.centroid().unwrap();
+        for p in &pts {
+            let inner = p.lerp(c, 1e-6);
+            assert!(
+                hull.contains(inner) || hull.vertices().iter().any(|v| v.distance(*p) < 1e-9),
+                "point {p} outside hull"
+            );
+        }
+    }
+}

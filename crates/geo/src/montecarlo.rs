@@ -1,0 +1,162 @@
+//! Monte-Carlo area estimation for disc intersections.
+//!
+//! The exact Green's-theorem integration in
+//! [`DiscIntersection`](crate::DiscIntersection) is cross-validated in
+//! tests against this independent estimator; it is also used by the
+//! experiment harness for the simulation cross-checks of the paper's
+//! Theorems 2 and 3.
+//!
+//! To keep this substrate dependency-free, sampling uses a small embedded
+//! SplitMix64 generator; the seed makes every estimate reproducible.
+
+use crate::Circle;
+
+/// A minimal deterministic PRNG (SplitMix64), sufficient for area
+/// sampling. Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Estimates the area of `⋂ᵢ discs[i]` by rejection sampling `samples`
+/// points in the bounding box of the smallest disc.
+///
+/// Returns `0.0` for an empty `discs` slice. The standard error scales as
+/// `area / sqrt(samples)`; `samples = 1e6` gives roughly three significant
+/// digits.
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{monte_carlo_intersection_area, Circle, Point};
+/// let discs = [Circle::new(Point::new(0.0, 0.0), 1.0)];
+/// let a = monte_carlo_intersection_area(&discs, 200_000, 7);
+/// assert!((a - std::f64::consts::PI).abs() < 0.02);
+/// ```
+pub fn monte_carlo_intersection_area(discs: &[Circle], samples: u32, seed: u64) -> f64 {
+    if discs.is_empty() {
+        return 0.0;
+    }
+    // Sample inside the bounding box of the smallest disc: the
+    // intersection is contained in every disc.
+    let smallest = discs
+        .iter()
+        .min_by(|a, b| a.radius.partial_cmp(&b.radius).expect("radii are finite"))
+        .expect("non-empty");
+    let (cx, cy, r) = (smallest.center.x, smallest.center.y, smallest.radius);
+    if r == 0.0 {
+        return 0.0;
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut hits = 0u32;
+    for _ in 0..samples {
+        let x = rng.uniform(cx - r, cx + r);
+        let y = rng.uniform(cy - r, cy + r);
+        let p = crate::Point::new(x, y);
+        if discs.iter().all(|d| d.contains(p)) {
+            hits += 1;
+        }
+    }
+    let box_area = 4.0 * r * r;
+    box_area * hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiscIntersection, Point};
+    use std::f64::consts::PI;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut rng = SplitMix64::new(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let v = rng.uniform(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn single_disc_area() {
+        let a = monte_carlo_intersection_area(&[c(2.0, -1.0, 3.0)], 400_000, 3);
+        assert!((a - 9.0 * PI).abs() < 0.2, "a={a}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(monte_carlo_intersection_area(&[], 1000, 1), 0.0);
+        assert_eq!(
+            monte_carlo_intersection_area(&[c(0.0, 0.0, 0.0)], 1000, 1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn matches_exact_for_lens() {
+        let discs = [c(0.0, 0.0, 1.0), c(0.8, 0.3, 1.2)];
+        let exact = DiscIntersection::new(&discs).area();
+        let mc = monte_carlo_intersection_area(&discs, 500_000, 11);
+        assert!((exact - mc).abs() < 0.02, "exact {exact} vs mc {mc}");
+    }
+
+    #[test]
+    fn matches_exact_for_many_discs() {
+        let discs = [
+            c(0.0, 0.0, 1.0),
+            c(0.6, 0.1, 1.0),
+            c(0.3, 0.5, 0.9),
+            c(0.2, -0.4, 1.1),
+            c(-0.2, 0.2, 1.2),
+        ];
+        let exact = DiscIntersection::new(&discs).area();
+        let mc = monte_carlo_intersection_area(&discs, 500_000, 13);
+        assert!((exact - mc).abs() < 0.02, "exact {exact} vs mc {mc}");
+    }
+
+    #[test]
+    fn disjoint_discs_zero() {
+        let a = monte_carlo_intersection_area(&[c(0.0, 0.0, 1.0), c(10.0, 0.0, 1.0)], 10_000, 5);
+        assert_eq!(a, 0.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Points and vectors in the plane.
+//!
+//! [`Point`] is a location, [`Vec2`] a displacement; keeping them distinct
+//! prevents accidentally adding two locations. Both are plain `f64` pairs
+//! with value semantics (`Copy`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A location in the plane, in meters on a local tangent plane unless the
+/// surrounding context says otherwise.
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// East coordinate (x), meters.
+    pub x: f64,
+    /// North coordinate (y), meters.
+    pub y: f64,
+}
+
+/// A displacement in the plane (the difference of two [`Point`]s).
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{Point, Vec2};
+/// let v = Point::new(1.0, 2.0) - Point::new(0.0, 0.0);
+/// assert_eq!(v, Vec2::new(1.0, 2.0));
+/// assert!((v.norm() - 5f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// The point halfway between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    ///
+    /// `t` outside `[0, 1]` extrapolates along the same line.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// Arithmetic mean of a set of points, or `None` when `points` is empty.
+    ///
+    /// This is `AVG(Δ)` in the paper's M-Loc pseudocode.
+    pub fn mean<I>(points: I) -> Option<Point>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        let (mut n, mut sx, mut sy) = (0u64, 0.0, 0.0);
+        for p in points {
+            n += 1;
+            sx += p.x;
+            sy += p.y;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(Point::new(sx / n as f64, sy / n as f64))
+        }
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector at `angle` radians from the +x axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (the z component of the 3-D cross product).
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Angle from the +x axis in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// The unit vector in the same direction, or `None` for a (near-)zero
+    /// vector.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n < crate::EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign<Vec2> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_positive() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(-1.0, 0.5);
+        let b = Point::new(2.0, -3.0);
+        assert!((a.distance_sq(b) - a.distance(b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), Point::new(1.0, 2.0));
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn mean_of_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
+        assert_eq!(Point::mean(pts), Some(Point::new(1.0, 1.0)));
+        assert_eq!(Point::mean(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(Vec2::new(1.0, 0.0).cross(Vec2::new(0.0, 1.0)), 1.0);
+        assert_eq!(v.perp(), Vec2::new(-4.0, 3.0));
+        assert_eq!(v.perp().dot(v), 0.0);
+        assert_eq!(-v, Vec2::new(-3.0, -4.0));
+        assert_eq!(v * 2.0, Vec2::new(6.0, 8.0));
+        assert_eq!(2.0 * v, v * 2.0);
+        assert_eq!(v / 2.0, Vec2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn normalized_unit_and_zero() {
+        let v = Vec2::new(0.0, 2.0);
+        assert_eq!(v.normalized(), Some(Vec2::new(0.0, 1.0)));
+        assert_eq!(Vec2::ZERO.normalized(), None);
+    }
+
+    #[test]
+    fn from_angle_round_trips() {
+        for k in 0..16 {
+            let a = -std::f64::consts::PI + 0.1 + k as f64 * 0.37;
+            let v = Vec2::from_angle(a);
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+            assert!((v.angle() - a).abs() < 1e-9 || (v.angle() - a).abs() > 6.0);
+        }
+    }
+
+    #[test]
+    fn point_vector_arithmetic() {
+        let mut p = Point::new(1.0, 1.0);
+        p += Vec2::new(1.0, 2.0);
+        assert_eq!(p, Point::new(2.0, 3.0));
+        p -= Vec2::new(2.0, 3.0);
+        assert_eq!(p, Point::ORIGIN);
+        assert_eq!(
+            Point::new(1.0, 1.0) - Vec2::new(1.0, 0.0),
+            Point::new(0.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.0, 2.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+        let v: Vec2 = (3.0, 4.0).into();
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1.000, 2.000)");
+        assert_eq!(Vec2::new(1.0, 2.0).to_string(), "<1.000, 2.000>");
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,234 @@
+//! Simple polygons: area, centroid, point containment.
+//!
+//! Used for map output (coverage outlines), for the polygonal
+//! approximation of disc-intersection regions, and by tests as an
+//! independent cross-check of the exact arc-based integration.
+
+use crate::{Point, EPS};
+
+/// A simple polygon given by its vertices in order (either orientation).
+///
+/// # Example
+///
+/// ```
+/// use marauder_geo::{Point, Polygon};
+/// let square = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ]);
+/// assert_eq!(square.area(), 4.0);
+/// assert_eq!(square.centroid(), Some(Point::new(1.0, 1.0)));
+/// assert!(square.contains(Point::new(1.0, 0.5)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from vertices in boundary order.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// A regular `n`-gon inscribed in the circle of the given center and
+    /// radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn regular(center: Point, radius: f64, n: usize) -> Self {
+        assert!(n >= 3, "a polygon needs at least 3 vertices, got {n}");
+        let vertices = (0..n)
+            .map(|k| {
+                let ang = k as f64 * std::f64::consts::TAU / n as f64;
+                center + crate::Vec2::from_angle(ang) * radius
+            })
+            .collect();
+        Polygon { vertices }
+    }
+
+    /// The vertices in order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when the polygon has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Signed area (positive for counter-clockwise orientation), by the
+    /// shoelace formula. Degenerate polygons (< 3 vertices) have area 0.
+    pub fn signed_area(&self) -> f64 {
+        if self.vertices.len() < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (a, b) in self.edges() {
+            sum += a.x * b.y - b.x * a.y;
+        }
+        sum / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Area centroid, or `None` for degenerate polygons. Falls back to the
+    /// vertex mean when the area is (near) zero.
+    pub fn centroid(&self) -> Option<Point> {
+        if self.vertices.is_empty() {
+            return None;
+        }
+        let a = self.signed_area();
+        if a.abs() < EPS {
+            return Point::mean(self.vertices.iter().copied());
+        }
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for (p, q) in self.edges() {
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Some(Point::new(cx / (6.0 * a), cy / (6.0 * a)))
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// Point-in-polygon test (even-odd rule). Boundary points may land on
+    /// either side, consistent with floating-point ray casting.
+    pub fn contains(&self, p: Point) -> bool {
+        let mut inside = false;
+        for (a, b) in self.edges() {
+            if (a.y > p.y) != (b.y > p.y) {
+                let x = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| (self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+}
+
+impl FromIterator<Point> for Polygon {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        Polygon::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Point> for Polygon {
+    fn extend<T: IntoIterator<Item = Point>>(&mut self, iter: T) {
+        self.vertices.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn square_area_and_centroid() {
+        let sq = unit_square();
+        assert_eq!(sq.area(), 1.0);
+        assert_eq!(sq.signed_area(), 1.0); // CCW
+        assert_eq!(sq.centroid(), Some(Point::new(0.5, 0.5)));
+        assert_eq!(sq.perimeter(), 4.0);
+    }
+
+    #[test]
+    fn clockwise_square_has_negative_signed_area() {
+        let mut v = unit_square().vertices().to_vec();
+        v.reverse();
+        let sq = Polygon::new(v);
+        assert_eq!(sq.signed_area(), -1.0);
+        assert_eq!(sq.area(), 1.0);
+        assert_eq!(sq.centroid(), Some(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn degenerate_polygons() {
+        assert_eq!(Polygon::default().area(), 0.0);
+        assert_eq!(Polygon::default().centroid(), None);
+        let seg = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);
+        assert_eq!(seg.area(), 0.0);
+        assert_eq!(seg.centroid(), Some(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn regular_polygon_approaches_circle() {
+        let p = Polygon::regular(Point::new(1.0, 1.0), 2.0, 4096);
+        assert!((p.area() - 4.0 * PI).abs() < 1e-3);
+        let c = p.centroid().unwrap();
+        assert!(c.distance(Point::new(1.0, 1.0)) < 1e-9);
+        assert!((p.perimeter() - 4.0 * PI).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn regular_with_two_vertices_panics() {
+        let _ = Polygon::regular(Point::ORIGIN, 1.0, 2);
+    }
+
+    #[test]
+    fn containment() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(-0.1, 0.5)));
+        assert!(!sq.contains(Point::new(0.5, 2.0)));
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // L-shape.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert_eq!(l.area(), 3.0);
+        assert!(l.contains(Point::new(0.5, 1.5)));
+        assert!(!l.contains(Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut p: Polygon = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]
+            .into_iter()
+            .collect();
+        p.extend([Point::new(1.0, 1.0)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.area(), 0.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! The disc-intersection primitive underpins every localization result in
+//! the reproduction, so its invariants are checked against randomly
+//! generated disc sets and against an independent Monte-Carlo estimator.
+
+use marauder_geo::{
+    convex_hull, monte_carlo_intersection_area, Circle, DiscIntersection, EnuFrame, Geodetic,
+    Point, Polygon,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_circle() -> impl Strategy<Value = Circle> {
+    (arb_point(), 0.2..5.0f64).prop_map(|(c, r)| Circle::new(c, r))
+}
+
+/// Disc sets guaranteed non-empty intersection: all contain the origin.
+fn arb_discs_containing_origin(max: usize) -> impl Strategy<Value = Vec<Circle>> {
+    prop::collection::vec((arb_point(), 0.1..3.0f64), 1..max).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(c, slack)| {
+                let r = c.distance(Point::ORIGIN) + slack;
+                Circle::new(c, r)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lens_area_bounded_by_smaller_disc(a in arb_circle(), b in arb_circle()) {
+        let lens = a.lens_area(&b);
+        prop_assert!(lens >= -1e-9);
+        prop_assert!(lens <= a.area().min(b.area()) + 1e-9);
+    }
+
+    #[test]
+    fn lens_area_symmetric(a in arb_circle(), b in arb_circle()) {
+        prop_assert!((a.lens_area(&b) - b.lens_area(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_points_lie_on_both_circles(a in arb_circle(), b in arb_circle()) {
+        for p in a.intersection_points(&b) {
+            prop_assert!((a.center.distance(p) - a.radius).abs() < 1e-6);
+            prop_assert!((b.center.distance(p) - b.radius).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn region_area_never_exceeds_smallest_disc(discs in prop::collection::vec(arb_circle(), 1..6)) {
+        let region = DiscIntersection::new(&discs);
+        let min_area = discs.iter().map(Circle::area).fold(f64::INFINITY, f64::min);
+        prop_assert!(region.area() <= min_area + 1e-6);
+        prop_assert!(region.area() >= 0.0);
+    }
+
+    #[test]
+    fn region_with_guaranteed_point_is_nonempty(discs in arb_discs_containing_origin(6)) {
+        let region = DiscIntersection::new(&discs);
+        prop_assert!(!region.is_empty());
+        prop_assert!(region.contains(Point::ORIGIN));
+        let c = region.centroid().expect("non-empty region has a centroid");
+        // Convexity: centroid lies inside.
+        prop_assert!(region.contains(c));
+    }
+
+    #[test]
+    fn adding_a_disc_never_grows_the_region(discs in arb_discs_containing_origin(5), extra in 0.1..3.0f64, p in arb_point()) {
+        let before = DiscIntersection::new(&discs).area();
+        let mut more = discs.clone();
+        more.push(Circle::new(p, p.distance(Point::ORIGIN) + extra));
+        let after = DiscIntersection::new(&more).area();
+        prop_assert!(after <= before + 1e-6, "area grew from {before} to {after}");
+    }
+
+    #[test]
+    fn exact_area_matches_monte_carlo(discs in arb_discs_containing_origin(5)) {
+        let region = DiscIntersection::new(&discs);
+        let exact = region.area();
+        let mc = monte_carlo_intersection_area(&discs, 60_000, 12345);
+        // MC error ~ box_area/sqrt(n); allow a generous band scaled by the
+        // smallest disc.
+        let rmin = discs.iter().map(|d| d.radius).fold(f64::INFINITY, f64::min);
+        let band = (4.0 * rmin * rmin) * 0.02 + 1e-3;
+        prop_assert!((exact - mc).abs() < band, "exact {exact} vs mc {mc} (band {band})");
+    }
+
+    #[test]
+    fn vertices_lie_in_all_discs(discs in prop::collection::vec(arb_circle(), 2..6)) {
+        let region = DiscIntersection::new(&discs);
+        for &v in region.vertices() {
+            for d in region.discs() {
+                prop_assert!(d.contains_with_tolerance(v, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn hull_contains_centroid(points in prop::collection::vec(arb_point(), 3..30)) {
+        let hull = convex_hull(&points);
+        if hull.area() > 1e-6 {
+            let c = hull.centroid().expect("positive-area hull");
+            prop_assert!(hull.contains(c));
+        }
+    }
+
+    #[test]
+    fn hull_area_at_most_bbox(points in prop::collection::vec(arb_point(), 3..30)) {
+        let hull = convex_hull(&points);
+        let (mut lo_x, mut lo_y, mut hi_x, mut hi_y) =
+            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &points {
+            lo_x = lo_x.min(p.x); lo_y = lo_y.min(p.y);
+            hi_x = hi_x.max(p.x); hi_y = hi_y.max(p.y);
+        }
+        prop_assert!(hull.area() <= (hi_x - lo_x) * (hi_y - lo_y) + 1e-9);
+    }
+
+    #[test]
+    fn polygon_area_invariant_under_rotation_of_vertex_order(points in prop::collection::vec(arb_point(), 3..12), shift in 0usize..12) {
+        let poly = Polygon::new(points.clone());
+        let n = points.len();
+        let mut rotated = points.clone();
+        rotated.rotate_left(shift % n);
+        let rot = Polygon::new(rotated);
+        prop_assert!((poly.area() - rot.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geodetic_ecef_round_trip(lat in -89.0..89.0f64, lon in -179.9..179.9f64, h in -100.0..9000.0f64) {
+        let g = Geodetic::new(lat, lon, h);
+        let back = g.to_ecef().to_geodetic();
+        prop_assert!((back.lat_deg - lat).abs() < 1e-9);
+        prop_assert!((back.lon_deg - lon).abs() < 1e-9);
+        prop_assert!((back.height_m - h).abs() < 1e-5);
+    }
+
+    #[test]
+    fn enu_round_trip(east in -2000.0..2000.0f64, north in -2000.0..2000.0f64) {
+        let frame = EnuFrame::new(Geodetic::new(42.6555, -71.3251, 30.0));
+        let p = Point::new(east, north);
+        let back = frame.geodetic_to_plane(frame.plane_to_geodetic(p));
+        prop_assert!(back.distance(p) < 1e-3);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The paper's AP-Rad algorithm estimates every access point's maximum
+//! transmission distance by solving a linear program: maximize `Σ rⱼ`
+//! subject to `rᵢ + rⱼ ≥ dᵢⱼ` for co-observed AP pairs and
+//! `rᵢ + rⱼ < dᵢⱼ` for pairs never observed together (Section III-C2).
+//! No LP solver exists in the allowed dependency set, so this crate
+//! implements a classic **two-phase dense simplex** with Bland's
+//! anti-cycling rule.
+//!
+//! The model is: maximize (or minimize) `cᵀx` subject to linear
+//! constraints `aᵀx {≤,≥,=} b` and `x ≥ 0`. Upper bounds are expressed
+//! as ordinary `≤` constraints.
+//!
+//! # Example
+//!
+//! ```
+//! use marauder_lp::{Problem, Relation};
+//!
+//! // maximize 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2,  x,y ≥ 0
+//! let mut p = Problem::maximize(&[3.0, 2.0]);
+//! p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint(&[(0, 1.0)], Relation::Le, 2.0);
+//! let sol = p.solve().into_optimal().expect("bounded and feasible");
+//! assert!((sol.objective - 10.0).abs() < 1e-9); // x=2, y=2
+//! ```
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, Problem, Relation};
+pub use simplex::{Outcome, Solution};

@@ -1,0 +1,168 @@
+//! Linear-program model: variables, objective and constraints.
+
+use crate::simplex::{self, Outcome};
+use std::fmt;
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx ≥ b`
+    Ge,
+    /// `aᵀx = b`
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        })
+    }
+}
+
+/// One linear constraint in sparse form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; unmentioned variables have
+    /// coefficient 0.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint direction.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+///
+/// Build with [`Problem::maximize`] or [`Problem::minimize`], add
+/// constraints, then [`solve`](Problem::solve). See the
+/// [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    objective: Vec<f64>,
+    maximize: bool,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// A maximization problem with the given objective coefficients (one
+    /// per variable).
+    pub fn maximize(objective: &[f64]) -> Self {
+        Problem {
+            objective: objective.to_vec(),
+            maximize: true,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// A minimization problem with the given objective coefficients.
+    pub fn minimize(objective: &[f64]) -> Self {
+        Problem {
+            objective: objective.to_vec(),
+            maximize: false,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether this is a maximization problem.
+    pub fn is_maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// The objective coefficient vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds the constraint `Σ coeffs[k].1 · x[coeffs[k].0] relation rhs`.
+    ///
+    /// Repeated variable indices are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a variable index is out of range or a coefficient/rhs
+    /// is not finite.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], relation: Relation, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite, got {rhs}");
+        for &(i, c) in coeffs {
+            assert!(
+                i < self.num_vars(),
+                "variable index {i} out of range (have {} variables)",
+                self.num_vars()
+            );
+            assert!(c.is_finite(), "coefficient must be finite, got {c}");
+        }
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Convenience: adds an upper bound `x[i] ≤ bound`.
+    pub fn add_upper_bound(&mut self, i: usize, bound: f64) {
+        self.add_constraint(&[(i, 1.0)], Relation::Le, bound);
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> Outcome {
+        simplex::solve(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut p = Problem::maximize(&[1.0, 2.0]);
+        assert_eq!(p.num_vars(), 2);
+        assert!(p.is_maximize());
+        assert_eq!(p.num_constraints(), 0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.constraints()[0].relation, Relation::Le);
+        assert!(!Problem::minimize(&[1.0]).is_maximize());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_variable_index_panics() {
+        let mut p = Problem::maximize(&[1.0]);
+        p.add_constraint(&[(3, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs must be finite")]
+    fn nan_rhs_panics() {
+        let mut p = Problem::maximize(&[1.0]);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, f64::NAN);
+    }
+
+    #[test]
+    fn relation_display() {
+        assert_eq!(Relation::Le.to_string(), "<=");
+        assert_eq!(Relation::Ge.to_string(), ">=");
+        assert_eq!(Relation::Eq.to_string(), "=");
+    }
+}

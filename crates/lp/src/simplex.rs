@@ -1,0 +1,472 @@
+//! Two-phase dense simplex.
+//!
+//! Textbook implementation: constraints are normalized to non-negative
+//! right-hand sides, slack variables are added for `≤`, surplus plus
+//! artificial variables for `≥`, and artificial variables for `=`.
+//! Phase 1 minimizes the sum of artificials (infeasible when positive at
+//! optimum); phase 2 optimizes the real objective. Pivoting uses Dantzig's
+//! rule with a fallback to Bland's rule after a stall threshold, which
+//! guarantees termination on degenerate problems.
+
+use crate::problem::{Problem, Relation};
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-9;
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal variable assignment.
+    pub values: Vec<f64>,
+    /// Objective value at the optimum (in the problem's own sense:
+    /// maximum for maximization problems, minimum for minimizations).
+    pub objective: f64,
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A finite optimum was found.
+    Optimal(Solution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl Outcome {
+    /// Extracts the solution, discarding the failure cases.
+    pub fn into_optimal(self) -> Option<Solution> {
+        match self {
+            Outcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Outcome::Infeasible`].
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, Outcome::Infeasible)
+    }
+}
+
+struct Tableau {
+    /// `rows × cols` coefficient matrix; the last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row (cost coefficients, last entry = objective value
+    /// negated by simplex convention).
+    z: Vec<f64>,
+    /// Basis: for each row, the index of its basic variable.
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > TOL, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for v in &mut self.a[row] {
+            *v *= inv;
+        }
+        let pivot_row = self.a[row].clone();
+        for (r, a_row) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = a_row[col];
+            if factor.abs() > TOL {
+                for (v, pv) in a_row.iter_mut().zip(&pivot_row) {
+                    *v -= factor * pv;
+                }
+                a_row[col] = 0.0; // exact zero against drift
+            }
+        }
+        let factor = self.z[col];
+        if factor.abs() > TOL {
+            for (v, pv) in self.z.iter_mut().zip(&pivot_row) {
+                *v -= factor * pv;
+            }
+            self.z[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations (maximization of the `z` row in the form
+    /// where reduced costs appear negated). Returns `false` when the
+    /// problem is unbounded. `active_cols` limits the entering columns.
+    fn optimize(&mut self, active_cols: usize) -> bool {
+        let mut stalled = 0usize;
+        let stall_threshold = 64 + 4 * self.a.len();
+        loop {
+            // Entering column: Dantzig (most negative) or Bland when
+            // degenerate pivoting threatens to cycle.
+            let entering = if stalled < stall_threshold {
+                let mut best: Option<(usize, f64)> = None;
+                for c in 0..active_cols {
+                    let v = self.z[c];
+                    if v < -TOL && best.is_none_or(|(_, bv)| v < bv) {
+                        best = Some((c, v));
+                    }
+                }
+                best.map(|(c, _)| c)
+            } else {
+                (0..active_cols).find(|&c| self.z[c] < -TOL)
+            };
+            let Some(col) = entering else {
+                return true; // optimal
+            };
+            // Leaving row: minimum ratio test (Bland ties by basis index).
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.a.len() {
+                let coef = self.a[r][col];
+                if coef > TOL {
+                    let ratio = self.a[r][self.cols - 1] / coef;
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - TOL
+                                || (ratio < lratio + TOL && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((row, ratio)) = leave else {
+                return false; // unbounded
+            };
+            if ratio.abs() < TOL {
+                stalled += 1;
+            } else {
+                stalled = 0;
+            }
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves a [`Problem`] with the two-phase simplex method.
+pub fn solve(problem: &Problem) -> Outcome {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+
+    // Normalize constraints to dense rows with non-negative RHS.
+    struct Row {
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(m);
+    for c in problem.constraints() {
+        let mut coeffs = vec![0.0; n];
+        for &(i, v) in &c.coeffs {
+            coeffs[i] += v;
+        }
+        let (coeffs, relation, rhs) = if c.rhs < 0.0 {
+            let flipped = match c.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            (coeffs.iter().map(|v| -v).collect(), flipped, -c.rhs)
+        } else {
+            (coeffs, c.relation, c.rhs)
+        };
+        rows.push(Row {
+            coeffs,
+            relation,
+            rhs,
+        });
+    }
+
+    let num_slack = rows
+        .iter()
+        .filter(|r| matches!(r.relation, Relation::Le | Relation::Ge))
+        .count();
+    let num_artificial = rows
+        .iter()
+        .filter(|r| matches!(r.relation, Relation::Ge | Relation::Eq))
+        .count();
+    let cols = n + num_slack + num_artificial + 1; // + RHS
+
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    let mut artificials: Vec<usize> = Vec::with_capacity(num_artificial);
+
+    for (r, row) in rows.iter().enumerate() {
+        a[r][..n].copy_from_slice(&row.coeffs);
+        a[r][cols - 1] = row.rhs;
+        match row.relation {
+            Relation::Le => {
+                a[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                a[r][slack_idx] = -1.0; // surplus
+                slack_idx += 1;
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        z: vec![0.0; cols],
+        basis,
+        cols,
+    };
+
+    // Phase 1: minimize sum of artificials == maximize -(sum).
+    if !artificials.is_empty() {
+        for &c in &artificials {
+            t.z[c] = 1.0;
+        }
+        // Make the objective row consistent with the basis (artificials
+        // are basic): subtract their rows.
+        for r in 0..m {
+            if artificials.contains(&t.basis[r]) {
+                let row = t.a[r].clone();
+                for (v, rv) in t.z.iter_mut().zip(&row) {
+                    *v -= rv;
+                }
+            }
+        }
+        let bounded = t.optimize(cols - 1);
+        debug_assert!(bounded, "phase 1 is always bounded below by 0");
+        let phase1_obj = -t.z[cols - 1];
+        if phase1_obj > 1e-7 {
+            return Outcome::Infeasible;
+        }
+        // Drive any remaining basic artificials out (degenerate rows).
+        for r in 0..m {
+            if artificials.contains(&t.basis[r]) {
+                if let Some(c) = (0..n + num_slack).find(|&c| t.a[r][c].abs() > TOL) {
+                    t.pivot(r, c);
+                }
+                // If no pivot column exists the row is all-zero
+                // (redundant constraint) and can stay as-is.
+            }
+        }
+        // Erase artificial columns so phase 2 never re-enters them.
+        for &c in &artificials {
+            for r in 0..m {
+                t.a[r][c] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: the real objective. Simplex maximizes; minimization
+    // negates the costs.
+    let sign = if problem.is_maximize() { 1.0 } else { -1.0 };
+    t.z = vec![0.0; cols];
+    for (i, &c) in problem.objective().iter().enumerate() {
+        t.z[i] = -sign * c;
+    }
+    // Make the objective row consistent with the current basis.
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < cols - 1 && t.z[b].abs() > TOL {
+            let factor = t.z[b];
+            let row = t.a[r].clone();
+            for (v, rv) in t.z.iter_mut().zip(&row) {
+                *v -= factor * rv;
+            }
+            t.z[b] = 0.0;
+        }
+    }
+    if !t.optimize(n + num_slack) {
+        return Outcome::Unbounded;
+    }
+
+    let mut values = vec![0.0; n];
+    for (r, &b) in t.basis.iter().enumerate() {
+        if b < n {
+            values[b] = t.a[r][cols - 1];
+        }
+    }
+    let objective: f64 = problem
+        .objective()
+        .iter()
+        .zip(&values)
+        .map(|(c, v)| c * v)
+        .sum();
+    Outcome::Optimal(Solution { values, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x+5y st x<=4, 2y<=12, 3x+2y<=18 -> x=2,y=6,obj=36.
+        let mut p = Problem::maximize(&[3.0, 5.0]);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = p.solve().into_optimal().unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.values[0], 2.0);
+        assert_close(s.values[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x+3y st x+y>=10, x>=3 -> x=10,y=0? obj 20 (x cheapest).
+        let mut p = Problem::minimize(&[2.0, 3.0]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 3.0);
+        let s = p.solve().into_optimal().unwrap();
+        assert_close(s.objective, 20.0);
+        assert_close(s.values[0], 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x+y st x+y=5, x<=2 -> obj 5, x=2,y=3 (or any on segment).
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 5.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 2.0);
+        let s = p.solve().into_optimal().unwrap();
+        assert_close(s.objective, 5.0);
+        assert!(s.values[0] <= 2.0 + 1e-9);
+        assert_close(s.values[0] + s.values[1], 5.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::maximize(&[1.0]);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 5.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 3.0);
+        assert!(p.solve().is_infeasible());
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 3.0); // y unbounded
+        assert_eq!(p.solve(), Outcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // max -x st -x >= -4 (i.e. x <= 4); optimum x=0, obj 0.
+        let mut p = Problem::maximize(&[-1.0]);
+        p.add_constraint(&[(0, -1.0)], Relation::Ge, -4.0);
+        let s = p.solve().into_optimal().unwrap();
+        assert_close(s.objective, 0.0);
+        // min -x with same constraint -> x=4, obj -4.
+        let mut p = Problem::minimize(&[-1.0]);
+        p.add_constraint(&[(0, -1.0)], Relation::Ge, -4.0);
+        let s = p.solve().into_optimal().unwrap();
+        assert_close(s.objective, -4.0);
+        assert_close(s.values[0], 4.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP (multiple constraints tight at origin).
+        let mut p = Problem::maximize(&[0.75, -150.0, 0.02, -6.0]);
+        p.add_constraint(
+            &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(&[(2, 1.0)], Relation::Le, 1.0);
+        let s = p
+            .solve()
+            .into_optimal()
+            .expect("Beale's example is bounded");
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        let mut p = Problem::maximize(&[1.0]);
+        p.add_constraint(&[(0, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(&[(0, 2.0)], Relation::Eq, 4.0); // same constraint
+        let s = p.solve().into_optimal().unwrap();
+        assert_close(s.values[0], 2.0);
+    }
+
+    #[test]
+    fn aprad_shaped_problem() {
+        // Three APs on a line at 0, 10, 25. Pairs (0,1) co-observed
+        // (r0+r1 >= 10); (1,2) and (0,2) not (r1+r2 <= 15-eps,
+        // r0+r2 <= 25-eps). Maximize sum with caps at 20.
+        let eps = 1e-3;
+        let mut p = Problem::maximize(&[1.0, 1.0, 1.0]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 10.0);
+        p.add_constraint(&[(1, 1.0), (2, 1.0)], Relation::Le, 15.0 - eps);
+        p.add_constraint(&[(0, 1.0), (2, 1.0)], Relation::Le, 25.0 - eps);
+        for i in 0..3 {
+            p.add_upper_bound(i, 20.0);
+        }
+        let s = p.solve().into_optimal().unwrap();
+        // Feasibility of the reported solution.
+        let r = &s.values;
+        assert!(r[0] + r[1] >= 10.0 - 1e-6);
+        assert!(r[1] + r[2] <= 15.0 - eps + 1e-6);
+        assert!(r[0] + r[2] <= 25.0 - eps + 1e-6);
+        for &v in r {
+            assert!((0.0..=20.0 + 1e-6).contains(&v));
+        }
+        // Optimal: r0=20 (cap), then r0+r2<=25-eps -> r2 = 5-eps; r1+r2<=15-eps
+        // -> r1 = 10. Sum = 35 - 2eps... check optimum ≈ 35.
+        assert!((s.objective - 35.0).abs() < 0.1, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn no_constraints_bounded_only_if_costs_nonpositive() {
+        let p = Problem::maximize(&[-1.0, -2.0]);
+        let s = p.solve().into_optimal().unwrap();
+        assert_close(s.objective, 0.0);
+        let p = Problem::maximize(&[1.0]);
+        assert_eq!(p.solve(), Outcome::Unbounded);
+    }
+
+    #[test]
+    fn larger_random_feasible_problem() {
+        // Diagonally dominant system with known feasible interior point.
+        let n = 25;
+        let c: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut p = Problem::maximize(&c);
+        for i in 0..n {
+            // x_i + 0.1 x_{i+1} <= 2
+            p.add_constraint(&[(i, 1.0), ((i + 1) % n, 0.1)], Relation::Le, 2.0);
+        }
+        let s = p.solve().into_optimal().unwrap();
+        // Solution must satisfy all constraints.
+        for i in 0..n {
+            assert!(s.values[i] + 0.1 * s.values[(i + 1) % n] <= 2.0 + 1e-6);
+            assert!(s.values[i] >= -1e-9);
+        }
+        // Symmetric problem: every x_i = 2/1.1.
+        for i in 0..n {
+            assert!((s.values[i] - 2.0 / 1.1).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate LPs with a known feasible point, then check that
+//! the solver (a) reports feasibility, (b) returns a feasible solution,
+//! and (c) returns an objective at least as good as the known point.
+
+use marauder_lp::{Outcome, Problem, Relation};
+use proptest::prelude::*;
+
+/// A generated LP whose constraints are all of the form `aᵀx ≤ b` with
+/// `b = aᵀx₀ + slack` for a known point `x₀ ≥ 0`, guaranteeing
+/// feasibility, plus per-variable caps that guarantee boundedness.
+#[derive(Debug, Clone)]
+struct FeasibleLp {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    caps: Vec<f64>,
+    x0: Vec<f64>,
+}
+
+fn arb_feasible_lp() -> impl Strategy<Value = FeasibleLp> {
+    (2usize..6).prop_flat_map(|n| {
+        let objective = prop::collection::vec(-5.0..5.0f64, n);
+        let x0 = prop::collection::vec(0.0..3.0f64, n);
+        let rows =
+            prop::collection::vec((prop::collection::vec(-2.0..2.0f64, n), 0.01..4.0f64), 1..8);
+        let caps = prop::collection::vec(0.5..10.0f64, n);
+        (objective, x0, rows, caps).prop_map(|(objective, x0, raw_rows, caps)| {
+            // Clamp x0 under the caps so it stays feasible.
+            let x0: Vec<f64> = x0.iter().zip(&caps).map(|(v, c)| v.min(*c)).collect();
+            let rows = raw_rows
+                .into_iter()
+                .map(|(a, slack)| {
+                    let b: f64 = a.iter().zip(&x0).map(|(ai, xi)| ai * xi).sum::<f64>() + slack;
+                    (a, b)
+                })
+                .collect();
+            FeasibleLp {
+                objective,
+                rows,
+                caps,
+                x0,
+            }
+        })
+    })
+}
+
+fn build(lp: &FeasibleLp) -> Problem {
+    let mut p = Problem::maximize(&lp.objective);
+    for (a, b) in &lp.rows {
+        let coeffs: Vec<(usize, f64)> = a.iter().copied().enumerate().collect();
+        p.add_constraint(&coeffs, Relation::Le, *b);
+    }
+    for (i, &cap) in lp.caps.iter().enumerate() {
+        p.add_upper_bound(i, cap);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_finds_feasible_optimum(lp in arb_feasible_lp()) {
+        let p = build(&lp);
+        let outcome = p.solve();
+        let sol = match outcome {
+            Outcome::Optimal(s) => s,
+            other => return Err(TestCaseError::fail(format!("expected optimal, got {other:?}"))),
+        };
+        // (b) solution is feasible.
+        for (a, b) in &lp.rows {
+            let lhs: f64 = a.iter().zip(&sol.values).map(|(ai, xi)| ai * xi).sum();
+            prop_assert!(lhs <= b + 1e-6, "violated: {lhs} > {b}");
+        }
+        for (i, &cap) in lp.caps.iter().enumerate() {
+            prop_assert!(sol.values[i] <= cap + 1e-6);
+            prop_assert!(sol.values[i] >= -1e-9);
+        }
+        // (c) at least as good as the known feasible point.
+        let x0_obj: f64 = lp.objective.iter().zip(&lp.x0).map(|(c, x)| c * x).sum();
+        prop_assert!(sol.objective >= x0_obj - 1e-6,
+            "optimum {} worse than feasible point {}", sol.objective, x0_obj);
+        // Objective is consistent with values.
+        let recomputed: f64 = lp.objective.iter().zip(&sol.values).map(|(c, x)| c * x).sum();
+        prop_assert!((recomputed - sol.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_and_max_bracket_each_other(lp in arb_feasible_lp()) {
+        let pmax = build(&lp);
+        let mut pmin = Problem::minimize(&lp.objective);
+        for (a, b) in &lp.rows {
+            let coeffs: Vec<(usize, f64)> = a.iter().copied().enumerate().collect();
+            pmin.add_constraint(&coeffs, Relation::Le, *b);
+        }
+        for (i, &cap) in lp.caps.iter().enumerate() {
+            pmin.add_upper_bound(i, cap);
+        }
+        let smax = pmax.solve().into_optimal().expect("bounded");
+        let smin = pmin.solve().into_optimal().expect("bounded below: x >= 0, caps");
+        prop_assert!(smin.objective <= smax.objective + 1e-6);
+    }
+
+    #[test]
+    fn scaling_objective_scales_optimum(lp in arb_feasible_lp(), k in 0.1..5.0f64) {
+        let base = build(&lp).solve().into_optimal().expect("bounded");
+        let scaled_obj: Vec<f64> = lp.objective.iter().map(|c| c * k).collect();
+        let scaled_lp = FeasibleLp { objective: scaled_obj, ..lp.clone() };
+        let scaled = build(&scaled_lp).solve().into_optimal().expect("bounded");
+        prop_assert!((scaled.objective - k * base.objective).abs() < 1e-5 * (1.0 + base.objective.abs()),
+            "k={k}: {} vs {}", scaled.objective, k * base.objective);
+    }
+}

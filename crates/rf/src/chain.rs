@@ -1,0 +1,441 @@
+//! The wireless receiver chain: antenna → connector → LNA → splitter →
+//! wireless cards.
+//!
+//! This mirrors Figure 1 of the paper: a high-gain antenna feeds a
+//! powered low-noise amplifier, whose output a signal splitter fans out
+//! to several wireless cards so that multiple channels can be monitored
+//! from one antenna. [`ReceiverChain`] computes the resulting cascade
+//! noise figure, per-thread sensitivity and Theorem-1 coverage radius.
+
+use crate::link_budget::{self, Transmitter};
+use crate::noise::{cascade_noise_figure, CascadeStage};
+use crate::units::{Db, Dbi, Dbm, Hertz, Meters};
+
+/// An antenna component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Antenna {
+    /// Marketing / catalog name.
+    pub name: &'static str,
+    /// Gain over isotropic, dBi.
+    pub gain_dbi: f64,
+}
+
+/// A low-noise amplifier component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lna {
+    /// Marketing / catalog name.
+    pub name: &'static str,
+    /// Power gain, dB.
+    pub gain_db: f64,
+    /// Noise figure, dB.
+    pub noise_figure_db: f64,
+}
+
+/// A power splitter component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Splitter {
+    /// Marketing / catalog name.
+    pub name: &'static str,
+    /// Number of output threads.
+    pub ways: u32,
+    /// Insertion loss beyond the ideal `10·log₁₀(ways)` split, dB.
+    pub excess_loss_db: f64,
+}
+
+impl Splitter {
+    /// Total per-thread loss: ideal split loss plus excess insertion loss.
+    pub fn loss(&self) -> Db {
+        Db::new(10.0 * (self.ways as f64).log10() + self.excess_loss_db)
+    }
+}
+
+/// A wireless network interface card component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nic {
+    /// Marketing / catalog name.
+    pub name: &'static str,
+    /// Front-end noise figure, dB (typical cards: 4–6 dB, paper \[20\]).
+    pub noise_figure_db: f64,
+    /// Minimum SNR for acceptable demodulation, dB.
+    pub snr_min_db: f64,
+    /// Receiver (baseband filter) bandwidth, MHz.
+    pub bandwidth_mhz: f64,
+    /// Conducted transmit power, dBm (used when the card transmits).
+    pub tx_power_dbm: f64,
+}
+
+/// An assembled receiver chain.
+///
+/// Construct with [`ReceiverChain::builder`]. See the
+/// [crate-level example](crate) for the paper's full LNA chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceiverChain {
+    name: String,
+    antenna: Antenna,
+    connector_loss: Db,
+    lna: Option<Lna>,
+    splitter: Option<Splitter>,
+    nic: Nic,
+}
+
+/// Builder for [`ReceiverChain`]. Only the NIC is mandatory; the default
+/// antenna is the card's integrated 0 dBi antenna.
+#[derive(Debug, Clone, Default)]
+pub struct ReceiverChainBuilder {
+    name: Option<String>,
+    antenna: Option<Antenna>,
+    connector_loss: Option<f64>,
+    lna: Option<Lna>,
+    splitter: Option<Splitter>,
+    nic: Option<Nic>,
+}
+
+impl ReceiverChain {
+    /// Starts building a chain.
+    pub fn builder() -> ReceiverChainBuilder {
+        ReceiverChainBuilder::default()
+    }
+
+    /// Display name of the chain (defaults to the NIC name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The receive antenna.
+    pub fn antenna(&self) -> Antenna {
+        self.antenna
+    }
+
+    /// The wireless card terminating the chain.
+    pub fn nic(&self) -> Nic {
+        self.nic
+    }
+
+    /// Number of signal threads the chain provides (1 without a splitter).
+    /// Each thread can feed one wireless card monitoring one channel.
+    pub fn threads(&self) -> u32 {
+        self.splitter.map_or(1, |s| s.ways)
+    }
+
+    /// Cascade noise figure of the whole chain (paper eq. 15: with a
+    /// high-gain LNA this is essentially the LNA's own noise figure).
+    pub fn noise_figure(&self) -> Db {
+        let mut stages: Vec<CascadeStage> = Vec::with_capacity(4);
+        if self.connector_loss.db() > 0.0 {
+            stages.push(CascadeStage::passive(self.connector_loss));
+        }
+        if let Some(lna) = self.lna {
+            stages.push(CascadeStage::active(
+                Db::new(lna.gain_db),
+                Db::new(lna.noise_figure_db),
+            ));
+        }
+        if let Some(sp) = self.splitter {
+            stages.push(CascadeStage::passive(sp.loss()));
+        }
+        stages.push(CascadeStage::active(
+            Db::ZERO,
+            Db::new(self.nic.noise_figure_db),
+        ));
+        cascade_noise_figure(&stages)
+    }
+
+    /// The chain's sensitivity: minimum antenna-input power that still
+    /// demodulates (paper eq. 16).
+    pub fn sensitivity(&self) -> Dbm {
+        link_budget::sensitivity(
+            self.noise_figure(),
+            Db::new(self.nic.snr_min_db),
+            Hertz::from_mhz(self.nic.bandwidth_mhz),
+        )
+    }
+
+    /// Theorem-1 coverage radius against transmitter `tx` at carrier
+    /// `freq`, with `environment_margin` of additional loss standing in
+    /// for the non-free-space reality of a campus.
+    pub fn coverage_radius(&self, tx: &Transmitter, freq: Hertz, environment_margin: Db) -> Meters {
+        link_budget::coverage_radius(
+            tx,
+            Dbi::new(self.antenna.gain_dbi),
+            self.noise_figure(),
+            Db::new(self.nic.snr_min_db),
+            Hertz::from_mhz(self.nic.bandwidth_mhz),
+            freq,
+            environment_margin,
+        )
+    }
+
+    /// Theorem-1 coverage radius when decoding at a specific data rate
+    /// instead of the NIC's configured `snr_min` — quantifies why the
+    /// 1 Mbps management traffic is sniffable far beyond any data
+    /// session's range.
+    pub fn coverage_radius_at_rate(
+        &self,
+        tx: &Transmitter,
+        freq: Hertz,
+        environment_margin: Db,
+        rate: crate::rates::DataRate,
+    ) -> Meters {
+        link_budget::coverage_radius(
+            tx,
+            Dbi::new(self.antenna.gain_dbi),
+            self.noise_figure(),
+            rate.snr_min(),
+            Hertz::from_mhz(self.nic.bandwidth_mhz),
+            freq,
+            environment_margin,
+        )
+    }
+
+    /// Whether the chain decodes a transmission from `tx` over a path
+    /// with the given total `path_loss` (any propagation model). The
+    /// chain's own antenna gain is applied here.
+    pub fn decodes_via(&self, tx: &Transmitter, path_loss: Db) -> bool {
+        let prx = tx.eirp() + Dbi::new(self.antenna.gain_dbi).as_db() - path_loss;
+        prx > self.sensitivity()
+    }
+
+    /// Whether the chain decodes a transmission from `tx` at distance `d`.
+    pub fn decodes(
+        &self,
+        tx: &Transmitter,
+        d: Meters,
+        freq: Hertz,
+        environment_margin: Db,
+    ) -> bool {
+        let prx = link_budget::received_power(
+            tx,
+            Dbi::new(self.antenna.gain_dbi),
+            d,
+            freq,
+            environment_margin,
+        );
+        prx > self.sensitivity()
+    }
+}
+
+impl ReceiverChainBuilder {
+    /// Sets a display name (defaults to the NIC name).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the receive antenna.
+    pub fn antenna(mut self, antenna: Antenna) -> Self {
+        self.antenna = Some(antenna);
+        self
+    }
+
+    /// Sets the antenna-to-chain connector loss in dB (default 0).
+    ///
+    /// # Panics
+    ///
+    /// The terminal [`build`](Self::build) panics if the loss is negative.
+    pub fn connector_loss_db(mut self, loss: f64) -> Self {
+        self.connector_loss = Some(loss);
+        self
+    }
+
+    /// Inserts a low-noise amplifier after the antenna.
+    pub fn lna(mut self, lna: Lna) -> Self {
+        self.lna = Some(lna);
+        self
+    }
+
+    /// Inserts a signal splitter before the cards.
+    pub fn splitter(mut self, splitter: Splitter) -> Self {
+        self.splitter = Some(splitter);
+        self
+    }
+
+    /// Sets the wireless card (mandatory).
+    pub fn nic(mut self, nic: Nic) -> Self {
+        self.nic = Some(nic);
+        self
+    }
+
+    /// Assembles the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no NIC was provided or the connector loss is negative.
+    pub fn build(self) -> ReceiverChain {
+        let nic = self.nic.expect("a receiver chain needs a wireless card");
+        let connector_loss = self.connector_loss.unwrap_or(0.0);
+        assert!(
+            connector_loss >= 0.0,
+            "connector loss must be >= 0 dB, got {connector_loss}"
+        );
+        let antenna = self.antenna.unwrap_or(Antenna {
+            name: "integrated",
+            gain_dbi: 0.0,
+        });
+        ReceiverChain {
+            name: self.name.unwrap_or_else(|| nic.name.to_string()),
+            antenna,
+            connector_loss: Db::new(connector_loss),
+            lna: self.lna,
+            splitter: self.splitter,
+            nic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components;
+    use crate::units::Dbm;
+
+    fn mobile() -> Transmitter {
+        Transmitter::new(Dbm::new(15.0), Dbi::new(2.0))
+    }
+
+    fn ch6() -> Hertz {
+        Hertz::from_mhz(2437.0)
+    }
+
+    fn margin() -> Db {
+        Db::new(components::CAMPUS_ENVIRONMENT_MARGIN_DB)
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a wireless card")]
+    fn build_without_nic_panics() {
+        let _ = ReceiverChain::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "connector loss must be >= 0")]
+    fn negative_connector_loss_panics() {
+        let _ = ReceiverChain::builder()
+            .nic(components::UBIQUITI_SRC)
+            .connector_loss_db(-1.0)
+            .build();
+    }
+
+    #[test]
+    fn default_antenna_is_integrated() {
+        let chain = ReceiverChain::builder()
+            .nic(components::DLINK_DWL_G650)
+            .build();
+        assert_eq!(chain.antenna().gain_dbi, 0.0);
+        assert_eq!(chain.name(), "D-Link DWL-G650");
+        assert_eq!(chain.threads(), 1);
+    }
+
+    #[test]
+    fn lna_chain_nf_is_lna_nf() {
+        let chain = ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .lna(components::RF_LAMBDA_LNA)
+            .splitter(components::HYPERLINK_SPLITTER_4WAY)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        assert!((chain.noise_figure().db() - 1.5).abs() < 0.05);
+        assert_eq!(chain.threads(), 4);
+    }
+
+    #[test]
+    fn fig12_coverage_ordering() {
+        // Fig. 12 of the paper: DLink < SRC < HG2415U <= LNA (~1 km).
+        let dlink = ReceiverChain::builder()
+            .nic(components::DLINK_DWL_G650)
+            .build();
+        let src = ReceiverChain::builder()
+            .antenna(components::TRI_BAND_CLIP_4DBI)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let hg = ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let lna = ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .lna(components::RF_LAMBDA_LNA)
+            .splitter(components::HYPERLINK_SPLITTER_4WAY)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let r = |c: &ReceiverChain| c.coverage_radius(&mobile(), ch6(), margin()).meters();
+        assert!(r(&dlink) < r(&src), "{} !< {}", r(&dlink), r(&src));
+        assert!(r(&src) < r(&hg));
+        assert!(r(&hg) < r(&lna));
+        // The full LNA chain reaches roughly the paper's 1 km.
+        assert!(
+            (r(&lna) - 1000.0).abs() < 250.0,
+            "LNA radius {} not ≈ 1 km",
+            r(&lna)
+        );
+    }
+
+    #[test]
+    fn decodes_inside_radius_only() {
+        let chain = ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .lna(components::RF_LAMBDA_LNA)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let d = chain.coverage_radius(&mobile(), ch6(), margin());
+        assert!(chain.decodes(&mobile(), Meters::new(d.meters() - 1.0), ch6(), margin()));
+        assert!(!chain.decodes(&mobile(), Meters::new(d.meters() + 1.0), ch6(), margin()));
+    }
+
+    #[test]
+    fn splitter_loss_is_ideal_plus_excess() {
+        let s = Splitter {
+            name: "test",
+            ways: 4,
+            excess_loss_db: 0.5,
+        };
+        assert!((s.loss().db() - (6.0206 + 0.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn splitter_after_lna_barely_costs_radius() {
+        let base = ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .lna(components::RF_LAMBDA_LNA)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let split = ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .lna(components::RF_LAMBDA_LNA)
+            .splitter(components::HYPERLINK_SPLITTER_4WAY)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let rb = base.coverage_radius(&mobile(), ch6(), margin()).meters();
+        let rs = split.coverage_radius(&mobile(), ch6(), margin()).meters();
+        // Less than 2% radius cost for 4x the monitored channels.
+        assert!(rs > rb * 0.98, "split {rs} vs base {rb}");
+    }
+
+    #[test]
+    fn management_rate_reaches_farthest() {
+        use crate::rates::DataRate;
+        let chain = ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .lna(components::RF_LAMBDA_LNA)
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let r = |rate: DataRate| {
+            chain
+                .coverage_radius_at_rate(&mobile(), ch6(), margin(), rate)
+                .meters()
+        };
+        assert!(r(DataRate::MANAGEMENT) > r(DataRate::B11));
+        assert!(r(DataRate::B11) > r(DataRate::G54));
+        // ~10x spread between the basic rate and 54 Mbps.
+        let spread = r(DataRate::B1) / r(DataRate::G54);
+        assert!(spread > 8.0, "spread {spread}");
+    }
+
+    #[test]
+    fn named_builder() {
+        let chain = ReceiverChain::builder()
+            .name("rooftop rig")
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        assert_eq!(chain.name(), "rooftop rig");
+    }
+}

@@ -1,0 +1,57 @@
+//! Radio-frequency substrate for the Marauder's Map reproduction.
+//!
+//! The paper's coverage analysis (Section III-A and Appendix A) is pure
+//! link-budget arithmetic: a wireless card decodes a frame when the
+//! received power exceeds the receiver chain's sensitivity, and the
+//! sensitivity is set by the chain's cascaded noise figure. This crate
+//! implements that arithmetic with typed decibel units:
+//!
+//! * [`units`] — `Db`, `Dbm`, `Dbi`, `Hertz`, `Meters` newtypes with the
+//!   only physically meaningful arithmetic defined between them,
+//! * [`noise`] — noise-factor/figure conversions and the Friis cascade
+//!   formula (paper eq. 12–15),
+//! * [`link_budget`] — free-space path loss, received power, sensitivity
+//!   and the Theorem-1 coverage radius,
+//! * [`chain`] — a builder assembling antennas, connectors, LNAs,
+//!   splitters and NICs into a [`chain::ReceiverChain`],
+//! * [`components`] — the exact parts used in the paper's testbed,
+//! * [`propagation`] — free-space plus log-distance/shadowing models used
+//!   by the simulator to stress the algorithms beyond the paper's
+//!   worst-case spherical model.
+//!
+//! # Example: reproduce the paper's coverage claim
+//!
+//! ```
+//! use marauder_rf::chain::ReceiverChain;
+//! use marauder_rf::components;
+//! use marauder_rf::units::{Db, Hertz};
+//!
+//! // HyperLink 15 dBi antenna + RF-Lambda LNA + 4-way splitter + SRC card:
+//! let chain = ReceiverChain::builder()
+//!     .antenna(components::HYPERLINK_HG2415U)
+//!     .lna(components::RF_LAMBDA_LNA)
+//!     .splitter(components::HYPERLINK_SPLITTER_4WAY)
+//!     .nic(components::UBIQUITI_SRC)
+//!     .build();
+//! let radius = chain.coverage_radius(
+//!     &components::TYPICAL_MOBILE_TX,
+//!     Hertz::from_mhz(2437.0),
+//!     Db::new(components::CAMPUS_ENVIRONMENT_MARGIN_DB),
+//! );
+//! assert!(radius.meters() > 800.0); // ≈ 1 km in the paper (Fig. 12)
+//! ```
+
+pub mod chain;
+pub mod components;
+pub mod link_budget;
+pub mod noise;
+pub mod propagation;
+pub mod rates;
+pub mod units;
+
+pub use chain::{ReceiverChain, ReceiverChainBuilder};
+pub use link_budget::{coverage_radius, free_space_path_loss, received_power, sensitivity};
+pub use noise::{cascade_noise_figure, CascadeStage};
+pub use propagation::{FreeSpace, LogDistance, PropagationModel, SectorObstruction};
+pub use rates::DataRate;
+pub use units::{Db, Dbi, Dbm, Hertz, Meters};

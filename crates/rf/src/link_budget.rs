@@ -1,0 +1,242 @@
+//! Free-space link budget and the Theorem-1 coverage radius.
+//!
+//! Implements the paper's Appendix A equations:
+//!
+//! * eq. (9): free-space path loss `L_fs = 20·log₁₀(4πD/λ)`,
+//! * eq. (10): received power `P_rx = P_tx + G_tx + G_rx − L_fs`,
+//! * eq. (11)/(16): sensitivity
+//!   `P_rx,min = −174 + NF + SNR_min + 10·log₁₀(B)`,
+//! * Theorem 1: the maximum distance `D` at which `P_rx > P_rx,min`.
+//!
+//! An optional *environment margin* models the extra attenuation of a real
+//! campus (fade margin, foliage, walls) which the paper explicitly drops
+//! from the theory ("fade margin is ignored … for brevity") but which is
+//! present in its measured 1 km radius.
+
+use crate::units::{Db, Dbi, Dbm, Hertz, Meters};
+
+/// Thermal-noise power density at the NIC input impedance, dBm/Hz (the
+/// paper's `−174`).
+pub const NOISE_FLOOR_DBM_PER_HZ: f64 = -174.0;
+
+/// A transmitter description: output power and antenna gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmitter {
+    /// Conducted transmit power.
+    pub power: Dbm,
+    /// Transmit antenna gain.
+    pub antenna_gain: Dbi,
+}
+
+impl Transmitter {
+    /// Creates a transmitter.
+    pub fn new(power: Dbm, antenna_gain: Dbi) -> Self {
+        Transmitter {
+            power,
+            antenna_gain,
+        }
+    }
+
+    /// Effective isotropic radiated power.
+    pub fn eirp(&self) -> Dbm {
+        self.power + self.antenna_gain.as_db()
+    }
+}
+
+/// Free-space path loss at distance `d` and frequency `freq`
+/// (paper eq. 9).
+///
+/// Distances below one wavelength are clamped to one wavelength: the far
+/// field formula is meaningless closer in, and clamping keeps the loss
+/// non-negative.
+pub fn free_space_path_loss(d: Meters, freq: Hertz) -> Db {
+    let lambda = freq.wavelength().meters();
+    let d = d.meters().max(lambda);
+    Db::new(20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10())
+}
+
+/// Received power over a free-space link (paper eq. 10), with `extra_loss`
+/// standing in for fade margin / obstructions.
+pub fn received_power(
+    tx: &Transmitter,
+    rx_antenna_gain: Dbi,
+    d: Meters,
+    freq: Hertz,
+    extra_loss: Db,
+) -> Dbm {
+    tx.eirp() + rx_antenna_gain.as_db() - free_space_path_loss(d, freq) - extra_loss
+}
+
+/// Receiver sensitivity (paper eq. 11/16): the minimum input power that
+/// the baseband can demodulate, given the chain noise figure `nf`, the
+/// demodulator's `snr_min`, and the receiver bandwidth.
+pub fn sensitivity(nf: Db, snr_min: Db, bandwidth: Hertz) -> Dbm {
+    Dbm::new(NOISE_FLOOR_DBM_PER_HZ + nf.db() + snr_min.db() + 10.0 * bandwidth.hz().log10())
+}
+
+/// Theorem 1: the maximum free-space distance at which the link closes.
+///
+/// Solves `P_rx(D) = P_rx,min` for `D`:
+/// `20·log₁₀(D) = G_rx − NF − SNR_min + C − extra_loss` with
+/// `C = P_tx + G_tx − 20·log₁₀(4π/λ) − 10·log₁₀(B) + 174`.
+///
+/// # Example
+///
+/// ```
+/// use marauder_rf::link_budget::{coverage_radius, Transmitter};
+/// use marauder_rf::units::{Db, Dbi, Dbm, Hertz};
+///
+/// let tx = Transmitter::new(Dbm::new(15.0), Dbi::new(2.0));
+/// let d = coverage_radius(
+///     &tx,
+///     Dbi::new(15.0),          // HyperLink antenna
+///     Db::new(1.5),            // LNA noise figure
+///     Db::new(10.0),           // SNR_min
+///     Hertz::from_mhz(22.0),   // 802.11b channel bandwidth
+///     Hertz::from_mhz(2437.0), // channel 6
+///     Db::new(25.0),           // campus environment margin
+/// );
+/// assert!(d.meters() > 500.0 && d.meters() < 5000.0);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn coverage_radius(
+    tx: &Transmitter,
+    rx_antenna_gain: Dbi,
+    chain_nf: Db,
+    snr_min: Db,
+    bandwidth: Hertz,
+    freq: Hertz,
+    extra_loss: Db,
+) -> Meters {
+    let lambda = freq.wavelength().meters();
+    let c = tx.power.dbm() + tx.antenna_gain.dbi()
+        - 20.0 * (4.0 * std::f64::consts::PI / lambda).log10()
+        - 10.0 * bandwidth.hz().log10()
+        - NOISE_FLOOR_DBM_PER_HZ;
+    let rhs = rx_antenna_gain.dbi() - chain_nf.db() - snr_min.db() + c - extra_loss.db();
+    Meters::new(10f64.powf(rhs / 20.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch6() -> Hertz {
+        Hertz::from_mhz(2437.0)
+    }
+
+    fn bw() -> Hertz {
+        Hertz::from_mhz(22.0)
+    }
+
+    #[test]
+    fn path_loss_at_reference_distances() {
+        // At 2.4 GHz, FSPL at 100 m ≈ 80 dB.
+        let l = free_space_path_loss(Meters::new(100.0), Hertz::from_ghz(2.4));
+        assert!((l.db() - 80.0).abs() < 0.2, "loss {l}");
+        // +6 dB per distance doubling.
+        let l2 = free_space_path_loss(Meters::new(200.0), Hertz::from_ghz(2.4));
+        assert!((l2.db() - l.db() - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn path_loss_clamped_in_near_field() {
+        let l = free_space_path_loss(Meters::new(0.0), ch6());
+        // At one wavelength, loss = 20 log10(4π) ≈ 22 dB.
+        assert!((l.db() - 21.98).abs() < 0.1);
+    }
+
+    #[test]
+    fn sensitivity_matches_typical_cards() {
+        // NF 5 dB, SNR_min 10 dB, B = 22 MHz: −174+5+10+73.4 ≈ −85.6 dBm,
+        // in the right range for 802.11b cards (−80..−95 dBm).
+        let s = sensitivity(Db::new(5.0), Db::new(10.0), bw());
+        assert!((s.dbm() + 85.6).abs() < 0.2, "sensitivity {s}");
+    }
+
+    #[test]
+    fn received_power_crosses_sensitivity_at_radius() {
+        let tx = Transmitter::new(Dbm::new(15.0), Dbi::new(2.0));
+        let (g, nf, snr, margin) = (Dbi::new(15.0), Db::new(1.5), Db::new(10.0), Db::new(25.0));
+        let d = coverage_radius(&tx, g, nf, snr, bw(), ch6(), margin);
+        let s = sensitivity(nf, snr, bw());
+        // Just inside: receivable; just outside: not.
+        let p_in = received_power(&tx, g, Meters::new(d.meters() * 0.99), ch6(), margin);
+        let p_out = received_power(&tx, g, Meters::new(d.meters() * 1.01), ch6(), margin);
+        assert!(p_in > s, "{p_in} vs {s}");
+        assert!(p_out < s, "{p_out} vs {s}");
+    }
+
+    #[test]
+    fn radius_grows_with_antenna_gain() {
+        let tx = Transmitter::new(Dbm::new(15.0), Dbi::new(2.0));
+        let r = |g: f64| {
+            coverage_radius(
+                &tx,
+                Dbi::new(g),
+                Db::new(5.0),
+                Db::new(10.0),
+                bw(),
+                ch6(),
+                Db::new(25.0),
+            )
+            .meters()
+        };
+        assert!(r(15.0) > r(4.0));
+        assert!(r(4.0) > r(0.0));
+        // +20 dB of gain = 10x radius in free space.
+        assert!((r(20.0) / r(0.0) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lna_improvement_matches_paper() {
+        // Paper Section III-A: replacing a 4–6 dB NF NIC with a 1.5 dB NF
+        // LNA buys 2.5–4.5 dB of SNR, i.e. a radius factor of
+        // 10^(2.5/20)..10^(4.5/20) ≈ 1.33..1.68.
+        let tx = Transmitter::new(Dbm::new(15.0), Dbi::new(2.0));
+        let r = |nf: f64| {
+            coverage_radius(
+                &tx,
+                Dbi::new(15.0),
+                Db::new(nf),
+                Db::new(10.0),
+                bw(),
+                ch6(),
+                Db::new(25.0),
+            )
+            .meters()
+        };
+        let factor = r(1.5) / r(5.0);
+        assert!(
+            (factor - 10f64.powf(3.5 / 20.0)).abs() < 1e-9,
+            "factor {factor}"
+        );
+    }
+
+    #[test]
+    fn eirp_sums_power_and_gain() {
+        let tx = Transmitter::new(Dbm::from_milliwatts(100.0), Dbi::new(2.0));
+        assert!((tx.eirp().dbm() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn environment_margin_shrinks_radius() {
+        let tx = Transmitter::new(Dbm::new(15.0), Dbi::new(2.0));
+        let r = |m: f64| {
+            coverage_radius(
+                &tx,
+                Dbi::new(15.0),
+                Db::new(1.5),
+                Db::new(10.0),
+                bw(),
+                ch6(),
+                Db::new(m),
+            )
+            .meters()
+        };
+        assert!(r(0.0) > r(15.0));
+        assert!(r(15.0) > r(30.0));
+        // 20 dB margin = 10x radius reduction.
+        assert!((r(0.0) / r(20.0) - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,179 @@
+//! Noise figures and the Friis cascade formula.
+//!
+//! Paper eq. (12)–(15): the noise factor of a cascade of receiver blocks
+//! is `F = F₁ + (F₂−1)/G₁ + (F₃−1)/(G₁G₂) + …`, so a high-gain low-noise
+//! amplifier placed first makes the whole chain's noise figure ≈ the
+//! LNA's. That observation is what lets the paper split one antenna feed
+//! across several wireless cards without losing sensitivity.
+
+use crate::units::Db;
+
+/// One powered block in a receiver cascade: its gain and noise figure
+/// (both in dB). Passive lossy blocks (connectors, splitters) are modeled
+/// with negative gain and a noise figure equal to their loss, the standard
+/// result for attenuators at ambient temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeStage {
+    /// Power gain of the stage (negative for loss).
+    pub gain: Db,
+    /// Noise figure of the stage.
+    pub noise_figure: Db,
+}
+
+impl CascadeStage {
+    /// An active stage (amplifier or NIC front-end).
+    pub fn active(gain: Db, noise_figure: Db) -> Self {
+        CascadeStage { gain, noise_figure }
+    }
+
+    /// A passive attenuating stage with the given positive loss: gain
+    /// `−loss`, noise figure `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is negative.
+    pub fn passive(loss: Db) -> Self {
+        assert!(loss.db() >= 0.0, "passive loss must be >= 0, got {loss}");
+        CascadeStage {
+            gain: -loss,
+            noise_figure: loss,
+        }
+    }
+}
+
+/// Computes the cascade noise figure of a receiver chain by the Friis
+/// formula (paper eq. 12–13).
+///
+/// Returns `Db::ZERO` for an empty chain (an ideal lossless wire).
+///
+/// # Example
+///
+/// A 45 dB-gain, 1.5 dB-NF LNA in front of a 5 dB-NF card gives a chain
+/// noise figure of essentially 1.5 dB — the paper's 2.5–4.5 dB
+/// improvement over the bare card:
+///
+/// ```
+/// use marauder_rf::noise::{cascade_noise_figure, CascadeStage};
+/// use marauder_rf::units::Db;
+///
+/// let chain = [
+///     CascadeStage::active(Db::new(45.0), Db::new(1.5)), // LNA
+///     CascadeStage::active(Db::new(0.0), Db::new(5.0)),  // NIC
+/// ];
+/// let nf = cascade_noise_figure(&chain);
+/// assert!((nf.db() - 1.5).abs() < 0.01);
+/// ```
+pub fn cascade_noise_figure(stages: &[CascadeStage]) -> Db {
+    let mut total_factor = 1.0; // linear noise factor
+    let mut gain_product = 1.0; // linear gain of preceding stages
+    for stage in stages {
+        let f = stage.noise_figure.ratio();
+        total_factor += (f - 1.0) / gain_product;
+        gain_product *= stage.gain.ratio();
+    }
+    Db::from_ratio(total_factor)
+}
+
+/// Total gain of a cascade, the plain sum of stage gains in dB.
+pub fn cascade_gain(stages: &[CascadeStage]) -> Db {
+    stages.iter().map(|s| s.gain).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chain_is_ideal() {
+        assert!(cascade_noise_figure(&[]).db().abs() < 1e-12);
+        assert!(cascade_gain(&[]).db().abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_stage_is_its_own_nf() {
+        let nf = cascade_noise_figure(&[CascadeStage::active(Db::new(20.0), Db::new(3.0))]);
+        assert!((nf.db() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lna_dominates_chain_nf() {
+        // Paper: RF-Lambda LNA 45 dB gain / 1.5 dB NF ahead of a 4–6 dB
+        // NF card makes the chain NF ≈ 1.5 dB.
+        for &nic_nf in &[4.0, 5.0, 6.0] {
+            let chain = [
+                CascadeStage::active(Db::new(45.0), Db::new(1.5)),
+                CascadeStage::active(Db::new(0.0), Db::new(nic_nf)),
+            ];
+            let nf = cascade_noise_figure(&chain);
+            assert!(
+                (nf.db() - 1.5).abs() < 0.01,
+                "nic_nf={nic_nf}: chain NF {nf}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_lna_chain_nf_is_nic_nf() {
+        let chain = [CascadeStage::active(Db::new(0.0), Db::new(5.0))];
+        assert!((cascade_noise_figure(&chain).db() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn passive_stage_adds_its_loss() {
+        // A 2 dB cable ahead of a 5 dB NF card: chain NF = 7 dB.
+        let chain = [
+            CascadeStage::passive(Db::new(2.0)),
+            CascadeStage::active(Db::new(0.0), Db::new(5.0)),
+        ];
+        let nf = cascade_noise_figure(&chain);
+        assert!((nf.db() - 7.0).abs() < 1e-9, "NF {nf}");
+    }
+
+    #[test]
+    fn splitter_after_lna_barely_hurts() {
+        // 4-way splitter (6 dB loss) after a 45 dB LNA: NF stays ≈ LNA's.
+        let chain = [
+            CascadeStage::active(Db::new(45.0), Db::new(1.5)),
+            CascadeStage::passive(Db::new(6.0)),
+            CascadeStage::active(Db::new(0.0), Db::new(5.0)),
+        ];
+        let nf = cascade_noise_figure(&chain);
+        assert!((nf.db() - 1.5).abs() < 0.01, "NF {nf}");
+        // Residual thread gain after splitting: 45 − 6 = 39 dB, the
+        // paper's "45 − 10log4 = 39 dB" remark.
+        assert!((cascade_gain(&chain[..2]).db() - 39.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friis_formula_matches_manual_computation() {
+        // Two stages: F = F1 + (F2-1)/G1 in linear terms.
+        let g1 = 10f64; // 10 dB
+        let f1 = 2.0; // ~3 dB
+        let f2 = 4.0; // ~6 dB
+        let chain = [
+            CascadeStage::active(Db::from_ratio(g1), Db::from_ratio(f1)),
+            CascadeStage::active(Db::new(0.0), Db::from_ratio(f2)),
+        ];
+        let expected = f1 + (f2 - 1.0) / g1;
+        assert!((cascade_noise_figure(&chain).ratio() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "passive loss must be >= 0")]
+    fn negative_passive_loss_panics() {
+        let _ = CascadeStage::passive(Db::new(-1.0));
+    }
+
+    #[test]
+    fn nf_monotone_in_stage_nf() {
+        let make = |nf2: f64| {
+            cascade_noise_figure(&[
+                CascadeStage::active(Db::new(10.0), Db::new(2.0)),
+                CascadeStage::active(Db::new(0.0), Db::new(nf2)),
+            ])
+            .db()
+        };
+        assert!(make(3.0) < make(6.0));
+        assert!(make(6.0) < make(9.0));
+    }
+}

@@ -1,0 +1,301 @@
+//! Propagation models.
+//!
+//! The paper deliberately analyzes coverage with the free-space
+//! ("spherical") model as a *worst case* for the attacker: it
+//! overestimates AP coverage, which can only enlarge the intersection
+//! region. The simulator additionally offers a log-distance model with
+//! deterministic log-normal shadowing and a sector-obstruction decorator
+//! (the "small hills" of Fig. 12) so experiments can quantify how model
+//! mismatch affects localization accuracy.
+
+use crate::link_budget;
+use crate::units::{Db, Hertz, Meters};
+use marauder_geo::Point;
+
+/// A path-loss model between two planar positions.
+///
+/// Implementations must be deterministic: the simulator replays links
+/// repeatedly and expects identical loss for identical endpoints (use a
+/// position-hash, not an RNG stream, for shadowing).
+pub trait PropagationModel: Send + Sync {
+    /// Path loss between `tx` and `rx` at carrier `freq`.
+    fn path_loss(&self, tx: Point, rx: Point, freq: Hertz) -> Db;
+
+    /// A short human-readable model name for experiment logs.
+    fn name(&self) -> &str;
+}
+
+/// Ideal free-space propagation (paper eq. 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreeSpace;
+
+impl PropagationModel for FreeSpace {
+    fn path_loss(&self, tx: Point, rx: Point, freq: Hertz) -> Db {
+        link_budget::free_space_path_loss(Meters::new(tx.distance(rx)), freq)
+    }
+
+    fn name(&self) -> &str {
+        "free-space"
+    }
+}
+
+/// Log-distance path loss with deterministic log-normal shadowing:
+/// `L(d) = L_fs(d₀) + 10·n·log₁₀(d/d₀) + X_σ`, where `X_σ` is a
+/// zero-mean Gaussian with standard deviation `sigma_db`, derived from a
+/// hash of the endpoint pair so that a link's shadowing is stable across
+/// the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    /// Path-loss exponent `n` (2 = free space; 2.7–4 typical urban).
+    pub exponent: f64,
+    /// Reference distance `d₀`, meters.
+    pub reference_distance: f64,
+    /// Shadowing standard deviation, dB (0 disables shadowing).
+    pub sigma_db: f64,
+    /// Seed mixed into the per-link shadowing hash.
+    pub seed: u64,
+}
+
+impl LogDistance {
+    /// A typical suburban-campus profile: exponent 3.0, σ = 6 dB.
+    pub fn campus(seed: u64) -> Self {
+        LogDistance {
+            exponent: 3.0,
+            reference_distance: 1.0,
+            sigma_db: 6.0,
+            seed,
+        }
+    }
+
+    /// Deterministic standard-normal draw for the unordered endpoint
+    /// pair, via hashing + Box–Muller.
+    fn shadowing_std_normal(&self, a: Point, b: Point) -> f64 {
+        // Quantize to centimeters so equal positions hash equally even
+        // after round-tripping through other representations.
+        let q = |v: f64| (v * 100.0).round() as i64;
+        let (mut lo, mut hi) = ((q(a.x), q(a.y)), (q(b.x), q(b.y)));
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let mut h = self.seed ^ 0x517c_c1b7_2722_0a95;
+        for v in [lo.0, lo.1, hi.0, hi.1] {
+            h ^= v as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        }
+        // Two uniform draws from the hash.
+        let u1 = ((h >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        let h2 = h.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (h >> 17);
+        let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl PropagationModel for LogDistance {
+    fn path_loss(&self, tx: Point, rx: Point, freq: Hertz) -> Db {
+        let d0 = self.reference_distance.max(1e-3);
+        let d = tx.distance(rx).max(d0);
+        let l0 = link_budget::free_space_path_loss(Meters::new(d0), freq).db();
+        let mut loss = l0 + 10.0 * self.exponent * (d / d0).log10();
+        if self.sigma_db > 0.0 {
+            loss += self.sigma_db * self.shadowing_std_normal(tx, rx);
+        }
+        Db::new(loss.max(0.0))
+    }
+
+    fn name(&self) -> &str {
+        "log-distance"
+    }
+}
+
+/// Decorator that adds extra loss in angular sectors around an origin —
+/// the simulator's stand-in for the hills that limited the paper's
+/// HG2415U measurements (Fig. 12, observation (ii)).
+#[derive(Debug, Clone)]
+pub struct SectorObstruction<M> {
+    inner: M,
+    origin: Point,
+    /// `(start_angle, end_angle, extra_loss_db)` triples; angles radians
+    /// in `[0, 2π)`, sector spans CCW from start to end.
+    sectors: Vec<(f64, f64, f64)>,
+}
+
+impl<M: PropagationModel> SectorObstruction<M> {
+    /// Wraps `inner`, adding `sectors` of extra loss as seen from
+    /// `origin` (usually the sniffer site).
+    pub fn new(inner: M, origin: Point, sectors: Vec<(f64, f64, f64)>) -> Self {
+        SectorObstruction {
+            inner,
+            origin,
+            sectors,
+        }
+    }
+
+    /// Extra loss applying to a ray from the origin towards `p`.
+    fn extra_loss_towards(&self, p: Point) -> f64 {
+        let ang = (p - self.origin).angle().rem_euclid(std::f64::consts::TAU);
+        let mut extra: f64 = 0.0;
+        for &(s, e, loss) in &self.sectors {
+            let inside = if s <= e {
+                ang >= s && ang <= e
+            } else {
+                ang >= s || ang <= e
+            };
+            if inside {
+                extra = extra.max(loss);
+            }
+        }
+        extra
+    }
+}
+
+impl<M: PropagationModel> PropagationModel for SectorObstruction<M> {
+    fn path_loss(&self, tx: Point, rx: Point, freq: Hertz) -> Db {
+        let base = self.inner.path_loss(tx, rx, freq);
+        // The obstruction affects whichever endpoint is far from the
+        // origin; use the endpoint that is not the origin itself.
+        let far = if tx.distance(self.origin) > rx.distance(self.origin) {
+            tx
+        } else {
+            rx
+        };
+        base + Db::new(self.extra_loss_towards(far))
+    }
+
+    fn name(&self) -> &str {
+        "sector-obstructed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch6() -> Hertz {
+        Hertz::from_mhz(2437.0)
+    }
+
+    #[test]
+    fn free_space_matches_link_budget() {
+        let m = FreeSpace;
+        let l = m.path_loss(Point::ORIGIN, Point::new(100.0, 0.0), ch6());
+        let expected = link_budget::free_space_path_loss(Meters::new(100.0), ch6());
+        assert_eq!(l, expected);
+        assert_eq!(m.name(), "free-space");
+    }
+
+    #[test]
+    fn log_distance_reduces_to_free_space_with_exponent_two() {
+        let m = LogDistance {
+            exponent: 2.0,
+            reference_distance: 1.0,
+            sigma_db: 0.0,
+            seed: 0,
+        };
+        for &d in &[1.0, 10.0, 250.0] {
+            let l = m.path_loss(Point::ORIGIN, Point::new(d, 0.0), ch6());
+            let fs = FreeSpace.path_loss(Point::ORIGIN, Point::new(d, 0.0), ch6());
+            assert!((l.db() - fs.db()).abs() < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn higher_exponent_means_more_loss() {
+        let mk = |n: f64| LogDistance {
+            exponent: n,
+            reference_distance: 1.0,
+            sigma_db: 0.0,
+            seed: 0,
+        };
+        let p = Point::new(300.0, 0.0);
+        let l2 = mk(2.0).path_loss(Point::ORIGIN, p, ch6());
+        let l3 = mk(3.0).path_loss(Point::ORIGIN, p, ch6());
+        let l4 = mk(4.0).path_loss(Point::ORIGIN, p, ch6());
+        assert!(l2 < l3 && l3 < l4);
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_and_symmetric() {
+        let m = LogDistance::campus(7);
+        let (a, b) = (Point::new(10.0, 20.0), Point::new(-50.0, 3.0));
+        let l1 = m.path_loss(a, b, ch6());
+        let l2 = m.path_loss(a, b, ch6());
+        let l3 = m.path_loss(b, a, ch6());
+        assert_eq!(l1, l2);
+        assert_eq!(l1, l3, "shadowing must not depend on link direction");
+    }
+
+    #[test]
+    fn shadowing_varies_between_links_and_seeds() {
+        let m1 = LogDistance::campus(1);
+        let m2 = LogDistance::campus(2);
+        let a = Point::ORIGIN;
+        let l_link1 = m1.path_loss(a, Point::new(100.0, 0.0), ch6());
+        let l_link2 = m1.path_loss(a, Point::new(0.0, 100.0), ch6());
+        assert!((l_link1.db() - l_link2.db()).abs() > 1e-6);
+        let l_seed2 = m2.path_loss(a, Point::new(100.0, 0.0), ch6());
+        assert!((l_link1.db() - l_seed2.db()).abs() > 1e-6);
+    }
+
+    #[test]
+    fn shadowing_has_roughly_right_moments() {
+        let m = LogDistance::campus(99);
+        let base = LogDistance { sigma_db: 0.0, ..m };
+        let n = 4000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for i in 0..n {
+            let p = Point::new(100.0 + i as f64, 37.0);
+            let dev = m.path_loss(Point::ORIGIN, p, ch6()).db()
+                - base.path_loss(Point::ORIGIN, p, ch6()).db();
+            sum += dev;
+            sum_sq += dev * dev;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn sector_obstruction_blocks_only_its_sector() {
+        let m = SectorObstruction::new(
+            FreeSpace,
+            Point::ORIGIN,
+            vec![(0.0, std::f64::consts::FRAC_PI_2, 30.0)],
+        );
+        // Inside the obstructed quadrant (+x,+y).
+        let blocked = m.path_loss(Point::ORIGIN, Point::new(70.0, 70.0), ch6());
+        // Outside.
+        let clear = m.path_loss(Point::ORIGIN, Point::new(-70.0, -70.0), ch6());
+        assert!((blocked.db() - clear.db() - 30.0).abs() < 1e-9);
+        assert_eq!(m.name(), "sector-obstructed");
+    }
+
+    #[test]
+    fn wrapping_sector() {
+        // Sector from 7π/4 through 0 to π/4.
+        let m = SectorObstruction::new(
+            FreeSpace,
+            Point::ORIGIN,
+            vec![(
+                7.0 * std::f64::consts::PI / 4.0,
+                std::f64::consts::FRAC_PI_4,
+                20.0,
+            )],
+        );
+        let east = m.path_loss(Point::ORIGIN, Point::new(100.0, 0.0), ch6());
+        let west = m.path_loss(Point::ORIGIN, Point::new(-100.0, 0.0), ch6());
+        assert!((east.db() - west.db() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn PropagationModel>> =
+            vec![Box::new(FreeSpace), Box::new(LogDistance::campus(1))];
+        for m in &models {
+            let l = m.path_loss(Point::ORIGIN, Point::new(10.0, 0.0), ch6());
+            assert!(l.db() > 0.0);
+        }
+    }
+}

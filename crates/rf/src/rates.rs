@@ -1,0 +1,205 @@
+//! 802.11b/g data rates and their demodulation thresholds.
+//!
+//! Management frames — the only traffic the attack consumes — are
+//! transmitted at the *basic rate* (1 Mbps DBPSS for b/g compatibility),
+//! which needs the least SNR of any rate. That is the physical reason
+//! the sniffing rig hears probe requests from a kilometer away while a
+//! data session at 54 Mbps would die within a hundred meters: the same
+//! chain's coverage radius differs by ~20 dB of required SNR across the
+//! rate table.
+
+use crate::units::Db;
+use std::fmt;
+
+/// An 802.11b (DSSS/CCK) or 802.11g (OFDM) data rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataRate {
+    /// 1 Mbps DBPSK — the b/g basic rate used by management frames.
+    B1,
+    /// 2 Mbps DQPSK.
+    B2,
+    /// 5.5 Mbps CCK.
+    B5_5,
+    /// 11 Mbps CCK.
+    B11,
+    /// 6 Mbps BPSK 1/2.
+    G6,
+    /// 9 Mbps BPSK 3/4.
+    G9,
+    /// 12 Mbps QPSK 1/2.
+    G12,
+    /// 18 Mbps QPSK 3/4.
+    G18,
+    /// 24 Mbps 16-QAM 1/2.
+    G24,
+    /// 36 Mbps 16-QAM 3/4.
+    G36,
+    /// 48 Mbps 64-QAM 2/3.
+    G48,
+    /// 54 Mbps 64-QAM 3/4.
+    G54,
+}
+
+impl DataRate {
+    /// All rates, slowest first.
+    pub const ALL: [DataRate; 12] = [
+        DataRate::B1,
+        DataRate::B2,
+        DataRate::B5_5,
+        DataRate::G6,
+        DataRate::G9,
+        DataRate::B11,
+        DataRate::G12,
+        DataRate::G18,
+        DataRate::G24,
+        DataRate::G36,
+        DataRate::G48,
+        DataRate::G54,
+    ];
+
+    /// The basic rate management frames use.
+    pub const MANAGEMENT: DataRate = DataRate::B1;
+
+    /// Nominal throughput, Mbps.
+    pub fn mbps(self) -> f64 {
+        match self {
+            DataRate::B1 => 1.0,
+            DataRate::B2 => 2.0,
+            DataRate::B5_5 => 5.5,
+            DataRate::B11 => 11.0,
+            DataRate::G6 => 6.0,
+            DataRate::G9 => 9.0,
+            DataRate::G12 => 12.0,
+            DataRate::G18 => 18.0,
+            DataRate::G24 => 24.0,
+            DataRate::G36 => 36.0,
+            DataRate::G48 => 48.0,
+            DataRate::G54 => 54.0,
+        }
+    }
+
+    /// Minimum SNR for acceptable demodulation, dB (typical receiver
+    /// implementation-loss-inclusive figures).
+    pub fn snr_min(self) -> Db {
+        let db = match self {
+            DataRate::B1 => 4.0,
+            DataRate::B2 => 6.0,
+            DataRate::B5_5 => 8.0,
+            DataRate::B11 => 10.0,
+            DataRate::G6 => 6.0,
+            DataRate::G9 => 7.8,
+            DataRate::G12 => 9.0,
+            DataRate::G18 => 10.8,
+            DataRate::G24 => 17.0,
+            DataRate::G36 => 18.9,
+            DataRate::G48 => 24.0,
+            DataRate::G54 => 24.6,
+        };
+        Db::new(db)
+    }
+
+    /// The fastest rate decodable at the given SNR, if any.
+    pub fn fastest_at(snr: Db) -> Option<DataRate> {
+        DataRate::ALL
+            .iter()
+            .copied()
+            .filter(|r| r.snr_min().db() <= snr.db())
+            .max_by(|a, b| a.mbps().partial_cmp(&b.mbps()).expect("finite"))
+    }
+
+    /// Soft decode model: probability of successfully decoding a frame
+    /// at this rate given the SNR margin over [`snr_min`](Self::snr_min)
+    /// — a logistic curve with ~1.5 dB transition width, matching the
+    /// sharp waterfall region of real PHYs.
+    pub fn decode_probability(self, snr: Db) -> f64 {
+        let margin = snr.db() - self.snr_min().db();
+        1.0 / (1.0 + (-margin / 0.75).exp())
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Mbps", self.mbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_monotone_where_it_should_be() {
+        // Within each PHY family, faster rates need more SNR.
+        let b = [DataRate::B1, DataRate::B2, DataRate::B5_5, DataRate::B11];
+        for w in b.windows(2) {
+            assert!(w[0].snr_min() < w[1].snr_min(), "{:?} vs {:?}", w[0], w[1]);
+            assert!(w[0].mbps() < w[1].mbps());
+        }
+        let g = [
+            DataRate::G6,
+            DataRate::G9,
+            DataRate::G12,
+            DataRate::G18,
+            DataRate::G24,
+            DataRate::G36,
+            DataRate::G48,
+            DataRate::G54,
+        ];
+        for w in g.windows(2) {
+            assert!(w[0].snr_min() < w[1].snr_min());
+        }
+    }
+
+    #[test]
+    fn management_rate_is_the_most_robust() {
+        for r in DataRate::ALL {
+            assert!(
+                DataRate::MANAGEMENT.snr_min() <= r.snr_min(),
+                "{r} more robust than the basic rate"
+            );
+        }
+        // ~20 dB spread across the table.
+        let spread = DataRate::G54.snr_min().db() - DataRate::B1.snr_min().db();
+        assert!((18.0..25.0).contains(&spread), "spread {spread}");
+    }
+
+    #[test]
+    fn fastest_at_selects_correctly() {
+        assert_eq!(DataRate::fastest_at(Db::new(30.0)), Some(DataRate::G54));
+        // At 10 dB both B11 (10 dB) and G12 (9 dB) decode; G12 is faster.
+        assert_eq!(DataRate::fastest_at(Db::new(10.0)), Some(DataRate::G12));
+        assert_eq!(DataRate::fastest_at(Db::new(4.5)), Some(DataRate::B1));
+        assert_eq!(DataRate::fastest_at(Db::new(0.0)), None);
+    }
+
+    #[test]
+    fn decode_probability_is_a_waterfall() {
+        let r = DataRate::B1;
+        let at = |snr: f64| r.decode_probability(Db::new(snr));
+        assert!(at(r.snr_min().db() - 5.0) < 0.01);
+        assert!((at(r.snr_min().db()) - 0.5).abs() < 1e-9);
+        assert!(at(r.snr_min().db() + 5.0) > 0.99);
+        // Monotone.
+        let mut last = 0.0;
+        for k in 0..40 {
+            let p = at(-5.0 + k as f64);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn management_range_advantage() {
+        // 20 dB less required SNR = 10x the free-space range: quantify
+        // why probe traffic is sniffable from ~1 km while data is not.
+        let delta = DataRate::G54.snr_min().db() - DataRate::B1.snr_min().db();
+        let range_ratio = 10f64.powf(delta / 20.0);
+        assert!(range_ratio > 8.0, "range ratio {range_ratio}");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataRate::B5_5.to_string(), "5.5 Mbps");
+        assert_eq!(DataRate::G54.to_string(), "54 Mbps");
+    }
+}

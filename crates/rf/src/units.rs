@@ -1,0 +1,398 @@
+//! Typed radio units.
+//!
+//! Link-budget bugs are overwhelmingly unit bugs (adding two absolute
+//! powers, subtracting a gain from a frequency, …). These newtypes make
+//! the meaningful operations — and only those — type-check:
+//!
+//! * `Dbm + Db = Dbm` (apply gain/loss to an absolute power),
+//! * `Dbm - Dbm = Db` (power ratio),
+//! * `Db ± Db = Db` (compose gains),
+//! * `Dbi` converts to `Db` explicitly (antenna gain enters the budget).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A relative power ratio in decibels (gain when positive, loss when
+/// negative).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Db(f64);
+
+/// An absolute power level in dB-milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dbm(f64);
+
+/// An antenna gain relative to an isotropic radiator.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dbi(f64);
+
+/// A frequency in hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Hertz(f64);
+
+/// A distance in meters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Meters(f64);
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+impl Db {
+    /// Wraps a decibel value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — a NaN decibel value always indicates an upstream
+    /// arithmetic bug and would silently poison a whole link budget.
+    pub fn new(db: f64) -> Self {
+        assert!(!db.is_nan(), "dB value must not be NaN");
+        Db(db)
+    }
+
+    /// Zero gain/loss.
+    pub const ZERO: Db = Db(0.0);
+
+    /// The raw decibel value.
+    pub fn db(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a linear power ratio to decibels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ratio` is not strictly positive.
+    pub fn from_ratio(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "power ratio must be positive, got {ratio}");
+        Db(10.0 * ratio.log10())
+    }
+
+    /// Converts to a linear power ratio.
+    pub fn ratio(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl Dbm {
+    /// Wraps an absolute power in dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn new(dbm: f64) -> Self {
+        assert!(!dbm.is_nan(), "dBm value must not be NaN");
+        Dbm(dbm)
+    }
+
+    /// Const constructor for catalog constants. Unlike [`Dbm::new`] this
+    /// cannot reject NaN at compile time; only use with literals.
+    pub const fn new_const(dbm: f64) -> Self {
+        Dbm(dbm)
+    }
+
+    /// The raw dBm value.
+    pub fn dbm(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a power in milliwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mw` is not strictly positive.
+    pub fn from_milliwatts(mw: f64) -> Self {
+        assert!(mw > 0.0, "power must be positive, got {mw} mW");
+        Dbm(10.0 * mw.log10())
+    }
+
+    /// The power in milliwatts.
+    pub fn milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl Dbi {
+    /// Wraps an antenna gain in dBi.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn new(dbi: f64) -> Self {
+        assert!(!dbi.is_nan(), "dBi value must not be NaN");
+        Dbi(dbi)
+    }
+
+    /// Const constructor for catalog constants. Unlike [`Dbi::new`] this
+    /// cannot reject NaN at compile time; only use with literals.
+    pub const fn new_const(dbi: f64) -> Self {
+        Dbi(dbi)
+    }
+
+    /// The raw dBi value.
+    pub fn dbi(self) -> f64 {
+        self.0
+    }
+
+    /// The gain as a generic decibel ratio for budget arithmetic.
+    pub fn as_db(self) -> Db {
+        Db(self.0)
+    }
+}
+
+impl Hertz {
+    /// Wraps a frequency in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the frequency is strictly positive and finite.
+    pub fn new(hz: f64) -> Self {
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "frequency must be positive and finite, got {hz}"
+        );
+        Hertz(hz)
+    }
+
+    /// Builds from megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Hertz::new(mhz * 1e6)
+    }
+
+    /// Builds from gigahertz.
+    pub fn from_ghz(ghz: f64) -> Self {
+        Hertz::new(ghz * 1e9)
+    }
+
+    /// The raw frequency in Hz.
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// The frequency in MHz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Free-space wavelength `λ = c / f`, meters.
+    pub fn wavelength(self) -> Meters {
+        Meters(SPEED_OF_LIGHT / self.0)
+    }
+}
+
+impl Meters {
+    /// Wraps a distance in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative distances.
+    pub fn new(m: f64) -> Self {
+        assert!(!m.is_nan() && m >= 0.0, "distance must be >= 0, got {m}");
+        Meters(m)
+    }
+
+    /// The raw distance in meters.
+    pub fn meters(self) -> f64 {
+        self.0
+    }
+
+    /// The distance in kilometers.
+    pub fn km(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Db {
+    fn sub_assign(&mut self, rhs: Db) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl Sum for Db {
+    fn sum<I: Iterator<Item = Db>>(iter: I) -> Db {
+        Db(iter.map(|d| d.0).sum())
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Db> for Dbm {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+impl fmt::Display for Dbi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBi", self.0)
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} MHz", self.mhz())
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} m", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_milliwatt_round_trip() {
+        for &mw in &[0.001, 1.0, 100.0, 300.0] {
+            let p = Dbm::from_milliwatts(mw);
+            assert!((p.milliwatts() - mw).abs() / mw < 1e-12);
+        }
+        // 300 mW card (Ubiquiti SRC) is ~24.77 dBm.
+        assert!((Dbm::from_milliwatts(300.0).dbm() - 24.771).abs() < 1e-3);
+    }
+
+    #[test]
+    fn db_ratio_round_trip() {
+        assert!((Db::from_ratio(2.0).db() - 3.0103).abs() < 1e-4);
+        assert!((Db::new(10.0).ratio() - 10.0).abs() < 1e-12);
+        assert!((Db::from_ratio(1.0).db()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_arithmetic() {
+        let p = Dbm::new(-40.0);
+        let g = Db::new(15.0);
+        assert_eq!((p + g).dbm(), -25.0);
+        assert_eq!((p - g).dbm(), -55.0);
+        assert_eq!((Dbm::new(-30.0) - Dbm::new(-60.0)).db(), 30.0);
+        assert_eq!((Db::new(2.0) + Db::new(3.0)).db(), 5.0);
+        assert_eq!((Db::new(2.0) - Db::new(3.0)).db(), -1.0);
+        assert_eq!((-Db::new(2.0)).db(), -2.0);
+        let total: Db = [Db::new(1.0), Db::new(2.0), Db::new(3.0)].into_iter().sum();
+        assert_eq!(total.db(), 6.0);
+    }
+
+    #[test]
+    fn dbi_enters_budget_as_db() {
+        let antenna = Dbi::new(15.0);
+        let p = Dbm::new(-90.0) + antenna.as_db();
+        assert_eq!(p.dbm(), -75.0);
+    }
+
+    #[test]
+    fn wavelength_at_wifi_frequencies() {
+        // 2.437 GHz (channel 6) -> λ ≈ 12.3 cm.
+        let l = Hertz::from_ghz(2.437).wavelength();
+        assert!((l.meters() - 0.12302).abs() < 1e-4);
+        assert!((Hertz::from_mhz(2437.0).hz() - 2.437e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_db_panics() {
+        let _ = Db::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_frequency_panics() {
+        let _ = Hertz::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn negative_distance_panics() {
+        let _ = Meters::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn zero_milliwatts_panics() {
+        let _ = Dbm::from_milliwatts(0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Db::new(1.5).to_string(), "1.50 dB");
+        assert_eq!(Dbm::new(-92.0).to_string(), "-92.00 dBm");
+        assert_eq!(Dbi::new(15.0).to_string(), "15.00 dBi");
+        assert_eq!(Meters::new(1000.0).to_string(), "1000.0 m");
+        assert!(Hertz::from_mhz(2412.0).to_string().contains("2412"));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut g = Db::new(1.0);
+        g += Db::new(2.0);
+        g -= Db::new(0.5);
+        assert_eq!(g.db(), 2.5);
+        let mut p = Dbm::new(0.0);
+        p += Db::new(3.0);
+        assert_eq!(p.dbm(), 3.0);
+    }
+
+    #[test]
+    fn km_conversion() {
+        assert_eq!(Meters::new(1500.0).km(), 1.5);
+    }
+}

@@ -1,0 +1,271 @@
+//! Access-point deployment generators.
+//!
+//! The theory assumes uniformly distributed APs (Theorems 2–3); Fig. 4
+//! motivates the disc-intersection approach with a *biased* composite
+//! distribution (a uniform base plus a dense cluster). Both generators
+//! live here, with channel assignment drawn from the empirical
+//! [`CampusChannelMix`].
+
+use marauder_geo::Point;
+use marauder_wifi::channel::CampusChannelMix;
+use marauder_wifi::device::AccessPoint;
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::ssid::Ssid;
+use rand::Rng;
+
+/// A rectangular region `[x0, x1] × [y0, y1]` in local ENU meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// A rectangle from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min` is not component-wise `<= max`.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "rect min {min} must be <= max {max}"
+        );
+        Rect { min, max }
+    }
+
+    /// A square of the given half-width centered on the origin.
+    pub fn centered_square(half_width: f64) -> Self {
+        Rect::new(
+            Point::new(-half_width, -half_width),
+            Point::new(half_width, half_width),
+        )
+    }
+
+    /// Uniform sample inside the rectangle.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(
+            rng.gen_range(self.min.x..=self.max.x),
+            rng.gen_range(self.min.y..=self.max.y),
+        )
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        (self.max.x - self.min.x) * (self.max.y - self.min.y)
+    }
+
+    /// `true` when `p` lies inside (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+/// How access points are spread over the campus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Deployment {
+    /// Uniform over the region — the assumption of Theorems 2–3.
+    Uniform,
+    /// Fig. 4's composite: `uniform_fraction` of APs uniform over the
+    /// region, the rest uniform inside a small cluster rectangle.
+    Clustered {
+        /// Fraction (0–1) of APs placed uniformly.
+        uniform_fraction: f64,
+        /// The dense cluster region (the gray area of Fig. 4).
+        cluster: Rect,
+    },
+    /// A regular grid with the given spacing, jittered by up to
+    /// `jitter` meters in each axis (building-corridor deployments).
+    Grid {
+        /// Grid pitch, meters.
+        spacing: f64,
+        /// Max absolute jitter per axis, meters.
+        jitter: f64,
+    },
+}
+
+impl Deployment {
+    /// Generates `n` access points inside `region`, assigning channels
+    /// from `mix` and deterministic BSSIDs/SSIDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a `Clustered` deployment whose fraction is outside
+    /// `[0, 1]` or a `Grid` with non-positive spacing.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        region: Rect,
+        mix: &CampusChannelMix,
+        rng: &mut R,
+    ) -> Vec<AccessPoint> {
+        let positions: Vec<Point> = match self {
+            Deployment::Uniform => (0..n).map(|_| region.sample(rng)).collect(),
+            Deployment::Clustered {
+                uniform_fraction,
+                cluster,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(uniform_fraction),
+                    "uniform_fraction must be within [0, 1], got {uniform_fraction}"
+                );
+                let n_uniform = (n as f64 * uniform_fraction).round() as usize;
+                let mut pts: Vec<Point> = (0..n_uniform).map(|_| region.sample(rng)).collect();
+                pts.extend((n_uniform..n).map(|_| cluster.sample(rng)));
+                pts
+            }
+            Deployment::Grid { spacing, jitter } => {
+                assert!(*spacing > 0.0, "grid spacing must be positive");
+                let mut pts = Vec::with_capacity(n);
+                let mut x = region.min.x + spacing / 2.0;
+                'outer: while x <= region.max.x {
+                    let mut y = region.min.y + spacing / 2.0;
+                    while y <= region.max.y {
+                        let jx = if *jitter > 0.0 {
+                            rng.gen_range(-*jitter..=*jitter)
+                        } else {
+                            0.0
+                        };
+                        let jy = if *jitter > 0.0 {
+                            rng.gen_range(-*jitter..=*jitter)
+                        } else {
+                            0.0
+                        };
+                        pts.push(Point::new(x + jx, y + jy));
+                        if pts.len() == n {
+                            break 'outer;
+                        }
+                        y += spacing;
+                    }
+                    x += spacing;
+                }
+                pts
+            }
+        };
+
+        positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, location)| {
+                let bssid = MacAddr::from_index(0x0A_0000 + i as u64);
+                let ssid = Ssid::new(format!("campus-ap-{i:04}")).expect("short ssid");
+                let channel = mix.sample(rng);
+                AccessPoint::new(bssid, ssid, channel, location)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::centered_square(100.0);
+        assert_eq!(r.area(), 40_000.0);
+        assert!(r.contains(Point::ORIGIN));
+        assert!(!r.contains(Point::new(101.0, 0.0)));
+        let mut g = rng();
+        for _ in 0..100 {
+            assert!(r.contains(r.sample(&mut g)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <= max")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn uniform_deployment_fills_region() {
+        let region = Rect::centered_square(500.0);
+        let aps = Deployment::Uniform.generate(200, region, &CampusChannelMix::uml(), &mut rng());
+        assert_eq!(aps.len(), 200);
+        for ap in &aps {
+            assert!(region.contains(ap.location));
+        }
+        // BSSIDs unique.
+        let macs: std::collections::HashSet<_> = aps.iter().map(|a| a.bssid).collect();
+        assert_eq!(macs.len(), 200);
+        // Rough uniformity: each quadrant gets a decent share.
+        let q1 = aps
+            .iter()
+            .filter(|a| a.location.x > 0.0 && a.location.y > 0.0)
+            .count();
+        assert!(q1 > 25 && q1 < 75, "quadrant count {q1}");
+    }
+
+    #[test]
+    fn clustered_deployment_matches_fig4() {
+        let region = Rect::centered_square(500.0);
+        let cluster = Rect::new(Point::new(300.0, 300.0), Point::new(400.0, 400.0));
+        let dep = Deployment::Clustered {
+            uniform_fraction: 1.0 / 3.0,
+            cluster,
+        };
+        let aps = dep.generate(15, region, &CampusChannelMix::uml(), &mut rng());
+        assert_eq!(aps.len(), 15);
+        let clustered = aps.iter().filter(|a| cluster.contains(a.location)).count();
+        // 10 are placed in the cluster (a uniform one may land there too).
+        assert!(clustered >= 10, "only {clustered} in cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform_fraction")]
+    fn bad_fraction_panics() {
+        let dep = Deployment::Clustered {
+            uniform_fraction: 1.5,
+            cluster: Rect::centered_square(10.0),
+        };
+        let _ = dep.generate(
+            5,
+            Rect::centered_square(100.0),
+            &CampusChannelMix::uml(),
+            &mut rng(),
+        );
+    }
+
+    #[test]
+    fn grid_deployment_spacing() {
+        let region = Rect::centered_square(100.0);
+        let dep = Deployment::Grid {
+            spacing: 50.0,
+            jitter: 0.0,
+        };
+        let aps = dep.generate(16, region, &CampusChannelMix::uml(), &mut rng());
+        assert_eq!(aps.len(), 16); // 4x4 grid fits in 200x200 at 50m pitch
+                                   // Nearest-neighbour distance is the spacing.
+        let d01 = aps[0].location.distance(aps[1].location);
+        assert!((d01 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_mix_respected() {
+        let region = Rect::centered_square(1000.0);
+        let aps = Deployment::Uniform.generate(3000, region, &CampusChannelMix::uml(), &mut rng());
+        let on_1_6_11 = aps
+            .iter()
+            .filter(|a| [1, 6, 11].contains(&a.channel.number()))
+            .count() as f64
+            / aps.len() as f64;
+        assert!((on_1_6_11 - 0.937).abs() < 0.02, "fraction {on_1_6_11}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let region = Rect::centered_square(500.0);
+        let a = Deployment::Uniform.generate(50, region, &CampusChannelMix::uml(), &mut rng());
+        let b = Deployment::Uniform.generate(50, region, &CampusChannelMix::uml(), &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! A minimal deterministic discrete-event queue.
+//!
+//! Events are ordered by time; ties break by insertion sequence so runs
+//! are reproducible regardless of floating-point coincidences.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying a payload of type `T`.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Tie-breaking sequence number (set by the queue).
+    seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list.
+///
+/// # Example
+///
+/// ```
+/// use marauder_sim::engine::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "b");
+/// q.schedule(1.0, "a");
+/// assert_eq!(q.pop().map(|e| (e.time, e.payload)), Some((1.0, "a")));
+/// assert_eq!(q.pop().map(|e| e.payload), Some("b"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Schedules a payload at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `time` is NaN or lies in the past of the last popped
+    /// event (the engine never travels backwards).
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule at {time} (current time {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// The current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(2.5, ());
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule at")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn rescheduling_while_running_works() {
+        // A recurring event reschedules itself.
+        let mut q = EventQueue::new();
+        q.schedule(0.0, ());
+        let mut fired = Vec::new();
+        while let Some(ev) = q.pop() {
+            fired.push(ev.time);
+            if ev.time < 5.0 {
+                q.schedule(ev.time + 1.0, ());
+            }
+        }
+        assert_eq!(fired, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

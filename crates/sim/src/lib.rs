@@ -1,0 +1,53 @@
+//! Discrete-event campus simulator.
+//!
+//! The paper evaluates its tracking system on two live campuses. This
+//! crate is the stand-in: it deploys access points, moves mobile devices
+//! along trajectories, generates the 802.11 probing traffic their scan
+//! behaviours imply, runs it through the propagation model and the
+//! sniffer's receiver chain, and hands the resulting
+//! [`CaptureDatabase`](marauder_wifi::CaptureDatabase) plus ground truth
+//! to the localization algorithms.
+//!
+//! * [`engine`] — a small deterministic discrete-event queue,
+//! * [`deploy`] — AP deployment generators (uniform, clustered/biased à
+//!   la Fig. 4, grid) with the Fig. 8 channel mix,
+//! * [`mobility`] — trajectories (stationary, waypoint routes, random
+//!   waypoint, perimeter loops),
+//! * [`link`] — the bidirectional mobile↔AP communicability test,
+//! * [`scenario`] — ties everything together and runs the attack-phase
+//!   simulation,
+//! * [`wardrive`](mod@wardrive) — training-tuple collection for AP-Loc,
+//! * [`population`] — the 7-day office population model behind
+//!   Figs. 10–11.
+//!
+//! # Example
+//!
+//! ```
+//! use marauder_sim::scenario::CampusScenario;
+//!
+//! let scenario = CampusScenario::builder()
+//!     .seed(7)
+//!     .num_aps(40)
+//!     .num_mobiles(3)
+//!     .duration_s(120.0)
+//!     .build();
+//! let result = scenario.run();
+//! assert!(!result.captures.is_empty());
+//! assert!(!result.ground_truth.is_empty());
+//! ```
+
+pub mod deploy;
+pub mod engine;
+pub mod link;
+pub mod mobility;
+pub mod population;
+pub mod scenario;
+pub mod wardrive;
+
+pub use deploy::Deployment;
+pub use engine::{Event, EventQueue};
+pub use link::LinkModel;
+pub use mobility::Trajectory;
+pub use population::{DayStats, PopulationModel};
+pub use scenario::{CampusScenario, GroundTruthFix, SimulationResult};
+pub use wardrive::{wardrive, TrainingTuple, WardriveRoute};

@@ -1,0 +1,296 @@
+//! The bidirectional mobile ↔ AP communicability test.
+//!
+//! The paper's notion "AP communicable with the mobile device" requires
+//! probe traffic in both directions: the AP must decode the mobile's
+//! probe request and the mobile must decode the AP's probe response.
+//! Both directions share the same path loss; what differs is transmit
+//! power and receiver quality on each end.
+
+use marauder_geo::Point;
+use marauder_rf::chain::{Nic, ReceiverChain};
+use marauder_rf::propagation::{FreeSpace, LogDistance, PropagationModel};
+use marauder_rf::units::Db;
+use marauder_wifi::device::{typical_mobile_receiver, AccessPoint, MobileStation, OsProfile};
+use marauder_wifi::mac::MacAddr;
+use std::collections::BTreeSet;
+
+/// Decides which APs a mobile at a given position can communicate with.
+pub struct LinkModel {
+    model: Box<dyn PropagationModel>,
+    environment_margin: Db,
+    mobile_rx: ReceiverChain,
+    ap_rx: ReceiverChain,
+}
+
+impl std::fmt::Debug for LinkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkModel")
+            .field("model", &self.model.name())
+            .field("environment_margin", &self.environment_margin)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LinkModel {
+    /// A link model over an arbitrary propagation model.
+    pub fn new(model: Box<dyn PropagationModel>, environment_margin: Db) -> Self {
+        LinkModel {
+            model,
+            environment_margin,
+            mobile_rx: typical_mobile_receiver(),
+            ap_rx: ReceiverChain::builder()
+                .name("AP receiver")
+                .nic(Nic {
+                    name: "AP radio",
+                    noise_figure_db: 5.0,
+                    snr_min_db: 10.0,
+                    bandwidth_mhz: 22.0,
+                    tx_power_dbm: 20.0,
+                })
+                .build(),
+        }
+    }
+
+    /// Free-space worst case with the paper-calibrated campus margin —
+    /// the model the attacker's theory assumes.
+    pub fn free_space(environment_margin: Db) -> Self {
+        LinkModel::new(Box::new(FreeSpace), environment_margin)
+    }
+
+    /// A realistic campus: log-distance exponent 3 with 6 dB shadowing
+    /// (no extra margin; the exponent already encodes the environment).
+    pub fn campus(seed: u64) -> Self {
+        LinkModel::new(Box::new(LogDistance::campus(seed)), Db::new(0.0))
+    }
+
+    /// The underlying propagation model's name.
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// Path loss between two points at the AP's carrier frequency,
+    /// including the environment margin.
+    pub fn loss(&self, a: Point, b: Point, ap: &AccessPoint) -> Db {
+        self.model.path_loss(a, b, ap.channel.center_frequency()) + self.environment_margin
+    }
+
+    /// Does the mobile at `pos` decode the AP's probe response?
+    pub fn mobile_hears_ap(&self, ap: &AccessPoint, pos: Point) -> bool {
+        let loss = self.loss(ap.location, pos, ap);
+        self.mobile_rx.decodes_via(&ap.transmitter(), loss)
+    }
+
+    /// Does the AP decode a probe request from `mobile` at `pos`?
+    pub fn ap_hears_mobile(&self, mobile: &MobileStation, pos: Point, ap: &AccessPoint) -> bool {
+        let loss = self.loss(pos, ap.location, ap);
+        self.ap_rx.decodes_via(&mobile.transmitter(), loss)
+    }
+
+    /// Both directions close: the AP is *communicable* with the mobile.
+    pub fn communicable(&self, mobile: &MobileStation, pos: Point, ap: &AccessPoint) -> bool {
+        self.ap_hears_mobile(mobile, pos, ap) && self.mobile_hears_ap(ap, pos)
+    }
+
+    /// Measures an AP's maximum *communicable* distance the way the
+    /// paper does ("we obtain the maximum transmission distances of APs
+    /// by measuring such distance while traveling around"): bisect the
+    /// communicability threshold along several azimuths from the AP and
+    /// take the maximum (the paper's "maximum transmission distance").
+    ///
+    /// Under free space all azimuths agree; under shadowing the maximum
+    /// over directions yields the safe overestimate Theorem 3 calls for.
+    pub fn measured_radius(&self, ap: &AccessPoint) -> f64 {
+        let probe = MobileStation::new(MacAddr::from_index(0x3EA5), OsProfile::Linux);
+        let mut best: f64 = 0.0;
+        for k in 0..16 {
+            let ang = k as f64 * std::f64::consts::TAU / 16.0;
+            let dir = marauder_geo::Vec2::from_angle(ang);
+            let (mut lo, mut hi) = (0.0f64, 10_000.0f64);
+            if self.communicable(&probe, ap.location + dir * hi, ap) {
+                best = best.max(hi);
+                continue;
+            }
+            for _ in 0..40 {
+                let mid = (lo + hi) / 2.0;
+                if self.communicable(&probe, ap.location + dir * mid, ap) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            best = best.max(lo);
+        }
+        best
+    }
+
+    /// The communicable-AP set at `pos` — ground truth for `Γ`.
+    pub fn communicable_set(
+        &self,
+        mobile: &MobileStation,
+        pos: Point,
+        aps: &[AccessPoint],
+    ) -> BTreeSet<MacAddr> {
+        aps.iter()
+            .filter(|ap| self.communicable(mobile, pos, ap))
+            .map(|ap| ap.bssid)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_wifi::channel::Channel;
+    use marauder_wifi::device::OsProfile;
+    use marauder_wifi::ssid::Ssid;
+
+    fn ap_at(x: f64, y: f64) -> AccessPoint {
+        AccessPoint::new(
+            MacAddr::from_index(1000),
+            Ssid::new("test").unwrap(),
+            Channel::bg(6).unwrap(),
+            Point::new(x, y),
+        )
+    }
+
+    fn mobile() -> MobileStation {
+        MobileStation::new(MacAddr::from_index(1), OsProfile::Linux)
+    }
+
+    #[test]
+    fn nearby_ap_is_communicable() {
+        let lm = LinkModel::free_space(Db::new(21.0));
+        assert!(lm.communicable(&mobile(), Point::new(10.0, 0.0), &ap_at(0.0, 0.0)));
+    }
+
+    #[test]
+    fn distant_ap_is_not() {
+        let lm = LinkModel::free_space(Db::new(21.0));
+        assert!(!lm.communicable(&mobile(), Point::new(50_000.0, 0.0), &ap_at(0.0, 0.0)));
+    }
+
+    #[test]
+    fn free_space_communicability_is_a_disc() {
+        // Under free space the communicable boundary is a circle: find the
+        // threshold along +x and verify the same along +y.
+        let lm = LinkModel::free_space(Db::new(21.0));
+        let ap = ap_at(0.0, 0.0);
+        let m = mobile();
+        let mut lo = 1.0;
+        let mut hi = 50_000.0;
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if lm.communicable(&m, Point::new(mid, 0.0), &ap) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let r = lo;
+        assert!(lm.communicable(&m, Point::new(0.0, r * 0.99), &ap));
+        assert!(!lm.communicable(&m, Point::new(0.0, r * 1.01), &ap));
+        // And it matches the AP's advertised max range within tolerance.
+        let advertised = ap.max_transmission_distance(Db::new(21.0)).meters();
+        // The binding direction may be either up or downlink; the
+        // advertised value is the downlink disc. Uplink (15 dBm mobile vs
+        // 20 dBm AP) is weaker, so communicable radius <= advertised.
+        assert!(r <= advertised * 1.01, "r={r} advertised={advertised}");
+    }
+
+    #[test]
+    fn asymmetric_budget_limits_range() {
+        // The mobile transmits 5 dB less than the AP, so the uplink dies
+        // first: there must exist positions hearing the AP that the AP
+        // cannot hear back.
+        let lm = LinkModel::free_space(Db::new(21.0));
+        let ap = ap_at(0.0, 0.0);
+        let m = mobile();
+        let mut found = false;
+        for k in 1..400 {
+            let p = Point::new(k as f64 * 10.0, 0.0);
+            if lm.mobile_hears_ap(&ap, p) && !lm.ap_hears_mobile(&m, p, &ap) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected an uplink-limited ring");
+    }
+
+    #[test]
+    fn communicable_set_counts_in_range_aps() {
+        let lm = LinkModel::free_space(Db::new(21.0));
+        let m = mobile();
+        let mut aps = Vec::new();
+        for i in 0..5 {
+            let mut ap = ap_at(i as f64 * 30.0, 0.0);
+            ap.bssid = MacAddr::from_index(2000 + i);
+            aps.push(ap);
+        }
+        // Far-away AP.
+        let mut far = ap_at(100_000.0, 0.0);
+        far.bssid = MacAddr::from_index(9999);
+        aps.push(far);
+        let set = lm.communicable_set(&m, Point::new(60.0, 0.0), &aps);
+        assert_eq!(set.len(), 5);
+        assert!(!set.contains(&MacAddr::from_index(9999)));
+    }
+
+    #[test]
+    fn campus_model_is_rougher_than_free_space() {
+        // With shadowing, communicability is no longer a perfect disc:
+        // at a distance near the threshold some directions work and
+        // others do not.
+        let lm = LinkModel::campus(5);
+        let ap = ap_at(0.0, 0.0);
+        let m = mobile();
+        let d = 150.0;
+        let results: Vec<bool> = (0..64)
+            .map(|k| {
+                let a = k as f64 * std::f64::consts::TAU / 64.0;
+                lm.communicable(&m, Point::new(d * a.cos(), d * a.sin()), &ap)
+            })
+            .collect();
+        let yes = results.iter().filter(|b| **b).count();
+        assert!(
+            yes > 0 && yes < 64,
+            "expected a ragged boundary, got {yes}/64"
+        );
+    }
+
+    #[test]
+    fn measured_radius_matches_binary_search() {
+        let lm = LinkModel::free_space(Db::new(21.0));
+        let ap = ap_at(0.0, 0.0);
+        let r = lm.measured_radius(&ap);
+        assert!(r > 10.0, "radius {r}");
+        let m = mobile();
+        // Just inside works, just outside does not (free space = disc).
+        assert!(lm.communicable(&m, Point::new(r * 0.999, 0.0), &ap));
+        assert!(!lm.communicable(&m, Point::new(r * 1.001, 0.0), &ap));
+    }
+
+    #[test]
+    fn measured_radius_under_shadowing_is_an_overestimate() {
+        let lm = LinkModel::campus(3);
+        let ap = ap_at(0.0, 0.0);
+        let r = lm.measured_radius(&ap);
+        // At the measured radius, most random directions should already
+        // be dead (it is the max over azimuths).
+        let m = mobile();
+        let alive = (0..32)
+            .filter(|k| {
+                let a = *k as f64 * std::f64::consts::TAU / 32.0 + 0.05;
+                lm.communicable(&m, Point::new(r * 1.05 * a.cos(), r * 1.05 * a.sin()), &ap)
+            })
+            .count();
+        assert!(alive < 16, "too many directions alive at 1.05x: {alive}");
+    }
+
+    #[test]
+    fn debug_format_names_model() {
+        let lm = LinkModel::campus(1);
+        let s = format!("{lm:?}");
+        assert!(s.contains("log-distance"));
+        assert_eq!(lm.model_name(), "log-distance");
+    }
+}

@@ -1,0 +1,421 @@
+//! Mobile trajectories.
+//!
+//! The paper's accuracy experiments carry a tablet around the campus;
+//! these trajectory models reproduce that: a perimeter walk for the
+//! victim, waypoint routes for wardriving vehicles, random waypoint for
+//! background devices.
+
+use crate::deploy::Rect;
+use marauder_geo::Point;
+use rand::Rng;
+
+/// A position as a function of time.
+pub trait Trajectory: Send + Sync {
+    /// Position at time `t` seconds.
+    fn position(&self, t: f64) -> Point;
+}
+
+/// A device that never moves (an office laptop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stationary(pub Point);
+
+impl Trajectory for Stationary {
+    fn position(&self, _t: f64) -> Point {
+        self.0
+    }
+}
+
+/// Piecewise-linear motion through waypoints at constant speed, stopping
+/// at the last waypoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaypointRoute {
+    waypoints: Vec<Point>,
+    speed_mps: f64,
+    /// Cumulative path length at each waypoint.
+    cumlen: Vec<f64>,
+}
+
+impl WaypointRoute {
+    /// A route through `waypoints` at `speed_mps` meters per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than one waypoint or a non-positive speed.
+    pub fn new(waypoints: Vec<Point>, speed_mps: f64) -> Self {
+        assert!(!waypoints.is_empty(), "route needs at least one waypoint");
+        assert!(speed_mps > 0.0, "speed must be positive, got {speed_mps}");
+        let mut cumlen = Vec::with_capacity(waypoints.len());
+        let mut acc = 0.0;
+        cumlen.push(0.0);
+        for w in waypoints.windows(2) {
+            acc += w[0].distance(w[1]);
+            cumlen.push(acc);
+        }
+        WaypointRoute {
+            waypoints,
+            speed_mps,
+            cumlen,
+        }
+    }
+
+    /// Total route length, meters.
+    pub fn length(&self) -> f64 {
+        *self.cumlen.last().expect("non-empty")
+    }
+
+    /// Time to traverse the whole route, seconds.
+    pub fn duration(&self) -> f64 {
+        self.length() / self.speed_mps
+    }
+
+    /// The waypoints.
+    pub fn waypoints(&self) -> &[Point] {
+        &self.waypoints
+    }
+}
+
+impl Trajectory for WaypointRoute {
+    fn position(&self, t: f64) -> Point {
+        let dist = (t.max(0.0) * self.speed_mps).min(self.length());
+        // Find the segment containing `dist`.
+        let i = match self
+            .cumlen
+            .binary_search_by(|c| c.partial_cmp(&dist).expect("lengths are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        if i + 1 >= self.waypoints.len() {
+            return *self.waypoints.last().expect("non-empty");
+        }
+        let seg_len = self.cumlen[i + 1] - self.cumlen[i];
+        if seg_len <= 0.0 {
+            return self.waypoints[i];
+        }
+        let f = (dist - self.cumlen[i]) / seg_len;
+        self.waypoints[i].lerp(self.waypoints[i + 1], f)
+    }
+}
+
+/// A closed loop around a circle — the paper's "walk around the
+/// neighbourhood" test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitWalk {
+    /// Loop center.
+    pub center: Point,
+    /// Loop radius, meters.
+    pub radius: f64,
+    /// Walking speed, m/s.
+    pub speed_mps: f64,
+    /// Starting angle, radians.
+    pub phase: f64,
+}
+
+impl CircuitWalk {
+    /// A loop of the given center/radius walked at `speed_mps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive radius or speed.
+    pub fn new(center: Point, radius: f64, speed_mps: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        assert!(speed_mps > 0.0, "speed must be positive");
+        CircuitWalk {
+            center,
+            radius,
+            speed_mps,
+            phase: 0.0,
+        }
+    }
+}
+
+impl Trajectory for CircuitWalk {
+    fn position(&self, t: f64) -> Point {
+        let omega = self.speed_mps / self.radius;
+        let a = self.phase + omega * t;
+        Point::new(
+            self.center.x + self.radius * a.cos(),
+            self.center.y + self.radius * a.sin(),
+        )
+    }
+}
+
+/// Random-waypoint mobility inside a rectangle: pick a waypoint, walk to
+/// it at constant speed, repeat. The whole path is derived from the seed
+/// at construction, so positions are a pure function of time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomWaypoint {
+    route: WaypointRoute,
+}
+
+impl RandomWaypoint {
+    /// Generates a random-waypoint path covering at least `duration_s`
+    /// seconds inside `region`.
+    pub fn new<R: Rng + ?Sized>(
+        region: Rect,
+        speed_mps: f64,
+        duration_s: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mut pts = vec![region.sample(rng)];
+        let mut len = 0.0;
+        while len < speed_mps * duration_s {
+            let next = region.sample(rng);
+            len += pts.last().expect("non-empty").distance(next);
+            pts.push(next);
+        }
+        RandomWaypoint {
+            route: WaypointRoute::new(pts, speed_mps),
+        }
+    }
+}
+
+impl Trajectory for RandomWaypoint {
+    fn position(&self, t: f64) -> Point {
+        self.route.position(t)
+    }
+}
+
+/// A trajectory replayed from recorded `(time, position)` samples with
+/// linear interpolation — e.g. a GPS trace of a real walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePath {
+    samples: Vec<(f64, Point)>,
+}
+
+/// Error returned by [`TracePath::from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    reason: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl TracePath {
+    /// Creates a trace from time-ordered samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty or times are not strictly
+    /// increasing.
+    pub fn new(samples: Vec<(f64, Point)>) -> Self {
+        assert!(!samples.is_empty(), "trace needs at least one sample");
+        for w in samples.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "trace times must be strictly increasing ({} !< {})",
+                w[0].0,
+                w[1].0
+            );
+        }
+        TracePath { samples }
+    }
+
+    /// Parses a `time_s,x,y` CSV (header line required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] naming the first malformed line, or
+    /// an error for an empty/unordered trace.
+    pub fn from_csv(text: &str) -> Result<Self, ParseTraceError> {
+        let mut samples = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let err = |reason: String| ParseTraceError {
+                line: i + 1,
+                reason,
+            };
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 3 {
+                return Err(err("expected 3 fields (time_s,x,y)".into()));
+            }
+            let t: f64 = f[0].parse().map_err(|e| err(format!("bad time: {e}")))?;
+            let x: f64 = f[1].parse().map_err(|e| err(format!("bad x: {e}")))?;
+            let y: f64 = f[2].parse().map_err(|e| err(format!("bad y: {e}")))?;
+            if let Some(&(last, _)) = samples.last() {
+                if t <= last {
+                    return Err(err(format!("time {t} not after {last}")));
+                }
+            }
+            samples.push((t, Point::new(x, y)));
+        }
+        if samples.is_empty() {
+            return Err(ParseTraceError {
+                line: 1,
+                reason: "trace has no samples".into(),
+            });
+        }
+        Ok(TracePath { samples })
+    }
+
+    /// Duration covered by the trace, seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.last().expect("non-empty").0 - self.samples[0].0
+    }
+}
+
+impl Trajectory for TracePath {
+    fn position(&self, t: f64) -> Point {
+        let first = self.samples[0];
+        let last = *self.samples.last().expect("non-empty");
+        if t <= first.0 {
+            return first.1;
+        }
+        if t >= last.0 {
+            return last.1;
+        }
+        let i = self
+            .samples
+            .partition_point(|(st, _)| *st <= t)
+            .saturating_sub(1);
+        let (t0, p0) = self.samples[i];
+        let (t1, p1) = self.samples[i + 1];
+        p0.lerp(p1, (t - t0) / (t1 - t0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_never_moves() {
+        let s = Stationary(Point::new(3.0, 4.0));
+        assert_eq!(s.position(0.0), s.position(1e6));
+    }
+
+    #[test]
+    fn waypoint_route_interpolates() {
+        let r = WaypointRoute::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+            ],
+            1.0,
+        );
+        assert_eq!(r.length(), 20.0);
+        assert_eq!(r.duration(), 20.0);
+        assert_eq!(r.position(0.0), Point::new(0.0, 0.0));
+        assert_eq!(r.position(5.0), Point::new(5.0, 0.0));
+        assert_eq!(r.position(10.0), Point::new(10.0, 0.0));
+        assert_eq!(r.position(15.0), Point::new(10.0, 5.0));
+        // Past the end: parked at the last waypoint.
+        assert_eq!(r.position(100.0), Point::new(10.0, 10.0));
+        // Before the start: at the first waypoint.
+        assert_eq!(r.position(-5.0), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn waypoint_speed_scales_time() {
+        let wp = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        let slow = WaypointRoute::new(wp.clone(), 1.0);
+        let fast = WaypointRoute::new(wp, 10.0);
+        assert_eq!(slow.position(50.0), fast.position(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one waypoint")]
+    fn empty_route_panics() {
+        let _ = WaypointRoute::new(vec![], 1.0);
+    }
+
+    #[test]
+    fn duplicate_waypoints_are_tolerated() {
+        let p = Point::new(1.0, 1.0);
+        let r = WaypointRoute::new(vec![p, p, Point::new(2.0, 1.0)], 1.0);
+        assert_eq!(r.position(0.0), p);
+        assert_eq!(r.position(0.5), Point::new(1.5, 1.0));
+    }
+
+    #[test]
+    fn circuit_walk_stays_on_circle() {
+        let w = CircuitWalk::new(Point::new(5.0, 5.0), 100.0, 1.4);
+        for k in 0..50 {
+            let p = w.position(k as f64 * 37.0);
+            assert!((p.distance(Point::new(5.0, 5.0)) - 100.0).abs() < 1e-9);
+        }
+        // Period = 2πr/v.
+        let period = std::f64::consts::TAU * 100.0 / 1.4;
+        assert!(w.position(0.0).distance(w.position(period)) < 1e-6);
+    }
+
+    #[test]
+    fn random_waypoint_is_deterministic_and_bounded() {
+        let region = Rect::centered_square(200.0);
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let a = RandomWaypoint::new(region, 1.5, 600.0, &mut rng1);
+        let b = RandomWaypoint::new(region, 1.5, 600.0, &mut rng2);
+        for k in 0..60 {
+            let t = k as f64 * 10.0;
+            assert_eq!(a.position(t), b.position(t));
+            assert!(region.contains(a.position(t)), "left region at t={t}");
+        }
+    }
+
+    #[test]
+    fn trace_interpolates_and_clamps() {
+        let trace = TracePath::new(vec![
+            (0.0, Point::new(0.0, 0.0)),
+            (10.0, Point::new(100.0, 0.0)),
+            (20.0, Point::new(100.0, 50.0)),
+        ]);
+        assert_eq!(trace.duration(), 20.0);
+        assert_eq!(trace.position(-5.0), Point::new(0.0, 0.0));
+        assert_eq!(trace.position(5.0), Point::new(50.0, 0.0));
+        assert_eq!(trace.position(15.0), Point::new(100.0, 25.0));
+        assert_eq!(trace.position(99.0), Point::new(100.0, 50.0));
+        // Exactly at a sample.
+        assert_eq!(trace.position(10.0), Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn trace_csv_round_trip() {
+        let csv = "time_s,x,y\n0.0,1.0,2.0\n5.5,3.0,-4.0\n";
+        let trace = TracePath::from_csv(csv).unwrap();
+        assert_eq!(trace.position(0.0), Point::new(1.0, 2.0));
+        assert_eq!(trace.position(5.5), Point::new(3.0, -4.0));
+    }
+
+    #[test]
+    fn trace_csv_rejects_malformed() {
+        assert!(TracePath::from_csv("h\n1,2").is_err());
+        assert!(TracePath::from_csv("h\nx,2,3").is_err());
+        assert!(TracePath::from_csv("h\n").is_err());
+        let e = TracePath::from_csv("h\n5,0,0\n3,1,1").unwrap_err();
+        assert!(e.to_string().contains("not after"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_trace_panics() {
+        let _ = TracePath::new(vec![(1.0, Point::ORIGIN), (1.0, Point::ORIGIN)]);
+    }
+
+    #[test]
+    fn trajectories_are_object_safe() {
+        let ts: Vec<Box<dyn Trajectory>> = vec![
+            Box::new(Stationary(Point::ORIGIN)),
+            Box::new(CircuitWalk::new(Point::ORIGIN, 10.0, 1.0)),
+        ];
+        for t in &ts {
+            let _ = t.position(1.0);
+        }
+    }
+}

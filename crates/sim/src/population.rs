@@ -1,0 +1,210 @@
+//! The 7-day office device-population model behind Figs. 10–11.
+//!
+//! The paper parked a hopping sniffer in a UML office for a week
+//! (Oct 24–30, 2008) and counted, per day, how many distinct mobiles
+//! appeared and how many of them sent probe requests. Findings: more
+//! mobiles on weekdays (students bring laptops), probing fraction above
+//! 50 % every day, peaking at 91.6 % on a weekend day (fewer, but
+//! chattier, devices).
+
+use marauder_wifi::device::{MobileStation, OsProfile, ScanBehavior};
+use marauder_wifi::mac::MacAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated day's population statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DayStats {
+    /// Day index (0-based from the capture start).
+    pub day: usize,
+    /// `true` for Saturday/Sunday.
+    pub weekend: bool,
+    /// Distinct mobiles seen.
+    pub total_mobiles: usize,
+    /// Mobiles that sent at least one probe request.
+    pub probing_mobiles: usize,
+}
+
+impl DayStats {
+    /// The probing fraction, 0–1 (0 when no mobiles were seen).
+    pub fn probing_fraction(&self) -> f64 {
+        if self.total_mobiles == 0 {
+            0.0
+        } else {
+            self.probing_mobiles as f64 / self.total_mobiles as f64
+        }
+    }
+}
+
+/// Generative model of the office's daily device population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationModel {
+    /// Mean number of distinct devices on a weekday.
+    pub weekday_mean: f64,
+    /// Mean number of distinct devices on a weekend day.
+    pub weekend_mean: f64,
+    /// Probability that a weekday device actively probes. Weekday
+    /// populations include more idle/associated laptops that stay quiet.
+    pub weekday_probe_rate: f64,
+    /// Probability that a weekend device actively probes (visitors with
+    /// phones scanning for networks — the paper's 91.6 % day).
+    pub weekend_probe_rate: f64,
+}
+
+impl Default for PopulationModel {
+    fn default() -> Self {
+        // Calibrated to the paper's qualitative findings.
+        PopulationModel {
+            weekday_mean: 120.0,
+            weekend_mean: 35.0,
+            weekday_probe_rate: 0.62,
+            weekend_probe_rate: 0.88,
+        }
+    }
+}
+
+impl PopulationModel {
+    /// Simulates `days` consecutive days starting on `start_weekday`
+    /// (0 = Monday … 6 = Sunday), returning per-day statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start_weekday > 6`.
+    pub fn simulate_days(&self, days: usize, start_weekday: usize, seed: u64) -> Vec<DayStats> {
+        assert!(start_weekday <= 6, "weekday must be 0..=6");
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..days)
+            .map(|day| {
+                let weekday = (start_weekday + day) % 7;
+                let weekend = weekday >= 5;
+                let (mean, rate) = if weekend {
+                    (self.weekend_mean, self.weekend_probe_rate)
+                } else {
+                    (self.weekday_mean, self.weekday_probe_rate)
+                };
+                // Poisson-ish count via normal approximation, clamped.
+                let jitter: f64 = rng.gen_range(-1.5..1.5);
+                let total = (mean + jitter * mean.sqrt()).round().max(1.0) as usize;
+                let probing = (0..total)
+                    .filter(|_| rng.gen_range(0.0..1.0) < rate)
+                    .count();
+                DayStats {
+                    day,
+                    weekend,
+                    total_mobiles: total,
+                    probing_mobiles: probing,
+                }
+            })
+            .collect()
+    }
+
+    /// Materializes one day's device population as typed stations —
+    /// feedable into a [`CampusScenario`](crate::scenario::CampusScenario)
+    /// for full-pipeline experiments.
+    pub fn materialize_day(&self, stats: &DayStats, seed: u64) -> Vec<MobileStation> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (stats.day as u64) << 32);
+        (0..stats.total_mobiles)
+            .map(|i| {
+                let probes = i < stats.probing_mobiles;
+                let os = if probes {
+                    match rng.gen_range(0..4) {
+                        0 => OsProfile::WindowsXp,
+                        1 => OsProfile::WindowsVista,
+                        2 => OsProfile::MacOs,
+                        _ => OsProfile::Linux,
+                    }
+                } else {
+                    OsProfile::Embedded
+                };
+                let mut m = MobileStation::new(
+                    MacAddr::from_index(0xC0_0000 + (stats.day as u64) * 10_000 + i as u64),
+                    os,
+                );
+                if !probes {
+                    m = m.with_behavior(ScanBehavior::PassiveOnly);
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn week_shape_matches_paper() {
+        // Paper capture started Friday Oct 24, 2008 (weekday index 4).
+        let stats = PopulationModel::default().simulate_days(7, 4, 42);
+        assert_eq!(stats.len(), 7);
+        let weekdays: Vec<&DayStats> = stats.iter().filter(|d| !d.weekend).collect();
+        let weekends: Vec<&DayStats> = stats.iter().filter(|d| d.weekend).collect();
+        assert_eq!(weekends.len(), 2);
+        // More mobiles on weekdays.
+        let wd_avg: f64 =
+            weekdays.iter().map(|d| d.total_mobiles as f64).sum::<f64>() / weekdays.len() as f64;
+        let we_avg: f64 =
+            weekends.iter().map(|d| d.total_mobiles as f64).sum::<f64>() / weekends.len() as f64;
+        assert!(wd_avg > we_avg, "weekday {wd_avg} vs weekend {we_avg}");
+        // Probing fraction above 50 % every day.
+        for d in &stats {
+            assert!(
+                d.probing_fraction() > 0.5,
+                "day {} fraction {}",
+                d.day,
+                d.probing_fraction()
+            );
+        }
+        // Weekend probing fraction exceeds weekday's.
+        let wd_frac: f64 =
+            weekdays.iter().map(|d| d.probing_fraction()).sum::<f64>() / weekdays.len() as f64;
+        let we_frac: f64 =
+            weekends.iter().map(|d| d.probing_fraction()).sum::<f64>() / weekends.len() as f64;
+        assert!(we_frac > wd_frac);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = PopulationModel::default();
+        assert_eq!(m.simulate_days(7, 4, 1), m.simulate_days(7, 4, 1));
+        assert_ne!(m.simulate_days(7, 4, 1), m.simulate_days(7, 4, 2));
+    }
+
+    #[test]
+    fn probing_fraction_bounds() {
+        for d in PopulationModel::default().simulate_days(14, 0, 7) {
+            assert!(d.probing_mobiles <= d.total_mobiles);
+            assert!((0.0..=1.0).contains(&d.probing_fraction()));
+        }
+        let empty = DayStats {
+            day: 0,
+            weekend: false,
+            total_mobiles: 0,
+            probing_mobiles: 0,
+        };
+        assert_eq!(empty.probing_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weekday must be 0..=6")]
+    fn bad_weekday_panics() {
+        let _ = PopulationModel::default().simulate_days(7, 9, 1);
+    }
+
+    #[test]
+    fn materialized_day_matches_stats() {
+        let m = PopulationModel::default();
+        let stats = m.simulate_days(1, 0, 3)[0];
+        let devices = m.materialize_day(&stats, 3);
+        assert_eq!(devices.len(), stats.total_mobiles);
+        let probing = devices
+            .iter()
+            .filter(|d| d.visible_to_passive_attack())
+            .count();
+        assert_eq!(probing, stats.probing_mobiles);
+        // MACs unique.
+        let macs: std::collections::HashSet<_> = devices.iter().map(|d| d.mac).collect();
+        assert_eq!(macs.len(), devices.len());
+    }
+}

@@ -1,0 +1,289 @@
+//! Wardriving: collecting training tuples for AP-Loc.
+//!
+//! "Each training data tuple consists of … the longitude and latitude of
+//! a training location, and a set of APs a mobile device can communicate
+//! with at the training location" (Section III-C3). The adversary drives
+//! a route through the area with NetStumbler-like software; this module
+//! simulates that collection against the same link model the scenario
+//! uses.
+
+use crate::deploy::Rect;
+use crate::link::LinkModel;
+use crate::mobility::{Trajectory, WaypointRoute};
+use marauder_geo::Point;
+use marauder_wifi::device::{AccessPoint, MobileStation, OsProfile};
+use marauder_wifi::mac::MacAddr;
+use std::collections::BTreeSet;
+
+/// One training observation: a location and the APs communicable there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingTuple {
+    /// Where the wardriving vehicle was.
+    pub location: Point,
+    /// The BSSIDs communicable at that location.
+    pub aps: BTreeSet<MacAddr>,
+}
+
+/// Serializes training tuples to CSV: `x,y,mac1;mac2;…` per line.
+pub fn training_to_csv(tuples: &[TrainingTuple]) -> String {
+    let mut out = String::from("x,y,aps\n");
+    for t in tuples {
+        let macs: Vec<String> = t.aps.iter().map(|m| m.to_string()).collect();
+        out.push_str(&format!(
+            "{:.3},{:.3},{}\n",
+            t.location.x,
+            t.location.y,
+            macs.join(";")
+        ));
+    }
+    out
+}
+
+/// Error returned by [`training_from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTrainingError {
+    line: usize,
+    reason: String,
+}
+
+impl std::fmt::Display for ParseTrainingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training csv parse error on line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseTrainingError {}
+
+/// Parses the CSV produced by [`training_to_csv`].
+///
+/// # Errors
+///
+/// Returns [`ParseTrainingError`] naming the first malformed line.
+pub fn training_from_csv(text: &str) -> Result<Vec<TrainingTuple>, ParseTrainingError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let err = |reason: String| ParseTrainingError {
+            line: i + 1,
+            reason,
+        };
+        let fields: Vec<&str> = line.splitn(3, ',').collect();
+        if fields.len() != 3 {
+            return Err(err("expected 3 fields".into()));
+        }
+        let x: f64 = fields[0].parse().map_err(|e| err(format!("bad x: {e}")))?;
+        let y: f64 = fields[1].parse().map_err(|e| err(format!("bad y: {e}")))?;
+        let mut aps = BTreeSet::new();
+        if !fields[2].is_empty() {
+            for m in fields[2].split(';') {
+                aps.insert(
+                    m.parse::<MacAddr>()
+                        .map_err(|e| err(format!("bad mac {m:?}: {e}")))?,
+                );
+            }
+        }
+        out.push(TrainingTuple {
+            location: Point::new(x, y),
+            aps,
+        });
+    }
+    Ok(out)
+}
+
+/// A wardriving route: a path plus a sampling cadence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WardriveRoute {
+    route: WaypointRoute,
+    sample_every_s: f64,
+}
+
+impl WardriveRoute {
+    /// Wraps a waypoint route, sampling every `sample_every_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive sampling period.
+    pub fn new(route: WaypointRoute, sample_every_s: f64) -> Self {
+        assert!(
+            sample_every_s > 0.0,
+            "sampling period must be positive, got {sample_every_s}"
+        );
+        WardriveRoute {
+            route,
+            sample_every_s,
+        }
+    }
+
+    /// A boustrophedon ("lawn-mower") sweep of `region` with the given
+    /// number of passes, driven at `speed_mps`, sampled every
+    /// `sample_every_s` seconds — the standard wardriving pattern.
+    pub fn lawnmower(region: Rect, passes: usize, speed_mps: f64, sample_every_s: f64) -> Self {
+        assert!(passes >= 2, "a sweep needs at least 2 passes");
+        let mut wp = Vec::with_capacity(passes * 2);
+        for i in 0..passes {
+            let frac = i as f64 / (passes - 1) as f64;
+            let y = region.min.y + frac * (region.max.y - region.min.y);
+            if i % 2 == 0 {
+                wp.push(Point::new(region.min.x, y));
+                wp.push(Point::new(region.max.x, y));
+            } else {
+                wp.push(Point::new(region.max.x, y));
+                wp.push(Point::new(region.min.x, y));
+            }
+        }
+        WardriveRoute::new(WaypointRoute::new(wp, speed_mps), sample_every_s)
+    }
+
+    /// The sampling locations along the route.
+    pub fn sample_points(&self) -> Vec<Point> {
+        let duration = self.route.duration();
+        let n = (duration / self.sample_every_s).floor() as usize;
+        (0..=n)
+            .map(|k| self.route.position(k as f64 * self.sample_every_s))
+            .collect()
+    }
+}
+
+/// Drives the route and records a [`TrainingTuple`] at every sample
+/// point, using `link` to decide communicability. Tuples with an empty
+/// AP set are kept — they still carry (negative) information and the
+/// paper's algorithms must tolerate them.
+pub fn wardrive(
+    route: &WardriveRoute,
+    aps: &[AccessPoint],
+    link: &LinkModel,
+) -> Vec<TrainingTuple> {
+    // The wardriving laptop: a typical mobile, actively scanning.
+    let scanner = MobileStation::new(MacAddr::from_index(0xD21_7E12), OsProfile::Linux);
+    route
+        .sample_points()
+        .into_iter()
+        .map(|location| TrainingTuple {
+            location,
+            aps: link.communicable_set(&scanner, location, aps),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+    use marauder_rf::units::Db;
+    use marauder_wifi::channel::CampusChannelMix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn region() -> Rect {
+        Rect::centered_square(300.0)
+    }
+
+    fn sample_aps() -> Vec<AccessPoint> {
+        let mut rng = StdRng::seed_from_u64(11);
+        Deployment::Uniform.generate(40, region(), &CampusChannelMix::uml(), &mut rng)
+    }
+
+    #[test]
+    fn lawnmower_covers_the_region() {
+        let route = WardriveRoute::lawnmower(region(), 6, 10.0, 5.0);
+        let pts = route.sample_points();
+        assert!(pts.len() > 20);
+        // Points span the region in both axes.
+        let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for p in &pts {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        assert!(max_x - min_x > 500.0);
+        assert!(max_y - min_y > 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 passes")]
+    fn single_pass_panics() {
+        let _ = WardriveRoute::lawnmower(region(), 1, 10.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period must be positive")]
+    fn bad_sampling_panics() {
+        let route = WaypointRoute::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)], 1.0);
+        let _ = WardriveRoute::new(route, 0.0);
+    }
+
+    #[test]
+    fn wardrive_collects_tuples_with_aps() {
+        let aps = sample_aps();
+        let link = LinkModel::free_space(Db::new(21.0));
+        let route = WardriveRoute::lawnmower(region(), 6, 10.0, 10.0);
+        let tuples = wardrive(&route, &aps, &link);
+        assert!(!tuples.is_empty());
+        // On a dense campus most tuples see at least one AP.
+        let nonempty = tuples.iter().filter(|t| !t.aps.is_empty()).count();
+        assert!(
+            nonempty * 2 > tuples.len(),
+            "only {nonempty}/{} tuples saw APs",
+            tuples.len()
+        );
+        // Every reported AP is a real one.
+        let all: BTreeSet<MacAddr> = aps.iter().map(|a| a.bssid).collect();
+        for t in &tuples {
+            assert!(t.aps.is_subset(&all));
+        }
+    }
+
+    #[test]
+    fn training_csv_round_trip() {
+        let aps = sample_aps();
+        let link = LinkModel::free_space(Db::new(21.0));
+        let route = WardriveRoute::lawnmower(region(), 4, 10.0, 20.0);
+        let tuples = wardrive(&route, &aps, &link);
+        let csv = training_to_csv(&tuples);
+        let back = training_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), tuples.len());
+        for (a, b) in tuples.iter().zip(&back) {
+            assert!(a.location.distance(b.location) < 0.01);
+            assert_eq!(a.aps, b.aps);
+        }
+    }
+
+    #[test]
+    fn training_csv_rejects_malformed() {
+        assert!(training_from_csv("h\n1,2").is_err());
+        assert!(training_from_csv("h\nx,2,").is_err());
+        assert!(training_from_csv("h\n1,2,zz:bad").is_err());
+        // Empty AP list parses.
+        let ok = training_from_csv("x,y,aps\n1.0,2.0,\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(ok[0].aps.is_empty());
+    }
+
+    #[test]
+    fn tuples_reflect_distance() {
+        // A tuple's APs must all be within the free-space disc radius.
+        let aps = sample_aps();
+        let link = LinkModel::free_space(Db::new(21.0));
+        let route = WardriveRoute::lawnmower(region(), 4, 10.0, 20.0);
+        let tuples = wardrive(&route, &aps, &link);
+        let max_r = aps[0].max_transmission_distance(Db::new(21.0)).meters();
+        for t in &tuples {
+            for mac in &t.aps {
+                let ap = aps.iter().find(|a| a.bssid == *mac).expect("known AP");
+                assert!(
+                    ap.location.distance(t.location) <= max_r * 1.01,
+                    "AP at {} claimed communicable from {} (> {max_r})",
+                    ap.location,
+                    t.location
+                );
+            }
+        }
+    }
+}

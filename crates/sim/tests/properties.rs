@@ -1,0 +1,87 @@
+//! Property-based tests for the campus simulator: invariants that must
+//! hold for any seed and any reasonable configuration.
+
+use marauder_sim::scenario::{CampusScenario, WorldModel};
+use proptest::prelude::*;
+
+fn run(
+    seed: u64,
+    aps: usize,
+    mobiles: usize,
+    world: WorldModel,
+) -> marauder_sim::scenario::SimulationResult {
+    CampusScenario::builder()
+        .seed(seed)
+        .region_half_width(250.0)
+        .num_aps(aps)
+        .num_mobiles(mobiles)
+        .duration_s(90.0)
+        .beacon_period_s(None)
+        .world(world)
+        .build()
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn captures_never_invent_aps(seed in 0u64..1000, aps in 10usize..50, mobiles in 1usize..6) {
+        let result = run(seed, aps, mobiles, WorldModel::FreeSpace);
+        let deployed: std::collections::BTreeSet<_> =
+            result.aps.iter().map(|a| a.bssid).collect();
+        for heard in result.captures.access_points() {
+            prop_assert!(deployed.contains(&heard), "sniffer invented AP {heard}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_positions_stay_in_region(seed in 0u64..1000, mobiles in 1usize..6) {
+        let result = run(seed, 20, mobiles, WorldModel::FreeSpace);
+        for g in &result.ground_truth {
+            prop_assert!(g.position.x.abs() <= 250.0 + 1e-6);
+            prop_assert!(g.position.y.abs() <= 250.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn captured_gamma_subset_of_truth_in_free_space(seed in 0u64..500) {
+        // The sniffer can miss APs but never claim communication that
+        // did not happen (free-space world: deterministic links).
+        let result = run(seed, 40, 3, WorldModel::FreeSpace);
+        for g in &result.ground_truth {
+            let captured = result.captures.communicable_aps_in_window(
+                g.wire_mac,
+                g.time_s - 0.5,
+                g.time_s + 0.5,
+            );
+            for ap in &captured {
+                prop_assert!(
+                    g.communicable.contains(ap),
+                    "t={}: captured {ap} not in truth", g.time_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs(seed in 0u64..500) {
+        let a = run(seed, 25, 3, WorldModel::Campus);
+        let b = run(seed, 25, 3, WorldModel::Campus);
+        prop_assert_eq!(a.captures.len(), b.captures.len());
+        prop_assert_eq!(a.ground_truth.len(), b.ground_truth.len());
+        for (x, y) in a.ground_truth.iter().zip(&b.ground_truth) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn all_captured_frames_encode_and_decode(seed in 0u64..500) {
+        use marauder_wifi::frame::Frame;
+        let result = run(seed, 20, 3, WorldModel::FreeSpace);
+        for rec in result.captures.iter() {
+            let back = Frame::decode(&rec.frame.encode());
+            prop_assert_eq!(back.as_ref(), Ok(&rec.frame));
+        }
+    }
+}

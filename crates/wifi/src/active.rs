@@ -1,0 +1,223 @@
+//! The active attack: baiting quiet devices into transmitting.
+//!
+//! The passive attack only sees devices that probe on their own
+//! (Section IV-B: > 50 % of devices each day). For the rest, the paper
+//! proposes an *active* technique: the adversary transmits bait —
+//! spoofed beacons and probe responses for popular network names — and
+//! devices holding a matching preferred network answer with probe or
+//! association traffic, exposing their MAC (and position) to the
+//! sniffer. This module models the bait transmitter and the decision of
+//! whether a given station takes the bait.
+
+use crate::device::{MobileStation, ScanBehavior};
+use crate::frame::Frame;
+use crate::mac::MacAddr;
+use crate::ssid::Ssid;
+use rand::Rng;
+
+/// A bait transmitter colocated with (or near) the sniffer.
+///
+/// # Example
+///
+/// ```
+/// use marauder_wifi::active::BaitTransmitter;
+/// use marauder_wifi::ssid::Ssid;
+///
+/// let bait = BaitTransmitter::with_popular_ssids();
+/// assert!(bait.ssids().iter().any(|s| s.as_str() == "linksys"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaitTransmitter {
+    mac: MacAddr,
+    ssids: Vec<Ssid>,
+    /// Seconds between bait beacon bursts.
+    pub burst_interval_s: f64,
+}
+
+impl BaitTransmitter {
+    /// A bait transmitter advertising the given network names.
+    pub fn new(ssids: Vec<Ssid>) -> Self {
+        BaitTransmitter {
+            mac: MacAddr::new([0x02, 0xBA, 0x17, 0x00, 0x00, 0x01]),
+            ssids,
+            burst_interval_s: 10.0,
+        }
+    }
+
+    /// Baits with the perennial default SSIDs most preferred-network
+    /// lists contain (the practical choice the paper implies: devices
+    /// auto-join networks they have seen before, and default names are
+    /// ubiquitous).
+    pub fn with_popular_ssids() -> Self {
+        let names = [
+            "linksys",
+            "default",
+            "NETGEAR",
+            "dlink",
+            "belkin54g",
+            "tmobile",
+            "attwifi",
+            "Free Public WiFi",
+        ];
+        BaitTransmitter::new(
+            names
+                .iter()
+                .map(|n| Ssid::new(*n).expect("short ssid"))
+                .collect(),
+        )
+    }
+
+    /// The spoofed transmitter MAC (locally administered).
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// The advertised network names.
+    pub fn ssids(&self) -> &[Ssid] {
+        &self.ssids
+    }
+
+    /// The bait frames of one burst on the given channel: one spoofed
+    /// beacon per advertised SSID.
+    pub fn burst(&self, channel: u8) -> Vec<Frame> {
+        self.ssids
+            .iter()
+            .enumerate()
+            .map(|(i, ssid)| {
+                // Distinct BSSID per network, derived from the base MAC.
+                let mut octets = self.mac.octets();
+                octets[5] = octets[5].wrapping_add(i as u8);
+                Frame::beacon(
+                    MacAddr::new(octets),
+                    ssid.clone(),
+                    crate::channel::Channel::bg(channel).expect("valid channel"),
+                    100,
+                )
+            })
+            .collect()
+    }
+
+    /// Does `station` answer this bait burst?
+    ///
+    /// A station bites when it is not radio-silent and one of the bait
+    /// SSIDs is on its preferred-network list; `rng` models the client's
+    /// scan/association timing (it must be awake and listening on the
+    /// bait channel during the burst), with the given per-burst hit
+    /// probability.
+    pub fn bites<R: Rng + ?Sized>(
+        &self,
+        station: &MobileStation,
+        hit_probability: f64,
+        rng: &mut R,
+    ) -> Option<Ssid> {
+        if matches!(station.behavior, ScanBehavior::Quiet) {
+            return None;
+        }
+        let matched = station
+            .preferred
+            .iter()
+            .find(|p| self.ssids.contains(p))?
+            .clone();
+        if rng.gen_range(0.0..1.0) < hit_probability {
+            Some(matched)
+        } else {
+            None
+        }
+    }
+
+    /// The frame a biting station transmits: a directed probe request
+    /// for the baited network (the first packet of its join attempt).
+    pub fn elicited_frame(&self, station: &MobileStation, ssid: Ssid, channel: u8) -> Frame {
+        Frame::probe_request(station.mac, Some(ssid), channel)
+    }
+}
+
+impl Default for BaitTransmitter {
+    fn default() -> Self {
+        BaitTransmitter::with_popular_ssids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::OsProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn station(preferred: &[&str]) -> MobileStation {
+        let mut m = MobileStation::new(MacAddr::from_index(9), OsProfile::Embedded);
+        for p in preferred {
+            m = m.with_preferred(Ssid::new(*p).expect("short"));
+        }
+        m
+    }
+
+    #[test]
+    fn burst_contains_one_beacon_per_ssid() {
+        let bait = BaitTransmitter::with_popular_ssids();
+        let frames = bait.burst(6);
+        assert_eq!(frames.len(), bait.ssids().len());
+        // Distinct BSSIDs.
+        let bssids: std::collections::HashSet<_> = frames.iter().map(|f| f.bssid).collect();
+        assert_eq!(bssids.len(), frames.len());
+        for f in &frames {
+            assert_eq!(f.channel.number(), 6);
+            assert!(matches!(f.body, crate::frame::FrameBody::Beacon { .. }));
+        }
+    }
+
+    #[test]
+    fn passive_station_with_matching_ssid_bites() {
+        let bait = BaitTransmitter::with_popular_ssids();
+        let s = station(&["linksys"]);
+        assert!(!s.visible_to_passive_attack(), "embedded profile is quiet");
+        let mut rng = StdRng::seed_from_u64(1);
+        let got = bait.bites(&s, 1.0, &mut rng);
+        assert_eq!(got.map(|s| s.as_str().to_string()), Some("linksys".into()));
+    }
+
+    #[test]
+    fn no_preferred_match_means_no_bite() {
+        let bait = BaitTransmitter::with_popular_ssids();
+        let s = station(&["my-weird-home-net"]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bait.bites(&s, 1.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn radio_silent_stations_never_bite() {
+        let bait = BaitTransmitter::with_popular_ssids();
+        let s = station(&["linksys"]).with_behavior(ScanBehavior::Quiet);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bait.bites(&s, 1.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn hit_probability_gates_the_bite() {
+        let bait = BaitTransmitter::with_popular_ssids();
+        let s = station(&["default"]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..2000)
+            .filter(|_| bait.bites(&s, 0.3, &mut rng).is_some())
+            .count();
+        let rate = hits as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn elicited_frame_is_a_directed_probe_from_the_victim() {
+        let bait = BaitTransmitter::with_popular_ssids();
+        let s = station(&["linksys"]);
+        let ssid = Ssid::new("linksys").expect("short");
+        let f = bait.elicited_frame(&s, ssid.clone(), 6);
+        assert!(f.is_probe_request());
+        assert_eq!(f.src, s.mac);
+        match f.body {
+            crate::frame::FrameBody::ProbeRequest { ssid: Some(got) } => {
+                assert_eq!(got, ssid)
+            }
+            _ => panic!("expected a directed probe"),
+        }
+    }
+}

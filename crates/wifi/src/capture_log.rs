@@ -1,0 +1,180 @@
+//! Text serialization for capture databases.
+//!
+//! A portable interchange format so captures can move between the
+//! simulator, the CLI tool and archived runs — one frame per line, with
+//! the 802.11 bytes hex-encoded exactly as they would sit in a pcap:
+//!
+//! ```text
+//! # marauder capture v1
+//! 12.340 1 40000000ffffff...
+//! ```
+
+use crate::frame::Frame;
+use crate::sniffer::{CaptureDatabase, CapturedFrame};
+use std::fmt;
+
+/// Magic first line of the format.
+pub const HEADER: &str = "# marauder capture v1";
+
+/// Error returned when parsing a malformed capture log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogError {
+    line: usize,
+    reason: String,
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "capture log parse error on line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseLogError {}
+
+/// Serializes a capture database to the text format.
+pub fn write_capture_log(db: &CaptureDatabase) -> String {
+    let mut out = String::with_capacity(db.len() * 80 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for rec in db.iter() {
+        out.push_str(&format!("{:.6} {} ", rec.time_s, rec.card));
+        for b in rec.frame.encode() {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format produced by [`write_capture_log`].
+///
+/// # Errors
+///
+/// Returns [`ParseLogError`] naming the first malformed line; a missing
+/// or wrong header is reported as line 1.
+pub fn parse_capture_log(text: &str) -> Result<CaptureDatabase, ParseLogError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => {
+            return Err(ParseLogError {
+                line: 1,
+                reason: format!("missing header {HEADER:?}"),
+            })
+        }
+    }
+    let mut db = CaptureDatabase::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: String| ParseLogError {
+            line: i + 1,
+            reason,
+        };
+        let mut parts = line.split_whitespace();
+        let time_s: f64 = parts
+            .next()
+            .ok_or_else(|| err("missing time".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad time: {e}")))?;
+        let card: usize = parts
+            .next()
+            .ok_or_else(|| err("missing card".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad card: {e}")))?;
+        let hex = parts.next().ok_or_else(|| err("missing bytes".into()))?;
+        if parts.next().is_some() {
+            return Err(err("trailing fields".into()));
+        }
+        if hex.len() % 2 != 0 {
+            return Err(err("odd hex length".into()));
+        }
+        let bytes: Vec<u8> = (0..hex.len() / 2)
+            .map(|k| u8::from_str_radix(&hex[2 * k..2 * k + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|e| err(format!("bad hex: {e}")))?;
+        let frame = Frame::decode(&bytes).map_err(|e| err(format!("bad frame: {e}")))?;
+        db.push(CapturedFrame {
+            time_s,
+            card,
+            frame,
+        });
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::mac::MacAddr;
+    use crate::ssid::Ssid;
+
+    fn sample_db() -> CaptureDatabase {
+        let mut db = CaptureDatabase::new();
+        db.push(CapturedFrame {
+            time_s: 1.25,
+            card: 0,
+            frame: Frame::probe_request(MacAddr::from_index(1), None, 6),
+        });
+        db.push(CapturedFrame {
+            time_s: 2.5,
+            card: 2,
+            frame: Frame::probe_response(
+                MacAddr::from_index(100),
+                MacAddr::from_index(1),
+                Ssid::new("net one").unwrap(),
+                Channel::bg(11).unwrap(),
+            ),
+        });
+        db
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = sample_db();
+        let text = write_capture_log(&db);
+        assert!(text.starts_with(HEADER));
+        let back = parse_capture_log(&text).unwrap();
+        assert_eq!(back.len(), db.len());
+        for (a, b) in db.iter().zip(back.iter()) {
+            assert_eq!(a.frame, b.frame);
+            assert_eq!(a.card, b.card);
+            assert!((a.time_s - b.time_s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let e = parse_capture_log("1.0 0 abcd").unwrap_err();
+        assert!(e.to_string().contains("missing header"));
+        assert!(parse_capture_log("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let mk = |body: &str| format!("{HEADER}\n{body}\n");
+        assert!(parse_capture_log(&mk("notatime 0 40")).is_err());
+        assert!(parse_capture_log(&mk("1.0 x 40")).is_err());
+        assert!(parse_capture_log(&mk("1.0 0")).is_err());
+        assert!(parse_capture_log(&mk("1.0 0 abc")).is_err()); // odd hex
+        assert!(parse_capture_log(&mk("1.0 0 zz")).is_err());
+        assert!(parse_capture_log(&mk("1.0 0 40 extra")).is_err());
+        // Valid hex but truncated frame.
+        assert!(parse_capture_log(&mk("1.0 0 4000")).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let db = sample_db();
+        let mut text = write_capture_log(&db);
+        text.push_str("\n# trailing comment\n\n");
+        let back = parse_capture_log(&text).unwrap();
+        assert_eq!(back.len(), db.len());
+    }
+}

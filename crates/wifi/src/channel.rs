@@ -1,0 +1,372 @@
+//! 802.11 channel plan, spectral overlap, and adjacent-channel decoding.
+//!
+//! Section III-B1 of the paper: 802.11b/g has 11 channels, each 22 MHz
+//! wide on a 5 MHz grid, so only channels 1/6/11 are mutually
+//! non-interfering. Prior folklore held that 3 cards on channels 3/6/9
+//! could capture everything; the paper's Fig. 9 refutes this — energy
+//! leaks into neighbouring channels but the distorted signal does not
+//! *decode*. [`Channel::decode_probability`] encodes that measured
+//! behaviour, and [`CampusChannelMix`] reproduces the Fig. 8 empirical
+//! channel distribution (93.7 % of campus APs on 1/6/11).
+
+use marauder_rf::units::Hertz;
+use rand::Rng;
+use std::fmt;
+
+/// Frequency band of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Band {
+    /// 2.4 GHz ISM band (802.11 b/g).
+    G24,
+    /// 5 GHz band (802.11a).
+    A5,
+}
+
+/// An 802.11 channel.
+///
+/// # Example
+///
+/// ```
+/// use marauder_wifi::channel::Channel;
+/// let ch6 = Channel::bg(6).unwrap();
+/// assert_eq!(ch6.center_frequency().mhz(), 2437.0);
+/// let ch1 = Channel::bg(1).unwrap();
+/// assert!(ch1.overlap_mhz(Channel::bg(3).unwrap()) > 0.0);
+/// assert_eq!(ch1.overlap_mhz(ch6), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Channel {
+    band: Band,
+    number: u8,
+}
+
+/// Error returned for channel numbers outside the band's plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidChannelError {
+    band: Band,
+    number: u8,
+}
+
+impl fmt::Display for InvalidChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel {} does not exist in band {:?}",
+            self.number, self.band
+        )
+    }
+}
+
+impl std::error::Error for InvalidChannelError {}
+
+/// The 12 U.S. 802.11a channels the paper counts.
+pub const A_CHANNELS: [u8; 12] = [36, 40, 44, 48, 52, 56, 60, 64, 149, 153, 157, 161];
+
+/// Spectral width of a b/g DSSS channel, MHz.
+pub const BG_CHANNEL_WIDTH_MHZ: f64 = 22.0;
+
+/// Channel-grid spacing in the 2.4 GHz band, MHz.
+pub const BG_CHANNEL_SPACING_MHZ: f64 = 5.0;
+
+impl Channel {
+    /// A 2.4 GHz b/g channel (1–11, U.S. plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChannelError`] outside 1–11.
+    pub fn bg(number: u8) -> Result<Self, InvalidChannelError> {
+        if (1..=11).contains(&number) {
+            Ok(Channel {
+                band: Band::G24,
+                number,
+            })
+        } else {
+            Err(InvalidChannelError {
+                band: Band::G24,
+                number,
+            })
+        }
+    }
+
+    /// A 5 GHz 802.11a channel (one of [`A_CHANNELS`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChannelError`] for numbers not in the plan.
+    pub fn a(number: u8) -> Result<Self, InvalidChannelError> {
+        if A_CHANNELS.contains(&number) {
+            Ok(Channel {
+                band: Band::A5,
+                number,
+            })
+        } else {
+            Err(InvalidChannelError {
+                band: Band::A5,
+                number,
+            })
+        }
+    }
+
+    /// All b/g channels 1–11.
+    pub fn all_bg() -> impl Iterator<Item = Channel> {
+        (1..=11).map(|n| Channel {
+            band: Band::G24,
+            number: n,
+        })
+    }
+
+    /// The three non-overlapping b/g channels the paper's rig monitors.
+    pub fn non_overlapping_bg() -> [Channel; 3] {
+        [
+            Channel {
+                band: Band::G24,
+                number: 1,
+            },
+            Channel {
+                band: Band::G24,
+                number: 6,
+            },
+            Channel {
+                band: Band::G24,
+                number: 11,
+            },
+        ]
+    }
+
+    /// The channel number.
+    pub fn number(self) -> u8 {
+        self.number
+    }
+
+    /// The band.
+    pub fn band(self) -> Band {
+        self.band
+    }
+
+    /// Center frequency.
+    pub fn center_frequency(self) -> Hertz {
+        match self.band {
+            Band::G24 => Hertz::from_mhz(2412.0 + 5.0 * (self.number as f64 - 1.0)),
+            Band::A5 => Hertz::from_mhz(5000.0 + 5.0 * self.number as f64),
+        }
+    }
+
+    /// Spectral overlap in MHz between two channels' occupied bandwidth
+    /// (zero across bands and for b/g channels ≥ 5 numbers apart).
+    pub fn overlap_mhz(self, other: Channel) -> f64 {
+        if self.band != other.band {
+            return 0.0;
+        }
+        let df = (self.center_frequency().mhz() - other.center_frequency().mhz()).abs();
+        (BG_CHANNEL_WIDTH_MHZ - df).max(0.0)
+    }
+
+    /// Probability that a card listening on `self` successfully decodes a
+    /// frame transmitted on `other`.
+    ///
+    /// Same channel: near-certain. Neighbouring channels: although up to
+    /// 77 % of the energy overlaps one channel over, the signal is
+    /// distorted and the card "can recognize few or none of those
+    /// packets" (paper Fig. 9); the residual probabilities here follow
+    /// that measurement.
+    pub fn decode_probability(self, other: Channel) -> f64 {
+        if self.band != other.band {
+            return 0.0;
+        }
+        match self.number.abs_diff(other.number) {
+            0 => 0.98,
+            1 => 0.03,
+            2 => 0.005,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.band {
+            Band::G24 => write!(f, "ch{}", self.number),
+            Band::A5 => write!(f, "ch{}a", self.number),
+        }
+    }
+}
+
+/// Empirical campus channel distribution (paper Fig. 8): the weights
+/// with which access points choose their channel.
+///
+/// The default mix puts 93.7 % of APs on channels 1/6/11, matching the
+/// UML measurement, with the remainder spread over the other eight
+/// channels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusChannelMix {
+    /// `weights[i]` is the probability of b/g channel `i + 1`.
+    weights: [f64; 11],
+}
+
+impl CampusChannelMix {
+    /// The paper's measured UML mix.
+    pub fn uml() -> Self {
+        // 93.7% on 1/6/11 split as measured (6 most popular), remainder
+        // uniform over the other 8 channels.
+        let mut weights = [0.063 / 8.0; 11];
+        weights[0] = 0.270; // ch 1
+        weights[5] = 0.450; // ch 6
+        weights[10] = 0.217; // ch 11
+        CampusChannelMix { weights }
+    }
+
+    /// A custom mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the weights are non-negative and sum to 1 (±1e-6).
+    pub fn new(weights: [f64; 11]) -> Self {
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "channel weights must sum to 1, got {sum}"
+        );
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "channel weights must be non-negative"
+        );
+        CampusChannelMix { weights }
+    }
+
+    /// Probability weight of a given b/g channel.
+    pub fn weight(&self, channel: Channel) -> f64 {
+        match channel.band() {
+            Band::G24 => self.weights[(channel.number() - 1) as usize],
+            Band::A5 => 0.0,
+        }
+    }
+
+    /// The combined weight of the non-overlapping channels 1/6/11.
+    pub fn fraction_on_1_6_11(&self) -> f64 {
+        self.weights[0] + self.weights[5] + self.weights[10]
+    }
+
+    /// Samples a channel for a new AP.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Channel {
+        let mut u: f64 = rng.gen_range(0.0..1.0);
+        for (i, w) in self.weights.iter().enumerate() {
+            if u < *w {
+                return Channel::bg(i as u8 + 1).expect("index in 1..=11");
+            }
+            u -= w;
+        }
+        Channel::bg(11).expect("valid channel")
+    }
+}
+
+impl Default for CampusChannelMix {
+    fn default() -> Self {
+        CampusChannelMix::uml()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bg_channel_frequencies() {
+        assert_eq!(Channel::bg(1).unwrap().center_frequency().mhz(), 2412.0);
+        assert_eq!(Channel::bg(6).unwrap().center_frequency().mhz(), 2437.0);
+        assert_eq!(Channel::bg(11).unwrap().center_frequency().mhz(), 2462.0);
+    }
+
+    #[test]
+    fn invalid_channels_rejected() {
+        assert!(Channel::bg(0).is_err());
+        assert!(Channel::bg(12).is_err());
+        assert!(Channel::a(37).is_err());
+        let e = Channel::bg(14).unwrap_err();
+        assert!(e.to_string().contains("channel 14"));
+    }
+
+    #[test]
+    fn a_band_channels() {
+        assert_eq!(A_CHANNELS.len(), 12, "paper counts 12 802.11a channels");
+        for n in A_CHANNELS {
+            let ch = Channel::a(n).unwrap();
+            assert!(ch.center_frequency().mhz() > 5000.0);
+        }
+        assert_eq!(Channel::a(36).unwrap().center_frequency().mhz(), 5180.0);
+    }
+
+    #[test]
+    fn overlap_structure() {
+        let ch = |n| Channel::bg(n).unwrap();
+        // 1/6/11 are mutually non-overlapping.
+        assert_eq!(ch(1).overlap_mhz(ch(6)), 0.0);
+        assert_eq!(ch(6).overlap_mhz(ch(11)), 0.0);
+        assert_eq!(ch(1).overlap_mhz(ch(11)), 0.0);
+        // Adjacent channels overlap by 17 MHz.
+        assert_eq!(ch(1).overlap_mhz(ch(2)), 17.0);
+        // Same channel: full width.
+        assert_eq!(ch(3).overlap_mhz(ch(3)), 22.0);
+        // Symmetric.
+        assert_eq!(ch(2).overlap_mhz(ch(5)), ch(5).overlap_mhz(ch(2)));
+        // Cross-band: none.
+        assert_eq!(ch(1).overlap_mhz(Channel::a(36).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn decode_probability_matches_fig9() {
+        let ch = |n| Channel::bg(n).unwrap();
+        // Listening on the tx channel: decodes.
+        assert!(ch(11).decode_probability(ch(11)) > 0.9);
+        // The folklore "ch9 hears ch7..11" is false: neighbours decode
+        // (almost) nothing despite spectral overlap.
+        assert!(ch(9).decode_probability(ch(11)) < 0.01);
+        assert!(ch(10).decode_probability(ch(11)) < 0.05);
+        assert_eq!(ch(6).decode_probability(ch(11)), 0.0);
+        assert_eq!(ch(1).decode_probability(Channel::a(36).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn uml_mix_matches_fig8() {
+        let mix = CampusChannelMix::uml();
+        assert!((mix.fraction_on_1_6_11() - 0.937).abs() < 1e-9);
+        assert!(mix.weight(Channel::bg(6).unwrap()) > mix.weight(Channel::bg(1).unwrap()));
+        assert_eq!(mix.weight(Channel::a(36).unwrap()), 0.0);
+        let total: f64 = Channel::all_bg().map(|c| mix.weight(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let mix = CampusChannelMix::uml();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut counts = [0u32; 11];
+        for _ in 0..n {
+            counts[(mix.sample(&mut rng).number() - 1) as usize] += 1;
+        }
+        let frac_ch6 = counts[5] as f64 / n as f64;
+        assert!((frac_ch6 - 0.45).abs() < 0.02, "ch6 fraction {frac_ch6}");
+        let frac_161 = (counts[0] + counts[5] + counts[10]) as f64 / n as f64;
+        assert!((frac_161 - 0.937).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_mix_panics() {
+        let _ = CampusChannelMix::new([0.5; 11]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Channel::bg(6).unwrap().to_string(), "ch6");
+        assert_eq!(Channel::a(36).unwrap().to_string(), "ch36a");
+    }
+
+    #[test]
+    fn non_overlapping_set() {
+        let [a, b, c] = Channel::non_overlapping_bg();
+        assert_eq!((a.number(), b.number(), c.number()), (1, 6, 11));
+    }
+}

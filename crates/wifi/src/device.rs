@@ -1,0 +1,291 @@
+//! Access points and mobile stations.
+//!
+//! The attack's feasibility rests on device behaviour: "most mobile
+//! devices actively scan for available access points by sending out
+//! probing requests" (Section IV-B, >50 % every day, 91.6 % at peak).
+//! [`ScanBehavior`] and [`OsProfile`] model that population; the
+//! simulator draws device mixes from them to regenerate Figs. 10–11.
+
+use crate::channel::Channel;
+use crate::mac::MacAddr;
+use crate::ssid::Ssid;
+use marauder_geo::Point;
+use marauder_rf::chain::{Nic, ReceiverChain};
+use marauder_rf::link_budget::Transmitter;
+use marauder_rf::units::{Db, Dbi, Dbm, Meters};
+
+/// An access point placed in the monitored area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPoint {
+    /// The AP's BSSID (its radio MAC).
+    pub bssid: MacAddr,
+    /// Advertised network name.
+    pub ssid: Ssid,
+    /// Operating channel.
+    pub channel: Channel,
+    /// Planar position, meters in the local ENU frame.
+    pub location: Point,
+    /// Conducted transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Antenna gain, dBi.
+    pub antenna_gain_dbi: f64,
+    /// Beacon interval, time units (typically 100).
+    pub beacon_interval_tu: u16,
+}
+
+impl AccessPoint {
+    /// A typical 100 mW / 2 dBi AP.
+    pub fn new(bssid: MacAddr, ssid: Ssid, channel: Channel, location: Point) -> Self {
+        AccessPoint {
+            bssid,
+            ssid,
+            channel,
+            location,
+            tx_power_dbm: 20.0,
+            antenna_gain_dbi: 2.0,
+            beacon_interval_tu: 100,
+        }
+    }
+
+    /// The AP as a transmitter for link-budget purposes.
+    pub fn transmitter(&self) -> Transmitter {
+        Transmitter::new(Dbm::new(self.tx_power_dbm), Dbi::new(self.antenna_gain_dbi))
+    }
+
+    /// The AP's *maximum transmission distance* under the paper's
+    /// free-space worst-case model: the farthest a typical mobile
+    /// receiver still decodes the AP, given `environment_margin` of
+    /// extra loss.
+    ///
+    /// This is the `rᵢ` that M-Loc consumes when ground-truth AP ranges
+    /// are available.
+    pub fn max_transmission_distance(&self, environment_margin: Db) -> Meters {
+        typical_mobile_receiver().coverage_radius(
+            &self.transmitter(),
+            self.channel.center_frequency(),
+            environment_margin,
+        )
+    }
+}
+
+/// How a mobile scans for networks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanBehavior {
+    /// Sends probe requests every `interval_s` seconds; directed probes
+    /// reveal the preferred-network list.
+    Active {
+        /// Seconds between scan rounds.
+        interval_s: f64,
+        /// Whether probes are directed at preferred SSIDs (vs. wildcard).
+        directed: bool,
+    },
+    /// Never probes; only listens to beacons. Invisible to the passive
+    /// attack but exposed by the active attack (spoofed beacons elicit
+    /// association attempts) — modeled as catchable only by
+    /// [`MobileStation::visible_to_active_attack`].
+    PassiveOnly,
+    /// Radio effectively silent (WiFi off / airplane mode).
+    Quiet,
+}
+
+impl ScanBehavior {
+    /// `true` when the device emits probe requests on its own.
+    pub fn probes(&self) -> bool {
+        matches!(self, ScanBehavior::Active { .. })
+    }
+}
+
+/// Coarse operating-system profile, used to draw realistic device
+/// populations (different OSes ship different scanning policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsProfile {
+    /// Windows XP-era: aggressive directed probing of every remembered
+    /// network.
+    WindowsXp,
+    /// Windows Vista/7: broadcast probes, moderate cadence.
+    WindowsVista,
+    /// Mac OS X: active scans with directed probes.
+    MacOs,
+    /// Linux (wpa_supplicant defaults): active broadcast scans.
+    Linux,
+    /// A quiet embedded device.
+    Embedded,
+}
+
+impl OsProfile {
+    /// The default scanning behaviour this OS shipped with.
+    pub fn default_behavior(self) -> ScanBehavior {
+        match self {
+            OsProfile::WindowsXp => ScanBehavior::Active {
+                interval_s: 60.0,
+                directed: true,
+            },
+            OsProfile::WindowsVista => ScanBehavior::Active {
+                interval_s: 120.0,
+                directed: false,
+            },
+            OsProfile::MacOs => ScanBehavior::Active {
+                interval_s: 45.0,
+                directed: true,
+            },
+            OsProfile::Linux => ScanBehavior::Active {
+                interval_s: 30.0,
+                directed: false,
+            },
+            OsProfile::Embedded => ScanBehavior::PassiveOnly,
+        }
+    }
+}
+
+/// A mobile station (the victim device).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobileStation {
+    /// Source MAC address (static for most real devices).
+    pub mac: MacAddr,
+    /// Preferred-network list (leaks via directed probes).
+    pub preferred: Vec<Ssid>,
+    /// Scanning behaviour.
+    pub behavior: ScanBehavior,
+    /// OS profile the behaviour was drawn from.
+    pub os: OsProfile,
+    /// Conducted transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Antenna gain, dBi.
+    pub antenna_gain_dbi: f64,
+}
+
+impl MobileStation {
+    /// A typical 15 dBm laptop with the given identity and behaviour.
+    pub fn new(mac: MacAddr, os: OsProfile) -> Self {
+        MobileStation {
+            mac,
+            preferred: Vec::new(),
+            behavior: os.default_behavior(),
+            os,
+            tx_power_dbm: 15.0,
+            antenna_gain_dbi: 2.0,
+        }
+    }
+
+    /// Adds a preferred network (builder-style).
+    pub fn with_preferred(mut self, ssid: Ssid) -> Self {
+        self.preferred.push(ssid);
+        self
+    }
+
+    /// Overrides the scan behaviour (builder-style).
+    pub fn with_behavior(mut self, behavior: ScanBehavior) -> Self {
+        self.behavior = behavior;
+        self
+    }
+
+    /// The station as a transmitter.
+    pub fn transmitter(&self) -> Transmitter {
+        Transmitter::new(Dbm::new(self.tx_power_dbm), Dbi::new(self.antenna_gain_dbi))
+    }
+
+    /// `true` when the passive attack sees this device (it probes on its
+    /// own).
+    pub fn visible_to_passive_attack(&self) -> bool {
+        self.behavior.probes()
+    }
+
+    /// `true` when the active attack sees this device: everything except
+    /// fully quiet radios responds to spoofed beacons/probe responses for
+    /// its preferred networks (Section II-A's active collection).
+    pub fn visible_to_active_attack(&self) -> bool {
+        !matches!(self.behavior, ScanBehavior::Quiet)
+    }
+}
+
+/// The receiver of a typical mobile device: integrated antenna plus a
+/// common 5 dB-NF card. Used to define AP "maximum transmission
+/// distance" the way the paper measures it (driving around with a
+/// laptop).
+pub fn typical_mobile_receiver() -> ReceiverChain {
+    ReceiverChain::builder()
+        .name("typical mobile receiver")
+        .nic(Nic {
+            name: "typical client NIC",
+            noise_figure_db: 5.0,
+            snr_min_db: 10.0,
+            bandwidth_mhz: 22.0,
+            tx_power_dbm: 15.0,
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap() -> AccessPoint {
+        AccessPoint::new(
+            MacAddr::from_index(100),
+            Ssid::new("UML-Guest").unwrap(),
+            Channel::bg(6).unwrap(),
+            Point::new(10.0, 20.0),
+        )
+    }
+
+    #[test]
+    fn ap_defaults() {
+        let ap = ap();
+        assert_eq!(ap.tx_power_dbm, 20.0);
+        assert_eq!(ap.beacon_interval_tu, 100);
+        assert!((ap.transmitter().eirp().dbm() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_max_range_is_positive_and_shrinks_with_margin() {
+        let ap = ap();
+        let r0 = ap.max_transmission_distance(Db::new(20.0)).meters();
+        let r1 = ap.max_transmission_distance(Db::new(30.0)).meters();
+        assert!(r0 > r1);
+        assert!(r1 > 0.0);
+        // Typical campus AP ranges: tens to a few hundred meters.
+        let r = ap.max_transmission_distance(Db::new(35.0)).meters();
+        assert!((10.0..500.0).contains(&r), "range {r}");
+    }
+
+    #[test]
+    fn scan_behavior_probing() {
+        assert!(OsProfile::WindowsXp.default_behavior().probes());
+        assert!(OsProfile::Linux.default_behavior().probes());
+        assert!(!OsProfile::Embedded.default_behavior().probes());
+        assert!(!ScanBehavior::Quiet.probes());
+    }
+
+    #[test]
+    fn mobile_visibility() {
+        let probing = MobileStation::new(MacAddr::from_index(1), OsProfile::MacOs);
+        assert!(probing.visible_to_passive_attack());
+        assert!(probing.visible_to_active_attack());
+
+        let passive = MobileStation::new(MacAddr::from_index(2), OsProfile::Embedded);
+        assert!(!passive.visible_to_passive_attack());
+        assert!(passive.visible_to_active_attack());
+
+        let quiet = MobileStation::new(MacAddr::from_index(3), OsProfile::Linux)
+            .with_behavior(ScanBehavior::Quiet);
+        assert!(!quiet.visible_to_passive_attack());
+        assert!(!quiet.visible_to_active_attack());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let m = MobileStation::new(MacAddr::from_index(4), OsProfile::WindowsXp)
+            .with_preferred(Ssid::new("home").unwrap())
+            .with_preferred(Ssid::new("work").unwrap());
+        assert_eq!(m.preferred.len(), 2);
+        assert_eq!(m.os, OsProfile::WindowsXp);
+        assert!((m.transmitter().eirp().dbm() - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_receiver_sensitivity_plausible() {
+        let rx = typical_mobile_receiver();
+        let s = rx.sensitivity().dbm();
+        assert!((-95.0..-80.0).contains(&s), "sensitivity {s}");
+    }
+}

@@ -1,0 +1,55 @@
+//! 802.11 substrate for the Marauder's Map reproduction.
+//!
+//! The attack consumes 802.11 *management* traffic — probe requests
+//! broadcast by scanning mobiles and the probe responses they elicit
+//! from access points. This crate models exactly the slice of 802.11
+//! the paper's sniffing system touches:
+//!
+//! * [`mac`] / [`ssid`] — identifiers (MAC addresses, network names),
+//! * [`channel`] — the 2.4 GHz b/g channel plan with its 22 MHz spectral
+//!   overlap, the adjacent-channel decode model verified by the paper's
+//!   Fig. 9, and the empirical campus channel mix of Fig. 8,
+//! * [`frame`] — management frames with a compact wire codec
+//!   (serialization round-trips are property-tested),
+//! * [`device`] — access points and mobile stations with per-OS probing
+//!   behaviour (active/passive/quiet scanning),
+//! * [`sniffer`] — the monitoring rig: one receiver chain split across
+//!   several cards, each pinned to a channel or hopping, plus the
+//!   capture database the localization algorithms read.
+//!
+//! # Example
+//!
+//! ```
+//! use marauder_wifi::channel::Channel;
+//! use marauder_wifi::frame::{Frame, FrameBody};
+//! use marauder_wifi::mac::MacAddr;
+//! use marauder_wifi::ssid::Ssid;
+//!
+//! let probe = Frame::probe_request(
+//!     MacAddr::new([0x00, 0x1f, 0x3b, 0x02, 0x44, 0x55]),
+//!     Some(Ssid::new("eduroam").unwrap()),
+//!     1,
+//! );
+//! let bytes = probe.encode();
+//! let back = Frame::decode(&bytes).unwrap();
+//! assert_eq!(probe, back);
+//! assert!(matches!(back.body, FrameBody::ProbeRequest { .. }));
+//! let _ = Channel::bg(6).unwrap().center_frequency();
+//! ```
+
+pub mod active;
+pub mod capture_log;
+pub mod channel;
+pub mod device;
+pub mod frame;
+pub mod mac;
+pub mod sniffer;
+pub mod ssid;
+
+pub use active::BaitTransmitter;
+pub use channel::{CampusChannelMix, Channel};
+pub use device::{AccessPoint, MobileStation, ScanBehavior};
+pub use frame::{Frame, FrameBody};
+pub use mac::MacAddr;
+pub use sniffer::{CaptureDatabase, CapturedFrame, Sniffer, SnifferCard};
+pub use ssid::Ssid;

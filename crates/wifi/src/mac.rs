@@ -1,0 +1,301 @@
+//! IEEE 802 MAC addresses.
+//!
+//! The tracking system keys every observation on MAC addresses: mobiles
+//! are tracked by their (usually static) source MAC, access points by
+//! their BSSID. The paper notes that even pseudonymous MACs can be
+//! re-linked through implicit identifiers (Pang et al. \[13\]); the device
+//! model supports rotating locally-administered addresses for that
+//! experiment.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit MAC address.
+///
+/// # Example
+///
+/// ```
+/// use marauder_wifi::mac::MacAddr;
+/// let mac: MacAddr = "00:1f:3b:02:44:55".parse().unwrap();
+/// assert_eq!(mac.to_string(), "00:1f:3b:02:44:55");
+/// assert!(!mac.is_broadcast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr([u8; 6]);
+
+/// Error returned when parsing a malformed MAC address string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError {
+    input: String,
+}
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// The six octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// `true` for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// `true` when the group (multicast) bit is set.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// `true` when the locally-administered bit is set — the convention
+    /// for randomized/pseudonym MACs.
+    pub fn is_locally_administered(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Deterministically derives a unicast, globally-administered address
+    /// from an index — used by simulators to mint device populations.
+    pub fn from_index(index: u64) -> Self {
+        let b = index.to_be_bytes();
+        // Low 32 bits of the index fill the NIC-specific octets; the
+        // first octet has the group and local bits clear.
+        MacAddr([0x00, 0x16, b[4], b[5], b[6], b[7]])
+    }
+
+    /// Looks up the adapter vendor from the OUI (first three octets), a
+    /// small embedded table of the vendors common in 2008-era captures.
+    ///
+    /// Locally-administered (randomized) addresses return `None` — which
+    /// is itself a signal: rotating MACs erases the vendor field, so
+    /// pseudonym linking must fall back to probe fingerprints.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use marauder_wifi::mac::MacAddr;
+    /// let mac = MacAddr::new([0x00, 0x1B, 0x63, 0x01, 0x02, 0x03]);
+    /// assert_eq!(mac.vendor(), Some("Apple"));
+    /// ```
+    pub fn vendor(self) -> Option<&'static str> {
+        if self.is_locally_administered() || self.is_multicast() {
+            return None;
+        }
+        let oui = (self.0[0], self.0[1], self.0[2]);
+        let v = match oui {
+            (0x00, 0x0B, 0x86) => "Aruba Networks",
+            (0x00, 0x0C, 0x41) => "Linksys",
+            (0x00, 0x0F, 0x66) => "Linksys",
+            (0x00, 0x12, 0x17) => "Linksys",
+            (0x00, 0x13, 0x10) => "Linksys",
+            (0x00, 0x0D, 0x88) => "D-Link",
+            (0x00, 0x15, 0xE9) => "D-Link",
+            (0x00, 0x17, 0x9A) => "D-Link",
+            (0x00, 0x09, 0x5B) => "Netgear",
+            (0x00, 0x0F, 0xB5) => "Netgear",
+            (0x00, 0x14, 0x6C) => "Netgear",
+            (0x00, 0x18, 0x4D) => "Netgear",
+            (0x00, 0x02, 0x2D) => "Agere/Orinoco",
+            (0x00, 0x0E, 0x35) => "Intel",
+            (0x00, 0x13, 0x02) => "Intel",
+            (0x00, 0x13, 0xE8) => "Intel",
+            (0x00, 0x15, 0x00) => "Intel",
+            (0x00, 0x16, 0x6F) => "Intel",
+            (0x00, 0x1B, 0x77) => "Intel",
+            (0x00, 0x03, 0x93) => "Apple",
+            (0x00, 0x0A, 0x95) => "Apple",
+            (0x00, 0x11, 0x24) => "Apple",
+            (0x00, 0x16, 0xCB) => "Apple",
+            (0x00, 0x17, 0xF2) => "Apple",
+            (0x00, 0x1B, 0x63) => "Apple",
+            (0x00, 0x1E, 0xC2) => "Apple",
+            (0x00, 0x0A, 0xB7) => "Cisco",
+            (0x00, 0x0B, 0x5F) => "Cisco",
+            (0x00, 0x12, 0x7F) => "Cisco",
+            (0x00, 0x18, 0x68) => "Cisco/Scientific Atlanta",
+            (0x00, 0x03, 0x7F) => "Atheros",
+            (0x00, 0x0A, 0xF5) => "Airgo/Qualcomm",
+            (0x00, 0x10, 0x18) => "Broadcom",
+            (0x00, 0x90, 0x4C) => "Broadcom (reference)",
+            (0x00, 0x15, 0x6D) => "Ubiquiti",
+            (0x00, 0x0E, 0x8E) => "SparkLAN",
+            (0x00, 0x14, 0xA4) => "Hon Hai/Foxconn",
+            (0x00, 0x16, 0x44) => "LITE-ON",
+            (0x00, 0x19, 0x7D) => "Hon Hai/Foxconn",
+            (0x00, 0x0E, 0x9B) => "Ambit/TCL",
+            _ => return None,
+        };
+        Some(v)
+    }
+
+    /// Derives a locally-administered pseudonym from this address and a
+    /// rotation epoch, for the pseudonym-tracking experiment.
+    pub fn pseudonym(self, epoch: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.0 {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= epoch as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        let x = h.to_be_bytes();
+        // Set local bit, clear group bit.
+        MacAddr([(x[0] & 0xfc) | 0x02, x[1], x[2], x[3], x[4], x[5]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseMacError {
+            input: s.to_string(),
+        };
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 6 {
+            return Err(err());
+        }
+        let mut octets = [0u8; 6];
+        for (o, p) in octets.iter_mut().zip(parts) {
+            if p.len() != 2 {
+                return Err(err());
+            }
+            *o = u8::from_str_radix(p, 16).map_err(|_| err())?;
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+impl From<MacAddr> for [u8; 6] {
+    fn from(mac: MacAddr) -> Self {
+        mac.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [
+            "00:1f:3b:02:44:55",
+            "ff:ff:ff:ff:ff:ff",
+            "02:00:00:00:00:01",
+        ] {
+            let mac: MacAddr = s.parse().unwrap();
+            assert_eq!(mac.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in [
+            "",
+            "00:11:22:33:44",
+            "00:11:22:33:44:55:66",
+            "0g:11:22:33:44:55",
+            "001:1:22:33:44:55",
+            "00-11-22-33-44-55",
+        ] {
+            assert!(s.parse::<MacAddr>().is_err(), "accepted {s:?}");
+        }
+        let e = "zz".parse::<MacAddr>().unwrap_err();
+        assert!(e.to_string().contains("invalid MAC address"));
+    }
+
+    #[test]
+    fn flags() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let uni = MacAddr::new([0x00, 0x11, 0x22, 0x33, 0x44, 0x55]);
+        assert!(!uni.is_broadcast());
+        assert!(!uni.is_multicast());
+        assert!(!uni.is_locally_administered());
+        let local = MacAddr::new([0x02, 0, 0, 0, 0, 1]);
+        assert!(local.is_locally_administered());
+    }
+
+    #[test]
+    fn from_index_is_unique_and_unicast() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let m = MacAddr::from_index(i);
+            assert!(!m.is_multicast());
+            assert!(!m.is_locally_administered());
+            assert!(seen.insert(m), "duplicate MAC for index {i}");
+        }
+    }
+
+    #[test]
+    fn pseudonyms_differ_per_epoch_and_are_local() {
+        let base = MacAddr::from_index(7);
+        let p0 = base.pseudonym(0);
+        let p1 = base.pseudonym(1);
+        assert_ne!(p0, p1);
+        assert_ne!(p0, base);
+        assert!(p0.is_locally_administered());
+        assert!(!p0.is_multicast());
+        // Deterministic.
+        assert_eq!(base.pseudonym(0), p0);
+    }
+
+    #[test]
+    fn vendor_lookup() {
+        let apple = MacAddr::new([0x00, 0x1B, 0x63, 0xAA, 0xBB, 0xCC]);
+        assert_eq!(apple.vendor(), Some("Apple"));
+        let intel = MacAddr::new([0x00, 0x13, 0x02, 0x00, 0x00, 0x01]);
+        assert_eq!(intel.vendor(), Some("Intel"));
+        let unknown = MacAddr::new([0xAC, 0xDE, 0x48, 0x00, 0x00, 0x01]);
+        assert_eq!(unknown.vendor(), None);
+        // Randomized MACs erase the vendor — the reason fingerprint
+        // linking exists.
+        assert_eq!(apple.pseudonym(1).vendor(), None);
+        assert_eq!(MacAddr::BROADCAST.vendor(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        let octets = [1u8, 2, 3, 4, 5, 6];
+        let mac: MacAddr = octets.into();
+        let back: [u8; 6] = mac.into();
+        assert_eq!(octets, back);
+        assert_eq!(mac.octets(), octets);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = MacAddr::new([0, 0, 0, 0, 0, 1]);
+        let b = MacAddr::new([0, 0, 0, 0, 1, 0]);
+        assert!(a < b);
+    }
+}

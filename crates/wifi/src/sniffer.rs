@@ -1,0 +1,646 @@
+//! The monitoring rig and its capture database.
+//!
+//! One receiver chain (antenna → LNA → splitter) feeds several wireless
+//! cards; each card either sits on a fixed channel (the paper's final
+//! design: three cards on 1/6/11) or hops with a dwell time (the paper's
+//! 7-day feasibility capture hopped all channels with a 4 s dwell).
+//! Every decoded frame lands in a [`CaptureDatabase`], from which the
+//! localization algorithms read each mobile's communicable-AP sets.
+
+use crate::channel::Channel;
+use crate::frame::{Frame, FrameBody};
+use crate::mac::MacAddr;
+use crate::ssid::Ssid;
+use marauder_geo::Point;
+use marauder_rf::chain::ReceiverChain;
+use marauder_rf::link_budget::Transmitter;
+use marauder_rf::propagation::PropagationModel;
+use marauder_rf::units::Db;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Channel assignment of one sniffer card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelPlan {
+    /// Pinned to a single channel.
+    Fixed(Channel),
+    /// Round-robin over `channels`, `dwell_s` seconds each.
+    Hopping {
+        /// Channels visited in order.
+        channels: Vec<Channel>,
+        /// Seconds spent on each channel.
+        dwell_s: f64,
+    },
+}
+
+/// One wireless card fed by the shared receiver chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnifferCard {
+    /// Label for logs ("NIC1", …).
+    pub name: String,
+    /// Channel assignment.
+    pub plan: ChannelPlan,
+    /// Clock offset versus the rig's NTP-disciplined reference, seconds.
+    /// The paper time-synchronizes its three laptops over NTP; the
+    /// residual offset skews capture timestamps.
+    pub clock_offset_s: f64,
+}
+
+impl SnifferCard {
+    /// A card pinned to `channel`.
+    pub fn fixed(name: impl Into<String>, channel: Channel) -> Self {
+        SnifferCard {
+            name: name.into(),
+            plan: ChannelPlan::Fixed(channel),
+            clock_offset_s: 0.0,
+        }
+    }
+
+    /// A card hopping across `channels` with the given dwell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels` is empty or `dwell_s` is not positive.
+    pub fn hopping(name: impl Into<String>, channels: Vec<Channel>, dwell_s: f64) -> Self {
+        assert!(!channels.is_empty(), "hopping plan needs channels");
+        assert!(dwell_s > 0.0, "dwell must be positive, got {dwell_s}");
+        SnifferCard {
+            name: name.into(),
+            plan: ChannelPlan::Hopping { channels, dwell_s },
+            clock_offset_s: 0.0,
+        }
+    }
+
+    /// The channel this card listens on at time `t` (seconds).
+    pub fn listening_channel(&self, t: f64) -> Channel {
+        match &self.plan {
+            ChannelPlan::Fixed(c) => *c,
+            ChannelPlan::Hopping { channels, dwell_s } => {
+                let slot = ((t / dwell_s).floor() as i64).rem_euclid(channels.len() as i64);
+                channels[slot as usize]
+            }
+        }
+    }
+}
+
+/// A frame successfully decoded by the rig.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedFrame {
+    /// Capture timestamp (card clock), seconds since scenario start.
+    pub time_s: f64,
+    /// Index of the capturing card.
+    pub card: usize,
+    /// The decoded frame.
+    pub frame: Frame,
+}
+
+/// The monitoring rig: position, shared receiver chain, cards.
+#[derive(Debug, Clone)]
+pub struct Sniffer {
+    position: Point,
+    chain: ReceiverChain,
+    cards: Vec<SnifferCard>,
+    environment_margin: Db,
+}
+
+impl Sniffer {
+    /// Creates a rig at `position` with the given shared chain.
+    ///
+    /// `environment_margin` is extra loss applied on top of the
+    /// propagation model — set it to zero when the model already includes
+    /// environmental attenuation (e.g. log-distance with shadowing).
+    pub fn new(position: Point, chain: ReceiverChain, environment_margin: Db) -> Self {
+        Sniffer {
+            position,
+            chain,
+            cards: Vec::new(),
+            environment_margin,
+        }
+    }
+
+    /// The paper's final rig: three cards pinned to channels 1/6/11.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain's splitter provides fewer than 3 threads.
+    pub fn three_card_rig(position: Point, chain: ReceiverChain, environment_margin: Db) -> Self {
+        let mut s = Sniffer::new(position, chain, environment_margin);
+        for (i, ch) in Channel::non_overlapping_bg().into_iter().enumerate() {
+            s.add_card(SnifferCard::fixed(format!("NIC{}", ch.number()), ch));
+            debug_assert!(i < 3);
+        }
+        s
+    }
+
+    /// Adds a card.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the chain has no free signal thread left.
+    pub fn add_card(&mut self, card: SnifferCard) {
+        assert!(
+            self.cards.len() < self.chain.threads() as usize,
+            "chain provides {} threads, cannot attach card #{}",
+            self.chain.threads(),
+            self.cards.len() + 1
+        );
+        self.cards.push(card);
+    }
+
+    /// Rig position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// The shared receiver chain.
+    pub fn chain(&self) -> &ReceiverChain {
+        &self.chain
+    }
+
+    /// The attached cards.
+    pub fn cards(&self) -> &[SnifferCard] {
+        &self.cards
+    }
+
+    /// Attempts to capture a frame transmitted by `tx` from `tx_pos` at
+    /// time `t`. Returns the captured record when (a) the link budget
+    /// closes and (b) some card is on a channel that decodes the frame's
+    /// channel (adjacent-channel decoding is nearly impossible, per
+    /// Fig. 9 — the roll of `rng` decides the residual cases).
+    pub fn observe<R: Rng + ?Sized>(
+        &self,
+        tx_pos: Point,
+        tx: &Transmitter,
+        frame: &Frame,
+        t: f64,
+        model: &dyn PropagationModel,
+        rng: &mut R,
+    ) -> Option<CapturedFrame> {
+        let loss = model.path_loss(tx_pos, self.position, frame.channel.center_frequency())
+            + self.environment_margin;
+        if !self.chain.decodes_via(tx, loss) {
+            return None;
+        }
+        for (i, card) in self.cards.iter().enumerate() {
+            let listening = card.listening_channel(t + card.clock_offset_s);
+            let p = listening.decode_probability(frame.channel);
+            if p > 0.0 && rng.gen_range(0.0..1.0) < p {
+                return Some(CapturedFrame {
+                    time_s: t + card.clock_offset_s,
+                    card: i,
+                    frame: frame.clone(),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// The capture database the localization component reads (paper Fig. 1's
+/// "wireless traffic capture" store).
+#[derive(Debug, Clone, Default)]
+pub struct CaptureDatabase {
+    records: Vec<CapturedFrame>,
+}
+
+impl CaptureDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        CaptureDatabase::default()
+    }
+
+    /// Stores a capture.
+    pub fn push(&mut self, rec: CapturedFrame) {
+        self.records.push(rec);
+    }
+
+    /// Number of captures.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All captures in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &CapturedFrame> {
+        self.records.iter()
+    }
+
+    /// Every distinct mobile seen: sources of probe requests plus
+    /// destinations of probe responses (broadcast excluded).
+    pub fn mobiles(&self) -> BTreeSet<MacAddr> {
+        let mut out = BTreeSet::new();
+        for r in &self.records {
+            match r.frame.body {
+                FrameBody::ProbeRequest { .. }
+                | FrameBody::AssociationRequest { .. }
+                | FrameBody::Authentication { .. } => {
+                    // Station-originated (auth can be either direction;
+                    // stations are the non-BSSID endpoint).
+                    if r.frame.src != r.frame.bssid {
+                        out.insert(r.frame.src);
+                    }
+                }
+                FrameBody::ProbeResponse { .. } => {
+                    if !r.frame.dst.is_broadcast() {
+                        out.insert(r.frame.dst);
+                    }
+                }
+                FrameBody::Beacon { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Mobiles that sent at least one probe request (the paper's
+    /// "probing mobiles", Figs. 10–11).
+    pub fn probing_mobiles(&self) -> BTreeSet<MacAddr> {
+        self.records
+            .iter()
+            .filter(|r| r.frame.is_probe_request())
+            .map(|r| r.frame.src)
+            .collect()
+    }
+
+    /// Every distinct AP seen (sources of beacons and probe responses).
+    pub fn access_points(&self) -> BTreeSet<MacAddr> {
+        self.records
+            .iter()
+            .filter(|r| !r.frame.is_probe_request())
+            .map(|r| r.frame.bssid)
+            .collect()
+    }
+
+    /// The set of APs observed communicating with `mobile` over the whole
+    /// capture — the `Γ` input to M-Loc.
+    pub fn communicable_aps(&self, mobile: MacAddr) -> BTreeSet<MacAddr> {
+        self.records
+            .iter()
+            .filter(|r| r.frame.is_probe_response() && r.frame.dst == mobile)
+            .map(|r| r.frame.bssid)
+            .collect()
+    }
+
+    /// The set of APs observed communicating with `mobile` within
+    /// `[t0, t1)` — used when tracking a moving target.
+    pub fn communicable_aps_in_window(
+        &self,
+        mobile: MacAddr,
+        t0: f64,
+        t1: f64,
+    ) -> BTreeSet<MacAddr> {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.frame.is_probe_response()
+                    && r.frame.dst == mobile
+                    && r.time_s >= t0
+                    && r.time_s < t1
+            })
+            .map(|r| r.frame.bssid)
+            .collect()
+    }
+
+    /// Splits the capture into fixed windows and returns, per mobile and
+    /// window, the observed communicable-AP set. These are the `Γ_k`
+    /// snapshots AP-Rad builds its LP constraints from.
+    pub fn observation_sets(&self, window_s: f64) -> Vec<ObservationSet> {
+        assert!(window_s > 0.0, "window must be positive, got {window_s}");
+        let mut grouped: BTreeMap<(MacAddr, i64), BTreeSet<MacAddr>> = BTreeMap::new();
+        for r in &self.records {
+            if let FrameBody::ProbeResponse { .. } = r.frame.body {
+                if r.frame.dst.is_broadcast() {
+                    continue;
+                }
+                let w = (r.time_s / window_s).floor() as i64;
+                grouped
+                    .entry((r.frame.dst, w))
+                    .or_default()
+                    .insert(r.frame.bssid);
+            }
+        }
+        grouped
+            .into_iter()
+            .map(|((mobile, w), aps)| ObservationSet {
+                mobile,
+                window_start_s: w as f64 * window_s,
+                aps,
+            })
+            .collect()
+    }
+
+    /// Failure injection: returns a copy where each capture survives
+    /// with probability `keep`. Models card resets, bus overruns and
+    /// driver drops — the attack must degrade gracefully, not collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `keep` outside `[0, 1]`.
+    pub fn subsample<R: Rng + ?Sized>(&self, keep: f64, rng: &mut R) -> CaptureDatabase {
+        assert!(
+            (0.0..=1.0).contains(&keep),
+            "keep probability must be in [0, 1], got {keep}"
+        );
+        self.records
+            .iter()
+            .filter(|_| rng.gen_range(0.0..1.0) < keep)
+            .cloned()
+            .collect()
+    }
+
+    /// The SSIDs a mobile's directed probes revealed — the implicit
+    /// identifiers of Pang et al. used to re-link pseudonym MACs.
+    pub fn ssids_probed_by(&self, mobile: MacAddr) -> BTreeSet<Ssid> {
+        self.records
+            .iter()
+            .filter(|r| r.frame.src == mobile)
+            .filter_map(|r| match &r.frame.body {
+                FrameBody::ProbeRequest { ssid: Some(s) } => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Extend<CapturedFrame> for CaptureDatabase {
+    fn extend<T: IntoIterator<Item = CapturedFrame>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<CapturedFrame> for CaptureDatabase {
+    fn from_iter<T: IntoIterator<Item = CapturedFrame>>(iter: T) -> Self {
+        CaptureDatabase {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// One mobile's communicable-AP snapshot in one time window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationSet {
+    /// The mobile this snapshot belongs to.
+    pub mobile: MacAddr,
+    /// Window start time, seconds.
+    pub window_start_s: f64,
+    /// BSSIDs observed responding to the mobile in the window.
+    pub aps: BTreeSet<MacAddr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_rf::components;
+    use marauder_rf::propagation::FreeSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_chain() -> ReceiverChain {
+        ReceiverChain::builder()
+            .antenna(components::HYPERLINK_HG2415U)
+            .lna(components::RF_LAMBDA_LNA)
+            .splitter(components::HYPERLINK_SPLITTER_4WAY)
+            .nic(components::UBIQUITI_SRC)
+            .build()
+    }
+
+    fn mobile_tx() -> Transmitter {
+        components::typical_mobile_tx()
+    }
+
+    fn ch(n: u8) -> Channel {
+        Channel::bg(n).unwrap()
+    }
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    #[test]
+    fn fixed_card_channel_is_constant() {
+        let card = SnifferCard::fixed("NIC6", ch(6));
+        assert_eq!(card.listening_channel(0.0), ch(6));
+        assert_eq!(card.listening_channel(1e6), ch(6));
+    }
+
+    #[test]
+    fn hopping_card_cycles_with_dwell() {
+        let card = SnifferCard::hopping("hopper", vec![ch(1), ch(6), ch(11)], 4.0);
+        assert_eq!(card.listening_channel(0.0), ch(1));
+        assert_eq!(card.listening_channel(4.5), ch(6));
+        assert_eq!(card.listening_channel(8.1), ch(11));
+        assert_eq!(card.listening_channel(12.0), ch(1)); // wraps
+        assert_eq!(card.listening_channel(-0.5), ch(11)); // negative times wrap too
+    }
+
+    #[test]
+    #[should_panic(expected = "needs channels")]
+    fn empty_hopping_plan_panics() {
+        let _ = SnifferCard::hopping("bad", vec![], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads")]
+    fn too_many_cards_panics() {
+        // Chain without splitter provides one thread.
+        let chain = ReceiverChain::builder()
+            .nic(components::UBIQUITI_SRC)
+            .build();
+        let mut s = Sniffer::new(Point::ORIGIN, chain, Db::new(0.0));
+        s.add_card(SnifferCard::fixed("a", ch(1)));
+        s.add_card(SnifferCard::fixed("b", ch(6)));
+    }
+
+    #[test]
+    fn three_card_rig_listens_on_1_6_11() {
+        let s = Sniffer::three_card_rig(Point::ORIGIN, test_chain(), Db::new(21.0));
+        let chans: Vec<u8> = s
+            .cards()
+            .iter()
+            .map(|c| c.listening_channel(0.0).number())
+            .collect();
+        assert_eq!(chans, vec![1, 6, 11]);
+    }
+
+    #[test]
+    fn observe_captures_in_range_on_matching_channel() {
+        let s = Sniffer::three_card_rig(Point::ORIGIN, test_chain(), Db::new(21.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = Frame::probe_request(mac(1), None, 6);
+        let got = s.observe(
+            Point::new(300.0, 0.0),
+            &mobile_tx(),
+            &f,
+            10.0,
+            &FreeSpace,
+            &mut rng,
+        );
+        let rec = got.expect("in range on ch6 should capture");
+        assert_eq!(rec.frame, f);
+        assert_eq!(rec.card, 1); // NIC6
+    }
+
+    #[test]
+    fn observe_misses_out_of_range() {
+        let s = Sniffer::three_card_rig(Point::ORIGIN, test_chain(), Db::new(21.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = Frame::probe_request(mac(1), None, 6);
+        let got = s.observe(
+            Point::new(50_000.0, 0.0),
+            &mobile_tx(),
+            &f,
+            10.0,
+            &FreeSpace,
+            &mut rng,
+        );
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn observe_rarely_captures_neighbor_channels() {
+        // Fig. 9: a frame on channel 4 is almost never decoded by cards
+        // on 1/6/11 (distance 2 and 3).
+        let s = Sniffer::three_card_rig(Point::ORIGIN, test_chain(), Db::new(21.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = Frame::probe_request(mac(1), None, 4);
+        let mut hits = 0;
+        let n = 2000;
+        for k in 0..n {
+            if s.observe(
+                Point::new(200.0, 0.0),
+                &mobile_tx(),
+                &f,
+                k as f64,
+                &FreeSpace,
+                &mut rng,
+            )
+            .is_some()
+            {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!(rate < 0.02, "neighbor-channel capture rate {rate}");
+    }
+
+    fn sample_db() -> CaptureDatabase {
+        let mut db = CaptureDatabase::new();
+        let m1 = mac(1);
+        let m2 = mac(2);
+        let ap1 = mac(100);
+        let ap2 = mac(101);
+        let ssid = |s: &str| Ssid::new(s).unwrap();
+        db.push(CapturedFrame {
+            time_s: 0.0,
+            card: 0,
+            frame: Frame::probe_request(m1, Some(ssid("home")), 1),
+        });
+        db.push(CapturedFrame {
+            time_s: 0.1,
+            card: 0,
+            frame: Frame::probe_response(ap1, m1, ssid("net1"), ch(1)),
+        });
+        db.push(CapturedFrame {
+            time_s: 0.2,
+            card: 1,
+            frame: Frame::probe_response(ap2, m1, ssid("net2"), ch(6)),
+        });
+        db.push(CapturedFrame {
+            time_s: 35.0,
+            card: 1,
+            frame: Frame::probe_response(ap2, m2, ssid("net2"), ch(6)),
+        });
+        db.push(CapturedFrame {
+            time_s: 40.0,
+            card: 2,
+            frame: Frame::beacon(ap1, ssid("net1"), ch(11), 100),
+        });
+        db
+    }
+
+    #[test]
+    fn database_queries() {
+        let db = sample_db();
+        assert_eq!(db.len(), 5);
+        assert!(!db.is_empty());
+        assert_eq!(db.mobiles().len(), 2);
+        assert_eq!(db.probing_mobiles().len(), 1);
+        assert!(db.probing_mobiles().contains(&mac(1)));
+        assert_eq!(db.access_points().len(), 2);
+        let aps = db.communicable_aps(mac(1));
+        assert_eq!(aps.len(), 2);
+        assert!(aps.contains(&mac(100)) && aps.contains(&mac(101)));
+        assert_eq!(db.communicable_aps(mac(2)).len(), 1);
+        assert_eq!(db.communicable_aps(mac(99)).len(), 0);
+    }
+
+    #[test]
+    fn windowed_queries() {
+        let db = sample_db();
+        let w = db.communicable_aps_in_window(mac(1), 0.0, 0.15);
+        assert_eq!(w.len(), 1);
+        let sets = db.observation_sets(30.0);
+        // m1 in window 0 (two APs), m2 in window 1 (one AP).
+        assert_eq!(sets.len(), 2);
+        let s1 = sets.iter().find(|s| s.mobile == mac(1)).unwrap();
+        assert_eq!(s1.aps.len(), 2);
+        assert_eq!(s1.window_start_s, 0.0);
+        let s2 = sets.iter().find(|s| s.mobile == mac(2)).unwrap();
+        assert_eq!(s2.aps.len(), 1);
+        assert_eq!(s2.window_start_s, 30.0);
+    }
+
+    #[test]
+    fn ssid_leakage() {
+        let db = sample_db();
+        let ssids = db.ssids_probed_by(mac(1));
+        assert_eq!(ssids.len(), 1);
+        assert!(ssids.contains(&Ssid::new("home").unwrap()));
+        assert!(db.ssids_probed_by(mac(2)).is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let db = sample_db();
+        let mut db2: CaptureDatabase = db.iter().cloned().collect();
+        db2.extend(db.iter().cloned());
+        assert_eq!(db2.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = sample_db().observation_sets(0.0);
+    }
+
+    #[test]
+    fn subsample_rates() {
+        let mut big = CaptureDatabase::new();
+        for k in 0..2000 {
+            big.push(CapturedFrame {
+                time_s: k as f64,
+                card: 0,
+                frame: Frame::probe_request(mac(1), None, 6),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let half = big.subsample(0.5, &mut rng);
+        assert!(
+            (half.len() as f64 - 1000.0).abs() < 100.0,
+            "kept {}",
+            half.len()
+        );
+        assert_eq!(big.subsample(1.0, &mut rng).len(), 2000);
+        assert_eq!(big.subsample(0.0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep probability")]
+    fn bad_subsample_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_db().subsample(1.5, &mut rng);
+    }
+}

@@ -1,0 +1,148 @@
+//! Service Set Identifiers (network names).
+//!
+//! Probe requests carry the SSIDs of a mobile's preferred networks —
+//! the "implicit identifiers" of Pang et al. that the paper leans on to
+//! defeat MAC pseudonyms.
+
+use std::fmt;
+
+/// A validated SSID: 0–32 bytes of UTF-8 (the empty SSID is the
+/// wildcard/broadcast SSID used in undirected probe requests).
+///
+/// # Example
+///
+/// ```
+/// use marauder_wifi::ssid::Ssid;
+/// let ssid = Ssid::new("eduroam").unwrap();
+/// assert_eq!(ssid.as_str(), "eduroam");
+/// assert!(!ssid.is_wildcard());
+/// assert!(Ssid::wildcard().is_wildcard());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ssid(String);
+
+/// Error returned when an SSID exceeds the 32-byte 802.11 limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsidTooLongError {
+    len: usize,
+}
+
+impl fmt::Display for SsidTooLongError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ssid is {} bytes, the 802.11 limit is 32", self.len)
+    }
+}
+
+impl std::error::Error for SsidTooLongError {}
+
+impl Ssid {
+    /// Creates an SSID, validating the 32-byte limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsidTooLongError`] when the name exceeds 32 bytes.
+    pub fn new(name: impl Into<String>) -> Result<Self, SsidTooLongError> {
+        let name = name.into();
+        if name.len() > 32 {
+            Err(SsidTooLongError { len: name.len() })
+        } else {
+            Ok(Ssid(name))
+        }
+    }
+
+    /// The wildcard (zero-length) SSID used in undirected probe requests.
+    pub fn wildcard() -> Self {
+        Ssid(String::new())
+    }
+
+    /// The SSID text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// `true` for the zero-length wildcard SSID.
+    pub fn is_wildcard(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Byte length on the wire.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when zero-length (same as [`is_wildcard`](Self::is_wildcard)).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Ssid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_wildcard() {
+            f.write_str("<wildcard>")
+        } else {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+impl AsRef<str> for Ssid {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl TryFrom<&str> for Ssid {
+    type Error = SsidTooLongError;
+    fn try_from(s: &str) -> Result<Self, Self::Error> {
+        Ssid::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_ssids() {
+        assert_eq!(Ssid::new("UML-Guest").unwrap().as_str(), "UML-Guest");
+        let max = "x".repeat(32);
+        assert!(Ssid::new(max).is_ok());
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let long = "x".repeat(33);
+        let err = Ssid::new(long).unwrap_err();
+        assert!(err.to_string().contains("33 bytes"));
+    }
+
+    #[test]
+    fn wildcard_properties() {
+        let w = Ssid::wildcard();
+        assert!(w.is_wildcard());
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.to_string(), "<wildcard>");
+        assert_eq!(Ssid::new("").unwrap(), w);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let s = Ssid::new("eduroam").unwrap();
+        assert_eq!(s.to_string(), "eduroam");
+        assert_eq!(s.as_ref(), "eduroam");
+        let t: Ssid = "linksys".try_into().unwrap();
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn ordering_and_hashing_usable_in_sets() {
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(Ssid::new("b").unwrap());
+        set.insert(Ssid::new("a").unwrap());
+        set.insert(Ssid::new("a").unwrap());
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.iter().next().unwrap().as_str(), "a");
+    }
+}

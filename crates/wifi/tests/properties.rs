@@ -1,0 +1,121 @@
+//! Property tests for the 802.11 substrate: the frame codec must
+//! round-trip every representable frame, and channel/decode relations
+//! must stay symmetric.
+
+use marauder_wifi::channel::Channel;
+use marauder_wifi::frame::{Frame, FrameBody};
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::ssid::Ssid;
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn arb_ssid() -> impl Strategy<Value = Ssid> {
+    "[a-zA-Z0-9 _-]{0,32}".prop_map(|s| Ssid::new(s).expect("within limit"))
+}
+
+fn arb_channel() -> impl Strategy<Value = Channel> {
+    prop_oneof![
+        (1u8..=11).prop_map(|n| Channel::bg(n).expect("valid")),
+        prop::sample::select(marauder_wifi::channel::A_CHANNELS.to_vec())
+            .prop_map(|n| Channel::a(n).expect("valid")),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    let body = prop_oneof![
+        (arb_ssid(), any::<u16>())
+            .prop_map(|(ssid, interval_tu)| FrameBody::Beacon { ssid, interval_tu }),
+        prop::option::of(
+            arb_ssid().prop_filter("directed probes have non-empty ssid", |s| !s.is_wildcard())
+        )
+        .prop_map(|ssid| FrameBody::ProbeRequest { ssid }),
+        arb_ssid().prop_map(|ssid| FrameBody::ProbeResponse { ssid }),
+        arb_ssid().prop_map(|ssid| FrameBody::AssociationRequest { ssid }),
+        any::<u16>().prop_map(|auth_seq| FrameBody::Authentication { auth_seq }),
+    ];
+    (
+        arb_mac(),
+        arb_mac(),
+        arb_mac(),
+        arb_channel(),
+        0u16..0x1000,
+        body,
+    )
+        .prop_map(|(dst, src, bssid, channel, sequence, body)| Frame {
+            dst,
+            src,
+            bssid,
+            channel,
+            sequence,
+            body,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn frame_codec_round_trips(frame in arb_frame()) {
+        let bytes = frame.encode();
+        let back = Frame::decode(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Frame::decode(&bytes); // must not panic, any Result is fine
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupted_valid_frames(
+        frame in arb_frame(),
+        idx in 0usize..64,
+        val in any::<u8>(),
+    ) {
+        let mut bytes = frame.encode();
+        if !bytes.is_empty() {
+            let i = idx % bytes.len();
+            bytes[i] = val;
+        }
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn overlap_is_symmetric(a in 1u8..=11, b in 1u8..=11) {
+        let ca = Channel::bg(a).expect("valid");
+        let cb = Channel::bg(b).expect("valid");
+        prop_assert_eq!(ca.overlap_mhz(cb), cb.overlap_mhz(ca));
+    }
+
+    #[test]
+    fn decode_probability_is_symmetric_and_bounded(a in 1u8..=11, b in 1u8..=11) {
+        let ca = Channel::bg(a).expect("valid");
+        let cb = Channel::bg(b).expect("valid");
+        let p = ca.decode_probability(cb);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert_eq!(p, cb.decode_probability(ca));
+        // Decoding across >= 3 channels of separation is impossible.
+        if a.abs_diff(b) >= 3 {
+            prop_assert_eq!(p, 0.0);
+        }
+    }
+
+    #[test]
+    fn mac_parse_display_round_trips(mac in arb_mac()) {
+        let s = mac.to_string();
+        let back: MacAddr = s.parse().expect("displayed MAC must parse");
+        prop_assert_eq!(mac, back);
+    }
+
+    #[test]
+    fn pseudonyms_never_collide_with_global_macs(i in 0u64..1_000_000, epoch in any::<u32>()) {
+        let base = MacAddr::from_index(i);
+        let p = base.pseudonym(epoch);
+        prop_assert!(p.is_locally_administered());
+        prop_assert!(!p.is_multicast());
+        prop_assert_ne!(p, base);
+    }
+}

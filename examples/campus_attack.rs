@@ -1,0 +1,96 @@
+//! The full Marauder's-Map attack: simulate a campus, sniff its probing
+//! traffic with the paper's three-card LNA rig, localize every mobile,
+//! and write the map display as GeoJSON.
+//!
+//! ```sh
+//! cargo run --release --example campus_attack
+//! ```
+//!
+//! Writes `results/marauders_map.geojson` — drop it on geojson.io to see
+//! AP markers, the victim's true path and the estimated positions, just
+//! like the paper's Fig. 7 Google-Maps overlay.
+
+use marauders_map::core::apdb::ApDatabase;
+use marauders_map::core::map::MapBuilder;
+use marauders_map::core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauders_map::geo::{EnuFrame, Geodetic, Point};
+use marauders_map::sim::mobility::CircuitWalk;
+use marauders_map::sim::scenario::CampusScenario;
+use marauders_map::wifi::device::{MobileStation, OsProfile};
+use marauders_map::wifi::mac::MacAddr;
+
+fn main() {
+    // ---- The world: a campus with a walking victim -------------------
+    let victim = MobileStation::new(MacAddr::from_index(0xFACE), OsProfile::MacOs);
+    let victim_mac = victim.mac;
+    let scenario = CampusScenario::builder()
+        .seed(2026)
+        .region_half_width(350.0)
+        .num_aps(120)
+        .num_mobiles(10)
+        .duration_s(600.0)
+        .mobile(
+            victim,
+            Box::new(CircuitWalk::new(Point::ORIGIN, 150.0, 1.4)),
+        )
+        .build();
+    println!("simulating the campus ...");
+    let result = scenario.run();
+    println!(
+        "  captured {} frames from {} mobiles ({} probing)",
+        result.captures.len(),
+        result.captures.mobiles().len(),
+        result.captures.probing_mobiles().len()
+    );
+
+    // ---- The attacker: external knowledge + tracking ------------------
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+    let mut map = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, AttackConfig::default());
+    map.ingest(&result.captures);
+
+    let fixes = map.track_all(&result.captures);
+    println!("  produced {} fixes across all mobiles", fixes.len());
+
+    let victim_fixes: Vec<_> = fixes.iter().filter(|f| f.mobile == victim_mac).collect();
+    let mut err_sum = 0.0;
+    for fix in &victim_fixes {
+        let truth = result
+            .ground_truth
+            .iter()
+            .filter(|g| g.mobile == victim_mac)
+            .min_by(|a, b| {
+                (a.time_s - fix.time_s)
+                    .abs()
+                    .partial_cmp(&(b.time_s - fix.time_s).abs())
+                    .expect("finite times")
+            })
+            .expect("victim has ground truth");
+        err_sum += fix.estimate.position.distance(truth.position);
+    }
+    println!(
+        "  victim: {} fixes, mean error {:.1} m",
+        victim_fixes.len(),
+        err_sum / victim_fixes.len().max(1) as f64
+    );
+
+    // ---- The display: GeoJSON anchored at UMass Lowell ----------------
+    let frame = EnuFrame::new(Geodetic::new(42.6555, -71.3251, 30.0));
+    let mut geo = MapBuilder::georeferenced(frame);
+    for rec in db.iter() {
+        geo.add_marker(rec.location, "ap", rec.ssid.as_deref().unwrap_or(""));
+    }
+    for g in result
+        .ground_truth
+        .iter()
+        .filter(|g| g.mobile == victim_mac)
+    {
+        geo.add_true_position(g.position, &format!("t={:.0}s", g.time_s));
+    }
+    for fix in &victim_fixes {
+        geo.add_fix(fix);
+    }
+    let path = "results/marauders_map.geojson";
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(path, geo.finish()).expect("write geojson");
+    println!("  wrote {path}");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: locate a mobile device from the set of access points it
+//! can communicate with — no signal strength needed.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use marauders_map::core::algorithms::{Centroid, CoverageDisc, MLoc};
+use marauders_map::geo::Point;
+
+fn main() {
+    // The attacker knows (e.g. from WiGLE + drive-by measurement) the
+    // position and maximum transmission distance of four campus APs.
+    let knowledge = [
+        (Point::new(0.0, 0.0), 120.0),
+        (Point::new(150.0, 30.0), 110.0),
+        (Point::new(60.0, 140.0), 130.0),
+        (Point::new(-40.0, 90.0), 100.0),
+    ];
+
+    // The sniffer observed probe responses from all four APs to the
+    // victim's MAC, so the victim lies in the intersection of their
+    // coverage discs.
+    let discs: Vec<CoverageDisc> = knowledge
+        .iter()
+        .map(|(c, r)| CoverageDisc::new(*c, *r))
+        .collect();
+
+    let estimate = MLoc::paper()
+        .locate(&discs)
+        .expect("the coverage discs of a real observation always intersect");
+
+    println!("M-Loc estimate:        {}", estimate.position);
+    println!("intersected area:      {:.0} m^2", estimate.area());
+    println!(
+        "uncertainty radius:    ~{:.0} m",
+        (estimate.area() / std::f64::consts::PI).sqrt()
+    );
+
+    // Compare with the classic centroid baseline.
+    let centers: Vec<Point> = knowledge.iter().map(|(c, _)| *c).collect();
+    let centroid = Centroid.locate(&centers).expect("non-empty");
+    println!("Centroid baseline:     {centroid}");
+
+    // Suppose the victim was really here; the disc intersection is
+    // guaranteed to cover it (Section III-C1 of the paper).
+    let truth = Point::new(50.0, 60.0);
+    assert!(estimate.covers(truth));
+    println!(
+        "true position {truth} -> M-Loc error {:.1} m, Centroid error {:.1} m",
+        estimate.position.distance(truth),
+        centroid.distance(truth)
+    );
+}

@@ -1,0 +1,91 @@
+//! Link-budget planning: how each component of the wireless receiver
+//! chain changes the coverage area (the paper's Section III-A analysis
+//! and Fig. 12 measurement, as a design tool).
+//!
+//! ```sh
+//! cargo run --example receiver_chain_planning
+//! ```
+
+use marauders_map::rf::chain::ReceiverChain;
+use marauders_map::rf::components;
+use marauders_map::rf::units::{Db, Hertz};
+
+fn main() {
+    let tx = components::typical_mobile_tx();
+    let ch6 = Hertz::from_mhz(2437.0);
+    let margin = Db::new(components::CAMPUS_ENVIRONMENT_MARGIN_DB);
+
+    let builds: Vec<(&str, ReceiverChain)> = vec![
+        (
+            "bare D-Link card",
+            ReceiverChain::builder()
+                .nic(components::DLINK_DWL_G650)
+                .build(),
+        ),
+        (
+            "SRC + 4 dBi clip antenna",
+            ReceiverChain::builder()
+                .antenna(components::TRI_BAND_CLIP_4DBI)
+                .nic(components::UBIQUITI_SRC)
+                .build(),
+        ),
+        (
+            "SRC + 15 dBi HyperLink",
+            ReceiverChain::builder()
+                .antenna(components::HYPERLINK_HG2415U)
+                .nic(components::UBIQUITI_SRC)
+                .build(),
+        ),
+        (
+            "... + RF-Lambda LNA",
+            ReceiverChain::builder()
+                .antenna(components::HYPERLINK_HG2415U)
+                .lna(components::RF_LAMBDA_LNA)
+                .nic(components::UBIQUITI_SRC)
+                .build(),
+        ),
+        (
+            "... + 4-way splitter (full rig)",
+            ReceiverChain::builder()
+                .antenna(components::HYPERLINK_HG2415U)
+                .lna(components::RF_LAMBDA_LNA)
+                .splitter(components::HYPERLINK_SPLITTER_4WAY)
+                .nic(components::UBIQUITI_SRC)
+                .build(),
+        ),
+    ];
+
+    println!(
+        "{:<34} {:>8} {:>12} {:>10} {:>8}",
+        "chain", "NF (dB)", "sens (dBm)", "radius (m)", "threads"
+    );
+    for (name, chain) in &builds {
+        let r = chain.coverage_radius(&tx, ch6, margin);
+        println!(
+            "{:<34} {:>8.2} {:>12.1} {:>10.0} {:>8}",
+            name,
+            chain.noise_figure().db(),
+            chain.sensitivity().dbm(),
+            r.meters(),
+            chain.threads()
+        );
+    }
+
+    // Why the attack works at all: management frames fly at the basic
+    // rate, which decodes ~20 dB below a 54 Mbps data frame.
+    use marauders_map::rf::rates::DataRate;
+    let rig = &builds.last().expect("has chains").1;
+    println!();
+    println!("full rig's coverage by data rate:");
+    for rate in [DataRate::B1, DataRate::B11, DataRate::G24, DataRate::G54] {
+        let r = rig.coverage_radius_at_rate(&tx, ch6, margin, rate);
+        println!("  {:>9}  {:>7.0} m", rate.to_string(), r.meters());
+    }
+
+    println!();
+    println!("observations (matching the paper's Section III-A):");
+    println!(" * the 15 dBi antenna, not the LNA, buys most of the range;");
+    println!(" * the LNA's job is to let a splitter feed multiple cards");
+    println!("   (4 channels monitored) at almost no sensitivity cost;");
+    println!(" * the full rig reaches ~1 km — the whole UML north campus.");
+}

@@ -1,0 +1,74 @@
+//! The zero-knowledge attack (AP-Loc): the adversary arrives in a city
+//! it has never mapped, wardrives for a few minutes to collect training
+//! tuples, and then tracks mobiles — no WiGLE, no AP database.
+//!
+//! ```sh
+//! cargo run --release --example wardriving_attack
+//! ```
+
+use marauders_map::core::pipeline::{AttackConfig, MaraudersMap};
+use marauders_map::geo::Point;
+use marauders_map::sim::deploy::Rect;
+use marauders_map::sim::mobility::CircuitWalk;
+use marauders_map::sim::scenario::CampusScenario;
+use marauders_map::sim::wardrive::{wardrive, WardriveRoute};
+use marauders_map::wifi::device::{MobileStation, OsProfile};
+use marauders_map::wifi::mac::MacAddr;
+
+fn main() {
+    let victim = MobileStation::new(MacAddr::from_index(0xBEEF), OsProfile::WindowsXp);
+    let victim_mac = victim.mac;
+    let scenario = CampusScenario::builder()
+        .seed(7)
+        .region_half_width(350.0)
+        .num_aps(120)
+        .num_mobiles(6)
+        .duration_s(600.0)
+        .mobile(
+            victim,
+            Box::new(CircuitWalk::new(Point::ORIGIN, 140.0, 1.4)),
+        )
+        .build();
+    let result = scenario.run();
+    let link = scenario.link_model();
+
+    // ---- Training phase: drive a lawnmower route ----------------------
+    for (passes, every) in [(4usize, 25.0f64), (8, 10.0)] {
+        let route = WardriveRoute::lawnmower(Rect::centered_square(380.0), passes, 12.0, every);
+        let training = wardrive(&route, &result.aps, &link);
+        println!(
+            "--- wardrive: {} passes -> {} training tuples",
+            passes,
+            training.len()
+        );
+
+        // ---- Attack phase: AP-Loc end to end ---------------------------
+        let config = AttackConfig::default();
+        let mut map = MaraudersMap::from_training(&training, config);
+        map.ingest(&result.captures);
+        println!("    trained locations for {} APs", map.ap_locations().len());
+
+        let fixes = map.track(&result.captures, victim_mac);
+        let mut err = 0.0;
+        for fix in &fixes {
+            let truth = result
+                .ground_truth
+                .iter()
+                .filter(|g| g.mobile == victim_mac)
+                .min_by(|a, b| {
+                    (a.time_s - fix.time_s)
+                        .abs()
+                        .partial_cmp(&(b.time_s - fix.time_s).abs())
+                        .expect("finite")
+                })
+                .expect("truth exists");
+            err += fix.estimate.position.distance(truth.position);
+        }
+        println!(
+            "    victim tracked with {} fixes, mean error {:.1} m",
+            fixes.len(),
+            err / fixes.len().max(1) as f64
+        );
+    }
+    println!("more training tuples -> better AP estimates -> tighter tracking.");
+}

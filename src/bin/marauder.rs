@@ -1,0 +1,323 @@
+//! `marauder` — the Digital Marauder's Map as a command-line tool.
+//!
+//! ```text
+//! marauder simulate --seed 7 --aps 120 --mobiles 8 --duration 600 --out-dir run1
+//! marauder attack   --knowledge run1/aps.csv --captures run1/capture.log --geojson run1/map.geojson
+//! marauder attack   --knowledge run1/aps.csv --captures run1/capture.log --level locations
+//! marauder attack   --training run1/training.csv --captures run1/capture.log --level none
+//! marauder link     --captures run1/capture.log
+//! marauder report   --knowledge run1/aps.csv --captures run1/capture.log
+//! ```
+//!
+//! `simulate` produces a knowledge database (`aps.csv`), a wardriving
+//! training set (`training.csv`), a portable capture log
+//! (`capture.log`) and the ground truth (`truth.csv`) for scoring.
+//! `attack` replays the localization attack on those files at any of the
+//! paper's three knowledge levels; `link` clusters MAC pseudonyms by
+//! their probe fingerprints.
+
+use marauders_map::core::apdb::ApDatabase;
+use marauders_map::core::map::MapBuilder;
+use marauders_map::core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauders_map::core::pseudonym::PseudonymLinker;
+use marauders_map::geo::Point;
+use marauders_map::sim::deploy::Rect;
+use marauders_map::sim::mobility::CircuitWalk;
+use marauders_map::sim::scenario::CampusScenario;
+use marauders_map::sim::wardrive::{training_from_csv, training_to_csv, wardrive, WardriveRoute};
+use marauders_map::wifi::capture_log::{parse_capture_log, write_capture_log};
+use marauders_map::wifi::device::{MobileStation, OsProfile};
+use marauders_map::wifi::mac::MacAddr;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match cmd.as_str() {
+        "simulate" => simulate(&opts),
+        "attack" => attack(&opts),
+        "link" => link(&opts),
+        "report" => report(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  marauder simulate [--seed N] [--aps N] [--mobiles N] [--duration SECS] --out-dir DIR
+  marauder attack --captures FILE (--knowledge FILE | --training FILE)
+                  [--level full|locations|none] [--geojson FILE] [--truth FILE]
+  marauder link --captures FILE
+  marauder report --knowledge FILE --captures FILE";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let val = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        out.insert(key.to_string(), val.clone());
+    }
+    Ok(out)
+}
+
+fn get_num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write(path: &Path, content: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn simulate(opts: &Opts) -> Result<(), String> {
+    let out_dir = PathBuf::from(opts.get("out-dir").ok_or("simulate requires --out-dir")?);
+    let seed: u64 = get_num(opts, "seed", 1)?;
+    let aps: usize = get_num(opts, "aps", 120)?;
+    let mobiles: usize = get_num(opts, "mobiles", 8)?;
+    let duration: f64 = get_num(opts, "duration", 600.0)?;
+
+    let victim = MobileStation::new(MacAddr::from_index(0xFACE), OsProfile::MacOs);
+    let victim_mac = victim.mac;
+    let scenario = CampusScenario::builder()
+        .seed(seed)
+        .region_half_width(350.0)
+        .num_aps(aps)
+        .num_mobiles(mobiles)
+        .duration_s(duration)
+        .mobile(
+            victim,
+            Box::new(CircuitWalk::new(Point::ORIGIN, 150.0, 1.4)),
+        )
+        .build();
+    eprintln!("simulating: {aps} APs, {mobiles}+1 mobiles, {duration} s (seed {seed})");
+    let result = scenario.run();
+    let link = scenario.link_model();
+
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+    write(&out_dir.join("aps.csv"), &db.to_csv())?;
+    write(
+        &out_dir.join("capture.log"),
+        &write_capture_log(&result.captures),
+    )?;
+    let route = WardriveRoute::lawnmower(Rect::centered_square(380.0), 8, 12.0, 10.0);
+    let training = wardrive(&route, &result.aps, &link);
+    write(&out_dir.join("training.csv"), &training_to_csv(&training))?;
+    let mut truth = String::from("time_s,mobile,x,y\n");
+    for g in &result.ground_truth {
+        truth.push_str(&format!(
+            "{:.3},{},{:.3},{:.3}\n",
+            g.time_s, g.mobile, g.position.x, g.position.y
+        ));
+    }
+    write(&out_dir.join("truth.csv"), &truth)?;
+
+    eprintln!(
+        "wrote {}/: aps.csv ({} APs), capture.log ({} frames), training.csv ({} tuples), truth.csv",
+        out_dir.display(),
+        db.len(),
+        result.captures.len(),
+        training.len()
+    );
+    eprintln!("victim MAC: {victim_mac}");
+    Ok(())
+}
+
+fn attack(opts: &Opts) -> Result<(), String> {
+    let captures = parse_capture_log(&read(
+        opts.get("captures").ok_or("attack requires --captures")?,
+    )?)
+    .map_err(|e| e.to_string())?;
+    let level = opts.get("level").map(String::as_str).unwrap_or("full");
+    let config = AttackConfig::default();
+
+    let mut map = match level {
+        "full" | "locations" => {
+            let db = ApDatabase::from_csv(&read(
+                opts.get("knowledge")
+                    .ok_or("levels full/locations require --knowledge")?,
+            )?)
+            .map_err(|e| e.to_string())?;
+            if level == "full" {
+                if !db.has_all_radii() {
+                    return Err("knowledge lacks radii; use --level locations (AP-Rad)".into());
+                }
+                MaraudersMap::new(db, KnowledgeLevel::Full, config)
+            } else {
+                MaraudersMap::new(db.without_radii(), KnowledgeLevel::LocationsOnly, config)
+            }
+        }
+        "none" => {
+            let training = training_from_csv(&read(
+                opts.get("training")
+                    .ok_or("level none requires --training")?,
+            )?)
+            .map_err(|e| e.to_string())?;
+            MaraudersMap::from_training(&training, config)
+        }
+        other => return Err(format!("unknown --level {other:?}")),
+    };
+    map.ingest(&captures);
+
+    let fixes = map.track_all(&captures);
+    println!("time_s,mobile,x,y,k,area_m2");
+    for fix in &fixes {
+        println!(
+            "{:.1},{},{:.2},{:.2},{},{:.0}",
+            fix.time_s,
+            fix.mobile,
+            fix.estimate.position.x,
+            fix.estimate.position.y,
+            fix.gamma.len(),
+            fix.estimate.area()
+        );
+    }
+    eprintln!(
+        "{} fixes across {} mobiles (knowledge level: {level})",
+        fixes.len(),
+        fixes
+            .iter()
+            .map(|f| f.mobile)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    );
+
+    // Optional scoring against ground truth.
+    if let Some(truth_path) = opts.get("truth") {
+        let text = read(truth_path)?;
+        let mut truth: Vec<(f64, MacAddr, Point)> = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 4 {
+                return Err(format!("truth.csv line {}: expected 4 fields", i + 1));
+            }
+            truth.push((
+                f[0].parse().map_err(|e| format!("bad time: {e}"))?,
+                f[1].parse().map_err(|e| format!("bad mac: {e}"))?,
+                Point::new(
+                    f[2].parse().map_err(|e| format!("bad x: {e}"))?,
+                    f[3].parse().map_err(|e| format!("bad y: {e}"))?,
+                ),
+            ));
+        }
+        let mut err = 0.0;
+        let mut n = 0usize;
+        for fix in &fixes {
+            if let Some((_, _, pos)) =
+                truth
+                    .iter()
+                    .filter(|(_, m, _)| *m == fix.mobile)
+                    .min_by(|a, b| {
+                        (a.0 - fix.time_s)
+                            .abs()
+                            .partial_cmp(&(b.0 - fix.time_s).abs())
+                            .expect("finite")
+                    })
+            {
+                err += fix.estimate.position.distance(*pos);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            eprintln!(
+                "mean error vs ground truth: {:.1} m over {n} scored fixes",
+                err / n as f64
+            );
+        }
+    }
+
+    if let Some(geo_path) = opts.get("geojson") {
+        let mut geo = MapBuilder::planar();
+        for fix in &fixes {
+            geo.add_fix(fix);
+        }
+        write(Path::new(geo_path), &geo.finish())?;
+        eprintln!("wrote {geo_path}");
+    }
+    Ok(())
+}
+
+fn report(opts: &Opts) -> Result<(), String> {
+    let captures = parse_capture_log(&read(
+        opts.get("captures").ok_or("report requires --captures")?,
+    )?)
+    .map_err(|e| e.to_string())?;
+    let db = ApDatabase::from_csv(&read(
+        opts.get("knowledge").ok_or("report requires --knowledge")?,
+    )?)
+    .map_err(|e| e.to_string())?;
+    let level = if db.has_all_radii() {
+        KnowledgeLevel::Full
+    } else {
+        KnowledgeLevel::LocationsOnly
+    };
+    let mut map = MaraudersMap::new(db, level, AttackConfig::default());
+    map.ingest(&captures);
+    let report = marauders_map::core::report::AttackReport::generate(
+        &map,
+        &captures,
+        &PseudonymLinker::default(),
+    );
+    print!("{}", report.render());
+    Ok(())
+}
+
+fn link(opts: &Opts) -> Result<(), String> {
+    let captures = parse_capture_log(&read(
+        opts.get("captures").ok_or("link requires --captures")?,
+    )?)
+    .map_err(|e| e.to_string())?;
+    let devices = PseudonymLinker::default().link(&captures);
+    println!("device,pseudonyms,fingerprint");
+    for (i, d) in devices.iter().enumerate() {
+        let macs: Vec<String> = d.pseudonyms.iter().map(|m| m.to_string()).collect();
+        let fp: Vec<&str> = d.fingerprint.iter().map(|s| s.as_str()).collect();
+        println!("{i},{},{}", macs.join(";"), fp.join(";"));
+    }
+    eprintln!(
+        "{} wire identities -> {} linked devices",
+        captures.probing_mobiles().len(),
+        devices.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the Digital Marauder's Map reproduction.
+//!
+//! Re-exports all workspace crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use marauders_map::geo::Point;
+//! let p = Point::new(1.0, 2.0);
+//! assert_eq!(p.x, 1.0);
+//! ```
+
+pub use marauder_core as core;
+pub use marauder_geo as geo;
+pub use marauder_lp as lp;
+pub use marauder_rf as rf;
+pub use marauder_sim as sim;
+pub use marauder_wifi as wifi;

@@ -1,0 +1,158 @@
+//! Integration tests for the `marauder` CLI: simulate → attack → link
+//! through real files, exercising every interchange format.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn marauder() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_marauder"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("marauder-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn simulate_attack_link_round_trip() {
+    let dir = temp_dir("roundtrip");
+    // simulate
+    let out = marauder()
+        .args([
+            "simulate",
+            "--seed",
+            "5",
+            "--aps",
+            "60",
+            "--mobiles",
+            "4",
+            "--duration",
+            "240",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in ["aps.csv", "capture.log", "training.csv", "truth.csv"] {
+        assert!(dir.join(f).exists(), "missing {f}");
+    }
+
+    // attack at full knowledge, with scoring and geojson.
+    let geojson = dir.join("map.geojson");
+    let out = marauder()
+        .arg("attack")
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .arg("--captures")
+        .arg(dir.join("capture.log"))
+        .arg("--truth")
+        .arg(dir.join("truth.csv"))
+        .arg("--geojson")
+        .arg(&geojson)
+        .output()
+        .expect("run attack");
+    assert!(
+        out.status.success(),
+        "attack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("time_s,mobile,x,y,k,area_m2"));
+    assert!(stdout.lines().count() > 3, "expected fixes, got: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mean error"), "no scoring in: {stderr}");
+    let geo = std::fs::read_to_string(&geojson).expect("geojson written");
+    assert!(geo.contains("FeatureCollection"));
+
+    // attack at the other two levels.
+    for level_args in [vec!["--level", "locations"], vec!["--level", "none"]] {
+        let mut cmd = marauder();
+        cmd.arg("attack")
+            .arg("--captures")
+            .arg(dir.join("capture.log"));
+        if level_args[1] == "none" {
+            cmd.arg("--training").arg(dir.join("training.csv"));
+        } else {
+            cmd.arg("--knowledge").arg(dir.join("aps.csv"));
+        }
+        cmd.args(&level_args);
+        let out = cmd.output().expect("run attack");
+        assert!(
+            out.status.success(),
+            "attack {level_args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // link
+    let out = marauder()
+        .arg("link")
+        .arg("--captures")
+        .arg(dir.join("capture.log"))
+        .output()
+        .expect("run link");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("device,pseudonyms,fingerprint"));
+
+    // report
+    let out = marauder()
+        .arg("report")
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .arg("--captures")
+        .arg(dir.join("capture.log"))
+        .output()
+        .expect("run report");
+    assert!(
+        out.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("attack report"));
+    assert!(stdout.contains("devices ("));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn helpful_errors() {
+    // No args: usage + exit 2.
+    let out = marauder().output().expect("run bare");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unknown command.
+    let out = marauder().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+
+    // Missing required flag.
+    let out = marauder().args(["attack"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--captures"));
+
+    // Bad level.
+    let dir = temp_dir("badlevel");
+    std::fs::write(dir.join("c.log"), "# marauder capture v1\n").expect("write");
+    std::fs::write(dir.join("a.csv"), "bssid,ssid,x,y,radius\n").expect("write");
+    let out = marauder()
+        .arg("attack")
+        .arg("--captures")
+        .arg(dir.join("c.log"))
+        .arg("--knowledge")
+        .arg(dir.join("a.csv"))
+        .args(["--level", "bogus"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --level"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: frame bytes round-trip through the
+//! capture pipeline, geometry agrees with theory, geodesy agrees with
+//! the map writer, and the AP database survives CSV interchange.
+
+use marauders_map::core::apdb::ApDatabase;
+use marauders_map::core::map::MapBuilder;
+use marauders_map::core::theory;
+use marauders_map::geo::{
+    monte_carlo_intersection_area, Circle, DiscIntersection, EnuFrame, Geodetic, Point,
+};
+use marauders_map::sim::scenario::CampusScenario;
+use marauders_map::wifi::frame::Frame;
+
+#[test]
+fn captured_frames_survive_wire_round_trip() {
+    // Everything the simulated sniffer captures must encode to bytes and
+    // decode back identically — i.e. the capture database could have
+    // been a real pcap.
+    let scenario = CampusScenario::builder()
+        .seed(5)
+        .num_aps(30)
+        .num_mobiles(4)
+        .duration_s(90.0)
+        .build();
+    let result = scenario.run();
+    assert!(!result.captures.is_empty());
+    for rec in result.captures.iter() {
+        let bytes = rec.frame.encode();
+        let back = Frame::decode(&bytes).expect("sniffer output must be well-formed");
+        assert_eq!(back, rec.frame);
+    }
+}
+
+#[test]
+fn theory_geometry_and_sampling_agree() {
+    // Theorem 2 (quadrature), exact Green's-theorem geometry, and
+    // Monte-Carlo sampling: three independent implementations of the
+    // same quantity.
+    use marauders_map::geo::montecarlo::SplitMix64;
+    let k = 3usize;
+    let mut rng = SplitMix64::new(31);
+    let trials = 250;
+    let mut exact_sum = 0.0;
+    let mut mc_sum = 0.0;
+    let mut paired_exact_sum = 0.0;
+    let mc_trials = 60;
+    for t in 0..trials {
+        let discs: Vec<Circle> = (0..k)
+            .map(|_| loop {
+                let x = rng.uniform(-1.0, 1.0);
+                let y = rng.uniform(-1.0, 1.0);
+                if x * x + y * y <= 1.0 {
+                    return Circle::new(Point::new(x, y), 1.0);
+                }
+            })
+            .collect();
+        let exact = DiscIntersection::new(&discs).area();
+        exact_sum += exact;
+        if t < mc_trials {
+            // Paired comparison: sampling vs exact on the same discs has
+            // tiny variance, unlike comparing two independent means.
+            mc_sum += monte_carlo_intersection_area(&discs, 30_000, t as u64);
+            paired_exact_sum += exact;
+        }
+    }
+    let exact = exact_sum / trials as f64;
+    let th = theory::expected_intersection_area(k as f64, 1.0);
+    assert!(
+        (exact - th).abs() / th < 0.15,
+        "exact {exact} vs theory {th}"
+    );
+    let mc = mc_sum / mc_trials as f64;
+    let paired = paired_exact_sum / mc_trials as f64;
+    assert!(
+        (mc - paired).abs() / paired.max(1e-9) < 0.05,
+        "mc {mc} vs paired exact {paired}"
+    );
+}
+
+#[test]
+fn geojson_round_trips_through_wgs84() {
+    let frame = EnuFrame::new(Geodetic::new(38.8997, -77.0486, 20.0)); // GWU
+    let mut map = MapBuilder::georeferenced(frame);
+    let p = Point::new(123.0, -45.0);
+    map.add_marker(p, "estimate", "victim");
+    let s = map.finish();
+    // Parse the coordinates back out and invert the projection.
+    let coords = s
+        .split("\"coordinates\":[")
+        .nth(1)
+        .expect("has coordinates")
+        .split(']')
+        .next()
+        .expect("closing bracket");
+    let mut it = coords.split(',');
+    let lon: f64 = it.next().expect("lon").parse().expect("numeric lon");
+    let lat: f64 = it.next().expect("lat").parse().expect("numeric lat");
+    let back = frame.geodetic_to_plane(Geodetic::new(lat, lon, 20.0));
+    assert!(
+        back.distance(p) < 0.01,
+        "round trip error {}",
+        back.distance(p)
+    );
+}
+
+#[test]
+fn knowledge_database_survives_csv_interchange() {
+    let scenario = CampusScenario::builder()
+        .seed(9)
+        .num_aps(25)
+        .duration_s(30.0)
+        .build();
+    let result = scenario.run();
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+    let csv = db.to_csv();
+    let back = ApDatabase::from_csv(&csv).expect("own csv parses");
+    assert_eq!(back.len(), db.len());
+    for rec in db.iter() {
+        let b = back.get(rec.bssid).expect("record survived");
+        assert!(b.location.distance(rec.location) < 0.01);
+        let (r1, r2) = (
+            rec.radius.expect("has radius"),
+            b.radius.expect("has radius"),
+        );
+        assert!((r1 - r2).abs() < 0.01);
+    }
+}
+
+#[test]
+fn channel_mix_feeds_sniffer_design() {
+    // The Fig. 8 -> Fig. 9 -> three-card-rig chain of reasoning, end to
+    // end: with the UML channel mix, three cards on 1/6/11 see ~94% of
+    // AP probe responses while three cards on 3/6/9 (the folklore
+    // design) see only the ~46% that sit on channel 6.
+    let scenario = CampusScenario::builder()
+        .seed(77)
+        .num_aps(150)
+        .num_mobiles(6)
+        .duration_s(240.0)
+        .beacon_period_s(None)
+        .build();
+    let result = scenario.run();
+    // Of the APs that actually responded to some mobile (the union of
+    // the ground-truth communicable sets), the 1/6/11 rig must capture
+    // roughly the 93.7% that sit on those channels.
+    let mut responding = std::collections::BTreeSet::new();
+    for g in &result.ground_truth {
+        responding.extend(g.communicable.iter().copied());
+    }
+    assert!(!responding.is_empty());
+    let heard = result.captures.access_points();
+    let fraction = heard.intersection(&responding).count() as f64 / responding.len() as f64;
+    assert!(
+        fraction > 0.85,
+        "rig heard only {:.0}% of responding APs",
+        fraction * 100.0
+    );
+    // No captured response sits on a channel other than 1/6/11 (modulo
+    // the tiny adjacent-channel residue).
+    let bad = result
+        .captures
+        .iter()
+        .filter(|r| ![1, 6, 11].contains(&r.frame.channel.number()))
+        .count();
+    assert!(
+        (bad as f64) < 0.04 * result.captures.len() as f64,
+        "{bad}/{} frames decoded off 1/6/11",
+        result.captures.len()
+    );
+}

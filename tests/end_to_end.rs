@@ -1,0 +1,214 @@
+//! End-to-end integration: the full attack at all three knowledge
+//! levels on one simulated campus, with the paper's qualitative claims
+//! asserted across crate boundaries.
+
+use marauders_map::core::apdb::ApDatabase;
+use marauders_map::core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauders_map::geo::Point;
+use marauders_map::sim::deploy::Rect;
+use marauders_map::sim::mobility::CircuitWalk;
+use marauders_map::sim::scenario::{CampusScenario, SimulationResult};
+use marauders_map::sim::wardrive::{wardrive, WardriveRoute};
+use marauders_map::wifi::device::{MobileStation, OsProfile};
+use marauders_map::wifi::mac::MacAddr;
+
+fn campus(seed: u64) -> (SimulationResult, MacAddr, CampusScenario) {
+    let victim = MobileStation::new(MacAddr::from_index(0xE2E), OsProfile::MacOs);
+    let mac = victim.mac;
+    let scenario = CampusScenario::builder()
+        .seed(seed)
+        .region_half_width(300.0)
+        .num_aps(90)
+        .num_mobiles(5)
+        .duration_s(420.0)
+        .beacon_period_s(None)
+        .mobile(
+            victim,
+            Box::new(CircuitWalk::new(Point::ORIGIN, 130.0, 1.4)),
+        )
+        .build();
+    let result = scenario.run();
+    (result, mac, scenario)
+}
+
+fn mean_tracking_error(
+    map: &MaraudersMap,
+    result: &SimulationResult,
+    victim: MacAddr,
+) -> Option<f64> {
+    let fixes = map.track(&result.captures, victim);
+    if fixes.is_empty() {
+        return None;
+    }
+    let truth: Vec<_> = result
+        .ground_truth
+        .iter()
+        .filter(|g| g.mobile == victim)
+        .collect();
+    let mut sum = 0.0;
+    for fix in &fixes {
+        let t = truth
+            .iter()
+            .min_by(|a, b| {
+                (a.time_s - fix.time_s)
+                    .abs()
+                    .partial_cmp(&(b.time_s - fix.time_s).abs())
+                    .expect("finite")
+            })
+            .expect("truth exists");
+        sum += fix.estimate.position.distance(t.position);
+    }
+    Some(sum / fixes.len() as f64)
+}
+
+#[test]
+fn all_three_knowledge_levels_track_the_victim() {
+    let (result, victim, scenario) = campus(41);
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+    let config = AttackConfig::default();
+
+    // Level 1: full knowledge (M-Loc).
+    let mut full = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, config.clone());
+    full.ingest(&result.captures);
+    let e_full = mean_tracking_error(&full, &result, victim).expect("full-level fixes");
+
+    // Level 2: locations only (AP-Rad).
+    let mut loc_only = MaraudersMap::new(
+        db.without_radii(),
+        KnowledgeLevel::LocationsOnly,
+        config.clone(),
+    );
+    loc_only.ingest(&result.captures);
+    let e_loc = mean_tracking_error(&loc_only, &result, victim).expect("loc-only fixes");
+
+    // Level 3: nothing (AP-Loc from wardriving).
+    let link = scenario.link_model();
+    let route = WardriveRoute::lawnmower(Rect::centered_square(320.0), 8, 12.0, 8.0);
+    let training = wardrive(&route, &result.aps, &link);
+    let mut trained = MaraudersMap::from_training(&training, config);
+    trained.ingest(&result.captures);
+    let e_train = mean_tracking_error(&trained, &result, victim).expect("trained fixes");
+
+    // Every level localizes far better than chance (campus half-width).
+    for (name, e) in [("full", e_full), ("loc-only", e_loc), ("trained", e_train)] {
+        assert!(e < 120.0, "{name} error {e} too large");
+    }
+    // Knowledge helps: full <= the weaker levels (with generous slack for
+    // simulation noise).
+    assert!(e_full <= e_loc * 1.5, "full {e_full} vs loc-only {e_loc}");
+    assert!(
+        e_full <= e_train * 1.5,
+        "full {e_full} vs trained {e_train}"
+    );
+}
+
+#[test]
+fn tracking_is_deterministic_per_seed() {
+    let (r1, v1, _) = campus(99);
+    let (r2, v2, _) = campus(99);
+    assert_eq!(v1, v2);
+    assert_eq!(r1.captures.len(), r2.captures.len());
+    let db = ApDatabase::from_access_points(&r1.aps, r1.environment_margin);
+    let mk = |result: &SimulationResult| {
+        let mut m = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, AttackConfig::default());
+        m.ingest(&result.captures);
+        m.track(&result.captures, v1)
+            .iter()
+            .map(|f| f.estimate.position)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(mk(&r1), mk(&r2));
+}
+
+#[test]
+fn estimates_stay_inside_the_campus() {
+    let (result, victim, _) = campus(7);
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+    let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+    map.ingest(&result.captures);
+    for fix in map.track(&result.captures, victim) {
+        let p = fix.estimate.position;
+        assert!(
+            p.x.abs() < 450.0 && p.y.abs() < 450.0,
+            "estimate {p} far outside the campus"
+        );
+        assert!(fix.estimate.area().is_finite());
+        assert!(!fix.gamma.is_empty());
+    }
+}
+
+#[test]
+fn attack_degrades_gracefully_under_capture_loss() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let (result, victim, _) = campus(55);
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut errors = Vec::new();
+    for keep in [1.0, 0.7, 0.4] {
+        let degraded = result.captures.subsample(keep, &mut rng);
+        let mut map = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, AttackConfig::default());
+        map.ingest(&degraded);
+        let err = mean_tracking_error(&map, &result, victim)
+            .unwrap_or_else(|| panic!("no fixes at keep={keep}"));
+        errors.push((keep, err));
+    }
+    // Losing 60% of frames must not blow the error up by more than ~2x:
+    // each fix just sees a thinner Γ, which Theorem 2 says costs
+    // accuracy smoothly.
+    let full = errors[0].1;
+    let heavy = errors[2].1;
+    assert!(
+        heavy < full * 2.0 + 20.0,
+        "60% frame loss collapsed the attack: {full} -> {heavy}"
+    );
+}
+
+#[test]
+fn region_covers_truth_when_knowledge_is_exact() {
+    // With measured radii and a free-space world, the intersected region
+    // must cover the true position for the overwhelming majority of
+    // fixes (paper Section III-C1; windowing can mix two scan positions,
+    // so demand 80%).
+    let (result, victim, scenario) = campus(13);
+    let link = scenario.link_model();
+    let db: ApDatabase = result
+        .aps
+        .iter()
+        .map(|ap| marauders_map::core::apdb::ApRecord {
+            bssid: ap.bssid,
+            ssid: None,
+            location: ap.location,
+            radius: Some(link.measured_radius(ap)),
+        })
+        .collect();
+    let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+    map.ingest(&result.captures);
+    let truth: Vec<_> = result
+        .ground_truth
+        .iter()
+        .filter(|g| g.mobile == victim)
+        .collect();
+    let fixes = map.track(&result.captures, victim);
+    assert!(!fixes.is_empty());
+    let covered = fixes
+        .iter()
+        .filter(|fix| {
+            let t = truth
+                .iter()
+                .min_by(|a, b| {
+                    (a.time_s - fix.time_s)
+                        .abs()
+                        .partial_cmp(&(b.time_s - fix.time_s).abs())
+                        .expect("finite")
+                })
+                .expect("truth");
+            fix.estimate.covers(t.position)
+        })
+        .count();
+    assert!(
+        covered * 10 >= fixes.len() * 8,
+        "only {covered}/{} fixes covered the truth",
+        fixes.len()
+    );
+}
