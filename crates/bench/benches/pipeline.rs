@@ -1,0 +1,97 @@
+//! Campaign-engine benchmarks: `track_all` throughput across worker
+//! counts, and grid-pruned vs full-scan AP-Rad constraint generation.
+//!
+//! Run with `CRITERION_JSON_OUT=results/BENCH_pipeline.json` to record
+//! the machine-readable baseline committed in `results/`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marauder_bench::common::{link_for, measured_knowledge, victim_scenario};
+use marauder_core::algorithms::{ApRad, PairPruning};
+use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauder_geo::Point;
+use marauder_sim::scenario::{SimulationResult, WorldModel};
+use marauder_wifi::mac::MacAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The fig. 13 campus campaign (one seed): the workload every figure
+/// shares, and the honest input for the parallel-speedup claim.
+fn campaign() -> SimulationResult {
+    let (result, _) = victim_scenario(3, WorldModel::FreeSpace);
+    result
+}
+
+fn attack_config() -> AttackConfig {
+    AttackConfig {
+        window_s: 15.0,
+        aprad: ApRad {
+            max_radius: 400.0,
+            min_observations_for_negative: 6,
+            ..Default::default()
+        },
+        ..AttackConfig::default()
+    }
+}
+
+fn bench_track_all(c: &mut Criterion) {
+    let result = campaign();
+    let link = link_for(&result, WorldModel::FreeSpace, 3);
+    let db = measured_knowledge(&result, &link);
+    let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, attack_config());
+    map.ingest(&result.captures);
+    let devices: BTreeSet<MacAddr> = map
+        .track_all(&result.captures)
+        .iter()
+        .map(|f| f.mobile)
+        .collect();
+
+    let mut group = c.benchmark_group("pipeline/track_all");
+    group.throughput(Throughput::Elements(devices.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                marauder_par::set_threads(threads);
+                b.iter(|| black_box(map.track_all(&result.captures)));
+                marauder_par::set_threads(0);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aprad_pruning(c: &mut Criterion) {
+    let result = campaign();
+    let locations: BTreeMap<MacAddr, Point> = result
+        .aps
+        .iter()
+        .map(|ap| (ap.bssid, ap.location))
+        .collect();
+    let observations: Vec<BTreeSet<MacAddr>> = result
+        .captures
+        .observation_sets(15.0)
+        .into_iter()
+        .map(|o| o.aps)
+        .collect();
+
+    // End-to-end radius estimation; the two strategies return
+    // bit-identical radii, so the delta is pure constraint-generation
+    // cost.
+    let mut group = c.benchmark_group("pipeline/aprad_negative_pairs");
+    for (name, pruning) in [
+        ("full_scan", PairPruning::FullScan),
+        ("grid", PairPruning::Grid),
+    ] {
+        let aprad = ApRad {
+            pruning,
+            ..attack_config().aprad
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(aprad.estimate_radii(&locations, &observations)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_track_all, bench_aprad_pruning);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! The parallel campaign engine must not change a single byte of any
+//! result: a figure regenerated on N workers is identical to the
+//! sequential run, window for window and digit for digit.
+
+use marauder_bench::common::run_attack_experiment;
+use marauder_bench::figures::fig13;
+use marauder_sim::scenario::WorldModel;
+
+#[test]
+fn fig13_is_byte_identical_across_worker_counts() {
+    let run = |threads: usize| {
+        marauder_par::set_threads(threads);
+        let out = run_attack_experiment(&[3], WorldModel::FreeSpace);
+        let table = fig13::run_with(&out);
+        marauder_par::set_threads(0);
+        table
+    };
+    let sequential = run(1);
+    assert!(sequential.contains("Fig. 13"));
+    for threads in [4, 7] {
+        let parallel = run(threads);
+        assert_eq!(
+            parallel, sequential,
+            "fig13 table diverged at {threads} workers"
+        );
+    }
+}

@@ -18,10 +18,27 @@
 //! operational.
 
 use super::{CoverageDisc, Estimate, MLoc};
-use marauder_geo::Point;
+use marauder_geo::{GridIndex, Point};
 use marauder_lp::{Outcome, Problem, Relation};
 use marauder_wifi::mac::MacAddr;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// How candidate never-co-observed pairs are enumerated.
+///
+/// Both strategies produce *identical* constraint sets (and therefore
+/// identical radii): the grid query with radius `2·max_radius` is a
+/// superset of the pairs the distance gate admits, and the collected
+/// partner lists are re-sorted into the full scan's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairPruning {
+    /// Check all `O(n²)` AP pairs.
+    FullScan,
+    /// Query a uniform spatial grid for partners within `2·max_radius`
+    /// of each AP — expected `O(n · neighbours)` on sparse campuses —
+    /// and fan the per-AP queries out across worker threads.
+    #[default]
+    Grid,
+}
 
 /// The AP-Rad localizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +56,8 @@ pub struct ApRad {
     /// APs were seen in at least this many observation sets — otherwise
     /// the absence of co-observation is sampling noise, not evidence.
     pub min_observations_for_negative: usize,
+    /// Candidate-pair enumeration strategy.
+    pub pruning: PairPruning,
     /// The M-Loc instance used after radii are estimated.
     pub mloc: MLoc,
 }
@@ -50,6 +69,7 @@ impl Default for ApRad {
             epsilon: 1e-3,
             max_negative_per_ap: 12,
             min_observations_for_negative: 3,
+            pruning: PairPruning::default(),
             mloc: MLoc::default(),
         }
     }
@@ -111,7 +131,11 @@ impl ApRad {
             }
         }
 
-        let dist = |i: usize, j: usize| locations[&vars[i]].distance(locations[&vars[j]]);
+        // Intern positions once: the pair enumeration and LP verification
+        // below hit distances millions of times on a dense campus, and a
+        // slice index beats a tree walk per lookup.
+        let pts: Vec<Point> = vars.iter().map(|m| locations[m]).collect();
+        let dist = |i: usize, j: usize| pts[i].distance(pts[j]);
 
         // Per-variable lower bounds (0 without training data), and the
         // substitution r_i = lo_i + s_i, s_i >= 0 that turns them into
@@ -148,25 +172,61 @@ impl ApRad {
             }
         }
 
-        let mut neighbour_lists: Vec<Vec<(usize, f64)>> = vec![Vec::new(); vars.len()];
-        for i in 0..vars.len() {
-            for j in (i + 1)..vars.len() {
-                if co.contains(&(i, j)) {
-                    continue;
-                }
-                if seen_count[i] < self.min_observations_for_negative
-                    || seen_count[j] < self.min_observations_for_negative
-                {
-                    continue; // not enough evidence that they never meet
-                }
-                let d = dist(i, j);
-                if d >= 2.0 * self.max_radius || lo[i] + lo[j] > d - self.epsilon {
-                    continue;
-                }
-                neighbour_lists[i].push((j, d));
-                neighbour_lists[j].push((i, d));
+        // Every gate is symmetric in (i, j), so both enumeration
+        // strategies can share it.
+        let admit = |i: usize, j: usize| -> Option<f64> {
+            if co.contains(&(i.min(j), i.max(j))) {
+                return None;
             }
-        }
+            if seen_count[i] < self.min_observations_for_negative
+                || seen_count[j] < self.min_observations_for_negative
+            {
+                return None; // not enough evidence that they never meet
+            }
+            let d = dist(i, j);
+            if d >= 2.0 * self.max_radius || lo[i] + lo[j] > d - self.epsilon {
+                return None;
+            }
+            Some(d)
+        };
+
+        let mut neighbour_lists: Vec<Vec<(usize, f64)>> = match self.pruning {
+            PairPruning::FullScan => {
+                let mut lists: Vec<Vec<(usize, f64)>> = vec![Vec::new(); vars.len()];
+                for i in 0..vars.len() {
+                    for j in (i + 1)..vars.len() {
+                        if let Some(d) = admit(i, j) {
+                            lists[i].push((j, d));
+                            lists[j].push((i, d));
+                        }
+                    }
+                }
+                lists
+            }
+            PairPruning::Grid => {
+                let mut grid = GridIndex::new((2.0 * self.max_radius).max(1e-6));
+                for (i, p) in pts.iter().enumerate() {
+                    grid.insert(*p, i);
+                }
+                marauder_par::par_map_range(vars.len(), |i| {
+                    let mut list: Vec<(usize, f64)> = grid
+                        .within(pts[i], 2.0 * self.max_radius)
+                        .filter_map(|&(_, j)| {
+                            if j == i {
+                                return None;
+                            }
+                            admit(i, j).map(|d| (j, d))
+                        })
+                        .collect();
+                    // The full scan appends partners in ascending index
+                    // order; restoring that order here (the by-distance
+                    // sort below is stable) makes the two strategies
+                    // produce byte-identical constraint sets.
+                    list.sort_unstable_by_key(|&(j, _)| j);
+                    list
+                })
+            }
+        };
         let mut keep: BTreeSet<(usize, usize)> = BTreeSet::new();
         for (i, list) in neighbour_lists.iter_mut().enumerate() {
             list.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
@@ -455,6 +515,48 @@ mod tests {
         assert_eq!(radii.len(), 3);
         let (ra, rb) = (radii[&mac(1)], radii[&mac(2)]);
         assert!(ra + rb >= 200.0 - 1e-6, "kept constraint violated");
+    }
+
+    #[test]
+    fn grid_pruning_matches_full_scan_exactly() {
+        // The grid enumeration must reproduce the full scan's constraint
+        // set — and therefore its radii — to the bit, for a max_radius
+        // small enough that the grid actually prunes (several cells span
+        // the world) and for one so large that every pair is in range.
+        let world = World::grid(6, 45.0, 60.0);
+        let mut observations = Vec::new();
+        for i in 0..14 {
+            for j in 0..14 {
+                let p = Point::new(i as f64 * 17.0, j as f64 * 17.0);
+                let obs = world.observe(p);
+                if !obs.is_empty() {
+                    observations.push(obs);
+                }
+            }
+        }
+        for max_radius in [90.0, 5000.0] {
+            let full = ApRad {
+                max_radius,
+                pruning: PairPruning::FullScan,
+                ..ApRad::default()
+            };
+            let grid = ApRad {
+                max_radius,
+                pruning: PairPruning::Grid,
+                ..ApRad::default()
+            };
+            let r_full = full.estimate_radii(&world.locations, &observations);
+            let r_grid = grid.estimate_radii(&world.locations, &observations);
+            assert_eq!(r_full.len(), r_grid.len());
+            for (mac, rf) in &r_full {
+                let rg = r_grid[mac];
+                assert_eq!(
+                    rf.to_bits(),
+                    rg.to_bits(),
+                    "radius diverged for {mac} at max_radius {max_radius}: {rf} vs {rg}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use marauder_geo::Point;
 use marauder_sim::wardrive::TrainingTuple;
 use marauder_wifi::mac::MacAddr;
 use marauder_wifi::sniffer::CaptureDatabase;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// What the attacker knows about the APs beforehand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +89,12 @@ pub struct MaraudersMap {
     /// Training-implied lower bounds on radii (NoKnowledge level only).
     min_radii: BTreeMap<MacAddr, f64>,
     observations: Vec<BTreeSet<MacAddr>>,
+    /// MAC → dense id, assigned in sorted-MAC order over `locations`.
+    ids: HashMap<MacAddr, u32>,
+    /// Per-id coverage disc; `Some` only when both the location and the
+    /// radius are known. Rebuilt whenever `radii` changes so `locate`
+    /// runs on indexed slices instead of per-MAC tree lookups.
+    discs: Vec<Option<CoverageDisc>>,
 }
 
 impl MaraudersMap {
@@ -121,14 +127,18 @@ impl MaraudersMap {
                 radii.insert(rec.bssid, rec.radius.expect("checked above"));
             }
         }
-        MaraudersMap {
+        let mut map = MaraudersMap {
             knowledge,
             config,
             locations,
             radii,
             min_radii: BTreeMap::new(),
             observations: Vec::new(),
-        }
+            ids: HashMap::new(),
+            discs: Vec::new(),
+        };
+        map.rebuild_interned();
+        map
     }
 
     /// Builds the map from wardriving training tuples (knowledge level
@@ -137,14 +147,35 @@ impl MaraudersMap {
     pub fn from_training(training: &[TrainingTuple], config: AttackConfig) -> Self {
         let locations = config.aploc.estimate_ap_locations(training);
         let min_radii = config.aploc.training_radius_bounds(training, &locations);
-        MaraudersMap {
+        let mut map = MaraudersMap {
             knowledge: KnowledgeLevel::NoKnowledge,
             config,
             locations,
             radii: BTreeMap::new(),
             min_radii,
             observations: Vec::new(),
-        }
+            ids: HashMap::new(),
+            discs: Vec::new(),
+        };
+        map.rebuild_interned();
+        map
+    }
+
+    /// Re-interns the AP tables: dense ids in sorted-MAC order plus one
+    /// optional disc per id. Must run after any change to `locations`
+    /// or `radii`.
+    fn rebuild_interned(&mut self) {
+        self.ids = self
+            .locations
+            .keys()
+            .enumerate()
+            .map(|(i, mac)| (*mac, i as u32))
+            .collect();
+        self.discs = self
+            .locations
+            .iter()
+            .map(|(mac, loc)| self.radii.get(mac).map(|r| CoverageDisc::new(*loc, *r)))
+            .collect();
     }
 
     /// The knowledge level this map operates at.
@@ -178,6 +209,7 @@ impl MaraudersMap {
                 &self.observations,
                 &self.min_radii,
             );
+            self.rebuild_interned();
         }
     }
 
@@ -186,12 +218,15 @@ impl MaraudersMap {
     /// Returns `None` when no AP in `gamma` has both a known location
     /// and radius.
     pub fn locate(&self, gamma: &BTreeSet<MacAddr>) -> Option<Estimate> {
+        // Gamma iterates in sorted-MAC order and the interned tables
+        // were built in that same order, so the disc sequence is
+        // identical to per-MAC map lookups — just without the tree
+        // walks per AP.
         let discs: Vec<CoverageDisc> = gamma
             .iter()
             .filter_map(|mac| {
-                let loc = self.locations.get(mac)?;
-                let r = self.radii.get(mac)?;
-                Some(CoverageDisc::new(*loc, *r))
+                let id = *self.ids.get(mac)?;
+                self.discs[id as usize]
             })
             .collect();
         self.config.mloc.locate(&discs)
@@ -199,18 +234,25 @@ impl MaraudersMap {
 
     /// Tracks one mobile across the capture: one fix per observation
     /// window in which it was seen.
+    ///
+    /// Localization of the windows runs in parallel (see
+    /// [`marauder_par`]); the fix order — and every estimate — is
+    /// identical for any worker count.
     pub fn track(&self, captures: &CaptureDatabase, mobile: MacAddr) -> Vec<TrackFix> {
-        captures
+        let obs: Vec<_> = captures
             .observation_sets(self.config.window_s)
             .into_iter()
             .filter(|o| o.mobile == mobile)
-            .filter_map(|o| {
-                let estimate = self.locate(&o.aps)?;
+            .collect();
+        let estimates = marauder_par::par_map(&obs, |o| self.locate(&o.aps));
+        obs.into_iter()
+            .zip(estimates)
+            .filter_map(|(o, estimate)| {
                 Some(TrackFix {
                     time_s: o.window_start_s,
                     mobile,
                     gamma: o.aps,
-                    estimate,
+                    estimate: estimate?,
                 })
             })
             .collect()
@@ -218,17 +260,21 @@ impl MaraudersMap {
 
     /// Tracks every mobile in the capture — the full Marauder's-Map
     /// display (paper Fig. 7).
+    ///
+    /// The per-window localizations are independent, so they fan out
+    /// across worker threads; results are concatenated in window order
+    /// and are bit-identical to a sequential run.
     pub fn track_all(&self, captures: &CaptureDatabase) -> Vec<TrackFix> {
-        captures
-            .observation_sets(self.config.window_s)
-            .into_iter()
-            .filter_map(|o| {
-                let estimate = self.locate(&o.aps)?;
+        let obs = captures.observation_sets(self.config.window_s);
+        let estimates = marauder_par::par_map(&obs, |o| self.locate(&o.aps));
+        obs.into_iter()
+            .zip(estimates)
+            .filter_map(|(o, estimate)| {
                 Some(TrackFix {
                     time_s: o.window_start_s,
                     mobile: o.mobile,
                     gamma: o.aps,
-                    estimate,
+                    estimate: estimate?,
                 })
             })
             .collect()
@@ -354,6 +400,39 @@ mod tests {
         let map = MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default());
         let gamma: BTreeSet<MacAddr> = [MacAddr::from_index(5)].into_iter().collect();
         assert!(map.locate(&gamma).is_none());
+    }
+
+    #[test]
+    fn track_all_is_invariant_to_worker_count() {
+        let (result, _) = scenario_with_victim();
+        let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+        map.ingest(&result.captures);
+        let run = |threads| {
+            marauder_par::set_threads(threads);
+            let fixes = map.track_all(&result.captures);
+            marauder_par::set_threads(0);
+            fixes
+        };
+        let sequential = run(1);
+        assert!(!sequential.is_empty());
+        for threads in [2, 4, 7] {
+            let parallel = run(threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.time_s.to_bits(), s.time_s.to_bits());
+                assert_eq!(p.mobile, s.mobile);
+                assert_eq!(p.gamma, s.gamma);
+                assert_eq!(
+                    p.estimate.position.x.to_bits(),
+                    s.estimate.position.x.to_bits()
+                );
+                assert_eq!(
+                    p.estimate.position.y.to_bits(),
+                    s.estimate.position.y.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

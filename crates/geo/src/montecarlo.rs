@@ -6,8 +6,13 @@
 //! experiment harness for the simulation cross-checks of the paper's
 //! Theorems 2 and 3.
 //!
-//! To keep this substrate dependency-free, sampling uses a small embedded
-//! SplitMix64 generator; the seed makes every estimate reproducible.
+//! To keep this substrate free of external dependencies, sampling uses a
+//! small embedded SplitMix64 generator; the seed makes every estimate
+//! reproducible. Sampling is split into fixed-size blocks, each with its
+//! own sub-seeded generator, so the blocks can run on worker threads
+//! (via the std-only `marauder-par` crate) while the estimate stays a
+//! pure function of `(discs, samples, seed)` — identical for any thread
+//! count.
 
 use crate::Circle;
 
@@ -73,16 +78,27 @@ pub fn monte_carlo_intersection_area(discs: &[Circle], samples: u32, seed: u64) 
     if r == 0.0 {
         return 0.0;
     }
-    let mut rng = SplitMix64::new(seed);
-    let mut hits = 0u32;
-    for _ in 0..samples {
-        let x = rng.uniform(cx - r, cx + r);
-        let y = rng.uniform(cy - r, cy + r);
-        let p = crate::Point::new(x, y);
-        if discs.iter().all(|d| d.contains(p)) {
-            hits += 1;
+    // Fixed-size sample blocks, each with its own sub-seeded generator:
+    // block b always draws the same points no matter which worker runs
+    // it, and the hit counts sum identically in any order.
+    const BLOCK: u32 = 65_536;
+    let blocks = samples.div_ceil(BLOCK) as usize;
+    let hits: u64 = marauder_par::par_map_range(blocks, |b| {
+        let n = BLOCK.min(samples - b as u32 * BLOCK);
+        let mut rng = SplitMix64::new(marauder_par::sub_seed(seed, b as u64));
+        let mut hits = 0u64;
+        for _ in 0..n {
+            let x = rng.uniform(cx - r, cx + r);
+            let y = rng.uniform(cy - r, cy + r);
+            let p = crate::Point::new(x, y);
+            if discs.iter().all(|d| d.contains(p)) {
+                hits += 1;
+            }
         }
-    }
+        hits
+    })
+    .into_iter()
+    .sum();
     let box_area = 4.0 * r * r;
     box_area * hits as f64 / samples as f64
 }
@@ -152,6 +168,27 @@ mod tests {
         let exact = DiscIntersection::new(&discs).area();
         let mc = monte_carlo_intersection_area(&discs, 500_000, 13);
         assert!((exact - mc).abs() < 0.02, "exact {exact} vs mc {mc}");
+    }
+
+    #[test]
+    fn estimate_is_invariant_to_worker_count() {
+        let discs = [c(0.0, 0.0, 1.0), c(0.5, 0.2, 1.1), c(-0.1, 0.4, 1.3)];
+        // An odd sample count exercises the ragged final block.
+        let samples = 3 * 65_536 + 1234;
+        let run = |threads| {
+            marauder_par::set_threads(threads);
+            let a = monte_carlo_intersection_area(&discs, samples, 21);
+            marauder_par::set_threads(0);
+            a
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                run(threads).to_bits(),
+                sequential.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

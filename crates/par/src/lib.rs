@@ -1,0 +1,242 @@
+//! Std-only data parallelism for the attack pipeline.
+//!
+//! Everything here is built on `std::thread::scope` — no external
+//! runtime, no locks on the hot path. Inputs are split into small
+//! contiguous blocks that idle workers claim from a shared atomic
+//! counter (campaign workloads are skewed: one chatty mobile's windows
+//! sit next to each other, so static per-worker chunks would leave all
+//! the work on one thread). Each block's results are placed back at the
+//! block's input position. Because output position depends only on
+//! input position — never on which worker ran the block — **results
+//! are bit-identical for every thread count**, including the
+//! sequential fast path, provided the mapped closure is a pure
+//! function of `(index, item)`.
+//!
+//! Closures that need randomness must derive it from the item index,
+//! not from a shared stream: seed a fresh RNG per item (or per fixed
+//! block of items) with [`sub_seed`]. A shared RNG stream would make
+//! draw order depend on scheduling and break the guarantee above.
+//!
+//! Worker count resolution, in precedence order:
+//! 1. [`set_threads`] (the CLI `--threads` flag lands here),
+//! 2. the `MARAUDER_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for all subsequent parallel calls.
+///
+/// `1` forces the sequential path; `0` clears the override, restoring
+/// `MARAUDER_THREADS` / `available_parallelism()` resolution.
+pub fn set_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("MARAUDER_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The worker count parallel calls will use right now.
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Output is identical to `items.iter().map(f).collect()` for any
+/// thread count. A panic in any worker propagates to the caller.
+pub fn par_map<T, O, F>(items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Maps `f(index, item)` over `items` in parallel, preserving order.
+///
+/// The index is the item's position in `items`, independent of how
+/// the slice is chunked across workers — use it (with [`sub_seed`])
+/// to derive per-item randomness deterministically.
+pub fn par_map_indexed<T, O, F>(items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+{
+    par_map_range(items.len(), |i| f(i, &items[i]))
+}
+
+/// Maps `f` over the index range `0..n` in parallel, preserving order.
+///
+/// Equivalent to `(0..n).map(f).collect()` without materializing an
+/// input slice — the natural shape for block-indexed work such as
+/// Monte-Carlo sample blocks.
+pub fn par_map_range<O, F>(n: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let threads = current_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Small blocks claimed dynamically: several blocks per worker keeps
+    // skewed workloads balanced without a per-item atomic.
+    let block = (n / (threads * 8)).max(1);
+    let nblocks = n.div_ceil(block);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let next = &next;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, Vec<O>)> = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= nblocks {
+                            break;
+                        }
+                        let start = b * block;
+                        let end = (start + block).min(n);
+                        done.push((start, (start..end).map(f).collect()));
+                    }
+                    done
+                })
+            })
+            .collect();
+        // Place every block at its input position; the final order is a
+        // pure function of the indices, independent of scheduling.
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for handle in handles {
+            for (start, vals) in handle.join().expect("parallel worker panicked") {
+                for (j, v) in vals.into_iter().enumerate() {
+                    slots[start + j] = Some(v);
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|v| v.expect("every block was claimed exactly once"))
+            .collect()
+    })
+}
+
+/// Derives a decorrelated RNG seed for sub-task `index` of a campaign
+/// seeded with `base`.
+///
+/// SplitMix64-style finalizer over the combined words: nearby indices
+/// (and nearby base seeds) produce statistically independent streams,
+/// and the result depends only on `(base, index)` — never on thread
+/// count or scheduling.
+pub fn sub_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xA24B_AED4_963E_E407));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global thread override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_matches_sequential_for_every_thread_count() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..1017).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 8, 64] {
+            set_threads(threads);
+            assert_eq!(
+                par_map(&items, |x| x * x + 1),
+                expected,
+                "threads={threads}"
+            );
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_map_indexed_sees_global_positions() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let items = vec![10u64; 500];
+        for threads in [1, 3, 8] {
+            set_threads(threads);
+            let out = par_map_indexed(&items, |i, x| i as u64 * x);
+            let expected: Vec<u64> = (0..500).map(|i| i * 10).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_map_range_matches_direct_iteration() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1, 2, 5] {
+            set_threads(threads);
+            let out = par_map_range(123, |i| i * 3);
+            assert_eq!(out, (0..123).map(|i| i * 3).collect::<Vec<_>>());
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[42u32], |x| *x + 1), vec![43]);
+        assert!(par_map_range(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sub_seed_decorrelates_indices_and_bases() {
+        let s: Vec<u64> = (0..64).map(|i| sub_seed(7, i)).collect();
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "collisions across indices");
+        assert_ne!(sub_seed(7, 0), sub_seed(8, 0));
+        // Stable across calls (pure function).
+        assert_eq!(sub_seed(7, 3), sub_seed(7, 3));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(4);
+        let items: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |x| {
+                assert!(*x != 57, "boom");
+                *x
+            })
+        });
+        set_threads(0);
+        assert!(result.is_err());
+    }
+}

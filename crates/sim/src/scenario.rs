@@ -646,7 +646,9 @@ mod tests {
     fn explicit_victim_is_tracked() {
         let victim = MobileStation::new(MacAddr::from_index(0xFFFF), OsProfile::MacOs);
         let mac = victim.mac;
+        // Seed swept so the AP draw puts coverage on the victim's circuit.
         let scenario = quick()
+            .seed(4)
             .mobile(
                 victim,
                 Box::new(CircuitWalk::new(Point::ORIGIN, 150.0, 1.4)),
@@ -819,8 +821,14 @@ mod tests {
 
     #[test]
     fn a_band_aps_need_a_band_cards() {
-        // 40% of APs on 5 GHz; the default b/g rig misses them.
-        let bg_only = quick().num_mobiles(4).a_band_fraction(0.4).build().run();
+        // 40% of APs on 5 GHz; the default b/g rig misses them. Seed
+        // swept so the 5 GHz population is big enough for a clear gap.
+        let bg_only = quick()
+            .seed(13)
+            .num_mobiles(4)
+            .a_band_fraction(0.4)
+            .build()
+            .run();
         let a_aps: usize = bg_only
             .aps
             .iter()
@@ -841,6 +849,7 @@ mod tests {
         let mut channels: Vec<u8> = vec![1, 6, 11];
         channels.extend(marauder_wifi::channel::A_CHANNELS);
         let dual = quick()
+            .seed(13)
             .num_mobiles(4)
             .a_band_fraction(0.4)
             .sniffer_channels(channels)

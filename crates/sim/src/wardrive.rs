@@ -154,6 +154,11 @@ impl WardriveRoute {
 /// point, using `link` to decide communicability. Tuples with an empty
 /// AP set are kept — they still carry (negative) information and the
 /// paper's algorithms must tolerate them.
+///
+/// Each sample point's communicable set is independent (the link model
+/// is deterministic, with shadowing derived from a position hash, not an
+/// RNG stream), so the points fan out across worker threads; the tuple
+/// order matches the route order for any thread count.
 pub fn wardrive(
     route: &WardriveRoute,
     aps: &[AccessPoint],
@@ -161,14 +166,11 @@ pub fn wardrive(
 ) -> Vec<TrainingTuple> {
     // The wardriving laptop: a typical mobile, actively scanning.
     let scanner = MobileStation::new(MacAddr::from_index(0xD21_7E12), OsProfile::Linux);
-    route
-        .sample_points()
-        .into_iter()
-        .map(|location| TrainingTuple {
-            location,
-            aps: link.communicable_set(&scanner, location, aps),
-        })
-        .collect()
+    let points = route.sample_points();
+    marauder_par::par_map(&points, |&location| TrainingTuple {
+        location,
+        aps: link.communicable_set(&scanner, location, aps),
+    })
 }
 
 #[cfg(test)]

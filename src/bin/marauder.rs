@@ -45,6 +45,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Worker count for the parallel campaign engine: default all cores,
+    // `--threads 1` forces the sequential path (output is identical
+    // either way).
+    match get_num(&opts, "threads", 0usize) {
+        Ok(n) => marauders_map::par::set_threads(n),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
     let run = match cmd.as_str() {
         "simulate" => simulate(&opts),
         "attack" => attack(&opts),
@@ -66,7 +76,10 @@ const USAGE: &str = "usage:
   marauder attack --captures FILE (--knowledge FILE | --training FILE)
                   [--level full|locations|none] [--geojson FILE] [--truth FILE]
   marauder link --captures FILE
-  marauder report --knowledge FILE --captures FILE";
+  marauder report --knowledge FILE --captures FILE
+
+  every command also accepts --threads N (worker threads; default all
+  cores, 1 forces the sequential path — results are identical)";
 
 type Opts = HashMap<String, String>;
 

@@ -12,6 +12,7 @@
 pub use marauder_core as core;
 pub use marauder_geo as geo;
 pub use marauder_lp as lp;
+pub use marauder_par as par;
 pub use marauder_rf as rf;
 pub use marauder_sim as sim;
 pub use marauder_wifi as wifi;

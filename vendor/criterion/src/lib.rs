@@ -1,0 +1,393 @@
+//! A std-only subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurements are real wall-clock timings: each benchmark is
+//! calibrated once, then run for `sample_size` samples of enough
+//! iterations to fill a ~20 ms window, reporting min/mean/max ns per
+//! iteration. When the `CRITERION_JSON_OUT` environment variable names
+//! a path, the full result set is written there as JSON on exit.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Throughput annotation for a group: per-iteration work size.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine for the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    median_ns: f64,
+    iters_per_sample: u64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let per_sec = |n: u64| {
+            if self.mean_ns > 0.0 {
+                n as f64 * 1.0e9 / self.mean_ns
+            } else {
+                0.0
+            }
+        };
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(",\"elements\":{},\"elements_per_sec\":{:.2}", n, per_sec(n))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(",\"bytes\":{},\"bytes_per_sec\":{:.2}", n, per_sec(n))
+            }
+            None => String::new(),
+        };
+        format!(
+            "{{\"id\":\"{}\",\"mean_ns\":{:.2},\"median_ns\":{:.2},\"min_ns\":{:.2},\
+             \"max_ns\":{:.2},\"iters_per_sample\":{},\"samples\":{}{}}}",
+            self.id.replace('"', "'"),
+            self.mean_ns,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.iters_per_sample,
+            self.samples,
+            throughput
+        )
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filters: Vec<String>,
+    results: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench` (and test runs may
+        // add `--test`); remaining non-flag args are name filters.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op: args are already read in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(id.name.clone(), DEFAULT_SAMPLE_SIZE, None, f);
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if !self.matches_filter(&id) {
+            return;
+        }
+        // Calibration pass: one iteration to size the sample window.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+        let mut ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            b.iters = iters;
+            f(&mut b);
+            ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let record = Record {
+            id: id.clone(),
+            mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+            median_ns: ns[ns.len() / 2],
+            iters_per_sample: iters,
+            samples: ns.len(),
+            throughput,
+        };
+        let fmt = |v: f64| {
+            if v >= 1.0e9 {
+                format!("{:.4} s", v / 1.0e9)
+            } else if v >= 1.0e6 {
+                format!("{:.4} ms", v / 1.0e6)
+            } else if v >= 1.0e3 {
+                format!("{:.4} µs", v / 1.0e3)
+            } else {
+                format!("{v:.2} ns")
+            }
+        };
+        print!(
+            "{:<50} time: [{} {} {}]",
+            record.id,
+            fmt(record.min_ns),
+            fmt(record.mean_ns),
+            fmt(record.max_ns)
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            print!(
+                "  thrpt: {:.1} elem/s",
+                n as f64 * 1.0e9 / record.mean_ns.max(1.0)
+            );
+        }
+        println!();
+        self.results.push(record);
+    }
+
+    /// Writes collected results as JSON to `path`.
+    pub fn export_json(&self, path: &str) -> std::io::Result<()> {
+        let body: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect();
+        let doc = format!(
+            "{{\n  \"schema\": \"marauder-criterion-v1\",\n  \"results\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        );
+        std::fs::write(path, doc)
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+            if !path.is_empty() {
+                if let Err(e) = self.export_json(&path) {
+                    eprintln!("criterion: failed to write {path}: {e}");
+                } else {
+                    eprintln!("criterion: wrote {path}");
+                }
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration work size for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().name);
+        self.criterion
+            .run_one(id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().name);
+        self.criterion
+            .run_one(id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream-compatible no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_count(c: &mut Criterion) -> usize {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("sum", 4), |b| {
+            b.iter(|| (0..4u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        c.results.len()
+    }
+
+    #[test]
+    fn records_and_serializes_results() {
+        let mut c = Criterion {
+            filters: vec![],
+            results: vec![],
+        };
+        assert_eq!(run_count(&mut c), 2);
+        assert_eq!(c.results[0].id, "g/sum/4");
+        assert_eq!(c.results[1].id, "g/8");
+        assert!(c.results[0].mean_ns >= 0.0);
+        let json = c.results[0].to_json();
+        assert!(json.contains("\"id\":\"g/sum/4\""), "{json}");
+        assert!(json.contains("elements_per_sec"), "{json}");
+        c.results.clear(); // keep Drop from writing JSON in tests
+    }
+
+    #[test]
+    fn filters_skip_non_matching_ids() {
+        let mut c = Criterion {
+            filters: vec!["nomatch".into()],
+            results: vec![],
+        };
+        assert_eq!(run_count(&mut c), 0);
+    }
+}
