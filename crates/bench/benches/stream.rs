@@ -1,0 +1,94 @@
+//! Streaming-engine benchmarks: frame-ingestion and fix throughput of
+//! the live tracking engine over the fig. 13 campaign, across worker
+//! counts (the final localization pass fans out through marauder-par).
+//!
+//! Run with `CRITERION_JSON_OUT=results/BENCH_stream.json` to record
+//! the machine-readable baseline committed in `results/`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marauder_bench::common::{link_for, measured_knowledge, victim_scenario};
+use marauder_core::algorithms::ApRad;
+use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauder_sim::scenario::{SimulationResult, WorldModel};
+use marauder_stream::{replay_database, StreamConfig, StreamEngine};
+
+fn campaign() -> SimulationResult {
+    let (result, _) = victim_scenario(3, WorldModel::FreeSpace);
+    result
+}
+
+fn attack_config() -> AttackConfig {
+    AttackConfig {
+        window_s: 15.0,
+        aprad: ApRad {
+            max_radius: 400.0,
+            min_observations_for_negative: 6,
+            ..Default::default()
+        },
+        ..AttackConfig::default()
+    }
+}
+
+/// Pure ingestion: frames/sec through `push` + live localization at
+/// full knowledge (no LP in the loop), single-threaded by design.
+fn bench_ingest(c: &mut Criterion) {
+    let result = campaign();
+    let link = link_for(&result, WorldModel::FreeSpace, 3);
+    let db = measured_knowledge(&result, &link);
+
+    let mut group = c.benchmark_group("stream/ingest_frames");
+    group.throughput(Throughput::Elements(result.captures.len() as u64));
+    group.bench_function("full_knowledge", |b| {
+        b.iter(|| {
+            let map = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, attack_config());
+            let mut engine = StreamEngine::new(map, StreamConfig::default());
+            let mut events = 0usize;
+            for frame in result.captures.iter() {
+                events += engine.push(frame).len();
+            }
+            events += engine.finish().len();
+            black_box(events)
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end replay: fixes/sec for the batch-equivalent output,
+/// across worker counts (the closing localization pass runs through
+/// the marauder-par pool).
+fn bench_replay(c: &mut Criterion) {
+    let result = campaign();
+    let link = link_for(&result, WorldModel::FreeSpace, 3);
+    let db = measured_knowledge(&result, &link);
+    let fixes = {
+        let map = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, attack_config());
+        replay_database(map, StreamConfig::default(), &result.captures)
+            .0
+            .len()
+    };
+
+    let mut group = c.benchmark_group("stream/replay_fixes");
+    group.throughput(Throughput::Elements(fixes as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                marauder_par::set_threads(threads);
+                b.iter(|| {
+                    let map = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, attack_config());
+                    black_box(replay_database(
+                        map,
+                        StreamConfig::default(),
+                        &result.captures,
+                    ))
+                });
+                marauder_par::set_threads(0);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Batch-vs-stream equivalence on the paper's headline workload: the
+//! fig. 13 campus campaign replayed frame-by-frame through the live
+//! tracking engine must reproduce `track_all` byte for byte — and a
+//! snapshot/restore in the middle of the stream must change nothing.
+
+use marauder_bench::common::{link_for, measured_knowledge, victim_scenario};
+use marauder_core::algorithms::ApRad;
+use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap, TrackFix};
+use marauder_sim::scenario::{SimulationResult, WorldModel};
+use marauder_stream::{replay_database, StreamConfig, StreamEngine};
+use std::sync::OnceLock;
+
+/// The fig. 13 campaign (seed 3), simulated once per test process.
+fn campaign() -> &'static SimulationResult {
+    static CAMPAIGN: OnceLock<SimulationResult> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| victim_scenario(3, WorldModel::FreeSpace).0)
+}
+
+fn attack_config() -> AttackConfig {
+    AttackConfig {
+        window_s: 15.0,
+        aprad: ApRad {
+            max_radius: 400.0,
+            min_observations_for_negative: 6,
+            ..Default::default()
+        },
+        ..AttackConfig::default()
+    }
+}
+
+fn map_at(level: KnowledgeLevel) -> MaraudersMap {
+    let result = campaign();
+    let link = link_for(result, WorldModel::FreeSpace, 3);
+    let db = measured_knowledge(result, &link);
+    match level {
+        KnowledgeLevel::Full => MaraudersMap::new(db, level, attack_config()),
+        _ => MaraudersMap::new(db.without_radii(), level, attack_config()),
+    }
+}
+
+fn assert_fixes_bit_identical(streamed: &[TrackFix], batch: &[TrackFix], label: &str) {
+    assert_eq!(streamed.len(), batch.len(), "{label}: fix count");
+    for (s, b) in streamed.iter().zip(batch) {
+        assert_eq!(s.time_s.to_bits(), b.time_s.to_bits(), "{label}: time");
+        assert_eq!(s.mobile, b.mobile, "{label}: mobile");
+        assert_eq!(s.gamma, b.gamma, "{label}: gamma");
+        assert_eq!(
+            s.estimate.position.x.to_bits(),
+            b.estimate.position.x.to_bits(),
+            "{label}: x"
+        );
+        assert_eq!(
+            s.estimate.position.y.to_bits(),
+            b.estimate.position.y.to_bits(),
+            "{label}: y"
+        );
+        assert_eq!(s.estimate.k, b.estimate.k, "{label}: k");
+        assert_eq!(
+            s.estimate.area().to_bits(),
+            b.estimate.area().to_bits(),
+            "{label}: area"
+        );
+    }
+}
+
+#[test]
+fn fig13_streaming_replay_is_byte_identical_to_track_all() {
+    let result = campaign();
+    for level in [KnowledgeLevel::Full, KnowledgeLevel::LocationsOnly] {
+        let mut batch_map = map_at(level);
+        batch_map.ingest(&result.captures);
+        let batch = batch_map.track_all(&result.captures);
+        assert!(!batch.is_empty(), "{level:?}: campaign must produce fixes");
+
+        let (streamed, stats) =
+            replay_database(map_at(level), StreamConfig::default(), &result.captures);
+        assert_eq!(stats.frames_total, result.captures.len());
+        assert_eq!(stats.frames_late, 0, "{level:?}: lag must absorb jitter");
+        assert_eq!(stats.windows_evicted, 0, "{level:?}: nothing evicted");
+        assert_fixes_bit_identical(&streamed, &batch, &format!("{level:?}"));
+
+        if level == KnowledgeLevel::LocationsOnly {
+            assert!(
+                stats.lp_solves < stats.windows_closed,
+                "dirty tracking never skipped a solve: {} solves for {} windows",
+                stats.lp_solves,
+                stats.windows_closed
+            );
+        }
+    }
+}
+
+#[test]
+fn fig13_snapshot_restore_mid_stream_preserves_equivalence() {
+    let result = campaign();
+    let (uninterrupted, reference_stats) = replay_database(
+        map_at(KnowledgeLevel::LocationsOnly),
+        StreamConfig::default(),
+        &result.captures,
+    );
+
+    // Stream the first half, snapshot, throw the engine away, restore
+    // into a *fresh* map, and stream the rest.
+    let cut = result.captures.len() / 2;
+    let mut engine = StreamEngine::new(
+        map_at(KnowledgeLevel::LocationsOnly),
+        StreamConfig::default(),
+    );
+    let mut events = Vec::new();
+    for frame in result.captures.iter().take(cut) {
+        events.extend(engine.push(frame));
+    }
+    let snapshot = engine.snapshot();
+    drop(engine);
+
+    let mut engine = StreamEngine::restore(map_at(KnowledgeLevel::LocationsOnly), &snapshot)
+        .expect("snapshot restores");
+    for frame in result.captures.iter().skip(cut) {
+        events.extend(engine.push(frame));
+    }
+    events.extend(engine.finish());
+    let resumed = engine.batch_fixes(events);
+
+    assert_eq!(engine.stats(), &reference_stats, "counters diverged");
+    assert_fixes_bit_identical(&resumed, &uninterrupted, "snapshot/restore");
+}

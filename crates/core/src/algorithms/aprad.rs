@@ -40,6 +40,114 @@ pub enum PairPruning {
     Grid,
 }
 
+/// Order-independent sufficient statistics of a set of observation
+/// windows — everything the AP-Rad linear program reads.
+///
+/// The LP's constraint set is a pure function of three aggregates: the
+/// set of observed-and-located APs (the variables), the set of
+/// co-observed pairs (`≥` candidates), and each AP's seen-count
+/// *compared against* `min_observations_for_negative` (the
+/// negative-evidence gate). Folding windows in any order yields the
+/// same aggregates, which is what lets the streaming engine ingest
+/// windows one at a time and still reproduce the batch radii bit for
+/// bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObservationStats {
+    observed: BTreeSet<MacAddr>,
+    co: BTreeSet<(MacAddr, MacAddr)>,
+    seen: BTreeMap<MacAddr, usize>,
+    windows: usize,
+}
+
+impl ObservationStats {
+    /// Empty statistics (no windows folded yet).
+    pub fn new() -> Self {
+        ObservationStats::default()
+    }
+
+    /// Folds one observation window (`Γ_k`) into the statistics.
+    ///
+    /// Only APs present in `locations` are counted — exactly the
+    /// filtering [`ApRad::estimate_radii_with_bounds`] applies.
+    /// `threshold` is the solver's `min_observations_for_negative`.
+    ///
+    /// Returns `true` when the update can change the LP's constraint
+    /// set — a first-ever AP, a first-ever co-observation pair, or a
+    /// seen-count crossing `threshold` — i.e. when any cached radii are
+    /// stale. Returns `false` when the fold provably leaves the LP
+    /// unchanged, so incremental consumers can skip the re-solve.
+    pub fn ingest(
+        &mut self,
+        gamma: &BTreeSet<MacAddr>,
+        locations: &BTreeMap<MacAddr, Point>,
+        threshold: usize,
+    ) -> bool {
+        self.windows += 1;
+        let mut dirty = false;
+        let located: Vec<MacAddr> = gamma
+            .iter()
+            .copied()
+            .filter(|m| locations.contains_key(m))
+            .collect();
+        for &m in &located {
+            if self.observed.insert(m) {
+                dirty = true; // new LP variable
+            }
+            let count = self.seen.entry(m).or_insert(0);
+            *count += 1;
+            if *count == threshold {
+                dirty = true; // negative-evidence gate flips for m
+            }
+        }
+        // `located` is ascending (gamma is a BTreeSet), so (a, b) is
+        // already in canonical (min, max) order.
+        for (i, &a) in located.iter().enumerate() {
+            for &b in &located[i + 1..] {
+                if self.co.insert((a, b)) {
+                    dirty = true; // new co-observation constraint
+                }
+            }
+        }
+        dirty
+    }
+
+    /// APs observed at least once (with a known location).
+    pub fn observed(&self) -> &BTreeSet<MacAddr> {
+        &self.observed
+    }
+
+    /// Canonically ordered `(min, max)` co-observed AP pairs.
+    pub fn co_pairs(&self) -> &BTreeSet<(MacAddr, MacAddr)> {
+        &self.co
+    }
+
+    /// Per-AP window counts (how many windows each AP appeared in).
+    pub fn seen_counts(&self) -> &BTreeMap<MacAddr, usize> {
+        &self.seen
+    }
+
+    /// Total number of windows folded in.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Reassembles statistics from their parts — the snapshot-restore
+    /// path. Counterpart of the accessors above.
+    pub fn from_parts(
+        observed: BTreeSet<MacAddr>,
+        co: BTreeSet<(MacAddr, MacAddr)>,
+        seen: BTreeMap<MacAddr, usize>,
+        windows: usize,
+    ) -> Self {
+        ObservationStats {
+            observed,
+            co,
+            seen,
+            windows,
+        }
+    }
+}
+
 /// The AP-Rad localizer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApRad {
@@ -104,32 +212,41 @@ impl ApRad {
         observations: &[BTreeSet<MacAddr>],
         min_radii: &BTreeMap<MacAddr, f64>,
     ) -> BTreeMap<MacAddr, f64> {
-        // Variables: APs that are both observed and located.
-        let mut observed: BTreeSet<MacAddr> = BTreeSet::new();
+        let mut stats = ObservationStats::new();
         for obs in observations {
-            for mac in obs {
-                if locations.contains_key(mac) {
-                    observed.insert(*mac);
-                }
-            }
+            stats.ingest(obs, locations, self.min_observations_for_negative);
         }
-        let vars: Vec<MacAddr> = observed.iter().copied().collect();
+        self.solve_from_stats(locations, &stats, min_radii)
+    }
+
+    /// Solves the AP-Rad linear program from pre-aggregated
+    /// [`ObservationStats`] instead of raw observation windows.
+    ///
+    /// This is the batch path's actual solver —
+    /// [`estimate_radii_with_bounds`](Self::estimate_radii_with_bounds)
+    /// is a thin wrapper that folds its windows into stats first — and
+    /// the streaming engine's re-solve entry point. `stats` must have
+    /// been built against the same `locations` map (its `ingest` filter
+    /// is what keeps unlocated APs out of the program).
+    pub fn solve_from_stats(
+        &self,
+        locations: &BTreeMap<MacAddr, Point>,
+        stats: &ObservationStats,
+        min_radii: &BTreeMap<MacAddr, f64>,
+    ) -> BTreeMap<MacAddr, f64> {
+        // Variables: APs that are both observed and located, ascending.
+        let vars: Vec<MacAddr> = stats.observed.iter().copied().collect();
         if vars.is_empty() {
             return BTreeMap::new();
         }
         let index: BTreeMap<MacAddr, usize> =
             vars.iter().enumerate().map(|(i, m)| (*m, i)).collect();
 
-        // Co-observed pairs.
-        let mut co: BTreeSet<(usize, usize)> = BTreeSet::new();
-        for obs in observations {
-            let present: Vec<usize> = obs.iter().filter_map(|m| index.get(m).copied()).collect();
-            for (a, &i) in present.iter().enumerate() {
-                for &j in &present[a + 1..] {
-                    co.insert((i.min(j), i.max(j)));
-                }
-            }
-        }
+        // Co-observed pairs, as index pairs. The MAC pairs are already
+        // canonical (min, max) and `index` is monotone over MACs, so
+        // the index pairs come out canonical too.
+        let co: BTreeSet<(usize, usize)> =
+            stats.co.iter().map(|(a, b)| (index[a], index[b])).collect();
 
         // Intern positions once: the pair enumeration and LP verification
         // below hit distances millions of times on a dense campus, and a
@@ -163,14 +280,10 @@ impl ApRad {
         // is certainly wrong (the estimated pair distance is too small)
         // and is discarded.
         // How often each AP was seen at all — the negative-evidence gate.
-        let mut seen_count = vec![0usize; vars.len()];
-        for obs in observations {
-            for mac in obs {
-                if let Some(&i) = index.get(mac) {
-                    seen_count[i] += 1;
-                }
-            }
-        }
+        let seen_count: Vec<usize> = vars
+            .iter()
+            .map(|m| stats.seen.get(m).copied().unwrap_or(0))
+            .collect();
 
         // Every gate is symmetric in (i, j), so both enumeration
         // strategies can share it.
@@ -336,6 +449,103 @@ impl ApRad {
             })
             .collect();
         self.mloc.locate(&discs)
+    }
+}
+
+/// Incremental AP-Rad: fold observation windows in one at a time,
+/// re-solving the linear program only when the fold actually changed
+/// the constraint set.
+///
+/// The dirty test is exact, not heuristic: the LP reads the
+/// observation history *only* through [`ObservationStats`]'s three
+/// aggregates, and [`ObservationStats::ingest`] reports precisely when
+/// one of them changed in a way the program can see. When `observe`
+/// returns `false`, the cached radii are still bit-identical to what a
+/// fresh batch solve over the full history would produce — the
+/// streaming engine's incremental-update guarantee rests on this.
+#[derive(Debug, Clone)]
+pub struct ApRadSolver {
+    aprad: ApRad,
+    locations: BTreeMap<MacAddr, Point>,
+    min_radii: BTreeMap<MacAddr, f64>,
+    stats: ObservationStats,
+    /// `Some` iff the cached solution matches `stats`.
+    cached: Option<BTreeMap<MacAddr, f64>>,
+}
+
+impl ApRadSolver {
+    /// A solver over fixed AP knowledge. `min_radii` are the
+    /// training-implied lower bounds (empty outside the no-knowledge
+    /// level).
+    pub fn new(
+        aprad: ApRad,
+        locations: BTreeMap<MacAddr, Point>,
+        min_radii: BTreeMap<MacAddr, f64>,
+    ) -> Self {
+        ApRadSolver {
+            aprad,
+            locations,
+            min_radii,
+            stats: ObservationStats::new(),
+            cached: None,
+        }
+    }
+
+    /// Folds one closed observation window into the solver's history.
+    ///
+    /// Returns `true` when the window dirtied the LP (cached radii
+    /// invalidated), `false` when the cached solution provably still
+    /// holds.
+    pub fn observe(&mut self, gamma: &BTreeSet<MacAddr>) -> bool {
+        let dirty = self.stats.ingest(
+            gamma,
+            &self.locations,
+            self.aprad.min_observations_for_negative,
+        );
+        if dirty {
+            self.cached = None;
+        }
+        dirty
+    }
+
+    /// `true` when the next [`radii`](Self::radii) call must re-solve.
+    pub fn is_dirty(&self) -> bool {
+        self.cached.is_none()
+    }
+
+    /// The current radii estimate, re-solving the LP if any window
+    /// since the last solve dirtied the constraint set.
+    ///
+    /// Bit-identical to
+    /// [`ApRad::estimate_radii_with_bounds`] over the same window
+    /// history, regardless of how the observes and solves interleaved.
+    pub fn radii(&mut self) -> &BTreeMap<MacAddr, f64> {
+        if self.cached.is_none() {
+            self.cached = Some(self.aprad.solve_from_stats(
+                &self.locations,
+                &self.stats,
+                &self.min_radii,
+            ));
+        }
+        self.cached.as_ref().expect("just filled")
+    }
+
+    /// The accumulated observation statistics.
+    pub fn stats(&self) -> &ObservationStats {
+        &self.stats
+    }
+
+    /// The cached solution, if the solver is currently clean.
+    pub fn cached_radii(&self) -> Option<&BTreeMap<MacAddr, f64>> {
+        self.cached.as_ref()
+    }
+
+    /// Replaces the solver's history and cache — the snapshot-restore
+    /// path. `cached` must be the solution for `stats` (or `None` to
+    /// force a re-solve on the next [`radii`](Self::radii) call).
+    pub fn restore(&mut self, stats: ObservationStats, cached: Option<BTreeMap<MacAddr, f64>>) {
+        self.stats = stats;
+        self.cached = cached;
     }
 }
 
@@ -556,6 +766,117 @@ mod tests {
                     "radius diverged for {mac} at max_radius {max_radius}: {rf} vs {rg}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn incremental_solver_matches_batch_bit_for_bit() {
+        let world = World::grid(4, 60.0, 80.0);
+        let mut observations = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let p = Point::new(i as f64 * 22.0, j as f64 * 22.0);
+                let obs = world.observe(p);
+                if !obs.is_empty() {
+                    observations.push(obs);
+                }
+            }
+        }
+        let aprad = ApRad {
+            max_radius: 300.0,
+            ..ApRad::default()
+        };
+        let batch = aprad.estimate_radii(&world.locations, &observations);
+        // Fold the windows in one at a time, solving at arbitrary
+        // points along the way; the final answer must equal the batch.
+        let mut solver = ApRadSolver::new(aprad, world.locations.clone(), BTreeMap::new());
+        for (k, obs) in observations.iter().enumerate() {
+            solver.observe(obs);
+            if k % 7 == 0 {
+                let _ = solver.radii(); // interleaved solves must not perturb the result
+            }
+        }
+        let live = solver.radii().clone();
+        assert_eq!(live.len(), batch.len());
+        for (mac, rb) in &batch {
+            assert_eq!(
+                rb.to_bits(),
+                live[mac].to_bits(),
+                "incremental radius diverged for {mac}"
+            );
+        }
+        assert_eq!(solver.stats().windows(), observations.len());
+    }
+
+    #[test]
+    fn clean_observes_skip_the_resolve() {
+        let world = World::grid(3, 60.0, 80.0);
+        let gamma = world.observe(Point::new(60.0, 60.0));
+        assert!(gamma.len() >= 2);
+        let aprad = ApRad {
+            max_radius: 300.0,
+            min_observations_for_negative: 3,
+            ..ApRad::default()
+        };
+        let threshold = aprad.min_observations_for_negative;
+        let mut solver = ApRadSolver::new(aprad, world.locations.clone(), BTreeMap::new());
+        // First fold: new APs + new co-pairs → dirty.
+        assert!(solver.observe(&gamma));
+        let _ = solver.radii();
+        assert!(!solver.is_dirty());
+        // Second fold of the identical window only bumps seen-counts
+        // (1 → 2, below the threshold of 3) → provably clean.
+        assert!(!solver.observe(&gamma));
+        assert!(!solver.is_dirty(), "clean observe must keep the cache");
+        // Third fold crosses the negative-evidence threshold → dirty.
+        assert!(solver.observe(&gamma));
+        assert!(solver.is_dirty());
+        // Fourth fold: counts 3 → 4 change nothing the LP can see.
+        let _ = solver.radii();
+        assert!(!solver.observe(&gamma));
+        // And the cached result still matches a batch solve over the
+        // same four windows exactly.
+        let windows = vec![gamma.clone(); 4];
+        let batch = ApRad {
+            max_radius: 300.0,
+            min_observations_for_negative: threshold,
+            ..ApRad::default()
+        }
+        .estimate_radii(&world.locations, &windows);
+        for (mac, rb) in &batch {
+            assert_eq!(rb.to_bits(), solver.radii()[mac].to_bits());
+        }
+    }
+
+    #[test]
+    fn solver_restore_round_trips() {
+        let world = World::grid(3, 60.0, 80.0);
+        let g1 = world.observe(Point::new(30.0, 30.0));
+        let g2 = world.observe(Point::new(90.0, 60.0));
+        let aprad = ApRad {
+            max_radius: 300.0,
+            ..ApRad::default()
+        };
+        let mut solver = ApRadSolver::new(aprad.clone(), world.locations.clone(), BTreeMap::new());
+        solver.observe(&g1);
+        solver.observe(&g2);
+        let radii = solver.radii().clone();
+        // Tear the state apart through the accessors and rebuild — the
+        // snapshot path — then continue with more windows on both.
+        let stats = ObservationStats::from_parts(
+            solver.stats().observed().clone(),
+            solver.stats().co_pairs().clone(),
+            solver.stats().seen_counts().clone(),
+            solver.stats().windows(),
+        );
+        let mut restored = ApRadSolver::new(aprad, world.locations.clone(), BTreeMap::new());
+        restored.restore(stats, Some(radii));
+        assert!(!restored.is_dirty());
+        let g3 = world.observe(Point::new(120.0, 120.0));
+        solver.observe(&g3);
+        restored.observe(&g3);
+        for (mac, r) in solver.radii().clone() {
+            assert_eq!(r.to_bits(), restored.radii()[&mac].to_bits());
         }
     }
 

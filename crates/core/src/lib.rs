@@ -48,7 +48,9 @@ pub mod report;
 pub mod theory;
 pub mod tracker;
 
-pub use algorithms::{ApLoc, ApRad, Centroid, CoverageDisc, Estimate, MLoc, NearestAp};
+pub use algorithms::{
+    ApLoc, ApRad, ApRadSolver, Centroid, CoverageDisc, Estimate, MLoc, NearestAp, ObservationStats,
+};
 pub use apdb::{ApDatabase, ApRecord};
 pub use eval::{bucket_by_min_aps, ErrorStats, EvalOutcome};
 pub use pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap, TrackFix};

@@ -5,12 +5,12 @@
 //! sniffer's capture database, fills any missing radii with AP-Rad's LP
 //! estimates, and then locates or tracks any mobile the sniffer saw.
 
-use crate::algorithms::{ApLoc, ApRad, CoverageDisc, Estimate, MLoc};
+use crate::algorithms::{ApLoc, ApRad, ApRadSolver, CoverageDisc, Estimate, MLoc};
 use crate::apdb::ApDatabase;
 use marauder_geo::Point;
 use marauder_sim::wardrive::TrainingTuple;
 use marauder_wifi::mac::MacAddr;
-use marauder_wifi::sniffer::CaptureDatabase;
+use marauder_wifi::sniffer::{CaptureDatabase, ObservationSet};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// What the attacker knows about the APs beforehand.
@@ -29,6 +29,13 @@ pub enum KnowledgeLevel {
 pub struct AttackConfig {
     /// Window length for grouping probe responses into observation sets,
     /// seconds.
+    ///
+    /// Windows are half-open, per
+    /// [`marauder_wifi::sniffer::window_index`]: window `k` covers
+    /// `[k·window_s, (k+1)·window_s)`, and a frame at exactly the
+    /// boundary instant belongs to the *next* window. Both the batch
+    /// pipeline and the streaming engine (`marauder-stream`) share this
+    /// convention through that function.
     pub window_s: f64,
     /// The M-Loc instance used for final localization.
     pub mloc: MLoc,
@@ -183,6 +190,46 @@ impl MaraudersMap {
         self.knowledge
     }
 
+    /// The pipeline configuration in use.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Replaces the AP radii with an externally computed estimate and
+    /// re-interns the coverage discs — the streaming engine's
+    /// incremental-update entry point (it owns an [`ApRadSolver`] and
+    /// pushes refreshed solutions here as windows close).
+    ///
+    /// # Panics
+    ///
+    /// Panics at the [`Full`](KnowledgeLevel::Full) level, where radii
+    /// are part of the a-priori knowledge and must never be estimated
+    /// over.
+    pub fn apply_radii(&mut self, radii: BTreeMap<MacAddr, f64>) {
+        assert!(
+            self.knowledge != KnowledgeLevel::Full,
+            "Full-knowledge radii are ground truth; refusing to overwrite"
+        );
+        self.radii = radii;
+        self.rebuild_interned();
+    }
+
+    /// An incremental AP-Rad solver over this map's knowledge
+    /// (locations, training bounds, LP configuration), starting from an
+    /// empty observation history.
+    ///
+    /// Returns `None` at the [`Full`](KnowledgeLevel::Full) level —
+    /// radii are known there, nothing is ever solved for.
+    pub fn radius_solver(&self) -> Option<ApRadSolver> {
+        (self.knowledge != KnowledgeLevel::Full).then(|| {
+            ApRadSolver::new(
+                self.config.aprad.clone(),
+                self.locations.clone(),
+                self.min_radii.clone(),
+            )
+        })
+    }
+
     /// The AP locations in use (trained or known).
     pub fn ap_locations(&self) -> &BTreeMap<MacAddr, Point> {
         &self.locations
@@ -232,40 +279,17 @@ impl MaraudersMap {
         self.config.mloc.locate(&discs)
     }
 
-    /// Tracks one mobile across the capture: one fix per observation
-    /// window in which it was seen.
+    /// Localizes a batch of observation windows with the map's current
+    /// knowledge: one [`TrackFix`] per locatable window, in input
+    /// order, unlocatable windows dropped.
     ///
-    /// Localization of the windows runs in parallel (see
-    /// [`marauder_par`]); the fix order — and every estimate — is
-    /// identical for any worker count.
-    pub fn track(&self, captures: &CaptureDatabase, mobile: MacAddr) -> Vec<TrackFix> {
-        let obs: Vec<_> = captures
-            .observation_sets(self.config.window_s)
-            .into_iter()
-            .filter(|o| o.mobile == mobile)
-            .collect();
-        let estimates = marauder_par::par_map(&obs, |o| self.locate(&o.aps));
-        obs.into_iter()
-            .zip(estimates)
-            .filter_map(|(o, estimate)| {
-                Some(TrackFix {
-                    time_s: o.window_start_s,
-                    mobile,
-                    gamma: o.aps,
-                    estimate: estimate?,
-                })
-            })
-            .collect()
-    }
-
-    /// Tracks every mobile in the capture — the full Marauder's-Map
-    /// display (paper Fig. 7).
-    ///
-    /// The per-window localizations are independent, so they fan out
-    /// across worker threads; results are concatenated in window order
-    /// and are bit-identical to a sequential run.
-    pub fn track_all(&self, captures: &CaptureDatabase) -> Vec<TrackFix> {
-        let obs = captures.observation_sets(self.config.window_s);
+    /// This is the single localization path shared by
+    /// [`track`](Self::track), [`track_all`](Self::track_all) and the
+    /// streaming engine's replay — batch-vs-stream byte equivalence
+    /// holds because both sides funnel through here. The windows fan
+    /// out across worker threads (see [`marauder_par`]); the output is
+    /// bit-identical for any worker count.
+    pub fn localize_windows(&self, obs: Vec<ObservationSet>) -> Vec<TrackFix> {
         let estimates = marauder_par::par_map(&obs, |o| self.locate(&o.aps));
         obs.into_iter()
             .zip(estimates)
@@ -278,6 +302,32 @@ impl MaraudersMap {
                 })
             })
             .collect()
+    }
+
+    /// Tracks one mobile across the capture: one fix per observation
+    /// window in which it was seen.
+    ///
+    /// Localization of the windows runs in parallel (see
+    /// [`marauder_par`]); the fix order — and every estimate — is
+    /// identical for any worker count.
+    pub fn track(&self, captures: &CaptureDatabase, mobile: MacAddr) -> Vec<TrackFix> {
+        let obs: Vec<_> = captures
+            .observation_sets(self.config.window_s)
+            .into_iter()
+            .filter(|o| o.mobile == mobile)
+            .collect();
+        self.localize_windows(obs)
+    }
+
+    /// Tracks every mobile in the capture — the full Marauder's-Map
+    /// display (paper Fig. 7).
+    ///
+    /// Fixes come out sorted by `(mobile, window)` — the order
+    /// [`CaptureDatabase::observation_sets`] groups in. The per-window
+    /// localizations are independent, so they fan out across worker
+    /// threads; results are bit-identical to a sequential run.
+    pub fn track_all(&self, captures: &CaptureDatabase) -> Vec<TrackFix> {
+        self.localize_windows(captures.observation_sets(self.config.window_s))
     }
 }
 
@@ -433,6 +483,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn radius_solver_reproduces_ingest_radii() {
+        let (result, _) = scenario_with_victim();
+        let db =
+            ApDatabase::from_access_points(&result.aps, result.environment_margin).without_radii();
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default());
+        map.ingest(&result.captures);
+        // Fold the same windows through the incremental solver — the
+        // radii must come out bit-identical to the batch ingest.
+        let mut solver = map.radius_solver().expect("LocationsOnly has a solver");
+        for o in result.captures.observation_sets(map.config().window_s) {
+            solver.observe(&o.aps);
+        }
+        let live = solver.radii().clone();
+        assert_eq!(live.len(), map.ap_radii().len());
+        for (mac, r) in map.ap_radii() {
+            assert_eq!(
+                r.to_bits(),
+                live[mac].to_bits(),
+                "radius diverged for {mac}"
+            );
+        }
+        // apply_radii is idempotent with the batch estimate.
+        let before = map.ap_radii().clone();
+        map.apply_radii(live);
+        assert_eq!(&before, map.ap_radii());
+    }
+
+    #[test]
+    fn full_knowledge_has_no_radius_solver() {
+        let (result, _) = scenario_with_victim();
+        let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+        let map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+        assert!(map.radius_solver().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to overwrite")]
+    fn apply_radii_refuses_full_knowledge() {
+        let (result, _) = scenario_with_victim();
+        let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+        map.apply_radii(BTreeMap::new());
     }
 
     #[test]

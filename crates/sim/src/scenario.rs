@@ -17,7 +17,7 @@ use marauder_wifi::channel::CampusChannelMix;
 use marauder_wifi::device::{AccessPoint, MobileStation, OsProfile, ScanBehavior};
 use marauder_wifi::frame::Frame;
 use marauder_wifi::mac::MacAddr;
-use marauder_wifi::sniffer::{CaptureDatabase, Sniffer, SnifferCard};
+use marauder_wifi::sniffer::{CaptureDatabase, CapturedFrame, Sniffer, SnifferCard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -157,6 +157,20 @@ impl CampusScenario {
 
     /// Runs the scenario, returning captures and ground truth.
     pub fn run(&self) -> SimulationResult {
+        self.run_with(|_| {})
+    }
+
+    /// Runs the scenario, invoking `on_frame` on every frame the
+    /// sniffer decodes, at the moment it is decoded — the live
+    /// frame-source adapter for the streaming engine
+    /// (`marauder-stream`), which tracks in real time instead of
+    /// post-processing the returned database.
+    ///
+    /// The callback sees exactly the frames that end up in
+    /// [`SimulationResult::captures`], in the same order, so feeding
+    /// them to a stream consumer is equivalent to iterating the
+    /// database afterwards.
+    pub fn run_with(&self, mut on_frame: impl FnMut(&CapturedFrame)) -> SimulationResult {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut aps =
             self.deployment
@@ -334,6 +348,7 @@ impl CampusScenario {
                         world_model.as_ref(),
                         &mut rng,
                     ) {
+                        on_frame(&rec);
                         captures.push(rec);
                     }
                     if directed {
@@ -352,6 +367,7 @@ impl CampusScenario {
                                 world_model.as_ref(),
                                 &mut rng,
                             ) {
+                                on_frame(&rec);
                                 captures.push(rec);
                             }
                         }
@@ -372,6 +388,7 @@ impl CampusScenario {
                             world_model.as_ref(),
                             &mut rng,
                         ) {
+                            on_frame(&rec);
                             captures.push(rec);
                         }
                     }
@@ -422,6 +439,7 @@ impl CampusScenario {
                                     world_model.as_ref(),
                                     &mut rng,
                                 ) {
+                                    on_frame(&rec);
                                     captures.push(rec);
                                 }
                             }
@@ -449,6 +467,7 @@ impl CampusScenario {
                         world_model.as_ref(),
                         &mut rng,
                     ) {
+                        on_frame(&rec);
                         captures.push(rec);
                     }
                     let period = self.beacon_period_s.expect("beacon event implies period");
@@ -625,6 +644,17 @@ mod tests {
         assert!(!result.ground_truth.is_empty());
         // Probing mobiles appear in the capture database.
         assert!(!result.captures.probing_mobiles().is_empty());
+    }
+
+    #[test]
+    fn run_with_streams_exactly_the_captured_frames() {
+        let scenario = quick().num_mobiles(3).build();
+        let mut streamed: Vec<CapturedFrame> = Vec::new();
+        let result = scenario.run_with(|f| streamed.push(f.clone()));
+        assert_eq!(streamed.len(), result.captures.len());
+        for (live, stored) in streamed.iter().zip(result.captures.iter()) {
+            assert_eq!(live, stored, "live feed must mirror the database");
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Capture replay: drive the engine from stored frames and recover the
+//! batch-equivalent fix list.
+
+use crate::engine::{ClosedWindow, StreamConfig, StreamEngine, StreamStats};
+use marauder_core::pipeline::{MaraudersMap, TrackFix};
+use marauder_wifi::sniffer::{CaptureDatabase, CapturedFrame};
+
+/// Streams `frames` through a fresh engine and returns the
+/// batch-equivalent fixes plus the ingestion counters.
+///
+/// The fixes are byte-identical to [`MaraudersMap::track_all`] over
+/// the same frames, provided the stream lost nothing (check
+/// `stats.frames_late` and `stats.windows_evicted` — both stay zero
+/// for any capture whose timestamp inversions fit inside
+/// [`StreamConfig::allowed_lag_s`]).
+pub fn replay_frames<'a>(
+    map: MaraudersMap,
+    config: StreamConfig,
+    frames: impl IntoIterator<Item = &'a CapturedFrame>,
+) -> (Vec<TrackFix>, StreamStats) {
+    let mut engine = StreamEngine::new(map, config);
+    let mut closed: Vec<ClosedWindow> = Vec::new();
+    for frame in frames {
+        closed.extend(engine.push(frame));
+    }
+    closed.extend(engine.finish());
+    let fixes = engine.batch_fixes(closed);
+    (fixes, engine.stats().clone())
+}
+
+/// [`replay_frames`] over a whole capture database, in stored order.
+pub fn replay_database(
+    map: MaraudersMap,
+    config: StreamConfig,
+    captures: &CaptureDatabase,
+) -> (Vec<TrackFix>, StreamStats) {
+    replay_frames(map, config, captures.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_core::apdb::{ApDatabase, ApRecord};
+    use marauder_core::pipeline::{AttackConfig, KnowledgeLevel};
+    use marauder_geo::Point;
+    use marauder_wifi::channel::Channel;
+    use marauder_wifi::frame::Frame;
+    use marauder_wifi::mac::MacAddr;
+    use marauder_wifi::ssid::Ssid;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn map(level: KnowledgeLevel) -> MaraudersMap {
+        let db: ApDatabase = (0..6)
+            .map(|i| ApRecord {
+                bssid: mac(100 + i),
+                ssid: None,
+                location: Point::new((i % 3) as f64 * 90.0, (i / 3) as f64 * 90.0),
+                radius: (level == KnowledgeLevel::Full).then_some(130.0),
+            })
+            .collect();
+        MaraudersMap::new(db, level, AttackConfig::default())
+    }
+
+    fn synthetic_capture() -> CaptureDatabase {
+        // Two mobiles wander for ten windows; responses arrive with
+        // small timestamp inversions like a real rig produces.
+        let mut db = CaptureDatabase::new();
+        for k in 0..60u64 {
+            let t = k as f64 * 5.0;
+            let mobile = 1 + k % 2;
+            for ap in [100 + k % 6, 100 + (k + 1) % 6] {
+                db.push(CapturedFrame {
+                    time_s: t + 0.01 * (ap - 99) as f64,
+                    card: 0,
+                    frame: Frame::probe_response(
+                        mac(ap),
+                        mac(mobile),
+                        Ssid::new("n").unwrap(),
+                        Channel::bg(6).unwrap(),
+                    ),
+                });
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn replay_is_byte_identical_to_track_all() {
+        for level in [KnowledgeLevel::Full, KnowledgeLevel::LocationsOnly] {
+            let captures = synthetic_capture();
+            let mut batch_map = map(level);
+            batch_map.ingest(&captures);
+            let batch = batch_map.track_all(&captures);
+            assert!(!batch.is_empty(), "{level:?}: scenario must produce fixes");
+
+            let (streamed, stats) = replay_database(map(level), StreamConfig::default(), &captures);
+            assert_eq!(stats.frames_late, 0);
+            assert_eq!(stats.windows_evicted, 0);
+            assert_eq!(streamed.len(), batch.len(), "{level:?}: fix count");
+            for (s, b) in streamed.iter().zip(&batch) {
+                assert_eq!(s.time_s.to_bits(), b.time_s.to_bits());
+                assert_eq!(s.mobile, b.mobile);
+                assert_eq!(s.gamma, b.gamma);
+                assert_eq!(
+                    s.estimate.position.x.to_bits(),
+                    b.estimate.position.x.to_bits()
+                );
+                assert_eq!(
+                    s.estimate.position.y.to_bits(),
+                    b.estimate.position.y.to_bits()
+                );
+                assert_eq!(s.estimate.k, b.estimate.k);
+                assert_eq!(s.estimate.area().to_bits(), b.estimate.area().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_solver_skips_most_windows() {
+        let captures = synthetic_capture();
+        let (_, stats) = replay_database(
+            map(KnowledgeLevel::LocationsOnly),
+            StreamConfig::default(),
+            &captures,
+        );
+        assert!(stats.windows_closed > 10);
+        assert!(
+            stats.lp_solves < stats.windows_closed,
+            "dirty tracking never skipped a solve: {} solves for {} windows",
+            stats.lp_solves,
+            stats.windows_closed
+        );
+    }
+}

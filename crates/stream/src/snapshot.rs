@@ -1,0 +1,507 @@
+//! Engine state snapshot/restore.
+//!
+//! A snapshot is a line-oriented text document capturing everything the
+//! engine accumulated from the stream: the open window table, the
+//! watermark and no-reopen cursor, the ingestion counters, and the
+//! incremental solver's observation statistics plus its cached radii.
+//! It does **not** carry the AP knowledge itself — that is the
+//! attacker's static asset; [`StreamEngine::restore`] takes the same
+//! [`MaraudersMap`] the original engine was built from.
+//!
+//! Every `f64` is serialized as the 16-hex-digit big-endian form of its
+//! IEEE-754 bits, so a snapshot → restore round trip is bit-exact and
+//! the resumed engine's output is byte-identical to an uninterrupted
+//! run.
+
+use crate::engine::{StreamConfig, StreamEngine, StreamStats};
+use marauder_core::pipeline::MaraudersMap;
+use marauder_core::ObservationStats;
+use marauder_wifi::mac::MacAddr;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Magic first line of the snapshot format.
+pub const HEADER: &str = "# marauder stream snapshot v1";
+
+/// Error returned when restoring from a malformed snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    line: usize,
+    reason: String,
+}
+
+impl SnapshotError {
+    fn new(line: usize, reason: impl Into<String>) -> Self {
+        SnapshotError {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// The 1-based line number of the first malformed line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of what was wrong.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream snapshot parse error on line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn unhex(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bits {s:?}: {e}"))
+}
+
+fn parse_mac(s: &str) -> Result<MacAddr, String> {
+    s.parse().map_err(|_| format!("bad MAC {s:?}"))
+}
+
+impl StreamEngine {
+    /// Serializes the engine's mutable state to the snapshot format.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("window_s {}\n", hex(self.window_s)));
+        out.push_str(&format!(
+            "allowed_lag_s {}\n",
+            hex(self.config.allowed_lag_s)
+        ));
+        out.push_str(&format!(
+            "max_open_windows {}\n",
+            self.config.max_open_windows
+        ));
+        match self.watermark {
+            Some(mark) => out.push_str(&format!("watermark {}\n", hex(mark))),
+            None => out.push_str("watermark none\n"),
+        }
+        match self.closed_before {
+            Some(cb) => out.push_str(&format!("closed_before {cb}\n")),
+            None => out.push_str("closed_before none\n"),
+        }
+        let s = &self.stats;
+        out.push_str(&format!(
+            "frames {} {} {}\n",
+            s.frames_total, s.frames_relevant, s.frames_late
+        ));
+        out.push_str(&format!(
+            "windows {} {}\n",
+            s.windows_closed, s.windows_evicted
+        ));
+        out.push_str(&format!("lp_solves {}\n", s.lp_solves));
+        for ((w, mobile), gamma) in &self.open {
+            let macs: Vec<String> = gamma.iter().map(|m| m.to_string()).collect();
+            out.push_str(&format!("open {w} {mobile} {}\n", macs.join(",")));
+        }
+        if let Some(solver) = &self.solver {
+            let stats = solver.stats();
+            for m in stats.observed() {
+                out.push_str(&format!("obs {m}\n"));
+            }
+            for (a, b) in stats.co_pairs() {
+                out.push_str(&format!("co {a} {b}\n"));
+            }
+            for (m, n) in stats.seen_counts() {
+                out.push_str(&format!("seen {m} {n}\n"));
+            }
+            out.push_str(&format!("stat_windows {}\n", stats.windows()));
+            if let Some(radii) = solver.cached_radii() {
+                for (m, r) in radii {
+                    out.push_str(&format!("radius {m} {}\n", hex(*r)));
+                }
+                out.push_str("cached 1\n");
+            } else {
+                out.push_str("cached 0\n");
+            }
+        }
+        out
+    }
+
+    /// Rebuilds an engine from `map` (the same AP knowledge the
+    /// snapshotted engine was built from) and a snapshot produced by
+    /// [`snapshot`](Self::snapshot). Resuming ingestion from the
+    /// snapshotted position yields output byte-identical to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on a malformed document, or when the
+    /// snapshot's `window_s` does not match `map`'s (the windowing of
+    /// the two engines would disagree).
+    pub fn restore(map: MaraudersMap, text: &str) -> Result<StreamEngine, SnapshotError> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+        match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => {}
+            _ => return Err(SnapshotError::new(1, format!("missing header {HEADER:?}"))),
+        }
+
+        let mut window_s = None;
+        let mut allowed_lag_s = None;
+        let mut max_open_windows = None;
+        let mut watermark = None;
+        let mut closed_before = None;
+        let mut stats = StreamStats::default();
+        let mut open: BTreeMap<(i64, MacAddr), BTreeSet<MacAddr>> = BTreeMap::new();
+        let mut observed: BTreeSet<MacAddr> = BTreeSet::new();
+        let mut co: BTreeSet<(MacAddr, MacAddr)> = BTreeSet::new();
+        let mut seen: BTreeMap<MacAddr, usize> = BTreeMap::new();
+        let mut stat_windows = 0usize;
+        let mut radii: BTreeMap<MacAddr, f64> = BTreeMap::new();
+        let mut cached = false;
+        let mut has_solver_lines = false;
+
+        for (no, line) in lines {
+            let fail = |reason: String| SnapshotError::new(no, reason);
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let args = &fields[1..];
+            let expect = |n: usize| -> Result<(), SnapshotError> {
+                if args.len() == n {
+                    Ok(())
+                } else {
+                    Err(SnapshotError::new(
+                        no,
+                        format!("{} takes {n} fields, got {}", fields[0], args.len()),
+                    ))
+                }
+            };
+            match fields[0] {
+                "window_s" => {
+                    expect(1)?;
+                    window_s = Some(unhex(args[0]).map_err(fail)?);
+                }
+                "allowed_lag_s" => {
+                    expect(1)?;
+                    allowed_lag_s = Some(unhex(args[0]).map_err(fail)?);
+                }
+                "max_open_windows" => {
+                    expect(1)?;
+                    max_open_windows =
+                        Some(args[0].parse::<usize>().map_err(|e| fail(e.to_string()))?);
+                }
+                "watermark" => {
+                    expect(1)?;
+                    if args[0] != "none" {
+                        watermark = Some(unhex(args[0]).map_err(fail)?);
+                    }
+                }
+                "closed_before" => {
+                    expect(1)?;
+                    if args[0] != "none" {
+                        closed_before =
+                            Some(args[0].parse::<i64>().map_err(|e| fail(e.to_string()))?);
+                    }
+                }
+                "frames" => {
+                    expect(3)?;
+                    stats.frames_total = args[0]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                    stats.frames_relevant = args[1]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                    stats.frames_late = args[2]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                }
+                "windows" => {
+                    expect(2)?;
+                    stats.windows_closed = args[0]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                    stats.windows_evicted = args[1]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                }
+                "lp_solves" => {
+                    expect(1)?;
+                    stats.lp_solves = args[0]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                }
+                "open" => {
+                    expect(3)?;
+                    let w = args[0].parse::<i64>().map_err(|e| fail(e.to_string()))?;
+                    let mobile = parse_mac(args[1]).map_err(fail)?;
+                    let gamma: BTreeSet<MacAddr> = args[2]
+                        .split(',')
+                        .map(|m| parse_mac(m).map_err(&fail))
+                        .collect::<Result<_, _>>()?;
+                    if gamma.is_empty() {
+                        return Err(fail("open window with empty gamma".into()));
+                    }
+                    open.insert((w, mobile), gamma);
+                }
+                "obs" => {
+                    expect(1)?;
+                    has_solver_lines = true;
+                    observed.insert(parse_mac(args[0]).map_err(fail)?);
+                }
+                "co" => {
+                    expect(2)?;
+                    has_solver_lines = true;
+                    let a = parse_mac(args[0]).map_err(&fail)?;
+                    let b = parse_mac(args[1]).map_err(&fail)?;
+                    co.insert((a, b));
+                }
+                "seen" => {
+                    expect(2)?;
+                    has_solver_lines = true;
+                    let m = parse_mac(args[0]).map_err(&fail)?;
+                    let n = args[1].parse::<usize>().map_err(|e| fail(e.to_string()))?;
+                    seen.insert(m, n);
+                }
+                "stat_windows" => {
+                    expect(1)?;
+                    has_solver_lines = true;
+                    stat_windows = args[0]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                }
+                "radius" => {
+                    expect(2)?;
+                    has_solver_lines = true;
+                    let m = parse_mac(args[0]).map_err(&fail)?;
+                    radii.insert(m, unhex(args[1]).map_err(fail)?);
+                }
+                "cached" => {
+                    expect(1)?;
+                    has_solver_lines = true;
+                    cached = args[0] == "1";
+                }
+                other => return Err(fail(format!("unknown record {other:?}"))),
+            }
+        }
+
+        let window_s = window_s.ok_or_else(|| SnapshotError::new(1, "missing window_s"))?;
+        let allowed_lag_s =
+            allowed_lag_s.ok_or_else(|| SnapshotError::new(1, "missing allowed_lag_s"))?;
+        let max_open_windows =
+            max_open_windows.ok_or_else(|| SnapshotError::new(1, "missing max_open_windows"))?;
+        if window_s.to_bits() != map.config().window_s.to_bits() {
+            return Err(SnapshotError::new(
+                1,
+                format!(
+                    "snapshot window_s {} does not match the map's {}",
+                    window_s,
+                    map.config().window_s
+                ),
+            ));
+        }
+
+        let mut engine = StreamEngine::new(
+            map,
+            StreamConfig {
+                allowed_lag_s,
+                max_open_windows,
+            },
+        );
+        if let Some(solver) = engine.solver.as_mut() {
+            let stats = ObservationStats::from_parts(observed, co, seen, stat_windows);
+            let cache = cached.then(|| radii.clone());
+            solver.restore(stats, cache);
+            if cached {
+                // Bring the map's interned discs in line with the
+                // cached solution, exactly as the live path does.
+                engine.map.apply_radii(radii);
+            }
+        } else if has_solver_lines {
+            return Err(SnapshotError::new(
+                1,
+                "snapshot carries solver state but the map's knowledge level has no solver",
+            ));
+        }
+        engine.open = open;
+        engine.closed_before = closed_before;
+        engine.watermark = watermark;
+        engine.stats = stats;
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StreamConfig;
+    use marauder_core::apdb::{ApDatabase, ApRecord};
+    use marauder_core::pipeline::{AttackConfig, KnowledgeLevel};
+    use marauder_geo::Point;
+    use marauder_wifi::channel::Channel;
+    use marauder_wifi::frame::Frame;
+    use marauder_wifi::sniffer::CapturedFrame;
+    use marauder_wifi::ssid::Ssid;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn map(level: KnowledgeLevel) -> MaraudersMap {
+        let db: ApDatabase = [
+            (100u64, Point::new(0.0, 0.0)),
+            (101, Point::new(100.0, 0.0)),
+            (102, Point::new(50.0, 80.0)),
+        ]
+        .into_iter()
+        .map(|(i, p)| ApRecord {
+            bssid: mac(i),
+            ssid: None,
+            location: p,
+            radius: (level == KnowledgeLevel::Full).then_some(120.0),
+        })
+        .collect();
+        MaraudersMap::new(db, level, AttackConfig::default())
+    }
+
+    fn response(t: f64, ap: u64, mobile: u64) -> CapturedFrame {
+        CapturedFrame {
+            time_s: t,
+            card: 0,
+            frame: Frame::probe_response(
+                mac(ap),
+                mac(mobile),
+                Ssid::new("x").unwrap(),
+                Channel::bg(6).unwrap(),
+            ),
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_stream() {
+        for level in [KnowledgeLevel::Full, KnowledgeLevel::LocationsOnly] {
+            let frames: Vec<CapturedFrame> = (0..40)
+                .map(|k| response(k as f64 * 7.0, 100 + (k % 3) as u64, 1 + (k % 2) as u64))
+                .collect();
+            // Uninterrupted run.
+            let mut a = StreamEngine::new(map(level), StreamConfig::default());
+            let mut a_events = Vec::new();
+            for f in &frames {
+                a_events.extend(a.push(f));
+            }
+            a_events.extend(a.finish());
+
+            // Interrupted at frame 17: snapshot, drop, restore, resume.
+            let mut b = StreamEngine::new(map(level), StreamConfig::default());
+            let mut b_events = Vec::new();
+            for f in &frames[..17] {
+                b_events.extend(b.push(f));
+            }
+            let snap = b.snapshot();
+            drop(b);
+            let mut b = StreamEngine::restore(map(level), &snap).expect("own snapshot restores");
+            for f in &frames[17..] {
+                b_events.extend(b.push(f));
+            }
+            b_events.extend(b.finish());
+
+            assert_eq!(a.stats(), b.stats(), "{level:?}: counters diverged");
+            assert_eq!(a_events.len(), b_events.len());
+            for (x, y) in a_events.iter().zip(&b_events) {
+                assert_eq!(x.window, y.window);
+                assert_eq!(x.mobile, y.mobile);
+                assert_eq!(x.gamma, y.gamma);
+                assert_eq!(x.estimate.is_some(), y.estimate.is_some());
+                if let (Some(ex), Some(ey)) = (&x.estimate, &y.estimate) {
+                    assert_eq!(ex.position.x.to_bits(), ey.position.x.to_bits());
+                    assert_eq!(ex.position.y.to_bits(), ey.position.y.to_bits());
+                }
+            }
+            // The final batch-equivalent fixes agree too.
+            let fa = a.batch_fixes(a_events);
+            let fb = b.batch_fixes(b_events);
+            assert_eq!(fa.len(), fb.len());
+            for (x, y) in fa.iter().zip(&fb) {
+                assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+                assert_eq!(x.mobile, y.mobile);
+                assert_eq!(
+                    x.estimate.position.x.to_bits(),
+                    y.estimate.position.x.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_fresh_engine_restores_fresh() {
+        let engine = StreamEngine::new(map(KnowledgeLevel::LocationsOnly), StreamConfig::default());
+        let snap = engine.snapshot();
+        let restored = StreamEngine::restore(map(KnowledgeLevel::LocationsOnly), &snap).unwrap();
+        assert_eq!(restored.stats(), engine.stats());
+        assert_eq!(restored.open_windows(), 0);
+        assert_eq!(restored.watermark(), None);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let m = || map(KnowledgeLevel::Full);
+        assert_eq!(
+            StreamEngine::restore(m(), "not a snapshot")
+                .unwrap_err()
+                .line(),
+            1
+        );
+        let engine = StreamEngine::new(m(), StreamConfig::default());
+        let snap = engine.snapshot();
+        // Corrupt one line; the error names it (1-based).
+        let bad: String = snap
+            .lines()
+            .map(|l| {
+                if l.starts_with("watermark") {
+                    "watermark zz".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = StreamEngine::restore(m(), &bad).unwrap_err();
+        assert!(err.reason().contains("bad f64 bits"), "{}", err.reason());
+        assert_eq!(err.line(), 5);
+    }
+
+    #[test]
+    fn restore_rejects_window_mismatch() {
+        let engine = StreamEngine::new(map(KnowledgeLevel::Full), StreamConfig::default());
+        let snap = engine.snapshot();
+        // A map with a different window length must be rejected.
+        let db: ApDatabase = [(100u64, Point::new(0.0, 0.0))]
+            .into_iter()
+            .map(|(i, p)| ApRecord {
+                bssid: mac(i),
+                ssid: None,
+                location: p,
+                radius: Some(120.0),
+            })
+            .collect();
+        let other = MaraudersMap::new(
+            db,
+            KnowledgeLevel::Full,
+            AttackConfig {
+                window_s: 15.0,
+                ..AttackConfig::default()
+            },
+        );
+        let err = StreamEngine::restore(other, &snap).unwrap_err();
+        assert!(err.reason().contains("window_s"), "{}", err.reason());
+    }
+}

@@ -1,0 +1,142 @@
+//! Live-source integration: the engine fed directly from the running
+//! simulation (no capture database in between) must agree with the
+//! batch pipeline over the database the same run recorded.
+
+use marauder_core::apdb::ApDatabase;
+use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauder_geo::Point;
+use marauder_sim::mobility::CircuitWalk;
+use marauder_sim::scenario::CampusScenario;
+use marauder_stream::{replay_database, StreamConfig, StreamEngine};
+use marauder_wifi::device::{MobileStation, OsProfile};
+use marauder_wifi::mac::MacAddr;
+
+fn scenario() -> CampusScenario {
+    let victim = MobileStation::new(MacAddr::from_index(0xFACE), OsProfile::MacOs);
+    CampusScenario::builder()
+        .seed(11)
+        .num_aps(60)
+        .num_mobiles(4)
+        .duration_s(240.0)
+        .beacon_period_s(None)
+        .mobile(
+            victim,
+            Box::new(CircuitWalk::new(Point::ORIGIN, 120.0, 1.4)),
+        )
+        .build()
+}
+
+#[test]
+fn live_sim_feed_matches_batch_track_all() {
+    // Run the simulation once, feeding every decoded frame straight
+    // into a streaming engine while also recording the database.
+    let scen = scenario();
+    let mut probe = scen.run(); // to build the AP knowledge first
+    let db = ApDatabase::from_access_points(&probe.aps, probe.environment_margin);
+    let map = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, AttackConfig::default());
+
+    let mut engine = StreamEngine::new(map, StreamConfig::default());
+    let mut events = Vec::new();
+    probe = scen.run_with(|frame| {
+        events.extend(engine.push(frame));
+    });
+    events.extend(engine.finish());
+    assert_eq!(
+        engine.stats().frames_total,
+        probe.captures.len(),
+        "the live feed must see every decoded frame"
+    );
+    assert_eq!(engine.stats().frames_late, 0, "sim inversions fit the lag");
+    assert_eq!(engine.stats().windows_evicted, 0);
+
+    // Batch over the recorded database.
+    let mut batch_map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+    batch_map.ingest(&probe.captures);
+    let batch = batch_map.track_all(&probe.captures);
+    assert!(!batch.is_empty());
+
+    let live = engine.batch_fixes(events);
+    assert_eq!(live.len(), batch.len());
+    for (l, b) in live.iter().zip(&batch) {
+        assert_eq!(l.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(l.mobile, b.mobile);
+        assert_eq!(l.gamma, b.gamma);
+        assert_eq!(
+            l.estimate.position.x.to_bits(),
+            b.estimate.position.x.to_bits()
+        );
+        assert_eq!(
+            l.estimate.position.y.to_bits(),
+            b.estimate.position.y.to_bits()
+        );
+    }
+}
+
+#[test]
+fn full_knowledge_live_fixes_already_match_batch() {
+    // At the Full level radii never change, so the fixes emitted the
+    // moment each window closed — no end-of-stream re-localization —
+    // are themselves the batch fixes, just in chronological order.
+    let scen = scenario();
+    let result = scen.run();
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+    let map = MaraudersMap::new(db.clone(), KnowledgeLevel::Full, AttackConfig::default());
+
+    let mut engine = StreamEngine::new(map, StreamConfig::default());
+    let mut live = Vec::new();
+    for frame in result.captures.iter() {
+        live.extend(engine.push(frame));
+    }
+    live.extend(engine.finish());
+    let mut live: Vec<_> = live.into_iter().filter_map(|e| e.into_fix()).collect();
+    live.sort_by_key(|f| (f.mobile, f.time_s.to_bits()));
+
+    let mut batch_map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+    batch_map.ingest(&result.captures);
+    let batch = batch_map.track_all(&result.captures);
+
+    assert_eq!(live.len(), batch.len());
+    for (l, b) in live.iter().zip(&batch) {
+        assert_eq!(l.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(l.mobile, b.mobile);
+        assert_eq!(
+            l.estimate.position.x.to_bits(),
+            b.estimate.position.x.to_bits()
+        );
+    }
+}
+
+#[test]
+fn locations_only_replay_matches_batch_on_sim_capture() {
+    let result = scenario().run();
+    let db = ApDatabase::from_access_points(&result.aps, result.environment_margin).without_radii();
+    let mut batch_map = MaraudersMap::new(
+        db.clone(),
+        KnowledgeLevel::LocationsOnly,
+        AttackConfig::default(),
+    );
+    batch_map.ingest(&result.captures);
+    let batch = batch_map.track_all(&result.captures);
+    assert!(!batch.is_empty());
+
+    let map = MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default());
+    let (streamed, stats) = replay_database(map, StreamConfig::default(), &result.captures);
+    assert_eq!(stats.frames_late, 0);
+    assert_eq!(streamed.len(), batch.len());
+    for (s, b) in streamed.iter().zip(&batch) {
+        assert_eq!(s.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(s.mobile, b.mobile);
+        assert_eq!(s.gamma, b.gamma);
+        assert_eq!(
+            s.estimate.position.x.to_bits(),
+            b.estimate.position.x.to_bits()
+        );
+        assert_eq!(
+            s.estimate.position.y.to_bits(),
+            b.estimate.position.y.to_bits()
+        );
+        assert_eq!(s.estimate.area().to_bits(), b.estimate.area().to_bits());
+    }
+    // The incremental solver skipped re-solves on clean windows.
+    assert!(stats.lp_solves < stats.windows_closed);
+}

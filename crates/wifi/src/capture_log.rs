@@ -23,6 +23,19 @@ pub struct ParseLogError {
     reason: String,
 }
 
+impl ParseLogError {
+    /// The 1-based line number of the first malformed line. A missing
+    /// or wrong header is reported as line 1.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of what was wrong with the line.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
 impl fmt::Display for ParseLogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -50,6 +63,114 @@ pub fn write_capture_log(db: &CaptureDatabase) -> String {
     out
 }
 
+/// Parses one non-header line of the capture-log body.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments. This is the
+/// unit the streaming consumers (`marauder replay --follow`) use to
+/// decode lines appended to a live log.
+///
+/// # Errors
+///
+/// Returns the malformation reason (without a line number — callers
+/// tracking position wrap it into [`ParseLogError`]).
+pub fn parse_capture_line(line: &str) -> Result<Option<CapturedFrame>, String> {
+    if line.trim().is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let time_s: f64 = parts
+        .next()
+        .ok_or_else(|| "missing time".to_string())?
+        .parse()
+        .map_err(|e| format!("bad time: {e}"))?;
+    let card: usize = parts
+        .next()
+        .ok_or_else(|| "missing card".to_string())?
+        .parse()
+        .map_err(|e| format!("bad card: {e}"))?;
+    let hex = parts.next().ok_or_else(|| "missing bytes".to_string())?;
+    if parts.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    if hex.len() % 2 != 0 {
+        return Err("odd hex length".into());
+    }
+    let bytes: Vec<u8> = (0..hex.len() / 2)
+        .map(|k| u8::from_str_radix(&hex[2 * k..2 * k + 2], 16))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad hex: {e}"))?;
+    let frame = Frame::decode(&bytes).map_err(|e| format!("bad frame: {e}"))?;
+    Ok(Some(CapturedFrame {
+        time_s,
+        card,
+        frame,
+    }))
+}
+
+/// Streaming iterator over the frames of a capture log: one
+/// [`CapturedFrame`] at a time, without materializing a
+/// [`CaptureDatabase`] — the frame feed for the live tracking engine.
+///
+/// The header is validated lazily on the first call to `next`; a
+/// malformed line yields `Some(Err(_))` with its 1-based line number
+/// and ends the iteration.
+#[derive(Debug, Clone)]
+pub struct CaptureLogFrames<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+    header_ok: bool,
+    failed: bool,
+}
+
+/// Iterates over the frames of a capture log without building a
+/// database. See [`CaptureLogFrames`].
+pub fn capture_log_frames(text: &str) -> CaptureLogFrames<'_> {
+    CaptureLogFrames {
+        lines: text.lines(),
+        line_no: 0,
+        header_ok: false,
+        failed: false,
+    }
+}
+
+impl Iterator for CaptureLogFrames<'_> {
+    type Item = Result<CapturedFrame, ParseLogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if !self.header_ok {
+            self.line_no += 1;
+            match self.lines.next() {
+                Some(h) if h.trim() == HEADER => self.header_ok = true,
+                _ => {
+                    self.failed = true;
+                    return Some(Err(ParseLogError {
+                        line: 1,
+                        reason: format!("missing header {HEADER:?}"),
+                    }));
+                }
+            }
+        }
+        for line in self.lines.by_ref() {
+            self.line_no += 1;
+            match parse_capture_line(line) {
+                Ok(None) => continue,
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Err(reason) => {
+                    self.failed = true;
+                    return Some(Err(ParseLogError {
+                        line: self.line_no,
+                        reason,
+                    }));
+                }
+            }
+        }
+        None
+    }
+}
+
 /// Parses the text format produced by [`write_capture_log`].
 ///
 /// # Errors
@@ -57,55 +178,7 @@ pub fn write_capture_log(db: &CaptureDatabase) -> String {
 /// Returns [`ParseLogError`] naming the first malformed line; a missing
 /// or wrong header is reported as line 1.
 pub fn parse_capture_log(text: &str) -> Result<CaptureDatabase, ParseLogError> {
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, h)) if h.trim() == HEADER => {}
-        _ => {
-            return Err(ParseLogError {
-                line: 1,
-                reason: format!("missing header {HEADER:?}"),
-            })
-        }
-    }
-    let mut db = CaptureDatabase::new();
-    for (i, line) in lines {
-        if line.trim().is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let err = |reason: String| ParseLogError {
-            line: i + 1,
-            reason,
-        };
-        let mut parts = line.split_whitespace();
-        let time_s: f64 = parts
-            .next()
-            .ok_or_else(|| err("missing time".into()))?
-            .parse()
-            .map_err(|e| err(format!("bad time: {e}")))?;
-        let card: usize = parts
-            .next()
-            .ok_or_else(|| err("missing card".into()))?
-            .parse()
-            .map_err(|e| err(format!("bad card: {e}")))?;
-        let hex = parts.next().ok_or_else(|| err("missing bytes".into()))?;
-        if parts.next().is_some() {
-            return Err(err("trailing fields".into()));
-        }
-        if hex.len() % 2 != 0 {
-            return Err(err("odd hex length".into()));
-        }
-        let bytes: Vec<u8> = (0..hex.len() / 2)
-            .map(|k| u8::from_str_radix(&hex[2 * k..2 * k + 2], 16))
-            .collect::<Result<_, _>>()
-            .map_err(|e| err(format!("bad hex: {e}")))?;
-        let frame = Frame::decode(&bytes).map_err(|e| err(format!("bad frame: {e}")))?;
-        db.push(CapturedFrame {
-            time_s,
-            card,
-            frame,
-        });
-    }
-    Ok(db)
+    capture_log_frames(text).collect()
 }
 
 #[cfg(test)]
@@ -153,7 +226,9 @@ mod tests {
     fn rejects_missing_header() {
         let e = parse_capture_log("1.0 0 abcd").unwrap_err();
         assert!(e.to_string().contains("missing header"));
+        assert_eq!(e.line(), 1, "header errors are reported on line 1");
         assert!(parse_capture_log("").is_err());
+        assert_eq!(parse_capture_log("").unwrap_err().line(), 1);
     }
 
     #[test]
@@ -167,6 +242,51 @@ mod tests {
         assert!(parse_capture_log(&mk("1.0 0 40 extra")).is_err());
         // Valid hex but truncated frame.
         assert!(parse_capture_log(&mk("1.0 0 4000")).is_err());
+    }
+
+    #[test]
+    fn error_line_numbers_are_one_based_and_count_every_line() {
+        // The header is line 1; the first body line is line 2.
+        let e = parse_capture_log(&format!("{HEADER}\nnotatime 0 40\n")).unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.reason().contains("bad time"), "{}", e.reason());
+        // Blank and comment lines are skipped but still counted.
+        let good = write_capture_log(&sample_db());
+        let text = format!("{good}# comment\n\n1.0 0 zz\n");
+        let e = parse_capture_log(&text).unwrap_err();
+        // header + 2 records + comment + blank => bad line is line 6.
+        assert_eq!(e.line(), 6);
+        assert!(e.reason().contains("bad hex"), "{}", e.reason());
+    }
+
+    #[test]
+    fn frame_iterator_streams_without_a_database() {
+        let db = sample_db();
+        let text = write_capture_log(&db);
+        let frames: Vec<CapturedFrame> = capture_log_frames(&text)
+            .collect::<Result<_, _>>()
+            .expect("valid log");
+        assert_eq!(frames.len(), db.len());
+        for (a, b) in db.iter().zip(&frames) {
+            assert_eq!(a.frame, b.frame);
+            assert_eq!(a.card, b.card);
+        }
+        // A malformed line surfaces as Err and ends the iteration.
+        let text = format!("{text}1.0 0 zz\n2.0 0 40\n");
+        let mut it = capture_log_frames(&text);
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert!(it.next().is_none(), "iteration stops after an error");
+    }
+
+    #[test]
+    fn parse_capture_line_skips_blanks_and_comments() {
+        assert!(parse_capture_line("").unwrap().is_none());
+        assert!(parse_capture_line("   ").unwrap().is_none());
+        assert!(parse_capture_line("# note").unwrap().is_none());
+        assert!(parse_capture_line("1.0 0 zz").is_err());
     }
 
     #[test]

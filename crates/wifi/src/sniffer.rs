@@ -196,6 +196,35 @@ impl Sniffer {
     }
 }
 
+/// Maps a capture timestamp to its observation-window index.
+///
+/// Windows are **half-open**: window `k` covers
+/// `[k·window_s, (k+1)·window_s)`, so a frame at exactly
+/// `t == (k+1)·window_s` belongs to window `k + 1`, never to window
+/// `k`. Negative timestamps (cards with negative clock offsets) fall
+/// into negative window indices under the same convention.
+///
+/// Every consumer of windowed observations — the batch pipeline
+/// ([`CaptureDatabase::observation_sets`]) and the streaming engine
+/// (`marauder-stream`) — must share this function; the convention is
+/// pinned by regression tests on both paths.
+///
+/// # Panics
+///
+/// Panics when `window_s` is not positive.
+pub fn window_index(time_s: f64, window_s: f64) -> i64 {
+    assert!(window_s > 0.0, "window must be positive, got {window_s}");
+    (time_s / window_s).floor() as i64
+}
+
+/// The start time of window `window` — the inverse of
+/// [`window_index`] on window boundaries. Computed exactly as
+/// `window as f64 * window_s` so batch and streaming paths produce
+/// bit-identical `window_start_s` values.
+pub fn window_start(window: i64, window_s: f64) -> f64 {
+    window as f64 * window_s
+}
+
 /// The capture database the localization component reads (paper Fig. 1's
 /// "wireless traffic capture" store).
 #[derive(Debug, Clone, Default)]
@@ -307,6 +336,10 @@ impl CaptureDatabase {
     /// Splits the capture into fixed windows and returns, per mobile and
     /// window, the observed communicable-AP set. These are the `Γ_k`
     /// snapshots AP-Rad builds its LP constraints from.
+    ///
+    /// Window boundaries follow the half-open convention of
+    /// [`window_index`]: a frame at exactly `t == (k+1)·window_s`
+    /// lands in window `k + 1`.
     pub fn observation_sets(&self, window_s: f64) -> Vec<ObservationSet> {
         assert!(window_s > 0.0, "window must be positive, got {window_s}");
         let mut grouped: BTreeMap<(MacAddr, i64), BTreeSet<MacAddr>> = BTreeMap::new();
@@ -315,7 +348,7 @@ impl CaptureDatabase {
                 if r.frame.dst.is_broadcast() {
                     continue;
                 }
-                let w = (r.time_s / window_s).floor() as i64;
+                let w = window_index(r.time_s, window_s);
                 grouped
                     .entry((r.frame.dst, w))
                     .or_default()
@@ -326,7 +359,7 @@ impl CaptureDatabase {
             .into_iter()
             .map(|((mobile, w), aps)| ObservationSet {
                 mobile,
-                window_start_s: w as f64 * window_s,
+                window_start_s: window_start(w, window_s),
                 aps,
             })
             .collect()
@@ -591,6 +624,55 @@ mod tests {
         let s2 = sets.iter().find(|s| s.mobile == mac(2)).unwrap();
         assert_eq!(s2.aps.len(), 1);
         assert_eq!(s2.window_start_s, 30.0);
+    }
+
+    #[test]
+    fn window_index_is_half_open() {
+        // Window k covers [k*w, (k+1)*w): the boundary instant belongs
+        // to the *next* window.
+        assert_eq!(window_index(0.0, 30.0), 0);
+        assert_eq!(window_index(29.999_999, 30.0), 0);
+        assert_eq!(window_index(30.0, 30.0), 1);
+        assert_eq!(window_index(59.999, 30.0), 1);
+        assert_eq!(window_index(60.0, 30.0), 2);
+        // Negative times: same convention, negative indices.
+        assert_eq!(window_index(-0.001, 30.0), -1);
+        assert_eq!(window_index(-30.0, 30.0), -1);
+        assert_eq!(window_index(-30.001, 30.0), -2);
+        // window_start inverts window_index on boundaries.
+        assert_eq!(window_start(1, 30.0), 30.0);
+        assert_eq!(window_start(-1, 30.0), -30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn window_index_rejects_zero_window() {
+        let _ = window_index(1.0, 0.0);
+    }
+
+    #[test]
+    fn observation_sets_respect_half_open_boundary() {
+        // Regression for the batch path: a probe response at exactly
+        // t == window_end must open a new window, not extend the old
+        // one. The streaming engine pins the same case on its side.
+        let ssid = |s: &str| Ssid::new(s).unwrap();
+        let mut db = CaptureDatabase::new();
+        db.push(CapturedFrame {
+            time_s: 0.0,
+            card: 0,
+            frame: Frame::probe_response(mac(100), mac(1), ssid("a"), ch(1)),
+        });
+        db.push(CapturedFrame {
+            time_s: 30.0, // exactly the end of window 0
+            card: 0,
+            frame: Frame::probe_response(mac(101), mac(1), ssid("b"), ch(6)),
+        });
+        let sets = db.observation_sets(30.0);
+        assert_eq!(sets.len(), 2, "boundary frame must open window 1");
+        assert_eq!(sets[0].window_start_s, 0.0);
+        assert_eq!(sets[0].aps, [mac(100)].into_iter().collect());
+        assert_eq!(sets[1].window_start_s, 30.0);
+        assert_eq!(sets[1].aps, [mac(101)].into_iter().collect());
     }
 
     #[test]

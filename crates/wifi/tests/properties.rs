@@ -2,9 +2,11 @@
 //! round-trip every representable frame, and channel/decode relations
 //! must stay symmetric.
 
+use marauder_wifi::capture_log::{parse_capture_log, write_capture_log};
 use marauder_wifi::channel::Channel;
 use marauder_wifi::frame::{Frame, FrameBody};
 use marauder_wifi::mac::MacAddr;
+use marauder_wifi::sniffer::{CaptureDatabase, CapturedFrame};
 use marauder_wifi::ssid::Ssid;
 use proptest::prelude::*;
 
@@ -54,6 +56,17 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         })
 }
 
+fn arb_captured_frame() -> impl Strategy<Value = CapturedFrame> {
+    // Times on a millisecond grid: the text format stores 6 decimal
+    // digits, and k/1000 for integer k < 10^9 is exact in that width,
+    // so write → parse reproduces the f64 bit for bit.
+    (0u64..1_000_000_000, 0usize..8, arb_frame()).prop_map(|(ms, card, frame)| CapturedFrame {
+        time_s: ms as f64 / 1000.0,
+        card,
+        frame,
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -101,6 +114,38 @@ proptest! {
         if a.abs_diff(b) >= 3 {
             prop_assert_eq!(p, 0.0);
         }
+    }
+
+    #[test]
+    fn capture_log_round_trips(frames in prop::collection::vec(arb_captured_frame(), 0..40)) {
+        let db: CaptureDatabase = frames.into_iter().collect();
+        let text = write_capture_log(&db);
+        let back = parse_capture_log(&text).expect("own serialization must parse");
+        prop_assert_eq!(back.len(), db.len());
+        for (a, b) in db.iter().zip(back.iter()) {
+            // Millisecond-grid times survive the %.6f text round trip
+            // bit-exactly; frames and card indices are lossless.
+            prop_assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            prop_assert_eq!(a.card, b.card);
+            prop_assert_eq!(&a.frame, &b.frame);
+        }
+    }
+
+    #[test]
+    fn malformed_line_numbers_are_one_based(
+        frames in prop::collection::vec(arb_captured_frame(), 0..12),
+        junk in prop::sample::select(vec![
+            "notatime 0 40", "1.0 x 40", "1.0 0", "1.0 0 abc",
+            "1.0 0 zz", "1.0 0 40 extra", "1.0 0 4000",
+        ]),
+    ) {
+        // A log with n valid records and one malformed line appended:
+        // the error must name exactly line n + 2 (header is line 1).
+        let db: CaptureDatabase = frames.into_iter().collect();
+        let n = db.len();
+        let text = format!("{}{junk}\n", write_capture_log(&db));
+        let err = parse_capture_log(&text).expect_err("junk line must fail");
+        prop_assert_eq!(err.line(), n + 2);
     }
 
     #[test]

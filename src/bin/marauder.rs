@@ -5,6 +5,7 @@
 //! marauder attack   --knowledge run1/aps.csv --captures run1/capture.log --geojson run1/map.geojson
 //! marauder attack   --knowledge run1/aps.csv --captures run1/capture.log --level locations
 //! marauder attack   --training run1/training.csv --captures run1/capture.log --level none
+//! marauder replay   run1/capture.log --knowledge run1/aps.csv --speed 10
 //! marauder link     --captures run1/capture.log
 //! marauder report   --knowledge run1/aps.csv --captures run1/capture.log
 //! ```
@@ -13,8 +14,10 @@
 //! training set (`training.csv`), a portable capture log
 //! (`capture.log`) and the ground truth (`truth.csv`) for scoring.
 //! `attack` replays the localization attack on those files at any of the
-//! paper's three knowledge levels; `link` clusters MAC pseudonyms by
-//! their probe fingerprints.
+//! paper's three knowledge levels; `replay` streams the same capture
+//! through the live tracking engine, printing each fix the moment its
+//! window closes; `link` clusters MAC pseudonyms by their probe
+//! fingerprints.
 
 use marauders_map::core::apdb::ApDatabase;
 use marauders_map::core::map::MapBuilder;
@@ -25,12 +28,16 @@ use marauders_map::sim::deploy::Rect;
 use marauders_map::sim::mobility::CircuitWalk;
 use marauders_map::sim::scenario::CampusScenario;
 use marauders_map::sim::wardrive::{training_from_csv, training_to_csv, wardrive, WardriveRoute};
-use marauders_map::wifi::capture_log::{parse_capture_log, write_capture_log};
+use marauders_map::stream::{StreamConfig, StreamEngine, TrackFix};
+use marauders_map::wifi::capture_log::{
+    capture_log_frames, parse_capture_line, parse_capture_log, write_capture_log, HEADER,
+};
 use marauders_map::wifi::device::{MobileStation, OsProfile};
 use marauders_map::wifi::mac::MacAddr;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,13 +45,22 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let opts = match parse_opts(rest) {
+    // `replay` accepts the capture log as a positional argument
+    // (`marauder replay run1/capture.log`); everything else is flags.
+    let (positional, rest) = match rest.split_first() {
+        Some((p, more)) if cmd == "replay" && !p.starts_with("--") => (Some(p.clone()), more),
+        _ => (None, rest),
+    };
+    let mut opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::from(2);
         }
     };
+    if let Some(log) = positional {
+        opts.entry("captures".to_string()).or_insert(log);
+    }
     // Worker count for the parallel campaign engine: default all cores,
     // `--threads 1` forces the sequential path (output is identical
     // either way).
@@ -58,6 +74,7 @@ fn main() -> ExitCode {
     let run = match cmd.as_str() {
         "simulate" => simulate(&opts),
         "attack" => attack(&opts),
+        "replay" => replay(&opts),
         "link" => link(&opts),
         "report" => report(&opts),
         other => Err(format!("unknown command {other:?}")),
@@ -75,13 +92,23 @@ const USAGE: &str = "usage:
   marauder simulate [--seed N] [--aps N] [--mobiles N] [--duration SECS] --out-dir DIR
   marauder attack --captures FILE (--knowledge FILE | --training FILE)
                   [--level full|locations|none] [--geojson FILE] [--truth FILE]
+  marauder replay LOG (--knowledge FILE | --training FILE)
+                  [--level full|locations|none] [--speed N] [--lag SECS] [--follow]
   marauder link --captures FILE
   marauder report --knowledge FILE --captures FILE
+
+  replay streams the capture through the live tracking engine, printing
+  each fix as its window closes. --speed N paces the replay at N times
+  real time (0, the default, replays as fast as possible); --follow
+  keeps tailing the log for appended frames, like tail -f.
 
   every command also accepts --threads N (worker threads; default all
   cores, 1 forces the sequential path — results are identical)";
 
 type Opts = HashMap<String, String>;
+
+/// Flags that stand alone instead of taking a value.
+const BOOL_FLAGS: &[&str] = &["follow"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out = HashMap::new();
@@ -90,6 +117,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        if BOOL_FLAGS.contains(&key) {
+            out.insert(key.to_string(), String::new());
+            continue;
+        }
         let val = it
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -173,15 +204,18 @@ fn simulate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn attack(opts: &Opts) -> Result<(), String> {
-    let captures = parse_capture_log(&read(
-        opts.get("captures").ok_or("attack requires --captures")?,
-    )?)
-    .map_err(|e| e.to_string())?;
-    let level = opts.get("level").map(String::as_str).unwrap_or("full");
+/// Builds the attacker's map from `--knowledge`/`--training` at the
+/// requested `--level`, before any captures are ingested. Shared by
+/// `attack` (batch) and `replay` (streaming); returns the level name
+/// for log lines.
+fn build_map(opts: &Opts) -> Result<(MaraudersMap, String), String> {
+    let level = opts
+        .get("level")
+        .map(String::as_str)
+        .unwrap_or("full")
+        .to_string();
     let config = AttackConfig::default();
-
-    let mut map = match level {
+    let map = match level.as_str() {
         "full" | "locations" => {
             let db = ApDatabase::from_csv(&read(
                 opts.get("knowledge")
@@ -207,6 +241,15 @@ fn attack(opts: &Opts) -> Result<(), String> {
         }
         other => return Err(format!("unknown --level {other:?}")),
     };
+    Ok((map, level))
+}
+
+fn attack(opts: &Opts) -> Result<(), String> {
+    let captures = parse_capture_log(&read(
+        opts.get("captures").ok_or("attack requires --captures")?,
+    )?)
+    .map_err(|e| e.to_string())?;
+    let (mut map, level) = build_map(opts)?;
     map.ingest(&captures);
 
     let fixes = map.track_all(&captures);
@@ -288,6 +331,162 @@ fn attack(opts: &Opts) -> Result<(), String> {
         eprintln!("wrote {geo_path}");
     }
     Ok(())
+}
+
+/// Streams a capture log through the live tracking engine, printing
+/// each fix the moment its observation window closes.
+fn replay(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .get("captures")
+        .ok_or("replay requires a capture log (positional or --captures)")?
+        .clone();
+    let speed: f64 = get_num(opts, "speed", 0.0)?;
+    if !speed.is_finite() || speed < 0.0 {
+        return Err("--speed must be a finite number >= 0".into());
+    }
+    let lag: f64 = get_num(opts, "lag", StreamConfig::default().allowed_lag_s)?;
+    if !lag.is_finite() || lag < 0.0 {
+        return Err("--lag must be a finite number >= 0".into());
+    }
+    let follow = opts.contains_key("follow");
+    let (map, level) = build_map(opts)?;
+    let mut engine = StreamEngine::new(
+        map,
+        StreamConfig {
+            allowed_lag_s: lag,
+            ..StreamConfig::default()
+        },
+    );
+
+    println!("time_s,mobile,x,y,k,area_m2");
+    let mut pacer = Pacer::new(speed);
+    let mut out = std::io::stdout();
+    if follow {
+        return follow_log(&path, &mut engine, &mut pacer, &mut out);
+    }
+    for frame in capture_log_frames(&read(&path)?) {
+        let frame = frame.map_err(|e| e.to_string())?;
+        pacer.wait_for(frame.time_s);
+        for event in engine.push(&frame) {
+            print_fix(&mut out, event.into_fix())?;
+        }
+    }
+    for event in engine.finish() {
+        print_fix(&mut out, event.into_fix())?;
+    }
+    let stats = engine.stats();
+    eprintln!(
+        "replayed {} frames ({} relevant, {} late) -> {} windows closed, \
+         {} LP solves, {} evicted (knowledge level: {level})",
+        stats.frames_total,
+        stats.frames_relevant,
+        stats.frames_late,
+        stats.windows_closed,
+        stats.lp_solves,
+        stats.windows_evicted
+    );
+    Ok(())
+}
+
+/// Tails `path` like `tail -f`: parses any complete lines appended
+/// since the last poll, feeds them through the engine, and sleeps
+/// between polls. Runs until the process is interrupted, so windows
+/// held open by the watermark are never force-closed.
+fn follow_log(
+    path: &str,
+    engine: &mut StreamEngine,
+    pacer: &mut Pacer,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let mut consumed = 0usize; // bytes of complete lines already parsed
+    let mut line_no = 0usize;
+    loop {
+        let text = read(path)?;
+        if text.len() < consumed {
+            return Err(format!("{path} was truncated while following"));
+        }
+        let fresh = &text[consumed..];
+        // Only parse up to the last newline: the final line may still
+        // be mid-write by the capture process.
+        let complete = fresh.rfind('\n').map_or(0, |i| i + 1);
+        for line in fresh[..complete].lines() {
+            line_no += 1;
+            if line_no == 1 {
+                if line.trim() != HEADER {
+                    return Err(format!("{path}: missing header {HEADER:?}"));
+                }
+                continue;
+            }
+            match parse_capture_line(line) {
+                Ok(None) => {}
+                Ok(Some(frame)) => {
+                    pacer.wait_for(frame.time_s);
+                    for event in engine.push(&frame) {
+                        print_fix(out, event.into_fix())?;
+                    }
+                }
+                Err(reason) => return Err(format!("{path} line {line_no}: {reason}")),
+            }
+        }
+        consumed += complete;
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// Paces a replay at `speed`× real time, keyed off frame timestamps.
+/// Speed 0 disables pacing entirely. The clock starts at the first
+/// frame, so leading silence in the log is skipped.
+struct Pacer {
+    speed: f64,
+    start: Instant,
+    first_t: Option<f64>,
+}
+
+impl Pacer {
+    fn new(speed: f64) -> Self {
+        Self {
+            speed,
+            start: Instant::now(),
+            first_t: None,
+        }
+    }
+
+    /// Sleeps until the wall clock catches up with frame time `t`.
+    fn wait_for(&mut self, t: f64) {
+        if self.speed <= 0.0 {
+            return;
+        }
+        let t0 = match self.first_t {
+            Some(t0) => t0,
+            None => {
+                self.first_t = Some(t);
+                self.start = Instant::now();
+                t
+            }
+        };
+        let target = Duration::from_secs_f64(((t - t0) / self.speed).max(0.0));
+        if let Some(wait) = target.checked_sub(self.start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+    }
+}
+
+/// Prints one fix in the `attack` CSV format, flushing so a paced or
+/// followed replay is genuinely live.
+fn print_fix(out: &mut impl std::io::Write, fix: Option<TrackFix>) -> Result<(), String> {
+    let Some(fix) = fix else { return Ok(()) };
+    writeln!(
+        out,
+        "{:.1},{},{:.2},{:.2},{},{:.0}",
+        fix.time_s,
+        fix.mobile,
+        fix.estimate.position.x,
+        fix.estimate.position.y,
+        fix.gamma.len(),
+        fix.estimate.area()
+    )
+    .and_then(|()| out.flush())
+    .map_err(|e| format!("stdout: {e}"))
 }
 
 fn report(opts: &Opts) -> Result<(), String> {

@@ -15,4 +15,5 @@ pub use marauder_lp as lp;
 pub use marauder_par as par;
 pub use marauder_rf as rf;
 pub use marauder_sim as sim;
+pub use marauder_stream as stream;
 pub use marauder_wifi as wifi;

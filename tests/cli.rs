@@ -124,6 +124,158 @@ fn simulate_attack_link_round_trip() {
 }
 
 #[test]
+fn replay_matches_attack_fix_for_fix() {
+    let dir = temp_dir("replay");
+    let out = marauder()
+        .args([
+            "simulate",
+            "--seed",
+            "9",
+            "--aps",
+            "50",
+            "--mobiles",
+            "3",
+            "--duration",
+            "180",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Batch attack at full knowledge.
+    let attack = marauder()
+        .arg("attack")
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .arg("--captures")
+        .arg(dir.join("capture.log"))
+        .output()
+        .expect("run attack");
+    assert!(attack.status.success());
+
+    // Streaming replay of the same log (positional argument form).
+    let replay = marauder()
+        .arg("replay")
+        .arg(dir.join("capture.log"))
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .output()
+        .expect("run replay");
+    assert!(
+        replay.status.success(),
+        "replay failed: {}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&replay.stderr);
+    assert!(stderr.contains("windows closed"), "no summary in: {stderr}");
+    assert!(stderr.contains("0 late"), "frames dropped: {stderr}");
+
+    // At full knowledge the radii never change, so the fixes printed
+    // live as windows closed are exactly the batch fixes — the replay
+    // emits them chronologically, the attack sorts per mobile, so
+    // compare as sorted line sets.
+    let collect = |bytes: &[u8]| -> Vec<String> {
+        let text = String::from_utf8_lossy(bytes).to_string();
+        let mut lines: Vec<String> = text.lines().skip(1).map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    let batch_lines = collect(&attack.stdout);
+    let live_lines = collect(&replay.stdout);
+    assert!(!batch_lines.is_empty(), "attack produced no fixes");
+    assert_eq!(live_lines, batch_lines, "replay diverged from attack");
+
+    // Paced replay (very fast so the test stays quick) produces the
+    // same output.
+    let paced = marauder()
+        .arg("replay")
+        .arg(dir.join("capture.log"))
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .args(["--speed", "100000"])
+        .output()
+        .expect("run paced replay");
+    assert!(paced.status.success());
+    assert_eq!(collect(&paced.stdout), batch_lines);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_follow_tails_an_appended_log() {
+    use std::io::Read;
+
+    let dir = temp_dir("follow");
+    let out = marauder()
+        .args([
+            "simulate",
+            "--seed",
+            "3",
+            "--aps",
+            "40",
+            "--mobiles",
+            "2",
+            "--duration",
+            "120",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    // Start following an empty log, then write the real content behind
+    // the follower's back — it must pick the frames up and emit fixes.
+    let log = dir.join("live.log");
+    std::fs::write(&log, "# marauder capture v1\n").expect("seed log");
+    let mut child = marauder()
+        .arg("replay")
+        .arg(&log)
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .arg("--follow")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn follower");
+    let full = std::fs::read_to_string(dir.join("capture.log")).expect("read capture");
+    let body = full.split_once('\n').map(|x| x.1).expect("capture body");
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&log)
+            .expect("open log for append");
+        f.write_all(body.as_bytes()).expect("append frames");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    child.kill().expect("stop follower");
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut stdout)
+        .expect("read follower output");
+    child.wait().expect("reap follower");
+    assert!(
+        stdout.starts_with("time_s,mobile,x,y,k,area_m2"),
+        "no header in follower output: {stdout:?}"
+    );
+    assert!(
+        stdout.lines().count() > 1,
+        "follower emitted no fixes: {stdout:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn helpful_errors() {
     // No args: usage + exit 2.
     let out = marauder().output().expect("run bare");
