@@ -23,6 +23,8 @@
 //! | [`figures::fig16`] | Fig. 16 | coverage probability vs. min communicable APs |
 //! | [`figures::fig17`] | Fig. 17 | AP-Loc error vs. training tuples |
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod extensions;
 pub mod figures;

@@ -342,14 +342,14 @@ impl ApRad {
         };
         let mut keep: BTreeSet<(usize, usize)> = BTreeSet::new();
         for (i, list) in neighbour_lists.iter_mut().enumerate() {
-            list.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+            list.sort_by(|a, b| a.1.total_cmp(&b.1));
             for &(j, _) in list.iter().take(self.max_negative_per_ap) {
                 keep.insert((i.min(j), i.max(j)));
             }
         }
         let mut negative: Vec<(usize, usize, f64)> =
             keep.into_iter().map(|(i, j)| (i, j, dist(i, j))).collect();
-        negative.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("distances are finite"));
+        negative.sort_by(|a, b| a.2.total_cmp(&b.2));
 
         // Key structural insight: under `maximize Σ r`, the co-observation
         // constraints `r_i + r_j >= d_ij` can never lower the optimum —
@@ -527,7 +527,9 @@ impl ApRadSolver {
                 &self.min_radii,
             ));
         }
-        self.cached.as_ref().expect("just filled")
+        // The branch above guarantees `cached` is filled, so the
+        // closure never runs; this keeps the accessor panic-free.
+        self.cached.get_or_insert_with(BTreeMap::new)
     }
 
     /// The accumulated observation statistics.

@@ -36,14 +36,11 @@ impl NearestAp {
         if aps.is_empty() {
             return None;
         }
-        let best = aps
-            .iter()
-            .min_by(|a, b| {
-                let ra = a.1.unwrap_or(f64::INFINITY);
-                let rb = b.1.unwrap_or(f64::INFINITY);
-                ra.partial_cmp(&rb).expect("radii are not NaN")
-            })
-            .expect("non-empty");
+        let best = aps.iter().min_by(|a, b| {
+            let ra = a.1.unwrap_or(f64::INFINITY);
+            let rb = b.1.unwrap_or(f64::INFINITY);
+            ra.total_cmp(&rb)
+        })?;
         Some(best.0)
     }
 }

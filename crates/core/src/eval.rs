@@ -50,7 +50,7 @@ impl ErrorStats {
             return None;
         }
         let mut sorted: Vec<f64> = errors.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let median = if count % 2 == 1 {
@@ -62,7 +62,7 @@ impl ErrorStats {
             count,
             mean,
             median,
-            max: *sorted.last().expect("non-empty"),
+            max: *sorted.last()?,
         })
     }
 }
@@ -136,7 +136,7 @@ impl EvalOutcome {
             return None;
         }
         let mut sorted: Vec<f64> = self.records.iter().map(|r| r.error_m).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
     }

@@ -38,6 +38,8 @@
 //! assert!(estimate.position.distance(Point::new(60.0, 40.0)) < 60.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod apdb;
 pub mod eval;

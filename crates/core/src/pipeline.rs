@@ -131,6 +131,7 @@ impl MaraudersMap {
         for rec in db.iter() {
             locations.insert(rec.bssid, rec.location);
             if knowledge == KnowledgeLevel::Full {
+                // lint:allow(no-panic-in-lib) -- has_all_radii() asserted at entry; documented `# Panics` contract
                 radii.insert(rec.bssid, rec.radius.expect("checked above"));
             }
         }

@@ -42,7 +42,7 @@ impl LinkedDevice {
             .iter()
             .flat_map(|mac| map.track(captures, *mac))
             .collect();
-        fixes.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
+        fixes.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
         fixes
     }
 }

@@ -138,9 +138,7 @@ impl DiscIntersection {
             // interval set as two segments; re-join them so callers see
             // one contiguous arc (end may exceed 2π).
             let mut segs: Vec<(f64, f64)> = active.segments().to_vec();
-            if segs.len() >= 2 {
-                let first = segs[0];
-                let last = *segs.last().expect("len >= 2");
+            if let [first, .., last] = segs[..] {
                 if first.0 <= 1e-12 && (TAU - last.1).abs() <= 1e-12 && !active.is_full() {
                     segs.pop();
                     segs.remove(0);

@@ -81,10 +81,13 @@ fn circle_from_3(a: Point, b: Point, c: Point) -> Circle {
             circle_from_2(a, c),
             circle_from_2(b, c),
         ];
-        return candidates
-            .into_iter()
-            .max_by(|x, y| x.radius.partial_cmp(&y.radius).expect("finite radii"))
-            .expect("three candidates");
+        let mut widest = candidates[0];
+        for cand in candidates {
+            if cand.radius > widest.radius {
+                widest = cand;
+            }
+        }
+        return widest;
     }
     let ux = ((a.x * a.x + a.y * a.y) * (b.y - c.y)
         + (b.x * b.x + b.y * b.y) * (c.y - a.y)

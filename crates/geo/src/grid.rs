@@ -106,21 +106,17 @@ impl<T> GridIndex<T> {
         }
         let mut radius = self.cell;
         loop {
-            let best = self.within(center, radius).min_by(|a, b| {
-                a.0.distance_sq(center)
-                    .partial_cmp(&b.0.distance_sq(center))
-                    .expect("finite coordinates")
-            });
+            let best = self
+                .within(center, radius)
+                .min_by(|a, b| a.0.distance_sq(center).total_cmp(&b.0.distance_sq(center)));
             if let Some(hit) = best {
                 // A closer point could hide just outside the scanned
                 // square's inscribed circle; one confirming pass at the
                 // found distance settles it.
                 let d = hit.0.distance(center);
-                return self.within(center, d + crate::EPS).min_by(|a, b| {
-                    a.0.distance_sq(center)
-                        .partial_cmp(&b.0.distance_sq(center))
-                        .expect("finite coordinates")
-                });
+                return self
+                    .within(center, d + crate::EPS)
+                    .min_by(|a, b| a.0.distance_sq(center).total_cmp(&b.0.distance_sq(center)));
             }
             radius *= 2.0;
             if radius > 1e12 {

@@ -29,11 +29,7 @@ use crate::{Point, Polygon};
 /// ```
 pub fn convex_hull(points: &[Point]) -> Polygon {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .expect("coordinates are finite")
-            .then(a.y.partial_cmp(&b.y).expect("coordinates are finite"))
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| a.distance(*b) < crate::EPS);
 
     if pts.len() < 3 {

@@ -119,7 +119,7 @@ impl AngularIntervalSet {
                 }
             }
         }
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("angles are finite"));
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         self.segments = out;
     }
 }

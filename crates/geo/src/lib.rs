@@ -32,6 +32,8 @@
 //! assert!(region.contains(c));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod circle;
 pub mod disc_intersection;
 pub mod enclosing;

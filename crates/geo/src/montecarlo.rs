@@ -70,11 +70,11 @@ pub fn monte_carlo_intersection_area(discs: &[Circle], samples: u32, seed: u64) 
     }
     // Sample inside the bounding box of the smallest disc: the
     // intersection is contained in every disc.
-    let smallest = discs
-        .iter()
-        .min_by(|a, b| a.radius.partial_cmp(&b.radius).expect("radii are finite"))
-        .expect("non-empty");
+    let Some(smallest) = discs.iter().min_by(|a, b| a.radius.total_cmp(&b.radius)) else {
+        return 0.0;
+    };
     let (cx, cy, r) = (smallest.center.x, smallest.center.y, smallest.radius);
+    // lint:allow(no-float-eq) -- exact zero is the degenerate point-disc sentinel
     if r == 0.0 {
         return 0.0;
     }

@@ -1,0 +1,336 @@
+//! `lint.toml` — configuration for the rule engine.
+//!
+//! The build environment is registry-free, so instead of pulling in a
+//! TOML crate this module parses the small subset the linter actually
+//! needs: `[section]` / `[rules.<name>]` headers and `key = value`
+//! lines where a value is a quoted string, a single-line array of
+//! quoted strings, or a boolean. Unknown sections, keys and rule names
+//! are hard errors so a typo in `lint.toml` cannot silently disable a
+//! rule.
+
+use std::collections::BTreeMap;
+
+use crate::rules;
+
+/// Per-rule scoping knobs. Empty/`None` fields mean "no restriction".
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// `enabled = false` turns the rule off entirely.
+    pub enabled: bool,
+    /// When set, the rule only runs in these crates (short names:
+    /// `core`, `geo`, ..., `root` for the workspace package).
+    pub crates: Option<Vec<String>>,
+    /// Crates the rule never runs in.
+    pub exclude_crates: Vec<String>,
+    /// Workspace-relative path prefixes the rule skips.
+    pub allow_paths: Vec<String>,
+    /// Whether the rule also applies inside `#[cfg(test)]` / `#[test]`
+    /// regions; `None` uses the rule's built-in default.
+    pub include_tests: Option<bool>,
+    /// `forbid-unsafe` only: crates allowed to contain `unsafe` blocks
+    /// (each block still needs a `// SAFETY:` comment).
+    pub unsafe_crates: Vec<String>,
+}
+
+impl RuleConfig {
+    fn enabled_default() -> Self {
+        RuleConfig {
+            enabled: true,
+            ..RuleConfig::default()
+        }
+    }
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) scanned for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the scan (fixtures, vendored code).
+    pub exclude_paths: Vec<String>,
+    /// Per-rule configuration, keyed by rule name. Every known rule is
+    /// present; `BTreeMap` keeps iteration (and output) ordered.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut map = BTreeMap::new();
+        for rule in rules::RULE_NAMES {
+            map.insert(rule.to_string(), RuleConfig::enabled_default());
+        }
+        Config {
+            roots: vec![
+                "src".into(),
+                "crates".into(),
+                "tests".into(),
+                "examples".into(),
+            ],
+            exclude_paths: Vec::new(),
+            rules: map,
+        }
+    }
+}
+
+impl Config {
+    /// Parses the text of a `lint.toml`. Starts from [`Config::default`]
+    /// so omitted rules stay enabled with no scoping.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = Section::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = parse_section(name.trim(), lineno)?;
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = parse_value(value.trim(), lineno)?;
+            apply_key(&mut cfg, &section, key, value, lineno)?;
+        }
+        Ok(cfg)
+    }
+
+    /// The rule config for `rule`, or a disabled default if unknown.
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Section {
+    None,
+    Workspace,
+    Rule(String),
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Bool(_) => "boolean",
+        }
+    }
+
+    fn into_array(self, key: &str, lineno: usize) -> Result<Vec<String>, String> {
+        match self {
+            Value::Array(v) => Ok(v),
+            Value::Str(s) => Ok(vec![s]),
+            other => Err(format!(
+                "lint.toml:{lineno}: `{key}` wants an array of strings, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn into_bool(self, key: &str, lineno: usize) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            other => Err(format!(
+                "lint.toml:{lineno}: `{key}` wants a boolean, got {}",
+                other.type_name()
+            )),
+        }
+    }
+}
+
+/// Drops a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return line.get(..i).unwrap_or(line),
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_section(name: &str, lineno: usize) -> Result<Section, String> {
+    if name == "workspace" {
+        return Ok(Section::Workspace);
+    }
+    if let Some(rule) = name.strip_prefix("rules.") {
+        let rule = rule.trim();
+        if !rules::RULE_NAMES.contains(&rule) {
+            return Err(format!(
+                "lint.toml:{lineno}: unknown rule `{rule}` (known: {})",
+                rules::RULE_NAMES.join(", ")
+            ));
+        }
+        return Ok(Section::Rule(rule.to_string()));
+    }
+    Err(format!("lint.toml:{lineno}: unknown section `[{name}]`"))
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, String> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, lineno)? {
+                Value::Str(s) => items.push(s),
+                other => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: arrays may only hold strings, got {}",
+                        other.type_name()
+                    ))
+                }
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(inner) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Ok(Value::Str(inner.to_string()));
+    }
+    Err(format!(
+        "lint.toml:{lineno}: cannot parse value `{text}` (expected string, array or bool)"
+    ))
+}
+
+/// Splits on commas that sit outside quoted strings.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, b) in text.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                parts.push(text.get(start..i).unwrap_or(""));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(text.get(start..).unwrap_or(""));
+    parts
+}
+
+fn apply_key(
+    cfg: &mut Config,
+    section: &Section,
+    key: &str,
+    value: Value,
+    lineno: usize,
+) -> Result<(), String> {
+    match section {
+        Section::None => Err(format!(
+            "lint.toml:{lineno}: key `{key}` outside any section"
+        )),
+        Section::Workspace => match key {
+            "roots" => {
+                cfg.roots = value.into_array(key, lineno)?;
+                Ok(())
+            }
+            "exclude-paths" => {
+                cfg.exclude_paths = value.into_array(key, lineno)?;
+                Ok(())
+            }
+            _ => Err(format!(
+                "lint.toml:{lineno}: unknown [workspace] key `{key}`"
+            )),
+        },
+        Section::Rule(rule) => {
+            let rc = cfg
+                .rules
+                .entry(rule.clone())
+                .or_insert_with(RuleConfig::enabled_default);
+            match key {
+                "enabled" => rc.enabled = value.into_bool(key, lineno)?,
+                "crates" => rc.crates = Some(value.into_array(key, lineno)?),
+                "exclude-crates" => rc.exclude_crates = value.into_array(key, lineno)?,
+                "allow-paths" => rc.allow_paths = value.into_array(key, lineno)?,
+                "include-tests" => rc.include_tests = Some(value.into_bool(key, lineno)?),
+                "unsafe-crates" => rc.unsafe_crates = value.into_array(key, lineno)?,
+                _ => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown rule key `{key}` for `{rule}`"
+                    ))
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+            # comment
+            [workspace]
+            roots = ["src", "crates"]
+            exclude-paths = ["crates/lint/tests/fixtures"]
+
+            [rules.no-hash-iteration]
+            crates = ["core", "geo"]   # scoped
+
+            [rules.no-wall-clock]
+            allow-paths = ["src/bin/"]
+
+            [rules.no-panic-in-lib]
+            exclude-crates = ["bench"]
+            include-tests = false
+
+            [rules.forbid-unsafe]
+            unsafe-crates = ["par"]
+            enabled = true
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["src", "crates"]);
+        assert_eq!(
+            cfg.rule("no-hash-iteration").crates,
+            Some(vec!["core".to_string(), "geo".to_string()])
+        );
+        assert_eq!(cfg.rule("no-wall-clock").allow_paths, vec!["src/bin/"]);
+        assert_eq!(cfg.rule("no-panic-in-lib").include_tests, Some(false));
+        assert_eq!(cfg.rule("forbid-unsafe").unsafe_crates, vec!["par"]);
+        // Unconfigured rules stay enabled.
+        assert!(cfg.rule("no-float-eq").enabled);
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_key() {
+        assert!(Config::parse("[rules.no-such-rule]").is_err());
+        assert!(Config::parse("[workspace]\nbogus = true").is_err());
+        assert!(Config::parse("[rules.no-float-eq]\nbogus = true").is_err());
+        assert!(Config::parse("top = true").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[workspace]\nroots = [\"a#b\"]").unwrap();
+        assert_eq!(cfg.roots, vec!["a#b"]);
+    }
+}

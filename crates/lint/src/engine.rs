@@ -1,0 +1,405 @@
+//! Rule engine: walks the workspace, lexes each file, applies the
+//! rules in scope, honors suppressions and reports stale ones.
+//!
+//! # Suppressions
+//!
+//! A violation is silenced with an inline comment carrying a mandatory
+//! reason:
+//!
+//! ```text
+//! let r = table[i]; // lint:allow(no-panic-in-lib) -- index validated above
+//! // lint:allow(no-float-eq) -- exact zero is the degenerate-disc sentinel
+//! if r == 0.0 {
+//! ```
+//!
+//! A suppression covers its own line when code precedes it, otherwise
+//! the next line. A reason-less suppression is a `bad-suppression`
+//! error and is **not** honored. A suppression whose rule no longer
+//! fires on its target line is a `stale-suppression` warning, so the
+//! allowlist cannot rot — delete the comment once the violation is
+//! gone. Warnings and errors alike make the exit code non-zero.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::lexer::{self, Token};
+use crate::rules::{self, FileCtx, RawDiag};
+use crate::{Diagnostic, LintError, Severity};
+
+/// Lints every `.rs` file under the configured roots of `root`.
+/// Diagnostics come back sorted by (path, line, col, rule).
+pub fn run(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, LintError> {
+    let mut files = Vec::new();
+    for dir in &config.roots {
+        collect_rust_files(root, &root.join(dir), config, &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in &files {
+        let source =
+            fs::read_to_string(path).map_err(|e| LintError::Io(path.clone(), e.to_string()))?;
+        let rel = relative_path(root, path);
+        out.extend(lint_source(&rel, &source, config));
+    }
+    sort_diagnostics(&mut out);
+    Ok(out)
+}
+
+/// Lints a single file's text. `rel` is the workspace-relative path
+/// (`crates/geo/src/grid.rs`); it determines crate name and lib/bin
+/// classification. This is the entry point unit tests use.
+pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(source);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens.get(i).is_some_and(|t| !t.is_comment()))
+        .collect();
+    let in_test = test_mask(&tokens, &code);
+    let krate = crate_name(rel);
+    let ctx = FileCtx {
+        rel,
+        krate: &krate,
+        is_lib: is_lib_path(rel),
+        is_crate_root: is_crate_root(rel),
+        tokens: &tokens,
+        code: &code,
+        in_test: &in_test,
+    };
+
+    let (mut suppressions, mut diags) = parse_suppressions(rel, &tokens, &code);
+
+    let mut raw: Vec<RawDiag> = Vec::new();
+    for rule in rules::RULE_NAMES {
+        let rc = config.rule(rule);
+        if !rc.enabled {
+            continue;
+        }
+        if let Some(only) = &rc.crates {
+            if !only.iter().any(|c| c == &krate) {
+                continue;
+            }
+        }
+        if rc.exclude_crates.iter().any(|c| c == &krate) {
+            continue;
+        }
+        if rc.allow_paths.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        let include_tests = rc
+            .include_tests
+            .unwrap_or_else(|| rules::default_include_tests(rule));
+        rules::check_rule(rule, &ctx, include_tests, &rc.unsafe_crates, &mut raw);
+    }
+
+    for rd in raw {
+        let suppressed = suppressions
+            .iter_mut()
+            .find(|s| s.target_line == rd.line && s.rules.iter().any(|r| r == rd.rule));
+        match suppressed {
+            Some(s) => s.used.push(rd.rule.to_string()),
+            None => diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: rd.line,
+                col: rd.col,
+                rule: rd.rule.to_string(),
+                severity: Severity::Error,
+                message: rd.message,
+            }),
+        }
+    }
+
+    // Stale pass: every rule a suppression names must have silenced
+    // something, otherwise the comment is dead weight.
+    for s in &suppressions {
+        for rule in &s.rules {
+            if !s.used.iter().any(|u| u == rule) {
+                diags.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: s.line,
+                    col: s.col,
+                    rule: "stale-suppression".to_string(),
+                    severity: Severity::Warning,
+                    message: format!(
+                        "`lint:allow({rule})` no longer suppresses anything on line {}; \
+                         delete it",
+                        s.target_line
+                    ),
+                });
+            }
+        }
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+}
+
+fn collect_rust_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e.to_string()))?;
+    // `read_dir` order is platform-dependent; sort so the linter's own
+    // output is deterministic.
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e.to_string()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let rel = relative_path(root, &path);
+        if config
+            .exclude_paths
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "target" | "vendor" | ".git") {
+                continue;
+            }
+            collect_rust_files(root, &path, config, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize separators so configs and output are stable cross-OS.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Short crate name for a workspace-relative path: `crates/<name>/...`
+/// maps to `<name>`, everything else belongs to the root package.
+pub fn crate_name(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "root".to_string())
+}
+
+/// Library source: under a crate's `src/` (or the root `src/`), not in
+/// a `bin/` directory and not a `main.rs` binary root.
+fn is_lib_path(rel: &str) -> bool {
+    let in_src = rel.starts_with("src/")
+        || (rel.starts_with("crates/") && rel.split('/').nth(2) == Some("src"));
+    in_src && !rel.contains("/bin/") && !rel.ends_with("/main.rs")
+}
+
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+}
+
+/// Marks every token inside a `#[cfg(test)]` item or `#[test]` /
+/// `#[bench]` function. The marked region runs from the attribute to
+/// the end of the following item (matched braces, or the `;` of a
+/// braceless item).
+fn test_mask(tokens: &[Token<'_>], code: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let text = |p: usize| -> &str {
+        code.get(p)
+            .and_then(|&i| tokens.get(i))
+            .map_or("", |t| t.text)
+    };
+    let mut p = 0;
+    while p < code.len() {
+        if text(p) == "#" && text(p + 1) == "[" {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut q = p + 2;
+            let mut depth = 1i32;
+            let mut inner: Vec<&str> = Vec::new();
+            while q < code.len() && depth > 0 {
+                match text(q) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    t => inner.push(t),
+                }
+                q += 1;
+            }
+            let is_test_attr = inner.first() == Some(&"test")
+                || inner.first() == Some(&"bench")
+                || (inner.first() == Some(&"cfg")
+                    && inner.get(1) == Some(&"(")
+                    && inner.get(2) == Some(&"test"));
+            if is_test_attr {
+                let end = item_end(tokens, code, q);
+                for pp in p..=end.min(code.len().saturating_sub(1)) {
+                    if let Some(&i) = code.get(pp) {
+                        if let Some(m) = mask.get_mut(i) {
+                            *m = true;
+                        }
+                    }
+                }
+                p = end + 1;
+                continue;
+            }
+            p = q;
+            continue;
+        }
+        p += 1;
+    }
+    mask
+}
+
+/// Code-token position of the end of the item starting at `start`:
+/// skips further attributes, then either the matching `}` of the first
+/// brace block or the first top-level `;`.
+fn item_end(tokens: &[Token<'_>], code: &[usize], start: usize) -> usize {
+    let text = |p: usize| -> &str {
+        code.get(p)
+            .and_then(|&i| tokens.get(i))
+            .map_or("", |t| t.text)
+    };
+    let mut p = start;
+    // Skip stacked attributes (`#[cfg(test)] #[allow(...)] mod t {`).
+    while text(p) == "#" && text(p + 1) == "[" {
+        let mut depth = 0i32;
+        while p < code.len() {
+            match text(p) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        p += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+    }
+    let mut depth = 0i32;
+    while p < code.len() {
+        match text(p) {
+            ";" if depth == 0 => return p,
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return p;
+                }
+            }
+            _ => {}
+        }
+        p += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+struct Suppression {
+    rules: Vec<String>,
+    /// Line the suppression covers.
+    target_line: u32,
+    /// Position of the comment itself (for stale reports).
+    line: u32,
+    col: u32,
+    /// Rules that actually silenced a violation.
+    used: Vec<String>,
+}
+
+/// Extracts `lint:allow(...)` comments. Malformed ones (missing
+/// reason, unknown rule) become `bad-suppression` errors and are not
+/// honored.
+fn parse_suppressions(
+    rel: &str,
+    tokens: &[Token<'_>],
+    code: &[usize],
+) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() || !t.text.contains("lint:allow") {
+            continue;
+        }
+        // Doc comments are prose (they may *mention* the syntax, as
+        // this crate's own docs do); only plain comments suppress.
+        if t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let bad = |msg: String| Diagnostic {
+            path: rel.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "bad-suppression".to_string(),
+            severity: Severity::Error,
+            message: msg,
+        };
+        let Some((_, after)) = t.text.split_once("lint:allow") else {
+            continue;
+        };
+        let Some(args) = after.strip_prefix('(') else {
+            diags.push(bad(
+                "`lint:allow` must be followed by `(<rule, ...>)`".to_string()
+            ));
+            continue;
+        };
+        let Some((list, rest)) = args.split_once(')') else {
+            diags.push(bad("unclosed `lint:allow(` — missing `)`".to_string()));
+            continue;
+        };
+        let mut names = Vec::new();
+        let mut ok = true;
+        for name in list.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            if !rules::RULE_NAMES.contains(&name) {
+                diags.push(bad(format!(
+                    "unknown rule `{name}` in lint:allow (known: {})",
+                    rules::RULE_NAMES.join(", ")
+                )));
+                ok = false;
+            } else {
+                names.push(name.to_string());
+            }
+        }
+        let reason = rest
+            .trim_start()
+            .strip_prefix("--")
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            diags.push(bad(
+                "suppression without a reason; write `lint:allow(<rule>) -- <why>`".to_string(),
+            ));
+            ok = false;
+        }
+        if !ok || names.is_empty() {
+            continue;
+        }
+        // Same line when code precedes the comment, else the next line.
+        let code_before = code
+            .iter()
+            .filter_map(|&ci| tokens.get(ci))
+            .any(|c| c.line == t.line && c.col < t.col);
+        let target_line = if code_before { t.line } else { t.line + 1 };
+        sups.push(Suppression {
+            rules: names,
+            target_line,
+            line: t.line,
+            col: t.col,
+            used: Vec::new(),
+        });
+        let _ = i;
+    }
+    (sups, diags)
+}

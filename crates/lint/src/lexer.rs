@@ -1,0 +1,427 @@
+//! A minimal, panic-free Rust lexer.
+//!
+//! The rule engine only needs to see source *tokens* — identifiers,
+//! operators, literals and comments with their line/column positions —
+//! so this lexer deliberately implements a small, robust subset of the
+//! Rust lexical grammar: nested block comments, all string flavours
+//! (including raw strings with hash fences and byte strings), char
+//! literals vs. lifetimes, numeric literals with float detection, and
+//! a fixed table of multi-character operators. It never fails: any
+//! byte it does not understand becomes an [`TokenKind::Other`] token
+//! and scanning continues, which is the right trade-off for a linter
+//! that must not crash on the code it polices.
+//!
+//! Positions are 1-based; columns count bytes, which matches how
+//! editors interpret `file:line:col` spans for the ASCII-dominated
+//! sources in this repository.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal, including hex/octal/binary forms.
+    Int,
+    /// Float literal (`1.0`, `2.5e3`, `1f64`, `3.`).
+    Float,
+    /// String literal of any flavour (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// ...` comment, including doc comments.
+    LineComment,
+    /// `/* ... */` comment, nesting respected.
+    BlockComment,
+    /// Operator or punctuation (`==`, `::`, `{`, ...).
+    Op,
+    /// Anything unrecognized (kept so scanning never aborts).
+    Other,
+}
+
+/// One lexed token with its source text and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// True for comment tokens (which rules skip but the suppression
+    /// scanner and SAFETY-comment check read).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a flat token list, comments included.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut lx = Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    };
+    lx.run();
+    lx.out
+}
+
+/// Multi-byte operators, longest first within each arity.
+const OPS3: [&str; 3] = ["..=", "<<=", ">>="];
+const OPS2: [&str; 19] = [
+    "==", "!=", "<=", ">=", "->", "=>", "::", "..", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<",
+];
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token<'a>>,
+}
+
+fn ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    /// Byte at `offset` past the cursor, or 0 past end-of-input.
+    fn at(&self, offset: usize) -> u8 {
+        self.bytes.get(self.pos + offset).copied().unwrap_or(0)
+    }
+
+    /// Advances `n` bytes, maintaining line/column counters.
+    fn bump(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            if self.at(0) == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        // `get` instead of slicing keeps this panic-free even if a
+        // boundary ever lands inside a multi-byte character.
+        let text = self.src.get(start..self.pos).unwrap_or("");
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.bytes.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let c = self.at(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(1),
+                b'/' if self.at(1) == b'/' => {
+                    while self.at(0) != b'\n' && self.pos < self.bytes.len() {
+                        self.bump(1);
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.at(1) == b'*' => {
+                    self.bump(2);
+                    let mut depth = 1usize;
+                    while depth > 0 && self.pos < self.bytes.len() {
+                        if self.at(0) == b'/' && self.at(1) == b'*' {
+                            depth += 1;
+                            self.bump(2);
+                        } else if self.at(0) == b'*' && self.at(1) == b'/' {
+                            depth -= 1;
+                            self.bump(2);
+                        } else {
+                            self.bump(1);
+                        }
+                    }
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.bump(1);
+                    self.scan_string_body();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => self.scan_char_or_lifetime(start, line, col),
+                b'r' if self.raw_string_hashes(1).is_some() => {
+                    let hashes = self.raw_string_hashes(1).unwrap_or(0);
+                    self.bump(2 + hashes); // r, hashes, opening quote
+                    self.scan_raw_string_body(hashes);
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'r' if self.at(1) == b'#' && ident_start(self.at(2)) => {
+                    // Raw identifier `r#type`.
+                    self.bump(3);
+                    while ident_continue(self.at(0)) {
+                        self.bump(1);
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                b'b' if self.at(1) == b'\'' => {
+                    self.bump(1);
+                    self.scan_char_or_lifetime(start, line, col);
+                }
+                b'b' if self.at(1) == b'"' => {
+                    self.bump(2);
+                    self.scan_string_body();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.at(1) == b'r' && self.raw_string_hashes(2).is_some() => {
+                    let hashes = self.raw_string_hashes(2).unwrap_or(0);
+                    self.bump(3 + hashes);
+                    self.scan_raw_string_body(hashes);
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                _ if ident_start(c) => {
+                    self.bump(1);
+                    while ident_continue(self.at(0)) {
+                        self.bump(1);
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ if c.is_ascii_digit() => self.scan_number(start, line, col),
+                _ => self.scan_op_or_other(start, line, col),
+            }
+        }
+    }
+
+    /// If a raw string opens at `offset` (past an `r` / `br` prefix),
+    /// returns the number of `#` fence characters.
+    fn raw_string_hashes(&self, offset: usize) -> Option<usize> {
+        let mut n = 0;
+        while self.at(offset + n) == b'#' {
+            n += 1;
+        }
+        (self.at(offset + n) == b'"').then_some(n)
+    }
+
+    fn scan_string_body(&mut self) {
+        loop {
+            match self.at(0) {
+                0 => break,
+                b'\\' => self.bump(2),
+                b'"' => {
+                    self.bump(1);
+                    break;
+                }
+                _ => self.bump(1),
+            }
+        }
+    }
+
+    fn scan_raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            if self.at(0) == b'"' && (0..hashes).all(|i| self.at(1 + i) == b'#') {
+                self.bump(1 + hashes);
+                return;
+            }
+            self.bump(1);
+        }
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime): an
+    /// identifier character right after the quote that is *not*
+    /// immediately closed by another quote starts a lifetime.
+    fn scan_char_or_lifetime(&mut self, start: usize, line: u32, col: u32) {
+        let next = self.at(1);
+        if ident_start(next) && self.at(2) != b'\'' {
+            self.bump(2);
+            while ident_continue(self.at(0)) {
+                self.bump(1);
+            }
+            self.push(TokenKind::Lifetime, start, line, col);
+            return;
+        }
+        self.bump(1);
+        loop {
+            match self.at(0) {
+                0 => break,
+                b'\\' => self.bump(2),
+                b'\'' => {
+                    self.bump(1);
+                    break;
+                }
+                _ => self.bump(1),
+            }
+        }
+        self.push(TokenKind::Char, start, line, col);
+    }
+
+    fn scan_number(&mut self, start: usize, line: u32, col: u32) {
+        let radix_prefix = self.at(0) == b'0' && matches!(self.at(1) | 0x20, b'x' | b'o' | b'b');
+        if radix_prefix {
+            self.bump(2);
+            while ident_continue(self.at(0)) {
+                self.bump(1);
+            }
+            self.push(TokenKind::Int, start, line, col);
+            return;
+        }
+        let mut float = false;
+        while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+            self.bump(1);
+        }
+        if self.at(0) == b'.' && self.at(1).is_ascii_digit() {
+            float = true;
+            self.bump(1);
+            while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                self.bump(1);
+            }
+        } else if self.at(0) == b'.' && self.at(1) != b'.' && !ident_start(self.at(1)) {
+            // Trailing-dot float like `1.` (but not `1..` or `1.max()`).
+            float = true;
+            self.bump(1);
+        }
+        if self.at(0) | 0x20 == b'e'
+            && (self.at(1).is_ascii_digit()
+                || (matches!(self.at(1), b'+' | b'-') && self.at(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump(2);
+            while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                self.bump(1);
+            }
+        }
+        let suffix_start = self.pos;
+        while ident_continue(self.at(0)) {
+            self.bump(1);
+        }
+        let suffix = self.src.get(suffix_start..self.pos).unwrap_or("");
+        if suffix.contains("f32") || suffix.contains("f64") {
+            float = true;
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, start, line, col);
+    }
+
+    fn scan_op_or_other(&mut self, start: usize, line: u32, col: u32) {
+        let rest = self.src.get(self.pos..).unwrap_or("");
+        for op in OPS3 {
+            if rest.starts_with(op) {
+                self.bump(3);
+                self.push(TokenKind::Op, start, line, col);
+                return;
+            }
+        }
+        for op in OPS2 {
+            if rest.starts_with(op) {
+                self.bump(2);
+                self.push(TokenKind::Op, start, line, col);
+                return;
+            }
+        }
+        let kind = if self.at(0).is_ascii_punctuation() {
+            TokenKind::Op
+        } else {
+            TokenKind::Other
+        };
+        self.bump(1);
+        self.push(kind, start, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_ops_and_positions() {
+        let toks = lex("let x == y;\nfoo.bar()");
+        assert_eq!(toks[2].text, "==");
+        assert_eq!(toks[2].kind, TokenKind::Op);
+        let foo = toks.iter().find(|t| t.text == "foo").unwrap();
+        assert_eq!((foo.line, foo.col), (2, 1));
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = kinds("a // unwrap()\n/* panic! /* nested */ */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::LineComment, "// unwrap()".into()),
+                (TokenKind::BlockComment, "/* panic! /* nested */ */".into()),
+                (TokenKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r##"x("has .unwrap() inside", r#"raw "q" panic!"#, b"bytes")"##);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+        assert!(!toks.iter().any(|t| t.1 == "unwrap" || t.1 == "panic"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("fn f<'a>(c: char) { if c == 'x' || c == '\\'' {} }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'\\''".into())));
+    }
+
+    #[test]
+    fn float_classification() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1.", TokenKind::Float),
+            ("2.5e3", TokenKind::Float),
+            ("1e9", TokenKind::Float),
+            ("7f64", TokenKind::Float),
+            ("42", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("1_000", TokenKind::Int),
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks[0].kind, kind, "classifying {src}");
+        }
+        // `x.0` is a tuple access, not a float; `1..2` is a range.
+        let toks = kinds("x.0 + 1..2");
+        assert!(toks.contains(&(TokenKind::Int, "0".into())));
+        assert!(toks.contains(&(TokenKind::Op, "..".into())));
+        // `1.max(2)` keeps the integer receiver intact.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".into()));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in ["\"unterminated", "'", "r#\"open", "/* open", "\u{1F980} é"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! `marauder-lint` CLI.
+//!
+//! ```text
+//! cargo run -p marauder-lint [-- OPTIONS]
+//!   --format human|json   output format (default human)
+//!   --config PATH         lint.toml path (default <root>/lint.toml)
+//!   --root PATH           workspace root (default: found from cwd)
+//!   --list-rules          print rule names and exit
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or stale/bad suppressions),
+//! 2 usage / I/O / config error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use marauder_lint::{config::Config, engine, render_human, render_json, rules, LintError};
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("marauder-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut format = String::from("human");
+    let mut config_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = args.next().ok_or("--format needs a value")?;
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format `{format}` (human|json)"));
+                }
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(args.next().ok_or("--config needs a value")?))
+            }
+            "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--list-rules" => {
+                for rule in rules::RULE_NAMES {
+                    println!("{rule}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "marauder-lint: determinism & safety linter\n\
+                     usage: marauder-lint [--format human|json] [--config PATH] [--root PATH] [--list-rules]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+    // An explicitly requested config must exist; only the implicit
+    // <root>/lint.toml may be absent (defaults apply).
+    let config = match config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| LintError::Io(path.clone(), e.to_string()).to_string())?;
+            Config::parse(&text)?
+        }
+        None => load_config(&root.join("lint.toml"))?,
+    };
+
+    let diags = engine::run(&root, &config).map_err(|e| e.to_string())?;
+    match format.as_str() {
+        "json" => print!("{}", render_json(&diags)),
+        _ => print!("{}", render_human(&diags)),
+    }
+    if diags.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Reads and parses `lint.toml`; a missing file falls back to the
+/// built-in defaults (all rules on, no scoping).
+fn load_config(path: &Path) -> Result<Config, String> {
+    if !path.exists() {
+        return Ok(Config::default());
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LintError::Io(path.to_path_buf(), e.to_string()).to_string())?;
+    Config::parse(&text)
+}
+
+/// Ascends from the current directory to the first directory holding a
+/// `lint.toml`, or failing that a `Cargo.toml` with a `[workspace]`
+/// table.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join("lint.toml").exists() {
+            return Ok(dir.to_path_buf());
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return Err("no lint.toml or [workspace] Cargo.toml above cwd".to_string()),
+        }
+    }
+}

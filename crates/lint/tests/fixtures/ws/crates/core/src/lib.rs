@@ -1,0 +1,54 @@
+//! Fixture core crate: one violation per determinism rule, plus clean
+//! counterparts that must NOT be reported.
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Tally {
+    pub counts: HashMap<u32, u32>,
+    pub ordered: BTreeMap<u32, u32>,
+}
+
+impl Tally {
+    // VIOLATION line 15: no-hash-iteration
+    pub fn dump(&self) -> Vec<u32> {
+        self.counts.values().copied().collect()
+    }
+
+    /// Clean: iterating the BTreeMap is ordered.
+    pub fn dump_ordered(&self) -> Vec<u32> {
+        self.ordered.values().copied().collect()
+    }
+}
+
+// VIOLATION line 26: no-wall-clock
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// VIOLATION line 31: no-unseeded-entropy
+pub fn roll() -> u64 {
+    rand::random()
+}
+
+// VIOLATION line 36: no-panic-in-lib
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+// VIOLATION line 41: no-float-eq
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Clean: suppressed with a reason.
+pub fn head(v: &[u32]) -> u32 {
+    // lint:allow(no-panic-in-lib) -- fixture: caller guarantees non-empty
+    *v.first().unwrap()
+}
+
+// VIOLATION line 51: stale-suppression (nothing fires on the next line)
+// lint:allow(no-wall-clock) -- fixture: leftover suppression
+pub fn quiet() -> u32 {
+    7
+}

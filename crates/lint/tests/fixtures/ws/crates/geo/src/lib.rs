@@ -1,0 +1,6 @@
+//! Fixture geo crate: missing the `#![forbid(unsafe_code)]` attribute.
+// VIOLATION line 1: forbid-unsafe (crate root lacks the attribute)
+
+pub fn area(r: f64) -> f64 {
+    std::f64::consts::PI * r * r
+}

@@ -1,0 +1,13 @@
+//! Fixture par crate: the one crate allowed to hold `unsafe`, but only
+//! under a `// SAFETY:` comment.
+
+/// Clean: audited unsafe block.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture contract — caller passes a valid, aligned pointer.
+    unsafe { *p }
+}
+
+// VIOLATION line 12: forbid-unsafe (block is unaudited)
+pub fn read_unaudited(p: *const u8) -> u8 {
+    unsafe { *p }
+}

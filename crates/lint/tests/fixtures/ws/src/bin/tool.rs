@@ -1,0 +1,7 @@
+//! Fixture binary: binaries may read the wall clock and panic.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let arg = std::env::args().nth(1).unwrap();
+    println!("{arg} {:?}", t0.elapsed());
+}

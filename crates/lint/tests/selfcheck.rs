@@ -1,0 +1,25 @@
+//! Self-check: the workspace's own sources must lint clean under the
+//! workspace `lint.toml`. This is the in-tree mirror of the CI `lint`
+//! job — a violation anywhere in the repo fails `cargo test` too.
+
+use std::path::Path;
+
+use marauder_lint::config::Config;
+use marauder_lint::engine;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml");
+    let config = Config::parse(&toml).expect("workspace lint.toml parses");
+    let diags = engine::run(&root, &config).expect("engine runs");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

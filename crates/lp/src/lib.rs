@@ -25,6 +25,8 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-9); // x=2, y=2
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod problem;
 pub mod simplex;
 

@@ -128,7 +128,13 @@ where
         // pure function of the indices, independent of scheduling.
         let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
         for handle in handles {
-            for (start, vals) in handle.join().expect("parallel worker panicked") {
+            let claimed = match handle.join() {
+                Ok(claimed) => claimed,
+                // Re-raise the worker's panic payload in the caller,
+                // preserving the original message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (start, vals) in claimed {
                 for (j, v) in vals.into_iter().enumerate() {
                     slots[start + j] = Some(v);
                 }
@@ -136,6 +142,7 @@ where
         }
         slots
             .into_iter()
+            // lint:allow(no-panic-in-lib) -- block scheduler claims every index exactly once
             .map(|v| v.expect("every block was claimed exactly once"))
             .collect()
     })

@@ -261,6 +261,7 @@ impl ReceiverChainBuilder {
     ///
     /// Panics when no NIC was provided or the connector loss is negative.
     pub fn build(self) -> ReceiverChain {
+        // lint:allow(no-panic-in-lib) -- builder misuse; documented `# Panics` contract
         let nic = self.nic.expect("a receiver chain needs a wireless card");
         let connector_loss = self.connector_loss.unwrap_or(0.0);
         assert!(

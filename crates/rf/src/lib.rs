@@ -41,6 +41,8 @@
 //! assert!(radius.meters() > 800.0); // ≈ 1 km in the paper (Fig. 12)
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod components;
 pub mod link_budget;

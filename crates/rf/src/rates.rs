@@ -104,7 +104,7 @@ impl DataRate {
             .iter()
             .copied()
             .filter(|r| r.snr_min().db() <= snr.db())
-            .max_by(|a, b| a.mbps().partial_cmp(&b.mbps()).expect("finite"))
+            .max_by(|a, b| a.mbps().total_cmp(&b.mbps()))
     }
 
     /// Soft decode model: probability of successfully decoding a frame

@@ -150,6 +150,7 @@ impl Deployment {
             .enumerate()
             .map(|(i, location)| {
                 let bssid = MacAddr::from_index(0x0A_0000 + i as u64);
+                // lint:allow(no-panic-in-lib) -- generated name is always under the SSID length cap
                 let ssid = Ssid::new(format!("campus-ap-{i:04}")).expect("short ssid");
                 let channel = mix.sample(rng);
                 AccessPoint::new(bssid, ssid, channel, location)

@@ -36,8 +36,7 @@ impl<T> Ord for Event<T> {
         // Reverse order: BinaryHeap is a max-heap, we want earliest first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }

@@ -36,6 +36,8 @@
 //! assert!(!result.ground_truth.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod deploy;
 pub mod engine;
 pub mod link;

@@ -60,7 +60,7 @@ impl WaypointRoute {
 
     /// Total route length, meters.
     pub fn length(&self) -> f64 {
-        *self.cumlen.last().expect("non-empty")
+        self.cumlen.last().copied().unwrap_or(0.0)
     }
 
     /// Time to traverse the whole route, seconds.
@@ -78,14 +78,12 @@ impl Trajectory for WaypointRoute {
     fn position(&self, t: f64) -> Point {
         let dist = (t.max(0.0) * self.speed_mps).min(self.length());
         // Find the segment containing `dist`.
-        let i = match self
-            .cumlen
-            .binary_search_by(|c| c.partial_cmp(&dist).expect("lengths are finite"))
-        {
+        let i = match self.cumlen.binary_search_by(|c| c.total_cmp(&dist)) {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         };
         if i + 1 >= self.waypoints.len() {
+            // lint:allow(no-panic-in-lib) -- waypoints non-empty: asserted in WaypointRoute::new
             return *self.waypoints.last().expect("non-empty");
         }
         let seg_len = self.cumlen[i + 1] - self.cumlen[i];
@@ -157,12 +155,14 @@ impl RandomWaypoint {
         duration_s: f64,
         rng: &mut R,
     ) -> Self {
-        let mut pts = vec![region.sample(rng)];
+        let mut cur = region.sample(rng);
+        let mut pts = vec![cur];
         let mut len = 0.0;
         while len < speed_mps * duration_s {
             let next = region.sample(rng);
-            len += pts.last().expect("non-empty").distance(next);
+            len += cur.distance(next);
             pts.push(next);
+            cur = next;
         }
         RandomWaypoint {
             route: WaypointRoute::new(pts, speed_mps),
@@ -263,14 +263,18 @@ impl TracePath {
 
     /// Duration covered by the trace, seconds.
     pub fn duration(&self) -> f64 {
-        self.samples.last().expect("non-empty").0 - self.samples[0].0
+        match (self.samples.first(), self.samples.last()) {
+            (Some(first), Some(last)) => last.0 - first.0,
+            _ => 0.0,
+        }
     }
 }
 
 impl Trajectory for TracePath {
     fn position(&self, t: f64) -> Point {
-        let first = self.samples[0];
-        let last = *self.samples.last().expect("non-empty");
+        let (Some(&first), Some(&last)) = (self.samples.first(), self.samples.last()) else {
+            return Point::new(0.0, 0.0);
+        };
         if t <= first.0 {
             return first.1;
         }

@@ -176,11 +176,11 @@ impl CampusScenario {
             self.deployment
                 .generate(self.num_aps, self.region, &self.channel_mix, &mut rng);
         if self.a_band_fraction > 0.0 {
-            use marauder_wifi::channel::{Channel, A_CHANNELS};
+            use marauder_wifi::channel::Channel;
+            let a_channels: Vec<Channel> = Channel::all_a().collect();
             for ap in &mut aps {
                 if rng.gen_range(0.0..1.0) < self.a_band_fraction {
-                    let n = A_CHANNELS[rng.gen_range(0..A_CHANNELS.len())];
-                    ap.channel = Channel::a(n).expect("A_CHANNELS are valid");
+                    ap.channel = a_channels[rng.gen_range(0..a_channels.len())];
                 }
             }
         }
@@ -213,9 +213,11 @@ impl CampusScenario {
         let mut sniffer = Sniffer::new(self.sniffer_position, chain, margin);
         for &ch in &self.sniffer_channels {
             let channel = if ch <= 11 {
+                // lint:allow(no-panic-in-lib) -- sniffer_channels is operator config; a bad list is a setup error
                 marauder_wifi::channel::Channel::bg(ch).expect("sniffer channels 1-11 are b/g")
             } else {
                 marauder_wifi::channel::Channel::a(ch)
+                    // lint:allow(no-panic-in-lib) -- sniffer_channels is operator config; a bad list is a setup error
                     .expect("sniffer channels above 11 must be valid 802.11a channels")
             };
             sniffer.add_card(SnifferCard::fixed(format!("NIC{ch}"), channel));
@@ -254,6 +256,7 @@ impl CampusScenario {
                 let n_pref = 1 + (i % 3);
                 for k in 0..n_pref {
                     let name = pool[(i * 3 + k * 2) % pool.len()];
+                    // lint:allow(no-panic-in-lib) -- pool entries are short const SSID names
                     m = m.with_preferred(marauder_wifi::ssid::Ssid::new(name).expect("short ssid"));
                 }
                 let t = RandomWaypoint::new(self.region, 1.4, self.duration_s, &mut rng);
@@ -322,13 +325,7 @@ impl CampusScenario {
                 let scan_channels: Vec<marauder_wifi::channel::Channel> =
                     marauder_wifi::channel::Channel::all_bg()
                         .chain(if self.a_band_fraction > 0.0 {
-                            marauder_wifi::channel::A_CHANNELS
-                                .iter()
-                                .map(|&n| {
-                                    marauder_wifi::channel::Channel::a(n)
-                                        .expect("A_CHANNELS are valid")
-                                })
-                                .collect::<Vec<_>>()
+                            marauder_wifi::channel::Channel::all_a().collect::<Vec<_>>()
                         } else {
                             Vec::new()
                         })
@@ -415,6 +412,7 @@ impl CampusScenario {
                     let (bait, hit_p) = self
                         .active_attack
                         .as_ref()
+                        // lint:allow(no-panic-in-lib) -- BaitBurst events are only scheduled when active_attack is Some
                         .expect("bait event implies active attack");
                     // The sniffer's own capture of the bait frames is
                     // uninteresting; what matters is which stations bite
@@ -425,7 +423,8 @@ impl CampusScenario {
                             // association request to the bait BSSID …
                             let pos = traj.position(ev.time);
                             let mac = wire_mac(mobile, ev.time);
-                            let ch = marauder_wifi::channel::Channel::bg(6).expect("valid channel");
+                            // Channel 6 is the middle non-overlapping b/g channel.
+                            let ch = marauder_wifi::channel::Channel::non_overlapping_bg()[1];
                             for frame in [
                                 Frame::authentication(mac, bait.mac(), bait.mac(), 1, ch),
                                 Frame::association_request(mac, bait.mac(), ssid, ch),
@@ -470,6 +469,7 @@ impl CampusScenario {
                         on_frame(&rec);
                         captures.push(rec);
                     }
+                    // lint:allow(no-panic-in-lib) -- Beacon events are only scheduled when beacon_period_s is Some
                     let period = self.beacon_period_s.expect("beacon event implies period");
                     let next = ev.time + period;
                     if next <= self.duration_s {

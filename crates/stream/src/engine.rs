@@ -238,12 +238,9 @@ impl StreamEngine {
         let mut out = self.close_below(boundary);
         if self.config.max_open_windows > 0 {
             while self.distinct_open_indices() > self.config.max_open_windows {
-                let oldest = self
-                    .open
-                    .keys()
-                    .next()
-                    .expect("non-empty while over bound")
-                    .0;
+                let Some(&(oldest, _)) = self.open.keys().next() else {
+                    break;
+                };
                 let evicted = self.close_below(oldest + 1);
                 self.stats.windows_evicted += evicted.len();
                 out.extend(evicted);
@@ -256,11 +253,14 @@ impl StreamEngine {
     /// and advances the no-reopen cursor.
     fn close_below(&mut self, boundary: i64) -> Vec<ClosedWindow> {
         let mut out = Vec::new();
-        while let Some((&(w, mobile), _)) = self.open.iter().next() {
-            if w >= boundary {
+        while self
+            .open
+            .first_key_value()
+            .is_some_and(|(&(w, _), _)| w < boundary)
+        {
+            let Some(((w, mobile), gamma)) = self.open.pop_first() else {
                 break;
-            }
-            let gamma = self.open.remove(&(w, mobile)).expect("key just observed");
+            };
             out.push(self.close_window(w, mobile, gamma));
         }
         self.closed_before = Some(match self.closed_before {

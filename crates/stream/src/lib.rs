@@ -52,6 +52,8 @@
 //! ([`StreamEngine::restore`]) and resumed — with output identical to
 //! the uninterrupted run.
 
+#![forbid(unsafe_code)]
+
 mod engine;
 mod replay;
 mod snapshot;

@@ -62,6 +62,7 @@ impl BaitTransmitter {
         BaitTransmitter::new(
             names
                 .iter()
+                // lint:allow(no-panic-in-lib) -- bait SSID table entries are short by construction
                 .map(|n| Ssid::new(*n).expect("short ssid"))
                 .collect(),
         )
@@ -90,6 +91,7 @@ impl BaitTransmitter {
                 Frame::beacon(
                     MacAddr::new(octets),
                     ssid.clone(),
+                    // lint:allow(no-panic-in-lib) -- caller passes a validated b/g channel number
                     crate::channel::Channel::bg(channel).expect("valid channel"),
                     100,
                 )

@@ -115,6 +115,14 @@ impl Channel {
         })
     }
 
+    /// All 802.11a channels of [`A_CHANNELS`], in table order.
+    pub fn all_a() -> impl Iterator<Item = Channel> {
+        A_CHANNELS.iter().map(|&n| Channel {
+            band: Band::A5,
+            number: n,
+        })
+    }
+
     /// The three non-overlapping b/g channels the paper's rig monitors.
     pub fn non_overlapping_bg() -> [Channel; 3] {
         [
@@ -251,11 +259,17 @@ impl CampusChannelMix {
         let mut u: f64 = rng.gen_range(0.0..1.0);
         for (i, w) in self.weights.iter().enumerate() {
             if u < *w {
-                return Channel::bg(i as u8 + 1).expect("index in 1..=11");
+                return Channel {
+                    band: Band::G24,
+                    number: i as u8 + 1,
+                };
             }
             u -= w;
         }
-        Channel::bg(11).expect("valid channel")
+        Channel {
+            band: Band::G24,
+            number: 11,
+        }
     }
 }
 

@@ -124,6 +124,7 @@ impl Frame {
             dst: MacAddr::BROADCAST,
             src,
             bssid: MacAddr::BROADCAST,
+            // lint:allow(no-panic-in-lib) -- raw channel number is the caller's contract
             channel: Channel::bg(channel).expect("valid b/g channel"),
             sequence: 0,
             body: FrameBody::ProbeRequest { ssid },

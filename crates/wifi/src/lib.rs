@@ -37,6 +37,8 @@
 //! let _ = Channel::bg(6).unwrap().center_frequency();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod active;
 pub mod capture_log;
 pub mod channel;

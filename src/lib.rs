@@ -9,6 +9,8 @@
 //! assert_eq!(p.x, 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use marauder_core as core;
 pub use marauder_geo as geo;
 pub use marauder_lp as lp;
