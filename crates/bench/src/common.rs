@@ -4,7 +4,7 @@
 use marauder_core::algorithms::Centroid;
 use marauder_core::apdb::{ApDatabase, ApRecord};
 use marauder_core::eval::{EvalOutcome, FixRecord};
-use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauder_core::pipeline::{AttackConfig, FixProvenance, KnowledgeLevel, MaraudersMap};
 use marauder_geo::Point;
 use marauder_sim::mobility::CircuitWalk;
 use marauder_sim::scenario::{CampusScenario, GroundTruthFix, SimulationResult, WorldModel};
@@ -165,6 +165,7 @@ pub fn run_attack_experiment(seeds: &[u64], world: WorldModel) -> AttackOutcomes
                     error_m: est.distance(t.position),
                     area_m2: f64::NAN,
                     covered: false,
+                    provenance: FixProvenance::Centroid,
                 });
             }
             if let Some(est) = marauder_core::algorithms::NearestAp.locate(&records) {
@@ -173,6 +174,7 @@ pub fn run_attack_experiment(seeds: &[u64], world: WorldModel) -> AttackOutcomes
                     error_m: est.distance(t.position),
                     area_m2: f64::NAN,
                     covered: false,
+                    provenance: FixProvenance::NearestAp,
                 });
             }
         }
@@ -275,6 +277,7 @@ fn score_fixes(
             error_m: fix.estimate.position.distance(t.position),
             area_m2: fix.estimate.area(),
             covered: fix.estimate.covers(t.position),
+            provenance: fix.provenance,
         });
     }
 }

@@ -106,4 +106,18 @@ impl Estimate {
         let mec = self.enclosing_circle()?;
         Some(self.position.distance(mec.center) + mec.radius)
     }
+
+    /// A degenerate point estimate with no supporting region — the
+    /// shape the degradation ladder's Centroid and Nearest-AP rungs
+    /// produce when disc intersection is impossible. The region is a
+    /// single zero-radius disc at the position, so `area()` is 0 and
+    /// `covers` holds only at the point itself.
+    pub fn point(position: Point, k: usize) -> Self {
+        Estimate {
+            position,
+            region: DiscIntersection::new(&[Circle::new(position, 0.0)]),
+            k,
+            inflation: 1.0,
+        }
+    }
 }

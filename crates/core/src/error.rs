@@ -1,0 +1,114 @@
+//! Typed failures of the attack pipeline.
+//!
+//! The hot localization path historically reported every failure as a
+//! bare `None`, which makes "the discs were degenerate" and "we have
+//! never heard of any of these APs" indistinguishable to an operator
+//! staring at a dropped fix. Under fault injection (`marauder-fault`)
+//! that distinction is the whole point: the degradation report must say
+//! *why* each device-window was lost. [`PipelineError`] is the typed
+//! hierarchy the ladder in
+//! [`MaraudersMap::try_locate`](crate::pipeline::MaraudersMap::try_locate)
+//! returns instead.
+
+use std::fmt;
+
+/// Why a localization attempt produced no estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The observation window carried no communicable APs at all.
+    EmptyObservation,
+    /// None of the observed APs is in the attacker's knowledge — the
+    /// whole Γ set is unknown MACs (bit-flipped captures produce
+    /// these). Carries the number of observed-but-unknown APs.
+    NoKnownAps {
+        /// How many APs were observed in the window.
+        observed: usize,
+    },
+    /// Known discs existed but their geometry was degenerate beyond
+    /// recovery (e.g. distinct zero-radius discs that no finite
+    /// inflation can make intersect).
+    DegenerateGeometry {
+        /// How many known coverage discs were intersected.
+        discs: usize,
+    },
+    /// Some observed APs have known locations but none has a usable
+    /// radius, and the policy forbids the location-only rungs of the
+    /// ladder ([`DegradationPolicy::Strict`]).
+    ///
+    /// [`DegradationPolicy::Strict`]: crate::pipeline::DegradationPolicy::Strict
+    NoUsableRadii {
+        /// How many observed APs have a known location.
+        known: usize,
+    },
+    /// An input carried a NaN or infinite value where a finite number
+    /// is required.
+    NonFinite {
+        /// Which quantity was non-finite.
+        what: &'static str,
+    },
+    /// A malformed-input budget was exhausted (replay with an error
+    /// budget, snapshot restore). Carries the 1-based position of the
+    /// offending record and the budget that was exceeded.
+    BudgetExhausted {
+        /// 1-based line/record number of the fatal malformation.
+        line: usize,
+        /// The configured budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyObservation => {
+                write!(f, "observation window carries no communicable APs")
+            }
+            PipelineError::NoKnownAps { observed } => write!(
+                f,
+                "none of the {observed} observed APs is in the attacker's knowledge"
+            ),
+            PipelineError::DegenerateGeometry { discs } => write!(
+                f,
+                "degenerate geometry: {discs} known discs admit no finite intersection"
+            ),
+            PipelineError::NoUsableRadii { known } => write!(
+                f,
+                "{known} observed APs have known locations but no usable radius \
+                 (strict policy forbids location-only fallbacks)"
+            ),
+            PipelineError::NonFinite { what } => {
+                write!(f, "non-finite {what} where a finite value is required")
+            }
+            PipelineError::BudgetExhausted { line, budget } => write!(
+                f,
+                "malformed-input budget of {budget} exhausted at line {line}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        assert!(PipelineError::EmptyObservation
+            .to_string()
+            .contains("no communicable APs"));
+        assert!(PipelineError::NoKnownAps { observed: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(PipelineError::DegenerateGeometry { discs: 2 }
+            .to_string()
+            .contains("degenerate"));
+        assert!(PipelineError::NonFinite { what: "radius" }
+            .to_string()
+            .contains("radius"));
+        let e = PipelineError::BudgetExhausted { line: 9, budget: 2 };
+        assert!(e.to_string().contains("line 9"));
+        assert!(e.to_string().contains("budget of 2"));
+    }
+}

@@ -6,6 +6,8 @@
 //! probability that the intersected area covers the true location
 //! (Fig. 16). This module computes all of them from per-fix records.
 
+use crate::pipeline::FixProvenance;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One localization attempt scored against ground truth.
@@ -21,6 +23,10 @@ pub struct FixRecord {
     /// Whether the intersected area covered the true location (`false`
     /// for estimators without a region).
     pub covered: bool,
+    /// Which rung of the degradation ladder produced the fix (plain
+    /// [`FixProvenance::MLoc`] on clean captures; baseline evaluators
+    /// tag their own rung).
+    pub provenance: FixProvenance,
 }
 
 /// A collection of scored fixes for one algorithm.
@@ -45,11 +51,15 @@ pub struct ErrorStats {
 
 impl ErrorStats {
     /// Computes statistics, or `None` for an empty slice.
+    ///
+    /// Non-finite inputs (NaN, ±∞) are filtered out before any
+    /// aggregation: a single poisoned fix must not corrupt a whole
+    /// campaign's mean/median/max. `None` when nothing finite remains.
     pub fn from_errors(errors: &[f64]) -> Option<ErrorStats> {
-        if errors.is_empty() {
+        let mut sorted: Vec<f64> = errors.iter().copied().filter(|e| e.is_finite()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = errors.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
@@ -97,6 +107,18 @@ impl EvalOutcome {
     pub fn error_stats(&self) -> Option<ErrorStats> {
         let errors: Vec<f64> = self.records.iter().map(|r| r.error_m).collect();
         ErrorStats::from_errors(&errors)
+    }
+
+    /// How many fixes each rung of the degradation ladder produced.
+    /// Every rung appears in the map, zero-count rungs included, so
+    /// reports account for the full ladder.
+    pub fn provenance_histogram(&self) -> BTreeMap<FixProvenance, usize> {
+        let mut hist: BTreeMap<FixProvenance, usize> =
+            FixProvenance::ALL.iter().map(|&p| (p, 0)).collect();
+        for r in &self.records {
+            *hist.entry(r.provenance).or_insert(0) += 1;
+        }
+        hist
     }
 
     /// Fig. 13: histogram of errors with the given bucket width; returns
@@ -220,6 +242,7 @@ mod tests {
             error_m: error,
             area_m2: area,
             covered,
+            provenance: FixProvenance::MLoc,
         }
     }
 
@@ -235,6 +258,36 @@ mod tests {
         let s = ErrorStats::from_errors(&[1.0, 2.0, 3.0, 10.0]).unwrap();
         assert_eq!(s.median, 2.5);
         assert!(s.to_string().contains("mean=4.00"));
+    }
+
+    #[test]
+    fn stats_filter_non_finite_errors() {
+        // Regression: a single NaN/∞ fix used to poison the campaign
+        // mean (NaN) and max (∞). Non-finite inputs are dropped.
+        let s = ErrorStats::from_errors(&[1.0, f64::NAN, 3.0, f64::INFINITY, 2.0]).unwrap();
+        assert_eq!(s.count, 3, "only the finite errors are counted");
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.mean.is_finite() && s.max.is_finite());
+        // All-poisoned input yields no statistics rather than garbage.
+        assert!(ErrorStats::from_errors(&[f64::NAN, f64::NEG_INFINITY]).is_none());
+    }
+
+    #[test]
+    fn provenance_histogram_accounts_for_every_rung() {
+        let mut records = vec![rec(3, 1.0, 1.0, true), rec(2, 2.0, 1.0, true)];
+        records.push(FixRecord {
+            provenance: FixProvenance::Centroid,
+            ..rec(2, 9.0, f64::NAN, false)
+        });
+        let outcome = EvalOutcome::new(records);
+        let hist = outcome.provenance_histogram();
+        assert_eq!(hist[&FixProvenance::MLoc], 2);
+        assert_eq!(hist[&FixProvenance::Centroid], 1);
+        // Zero-count rungs are present, so reports sum to len().
+        assert_eq!(hist.len(), FixProvenance::ALL.len());
+        assert_eq!(hist.values().sum::<usize>(), outcome.len());
     }
 
     #[test]

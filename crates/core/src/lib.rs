@@ -42,6 +42,7 @@
 
 pub mod algorithms;
 pub mod apdb;
+pub mod error;
 pub mod eval;
 pub mod map;
 pub mod pipeline;
@@ -54,8 +55,11 @@ pub use algorithms::{
     ApLoc, ApRad, ApRadSolver, Centroid, CoverageDisc, Estimate, MLoc, NearestAp, ObservationStats,
 };
 pub use apdb::{ApDatabase, ApRecord};
+pub use error::PipelineError;
 pub use eval::{bucket_by_min_aps, ErrorStats, EvalOutcome};
-pub use pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap, TrackFix};
+pub use pipeline::{
+    AttackConfig, DegradationPolicy, FixProvenance, KnowledgeLevel, MaraudersMap, TrackFix,
+};
 pub use pseudonym::{LinkedDevice, PseudonymLinker};
 pub use report::{AttackReport, DeviceSummary};
 pub use tracker::{KalmanSmoother, TrackPoint};

@@ -5,8 +5,9 @@
 //! sniffer's capture database, fills any missing radii with AP-Rad's LP
 //! estimates, and then locates or tracks any mobile the sniffer saw.
 
-use crate::algorithms::{ApLoc, ApRad, ApRadSolver, CoverageDisc, Estimate, MLoc};
+use crate::algorithms::{ApLoc, ApRad, ApRadSolver, Centroid, CoverageDisc, Estimate, MLoc};
 use crate::apdb::ApDatabase;
+use crate::error::PipelineError;
 use marauder_geo::Point;
 use marauder_sim::wardrive::TrainingTuple;
 use marauder_wifi::mac::MacAddr;
@@ -22,6 +23,74 @@ pub enum KnowledgeLevel {
     LocationsOnly,
     /// Nothing: AP knowledge comes from wardriving training (AP-Loc).
     NoKnowledge,
+}
+
+/// How the pipeline reacts when disc intersection is impossible for a
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Paper behavior: a window that M-Loc (including its inflation
+    /// fallback) cannot localize is dropped. This is the default so
+    /// clean-capture outputs are unchanged.
+    #[default]
+    Strict,
+    /// Walk the full degradation ladder: M-Loc → inflation fallback →
+    /// Centroid of the known AP locations → Nearest-AP. A window is
+    /// lost only when *no* observed AP has a known location. Every fix
+    /// carries a [`FixProvenance`] saying which rung produced it.
+    Graceful,
+}
+
+/// Which rung of the degradation ladder produced a fix.
+///
+/// Ordered from best to worst: under faults the chaos harness reports
+/// a histogram of these so an experiment can say not just *that* a
+/// device was tracked but *how* trustworthy each fix is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FixProvenance {
+    /// Disc intersection succeeded with the knowledge as-is.
+    MLoc,
+    /// Disc intersection succeeded only after the radius-inflation
+    /// fallback (some radius was underestimated — Theorem 3's `R < r`
+    /// regime, or a fault thinned the co-observation evidence).
+    Inflated,
+    /// No usable discs; the fix is the centroid of the ≥ 2 known AP
+    /// locations in Γ.
+    Centroid,
+    /// Exactly one observed AP had a known location; the fix is that
+    /// location (tightest-radius AP when radii are known).
+    NearestAp,
+}
+
+impl FixProvenance {
+    /// Stable lower-case name, used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FixProvenance::MLoc => "mloc",
+            FixProvenance::Inflated => "inflated",
+            FixProvenance::Centroid => "centroid",
+            FixProvenance::NearestAp => "nearest_ap",
+        }
+    }
+
+    /// All variants, ladder order.
+    pub const ALL: [FixProvenance; 4] = [
+        FixProvenance::MLoc,
+        FixProvenance::Inflated,
+        FixProvenance::Centroid,
+        FixProvenance::NearestAp,
+    ];
+
+    /// `true` for the rungs below plain M-Loc.
+    pub fn is_degraded(self) -> bool {
+        self != FixProvenance::MLoc
+    }
+}
+
+impl std::fmt::Display for FixProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Pipeline configuration.
@@ -43,6 +112,9 @@ pub struct AttackConfig {
     pub aprad: ApRad,
     /// The AP-Loc instance used when locations must be trained.
     pub aploc: ApLoc,
+    /// What to do when disc intersection is impossible (default:
+    /// [`Strict`](DegradationPolicy::Strict), the paper behavior).
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for AttackConfig {
@@ -52,6 +124,7 @@ impl Default for AttackConfig {
             mloc: MLoc::default(),
             aprad: ApRad::default(),
             aploc: ApLoc::default(),
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -67,6 +140,8 @@ pub struct TrackFix {
     pub gamma: BTreeSet<MacAddr>,
     /// The localization estimate.
     pub estimate: Estimate,
+    /// Which rung of the degradation ladder produced the estimate.
+    pub provenance: FixProvenance,
 }
 
 /// The digital Marauder's Map.
@@ -263,9 +338,41 @@ impl MaraudersMap {
 
     /// Locates a mobile from its communicable-AP set.
     ///
-    /// Returns `None` when no AP in `gamma` has both a known location
-    /// and radius.
+    /// Thin `Option` view over [`try_locate`](Self::try_locate): under
+    /// the default [`Strict`](DegradationPolicy::Strict) policy this
+    /// returns `None` exactly when no AP in `gamma` has both a known
+    /// location and radius (or the discs are degenerate), as it always
+    /// has.
     pub fn locate(&self, gamma: &BTreeSet<MacAddr>) -> Option<Estimate> {
+        self.try_locate(gamma).ok().map(|(est, _)| est)
+    }
+
+    /// Locates a mobile from its communicable-AP set, walking the
+    /// degradation ladder and reporting *why* on failure.
+    ///
+    /// The ladder, walked top to bottom:
+    ///
+    /// 1. **M-Loc** over the APs with a known location *and* radius —
+    ///    provenance [`MLoc`](FixProvenance::MLoc), or
+    ///    [`Inflated`](FixProvenance::Inflated) when the empty-region
+    ///    inflation fallback had to fire.
+    /// 2. **Centroid** of the ≥ 2 known AP locations (radii unusable) —
+    ///    only under [`DegradationPolicy::Graceful`].
+    /// 3. **Nearest-AP** when exactly one location is known — only
+    ///    under [`DegradationPolicy::Graceful`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] naming the first rung that could not be
+    /// reached: empty Γ, no known APs, or degenerate disc geometry
+    /// (the latter only terminal under the `Strict` policy).
+    pub fn try_locate(
+        &self,
+        gamma: &BTreeSet<MacAddr>,
+    ) -> Result<(Estimate, FixProvenance), PipelineError> {
+        if gamma.is_empty() {
+            return Err(PipelineError::EmptyObservation);
+        }
         // Gamma iterates in sorted-MAC order and the interned tables
         // were built in that same order, so the disc sequence is
         // identical to per-MAC map lookups — just without the tree
@@ -277,7 +384,49 @@ impl MaraudersMap {
                 self.discs[id as usize]
             })
             .collect();
-        self.config.mloc.locate(&discs)
+        if let Some(est) = self.config.mloc.locate(&discs) {
+            let provenance = if est.inflation > 1.0 {
+                FixProvenance::Inflated
+            } else {
+                FixProvenance::MLoc
+            };
+            return Ok((est, provenance));
+        }
+        let strict = self.config.degradation == DegradationPolicy::Strict;
+        if strict && !discs.is_empty() {
+            return Err(PipelineError::DegenerateGeometry { discs: discs.len() });
+        }
+        // Lower rungs: fall back to the known locations alone.
+        let known: Vec<(MacAddr, Point)> = gamma
+            .iter()
+            .filter_map(|mac| Some((*mac, *self.locations.get(mac)?)))
+            .collect();
+        if known.is_empty() {
+            return Err(PipelineError::NoKnownAps {
+                observed: gamma.len(),
+            });
+        }
+        if strict {
+            // Locations alone are never enough under the paper policy.
+            return Err(PipelineError::NoUsableRadii { known: known.len() });
+        }
+        if known.len() >= 2 {
+            let positions: Vec<Point> = known.iter().map(|(_, p)| *p).collect();
+            let position = Centroid
+                .locate(&positions)
+                .ok_or(PipelineError::NoKnownAps {
+                    observed: gamma.len(),
+                })?;
+            return Ok((
+                Estimate::point(position, known.len()),
+                FixProvenance::Centroid,
+            ));
+        }
+        // Exactly one known location: the nearest-AP degenerate case.
+        // With several known radii the tightest disc would win, but at
+        // one known AP the choice is forced.
+        let (_, position) = known[0];
+        Ok((Estimate::point(position, 1), FixProvenance::NearestAp))
     }
 
     /// Localizes a batch of observation windows with the map's current
@@ -291,18 +440,37 @@ impl MaraudersMap {
     /// out across worker threads (see [`marauder_par`]); the output is
     /// bit-identical for any worker count.
     pub fn localize_windows(&self, obs: Vec<ObservationSet>) -> Vec<TrackFix> {
-        let estimates = marauder_par::par_map(&obs, |o| self.locate(&o.aps));
-        obs.into_iter()
+        self.localize_windows_accounted(obs).0
+    }
+
+    /// [`localize_windows`](Self::localize_windows), also returning the
+    /// typed reason each unlocatable window was dropped (in input
+    /// order) — the chaos harness's accounting hook: fixes plus losses
+    /// always sum to the input windows.
+    pub fn localize_windows_accounted(
+        &self,
+        obs: Vec<ObservationSet>,
+    ) -> (Vec<TrackFix>, Vec<PipelineError>) {
+        let estimates = marauder_par::par_map(&obs, |o| self.try_locate(&o.aps));
+        let mut lost = Vec::new();
+        let fixes = obs
+            .into_iter()
             .zip(estimates)
-            .filter_map(|(o, estimate)| {
-                Some(TrackFix {
+            .filter_map(|(o, outcome)| match outcome {
+                Ok((estimate, provenance)) => Some(TrackFix {
                     time_s: o.window_start_s,
                     mobile: o.mobile,
                     gamma: o.aps,
-                    estimate: estimate?,
-                })
+                    estimate,
+                    provenance,
+                }),
+                Err(e) => {
+                    lost.push(e);
+                    None
+                }
             })
-            .collect()
+            .collect();
+        (fixes, lost)
     }
 
     /// Tracks one mobile across the capture: one fix per observation
@@ -451,6 +619,109 @@ mod tests {
         let map = MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default());
         let gamma: BTreeSet<MacAddr> = [MacAddr::from_index(5)].into_iter().collect();
         assert!(map.locate(&gamma).is_none());
+        // The typed path names the cause.
+        assert_eq!(
+            map.try_locate(&gamma).unwrap_err(),
+            crate::error::PipelineError::NoKnownAps { observed: 1 }
+        );
+        assert_eq!(
+            map.try_locate(&BTreeSet::new()).unwrap_err(),
+            crate::error::PipelineError::EmptyObservation
+        );
+    }
+
+    /// A map whose knowledge has locations for APs 1–3 but radii only
+    /// where `radius` says so.
+    fn ladder_map(radii: &[Option<f64>], policy: DegradationPolicy) -> MaraudersMap {
+        let db: ApDatabase = radii
+            .iter()
+            .enumerate()
+            .map(|(i, r)| crate::apdb::ApRecord {
+                bssid: MacAddr::from_index(1 + i as u64),
+                ssid: None,
+                location: Point::new(i as f64 * 100.0, 0.0),
+                radius: *r,
+            })
+            .collect();
+        let mut map = MaraudersMap::new(
+            db,
+            KnowledgeLevel::LocationsOnly,
+            AttackConfig {
+                degradation: policy,
+                ..AttackConfig::default()
+            },
+        );
+        // Install the radii directly (skip the LP): only the Some
+        // entries become usable discs.
+        let usable: BTreeMap<MacAddr, f64> = radii
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| Some((MacAddr::from_index(1 + i as u64), (*r)?)))
+            .collect();
+        map.apply_radii(usable);
+        map
+    }
+
+    #[test]
+    fn ladder_reports_mloc_and_inflated_provenance() {
+        let gamma: BTreeSet<MacAddr> = [MacAddr::from_index(1), MacAddr::from_index(2)]
+            .into_iter()
+            .collect();
+        // Overlapping discs: plain M-Loc.
+        let map = ladder_map(&[Some(120.0), Some(120.0)], DegradationPolicy::Strict);
+        let (est, prov) = map.try_locate(&gamma).unwrap();
+        assert_eq!(prov, FixProvenance::MLoc);
+        assert!(est.inflation <= 1.0 + 1e-12);
+        // Disjoint discs: the inflation fallback fires.
+        let map = ladder_map(&[Some(20.0), Some(20.0)], DegradationPolicy::Strict);
+        let (est, prov) = map.try_locate(&gamma).unwrap();
+        assert_eq!(prov, FixProvenance::Inflated);
+        assert!(est.inflation > 1.0);
+    }
+
+    #[test]
+    fn graceful_ladder_degrades_to_centroid_then_nearest_ap() {
+        // Three known locations, zero usable radii.
+        let gamma: BTreeSet<MacAddr> = (1..=3).map(MacAddr::from_index).collect();
+        let strict = ladder_map(&[None, None, None], DegradationPolicy::Strict);
+        assert_eq!(
+            strict.try_locate(&gamma).unwrap_err(),
+            crate::error::PipelineError::NoUsableRadii { known: 3 }
+        );
+        let graceful = ladder_map(&[None, None, None], DegradationPolicy::Graceful);
+        let (est, prov) = graceful.try_locate(&gamma).unwrap();
+        assert_eq!(prov, FixProvenance::Centroid);
+        assert!(est.position.distance(Point::new(100.0, 0.0)) < 1e-9);
+        assert_eq!(est.k, 3);
+        assert_eq!(est.area(), 0.0, "point estimate has no region");
+        // One known location among unknowns: the nearest-AP rung.
+        let gamma: BTreeSet<MacAddr> = [MacAddr::from_index(1), MacAddr::from_index(77)]
+            .into_iter()
+            .collect();
+        let (est, prov) = graceful.try_locate(&gamma).unwrap();
+        assert_eq!(prov, FixProvenance::NearestAp);
+        assert!(est.position.distance(Point::new(0.0, 0.0)) < 1e-9);
+        // Nothing known at all is lost even gracefully.
+        let gamma: BTreeSet<MacAddr> = [MacAddr::from_index(77)].into_iter().collect();
+        assert_eq!(
+            graceful.try_locate(&gamma).unwrap_err(),
+            crate::error::PipelineError::NoKnownAps { observed: 1 }
+        );
+    }
+
+    #[test]
+    fn accounted_localization_sums_to_total() {
+        let (result, _) = scenario_with_victim();
+        let db = ApDatabase::from_access_points(&result.aps, result.environment_margin);
+        let mut map = MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default());
+        map.ingest(&result.captures);
+        let obs = result.captures.observation_sets(map.config().window_s);
+        let total = obs.len();
+        let (fixes, lost) = map.localize_windows_accounted(obs);
+        assert_eq!(fixes.len() + lost.len(), total);
+        assert!(fixes
+            .iter()
+            .all(|f| !f.provenance.is_degraded() || f.provenance == FixProvenance::Inflated));
     }
 
     #[test]

@@ -223,6 +223,7 @@ mod tests {
             mobile: MacAddr::from_index(1),
             gamma: BTreeSet::new(),
             estimate,
+            provenance: crate::pipeline::FixProvenance::MLoc,
         }
     }
 

@@ -1,0 +1,480 @@
+//! Deterministic fault injection over captured-frame streams.
+//!
+//! [`FaultInjector::corrupt`] is a pure, sequential function of
+//! `(seed, plan, frames)`: every fault draws from its own RNG stream
+//! (sub-seeded by position in the plan), so identical inputs yield a
+//! byte-identical corrupted stream on any machine at any thread count,
+//! and removing one fault from a plan does not perturb the streams of
+//! the others.
+
+use crate::plan::{Fault, FaultPlan};
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::sniffer::CapturedFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// How many frames each fault class touched — the injector's ground
+/// truth for the degradation report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Frames removed by uniform loss.
+    pub dropped: usize,
+    /// Frames removed by bursty (Gilbert–Elliott) loss.
+    pub burst_dropped: usize,
+    /// Extra copies inserted by duplication.
+    pub duplicated: usize,
+    /// Frames whose stream position changed under reordering.
+    pub reordered: usize,
+    /// Frames whose timestamp was jittered.
+    pub jittered: usize,
+    /// Frames shifted by clock skew.
+    pub skewed: usize,
+    /// Frames with a flipped MAC bit.
+    pub bit_flipped: usize,
+    /// Frames removed by an AP outage.
+    pub ap_flapped: usize,
+    /// Frames removed by a card outage.
+    pub card_dark: usize,
+    /// Frames cut by log truncation.
+    pub truncated: usize,
+}
+
+impl FaultCounts {
+    /// Total frames removed from the stream.
+    pub fn removed(&self) -> usize {
+        self.dropped + self.burst_dropped + self.ap_flapped + self.card_dark + self.truncated
+    }
+}
+
+/// A corrupted frame stream plus the injection bookkeeping.
+#[derive(Debug, Clone)]
+pub struct CorruptedStream {
+    /// The surviving (and possibly duplicated/reordered/mutated)
+    /// frames, in corrupted stream order.
+    pub frames: Vec<CapturedFrame>,
+    /// Per-fault-class touch counts.
+    pub counts: FaultCounts,
+}
+
+/// Applies a [`FaultPlan`] to frame streams deterministically.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// An injector for `(seed, plan)`.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        FaultInjector { seed, plan }
+    }
+
+    /// The plan in use.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Corrupts a frame stream: applies every fault in plan order,
+    /// each with its own RNG stream derived from `(seed, index)`.
+    pub fn corrupt(&self, frames: &[CapturedFrame]) -> CorruptedStream {
+        let mut out: Vec<CapturedFrame> = frames.to_vec();
+        let mut counts = FaultCounts::default();
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(marauder_par::sub_seed(self.seed, i as u64));
+            out = apply(*fault, out, &mut rng, &mut counts);
+        }
+        CorruptedStream {
+            frames: out,
+            counts,
+        }
+    }
+}
+
+fn apply(
+    fault: Fault,
+    frames: Vec<CapturedFrame>,
+    rng: &mut StdRng,
+    counts: &mut FaultCounts,
+) -> Vec<CapturedFrame> {
+    match fault {
+        Fault::Drop { p } => {
+            let before = frames.len();
+            let kept: Vec<CapturedFrame> =
+                frames.into_iter().filter(|_| !rng.gen_bool(p)).collect();
+            counts.dropped += before - kept.len();
+            kept
+        }
+        Fault::Burst { p_enter, p_exit } => {
+            let mut bad = false;
+            let before = frames.len();
+            let kept: Vec<CapturedFrame> = frames
+                .into_iter()
+                .filter(|_| {
+                    if bad {
+                        if rng.gen_bool(p_exit) {
+                            bad = false;
+                        }
+                    } else if rng.gen_bool(p_enter) {
+                        bad = true;
+                    }
+                    !bad
+                })
+                .collect();
+            counts.burst_dropped += before - kept.len();
+            kept
+        }
+        Fault::Duplicate { p } => {
+            let mut out = Vec::with_capacity(frames.len());
+            for frame in frames {
+                let dup = rng.gen_bool(p);
+                out.push(frame.clone());
+                if dup {
+                    out.push(frame);
+                    counts.duplicated += 1;
+                }
+            }
+            out
+        }
+        Fault::Reorder { depth } => {
+            // Each frame gets a sort key `i + U(0..=depth)`; the stable
+            // sort bounds every displacement by `depth` positions.
+            let mut keyed: Vec<(usize, usize, CapturedFrame)> = frames
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| (i + rng.gen_range(0..=depth), i, f))
+                .collect();
+            keyed.sort_by_key(|(k, _, _)| *k);
+            let mut out = Vec::with_capacity(keyed.len());
+            for (pos, (_, original, frame)) in keyed.into_iter().enumerate() {
+                if pos != original {
+                    counts.reordered += 1;
+                }
+                out.push(frame);
+            }
+            out
+        }
+        Fault::Jitter { sigma_s } => frames
+            .into_iter()
+            .map(|mut f| {
+                f.time_s += sigma_s * gaussian(rng);
+                counts.jittered += 1;
+                f
+            })
+            .collect(),
+        Fault::Skew { offset_s } => {
+            let cards: BTreeSet<usize> = frames.iter().map(|f| f.card).collect();
+            let Some(victim) = pick(rng, &cards) else {
+                return frames;
+            };
+            frames
+                .into_iter()
+                .map(|mut f| {
+                    if f.card == victim {
+                        f.time_s += offset_s;
+                        counts.skewed += 1;
+                    }
+                    f
+                })
+                .collect()
+        }
+        Fault::BitFlip { p } => frames
+            .into_iter()
+            .map(|mut f| {
+                if rng.gen_bool(p) {
+                    let which = rng.gen_range(0..3u32);
+                    let bit = rng.gen_range(0..48u32);
+                    let target = match which {
+                        0 => &mut f.frame.bssid,
+                        1 => &mut f.frame.src,
+                        _ => &mut f.frame.dst,
+                    };
+                    *target = flip_bit(*target, bit);
+                    counts.bit_flipped += 1;
+                }
+                f
+            })
+            .collect(),
+        Fault::ApFlap { outage_s } => {
+            let aps: BTreeSet<MacAddr> = frames.iter().map(|f| f.frame.bssid).collect();
+            let Some(victim) = pick(rng, &aps) else {
+                return frames;
+            };
+            let Some(window) = outage_window(rng, &frames, outage_s) else {
+                return frames;
+            };
+            let before = frames.len();
+            let kept: Vec<CapturedFrame> = frames
+                .into_iter()
+                .filter(|f| {
+                    !(f.frame.bssid == victim && f.time_s >= window.0 && f.time_s < window.1)
+                })
+                .collect();
+            counts.ap_flapped += before - kept.len();
+            kept
+        }
+        Fault::CardDropout { outage_s } => {
+            let cards: BTreeSet<usize> = frames.iter().map(|f| f.card).collect();
+            let Some(victim) = pick(rng, &cards) else {
+                return frames;
+            };
+            let Some(window) = outage_window(rng, &frames, outage_s) else {
+                return frames;
+            };
+            let before = frames.len();
+            let kept: Vec<CapturedFrame> = frames
+                .into_iter()
+                .filter(|f| !(f.card == victim && f.time_s >= window.0 && f.time_s < window.1))
+                .collect();
+            counts.card_dark += before - kept.len();
+            kept
+        }
+        Fault::Truncate { fraction } => {
+            let keep = ((frames.len() as f64) * (1.0 - fraction)).round() as usize;
+            let keep = keep.min(frames.len());
+            counts.truncated += frames.len() - keep;
+            let mut frames = frames;
+            frames.truncate(keep);
+            frames
+        }
+    }
+}
+
+/// A standard normal draw via Box–Muller (the vendored rand has no
+/// distributions module).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // u1 in (0, 1] keeps the log finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Picks one element of an ordered set uniformly.
+fn pick<T: Copy>(rng: &mut StdRng, set: &BTreeSet<T>) -> Option<T> {
+    if set.is_empty() {
+        return None;
+    }
+    set.iter().nth(rng.gen_range(0..set.len())).copied()
+}
+
+/// A random `[start, start + outage)` span inside the stream's time
+/// range.
+fn outage_window(rng: &mut StdRng, frames: &[CapturedFrame], outage_s: f64) -> Option<(f64, f64)> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for f in frames {
+        lo = lo.min(f.time_s);
+        hi = hi.max(f.time_s);
+    }
+    if !(lo.is_finite() && hi.is_finite()) {
+        return None;
+    }
+    let latest_start = (hi - outage_s).max(lo);
+    let start = if latest_start > lo {
+        rng.gen_range(lo..latest_start)
+    } else {
+        lo
+    };
+    Some((start, start + outage_s))
+}
+
+fn flip_bit(mac: MacAddr, bit: u32) -> MacAddr {
+    let mut octets = mac.octets();
+    octets[(bit / 8) as usize] ^= 1 << (bit % 8);
+    MacAddr::new(octets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marauder_wifi::channel::Channel;
+    use marauder_wifi::frame::Frame;
+    use marauder_wifi::ssid::Ssid;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn stream(n: usize) -> Vec<CapturedFrame> {
+        (0..n)
+            .map(|k| CapturedFrame {
+                time_s: k as f64 * 2.0,
+                card: k % 3,
+                frame: Frame::probe_response(
+                    mac(100 + (k % 5) as u64),
+                    mac(1 + (k % 2) as u64),
+                    Ssid::new("n").unwrap(),
+                    Channel::bg(6).unwrap(),
+                ),
+            })
+            .collect()
+    }
+
+    fn encode(frames: &[CapturedFrame]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in frames {
+            out.extend_from_slice(&f.time_s.to_bits().to_be_bytes());
+            out.extend_from_slice(&f.card.to_be_bytes());
+            out.extend_from_slice(&f.frame.encode());
+        }
+        out
+    }
+
+    #[test]
+    fn identical_seed_and_plan_are_byte_identical() {
+        let frames = stream(300);
+        let plan = FaultPlan::parse(
+            "drop:0.2,burst:0.05:0.3,dup:0.1,reorder:6,jitter:0.4,\
+             skew:3.0,bitflip:0.15,apflap:100,carddrop:50,truncate:0.1",
+        )
+        .unwrap();
+        let a = FaultInjector::new(42, plan.clone()).corrupt(&frames);
+        let b = FaultInjector::new(42, plan.clone()).corrupt(&frames);
+        assert_eq!(encode(&a.frames), encode(&b.frames));
+        assert_eq!(a.counts, b.counts);
+        // A different seed perturbs the stream.
+        let c = FaultInjector::new(43, plan).corrupt(&frames);
+        assert_ne!(encode(&a.frames), encode(&c.frames));
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let frames = stream(50);
+        let out = FaultInjector::new(7, FaultPlan::clean()).corrupt(&frames);
+        assert_eq!(encode(&out.frames), encode(&frames));
+        assert_eq!(out.counts, FaultCounts::default());
+    }
+
+    #[test]
+    fn drop_removes_roughly_p_fraction() {
+        let frames = stream(2000);
+        let out = FaultInjector::new(1, FaultPlan::single(Fault::Drop { p: 0.3 })).corrupt(&frames);
+        let rate = out.counts.dropped as f64 / frames.len() as f64;
+        assert!((0.25..0.35).contains(&rate), "drop rate {rate}");
+        assert_eq!(out.frames.len() + out.counts.dropped, frames.len());
+    }
+
+    #[test]
+    fn burst_losses_cluster() {
+        let frames = stream(4000);
+        let out = FaultInjector::new(
+            9,
+            FaultPlan::single(Fault::Burst {
+                p_enter: 0.02,
+                p_exit: 0.2,
+            }),
+        )
+        .corrupt(&frames);
+        assert!(out.counts.burst_dropped > 0);
+        // Mean burst length 1/p_exit = 5 ≫ 1: losses must leave gaps
+        // longer than single frames. Check the maximum gap between
+        // surviving original timestamps.
+        let mut max_gap = 0.0f64;
+        for w in out.frames.windows(2) {
+            max_gap = max_gap.max(w[1].time_s - w[0].time_s);
+        }
+        assert!(max_gap >= 6.0, "no burst-length gap found: {max_gap}");
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded() {
+        let frames = stream(500);
+        let depth = 5;
+        let out =
+            FaultInjector::new(3, FaultPlan::single(Fault::Reorder { depth })).corrupt(&frames);
+        assert_eq!(out.frames.len(), frames.len());
+        // Every original frame is present, displaced at most `depth`.
+        for (i, f) in frames.iter().enumerate() {
+            let j = out
+                .frames
+                .iter()
+                .position(|g| g.time_s.to_bits() == f.time_s.to_bits())
+                .expect("frame survived");
+            assert!(
+                i.abs_diff(j) <= depth,
+                "frame {i} moved to {j}, beyond depth {depth}"
+            );
+        }
+        assert!(out.counts.reordered > 0);
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_bit() {
+        let frames = stream(400);
+        let out =
+            FaultInjector::new(5, FaultPlan::single(Fault::BitFlip { p: 0.5 })).corrupt(&frames);
+        assert!(out.counts.bit_flipped > 0);
+        assert_eq!(out.frames.len(), frames.len());
+        let mut flipped = 0usize;
+        for (a, b) in frames.iter().zip(&out.frames) {
+            let diff: u32 = [
+                (a.frame.bssid, b.frame.bssid),
+                (a.frame.src, b.frame.src),
+                (a.frame.dst, b.frame.dst),
+            ]
+            .iter()
+            .map(|(x, y)| {
+                x.octets()
+                    .iter()
+                    .zip(y.octets())
+                    .map(|(p, q)| (p ^ q).count_ones())
+                    .sum::<u32>()
+            })
+            .sum();
+            assert!(diff <= 1, "more than one bit flipped in one frame");
+            flipped += diff as usize;
+        }
+        assert_eq!(flipped, out.counts.bit_flipped);
+    }
+
+    #[test]
+    fn apflap_silences_one_ap_for_a_span() {
+        let frames = stream(600);
+        let out = FaultInjector::new(11, FaultPlan::single(Fault::ApFlap { outage_s: 200.0 }))
+            .corrupt(&frames);
+        assert!(out.counts.ap_flapped > 0, "outage must remove frames");
+        // Only one bssid lost frames.
+        let mut lost: BTreeSet<MacAddr> = BTreeSet::new();
+        let surviving: Vec<u64> = out.frames.iter().map(|f| f.time_s.to_bits()).collect();
+        for f in &frames {
+            if !surviving.contains(&f.time_s.to_bits()) {
+                lost.insert(f.frame.bssid);
+            }
+        }
+        assert_eq!(lost.len(), 1, "exactly one AP flapped");
+    }
+
+    #[test]
+    fn truncate_cuts_the_tail() {
+        let frames = stream(100);
+        let out = FaultInjector::new(2, FaultPlan::single(Fault::Truncate { fraction: 0.25 }))
+            .corrupt(&frames);
+        assert_eq!(out.frames.len(), 75);
+        assert_eq!(out.counts.truncated, 25);
+        assert_eq!(encode(&out.frames), encode(&frames[..75]));
+    }
+
+    #[test]
+    fn skew_shifts_exactly_one_card() {
+        let frames = stream(90);
+        let out = FaultInjector::new(4, FaultPlan::single(Fault::Skew { offset_s: 10.0 }))
+            .corrupt(&frames);
+        assert_eq!(out.frames.len(), frames.len());
+        let shifted_cards: BTreeSet<usize> = frames
+            .iter()
+            .zip(&out.frames)
+            .filter(|(a, b)| a.time_s.to_bits() != b.time_s.to_bits())
+            .map(|(a, _)| a.card)
+            .collect();
+        assert_eq!(shifted_cards.len(), 1);
+        assert_eq!(out.counts.skewed, 30, "a third of the frames shift");
+    }
+
+    #[test]
+    fn duplication_inserts_adjacent_copies() {
+        let frames = stream(300);
+        let out =
+            FaultInjector::new(8, FaultPlan::single(Fault::Duplicate { p: 0.2 })).corrupt(&frames);
+        assert_eq!(out.frames.len(), frames.len() + out.counts.duplicated);
+        assert!(out.counts.duplicated > 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Composable fault plans.
+//!
+//! A [`FaultPlan`] is an ordered list of [`Fault`]s; the injector
+//! applies them left to right, each with its own deterministic RNG
+//! stream. Plans have a canonical text spec (`drop:0.2,reorder:5`)
+//! shared by the `marauder chaos` CLI and the degradation report, so a
+//! cell in the fault matrix can be reproduced from its label alone.
+
+use std::fmt;
+
+/// One fault to inject into a frame stream.
+///
+/// Faults model the failure modes of a real sniffing rig: lossy
+/// capture paths, rig clock trouble, radio damage, and operational
+/// outages (an AP rebooting, a card wedging, a log cut short).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Uniform frame loss: each frame dropped independently with
+    /// probability `p`.
+    Drop {
+        /// Per-frame drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Bursty loss (Gilbert–Elliott): a two-state Markov chain enters
+    /// the lossy state with `p_enter` per frame and leaves it with
+    /// `p_exit`; every frame seen in the lossy state is dropped.
+    Burst {
+        /// Good → bad transition probability per frame.
+        p_enter: f64,
+        /// Bad → good transition probability per frame.
+        p_exit: f64,
+    },
+    /// Frame duplication: each frame repeated once with probability
+    /// `p` (capture stacks double-deliver under load).
+    Duplicate {
+        /// Per-frame duplication probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Bounded reordering: each frame is displaced by a uniform random
+    /// amount up to `depth` positions (stable, so bounded — no frame
+    /// moves further than `depth` slots from its neighbors).
+    Reorder {
+        /// Maximum displacement in positions.
+        depth: usize,
+    },
+    /// Per-frame timestamp jitter: Gaussian noise with standard
+    /// deviation `sigma_s` seconds added to every timestamp.
+    Jitter {
+        /// Jitter standard deviation, seconds.
+        sigma_s: f64,
+    },
+    /// Clock skew: one randomly chosen capture card's frames are all
+    /// shifted by `offset_s` seconds (a rig card with a drifted clock).
+    Skew {
+        /// Constant timestamp offset, seconds.
+        offset_s: f64,
+    },
+    /// MAC corruption: with probability `p` per frame, one random bit
+    /// of one of the frame's three addresses is flipped — the bssid of
+    /// a response becomes an AP the attacker has never heard of.
+    BitFlip {
+        /// Per-frame corruption probability in `[0, 1]`.
+        p: f64,
+    },
+    /// AP flapping: one randomly chosen AP goes silent for a span of
+    /// `outage_s` seconds starting at a random time (reboot, power
+    /// cycle); its frames in that span vanish.
+    ApFlap {
+        /// Outage length, seconds.
+        outage_s: f64,
+    },
+    /// Sniffer-card dropout: one randomly chosen capture card goes
+    /// dark for `outage_s` seconds — every channel that card watched
+    /// is silent for the span.
+    CardDropout {
+        /// Outage length, seconds.
+        outage_s: f64,
+    },
+    /// Mid-stream log truncation: the final `fraction` of the frames
+    /// never make it to disk (sniffer killed mid-campaign).
+    Truncate {
+        /// Fraction of trailing frames cut, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl Fault {
+    /// The fault's spec keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::Drop { .. } => "drop",
+            Fault::Burst { .. } => "burst",
+            Fault::Duplicate { .. } => "dup",
+            Fault::Reorder { .. } => "reorder",
+            Fault::Jitter { .. } => "jitter",
+            Fault::Skew { .. } => "skew",
+            Fault::BitFlip { .. } => "bitflip",
+            Fault::ApFlap { .. } => "apflap",
+            Fault::CardDropout { .. } => "carddrop",
+            Fault::Truncate { .. } => "truncate",
+        }
+    }
+
+    /// Validates the fault's parameters.
+    fn validate(self) -> Result<Self, PlanParseError> {
+        let bad = |what: &str| {
+            Err(PlanParseError {
+                spec: self.to_string(),
+                reason: what.to_string(),
+            })
+        };
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p);
+        match self {
+            Fault::Drop { p } | Fault::Duplicate { p } | Fault::BitFlip { p } if !prob_ok(p) => {
+                bad("probability must be in [0, 1]")
+            }
+            Fault::Burst { p_enter, p_exit } if !(prob_ok(p_enter) && prob_ok(p_exit)) => {
+                bad("transition probabilities must be in [0, 1]")
+            }
+            Fault::Truncate { fraction } if !prob_ok(fraction) => bad("fraction must be in [0, 1]"),
+            Fault::Jitter { sigma_s } if !(sigma_s.is_finite() && sigma_s >= 0.0) => {
+                bad("sigma must be finite and non-negative")
+            }
+            Fault::Skew { offset_s } if !offset_s.is_finite() => bad("offset must be finite"),
+            Fault::ApFlap { outage_s } | Fault::CardDropout { outage_s }
+                if !(outage_s.is_finite() && outage_s >= 0.0) =>
+            {
+                bad("outage must be finite and non-negative")
+            }
+            f => Ok(f),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Fault::Drop { p } => write!(f, "drop:{p}"),
+            Fault::Burst { p_enter, p_exit } => write!(f, "burst:{p_enter}:{p_exit}"),
+            Fault::Duplicate { p } => write!(f, "dup:{p}"),
+            Fault::Reorder { depth } => write!(f, "reorder:{depth}"),
+            Fault::Jitter { sigma_s } => write!(f, "jitter:{sigma_s}"),
+            Fault::Skew { offset_s } => write!(f, "skew:{offset_s}"),
+            Fault::BitFlip { p } => write!(f, "bitflip:{p}"),
+            Fault::ApFlap { outage_s } => write!(f, "apflap:{outage_s}"),
+            Fault::CardDropout { outage_s } => write!(f, "carddrop:{outage_s}"),
+            Fault::Truncate { fraction } => write!(f, "truncate:{fraction}"),
+        }
+    }
+}
+
+/// Error returned for an unparsable or out-of-range fault spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending spec fragment.
+    pub spec: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec {:?}: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// An ordered list of faults, applied left to right.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The faults, in application order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: the injector passes frames through
+    /// unchanged.
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A single-fault plan.
+    pub fn single(fault: Fault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// Parses the comma-separated spec syntax, e.g.
+    /// `drop:0.2,reorder:5` or `burst:0.05:0.3,jitter:1.5`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanParseError`] naming the first fragment that is unknown,
+    /// malformed, or out of range.
+    pub fn parse(spec: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut faults = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            // "clean" is the canonical label of the empty plan (it is
+            // what `Display` prints), so it round-trips too.
+            if part.is_empty() || part == "clean" {
+                continue;
+            }
+            faults.push(parse_fault(part)?);
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// The canonical spec string; `parse(plan.spec())` round-trips.
+    pub fn spec(&self) -> String {
+        let parts: Vec<String> = self.faults.iter().map(Fault::to_string).collect();
+        parts.join(",")
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            f.write_str("clean")
+        } else {
+            f.write_str(&self.spec())
+        }
+    }
+}
+
+fn parse_fault(part: &str) -> Result<Fault, PlanParseError> {
+    let fail = |reason: &str| PlanParseError {
+        spec: part.to_string(),
+        reason: reason.to_string(),
+    };
+    let fields: Vec<&str> = part.split(':').collect();
+    let arity = |n: usize| -> Result<(), PlanParseError> {
+        if fields.len() == 1 + n {
+            Ok(())
+        } else {
+            Err(fail(&format!("takes {n} parameter(s)")))
+        }
+    };
+    let num = |s: &str| -> Result<f64, PlanParseError> {
+        s.parse::<f64>()
+            .map_err(|e| fail(&format!("bad number {s:?}: {e}")))
+    };
+    let fault = match fields[0] {
+        "drop" => {
+            arity(1)?;
+            Fault::Drop { p: num(fields[1])? }
+        }
+        "burst" => {
+            arity(2)?;
+            Fault::Burst {
+                p_enter: num(fields[1])?,
+                p_exit: num(fields[2])?,
+            }
+        }
+        "dup" => {
+            arity(1)?;
+            Fault::Duplicate { p: num(fields[1])? }
+        }
+        "reorder" => {
+            arity(1)?;
+            Fault::Reorder {
+                depth: fields[1]
+                    .parse::<usize>()
+                    .map_err(|e| fail(&format!("bad depth {:?}: {e}", fields[1])))?,
+            }
+        }
+        "jitter" => {
+            arity(1)?;
+            Fault::Jitter {
+                sigma_s: num(fields[1])?,
+            }
+        }
+        "skew" => {
+            arity(1)?;
+            Fault::Skew {
+                offset_s: num(fields[1])?,
+            }
+        }
+        "bitflip" => {
+            arity(1)?;
+            Fault::BitFlip { p: num(fields[1])? }
+        }
+        "apflap" => {
+            arity(1)?;
+            Fault::ApFlap {
+                outage_s: num(fields[1])?,
+            }
+        }
+        "carddrop" => {
+            arity(1)?;
+            Fault::CardDropout {
+                outage_s: num(fields[1])?,
+            }
+        }
+        "truncate" => {
+            arity(1)?;
+            Fault::Truncate {
+                fraction: num(fields[1])?,
+            }
+        }
+        other => return Err(fail(&format!("unknown fault {other:?}"))),
+    };
+    fault.validate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_canonical_spec() {
+        let plan = FaultPlan::parse("drop:0.2, reorder:5,burst:0.05:0.3,jitter:1.5").unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults[0], Fault::Drop { p: 0.2 });
+        assert_eq!(plan.faults[1], Fault::Reorder { depth: 5 });
+        let back = FaultPlan::parse(&plan.spec()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn every_fault_kind_round_trips() {
+        let spec = "drop:0.1,burst:0.05:0.3,dup:0.2,reorder:8,jitter:0.5,\
+                    skew:-2.5,bitflip:0.1,apflap:120,carddrop:60,truncate:0.25";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.faults.len(), 10);
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn rejects_unknown_and_out_of_range() {
+        assert!(FaultPlan::parse("explode:1").is_err());
+        assert!(FaultPlan::parse("drop:1.5").is_err());
+        assert!(FaultPlan::parse("drop:-0.1").is_err());
+        assert!(FaultPlan::parse("drop:abc").is_err());
+        assert!(FaultPlan::parse("drop:0.1:0.2").is_err());
+        assert!(FaultPlan::parse("burst:0.1").is_err());
+        assert!(FaultPlan::parse("jitter:-1").is_err());
+        assert!(FaultPlan::parse("jitter:inf").is_err());
+        assert!(FaultPlan::parse("truncate:2").is_err());
+        let e = FaultPlan::parse("drop:nope").unwrap_err();
+        assert!(e.to_string().contains("drop:nope"), "{e}");
+    }
+
+    #[test]
+    fn empty_spec_is_clean() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::clean());
+        assert_eq!(FaultPlan::clean().to_string(), "clean");
+        // The Display label round-trips like any other spec.
+        assert_eq!(FaultPlan::parse("clean").unwrap(), FaultPlan::clean());
+    }
+}

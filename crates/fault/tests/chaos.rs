@@ -1,0 +1,176 @@
+//! The chaos invariants.
+//!
+//! 1. **No panic**: the full fault matrix (every fault kind at every
+//!    intensity) runs to completion, and every cell's accounting sums —
+//!    windows fixed + lost = total, devices fixed + degraded + lost =
+//!    total, frames corrupted = clean − removed + duplicated.
+//! 2. **Determinism**: identical `(seed, plan)` yields a byte-identical
+//!    corrupted stream *and* byte-identical tracking output at any
+//!    thread count.
+//! 3. **Monotone-bounded degradation**: under the graceful ladder the
+//!    only possible loss is "no observed AP known to the attacker" —
+//!    the fix rate never drops to zero while any known AP remains
+//!    observable.
+
+use marauder_fault::{default_matrix, ChaosScenario, FaultPlan};
+use marauder_stream::{replay_log, StreamConfig};
+use marauder_wifi::capture_log::{parse_capture_log, write_capture_log};
+
+#[test]
+fn full_fault_matrix_completes_with_exact_accounting() {
+    let scenario = ChaosScenario::quick(7);
+    let report = scenario.run_matrix(9, &default_matrix());
+    assert_eq!(report.cells.len(), 30, "10 fault kinds × 3 intensities");
+    for cell in std::iter::once(&report.clean).chain(&report.cells) {
+        assert_eq!(
+            cell.windows_fixed + cell.windows_lost,
+            cell.windows_total,
+            "{}: window accounting",
+            cell.plan
+        );
+        assert_eq!(
+            cell.devices_fixed + cell.devices_degraded + cell.devices_lost,
+            cell.devices_total,
+            "{}: device accounting",
+            cell.plan
+        );
+        assert_eq!(
+            cell.provenance.values().sum::<usize>(),
+            cell.windows_fixed,
+            "{}: every fix carries a provenance",
+            cell.plan
+        );
+        assert_eq!(
+            cell.loss_reasons.values().sum::<usize>(),
+            cell.windows_lost,
+            "{}: every loss carries a typed reason",
+            cell.plan
+        );
+        assert_eq!(
+            cell.frames_corrupted,
+            cell.frames_clean - cell.counts.removed() + cell.counts.duplicated,
+            "{}: frame accounting",
+            cell.plan
+        );
+    }
+    // The report renders (and the renderer is exercised on real data).
+    let json = report.to_json();
+    assert!(json.contains("\"cells\""));
+}
+
+#[test]
+fn identical_seed_and_plan_are_thread_invariant() {
+    let scenario = ChaosScenario::quick(5);
+    let plan =
+        FaultPlan::parse("drop:0.2,burst:0.05:0.25,dup:0.1,reorder:4,jitter:0.3,bitflip:0.1")
+            .expect("valid plan");
+    let mut logs: Vec<String> = Vec::new();
+    let mut reports: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 7] {
+        marauder_par::set_threads(threads);
+        let (corrupted, _) = scenario.corrupted_captures(33, &plan);
+        logs.push(write_capture_log(&corrupted));
+        reports.push(
+            scenario
+                .run_matrix(33, std::slice::from_ref(&plan))
+                .to_json(),
+        );
+    }
+    marauder_par::set_threads(0);
+    assert_eq!(logs[0], logs[1], "corrupted stream differs at 2 threads");
+    assert_eq!(logs[0], logs[2], "corrupted stream differs at 7 threads");
+    assert_eq!(reports[0], reports[1], "report differs at 2 threads");
+    assert_eq!(reports[0], reports[2], "report differs at 7 threads");
+}
+
+#[test]
+fn degradation_is_monotone_bounded() {
+    let scenario = ChaosScenario::quick(11);
+    let mut plans = default_matrix();
+    // A brutal composite on top of the per-kind grid.
+    plans.push(FaultPlan::parse("bitflip:0.9,drop:0.5").expect("valid plan"));
+    for plan in &plans {
+        let cell = scenario.run_cell(3, plan);
+        // The ladder guarantees a fix whenever any observed AP is
+        // known, so the only loss reason left is NoKnownAps.
+        for reason in cell.loss_reasons.keys() {
+            assert_eq!(
+                *reason, "no_known_aps",
+                "{}: unexpected loss reason {reason}",
+                cell.plan
+            );
+        }
+        assert_eq!(
+            cell.windows_fixed, cell.windows_with_known_ap,
+            "{}: a window with a known AP went unfixed",
+            cell.plan
+        );
+        if cell.windows_with_known_ap > 0 {
+            assert!(
+                cell.fix_rate() > 0.0,
+                "{}: fix rate hit zero with known APs observable",
+                cell.plan
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_log_stream_replay_matches_batch() {
+    let scenario = ChaosScenario::quick(13);
+    let plan = FaultPlan::parse("drop:0.2,reorder:5").expect("valid plan");
+    let (corrupted, _) = scenario.corrupted_captures(21, &plan);
+    let text = write_capture_log(&corrupted);
+
+    // Corrupt the serialized log too: one garbage body line, absorbed
+    // by a nonzero error budget.
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let victim_line = lines.len() / 2;
+    lines[victim_line] = "garbage that is not a record".to_string();
+    let damaged = lines.join("\n");
+
+    // Batch ground truth over the *surviving* frames: parse the log
+    // minus the damaged line, so both sides see the identical stream.
+    let survivors: String = lines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim_line)
+        .map(|(_, l)| format!("{l}\n"))
+        .collect();
+    let parsed = parse_capture_log(&survivors).expect("survivor log parses");
+    let mut batch_map = scenario.fresh_map();
+    batch_map.ingest(&parsed);
+    let batch = batch_map.track_all(&parsed);
+    assert!(!batch.is_empty(), "corrupted capture still yields fixes");
+
+    // Stream replay of the damaged log with a one-line budget. The lag
+    // covers the injected reordering; eviction off.
+    let config = StreamConfig {
+        allowed_lag_s: 120.0,
+        max_open_windows: 0,
+    };
+    let (fixes, stats, skipped) =
+        replay_log(scenario.fresh_map(), config, &damaged, 1).expect("budget covers the damage");
+    assert_eq!(skipped.len(), 1);
+    assert_eq!(skipped[0].line(), victim_line + 1, "skip is 1-based");
+    assert_eq!(stats.frames_late, 0, "lag must cover injected reordering");
+    assert_eq!(stats.windows_evicted, 0);
+
+    assert_eq!(fixes.len(), batch.len(), "fix count differs from batch");
+    for (s, b) in fixes.iter().zip(&batch) {
+        assert_eq!(s.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(s.mobile, b.mobile);
+        assert_eq!(s.gamma, b.gamma);
+        assert_eq!(s.provenance, b.provenance);
+        assert_eq!(
+            s.estimate.position.x.to_bits(),
+            b.estimate.position.x.to_bits()
+        );
+        assert_eq!(
+            s.estimate.position.y.to_bits(),
+            b.estimate.position.y.to_bits()
+        );
+        assert_eq!(s.estimate.k, b.estimate.k);
+        assert_eq!(s.estimate.area().to_bits(), b.estimate.area().to_bits());
+    }
+}

@@ -1,7 +1,7 @@
 //! The online tracking engine.
 
-use marauder_core::pipeline::{KnowledgeLevel, MaraudersMap, TrackFix};
-use marauder_core::{ApRadSolver, Estimate};
+use marauder_core::pipeline::{FixProvenance, KnowledgeLevel, MaraudersMap, TrackFix};
+use marauder_core::{ApRadSolver, Estimate, PipelineError};
 use marauder_wifi::frame::FrameBody;
 use marauder_wifi::mac::MacAddr;
 use marauder_wifi::sniffer::{window_index, window_start, CapturedFrame, ObservationSet};
@@ -45,6 +45,11 @@ pub struct StreamStats {
     /// closed (arrived more than `allowed_lag_s` behind the watermark,
     /// or after an eviction).
     pub frames_late: usize,
+    /// Frames rejected before windowing because their timestamp was
+    /// NaN or infinite — a malformed timestamp must never poison the
+    /// watermark (a single `+∞` would instantly close every future
+    /// window).
+    pub frames_malformed: usize,
     /// Windows closed (emitted), including evicted ones.
     pub windows_closed: usize,
     /// Windows force-closed by the `max_open_windows` bound.
@@ -74,19 +79,29 @@ pub struct ClosedWindow {
     pub mobile: MacAddr,
     /// BSSIDs observed responding to the mobile within the window.
     pub gamma: BTreeSet<MacAddr>,
-    /// Live localization at close time.
-    pub estimate: Option<Estimate>,
+    /// Live localization at close time, with the ladder rung that
+    /// produced it ([`Err`] holds the typed reason the window was not
+    /// locatable live).
+    pub outcome: Result<(Estimate, FixProvenance), PipelineError>,
 }
 
 impl ClosedWindow {
+    /// Live localization at close time (`None` when the window was not
+    /// locatable live).
+    pub fn estimate(&self) -> Option<&Estimate> {
+        self.outcome.as_ref().ok().map(|(est, _)| est)
+    }
+
     /// Converts the event into a [`TrackFix`], or `None` when the
     /// window was not locatable live.
     pub fn into_fix(self) -> Option<TrackFix> {
+        let (estimate, provenance) = self.outcome.ok()?;
         Some(TrackFix {
             time_s: self.window_start_s,
             mobile: self.mobile,
             gamma: self.gamma,
-            estimate: self.estimate?,
+            estimate,
+            provenance,
         })
     }
 }
@@ -146,6 +161,10 @@ impl StreamEngine {
     /// this frame's timestamp allowed to close, oldest first.
     pub fn push(&mut self, frame: &CapturedFrame) -> Vec<ClosedWindow> {
         self.stats.frames_total += 1;
+        if !frame.time_s.is_finite() {
+            self.stats.frames_malformed += 1;
+            return Vec::new();
+        }
         self.watermark = Some(match self.watermark {
             Some(mark) => mark.max(frame.time_s),
             None => frame.time_s,
@@ -283,13 +302,13 @@ impl StreamEngine {
                 self.map.apply_radii(radii);
             }
         }
-        let estimate = self.map.locate(&gamma);
+        let outcome = self.map.try_locate(&gamma);
         ClosedWindow {
             window: w,
             window_start_s: window_start(w, self.window_s),
             mobile,
             gamma,
-            estimate,
+            outcome,
         }
     }
 
@@ -369,7 +388,10 @@ mod tests {
         assert_eq!(ev.window_start_s, 0.0);
         assert_eq!(ev.mobile, mac(1));
         assert_eq!(ev.gamma, [mac(100), mac(101)].into_iter().collect());
-        assert!(ev.estimate.is_some(), "two Full-knowledge discs intersect");
+        assert!(
+            ev.estimate().is_some(),
+            "two Full-knowledge discs intersect"
+        );
         // Window 1 is still assembling.
         assert_eq!(engine.open_windows(), 1);
         let rest = engine.finish();

@@ -59,7 +59,7 @@ mod replay;
 mod snapshot;
 
 pub use engine::{ClosedWindow, StreamConfig, StreamEngine, StreamStats};
-pub use replay::{replay_database, replay_frames};
+pub use replay::{replay_database, replay_frames, replay_log};
 pub use snapshot::SnapshotError;
 
 // Re-exported for downstream convenience (CLI, benches).

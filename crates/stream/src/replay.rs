@@ -3,6 +3,8 @@
 
 use crate::engine::{ClosedWindow, StreamConfig, StreamEngine, StreamStats};
 use marauder_core::pipeline::{MaraudersMap, TrackFix};
+use marauder_core::PipelineError;
+use marauder_wifi::capture_log::{capture_log_frames, ParseLogError};
 use marauder_wifi::sniffer::{CaptureDatabase, CapturedFrame};
 
 /// Streams `frames` through a fresh engine and returns the
@@ -35,6 +37,52 @@ pub fn replay_database(
     captures: &CaptureDatabase,
 ) -> (Vec<TrackFix>, StreamStats) {
     replay_frames(map, config, captures.iter())
+}
+
+/// Streams a serialized capture log (the
+/// [`marauder_wifi::capture_log`] text format) through a fresh engine,
+/// tolerating up to `error_budget` malformed body lines.
+///
+/// Real sniffer logs get corrupted — a process killed mid-write cuts
+/// the final record, a flaky disk flips bytes. Aborting a whole
+/// campaign over one bad line is worse than skipping it, but skipping
+/// *silently* hides real corruption; the budget makes the trade
+/// explicit. Malformed lines are skipped deterministically
+/// (skip-and-count, returned for reporting) until the budget is
+/// exceeded.
+///
+/// # Errors
+///
+/// [`PipelineError::BudgetExhausted`] naming the 1-based line that
+/// overflowed the budget. A missing or wrong header line is never
+/// covered by the budget — the text is not a capture log at all — and
+/// aborts immediately as line 1.
+pub fn replay_log(
+    map: MaraudersMap,
+    config: StreamConfig,
+    text: &str,
+    error_budget: usize,
+) -> Result<(Vec<TrackFix>, StreamStats, Vec<ParseLogError>), PipelineError> {
+    let mut engine = StreamEngine::new(map, config);
+    let mut closed: Vec<ClosedWindow> = Vec::new();
+    let mut skipped: Vec<ParseLogError> = Vec::new();
+    for item in capture_log_frames(text) {
+        match item {
+            Ok(frame) => closed.extend(engine.push(&frame)),
+            // Header errors are always reported as line 1; body lines
+            // start at 2.
+            Err(e) if e.line() > 1 && skipped.len() < error_budget => skipped.push(e),
+            Err(e) => {
+                return Err(PipelineError::BudgetExhausted {
+                    line: e.line(),
+                    budget: error_budget,
+                })
+            }
+        }
+    }
+    closed.extend(engine.finish());
+    let fixes = engine.batch_fixes(closed);
+    Ok((fixes, engine.stats().clone(), skipped))
 }
 
 #[cfg(test)]
@@ -116,6 +164,81 @@ mod tests {
                 assert_eq!(s.estimate.area().to_bits(), b.estimate.area().to_bits());
             }
         }
+    }
+
+    #[test]
+    fn replay_log_enforces_the_error_budget() {
+        use marauder_wifi::capture_log::write_capture_log;
+        let captures = synthetic_capture();
+        let clean = write_capture_log(&captures);
+        let mut lines: Vec<String> = clean.lines().map(String::from).collect();
+        lines[10] = "garbage line".into(); // 1-based line 11
+        lines[25] = "1.0 0 zz".into(); // 1-based line 26
+        let corrupted = lines.join("\n");
+        let cfg = StreamConfig::default;
+
+        // Budget 0: abort on the first malformed line, 1-based.
+        let err = replay_log(map(KnowledgeLevel::Full), cfg(), &corrupted, 0).unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::BudgetExhausted {
+                line: 11,
+                budget: 0
+            }
+        );
+        // Budget 1: the first is skipped, the second aborts.
+        let err = replay_log(map(KnowledgeLevel::Full), cfg(), &corrupted, 1).unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::BudgetExhausted {
+                line: 26,
+                budget: 1
+            }
+        );
+
+        // Budget 2: completes, reporting exactly the two skipped lines.
+        let (fixes, stats, skipped) =
+            replay_log(map(KnowledgeLevel::Full), cfg(), &corrupted, 2).unwrap();
+        assert_eq!(skipped.len(), 2);
+        assert_eq!(skipped[0].line(), 11);
+        assert_eq!(skipped[1].line(), 26);
+
+        // The result is byte-identical to replaying the surviving
+        // frames directly — the skips are deterministic.
+        let survivors: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 10 && *i != 25)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let (want, want_stats, none_skipped) =
+            replay_log(map(KnowledgeLevel::Full), cfg(), &survivors, 0).unwrap();
+        assert!(none_skipped.is_empty());
+        assert_eq!(stats, want_stats);
+        assert_eq!(fixes.len(), want.len());
+        assert!(!fixes.is_empty());
+        for (a, b) in fixes.iter().zip(&want) {
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            assert_eq!(a.mobile, b.mobile);
+            assert_eq!(
+                a.estimate.position.x.to_bits(),
+                b.estimate.position.x.to_bits()
+            );
+            assert_eq!(
+                a.estimate.position.y.to_bits(),
+                b.estimate.position.y.to_bits()
+            );
+        }
+
+        // A missing header is not a body error: no budget covers it.
+        let err = replay_log(map(KnowledgeLevel::Full), cfg(), "not a log", 10).unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::BudgetExhausted {
+                line: 1,
+                budget: 10
+            }
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! IEEE-754 bits, so a snapshot → restore round trip is bit-exact and
 //! the resumed engine's output is byte-identical to an uninterrupted
 //! run.
+//!
+//! The document ends with an `end <record-count>` line; restore refuses
+//! a snapshot without it (or whose record count disagrees), so a file
+//! truncated mid-write — the classic crash-during-checkpoint hazard —
+//! is rejected with a typed error instead of silently resuming from
+//! partial state.
 
 use crate::engine::{StreamConfig, StreamEngine, StreamStats};
 use marauder_core::pipeline::MaraudersMap;
@@ -100,8 +106,8 @@ impl StreamEngine {
         }
         let s = &self.stats;
         out.push_str(&format!(
-            "frames {} {} {}\n",
-            s.frames_total, s.frames_relevant, s.frames_late
+            "frames {} {} {} {}\n",
+            s.frames_total, s.frames_relevant, s.frames_late, s.frames_malformed
         ));
         out.push_str(&format!(
             "windows {} {}\n",
@@ -133,6 +139,10 @@ impl StreamEngine {
                 out.push_str("cached 0\n");
             }
         }
+        // Truncation sentinel: every line between the header and here
+        // is one record.
+        let records = out.lines().count() - 1;
+        out.push_str(&format!("end {records}\n"));
         out
     }
 
@@ -168,11 +178,16 @@ impl StreamEngine {
         let mut radii: BTreeMap<MacAddr, f64> = BTreeMap::new();
         let mut cached = false;
         let mut has_solver_lines = false;
+        let mut records = 0usize;
+        let mut end_seen = false;
 
         for (no, line) in lines {
             let fail = |reason: String| SnapshotError::new(no, reason);
             if line.trim().is_empty() || line.starts_with('#') {
                 continue;
+            }
+            if end_seen {
+                return Err(fail("record after the end sentinel".into()));
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
             let args = &fields[1..];
@@ -214,7 +229,7 @@ impl StreamEngine {
                     }
                 }
                 "frames" => {
-                    expect(3)?;
+                    expect(4)?;
                     stats.frames_total = args[0]
                         .parse()
                         .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
@@ -222,6 +237,9 @@ impl StreamEngine {
                         .parse()
                         .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
                     stats.frames_late = args[2]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
+                    stats.frames_malformed = args[3]
                         .parse()
                         .map_err(|e: std::num::ParseIntError| fail(e.to_string()))?;
                 }
@@ -290,8 +308,27 @@ impl StreamEngine {
                     has_solver_lines = true;
                     cached = args[0] == "1";
                 }
+                "end" => {
+                    expect(1)?;
+                    let declared = args[0].parse::<usize>().map_err(|e| fail(e.to_string()))?;
+                    if declared != records {
+                        return Err(fail(format!(
+                            "snapshot truncated: end sentinel declares {declared} \
+                             records but {records} were read"
+                        )));
+                    }
+                    end_seen = true;
+                    continue;
+                }
                 other => return Err(fail(format!("unknown record {other:?}"))),
             }
+            records += 1;
+        }
+        if !end_seen {
+            return Err(SnapshotError::new(
+                records + 1,
+                "snapshot truncated: missing end sentinel",
+            ));
         }
 
         let window_s = window_s.ok_or_else(|| SnapshotError::new(1, "missing window_s"))?;
@@ -420,8 +457,8 @@ mod tests {
                 assert_eq!(x.window, y.window);
                 assert_eq!(x.mobile, y.mobile);
                 assert_eq!(x.gamma, y.gamma);
-                assert_eq!(x.estimate.is_some(), y.estimate.is_some());
-                if let (Some(ex), Some(ey)) = (&x.estimate, &y.estimate) {
+                assert_eq!(x.estimate().is_some(), y.estimate().is_some());
+                if let (Some(ex), Some(ey)) = (x.estimate(), y.estimate()) {
                     assert_eq!(ex.position.x.to_bits(), ey.position.x.to_bits());
                     assert_eq!(ex.position.y.to_bits(), ey.position.y.to_bits());
                 }
@@ -477,6 +514,45 @@ mod tests {
         let err = StreamEngine::restore(m(), &bad).unwrap_err();
         assert!(err.reason().contains("bad f64 bits"), "{}", err.reason());
         assert_eq!(err.line(), 5);
+    }
+
+    #[test]
+    fn restore_rejects_truncated_snapshot() {
+        let m = || map(KnowledgeLevel::LocationsOnly);
+        let mut engine = StreamEngine::new(m(), StreamConfig::default());
+        for k in 0u64..5 {
+            engine.push(&response(k as f64 * 7.0, 100 + k % 3, 1));
+        }
+        let snap = engine.snapshot();
+
+        // Crash mid-write: the end sentinel never made it to disk.
+        let lines: Vec<&str> = snap.lines().collect();
+        let cut = lines[..lines.len() - 1].join("\n");
+        let err = StreamEngine::restore(m(), &cut).unwrap_err();
+        assert!(
+            err.reason().contains("missing end sentinel"),
+            "{}",
+            err.reason()
+        );
+
+        // An interior record went missing: the count disagrees.
+        let holed: Vec<&str> = lines
+            .iter()
+            .copied()
+            .filter(|l| !l.starts_with("open"))
+            .collect();
+        assert!(holed.len() < lines.len(), "an open record must exist");
+        let err = StreamEngine::restore(m(), &holed.join("\n")).unwrap_err();
+        assert!(err.reason().contains("truncated"), "{}", err.reason());
+
+        // Trailing garbage after the sentinel is rejected too.
+        let extra = format!("{snap}lp_solves 0\n");
+        let err = StreamEngine::restore(m(), &extra).unwrap_err();
+        assert!(
+            err.reason().contains("after the end sentinel"),
+            "{}",
+            err.reason()
+        );
     }
 
     #[test]

@@ -112,8 +112,12 @@ pub fn parse_capture_line(line: &str) -> Result<Option<CapturedFrame>, String> {
 /// [`CaptureDatabase`] — the frame feed for the live tracking engine.
 ///
 /// The header is validated lazily on the first call to `next`; a
-/// malformed line yields `Some(Err(_))` with its 1-based line number
-/// and ends the iteration.
+/// missing or wrong header is fatal and fuses the iterator. A
+/// malformed *body* line yields `Some(Err(_))` with its 1-based line
+/// number and iteration resumes at the following line — callers decide
+/// whether to abort on the first error
+/// ([`parse_capture_log`] does) or skip-and-count under an error
+/// budget (`marauder_stream::replay_log` does).
 #[derive(Debug, Clone)]
 pub struct CaptureLogFrames<'a> {
     lines: std::str::Lines<'a>,
@@ -158,8 +162,9 @@ impl Iterator for CaptureLogFrames<'_> {
             match parse_capture_line(line) {
                 Ok(None) => continue,
                 Ok(Some(rec)) => return Some(Ok(rec)),
+                // Body errors are recoverable: report, then resume on
+                // the next line.
                 Err(reason) => {
-                    self.failed = true;
                     return Some(Err(ParseLogError {
                         line: self.line_no,
                         reason,
@@ -271,14 +276,41 @@ mod tests {
             assert_eq!(a.frame, b.frame);
             assert_eq!(a.card, b.card);
         }
-        // A malformed line surfaces as Err and ends the iteration.
-        let text = format!("{text}1.0 0 zz\n2.0 0 40\n");
+        // A malformed body line surfaces as Err; iteration resumes on
+        // the next line so callers can skip-and-count.
+        let lines: Vec<&str> = text.lines().collect();
+        let text = format!("{}\n{}\n1.0 0 zz\n{}\n", lines[0], lines[1], lines[2]);
         let mut it = capture_log_frames(&text);
         assert!(it.next().unwrap().is_ok());
-        assert!(it.next().unwrap().is_ok());
         let err = it.next().unwrap().unwrap_err();
-        assert_eq!(err.line(), 4);
-        assert!(it.next().is_none(), "iteration stops after an error");
+        assert_eq!(err.line(), 3);
+        let resumed = it.next().expect("iteration resumes after a body error");
+        assert_eq!(resumed.unwrap().frame, db.iter().nth(1).unwrap().frame);
+        assert!(it.next().is_none());
+        // A header failure is fatal: the iterator fuses.
+        let mut it = capture_log_frames("no header\n1.0 0 40\n");
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "header errors fuse the iterator");
+    }
+
+    #[test]
+    fn truncated_mid_record_reports_the_cut_line() {
+        // A sniffer process killed mid-write leaves the final record
+        // cut in the middle of its hex bytes.
+        let text = write_capture_log(&sample_db());
+        let cut = &text[..text.len() - 10];
+        let e = parse_capture_log(cut).unwrap_err();
+        assert_eq!(e.line(), 3, "1-based: header, record 1, cut record");
+        assert!(
+            e.reason().contains("odd hex") || e.reason().contains("bad frame"),
+            "{}",
+            e.reason()
+        );
+        // The streaming iterator still yields everything before the cut.
+        let mut it = capture_log_frames(cut);
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
     }
 
     #[test]

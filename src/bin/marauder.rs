@@ -6,6 +6,7 @@
 //! marauder attack   --knowledge run1/aps.csv --captures run1/capture.log --level locations
 //! marauder attack   --training run1/training.csv --captures run1/capture.log --level none
 //! marauder replay   run1/capture.log --knowledge run1/aps.csv --speed 10
+//! marauder chaos    --seed 7 --faults drop:0.2,reorder:5 --out chaos.json
 //! marauder link     --captures run1/capture.log
 //! marauder report   --knowledge run1/aps.csv --captures run1/capture.log
 //! ```
@@ -16,13 +17,16 @@
 //! `attack` replays the localization attack on those files at any of the
 //! paper's three knowledge levels; `replay` streams the same capture
 //! through the live tracking engine, printing each fix the moment its
-//! window closes; `link` clusters MAC pseudonyms by their probe
-//! fingerprints.
+//! window closes; `chaos` injects a deterministic fault plan into a
+//! simulated capture and emits a JSON degradation report; `link`
+//! clusters MAC pseudonyms by their probe fingerprints.
 
 use marauders_map::core::apdb::ApDatabase;
 use marauders_map::core::map::MapBuilder;
 use marauders_map::core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
 use marauders_map::core::pseudonym::PseudonymLinker;
+use marauders_map::core::PipelineError;
+use marauders_map::fault::{default_matrix, ChaosScenario, FaultPlan, PlanParseError};
 use marauders_map::geo::Point;
 use marauders_map::sim::deploy::Rect;
 use marauders_map::sim::mobility::CircuitWalk;
@@ -75,16 +79,89 @@ fn main() -> ExitCode {
         "simulate" => simulate(&opts),
         "attack" => attack(&opts),
         "replay" => replay(&opts),
+        "chaos" => chaos(&opts),
         "link" => link(&opts),
         "report" => report(&opts),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match run {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
         }
+    }
+}
+
+/// The CLI's typed error hierarchy: every failure path names its class,
+/// so usage mistakes print the usage text (exit 2) while runtime
+/// failures (I/O, malformed inputs, pipeline errors) exit 1 with a
+/// specific message.
+#[derive(Debug)]
+enum CliError {
+    /// A command-line mistake (unknown flag/command, bad flag value).
+    Usage(String),
+    /// An I/O failure, with the operation that failed.
+    Io(String, std::io::Error),
+    /// A malformed input file (capture log, CSV, truth file).
+    Input(String),
+    /// A typed localization-pipeline failure.
+    Pipeline(PipelineError),
+    /// An unparsable `--faults` spec.
+    Plan(PlanParseError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(what, source) => write!(f, "{what}: {source}"),
+            CliError::Input(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(_, e) => Some(e),
+            CliError::Pipeline(e) => Some(e),
+            CliError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for CliError {
+    fn from(e: PipelineError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+impl From<PlanParseError> for CliError {
+    fn from(e: PlanParseError) -> Self {
+        CliError::Plan(e)
+    }
+}
+
+// Bare message strings classify as malformed input — the common case
+// for `ok_or("...")?` / `format!` error paths on data files.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Input(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Input(msg.to_string())
     }
 }
 
@@ -93,14 +170,26 @@ const USAGE: &str = "usage:
   marauder attack --captures FILE (--knowledge FILE | --training FILE)
                   [--level full|locations|none] [--geojson FILE] [--truth FILE]
   marauder replay LOG (--knowledge FILE | --training FILE)
-                  [--level full|locations|none] [--speed N] [--lag SECS] [--follow]
+                  [--level full|locations|none] [--speed N] [--lag SECS]
+                  [--error-budget N] [--follow]
+  marauder chaos [--seed N] [--fault-seed N] [--scenario quick|fig13]
+                 [--faults SPEC] [--out FILE]
   marauder link --captures FILE
   marauder report --knowledge FILE --captures FILE
 
   replay streams the capture through the live tracking engine, printing
   each fix as its window closes. --speed N paces the replay at N times
   real time (0, the default, replays as fast as possible); --follow
-  keeps tailing the log for appended frames, like tail -f.
+  keeps tailing the log for appended frames, like tail -f;
+  --error-budget N tolerates up to N malformed log lines (skipped
+  deterministically and reported) before aborting.
+
+  chaos injects deterministic faults into a simulated capture and
+  reports how the attack degrades, as JSON (stdout, or --out FILE).
+  --faults is a comma-separated plan like drop:0.2,reorder:5 (kinds:
+  drop:P burst:PE:PX dup:P reorder:D jitter:S skew:O bitflip:P
+  apflap:T carddrop:T truncate:F); without --faults the full
+  10-kind x 3-intensity matrix runs.
 
   every command also accepts --threads N (worker threads; default all
   cores, 1 forces the sequential path — results are identical)";
@@ -110,48 +199,51 @@ type Opts = HashMap<String, String>;
 /// Flags that stand alone instead of taking a value.
 const BOOL_FLAGS: &[&str] = &["follow"];
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let key = flag
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            .ok_or_else(|| CliError::Usage(format!("expected --flag, got {flag:?}")))?;
         if BOOL_FLAGS.contains(&key) {
             out.insert(key.to_string(), String::new());
             continue;
         }
         let val = it
             .next()
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            .ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
         out.insert(key.to_string(), val.clone());
     }
     Ok(out)
 }
 
-fn get_num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String>
+fn get_num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, CliError>
 where
     T::Err: std::fmt::Display,
 {
     match opts.get(key) {
-        Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(format!("bad --{key}: {e}"))),
         None => Ok(default),
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}"), e))
 }
 
-fn write(path: &Path, content: &str) -> Result<(), String> {
+fn write(path: &Path, content: &str) -> Result<(), CliError> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)
-            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            .map_err(|e| CliError::Io(format!("cannot create {}", parent.display()), e))?;
     }
-    std::fs::write(path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    std::fs::write(path, content)
+        .map_err(|e| CliError::Io(format!("cannot write {}", path.display()), e))
 }
 
-fn simulate(opts: &Opts) -> Result<(), String> {
+fn simulate(opts: &Opts) -> Result<(), CliError> {
     let out_dir = PathBuf::from(opts.get("out-dir").ok_or("simulate requires --out-dir")?);
     let seed: u64 = get_num(opts, "seed", 1)?;
     let aps: usize = get_num(opts, "aps", 120)?;
@@ -208,7 +300,7 @@ fn simulate(opts: &Opts) -> Result<(), String> {
 /// requested `--level`, before any captures are ingested. Shared by
 /// `attack` (batch) and `replay` (streaming); returns the level name
 /// for log lines.
-fn build_map(opts: &Opts) -> Result<(MaraudersMap, String), String> {
+fn build_map(opts: &Opts) -> Result<(MaraudersMap, String), CliError> {
     let level = opts
         .get("level")
         .map(String::as_str)
@@ -239,12 +331,12 @@ fn build_map(opts: &Opts) -> Result<(MaraudersMap, String), String> {
             .map_err(|e| e.to_string())?;
             MaraudersMap::from_training(&training, config)
         }
-        other => return Err(format!("unknown --level {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown --level {other:?}"))),
     };
     Ok((map, level))
 }
 
-fn attack(opts: &Opts) -> Result<(), String> {
+fn attack(opts: &Opts) -> Result<(), CliError> {
     let captures = parse_capture_log(&read(
         opts.get("captures").ok_or("attack requires --captures")?,
     )?)
@@ -285,7 +377,10 @@ fn attack(opts: &Opts) -> Result<(), String> {
             }
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 4 {
-                return Err(format!("truth.csv line {}: expected 4 fields", i + 1));
+                return Err(CliError::Input(format!(
+                    "truth.csv line {}: expected 4 fields",
+                    i + 1
+                )));
             }
             truth.push((
                 f[0].parse().map_err(|e| format!("bad time: {e}"))?,
@@ -299,16 +394,16 @@ fn attack(opts: &Opts) -> Result<(), String> {
         let mut err = 0.0;
         let mut n = 0usize;
         for fix in &fixes {
-            if let Some((_, _, pos)) =
-                truth
-                    .iter()
-                    .filter(|(_, m, _)| *m == fix.mobile)
-                    .min_by(|a, b| {
-                        (a.0 - fix.time_s)
-                            .abs()
-                            .partial_cmp(&(b.0 - fix.time_s).abs())
-                            .expect("finite")
-                    })
+            if let Some((_, _, pos)) = truth
+                .iter()
+                .filter(|(_, m, _)| *m == fix.mobile)
+                // total_cmp: a NaN timestamp in the truth file must
+                // not panic the whole scoring pass (it sorts last).
+                .min_by(|a, b| {
+                    (a.0 - fix.time_s)
+                        .abs()
+                        .total_cmp(&(b.0 - fix.time_s).abs())
+                })
             {
                 err += fix.estimate.position.distance(*pos);
                 n += 1;
@@ -335,19 +430,22 @@ fn attack(opts: &Opts) -> Result<(), String> {
 
 /// Streams a capture log through the live tracking engine, printing
 /// each fix the moment its observation window closes.
-fn replay(opts: &Opts) -> Result<(), String> {
+fn replay(opts: &Opts) -> Result<(), CliError> {
     let path = opts
         .get("captures")
         .ok_or("replay requires a capture log (positional or --captures)")?
         .clone();
     let speed: f64 = get_num(opts, "speed", 0.0)?;
     if !speed.is_finite() || speed < 0.0 {
-        return Err("--speed must be a finite number >= 0".into());
+        return Err(CliError::Usage(
+            "--speed must be a finite number >= 0".into(),
+        ));
     }
     let lag: f64 = get_num(opts, "lag", StreamConfig::default().allowed_lag_s)?;
     if !lag.is_finite() || lag < 0.0 {
-        return Err("--lag must be a finite number >= 0".into());
+        return Err(CliError::Usage("--lag must be a finite number >= 0".into()));
     }
+    let budget: usize = get_num(opts, "error-budget", 0)?;
     let follow = opts.contains_key("follow");
     let (map, level) = build_map(opts)?;
     let mut engine = StreamEngine::new(
@@ -364,11 +462,28 @@ fn replay(opts: &Opts) -> Result<(), String> {
     if follow {
         return follow_log(&path, &mut engine, &mut pacer, &mut out);
     }
-    for frame in capture_log_frames(&read(&path)?) {
-        let frame = frame.map_err(|e| e.to_string())?;
-        pacer.wait_for(frame.time_s);
-        for event in engine.push(&frame) {
-            print_fix(&mut out, event.into_fix())?;
+    let mut skipped = 0usize;
+    for item in capture_log_frames(&read(&path)?) {
+        match item {
+            Ok(frame) => {
+                pacer.wait_for(frame.time_s);
+                for event in engine.push(&frame) {
+                    print_fix(&mut out, event.into_fix())?;
+                }
+            }
+            // Malformed body lines consume the --error-budget; a bad
+            // header (always line 1) is never coverable.
+            Err(e) if e.line() > 1 && skipped < budget => {
+                skipped += 1;
+                eprintln!("skipping malformed line {}: {e}", e.line());
+            }
+            Err(e) => {
+                return Err(PipelineError::BudgetExhausted {
+                    line: e.line(),
+                    budget,
+                }
+                .into())
+            }
         }
     }
     for event in engine.finish() {
@@ -376,15 +491,61 @@ fn replay(opts: &Opts) -> Result<(), String> {
     }
     let stats = engine.stats();
     eprintln!(
-        "replayed {} frames ({} relevant, {} late) -> {} windows closed, \
-         {} LP solves, {} evicted (knowledge level: {level})",
+        "replayed {} frames ({} relevant, {} late, {} malformed lines skipped) -> \
+         {} windows closed, {} LP solves, {} evicted (knowledge level: {level})",
         stats.frames_total,
         stats.frames_relevant,
         stats.frames_late,
+        skipped,
         stats.windows_closed,
         stats.lp_solves,
         stats.windows_evicted
     );
+    Ok(())
+}
+
+/// Runs the deterministic fault matrix against a simulated capture and
+/// emits the JSON degradation report.
+fn chaos(opts: &Opts) -> Result<(), CliError> {
+    let seed: u64 = get_num(opts, "seed", 1)?;
+    let fault_seed: u64 = get_num(opts, "fault-seed", seed)?;
+    let scenario_name = opts.get("scenario").map(String::as_str).unwrap_or("fig13");
+    let plans = match opts.get("faults") {
+        Some(spec) => vec![FaultPlan::parse(spec)?],
+        None => default_matrix(),
+    };
+    eprintln!(
+        "chaos: scenario {scenario_name} (seed {seed}), {} fault cell(s) + clean baseline",
+        plans.len()
+    );
+    let scenario = match scenario_name {
+        "quick" => ChaosScenario::quick(seed),
+        "fig13" => ChaosScenario::fig13(seed),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --scenario {other:?} (quick|fig13)"
+            )))
+        }
+    };
+    let report = scenario.run_matrix(fault_seed, &plans);
+    for cell in &report.cells {
+        eprintln!(
+            "  {:<24} fix rate {:.3}  ({} windows, {} lost, {} devices degraded)",
+            cell.plan,
+            cell.fix_rate(),
+            cell.windows_total,
+            cell.windows_lost,
+            cell.devices_degraded
+        );
+    }
+    let json = report.to_json();
+    match opts.get("out") {
+        Some(path) => {
+            write(Path::new(path), &json)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
     Ok(())
 }
 
@@ -397,13 +558,15 @@ fn follow_log(
     engine: &mut StreamEngine,
     pacer: &mut Pacer,
     out: &mut impl std::io::Write,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let mut consumed = 0usize; // bytes of complete lines already parsed
     let mut line_no = 0usize;
     loop {
         let text = read(path)?;
         if text.len() < consumed {
-            return Err(format!("{path} was truncated while following"));
+            return Err(CliError::Input(format!(
+                "{path} was truncated while following"
+            )));
         }
         let fresh = &text[consumed..];
         // Only parse up to the last newline: the final line may still
@@ -413,7 +576,9 @@ fn follow_log(
             line_no += 1;
             if line_no == 1 {
                 if line.trim() != HEADER {
-                    return Err(format!("{path}: missing header {HEADER:?}"));
+                    return Err(CliError::Input(format!(
+                        "{path}: missing header {HEADER:?}"
+                    )));
                 }
                 continue;
             }
@@ -425,7 +590,9 @@ fn follow_log(
                         print_fix(out, event.into_fix())?;
                     }
                 }
-                Err(reason) => return Err(format!("{path} line {line_no}: {reason}")),
+                Err(reason) => {
+                    return Err(CliError::Input(format!("{path} line {line_no}: {reason}")))
+                }
             }
         }
         consumed += complete;
@@ -473,7 +640,7 @@ impl Pacer {
 
 /// Prints one fix in the `attack` CSV format, flushing so a paced or
 /// followed replay is genuinely live.
-fn print_fix(out: &mut impl std::io::Write, fix: Option<TrackFix>) -> Result<(), String> {
+fn print_fix(out: &mut impl std::io::Write, fix: Option<TrackFix>) -> Result<(), CliError> {
     let Some(fix) = fix else { return Ok(()) };
     writeln!(
         out,
@@ -486,10 +653,10 @@ fn print_fix(out: &mut impl std::io::Write, fix: Option<TrackFix>) -> Result<(),
         fix.estimate.area()
     )
     .and_then(|()| out.flush())
-    .map_err(|e| format!("stdout: {e}"))
+    .map_err(|e| CliError::Io("stdout".to_string(), e))
 }
 
-fn report(opts: &Opts) -> Result<(), String> {
+fn report(opts: &Opts) -> Result<(), CliError> {
     let captures = parse_capture_log(&read(
         opts.get("captures").ok_or("report requires --captures")?,
     )?)
@@ -514,7 +681,7 @@ fn report(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn link(opts: &Opts) -> Result<(), String> {
+fn link(opts: &Opts) -> Result<(), CliError> {
     let captures = parse_capture_log(&read(
         opts.get("captures").ok_or("link requires --captures")?,
     )?)

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub use marauder_core as core;
+pub use marauder_fault as fault;
 pub use marauder_geo as geo;
 pub use marauder_lp as lp;
 pub use marauder_par as par;
