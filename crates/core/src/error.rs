@@ -46,6 +46,13 @@ pub enum PipelineError {
         /// Which quantity was non-finite.
         what: &'static str,
     },
+    /// The replayed text is not a capture log at all: its first line —
+    /// where the `time_s src dst subtype [bssid]` header/record shape
+    /// is established — is missing or malformed. Deliberately exempt
+    /// from the malformed-line error budget: a budget exists to ride
+    /// out scattered corruption *inside* a log, not to let an
+    /// arbitrary non-log file limp through as "all lines skipped".
+    BadHeader,
     /// A malformed-input budget was exhausted (replay with an error
     /// budget, snapshot restore). Carries the 1-based position of the
     /// offending record and the budget that was exceeded.
@@ -79,6 +86,11 @@ impl fmt::Display for PipelineError {
             PipelineError::NonFinite { what } => {
                 write!(f, "non-finite {what} where a finite value is required")
             }
+            PipelineError::BadHeader => write!(
+                f,
+                "not a capture log: missing or malformed header line \
+                 (line 1 is exempt from the error budget)"
+            ),
             PipelineError::BudgetExhausted { line, budget } => write!(
                 f,
                 "malformed-input budget of {budget} exhausted at line {line}"
@@ -110,5 +122,8 @@ mod tests {
         let e = PipelineError::BudgetExhausted { line: 9, budget: 2 };
         assert!(e.to_string().contains("line 9"));
         assert!(e.to_string().contains("budget of 2"));
+        assert!(PipelineError::BadHeader
+            .to_string()
+            .contains("not a capture log"));
     }
 }

@@ -62,7 +62,7 @@ impl ErrorStats {
         }
         sorted.sort_by(|a, b| a.total_cmp(b));
         let count = sorted.len();
-        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let mean = neumaier_sum(&sorted) / count as f64;
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {
@@ -75,6 +75,26 @@ impl ErrorStats {
             max: *sorted.last()?,
         })
     }
+}
+
+/// Neumaier-compensated summation: tracks the low-order bits that
+/// naive `iter().sum()` discards, so the mean over large campaigns
+/// (10⁵+ fixes) doesn't drift with accumulation order or magnitude
+/// spread. Unlike plain Kahan, the compensation also survives the
+/// case where the next term is larger than the running sum.
+fn neumaier_sum(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for &x in values {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            comp += (sum - t) + x;
+        } else {
+            comp += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + comp
 }
 
 impl fmt::Display for ErrorStats {
@@ -272,6 +292,30 @@ mod tests {
         assert!(s.mean.is_finite() && s.max.is_finite());
         // All-poisoned input yields no statistics rather than garbage.
         assert!(ErrorStats::from_errors(&[f64::NAN, f64::NEG_INFINITY]).is_none());
+    }
+
+    #[test]
+    fn mean_uses_compensated_summation() {
+        // Adversarial magnitude spread: naive left-to-right summation
+        // of the sorted sequence [-1e16, 1.0, 1e16] loses the 1.0
+        // entirely (-1e16 + 1.0 == -1e16 in f64) and reports mean 0.
+        // Neumaier compensation carries the lost low-order bits, so
+        // the mean is exactly 1/3.
+        let s = ErrorStats::from_errors(&[1e16, 1.0, -1e16]).unwrap();
+        assert_eq!(s.mean, 1.0 / 3.0);
+
+        // Drift check at campaign scale: 10⁵ copies of 0.1 (not
+        // representable in binary) plus one huge cancelling pair.
+        let mut errors = vec![0.1f64; 100_000];
+        errors.push(1e18);
+        errors.push(-1e18);
+        let s = ErrorStats::from_errors(&errors).unwrap();
+        let expected = 0.1 * 100_000.0 / 100_002.0;
+        assert!(
+            (s.mean - expected).abs() < 1e-9,
+            "compensated mean drifted: {} vs {expected}",
+            s.mean
+        );
     }
 
     #[test]

@@ -321,11 +321,15 @@ impl MaraudersMap {
     /// and, when radii are not part of the knowledge, estimates them
     /// with the AP-Rad linear program.
     pub fn ingest(&mut self, captures: &CaptureDatabase) {
+        let reg = marauder_obs::global();
+        let _span = reg.span("core.ingest", marauder_obs::global_clock());
+        reg.counter_add("core.frames_ingested", captures.len() as u64);
         self.observations = captures
             .observation_sets(self.config.window_s)
             .into_iter()
             .map(|o| o.aps)
             .collect();
+        reg.counter_add("core.windows_extracted", self.observations.len() as u64);
         if self.knowledge != KnowledgeLevel::Full {
             self.radii = self.config.aprad.estimate_radii_with_bounds(
                 &self.locations,
@@ -451,9 +455,11 @@ impl MaraudersMap {
         &self,
         obs: Vec<ObservationSet>,
     ) -> (Vec<TrackFix>, Vec<PipelineError>) {
+        let reg = marauder_obs::global();
+        let _span = reg.span("core.localize_windows", marauder_obs::global_clock());
         let estimates = marauder_par::par_map(&obs, |o| self.try_locate(&o.aps));
         let mut lost = Vec::new();
-        let fixes = obs
+        let fixes: Vec<TrackFix> = obs
             .into_iter()
             .zip(estimates)
             .filter_map(|(o, outcome)| match outcome {
@@ -470,6 +476,19 @@ impl MaraudersMap {
                 }
             })
             .collect();
+        reg.counter_add("core.windows_localized", fixes.len() as u64);
+        reg.counter_add("core.windows_lost", lost.len() as u64);
+        // Per-rung provenance counts, accumulated locally so the batch
+        // costs four registry touches, not one per fix. All four rungs
+        // are flushed (zeros included) so every report carries the full
+        // ladder.
+        let mut by_rung = [0u64; FixProvenance::ALL.len()];
+        for fix in &fixes {
+            by_rung[fix.provenance as usize] += 1;
+        }
+        for (rung, n) in FixProvenance::ALL.iter().zip(by_rung) {
+            reg.counter_add(&format!("core.fix.{rung}"), n);
+        }
         (fixes, lost)
     }
 

@@ -45,9 +45,22 @@ pub fn reason_key(e: &PipelineError) -> &'static str {
         PipelineError::DegenerateGeometry { .. } => "degenerate_geometry",
         PipelineError::NoUsableRadii { .. } => "no_usable_radii",
         PipelineError::NonFinite { .. } => "non_finite",
+        PipelineError::BadHeader => "bad_header",
         PipelineError::BudgetExhausted { .. } => "budget_exhausted",
     }
 }
+
+/// Every [`reason_key`] value, in report order — the key space the
+/// registry-backed accounting in [`run_cell`] reads back.
+const REASON_KEYS: [&str; 7] = [
+    "empty_observation",
+    "no_known_aps",
+    "degenerate_geometry",
+    "no_usable_radii",
+    "non_finite",
+    "bad_header",
+    "budget_exhausted",
+];
 
 /// A fixed attack scenario (simulated capture + attacker knowledge)
 /// that fault plans are injected into.
@@ -226,15 +239,32 @@ impl ChaosScenario {
         let corrupted_devices: BTreeSet<MacAddr> = obs.iter().map(|o| o.mobile).collect();
         let (fixes, losses) = map.localize_windows_accounted(obs);
 
-        let mut loss_reasons: BTreeMap<&'static str, usize> = BTreeMap::new();
+        // Cell accounting goes through a registry local to the cell
+        // (not the process-global one: cells run concurrently across
+        // the matrix and each report must only see its own counts).
+        let reg = marauder_obs::MetricsRegistry::new();
         for e in &losses {
-            *loss_reasons.entry(reason_key(e)).or_insert(0) += 1;
+            reg.counter_add(&format!("loss.{}", reason_key(e)), 1);
         }
-        let mut provenance: BTreeMap<FixProvenance, usize> =
-            FixProvenance::ALL.iter().map(|&p| (p, 0)).collect();
         for fix in &fixes {
-            *provenance.entry(fix.provenance).or_insert(0) += 1;
+            reg.counter_add(&format!("fix.{}", fix.provenance.as_str()), 1);
         }
+        let mut loss_reasons: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for key in REASON_KEYS {
+            let n = reg.counter(&format!("loss.{key}"));
+            if n > 0 {
+                loss_reasons.insert(key, n as usize);
+            }
+        }
+        // Zero-count rungs stay in the report: the ladder is always
+        // shown in full.
+        let provenance: BTreeMap<FixProvenance, usize> = FixProvenance::ALL
+            .iter()
+            .map(|&p| {
+                let n = reg.counter(&format!("fix.{}", p.as_str()));
+                (p, n as usize)
+            })
+            .collect();
 
         // Device accounting over the union of devices seen in the clean
         // and corrupted captures: a device silenced entirely by the

@@ -1,0 +1,53 @@
+//! Property test: `FaultPlan::parse` inverts `Display` on *arbitrary*
+//! valid plans, not just the canonical specs pinned in the unit tests.
+//!
+//! f64's `Display` is shortest-round-trip, so `parse(plan.to_string())`
+//! must reproduce every parameter bit-exactly — any drift here would
+//! silently change which fault cell a report label reproduces.
+
+use marauder_fault::{Fault, FaultPlan};
+use proptest::prelude::*;
+
+/// One arbitrary valid fault: every kind, with parameters drawn across
+/// each kind's full validated range (including the 0/1 probability
+/// endpoints and negative skew).
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0.0..=1.0f64).prop_map(|p| Fault::Drop { p }),
+        ((0.0..=1.0f64), (0.0..=1.0f64))
+            .prop_map(|(p_enter, p_exit)| Fault::Burst { p_enter, p_exit }),
+        (0.0..=1.0f64).prop_map(|p| Fault::Duplicate { p }),
+        (0usize..=64).prop_map(|depth| Fault::Reorder { depth }),
+        (0.0..=100.0f64).prop_map(|sigma_s| Fault::Jitter { sigma_s }),
+        (-1e3..=1e3f64).prop_map(|offset_s| Fault::Skew { offset_s }),
+        (0.0..=1.0f64).prop_map(|p| Fault::BitFlip { p }),
+        (0.0..=1e4f64).prop_map(|outage_s| Fault::ApFlap { outage_s }),
+        (0.0..=1e4f64).prop_map(|outage_s| Fault::CardDropout { outage_s }),
+        (0.0..=1.0f64).prop_map(|fraction| Fault::Truncate { fraction }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_then_parse_is_identity(
+        faults in prop::collection::vec(arb_fault(), 0..6)
+    ) {
+        let plan = FaultPlan { faults };
+        let label = plan.to_string();
+        let parsed = FaultPlan::parse(&label);
+        prop_assert!(parsed.is_ok(), "own label failed to parse: {label:?}");
+        // Bit-exact equality: Fault derives PartialEq over its f64
+        // parameters, so this catches any shortest-round-trip drift.
+        prop_assert_eq!(parsed.unwrap(), plan, "label {:?}", label);
+    }
+
+    #[test]
+    fn spec_and_display_agree_for_nonempty_plans(
+        faults in prop::collection::vec(arb_fault(), 1..6)
+    ) {
+        let plan = FaultPlan { faults };
+        prop_assert_eq!(plan.spec(), plan.to_string());
+    }
+}

@@ -58,10 +58,15 @@ struct Tableau {
     /// Basis: for each row, the index of its basic variable.
     basis: Vec<usize>,
     cols: usize,
+    /// Pivot operations performed, across both phases; reported as the
+    /// `lp.pivots` metric (deterministic: pivoting order is a pure
+    /// function of the problem).
+    pivots: u64,
 }
 
 impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let piv = self.a[row][col];
         debug_assert!(piv.abs() > TOL, "pivot too small: {piv}");
         let inv = 1.0 / piv;
@@ -148,6 +153,17 @@ impl Tableau {
 
 /// Solves a [`Problem`] with the two-phase simplex method.
 pub fn solve(problem: &Problem) -> Outcome {
+    let reg = marauder_obs::global();
+    let _span = reg.span("lp.solve", marauder_obs::global_clock());
+    let (outcome, pivots) = solve_counted(problem);
+    reg.counter_add("lp.solves", 1);
+    reg.counter_add("lp.pivots", pivots);
+    outcome
+}
+
+/// The solver body, returning the outcome plus the pivot count so
+/// [`solve`] can flush metrics on every exit path at once.
+fn solve_counted(problem: &Problem) -> (Outcome, u64) {
     let n = problem.num_vars();
     let m = problem.num_constraints();
 
@@ -227,6 +243,7 @@ pub fn solve(problem: &Problem) -> Outcome {
         z: vec![0.0; cols],
         basis,
         cols,
+        pivots: 0,
     };
 
     // Phase 1: minimize sum of artificials == maximize -(sum).
@@ -248,7 +265,7 @@ pub fn solve(problem: &Problem) -> Outcome {
         debug_assert!(bounded, "phase 1 is always bounded below by 0");
         let phase1_obj = -t.z[cols - 1];
         if phase1_obj > 1e-7 {
-            return Outcome::Infeasible;
+            return (Outcome::Infeasible, t.pivots);
         }
         // Drive any remaining basic artificials out (degenerate rows).
         for r in 0..m {
@@ -288,7 +305,7 @@ pub fn solve(problem: &Problem) -> Outcome {
         }
     }
     if !t.optimize(n + num_slack) {
-        return Outcome::Unbounded;
+        return (Outcome::Unbounded, t.pivots);
     }
 
     let mut values = vec![0.0; n];
@@ -303,7 +320,7 @@ pub fn solve(problem: &Problem) -> Outcome {
         .zip(&values)
         .map(|(c, v)| c * v)
         .sum();
-    Outcome::Optimal(Solution { values, objective })
+    (Outcome::Optimal(Solution { values, objective }), t.pivots)
 }
 
 #[cfg(test)]

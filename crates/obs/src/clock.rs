@@ -1,0 +1,123 @@
+//! The pluggable time source behind span timing.
+//!
+//! The workspace invariant (enforced by marauder-lint's
+//! `no-wall-clock` rule) is that library code never reads real time:
+//! results must be a pure function of inputs and seeds. Timings are
+//! the one legitimate exception — an observability layer that cannot
+//! measure durations is not one — so the exception is *narrowed to
+//! this file*: [`MonotonicClock`] is the single place the workspace
+//! reads `Instant::now`, `lint.toml` carves exactly this path out, and
+//! everything downstream consumes time through the [`Clock`] trait.
+//! Tests substitute [`ManualClock`] and advance it by hand, so
+//! timing-sensitive assertions stay deterministic.
+//!
+//! Clock readings only ever feed the registry's explicitly
+//! **nondeterministic** section (see
+//! [`MetricsRegistry`](crate::MetricsRegistry)); deterministic
+//! counters, gauges and histograms never contain a clock value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source for span timing.
+///
+/// Implementations must be cheap (called on hot paths) and monotone
+/// non-decreasing; the absolute origin is arbitrary — only
+/// differences between readings are ever recorded.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's (arbitrary) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real-time clock for production runs: nanoseconds elapsed since
+/// the clock was created, read from the OS monotonic clock.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds overflow after ~584 years of process uptime;
+        // saturate instead of wrapping so a pathological reading can
+        // never make a span go backwards.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for tests: time only moves when the test says
+/// so, making span-timing assertions exact.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at 0 ns.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// A clock frozen at `ns`.
+    pub fn at_ns(ns: u64) -> Self {
+        ManualClock {
+            now_ns: AtomicU64::new(ns),
+        }
+    }
+
+    /// Advances the clock by `delta_ns` nanoseconds.
+    pub fn advance_ns(&self, delta_ns: u64) {
+        self.now_ns.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to the absolute reading `ns`.
+    pub fn set_ns(&self, ns: u64) {
+        self.now_ns.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_by_hand() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance_ns(250);
+        assert_eq!(clock.now_ns(), 250);
+        clock.set_ns(1_000_000);
+        assert_eq!(clock.now_ns(), 1_000_000);
+        let later = ManualClock::at_ns(42);
+        assert_eq!(later.now_ns(), 42);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a, "monotonic clock went backwards: {a} -> {b}");
+    }
+}

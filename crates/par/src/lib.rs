@@ -95,6 +95,13 @@ where
     O: Send,
     F: Fn(usize) -> O + Sync,
 {
+    // Call/item counts are recorded before the sequential/parallel
+    // split so the deterministic counters match across thread counts;
+    // anything below the split is scheduling-shaped and goes to the
+    // nondeterministic section.
+    let reg = marauder_obs::global();
+    reg.counter_add("par.calls", 1);
+    reg.counter_add("par.items", n as u64);
     let threads = current_threads().min(n);
     if threads <= 1 {
         return (0..n).map(f).collect();
@@ -102,6 +109,8 @@ where
     // Small blocks claimed dynamically: several blocks per worker keeps
     // skewed workloads balanced without a per-item atomic.
     let block = (n / (threads * 8)).max(1);
+    reg.nondet_add("par.parallel_calls", 1);
+    reg.nondet_add("par.block_items", block as u64);
     let nblocks = n.div_ceil(block);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -127,13 +136,17 @@ where
         // Place every block at its input position; the final order is a
         // pure function of the indices, independent of scheduling.
         let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-        for handle in handles {
+        for (widx, handle) in handles.into_iter().enumerate() {
             let claimed = match handle.join() {
                 Ok(claimed) => claimed,
                 // Re-raise the worker's panic payload in the caller,
                 // preserving the original message.
                 Err(payload) => std::panic::resume_unwind(payload),
             };
+            reg.nondet_add(
+                &format!("par.worker.{widx:02}.blocks"),
+                claimed.len() as u64,
+            );
             for (start, vals) in claimed {
                 for (j, v) in vals.into_iter().enumerate() {
                     slots[start + j] = Some(v);

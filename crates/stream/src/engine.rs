@@ -122,7 +122,26 @@ pub struct StreamEngine {
     /// Largest timestamp seen; `None` before the first frame.
     pub(crate) watermark: Option<f64>,
     pub(crate) stats: StreamStats,
+    /// Local watermark-lag histogram buckets (bounds
+    /// [`WATERMARK_LAG_BOUNDS_S`] plus overflow): the per-frame path
+    /// accumulates here and [`finish`](Self::finish) merges into the
+    /// global registry once, so ingest never takes the registry lock
+    /// per frame. Process-local — deliberately not serialized into
+    /// snapshots.
+    lag_counts: [u64; WATERMARK_LAG_BOUNDS_S.len() + 1],
+    /// High-water mark of simultaneously open `(window, mobile)`
+    /// entries.
+    open_peak: usize,
+    /// Guards the one-shot metrics flush in `finish`.
+    metrics_flushed: bool,
 }
+
+/// Bucket bounds (inclusive upper edges, seconds) for the
+/// `stream.watermark_lag_s` histogram: how far behind the watermark
+/// each relevant frame arrived. The spread is tuned around the default
+/// [`StreamConfig::allowed_lag_s`] of 1 s — buckets below it show
+/// benign jitter, buckets above it show frames at risk of being late.
+pub const WATERMARK_LAG_BOUNDS_S: [f64; 7] = [0.05, 0.1, 0.25, 0.5, 1.0, 5.0, 30.0];
 
 impl StreamEngine {
     /// Wraps a [`MaraudersMap`] into a streaming engine.
@@ -154,6 +173,9 @@ impl StreamEngine {
             closed_before: None,
             watermark: None,
             stats: StreamStats::default(),
+            lag_counts: [0; WATERMARK_LAG_BOUNDS_S.len() + 1],
+            open_peak: 0,
+            metrics_flushed: false,
         }
     }
 
@@ -165,15 +187,17 @@ impl StreamEngine {
             self.stats.frames_malformed += 1;
             return Vec::new();
         }
-        self.watermark = Some(match self.watermark {
+        let mark = match self.watermark {
             Some(mark) => mark.max(frame.time_s),
             None => frame.time_s,
-        });
+        };
+        self.watermark = Some(mark);
         // Exactly the frames `CaptureDatabase::observation_sets` groups:
         // probe responses to a unicast destination.
         if matches!(frame.frame.body, FrameBody::ProbeResponse { .. })
             && !frame.frame.dst.is_broadcast()
         {
+            self.observe_lag(mark - frame.time_s);
             let w = window_index(frame.time_s, self.window_s);
             if self.closed_before.is_some_and(|cb| w < cb) {
                 self.stats.frames_late += 1;
@@ -183,15 +207,60 @@ impl StreamEngine {
                     .entry((w, frame.frame.dst))
                     .or_default()
                     .insert(frame.frame.bssid);
+                self.open_peak = self.open_peak.max(self.open.len());
             }
         }
         self.drain_closable()
     }
 
     /// Declares the stream over: closes and emits every still-open
-    /// window, oldest first. Further pushes count as late.
+    /// window, oldest first, then flushes the engine's accumulated
+    /// metrics to the global registry. Further pushes count as late.
     pub fn finish(&mut self) -> Vec<ClosedWindow> {
-        self.close_below(i64::MAX)
+        let out = self.close_below(i64::MAX);
+        self.flush_metrics();
+        out
+    }
+
+    /// Buckets one watermark lag (seconds behind the newest timestamp
+    /// seen) into the local histogram.
+    fn observe_lag(&mut self, lag_s: f64) {
+        let mut slot = WATERMARK_LAG_BOUNDS_S.len();
+        for (i, b) in WATERMARK_LAG_BOUNDS_S.iter().enumerate() {
+            if lag_s <= *b {
+                slot = i;
+                break;
+            }
+        }
+        self.lag_counts[slot] += 1;
+    }
+
+    /// One-shot merge of everything accumulated locally into the
+    /// global registry. All of it is deterministic: the counters and
+    /// lag buckets are pure functions of the frame sequence, and the
+    /// engine itself is single-threaded.
+    fn flush_metrics(&mut self) {
+        if self.metrics_flushed {
+            return;
+        }
+        self.metrics_flushed = true;
+        let reg = marauder_obs::global();
+        reg.counter_add("stream.frames_total", self.stats.frames_total as u64);
+        reg.counter_add("stream.frames_relevant", self.stats.frames_relevant as u64);
+        reg.counter_add("stream.frames_late", self.stats.frames_late as u64);
+        reg.counter_add(
+            "stream.frames_malformed",
+            self.stats.frames_malformed as u64,
+        );
+        reg.counter_add("stream.windows_closed", self.stats.windows_closed as u64);
+        reg.counter_add("stream.windows_evicted", self.stats.windows_evicted as u64);
+        reg.counter_add("stream.lp_solves", self.stats.lp_solves as u64);
+        reg.gauge_max("stream.open_windows_peak", self.open_peak as i64);
+        reg.histogram_merge(
+            "stream.watermark_lag_s",
+            &WATERMARK_LAG_BOUNDS_S,
+            &self.lag_counts,
+        );
     }
 
     /// Re-localizes a set of closed windows with the engine's *final*

@@ -56,7 +56,9 @@ pub fn replay_database(
 /// [`PipelineError::BudgetExhausted`] naming the 1-based line that
 /// overflowed the budget. A missing or wrong header line is never
 /// covered by the budget — the text is not a capture log at all — and
-/// aborts immediately as line 1.
+/// aborts immediately as the distinct [`PipelineError::BadHeader`]
+/// (previously it surfaced as a confusing `BudgetExhausted { line: 1 }`
+/// even when the budget had plenty of room).
 pub fn replay_log(
     map: MaraudersMap,
     config: StreamConfig,
@@ -70,8 +72,11 @@ pub fn replay_log(
         match item {
             Ok(frame) => closed.extend(engine.push(&frame)),
             // Header errors are always reported as line 1; body lines
-            // start at 2.
-            Err(e) if e.line() > 1 && skipped.len() < error_budget => skipped.push(e),
+            // start at 2. The header is exempt from the budget by
+            // design: the budget rides out corruption inside a log, it
+            // does not legitimize replaying a non-log.
+            Err(e) if e.line() <= 1 => return Err(PipelineError::BadHeader),
+            Err(e) if skipped.len() < error_budget => skipped.push(e),
             Err(e) => {
                 return Err(PipelineError::BudgetExhausted {
                     line: e.line(),
@@ -232,11 +237,75 @@ mod tests {
 
         // A missing header is not a body error: no budget covers it.
         let err = replay_log(map(KnowledgeLevel::Full), cfg(), "not a log", 10).unwrap_err();
+        assert_eq!(err, PipelineError::BadHeader);
+    }
+
+    #[test]
+    fn corrupted_header_is_bad_header_even_with_generous_budget() {
+        // Regression for the `e.line() > 1` guard: a corrupted line 1
+        // used to surface as BudgetExhausted { line: 1 } regardless of
+        // how generous the budget was, which reads as "you ran out of
+        // budget" when the real problem is "this is not a capture
+        // log". The header is typed as its own, budget-independent
+        // failure.
+        use marauder_wifi::capture_log::write_capture_log;
+        let clean = write_capture_log(&synthetic_capture());
+        let mut lines: Vec<String> = clean.lines().map(String::from).collect();
+        lines[0] = "corrupted header".into();
+        let corrupted = lines.join("\n");
+        for budget in [0, 1, 1000] {
+            let err = replay_log(
+                map(KnowledgeLevel::Full),
+                StreamConfig::default(),
+                &corrupted,
+                budget,
+            )
+            .unwrap_err();
+            assert_eq!(err, PipelineError::BadHeader, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn budget_boundary_is_exact() {
+        // Exactly N malformed body lines pass with budget N and abort
+        // with budget N-1 on the (N)th malformation — the boundary is
+        // exact, not off by one.
+        use marauder_wifi::capture_log::write_capture_log;
+        let clean = write_capture_log(&synthetic_capture());
+        let mut lines: Vec<String> = clean.lines().map(String::from).collect();
+        let n = 5;
+        let corrupt_at: Vec<usize> = (0..n).map(|i| 3 + 4 * i).collect(); // 0-based
+        for &i in &corrupt_at {
+            lines[i] = format!("corrupt body {i}");
+        }
+        let corrupted = lines.join("\n");
+
+        // Budget == N: completes, reporting exactly the N skips.
+        let (_, _, skipped) = replay_log(
+            map(KnowledgeLevel::Full),
+            StreamConfig::default(),
+            &corrupted,
+            n,
+        )
+        .unwrap();
+        assert_eq!(skipped.len(), n);
+        let skipped_lines: Vec<usize> = skipped.iter().map(|e| e.line()).collect();
+        let expected: Vec<usize> = corrupt_at.iter().map(|i| i + 1).collect();
+        assert_eq!(skipped_lines, expected);
+
+        // Budget == N-1: the N-th malformed line exhausts it.
+        let err = replay_log(
+            map(KnowledgeLevel::Full),
+            StreamConfig::default(),
+            &corrupted,
+            n - 1,
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             PipelineError::BudgetExhausted {
-                line: 1,
-                budget: 10
+                line: corrupt_at[n - 1] + 1,
+                budget: n - 1
             }
         );
     }

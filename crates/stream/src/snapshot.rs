@@ -143,6 +143,9 @@ impl StreamEngine {
         // is one record.
         let records = out.lines().count() - 1;
         out.push_str(&format!("end {records}\n"));
+        let reg = marauder_obs::global();
+        reg.counter_add("stream.snapshots", 1);
+        reg.counter_add("stream.snapshot_bytes", out.len() as u64);
         out
     }
 

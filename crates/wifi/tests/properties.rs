@@ -149,6 +149,27 @@ proptest! {
     }
 
     #[test]
+    fn window_boundaries_are_half_open_at_exact_multiples(
+        k in -10_000i64..10_000,
+        w in prop::sample::select(vec![0.5f64, 1.0, 2.0, 5.0, 15.0, 30.0, 60.0]),
+    ) {
+        // At exact multiples of window_s — where floating-point
+        // misrounding would first show — windows must be half-open
+        // [k·w, (k+1)·w): the start belongs to window k, the end to
+        // window k+1, the midpoint stays inside. Every k·w, k·w + w
+        // and k·w + w/2 here is exactly representable (w is a small
+        // multiple of a power of two times ≤ 15, |k| ≤ 10⁴), so the
+        // assertions are bit-exact, not tolerance-based.
+        use marauder_wifi::sniffer::{window_index, window_start};
+        let start = window_start(k, w);
+        prop_assert_eq!(window_index(start, w), k, "start of window {} (w={})", k, w);
+        prop_assert_eq!(window_index(start + w, w), k + 1, "end is exclusive (w={})", w);
+        prop_assert_eq!(window_index(start + w * 0.5, w), k, "midpoint (w={})", w);
+        // window_start is the left inverse of window_index on the grid.
+        prop_assert_eq!(window_start(window_index(start, w), w).to_bits(), start.to_bits());
+    }
+
+    #[test]
     fn mac_parse_display_round_trips(mac in arb_mac()) {
         let s = mac.to_string();
         let back: MacAddr = s.parse().expect("displayed MAC must parse");

@@ -6,6 +6,7 @@
 //! marauder attack   --knowledge run1/aps.csv --captures run1/capture.log --level locations
 //! marauder attack   --training run1/training.csv --captures run1/capture.log --level none
 //! marauder replay   run1/capture.log --knowledge run1/aps.csv --speed 10
+//! marauder stats    run1/capture.log --knowledge run1/aps.csv --level locations
 //! marauder chaos    --seed 7 --faults drop:0.2,reorder:5 --out chaos.json
 //! marauder link     --captures run1/capture.log
 //! marauder report   --knowledge run1/aps.csv --captures run1/capture.log
@@ -45,14 +46,25 @@ use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Requested help is a success, not a usage mistake: print the usage
+    // on stdout and exit 0. (Running with no command at all still lands
+    // in the error path below — exit 2 stays reserved for mistakes.)
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.first().is_some_and(|a| a == "help")
+    {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `replay` accepts the capture log as a positional argument
-    // (`marauder replay run1/capture.log`); everything else is flags.
+    // `replay` and `stats` accept the capture log as a positional
+    // argument (`marauder replay run1/capture.log`); everything else is
+    // flags.
     let (positional, rest) = match rest.split_first() {
-        Some((p, more)) if cmd == "replay" && !p.starts_with("--") => (Some(p.clone()), more),
+        Some((p, more)) if (cmd == "replay" || cmd == "stats") && !p.starts_with("--") => {
+            (Some(p.clone()), more)
+        }
         _ => (None, rest),
     };
     let mut opts = match parse_opts(rest) {
@@ -79,11 +91,23 @@ fn main() -> ExitCode {
         "simulate" => simulate(&opts),
         "attack" => attack(&opts),
         "replay" => replay(&opts),
+        "stats" => stats(&opts),
         "chaos" => chaos(&opts),
         "link" => link(&opts),
         "report" => report(&opts),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
+    // `--metrics FILE` on any command dumps the global registry after
+    // the run — deterministic counter/gauge/histogram sections first,
+    // timings under the trailing "nondeterministic" key.
+    let run = run.and_then(|()| match opts.get("metrics") {
+        Some(path) => {
+            write(Path::new(path), &marauders_map::obs::global().to_json())?;
+            eprintln!("wrote metrics to {path}");
+            Ok(())
+        }
+        None => Ok(()),
+    });
     match run {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -172,10 +196,13 @@ const USAGE: &str = "usage:
   marauder replay LOG (--knowledge FILE | --training FILE)
                   [--level full|locations|none] [--speed N] [--lag SECS]
                   [--error-budget N] [--follow]
+  marauder stats LOG (--knowledge FILE | --training FILE)
+                 [--level full|locations|none] [--error-budget N]
   marauder chaos [--seed N] [--fault-seed N] [--scenario quick|fig13]
                  [--faults SPEC] [--out FILE]
   marauder link --captures FILE
   marauder report --knowledge FILE --captures FILE
+  marauder help | --help | -h
 
   replay streams the capture through the live tracking engine, printing
   each fix as its window closes. --speed N paces the replay at N times
@@ -191,8 +218,14 @@ const USAGE: &str = "usage:
   apflap:T carddrop:T truncate:F); without --faults the full
   10-kind x 3-intensity matrix runs.
 
+  stats replays the capture through the streaming engine and prints
+  the metrics registry as JSON: deterministic counters, gauges and
+  histograms first (byte-identical at any --threads value), timings
+  and scheduling counters under a trailing \"nondeterministic\" key.
+
   every command also accepts --threads N (worker threads; default all
-  cores, 1 forces the sequential path — results are identical)";
+  cores, 1 forces the sequential path — results are identical) and
+  --metrics FILE (dump the same metrics JSON after the run)";
 
 type Opts = HashMap<String, String>;
 
@@ -472,8 +505,10 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
                 }
             }
             // Malformed body lines consume the --error-budget; a bad
-            // header (always line 1) is never coverable.
-            Err(e) if e.line() > 1 && skipped < budget => {
+            // header (always line 1) is never coverable — the text is
+            // not a capture log at all.
+            Err(e) if e.line() <= 1 => return Err(PipelineError::BadHeader.into()),
+            Err(e) if skipped < budget => {
                 skipped += 1;
                 eprintln!("skipping malformed line {}: {e}", e.line());
             }
@@ -501,6 +536,32 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
         stats.lp_solves,
         stats.windows_evicted
     );
+    Ok(())
+}
+
+/// Replays a capture log through the streaming engine purely for its
+/// metrics: prints the global registry as JSON on stdout. The
+/// counter/gauge/histogram sections are byte-identical at any
+/// `--threads` value; only the trailing "nondeterministic" object
+/// (timings, per-worker scheduling) varies run to run.
+fn stats(opts: &Opts) -> Result<(), CliError> {
+    let path = opts
+        .get("captures")
+        .ok_or("stats requires a capture log (positional or --captures)")?
+        .clone();
+    let budget: usize = get_num(opts, "error-budget", 0)?;
+    let (map, level) = build_map(opts)?;
+    let (fixes, stream_stats, skipped) =
+        marauders_map::stream::replay_log(map, StreamConfig::default(), &read(&path)?, budget)?;
+    eprintln!(
+        "stats: {} frames -> {} windows closed, {} fixes, {} malformed lines skipped \
+         (knowledge level: {level})",
+        stream_stats.frames_total,
+        stream_stats.windows_closed,
+        fixes.len(),
+        skipped.len()
+    );
+    print!("{}", marauders_map::obs::global().to_json());
     Ok(())
 }
 

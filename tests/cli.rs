@@ -276,6 +276,113 @@ fn replay_follow_tails_an_appended_log() {
 }
 
 #[test]
+fn explicit_help_exits_zero() {
+    // Requested help is a success: usage on stdout, exit 0 — in every
+    // spelling, including after a subcommand.
+    for args in [
+        vec!["--help"],
+        vec!["-h"],
+        vec!["help"],
+        vec!["replay", "--help"],
+        vec!["simulate", "-h"],
+    ] {
+        let out = marauder().args(&args).output().expect("run help");
+        assert_eq!(out.status.code(), Some(0), "{args:?} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.starts_with("usage:"),
+            "{args:?} must print usage on stdout, got: {stdout:?}"
+        );
+    }
+    // A genuine mistake still exits 2: help must not swallow the
+    // error path.
+    let out = marauder().output().expect("run bare");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stats_deterministic_sections_are_thread_invariant() {
+    let dir = temp_dir("stats");
+    let out = marauder()
+        .args([
+            "simulate",
+            "--seed",
+            "11",
+            "--aps",
+            "50",
+            "--mobiles",
+            "3",
+            "--duration",
+            "180",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The counter/gauge/histogram sections must be byte-identical at
+    // every thread count; only what follows the "nondeterministic" key
+    // may differ.
+    let deterministic_prefix = |threads: &str| -> String {
+        let out = marauder()
+            .arg("stats")
+            .arg(dir.join("capture.log"))
+            .arg("--knowledge")
+            .arg(dir.join("aps.csv"))
+            .args(["--level", "locations", "--threads", threads])
+            .output()
+            .expect("run stats");
+        assert!(
+            out.status.success(),
+            "stats --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = String::from_utf8_lossy(&out.stdout).to_string();
+        json.split("\"nondeterministic\"")
+            .next()
+            .expect("split never yields zero pieces")
+            .to_string()
+    };
+    let t1 = deterministic_prefix("1");
+    assert!(t1.contains("\"counters\""), "no counters section: {t1}");
+    assert!(
+        t1.contains("stream.windows_closed"),
+        "no stream counters: {t1}"
+    );
+    assert!(t1.contains("lp.solves"), "no lp counters: {t1}");
+    assert_eq!(t1, deterministic_prefix("2"), "threads 1 vs 2 diverged");
+    assert_eq!(t1, deterministic_prefix("7"), "threads 1 vs 7 diverged");
+
+    // --metrics FILE dumps the same registry shape from any command.
+    let metrics = dir.join("attack-metrics.json");
+    let out = marauder()
+        .arg("attack")
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .arg("--captures")
+        .arg(dir.join("capture.log"))
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("run attack with metrics");
+    assert!(
+        out.status.success(),
+        "attack --metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dumped = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(dumped.contains("\"core.windows_localized\""));
+    assert!(dumped.contains("\"nondeterministic\""));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn helpful_errors() {
     // No args: usage + exit 2.
     let out = marauder().output().expect("run bare");

@@ -1,0 +1,50 @@
+//! Metrics determinism across worker-thread counts.
+//!
+//! The registry's counter/gauge/histogram sections must be a pure
+//! function of the inputs: running the same fig13-scale attack at 1, 2
+//! and 7 worker threads must render byte-identical deterministic JSON.
+//! (Timings and per-worker scheduling counters live under the separate
+//! "nondeterministic" key and are allowed — expected — to differ.)
+//!
+//! Everything runs inside ONE test function: the global registry is
+//! process-wide, and a sibling test mutating it concurrently would
+//! make the byte-comparison meaningless.
+
+use marauders_map::fault::ChaosScenario;
+use marauders_map::{obs, par};
+
+#[test]
+fn fig13_counters_are_thread_count_invariant() {
+    // One simulation, localized three times at different worker
+    // counts. fig13 is the paper's headline scenario: clustered APs,
+    // 15 s windows, graceful degradation.
+    let scenario = ChaosScenario::fig13(7);
+
+    let mut snapshots = Vec::new();
+    for threads in [1usize, 2, 7] {
+        par::set_threads(threads);
+        obs::global().reset();
+        let mut map = scenario.fresh_map();
+        map.ingest(scenario.captures());
+        let fixes = map.track_all(scenario.captures());
+        assert!(!fixes.is_empty(), "threads {threads}: no fixes produced");
+        snapshots.push((threads, obs::global().deterministic_json()));
+    }
+    par::set_threads(0);
+
+    let (_, baseline) = &snapshots[0];
+    assert!(
+        baseline.contains("core.windows_localized"),
+        "pipeline counters missing: {baseline}"
+    );
+    assert!(
+        baseline.contains("par.calls"),
+        "par counters missing: {baseline}"
+    );
+    for (threads, json) in &snapshots[1..] {
+        assert_eq!(
+            json, baseline,
+            "deterministic metrics diverged between threads 1 and {threads}"
+        );
+    }
+}
