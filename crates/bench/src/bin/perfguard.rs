@@ -1,0 +1,334 @@
+//! CI performance-regression guard.
+//!
+//! Compares freshly measured `marauder-criterion-v1` bench JSON against
+//! the checked-in baselines under `results/` and exits non-zero when
+//! any shared benchmark id has slowed down by more than the threshold
+//! factor (median vs median). The threshold defaults to 3.0: CI runners
+//! are noisy, share cores, and differ from the machine that recorded
+//! the baselines, so the guard only catches order-of-magnitude
+//! regressions (a dropped pruning pass, an accidental O(n^2) loop), not
+//! percent-level drift.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfguard --baseline results --current perfguard-current \
+//!           [--threshold 3.0] [--out perfguard-report.json]
+//! ```
+//!
+//! Every `BENCH_*.json` in the baseline directory is paired with the
+//! same filename in the current directory. Ids present on only one side
+//! are reported but never fail the run: benches gain and lose cases
+//! across PRs, and a quick CI pass may filter some out. The `--out`
+//! artifact records one row per compared id so a regression can be
+//! traced without re-running anything.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD: f64 = 3.0;
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    threshold: f64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut out = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--current" => current = Some(PathBuf::from(value("--current")?)),
+            "--threshold" => {
+                threshold = value("--threshold")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !(threshold.is_finite() && threshold >= 1.0) {
+                    return Err("--threshold must be a finite number >= 1.0".into());
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline <dir> is required")?,
+        current: current.ok_or("--current <dir> is required")?,
+        threshold,
+        out,
+    })
+}
+
+/// Extracts `id -> median_ns` from a `marauder-criterion-v1` document.
+///
+/// The exporter writes one record per line with no escaped quotes in
+/// ids (it replaces `"` with `'`), so a line scan is exact for our own
+/// files and degrades to skipping lines it cannot read elsewhere.
+fn parse_medians(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id) = field_str(line, "\"id\":\"") else {
+            continue;
+        };
+        let Some(median) = field_num(line, "\"median_ns\":") else {
+            continue;
+        };
+        out.insert(id.to_string(), median);
+    }
+    out
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Row {
+    id: String,
+    baseline_ns: f64,
+    current_ns: f64,
+    ratio: f64,
+    regressed: bool,
+}
+
+struct FileReport {
+    file: String,
+    rows: Vec<Row>,
+    only_baseline: Vec<String>,
+    only_current: Vec<String>,
+}
+
+fn compare_file(
+    file: &str,
+    baseline: &Path,
+    current: &Path,
+    threshold: f64,
+) -> Result<FileReport, String> {
+    let read = |dir: &Path| -> Result<BTreeMap<String, f64>, String> {
+        let path = dir.join(file);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !text.contains("marauder-criterion-v1") {
+            return Err(format!(
+                "{}: not a marauder-criterion-v1 file",
+                path.display()
+            ));
+        }
+        Ok(parse_medians(&text))
+    };
+    let base = read(baseline)?;
+    let cur = read(current)?;
+    let mut rows = Vec::new();
+    let mut only_baseline = Vec::new();
+    for (id, &b) in &base {
+        match cur.get(id) {
+            Some(&c) if b > 0.0 => {
+                let ratio = c / b;
+                rows.push(Row {
+                    id: id.clone(),
+                    baseline_ns: b,
+                    current_ns: c,
+                    ratio,
+                    regressed: ratio > threshold,
+                });
+            }
+            Some(_) => {}
+            None => only_baseline.push(id.clone()),
+        }
+    }
+    let only_current = cur
+        .keys()
+        .filter(|id| !base.contains_key(*id))
+        .cloned()
+        .collect();
+    Ok(FileReport {
+        file: file.to_string(),
+        rows,
+        only_baseline,
+        only_current,
+    })
+}
+
+fn json_str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", s.replace('"', "'")))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+fn render_report(reports: &[FileReport], threshold: f64, regressions: usize) -> String {
+    let files: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let rows: Vec<String> = r
+                .rows
+                .iter()
+                .map(|row| {
+                    format!(
+                        "        {{\"id\":\"{}\",\"baseline_median_ns\":{:.2},\
+                         \"current_median_ns\":{:.2},\"ratio\":{:.4},\"status\":\"{}\"}}",
+                        row.id.replace('"', "'"),
+                        row.baseline_ns,
+                        row.current_ns,
+                        row.ratio,
+                        if row.regressed { "regressed" } else { "ok" }
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\n      \"file\": \"{}\",\n      \"rows\": [\n{}\n      ],\n      \
+                 \"only_in_baseline\": {},\n      \"only_in_current\": {}\n    }}",
+                r.file,
+                rows.join(",\n"),
+                json_str_list(&r.only_baseline),
+                json_str_list(&r.only_current)
+            )
+        })
+        .collect();
+    let compared: usize = reports.iter().map(|r| r.rows.len()).sum();
+    format!(
+        "{{\n  \"schema\": \"marauder-perfguard-v1\",\n  \"threshold\": {threshold},\n  \
+         \"compared\": {compared},\n  \"regressions\": {regressions},\n  \"files\": [\n{}\n  ]\n}}\n",
+        files.join(",\n")
+    )
+}
+
+fn run(args: &Args) -> Result<usize, String> {
+    let mut files: Vec<String> = std::fs::read_dir(&args.baseline)
+        .map_err(|e| format!("{}: {e}", args.baseline.display()))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            args.baseline.display()
+        ));
+    }
+    let mut reports = Vec::new();
+    for file in &files {
+        if !args.current.join(file).exists() {
+            eprintln!("perfguard: skipping {file}: no current measurement");
+            continue;
+        }
+        reports.push(compare_file(
+            file,
+            &args.baseline,
+            &args.current,
+            args.threshold,
+        )?);
+    }
+    if reports.is_empty() {
+        return Err(format!(
+            "no current measurements in {} match any baseline",
+            args.current.display()
+        ));
+    }
+    let mut regressions = 0;
+    for report in &reports {
+        for row in &report.rows {
+            let status = if row.regressed {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{status:<9} {:<55} baseline {:>12.0} ns  current {:>12.0} ns  x{:.2}",
+                row.id, row.baseline_ns, row.current_ns, row.ratio
+            );
+        }
+        for id in &report.only_baseline {
+            eprintln!(
+                "perfguard: {}: '{id}' missing from current run",
+                report.file
+            );
+        }
+        for id in &report.only_current {
+            eprintln!("perfguard: {}: '{id}' has no baseline yet", report.file);
+        }
+    }
+    if let Some(out) = &args.out {
+        let doc = render_report(&reports, args.threshold, regressions);
+        std::fs::write(out, doc).map_err(|e| format!("{}: {e}", out.display()))?;
+        eprintln!("perfguard: wrote {}", out.display());
+    }
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("perfguard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(0) => {
+            println!("perfguard: no regressions beyond {}x", args.threshold);
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!(
+                "perfguard: {n} benchmark(s) regressed beyond {}x the checked-in median",
+                args.threshold
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perfguard: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_exporter_lines() {
+        let doc = "{\n  \"schema\": \"marauder-criterion-v1\",\n  \"results\": [\n    \
+                   {\"id\":\"lp/cold/16\",\"mean_ns\":10.0,\"median_ns\":81347.79,\"min_ns\":1.0,\
+                   \"max_ns\":2.0,\"iters_per_sample\":3,\"samples\":10}\n  ]\n}\n";
+        let medians = parse_medians(doc);
+        assert_eq!(medians.len(), 1);
+        assert_eq!(medians["lp/cold/16"], 81347.79);
+    }
+
+    #[test]
+    fn skips_lines_without_fields() {
+        let medians = parse_medians("{\"schema\": \"x\"}\nnot json\n");
+        assert!(medians.is_empty());
+    }
+
+    #[test]
+    fn negative_and_integer_medians_parse() {
+        let medians = parse_medians("{\"id\":\"a\",\"median_ns\":42}");
+        assert_eq!(medians["a"], 42.0);
+    }
+}

@@ -19,9 +19,85 @@
 
 use super::{CoverageDisc, Estimate, MLoc};
 use marauder_geo::{GridIndex, Point};
-use marauder_lp::{Outcome, Problem, Relation};
+use marauder_lp::{solve_with_basis, BasisHint, Outcome, Problem, Relation, WarmStart};
 use marauder_wifi::mac::MacAddr;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// A reusable spatial index over an AP `locations` map.
+///
+/// The grid query only ever *over*-approximates the candidate pairs
+/// (every hit is re-checked by the exact admission gate), so the index
+/// can be built once over the **full** location knowledge and reused
+/// across windows even as the observed subset grows — rebuilding a
+/// per-solve grid was a dominant constant factor of the incremental
+/// path. Payloads are indices into the ascending BSSID order, mapped
+/// to the current solve's variable indices with one array lookup.
+#[derive(Debug, Clone)]
+pub struct LocationsGrid {
+    cell: f64,
+    macs: Vec<MacAddr>,
+    grid: GridIndex<u32>,
+}
+
+impl LocationsGrid {
+    /// Builds the index for programs capped at `max_radius`.
+    pub fn new(locations: &BTreeMap<MacAddr, Point>, max_radius: f64) -> Self {
+        let cell = (2.0 * max_radius).max(1e-6);
+        let mut grid = GridIndex::new(cell);
+        let mut macs = Vec::with_capacity(locations.len());
+        for (li, (m, p)) in locations.iter().enumerate() {
+            grid.insert(*p, li as u32);
+            macs.push(*m);
+        }
+        LocationsGrid { cell, macs, grid }
+    }
+
+    /// Whether this index is still valid for the given parameters.
+    fn matches(&self, max_radius: f64, num_locations: usize) -> bool {
+        let want_cell = (2.0 * max_radius).max(1e-6);
+        self.cell.to_bits() == want_cell.to_bits() && self.macs.len() == num_locations
+    }
+}
+
+/// Row identity in BSSID terms — stable across solves even as the
+/// variable set grows, which is what lets a warm basis survive the
+/// re-indexing between windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RowKey {
+    /// The `r_i ≤ max_radius` cap row for one AP.
+    Bound(MacAddr),
+    /// A never-co-observed `r_i + r_j ≤ d − ε` row (canonical order).
+    Neg(MacAddr, MacAddr),
+    /// A forced co-observation `r_i + r_j ≥ d` row (canonical order).
+    Forced(MacAddr, MacAddr),
+}
+
+/// A basis hint in BSSID terms (see [`RowKey`]).
+#[derive(Debug, Clone, Copy)]
+enum MacHint {
+    Slack,
+    Decision(MacAddr),
+    /// The slack of the row keyed by `RowKey` was basic in this row —
+    /// slack migrations must be remembered in row-identity terms so
+    /// they survive re-indexing between windows.
+    SlackOf(RowKey),
+}
+
+/// The previous solve's optimal basis, keyed by row identity.
+#[derive(Debug, Clone, Default)]
+struct WarmMemory {
+    rows: BTreeMap<RowKey, MacHint>,
+}
+
+/// Whether a solve may warm-start from (and update) a basis memory.
+enum SolveMode<'a> {
+    /// Canonical: plain cold solves, bit-identical across call sites.
+    Cold,
+    /// Live: re-solve from the remembered basis when feasible. The
+    /// result is a genuine optimum but may sit on a different vertex
+    /// of the optimal face than the cold path's.
+    Warm(&'a mut WarmMemory),
+}
 
 /// How candidate never-co-observed pairs are enumerated.
 ///
@@ -234,6 +310,25 @@ impl ApRad {
         stats: &ObservationStats,
         min_radii: &BTreeMap<MacAddr, f64>,
     ) -> BTreeMap<MacAddr, f64> {
+        self.solve_impl(locations, stats, min_radii, None, SolveMode::Cold)
+    }
+
+    /// The shared solver body behind the cold and warm entry points.
+    ///
+    /// `grid` optionally supplies a prebuilt [`LocationsGrid`] (the
+    /// incremental solver reuses one across windows); when absent or
+    /// stale, a fresh one is built per call. `mode` selects plain cold
+    /// solves or warm starts from a basis memory — the *constraint
+    /// set* is identical either way, only the LP starting point (and
+    /// therefore possibly which optimal vertex is reported) differs.
+    fn solve_impl(
+        &self,
+        locations: &BTreeMap<MacAddr, Point>,
+        stats: &ObservationStats,
+        min_radii: &BTreeMap<MacAddr, f64>,
+        grid: Option<&LocationsGrid>,
+        mut mode: SolveMode<'_>,
+    ) -> BTreeMap<MacAddr, f64> {
         // Variables: APs that are both observed and located, ascending.
         let vars: Vec<MacAddr> = stats.observed.iter().copied().collect();
         if vars.is_empty() {
@@ -242,17 +337,37 @@ impl ApRad {
         let index: BTreeMap<MacAddr, usize> =
             vars.iter().enumerate().map(|(i, m)| (*m, i)).collect();
 
-        // Co-observed pairs, as index pairs. The MAC pairs are already
+        // Co-observed pairs, as index pairs, in a sorted flat vector:
+        // the admission gate probes membership for nearly every
+        // candidate pair, and a binary search over a contiguous array
+        // beats a `BTreeSet` tree walk there. The MAC pairs are already
         // canonical (min, max) and `index` is monotone over MACs, so
-        // the index pairs come out canonical too.
-        let co: BTreeSet<(usize, usize)> =
-            stats.co.iter().map(|(a, b)| (index[a], index[b])).collect();
+        // the index pairs come out canonical — and therefore sorted —
+        // too.
+        let co: Vec<(u32, u32)> = stats
+            .co
+            .iter()
+            .map(|(a, b)| (index[a] as u32, index[b] as u32))
+            .collect();
+        debug_assert!(co.windows(2).all(|w| w[0] < w[1]));
 
         // Intern positions once: the pair enumeration and LP verification
         // below hit distances millions of times on a dense campus, and a
-        // slice index beats a tree walk per lookup.
+        // slice index beats a tree walk per lookup. The coordinates are
+        // also split into parallel x/y arrays: the enumeration's inner
+        // loop only ever needs the two coordinates, and the flat layout
+        // keeps them in cache.
         let pts: Vec<Point> = vars.iter().map(|m| locations[m]).collect();
-        let dist = |i: usize, j: usize| pts[i].distance(pts[j]);
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+        // Bit-identical to `Point::distance`: same subtraction order,
+        // same `sqrt(dx² + dy²)`.
+        let dist_sq = |i: usize, j: usize| {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            dx * dx + dy * dy
+        };
+        let dist = |i: usize, j: usize| dist_sq(i, j).sqrt();
 
         // Per-variable lower bounds (0 without training data), and the
         // substitution r_i = lo_i + s_i, s_i >= 0 that turns them into
@@ -286,18 +401,34 @@ impl ApRad {
             .collect();
 
         // Every gate is symmetric in (i, j), so both enumeration
-        // strategies can share it.
+        // strategies can share it. The checks run cheapest-reject
+        // first: the seen-count gate is two array reads, the squared
+        // distance needs no square root and no membership probe, and
+        // the co-pair binary search — the most expensive test — runs
+        // only for pairs that survive the geometry. The early-out
+        // threshold carries a 1e-9 relative guard band so that pairs
+        // within square-root rounding of the exact `d ≥ 2·max_radius`
+        // boundary always fall through to the exact gate below —
+        // reordering the checks must not change a single admission.
+        let reject_sq = {
+            let t = 2.0 * self.max_radius * (1.0 + 1e-9);
+            t * t
+        };
         let admit = |i: usize, j: usize| -> Option<f64> {
-            if co.contains(&(i.min(j), i.max(j))) {
-                return None;
-            }
             if seen_count[i] < self.min_observations_for_negative
                 || seen_count[j] < self.min_observations_for_negative
             {
                 return None; // not enough evidence that they never meet
             }
+            if dist_sq(i, j) > reject_sq {
+                return None; // clearly out of range: skip the sqrt
+            }
             let d = dist(i, j);
             if d >= 2.0 * self.max_radius || lo[i] + lo[j] > d - self.epsilon {
+                return None;
+            }
+            let key = (i.min(j) as u32, i.max(j) as u32);
+            if co.binary_search(&key).is_ok() {
                 return None;
             }
             Some(d)
@@ -317,15 +448,38 @@ impl ApRad {
                 lists
             }
             PairPruning::Grid => {
-                let mut grid = GridIndex::new((2.0 * self.max_radius).max(1e-6));
-                for (i, p) in pts.iter().enumerate() {
-                    grid.insert(*p, i);
+                // Reuse the caller's prebuilt index when it still
+                // matches; otherwise build one for this call. The grid
+                // holds *all* located APs (a superset of the observed
+                // variables), so growth of the observed set never
+                // invalidates it — unmapped hits fall out at the
+                // `loc_to_var` lookup.
+                let local;
+                let lg = match grid {
+                    Some(g) if g.matches(self.max_radius, locations.len()) => g,
+                    _ => {
+                        local = LocationsGrid::new(locations, self.max_radius);
+                        &local
+                    }
+                };
+                let mut loc_to_var = vec![u32::MAX; lg.macs.len()];
+                {
+                    let mut vi = 0usize;
+                    for (li, m) in lg.macs.iter().enumerate() {
+                        if vi < vars.len() && vars[vi] == *m {
+                            loc_to_var[li] = vi as u32;
+                            vi += 1;
+                        }
+                    }
+                    debug_assert_eq!(vi, vars.len(), "vars must be a subset of locations");
                 }
                 marauder_par::par_map_range(vars.len(), |i| {
-                    let mut list: Vec<(usize, f64)> = grid
+                    let mut list: Vec<(usize, f64)> = lg
+                        .grid
                         .within(pts[i], 2.0 * self.max_radius)
-                        .filter_map(|&(_, j)| {
-                            if j == i {
+                        .filter_map(|&(_, li)| {
+                            let j = loc_to_var[li as usize] as usize;
+                            if j == u32::MAX as usize || j == i {
                                 return None;
                             }
                             admit(i, j).map(|d| (j, d))
@@ -361,10 +515,18 @@ impl ApRad {
         let mut forced: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut active_from = 0usize; // negative[..active_from] dropped
         let mut best: Option<Vec<f64>> = None;
+        let warm_capable = matches!(mode, SolveMode::Warm(_));
         for _round in 0..12 {
             let mut p = Problem::maximize(&vec![1.0; vars.len()]);
+            // Row identities in BSSID terms, parallel to the rows added
+            // below — only materialized on the warm path, where they key
+            // the basis memory across solves.
+            let mut keys: Vec<RowKey> = Vec::new();
             for (i, l) in lo.iter().enumerate() {
                 p.add_upper_bound(i, self.max_radius - l);
+                if warm_capable {
+                    keys.push(RowKey::Bound(vars[i]));
+                }
             }
             for &(i, j, d) in &negative[active_from..] {
                 p.add_constraint(
@@ -372,14 +534,67 @@ impl ApRad {
                     Relation::Le,
                     d - self.epsilon - lo[i] - lo[j],
                 );
+                if warm_capable {
+                    keys.push(RowKey::Neg(vars[i], vars[j]));
+                }
             }
             for &(i, j) in &forced {
                 let rhs = dist(i, j) - lo[i] - lo[j];
                 if rhs > 0.0 {
                     p.add_constraint(&[(i, 1.0), (j, 1.0)], Relation::Ge, rhs);
+                    if warm_capable {
+                        keys.push(RowKey::Forced(vars[i], vars[j]));
+                    }
                 }
             }
-            match p.solve() {
+            let outcome = match &mut mode {
+                SolveMode::Cold => p.solve(),
+                SolveMode::Warm(memory) => {
+                    // Translate the remembered basis into this solve's
+                    // row/variable indices. Rows with no memory (newly
+                    // appeared constraints) default to their slack —
+                    // exactly what a fresh tableau would hold for them.
+                    // Forced `≥` rows need artificials, which the LP
+                    // layer declines to warm anyway; skip the work.
+                    let hints = (!memory.rows.is_empty() && forced.is_empty()).then(|| {
+                        let row_of: BTreeMap<RowKey, usize> =
+                            keys.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+                        WarmStart {
+                            rows: keys
+                                .iter()
+                                .map(|k| match memory.rows.get(k) {
+                                    Some(MacHint::Decision(m)) => index
+                                        .get(m)
+                                        .map_or(BasisHint::Slack, |&v| BasisHint::Decision(v)),
+                                    Some(MacHint::SlackOf(qk)) => row_of
+                                        .get(qk)
+                                        .map_or(BasisHint::Slack, |&q| BasisHint::SlackOf(q)),
+                                    _ => BasisHint::Slack,
+                                })
+                                .collect(),
+                        }
+                    });
+                    let report = solve_with_basis(&p, hints.as_ref());
+                    memory.rows = keys
+                        .iter()
+                        .zip(&report.basis)
+                        .map(|(k, h)| {
+                            let hint = match h {
+                                BasisHint::Decision(v) if *v < vars.len() => {
+                                    MacHint::Decision(vars[*v])
+                                }
+                                BasisHint::SlackOf(q) => keys
+                                    .get(*q)
+                                    .map_or(MacHint::Slack, |qk| MacHint::SlackOf(*qk)),
+                                _ => MacHint::Slack,
+                            };
+                            (*k, hint)
+                        })
+                        .collect();
+                    report.outcome
+                }
+            };
+            match outcome {
                 Outcome::Optimal(sol) => {
                     let r: Vec<f64> = sol
                         .values
@@ -390,6 +605,7 @@ impl ApRad {
                     // Verify every co-observation constraint.
                     let mut new_violation = false;
                     for &(i, j) in &co {
+                        let (i, j) = (i as usize, j as usize);
                         if r[i] + r[j] < dist(i, j) - 1e-6 && forced.insert((i, j)) {
                             new_violation = true;
                         }
@@ -419,6 +635,7 @@ impl ApRad {
         // half the pair distance — a guaranteed-feasible overestimate.
         let mut r = best.unwrap_or_else(|| lo.clone());
         for &(i, j) in &co {
+            let (i, j) = (i as usize, j as usize);
             let d = dist(i, j);
             if r[i] + r[j] < d - 1e-6 {
                 r[i] = r[i].max((d / 2.0).min(self.max_radius));
@@ -471,6 +688,20 @@ pub struct ApRadSolver {
     stats: ObservationStats,
     /// `Some` iff the cached solution matches `stats`.
     cached: Option<BTreeMap<MacAddr, f64>>,
+    /// Spatial index over `locations`, built lazily and reused across
+    /// solves (see [`LocationsGrid`]).
+    grid: Option<LocationsGrid>,
+    /// Warm-start state for the live estimate path, `Some` iff enabled.
+    warm: Option<WarmState>,
+}
+
+/// Live-path warm-start state: the remembered basis plus a separate
+/// result cache (warm results may sit on a different optimal vertex
+/// than the canonical cold cache, so the two must never mix).
+#[derive(Debug, Clone, Default)]
+struct WarmState {
+    memory: WarmMemory,
+    cached: Option<BTreeMap<MacAddr, f64>>,
 }
 
 impl ApRadSolver {
@@ -488,6 +719,24 @@ impl ApRadSolver {
             min_radii,
             stats: ObservationStats::new(),
             cached: None,
+            grid: None,
+            warm: None,
+        }
+    }
+
+    /// Enables or disables warm-started live solves (off by default).
+    ///
+    /// Warm starts only affect [`live_radii`](Self::live_radii):
+    /// [`radii`](Self::radii) stays a plain cold solve either way, so
+    /// every bit-exactness guarantee on the canonical path is
+    /// unaffected. Disabling drops the remembered basis.
+    pub fn set_warm_start(&mut self, on: bool) {
+        if on {
+            if self.warm.is_none() {
+                self.warm = Some(WarmState::default());
+            }
+        } else {
+            self.warm = None;
         }
     }
 
@@ -504,6 +753,9 @@ impl ApRadSolver {
         );
         if dirty {
             self.cached = None;
+            if let Some(w) = self.warm.as_mut() {
+                w.cached = None;
+            }
         }
         dirty
     }
@@ -511,6 +763,32 @@ impl ApRadSolver {
     /// `true` when the next [`radii`](Self::radii) call must re-solve.
     pub fn is_dirty(&self) -> bool {
         self.cached.is_none()
+    }
+
+    /// `true` when the next [`live_radii`](Self::live_radii) call must
+    /// re-solve. With warm starts disabled this is
+    /// [`is_dirty`](Self::is_dirty); with them enabled it tracks the
+    /// warm cache instead (the two caches fill independently).
+    pub fn is_live_dirty(&self) -> bool {
+        match &self.warm {
+            Some(w) => w.cached.is_none(),
+            None => self.cached.is_none(),
+        }
+    }
+
+    /// Rebuilds the locations grid if missing or stale. Only the Grid
+    /// pruning strategy reads it.
+    fn ensure_grid(&mut self) {
+        if self.aprad.pruning != PairPruning::Grid {
+            return;
+        }
+        let stale = !matches!(
+            &self.grid,
+            Some(g) if g.matches(self.aprad.max_radius, self.locations.len())
+        );
+        if stale {
+            self.grid = Some(LocationsGrid::new(&self.locations, self.aprad.max_radius));
+        }
     }
 
     /// The current radii estimate, re-solving the LP if any window
@@ -521,15 +799,58 @@ impl ApRadSolver {
     /// history, regardless of how the observes and solves interleaved.
     pub fn radii(&mut self) -> &BTreeMap<MacAddr, f64> {
         if self.cached.is_none() {
-            self.cached = Some(self.aprad.solve_from_stats(
+            self.ensure_grid();
+            self.cached = Some(self.aprad.solve_impl(
                 &self.locations,
                 &self.stats,
                 &self.min_radii,
+                self.grid.as_ref(),
+                SolveMode::Cold,
             ));
         }
         // The branch above guarantees `cached` is filled, so the
         // closure never runs; this keeps the accessor panic-free.
         self.cached.get_or_insert_with(BTreeMap::new)
+    }
+
+    /// The current radii estimate for *live* consumers, re-solving from
+    /// the previous solve's optimal basis when warm starts are enabled.
+    ///
+    /// Warm results are genuine optima of the same program but may
+    /// differ in the last bits from [`radii`](Self::radii) when the
+    /// optimal face has several vertices — callers that must be
+    /// bit-reproducible (batch fixes, snapshots, figures) use `radii`;
+    /// per-window live estimates use this.
+    pub fn live_radii(&mut self) -> &BTreeMap<MacAddr, f64> {
+        if self.warm.is_none() {
+            return self.radii();
+        }
+        self.ensure_grid();
+        // Disjoint-field reborrow: `warm` mutably, everything else
+        // shared.
+        let ApRadSolver {
+            aprad,
+            locations,
+            min_radii,
+            stats,
+            grid,
+            warm,
+            ..
+        } = self;
+        // `warm` is known `Some` (early return above), so the closure
+        // never runs; this keeps the accessor panic-free.
+        let w = warm.get_or_insert_with(WarmState::default);
+        if w.cached.is_none() {
+            w.cached = Some(aprad.solve_impl(
+                locations,
+                stats,
+                min_radii,
+                grid.as_ref(),
+                SolveMode::Warm(&mut w.memory),
+            ));
+        }
+        // Filled just above; the closure never runs (panic-free).
+        w.cached.get_or_insert_with(BTreeMap::new)
     }
 
     /// The accumulated observation statistics.
@@ -545,9 +866,16 @@ impl ApRadSolver {
     /// Replaces the solver's history and cache — the snapshot-restore
     /// path. `cached` must be the solution for `stats` (or `None` to
     /// force a re-solve on the next [`radii`](Self::radii) call).
+    ///
+    /// Warm-start state is *not* part of a snapshot: the basis memory
+    /// and live cache reset, so the first live solve after a restore is
+    /// cold — correct (just not accelerated) by construction.
     pub fn restore(&mut self, stats: ObservationStats, cached: Option<BTreeMap<MacAddr, f64>>) {
         self.stats = stats;
         self.cached = cached;
+        if let Some(w) = self.warm.as_mut() {
+            *w = WarmState::default();
+        }
     }
 }
 
@@ -879,6 +1207,56 @@ mod tests {
         restored.observe(&g3);
         for (mac, r) in solver.radii().clone() {
             assert_eq!(r.to_bits(), restored.radii()[&mac].to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_live_radii_reach_the_cold_optimum() {
+        // The warm path may stop at a different vertex of the optimal
+        // face, but it must solve the *same* program: same objective
+        // value (Σ r), same constraint satisfaction, and the canonical
+        // `radii()` cache must stay bit-identical to a batch solve.
+        let world = World::grid(4, 60.0, 80.0);
+        let mut observations = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let p = Point::new(i as f64 * 22.0, j as f64 * 22.0);
+                let obs = world.observe(p);
+                if !obs.is_empty() {
+                    observations.push(obs);
+                }
+            }
+        }
+        let aprad = ApRad {
+            max_radius: 300.0,
+            ..ApRad::default()
+        };
+        let batch = aprad.estimate_radii(&world.locations, &observations);
+        let mut solver = ApRadSolver::new(aprad, world.locations.clone(), BTreeMap::new());
+        solver.set_warm_start(true);
+        for obs in &observations {
+            solver.observe(obs);
+            let _ = solver.live_radii(); // per-window live solve, warm after the first
+        }
+        let live = solver.live_radii().clone();
+        assert_eq!(live.len(), batch.len());
+        let live_sum: f64 = live.values().sum();
+        let batch_sum: f64 = batch.values().sum();
+        assert!(
+            (live_sum - batch_sum).abs() < 1e-6 * (1.0 + batch_sum.abs()),
+            "warm objective {live_sum} diverged from cold {batch_sum}"
+        );
+        // Warm result satisfies every co-observation constraint.
+        for (a, b) in solver.stats().co_pairs() {
+            let d = world.locations[a].distance(world.locations[b]);
+            assert!(live[a] + live[b] >= d - 1e-6);
+        }
+        for r in live.values() {
+            assert!(*r <= 300.0 + 1e-6 && *r >= -1e-9);
+        }
+        // The canonical cache is untouched by warm solves.
+        for (mac, rb) in &batch {
+            assert_eq!(rb.to_bits(), solver.radii()[mac].to_bits());
         }
     }
 

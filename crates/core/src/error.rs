@@ -62,6 +62,14 @@ pub enum PipelineError {
         /// The configured budget that was exceeded.
         budget: usize,
     },
+    /// Localization was deliberately not attempted: the streaming
+    /// engine ran with live localization disabled (replay mode), where
+    /// per-window estimates are discarded and only the final batch
+    /// re-localization matters. Not a failure of the ladder — the
+    /// window is perfectly locatable once
+    /// [`batch_fixes`](../../marauder_stream/struct.StreamEngine.html#method.batch_fixes)
+    /// runs.
+    DeferredLocalization,
 }
 
 impl fmt::Display for PipelineError {
@@ -94,6 +102,10 @@ impl fmt::Display for PipelineError {
             PipelineError::BudgetExhausted { line, budget } => write!(
                 f,
                 "malformed-input budget of {budget} exhausted at line {line}"
+            ),
+            PipelineError::DeferredLocalization => write!(
+                f,
+                "live localization disabled: estimate deferred to the batch pass"
             ),
         }
     }

@@ -457,7 +457,54 @@ impl MaraudersMap {
     ) -> (Vec<TrackFix>, Vec<PipelineError>) {
         let reg = marauder_obs::global();
         let _span = reg.span("core.localize_windows", marauder_obs::global_clock());
-        let estimates = marauder_par::par_map(&obs, |o| self.try_locate(&o.aps));
+        // Localization is a pure function of the AP set, and real
+        // captures repeat gammas constantly (a parked mobile hears the
+        // same APs window after window; replay re-localizes the same
+        // windows per mobile). Deduplicate before fanning out: each
+        // distinct gamma is localized once and the result fanned back
+        // to every window that shares it. `uniq` preserves first-seen
+        // order, so the parallel map's work order — and therefore the
+        // output — is independent of how many duplicates exist.
+        let mut index_of: BTreeMap<&BTreeSet<MacAddr>, usize> = BTreeMap::new();
+        let mut uniq: Vec<&BTreeSet<MacAddr>> = Vec::new();
+        let which: Vec<usize> = obs
+            .iter()
+            .map(|o| {
+                *index_of.entry(&o.aps).or_insert_with(|| {
+                    uniq.push(&o.aps);
+                    uniq.len() - 1
+                })
+            })
+            .collect();
+        let mut uniq_estimates: Vec<Option<_>> =
+            marauder_par::par_map(&uniq, |aps| self.try_locate(aps))
+                .into_iter()
+                .map(Some)
+                .collect();
+        // Each unique result is moved out at its last use and cloned
+        // only for earlier duplicates — estimates carry whole region
+        // geometries, so per-window clones are worth avoiding.
+        let mut last_use = vec![0usize; uniq_estimates.len()];
+        for (w, &u) in which.iter().enumerate() {
+            last_use[u] = w;
+        }
+        let estimates: Vec<_> = which
+            .iter()
+            .enumerate()
+            .map(|(w, &u)| {
+                let slot = if last_use[u] == w {
+                    uniq_estimates[u].take()
+                } else {
+                    uniq_estimates[u].clone()
+                };
+                // A slot is vacated only at its last use, so it is
+                // always occupied here; the fallback recomputes (a
+                // deterministic no-op difference) rather than panic.
+                slot.unwrap_or_else(|| self.try_locate(uniq[u]))
+            })
+            .collect();
+        drop(index_of);
+        drop(uniq);
         let mut lost = Vec::new();
         let fixes: Vec<TrackFix> = obs
             .into_iter()

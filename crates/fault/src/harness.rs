@@ -47,12 +47,13 @@ pub fn reason_key(e: &PipelineError) -> &'static str {
         PipelineError::NonFinite { .. } => "non_finite",
         PipelineError::BadHeader => "bad_header",
         PipelineError::BudgetExhausted { .. } => "budget_exhausted",
+        PipelineError::DeferredLocalization => "deferred_localization",
     }
 }
 
 /// Every [`reason_key`] value, in report order — the key space the
 /// registry-backed accounting in [`run_cell`] reads back.
-const REASON_KEYS: [&str; 7] = [
+const REASON_KEYS: [&str; 8] = [
     "empty_observation",
     "no_known_aps",
     "degenerate_geometry",
@@ -60,6 +61,7 @@ const REASON_KEYS: [&str; 7] = [
     "non_finite",
     "bad_header",
     "budget_exhausted",
+    "deferred_localization",
 ];
 
 /// A fixed attack scenario (simulated capture + attacker knowledge)

@@ -148,6 +148,7 @@ fn corrupted_log_stream_replay_matches_batch() {
     let config = StreamConfig {
         allowed_lag_s: 120.0,
         max_open_windows: 0,
+        ..StreamConfig::default()
     };
     let (fixes, stats, skipped) =
         replay_log(scenario.fresh_map(), config, &damaged, 1).expect("budget covers the damage");

@@ -116,13 +116,24 @@ impl Circle {
     /// "no usable vertex" — the M-Loc vertex set draws nothing from such a
     /// pair).
     pub fn intersection_points(&self, other: &Circle) -> Vec<Point> {
+        let mut out = [Point::ORIGIN; 2];
+        let n = self.intersection_into(other, &mut out);
+        out[..n].to_vec()
+    }
+
+    /// Allocation-free variant of
+    /// [`intersection_points`](Self::intersection_points): writes up to
+    /// two points into `out` and returns how many are valid. The hot
+    /// disc-intersection construction calls this once per overlapping
+    /// pair, where a per-pair `Vec` would dominate the cost.
+    pub fn intersection_into(&self, other: &Circle, out: &mut [Point; 2]) -> usize {
         let d = self.center.distance(other.center);
         if d <= EPS {
-            return Vec::new(); // concentric (coincident or nested)
+            return 0; // concentric (coincident or nested)
         }
         let (r1, r2) = (self.radius, other.radius);
         if d > r1 + r2 || d < (r1 - r2).abs() {
-            return Vec::new();
+            return 0;
         }
         // Distance from self.center to the chord's midpoint, along the
         // center line.
@@ -131,11 +142,14 @@ impl Circle {
         let dir = (other.center - self.center) / d;
         let mid = self.center + dir * a;
         if h_sq <= EPS * EPS {
-            return vec![mid]; // tangent
+            out[0] = mid; // tangent
+            return 1;
         }
         let h = h_sq.sqrt();
         let off = dir.perp() * h;
-        vec![mid + off, mid - off]
+        out[0] = mid + off;
+        out[1] = mid - off;
+        2
     }
 
     /// Exact area of the intersection of two discs (the "lens").

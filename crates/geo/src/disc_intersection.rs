@@ -21,7 +21,9 @@ use std::f64::consts::TAU;
 /// increasing angle walks the region boundary counter-clockwise.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Arc {
-    /// Index of the supporting circle in the input slice.
+    /// Index of the supporting circle in [`DiscIntersection::discs`] —
+    /// the reduced set actually bounding the region, not the raw input
+    /// slice (redundant container discs are pruned during construction).
     pub circle_index: usize,
     /// The supporting circle.
     pub circle: Circle,
@@ -89,28 +91,69 @@ impl DiscIntersection {
     /// always have at least one communicable AP.
     pub fn new(discs: &[Circle]) -> Self {
         assert!(!discs.is_empty(), "cannot intersect zero discs");
-        // Coincident duplicates would double-count boundary arcs; merge
-        // them (the region is unchanged).
+        let mut pre: Vec<Circle>;
+        let mut discs = discs;
+        if discs.len() > BBOX_FILTER_MIN {
+            pre = discs.to_vec();
+            axis_box_prefilter(&mut pre);
+            discs = &pre;
+        }
+        // A disc that wholly contains another disc can never bound the
+        // intersection — the region lies inside the inner disc, hence
+        // strictly inside the outer one, whose boundary contributes no
+        // vertices or arcs. Pruning containers up front subsumes the
+        // old duplicate merge (coincident discs contain each other; the
+        // first wins by index) and collapses the `O(k³)` vertex scan on
+        // the dense many-AP windows the streaming engine produces,
+        // where most coverage discs are redundant supersets of a few
+        // tight ones. `contains(d, e)`: dist + r_e ≤ r_d + EPS,
+        // compared squared so the scan stays sqrt-free.
+        let contains = |d: &Circle, e: &Circle| {
+            let slack = d.radius - e.radius + crate::EPS;
+            slack >= 0.0 && d.center.distance_sq(e.center) <= slack * slack
+        };
         let mut discs_vec: Vec<Circle> = Vec::with_capacity(discs.len());
-        for &d in discs {
-            let dup = discs_vec.iter().any(|e| {
-                e.center.distance(d.center) <= crate::EPS
-                    && (e.radius - d.radius).abs() <= crate::EPS
-            });
-            if !dup {
-                discs_vec.push(d);
+        for (i, d) in discs.iter().enumerate() {
+            let redundant = discs
+                .iter()
+                .enumerate()
+                .any(|(j, e)| i != j && contains(d, e) && (j < i || !contains(e, d)));
+            if !redundant {
+                discs_vec.push(*d);
             }
         }
-        let discs = discs_vec;
+        let discs = if discs_vec.len() > SEED_FILTER_MIN {
+            filter_by_seed_bbox(discs_vec)
+        } else {
+            discs_vec
+        };
+        Self::construct(discs)
+    }
+
+    /// Full construction over an already-reduced disc set.
+    fn construct(discs: Vec<Circle>) -> Self {
         let tol = containment_tolerance(&discs);
 
         // Vertices: pairwise boundary intersections inside all discs.
+        // `on_boundary` records which circles own a surviving vertex —
+        // the arc pass below only needs those.
         let mut vertices: Vec<Point> = Vec::new();
+        let mut vertex_angles: Vec<Vec<f64>> = vec![Vec::new(); discs.len()];
+        let mut pair = [Point::ORIGIN; 2];
         for i in 0..discs.len() {
             for j in (i + 1)..discs.len() {
-                for p in discs[i].intersection_points(&discs[j]) {
+                // Sqrt-free reject before the exact intersection math.
+                let rsum = discs[i].radius + discs[j].radius;
+                if discs[i].center.distance_sq(discs[j].center) > rsum * rsum {
+                    continue;
+                }
+                let n = discs[i].intersection_into(&discs[j], &mut pair);
+                for &p in &pair[..n] {
                     if discs.iter().all(|d| d.contains_with_tolerance(p, tol)) {
                         vertices.push(p);
+                        let ang = |c: &Circle| normalize_angle((p - c.center).angle());
+                        vertex_angles[i].push(ang(&discs[i]));
+                        vertex_angles[j].push(ang(&discs[j]));
                     }
                 }
             }
@@ -119,39 +162,99 @@ impl DiscIntersection {
 
         // Arcs: for each circle, the part of its boundary inside all
         // other discs.
+        //
+        // When the region has vertices, every arc ends at vertices:
+        // full-circle boundaries require one disc inside all others,
+        // which the containment prune reduced to `k = 1`, and the
+        // vertex containment test is more lenient than the arc
+        // geometry, so every arc endpoint survives as a vertex. The
+        // region-membership of a circle's boundary can then only flip
+        // at its own vertices — a flip at a non-vertex circle crossing
+        // would put that crossing on the region boundary, making it a
+        // vertex. So each circle's arcs are read off its sorted vertex
+        // angles directly: a gap between consecutive vertices is a
+        // boundary arc iff its midpoint lies in every disc. This
+        // touches only the few circles owning vertices and costs
+        // `O(vᵢ·k)` distance checks instead of the `O(k²)` trig scan
+        // of the interval method, which the many-disc streaming
+        // windows cannot afford. Without vertices (`k = 1` or an empty
+        // region) the interval scan below handles every circle.
         let mut arcs: Vec<Arc> = Vec::new();
-        'circles: for (i, ci) in discs.iter().enumerate() {
-            let mut active = AngularIntervalSet::full();
-            for (j, cj) in discs.iter().enumerate() {
-                if i == j {
+        if !vertices.is_empty() {
+            for (i, angs) in vertex_angles.iter_mut().enumerate() {
+                if angs.is_empty() {
                     continue;
                 }
-                match ci.boundary_inside(cj) {
-                    None => continue 'circles,
-                    Some((theta, hw)) => active.intersect_arc(theta, hw),
+                let ci = &discs[i];
+                angs.sort_by(f64::total_cmp);
+                // Merge coincident vertex angles (several circles
+                // through one point), including the 0/2π seam.
+                let ang_tol = (tol * 10.0) / ci.radius.max(tol);
+                let mut merged: Vec<f64> = Vec::with_capacity(angs.len());
+                for &a in angs.iter() {
+                    if merged.last().is_none_or(|&m| a - m > ang_tol) {
+                        merged.push(a);
+                    }
                 }
-                if active.is_empty() {
-                    continue 'circles;
+                if merged.len() > 1 && merged[0] + TAU - merged[merged.len() - 1] <= ang_tol {
+                    merged.pop();
+                }
+                let m = merged.len();
+                for w in 0..m {
+                    let start = merged[w];
+                    let end = if w + 1 < m {
+                        merged[w + 1]
+                    } else {
+                        merged[0] + TAU
+                    };
+                    let midpoint = ci.point_at((start + end) / 2.0);
+                    if discs
+                        .iter()
+                        .all(|d| d.contains_with_tolerance(midpoint, tol))
+                    {
+                        arcs.push(Arc {
+                            circle_index: i,
+                            circle: *ci,
+                            start,
+                            end,
+                        });
+                    }
                 }
             }
-            // A single arc crossing the zero angle is stored by the
-            // interval set as two segments; re-join them so callers see
-            // one contiguous arc (end may exceed 2π).
-            let mut segs: Vec<(f64, f64)> = active.segments().to_vec();
-            if let [first, .., last] = segs[..] {
-                if first.0 <= 1e-12 && (TAU - last.1).abs() <= 1e-12 && !active.is_full() {
-                    segs.pop();
-                    segs.remove(0);
-                    segs.push((last.0, first.1 + TAU));
+        } else {
+            'circles: for (i, ci) in discs.iter().enumerate() {
+                let mut active = AngularIntervalSet::full();
+                for (j, cj) in discs.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    match ci.boundary_inside(cj) {
+                        None => continue 'circles,
+                        Some((theta, hw)) => active.intersect_arc(theta, hw),
+                    }
+                    if active.is_empty() {
+                        continue 'circles;
+                    }
                 }
-            }
-            for (s, e) in segs {
-                arcs.push(Arc {
-                    circle_index: i,
-                    circle: *ci,
-                    start: s,
-                    end: e,
-                });
+                // A single arc crossing the zero angle is stored by the
+                // interval set as two segments; re-join them so callers
+                // see one contiguous arc (end may exceed 2π).
+                let mut segs: Vec<(f64, f64)> = active.segments().to_vec();
+                if let [first, .., last] = segs[..] {
+                    if first.0 <= 1e-12 && (TAU - last.1).abs() <= 1e-12 && !active.is_full() {
+                        segs.pop();
+                        segs.remove(0);
+                        segs.push((last.0, first.1 + TAU));
+                    }
+                }
+                for (s, e) in segs {
+                    arcs.push(Arc {
+                        circle_index: i,
+                        circle: *ci,
+                        start: s,
+                        end: e,
+                    });
+                }
             }
         }
 
@@ -185,7 +288,10 @@ impl DiscIntersection {
         }
     }
 
-    /// The input discs.
+    /// The discs the region was built from: the input minus discs proven
+    /// redundant (each pruned disc contains the region, so the
+    /// intersection of this reduced set equals the intersection of the
+    /// full input). Order may differ from the input on large sets.
     pub fn discs(&self) -> &[Circle] {
         &self.discs
     }
@@ -271,6 +377,146 @@ impl DiscIntersection {
     }
 }
 
+/// Disc counts above which the `O(k)` axis-box prefilter runs; smaller
+/// sets construct directly.
+const BBOX_FILTER_MIN: usize = 12;
+
+/// Disc counts (post-prefilter) above which [`filter_by_seed_bbox`]
+/// pays for itself. The seed filter costs a full extra construction
+/// over [`SEED_DISCS`] discs plus an anchor search, so mid-size sets
+/// that the vertex-gap arc pass already handles cheaply skip it.
+const SEED_FILTER_MIN: usize = 24;
+
+/// Discs used to seed the bounding-box filter.
+const SEED_DISCS: usize = 8;
+
+/// `true` when disc `d` contains the whole axis-aligned box `[lo, hi]`:
+/// the box's farthest corner from the center lies inside `d` shrunk by
+/// `tol` (shrinking keeps tangency-degree contacts on the kept side).
+fn disc_contains_box(d: &Circle, lo: Point, hi: Point, tol: f64) -> bool {
+    let dx = (lo.x - d.center.x).abs().max((hi.x - d.center.x).abs());
+    let dy = (lo.y - d.center.y).abs().max((hi.y - d.center.y).abs());
+    let reach = d.radius - tol;
+    reach >= 0.0 && dx * dx + dy * dy <= reach * reach
+}
+
+/// `O(k)` axis-box prefilter, run before any quadratic work: the region
+/// lies inside the intersection `B` of the discs' bounding boxes, so a
+/// disc containing `B` cannot bound it and is dropped in place. The
+/// discs attaining `B`'s edges are never dropped, so the set stays
+/// non-empty. When the boxes are already disjoint the region is empty;
+/// `pre` is reduced to a two-disc disjoint witness, keeping the full
+/// construction trivially cheap.
+fn axis_box_prefilter(pre: &mut Vec<Circle>) {
+    let mut lo = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let mut hi = Point::new(f64::INFINITY, f64::INFINITY);
+    for d in pre.iter() {
+        lo.x = lo.x.max(d.center.x - d.radius);
+        lo.y = lo.y.max(d.center.y - d.radius);
+        hi.x = hi.x.min(d.center.x + d.radius);
+        hi.y = hi.y.min(d.center.y + d.radius);
+    }
+    if lo.x > hi.x || lo.y > hi.y {
+        // Two discs whose boxes are disjoint along one axis witness the
+        // emptiness: the one whose box starts last and the one whose
+        // box ends first.
+        let span: fn(&Circle) -> (f64, f64) = if lo.x > hi.x {
+            |d| (d.center.x - d.radius, d.center.x + d.radius)
+        } else {
+            |d| (d.center.y - d.radius, d.center.y + d.radius)
+        };
+        let Some((&first, rest)) = pre.split_first() else {
+            return; // unreachable: the prefilter runs on non-empty sets
+        };
+        let (mut a, mut b) = (first, first);
+        for d in rest {
+            // `>=` / strict `<` reproduce max_by's last-wins and
+            // min_by's first-wins tie breaks.
+            if span(d).0 >= span(&a).0 {
+                a = *d;
+            }
+            if span(d).1 < span(&b).1 {
+                b = *d;
+            }
+        }
+        *pre = vec![a, b];
+        return;
+    }
+    let tol = containment_tolerance(pre);
+    pre.retain(|d| !disc_contains_box(d, lo, hi, tol));
+}
+
+/// Drops discs that provably do not bound the intersection.
+///
+/// The region is usually shaped by a handful of *tight* discs — the many
+/// wide coverage discs of a dense AP window contain it entirely and
+/// contribute nothing. Exact reduction: build the intersection of the
+/// `SEED_DISCS` tightest discs (smallest boundary clearance from the
+/// smallest disc's center); its bounding box `B` encloses the true
+/// region, so any disc containing `B` contains the region and can be
+/// dropped. Discs whose boundary might reach `B` are kept and the full
+/// construction runs on that small survivor set. If even the seed
+/// intersection is empty the whole intersection is empty, and the seed
+/// set is returned as a witness.
+fn filter_by_seed_bbox(discs: Vec<Circle>) -> Vec<Circle> {
+    let anchor = interior_anchor(&discs);
+    let mut order: Vec<usize> = (0..discs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let clearance = |d: &Circle| d.radius - anchor.distance(d.center);
+        clearance(&discs[a])
+            .total_cmp(&clearance(&discs[b]))
+            .then(a.cmp(&b))
+    });
+    let mut kept: Vec<Circle> = order[..SEED_DISCS].iter().map(|&i| discs[i]).collect();
+    let seed = DiscIntersection::construct(kept.clone());
+    let Some((lo, hi)) = seed.bounding_box() else {
+        return kept;
+    };
+    let tol = containment_tolerance(&discs);
+    for &i in &order[SEED_DISCS..] {
+        let d = discs[i];
+        if !disc_contains_box(&d, lo, hi, tol) {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+/// A point near (ideally inside) the intersection, found by alternating
+/// projection: starting from the smallest disc's center, repeatedly jump
+/// onto the boundary of the most-violated disc. For a non-empty
+/// intersection of convex sets this converges geometrically; a few
+/// rounds land close enough that disc clearances measured from the
+/// anchor rank the truly tight discs first. Deterministic (first-wins
+/// ties, fixed round count) and cheap (`O(rounds·k)` distances). The
+/// seed-bbox filter stays exact whatever this returns — a bad anchor
+/// only costs pruning power.
+fn interior_anchor(discs: &[Circle]) -> Point {
+    // The origin default is unreachable (callers pass non-empty sets)
+    // and would only cost pruning power anyway.
+    let mut p = discs
+        .iter()
+        .min_by(|a, b| a.radius.total_cmp(&b.radius))
+        .map_or(Point::new(0.0, 0.0), |d| d.center);
+    for _ in 0..12 {
+        let mut worst = 0.0_f64;
+        let mut target: Option<&Circle> = None;
+        for d in discs {
+            let violation = p.distance(d.center) - d.radius;
+            if violation > worst {
+                worst = violation;
+                target = Some(d);
+            }
+        }
+        let Some(d) = target else { break };
+        let dist = p.distance(d.center);
+        // Project onto the violated disc's boundary (dist > r ≥ 0, so
+        // dist > 0 and the direction is well defined).
+        p = d.center + (p - d.center) * (d.radius / dist);
+    }
+    p
+}
+
 /// Tolerance used for containment tests, scaled to the largest radius so
 /// meter-scale and kilometer-scale scenarios behave alike.
 fn containment_tolerance(discs: &[Circle]) -> f64 {
@@ -281,6 +527,9 @@ fn containment_tolerance(discs: &[Circle]) -> f64 {
 /// Removes near-duplicate points (within `tol`) in `O(n²)`; vertex sets
 /// are tiny (at most `k(k-1)` candidates).
 fn dedup_points(points: &mut Vec<Point>, tol: f64) {
+    if points.len() <= 1 {
+        return;
+    }
     let mut out: Vec<Point> = Vec::with_capacity(points.len());
     for &p in points.iter() {
         if !out.iter().any(|q| q.distance(p) <= tol * 10.0) {
@@ -402,10 +651,49 @@ mod tests {
         let region = DiscIntersection::new(&discs);
         assert!((region.area() - PI).abs() < 1e-9);
         assert!(region.centroid().unwrap().distance(Point::new(0.5, 0.0)) < 1e-9);
-        // Boundary is the small circle alone; no vertices.
+        // Boundary is the small circle alone; no vertices. The two
+        // containing discs are pruned, so only the small disc remains
+        // and the single full-circle arc references it at index 0.
         assert!(region.vertices().is_empty());
+        assert_eq!(region.discs().len(), 1);
         assert_eq!(region.arcs().len(), 1);
-        assert_eq!(region.arcs()[0].circle_index, 2);
+        assert_eq!(region.arcs()[0].circle_index, 0);
+    }
+
+    #[test]
+    fn bbox_filter_matches_unfiltered() {
+        // Three tight discs shape the region; twenty wide discs on a
+        // ring all contain it but none contains another (equal radii,
+        // spread centers), so only the seed-bbox filter can drop them.
+        // The 23-disc result must match the 3-disc result exactly.
+        let tight = vec![c(0.0, 0.0, 1.0), c(0.9, 0.2, 1.1), c(0.4, 0.7, 0.9)];
+        let small = DiscIntersection::new(&tight);
+        let mut all = tight;
+        for k in 0..20 {
+            let ang = k as f64 * TAU / 20.0;
+            all.push(c(8.0 * ang.cos(), 8.0 * ang.sin(), 12.0));
+        }
+        let big = DiscIntersection::new(&all);
+        assert_eq!(big.discs().len(), 3, "wide discs must be filtered out");
+        assert!((big.area() - small.area()).abs() < 1e-12);
+        assert_eq!(big.vertices().len(), small.vertices().len());
+        let (a, b) = (big.centroid().unwrap(), small.centroid().unwrap());
+        assert!(a.distance(b) < 1e-12);
+    }
+
+    #[test]
+    fn bbox_filter_empty_region_detected() {
+        // Every pair overlaps but the triple is empty; padding with wide
+        // ring discs pushes the set over the filter threshold and must
+        // not flip the emptiness verdict.
+        let r = 1.1;
+        let mut discs = vec![c(0.0, 0.0, r), c(2.0, 0.0, r), c(1.0, 1.9, r)];
+        for k in 0..16 {
+            let ang = k as f64 * TAU / 16.0;
+            discs.push(c(1.0 + 9.0 * ang.cos(), 0.6 + 9.0 * ang.sin(), 13.0));
+        }
+        let region = DiscIntersection::new(&discs);
+        assert!(region.is_empty(), "area={}", region.area());
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! subject to `rᵢ + rⱼ ≥ dᵢⱼ` for co-observed AP pairs and
 //! `rᵢ + rⱼ < dᵢⱼ` for pairs never observed together (Section III-C2).
 //! No LP solver exists in the allowed dependency set, so this crate
-//! implements a classic **two-phase dense simplex** with Bland's
-//! anti-cycling rule.
+//! implements a two-phase simplex with Bland's anti-cycling rule. The
+//! hot-path solver ([`simplex`]) works on a **sparse row
+//! representation** (AP-Rad constraints touch only 1–2 variables) and
+//! supports **warm starts** from a previous optimal basis; the
+//! original dense tableau is retained in [`dense`] as a bit-exact
+//! reference oracle for the differential test suite.
 //!
 //! The model is: maximize (or minimize) `cᵀx` subject to linear
 //! constraints `aᵀx {≤,≥,=} b` and `x ≥ 0`. Upper bounds are expressed
@@ -27,8 +31,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod dense;
 pub mod problem;
 pub mod simplex;
 
 pub use problem::{Constraint, Problem, Relation};
-pub use simplex::{Outcome, Solution};
+pub use simplex::{solve_with_basis, BasisHint, Outcome, Solution, SolveReport, WarmStart};

@@ -165,38 +165,53 @@ fn random_lp(seed: u64, n: usize) -> DenseLp {
     }
 }
 
+/// Runs one seed through the sparse solver, the dense reference, and
+/// the vertex oracle; all three must land on the same optimum (and
+/// sparse must match dense bit for bit).
+fn check_seed(seed: u64, lp: &DenseLp) {
+    let brute = lp.brute_force_optimum().expect("origin is feasible");
+    let sparse = lp.to_problem().solve();
+    let dense = marauder_lp::dense::solve(&lp.to_problem());
+    match (&sparse, &dense) {
+        (Outcome::Optimal(sol), Outcome::Optimal(dsol)) => {
+            assert!(
+                (sol.objective - brute).abs() < 1e-5 * (1.0 + brute.abs()),
+                "seed {seed}: simplex {} vs brute force {brute}",
+                sol.objective
+            );
+            assert!(
+                (dsol.objective - brute).abs() < 1e-5 * (1.0 + brute.abs()),
+                "seed {seed}: dense reference {} vs brute force {brute}",
+                dsol.objective
+            );
+            assert_eq!(
+                (sol.objective + 0.0).to_bits(),
+                (dsol.objective + 0.0).to_bits(),
+                "seed {seed}: sparse and dense objective bits diverged"
+            );
+            for (i, (sv, dv)) in sol.values.iter().zip(&dsol.values).enumerate() {
+                assert_eq!(
+                    (sv + 0.0).to_bits(),
+                    (dv + 0.0).to_bits(),
+                    "seed {seed}: value {i} diverged: {sv} vs {dv}"
+                );
+            }
+        }
+        other => panic!("seed {seed}: expected optimal from both, got {other:?}"),
+    }
+}
+
 #[test]
 fn simplex_matches_vertex_enumeration_2d() {
     for seed in 0..60u64 {
-        let lp = random_lp(seed, 2);
-        let brute = lp.brute_force_optimum().expect("origin is feasible");
-        match lp.to_problem().solve() {
-            Outcome::Optimal(sol) => {
-                assert!(
-                    (sol.objective - brute).abs() < 1e-5 * (1.0 + brute.abs()),
-                    "seed {seed}: simplex {} vs brute force {brute}",
-                    sol.objective
-                );
-            }
-            other => panic!("seed {seed}: expected optimal, got {other:?}"),
-        }
+        check_seed(seed, &random_lp(seed, 2));
     }
 }
 
 #[test]
 fn simplex_matches_vertex_enumeration_3d() {
     for seed in 0..40u64 {
-        let lp = random_lp(seed.wrapping_add(1000), 3);
-        let brute = lp.brute_force_optimum().expect("origin is feasible");
-        match lp.to_problem().solve() {
-            Outcome::Optimal(sol) => {
-                assert!(
-                    (sol.objective - brute).abs() < 1e-5 * (1.0 + brute.abs()),
-                    "seed {seed}: simplex {} vs brute force {brute}",
-                    sol.objective
-                );
-            }
-            other => panic!("seed {seed}: expected optimal, got {other:?}"),
-        }
+        let s = seed.wrapping_add(1000);
+        check_seed(s, &random_lp(s, 3));
     }
 }

@@ -23,6 +23,27 @@ pub struct StreamConfig {
     /// force-closed (evicted) even though stragglers could still
     /// arrive. `0` disables eviction.
     pub max_open_windows: usize,
+    /// Whether each closed window is localized *live* at close time
+    /// (the default). Replay paths that only consume
+    /// [`batch_fixes`](StreamEngine::batch_fixes) disable this: every
+    /// per-window estimate would be discarded anyway, and skipping the
+    /// per-window solve-and-locate is the bulk of replay's cost. With
+    /// it off, [`ClosedWindow::outcome`] is
+    /// `Err(PipelineError::DeferredLocalization)`.
+    pub live_localization: bool,
+    /// Whether live re-solves warm-start from the previous window's
+    /// optimal basis (see
+    /// [`ApRadSolver::set_warm_start`]). Affects only the live
+    /// estimates — [`batch_fixes`](StreamEngine::batch_fixes) always
+    /// re-solves cold, so batch output is byte-identical either way.
+    ///
+    /// Off by default: a warm solve is a genuine optimum but may sit on
+    /// a different vertex of the optimal face than the cold solve, and
+    /// the warm basis memory is deliberately not serialized into
+    /// snapshots — so with warm starts on, live estimates are
+    /// optimum-equivalent (not bit-pinned) across a snapshot/restore.
+    /// Opt in where live latency matters more than that pin.
+    pub warm_start: bool,
 }
 
 impl Default for StreamConfig {
@@ -30,6 +51,8 @@ impl Default for StreamConfig {
         StreamConfig {
             allowed_lag_s: 1.0,
             max_open_windows: 64,
+            live_localization: true,
+            warm_start: false,
         }
     }
 }
@@ -68,7 +91,9 @@ pub struct StreamStats {
 /// discs don't intersect usefully yet). Batch-equivalent output
 /// re-localizes all windows with the final radii via
 /// [`StreamEngine::batch_fixes`]; at the Full knowledge level radii
-/// never change, so live estimates already equal the batch ones.
+/// never change, so live estimates already equal the batch ones. With
+/// [`StreamConfig::live_localization`] off the outcome is always
+/// `Err(DeferredLocalization)` — replay consumers drop it unread.
 #[derive(Debug, Clone)]
 pub struct ClosedWindow {
     /// The window index (`time_s / window_s`, floored — half-open).
@@ -163,7 +188,10 @@ impl StreamEngine {
         );
         let window_s = map.config().window_s;
         assert!(window_s > 0.0, "window must be positive, got {window_s}");
-        let solver = map.radius_solver();
+        let mut solver = map.radius_solver();
+        if let Some(s) = solver.as_mut() {
+            s.set_warm_start(config.warm_start);
+        }
         StreamEngine {
             map,
             solver,
@@ -275,7 +303,26 @@ impl StreamEngine {
     /// the final radii match because the AP-Rad program only reads
     /// order-independent statistics, and both sides localize through
     /// `MaraudersMap::localize_windows`.
-    pub fn batch_fixes(&self, mut closed: Vec<ClosedWindow>) -> Vec<TrackFix> {
+    pub fn batch_fixes(&mut self, mut closed: Vec<ClosedWindow>) -> Vec<TrackFix> {
+        // One canonical cold solve with the final statistics before
+        // localizing. This is what makes the batch output independent
+        // of the live path: lazy replay never applied radii per window,
+        // and warm live solves may have installed a different (equally
+        // optimal) vertex — either way the canonical solution goes in
+        // here, so batch fixes are byte-identical for every combination
+        // of `live_localization` and `warm_start`.
+        if let Some(solver) = self.solver.as_mut() {
+            if solver.is_dirty() {
+                self.stats.lp_solves += 1;
+                if self.metrics_flushed {
+                    // `finish` already flushed the one-shot counters;
+                    // keep the global registry consistent with stats.
+                    marauder_obs::global().counter_add("stream.lp_solves", 1);
+                }
+                let radii = solver.radii().clone();
+                self.map.apply_radii(radii);
+            }
+        }
         closed.sort_by_key(|c| (c.mobile, c.window));
         let sets: Vec<ObservationSet> = closed
             .into_iter()
@@ -365,13 +412,20 @@ impl StreamEngine {
         self.stats.windows_closed += 1;
         if let Some(solver) = self.solver.as_mut() {
             solver.observe(&gamma);
-            if solver.is_dirty() {
+            // Lazy mode only folds the statistics: the solve (and the
+            // localization below) are deferred to `batch_fixes`, which
+            // is the only consumer in that mode.
+            if self.config.live_localization && solver.is_live_dirty() {
                 self.stats.lp_solves += 1;
-                let radii = solver.radii().clone();
+                let radii = solver.live_radii().clone();
                 self.map.apply_radii(radii);
             }
         }
-        let outcome = self.map.try_locate(&gamma);
+        let outcome = if self.config.live_localization {
+            self.map.try_locate(&gamma)
+        } else {
+            Err(PipelineError::DeferredLocalization)
+        };
         ClosedWindow {
             window: w,
             window_start_s: window_start(w, self.window_s),
@@ -518,6 +572,7 @@ mod tests {
         let config = StreamConfig {
             allowed_lag_s: 1e6, // the close rule never fires on its own
             max_open_windows: 3,
+            ..StreamConfig::default()
         };
         let mut engine = StreamEngine::new(tiny_map(), config);
         let mut evicted = Vec::new();
@@ -546,6 +601,93 @@ mod tests {
         assert_eq!(events.len(), 1, "watermark from any frame closes windows");
         assert_eq!(engine.stats().frames_relevant, 1);
         assert_eq!(engine.stats().frames_total, 2);
+    }
+
+    /// Locations-only map (no radii): the AP-Rad solver is active.
+    fn locations_only_map() -> MaraudersMap {
+        let db: ApDatabase = [
+            (100u64, Point::new(0.0, 0.0)),
+            (101, Point::new(100.0, 0.0)),
+            (102, Point::new(50.0, 80.0)),
+            (103, Point::new(150.0, 80.0)),
+        ]
+        .into_iter()
+        .map(|(i, p)| ApRecord {
+            bssid: mac(i),
+            ssid: None,
+            location: p,
+            radius: None,
+        })
+        .collect();
+        MaraudersMap::new(db, KnowledgeLevel::LocationsOnly, AttackConfig::default())
+    }
+
+    #[test]
+    fn batch_fixes_are_identical_across_live_warm_and_lazy_modes() {
+        // The live path's mode (cold live, warm live, or fully lazy)
+        // must never leak into the batch output: `batch_fixes` does one
+        // canonical cold solve with the final statistics either way.
+        let run = |live: bool, warm: bool| {
+            let config = StreamConfig {
+                live_localization: live,
+                warm_start: warm,
+                ..StreamConfig::default()
+            };
+            let mut engine = StreamEngine::new(locations_only_map(), config);
+            let mut events = Vec::new();
+            for k in 0u64..24 {
+                let t = k as f64 * 15.0 + 1.0;
+                events.extend(engine.push(&response(t, 100 + k % 4, 1)));
+                events.extend(engine.push(&response(t + 0.5, 100 + (k + 1) % 4, 1)));
+            }
+            events.extend(engine.finish());
+            engine.batch_fixes(events)
+        };
+        let reference = run(true, false);
+        assert!(!reference.is_empty(), "scenario must produce fixes");
+        for (live, warm) in [(true, true), (false, false), (false, true)] {
+            let other = run(live, warm);
+            assert_eq!(reference.len(), other.len(), "live={live} warm={warm}");
+            for (a, b) in reference.iter().zip(&other) {
+                assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+                assert_eq!(a.mobile, b.mobile);
+                assert_eq!(a.gamma, b.gamma);
+                assert_eq!(
+                    a.estimate.position.x.to_bits(),
+                    b.estimate.position.x.to_bits(),
+                    "live={live} warm={warm}: x diverged"
+                );
+                assert_eq!(
+                    a.estimate.position.y.to_bits(),
+                    b.estimate.position.y.to_bits(),
+                    "live={live} warm={warm}: y diverged"
+                );
+                assert_eq!(a.estimate.area().to_bits(), b.estimate.area().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_mode_defers_every_outcome() {
+        let config = StreamConfig {
+            live_localization: false,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(locations_only_map(), config);
+        let mut events = Vec::new();
+        for k in 0u64..6 {
+            events.extend(engine.push(&response(k as f64 * 30.0 + 1.0, 100 + k % 3, 1)));
+        }
+        events.extend(engine.finish());
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|e| matches!(e.outcome, Err(PipelineError::DeferredLocalization))));
+        // No per-window solves happened; the batch pass does exactly one.
+        assert_eq!(engine.stats().lp_solves, 0);
+        let fixes = engine.batch_fixes(events);
+        assert!(!fixes.is_empty());
+        assert_eq!(engine.stats().lp_solves, 1);
     }
 
     #[test]

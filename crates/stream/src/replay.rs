@@ -15,11 +15,20 @@ use marauder_wifi::sniffer::{CaptureDatabase, CapturedFrame};
 /// `stats.frames_late` and `stats.windows_evicted` — both stay zero
 /// for any capture whose timestamp inversions fit inside
 /// [`StreamConfig::allowed_lag_s`]).
+///
+/// Live localization is forced off regardless of `config`: every
+/// per-window outcome is discarded here (only the batch re-pass below
+/// is returned), so the per-window solve-and-locate would be pure
+/// waste — skipping it is the bulk of replay's speed.
 pub fn replay_frames<'a>(
     map: MaraudersMap,
     config: StreamConfig,
     frames: impl IntoIterator<Item = &'a CapturedFrame>,
 ) -> (Vec<TrackFix>, StreamStats) {
+    let config = StreamConfig {
+        live_localization: false,
+        ..config
+    };
     let mut engine = StreamEngine::new(map, config);
     let mut closed: Vec<ClosedWindow> = Vec::new();
     for frame in frames {

@@ -350,11 +350,16 @@ impl StreamEngine {
             ));
         }
 
+        // Live/warm mode flags are process configuration, not stream
+        // state: they are not serialized, so the restored engine runs
+        // with the defaults (callers can rebuild with their own config;
+        // the warm basis memory legitimately restarts cold either way).
         let mut engine = StreamEngine::new(
             map,
             StreamConfig {
                 allowed_lag_s,
                 max_open_windows,
+                ..StreamConfig::default()
             },
         );
         if let Some(solver) = engine.solver.as_mut() {

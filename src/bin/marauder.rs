@@ -551,8 +551,17 @@ fn stats(opts: &Opts) -> Result<(), CliError> {
         .clone();
     let budget: usize = get_num(opts, "error-budget", 0)?;
     let (map, level) = build_map(opts)?;
+    // `stats` exists to surface the full metrics surface, so it runs
+    // the live pipeline with warm starts on: the lp.warm_start.* and
+    // lp.pivots.{cold,warm} counters only tick when the warm path is
+    // exercised. The reported fixes still come from the canonical
+    // batch re-pass, so warm starts never change this output.
+    let config = StreamConfig {
+        warm_start: true,
+        ..StreamConfig::default()
+    };
     let (fixes, stream_stats, skipped) =
-        marauders_map::stream::replay_log(map, StreamConfig::default(), &read(&path)?, budget)?;
+        marauders_map::stream::replay_log(map, config, &read(&path)?, budget)?;
     eprintln!(
         "stats: {} frames -> {} windows closed, {} fixes, {} malformed lines skipped \
          (knowledge level: {level})",

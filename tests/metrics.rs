@@ -10,7 +10,10 @@
 //! process-wide, and a sibling test mutating it concurrently would
 //! make the byte-comparison meaningless.
 
+use marauders_map::core::pipeline::{KnowledgeLevel, MaraudersMap};
 use marauders_map::fault::ChaosScenario;
+use marauders_map::stream::{replay_log, StreamConfig};
+use marauders_map::wifi::capture_log::write_capture_log;
 use marauders_map::{obs, par};
 
 #[test]
@@ -19,6 +22,7 @@ fn fig13_counters_are_thread_count_invariant() {
     // counts. fig13 is the paper's headline scenario: clustered APs,
     // 15 s windows, graceful degradation.
     let scenario = ChaosScenario::fig13(7);
+    let log = write_capture_log(scenario.captures());
 
     let mut snapshots = Vec::new();
     for threads in [1usize, 2, 7] {
@@ -28,6 +32,22 @@ fn fig13_counters_are_thread_count_invariant() {
         map.ingest(scenario.captures());
         let fixes = map.track_all(scenario.captures());
         assert!(!fixes.is_empty(), "threads {threads}: no fixes produced");
+        // The same capture streamed live at the LocationsOnly level
+        // with warm starts on: this is what exercises the AP-Rad
+        // incremental solver and the LP's warm-start path, so the
+        // lp.* counters below actually tick.
+        let stream_map = MaraudersMap::new(
+            scenario.knowledge().without_radii(),
+            KnowledgeLevel::LocationsOnly,
+            scenario.config().clone(),
+        );
+        let config = StreamConfig {
+            warm_start: true,
+            ..StreamConfig::default()
+        };
+        let (stream_fixes, _, _) =
+            replay_log(stream_map, config, &log, 0).expect("clean log replays");
+        assert!(!stream_fixes.is_empty(), "threads {threads}: stream fixes");
         snapshots.push((threads, obs::global().deterministic_json()));
     }
     par::set_threads(0);
@@ -41,6 +61,17 @@ fn fig13_counters_are_thread_count_invariant() {
         baseline.contains("par.calls"),
         "par counters missing: {baseline}"
     );
+    // The warm-start observability surface must be present — and, being
+    // in the deterministic section, byte-identical across thread counts.
+    for key in [
+        "lp.solves",
+        "lp.pivots.cold",
+        "lp.pivots.warm",
+        "lp.warm_start.hit",
+        "lp.warm_start.miss",
+    ] {
+        assert!(baseline.contains(key), "{key} missing: {baseline}");
+    }
     for (threads, json) in &snapshots[1..] {
         assert_eq!(
             json, baseline,

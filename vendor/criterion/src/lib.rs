@@ -11,6 +11,10 @@
 //! iterations to fill a ~20 ms window, reporting min/mean/max ns per
 //! iteration. When the `CRITERION_JSON_OUT` environment variable names
 //! a path, the full result set is written there as JSON on exit.
+//!
+//! `CRITERION_SAMPLE_SIZE` overrides the per-benchmark sample count
+//! (minimum 1). CI's perf-regression guard uses it to take quick,
+//! lower-confidence measurements without editing the benches.
 
 pub use std::hint::black_box;
 
@@ -18,6 +22,18 @@ use std::time::{Duration, Instant};
 
 const TARGET_SAMPLE: Duration = Duration::from_millis(20);
 const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Sample count for a benchmark: the `CRITERION_SAMPLE_SIZE`
+/// environment variable when set to a positive integer, otherwise the
+/// count the bench configured (or the default).
+fn effective_sample_size(configured: usize) -> usize {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+        .max(1)
+}
 
 /// Identifies a benchmark within a group.
 #[derive(Debug, Clone)]
@@ -186,6 +202,7 @@ impl Criterion {
         if !self.matches_filter(&id) {
             return;
         }
+        let sample_size = effective_sample_size(sample_size);
         // Calibration pass: one iteration to size the sample window.
         let mut b = Bencher {
             iters: 1,
@@ -239,15 +256,22 @@ impl Criterion {
         self.results.push(record);
     }
 
-    /// Writes collected results as JSON to `path`.
+    /// Writes collected results as JSON to `path`. `host_cores` records
+    /// the parallelism of the machine that produced the numbers: a
+    /// thread-scaling row measured on a single-core host is expected to
+    /// be flat, and readers can only tell with the core count in the
+    /// artifact.
     pub fn export_json(&self, path: &str) -> std::io::Result<()> {
         let body: Vec<String> = self
             .results
             .iter()
             .map(|r| format!("    {}", r.to_json()))
             .collect();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let doc = format!(
-            "{{\n  \"schema\": \"marauder-criterion-v1\",\n  \"results\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"marauder-criterion-v1\",\n  \"host_cores\": {},\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
+            cores,
             body.join(",\n")
         );
         std::fs::write(path, doc)
@@ -380,6 +404,26 @@ mod tests {
         assert!(json.contains("\"id\":\"g/sum/4\""), "{json}");
         assert!(json.contains("elements_per_sec"), "{json}");
         c.results.clear(); // keep Drop from writing JSON in tests
+    }
+
+    #[test]
+    fn export_records_schema_and_host_cores() {
+        let mut c = Criterion {
+            filters: vec![],
+            results: vec![],
+        };
+        run_count(&mut c);
+        let path = std::env::temp_dir().join("marauder_criterion_export_test.json");
+        let path = path.to_str().unwrap().to_string();
+        c.export_json(&path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            doc.contains("\"schema\": \"marauder-criterion-v1\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"host_cores\": "), "{doc}");
+        c.results.clear(); // keep Drop from writing JSON elsewhere
     }
 
     #[test]
