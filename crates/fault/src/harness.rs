@@ -186,6 +186,11 @@ impl ChaosScenario {
         &self.name
     }
 
+    /// Seed of the simulated campus (appears in reports).
+    pub fn sim_seed(&self) -> u64 {
+        self.sim_seed
+    }
+
     /// The victim's MAC.
     pub fn victim(&self) -> MacAddr {
         self.victim

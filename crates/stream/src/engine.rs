@@ -207,6 +207,20 @@ impl StreamEngine {
         }
     }
 
+    /// Overrides the process-configuration mode flags —
+    /// [`StreamConfig::live_localization`] and
+    /// [`StreamConfig::warm_start`] — on an existing engine. These are
+    /// deliberately not serialized into snapshots (see
+    /// [`restore`](Self::restore)), so callers resuming from a
+    /// checkpoint use this to reapply their own mode.
+    pub fn set_mode(&mut self, live_localization: bool, warm_start: bool) {
+        self.config.live_localization = live_localization;
+        self.config.warm_start = warm_start;
+        if let Some(s) = self.solver.as_mut() {
+            s.set_warm_start(warm_start);
+        }
+    }
+
     /// Feeds one captured frame; returns the windows (possibly none)
     /// this frame's timestamp allowed to close, oldest first.
     pub fn push(&mut self, frame: &CapturedFrame) -> Vec<ClosedWindow> {

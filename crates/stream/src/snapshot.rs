@@ -26,32 +26,61 @@ use marauder_wifi::mac::MacAddr;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// Magic first line of the snapshot format.
+/// Version of the snapshot text format this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Common prefix of every snapshot header; the format version follows.
+const HEADER_PREFIX: &str = "# marauder stream snapshot v";
+
+/// Magic first line of the snapshot format (current version).
 pub const HEADER: &str = "# marauder stream snapshot v1";
 
 /// Error returned when restoring from a malformed snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SnapshotError {
-    line: usize,
-    reason: String,
+pub enum SnapshotError {
+    /// The header names a format version this build does not speak.
+    /// Distinct from [`Malformed`](Self::Malformed) so callers can
+    /// offer "upgrade to read this snapshot" instead of "file corrupt".
+    VersionMismatch {
+        /// Version the snapshot declares.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The document is syntactically or semantically broken.
+    Malformed {
+        /// 1-based number of the first bad line.
+        line: usize,
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
 }
 
 impl SnapshotError {
     fn new(line: usize, reason: impl Into<String>) -> Self {
-        SnapshotError {
+        SnapshotError::Malformed {
             line,
             reason: reason.into(),
         }
     }
 
-    /// The 1-based line number of the first malformed line.
+    /// The 1-based line number of the first malformed line. Version
+    /// mismatches are always a line-1 condition.
     pub fn line(&self) -> usize {
-        self.line
+        match self {
+            SnapshotError::VersionMismatch { .. } => 1,
+            SnapshotError::Malformed { line, .. } => *line,
+        }
     }
 
     /// Human-readable description of what was wrong.
-    pub fn reason(&self) -> &str {
-        &self.reason
+    pub fn reason(&self) -> String {
+        match self {
+            SnapshotError::VersionMismatch { found, supported } => {
+                format!("snapshot format v{found} is not supported (this build reads v{supported})")
+            }
+            SnapshotError::Malformed { reason, .. } => reason.clone(),
+        }
     }
 }
 
@@ -60,7 +89,8 @@ impl fmt::Display for SnapshotError {
         write!(
             f,
             "stream snapshot parse error on line {}: {}",
-            self.line, self.reason
+            self.line(),
+            self.reason()
         )
     }
 }
@@ -163,7 +193,17 @@ impl StreamEngine {
     pub fn restore(map: MaraudersMap, text: &str) -> Result<StreamEngine, SnapshotError> {
         let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
         match lines.next() {
-            Some((_, h)) if h.trim() == HEADER => {}
+            Some((_, h)) if h.trim().starts_with(HEADER_PREFIX) => {
+                let found = h.trim()[HEADER_PREFIX.len()..]
+                    .parse::<u32>()
+                    .map_err(|e| SnapshotError::new(1, format!("bad header version: {e}")))?;
+                if found != SNAPSHOT_VERSION {
+                    return Err(SnapshotError::VersionMismatch {
+                        found,
+                        supported: SNAPSHOT_VERSION,
+                    });
+                }
+            }
             _ => return Err(SnapshotError::new(1, format!("missing header {HEADER:?}"))),
         }
 
@@ -560,6 +600,53 @@ mod tests {
             err.reason().contains("after the end sentinel"),
             "{}",
             err.reason()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_future_version_with_typed_error() {
+        let m = || map(KnowledgeLevel::Full);
+        let engine = StreamEngine::new(m(), StreamConfig::default());
+        let snap = engine.snapshot();
+
+        // A snapshot from a future build: same grammar, bumped version.
+        let future = snap.replacen("snapshot v1", "snapshot v2", 1);
+        assert_eq!(
+            StreamEngine::restore(m(), &future).unwrap_err(),
+            SnapshotError::VersionMismatch {
+                found: 2,
+                supported: SNAPSHOT_VERSION
+            }
+        );
+
+        // A mangled version suffix is malformed, not a mismatch.
+        let garbled = snap.replacen("snapshot v1", "snapshot vX", 1);
+        let err = StreamEngine::restore(m(), &garbled).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Malformed { line: 1, .. }),
+            "{err:?}"
+        );
+        assert!(
+            err.reason().contains("bad header version"),
+            "{}",
+            err.reason()
+        );
+    }
+
+    #[test]
+    fn current_version_snapshot_round_trips_byte_exactly() {
+        let m = || map(KnowledgeLevel::Full);
+        let mut engine = StreamEngine::new(m(), StreamConfig::default());
+        for k in 0u64..25 {
+            engine.push(&response(k as f64 * 7.0, 100 + k % 3, 1 + k % 2));
+        }
+        let snap = engine.snapshot();
+        assert!(snap.starts_with(HEADER), "header must lead the document");
+        let restored = StreamEngine::restore(m(), &snap).expect("current version restores");
+        assert_eq!(
+            restored.snapshot(),
+            snap,
+            "re-snapshot must be byte-identical"
         );
     }
 

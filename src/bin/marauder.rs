@@ -29,6 +29,12 @@ use marauders_map::core::pseudonym::PseudonymLinker;
 use marauders_map::core::PipelineError;
 use marauders_map::fault::{default_matrix, ChaosScenario, FaultPlan, PlanParseError};
 use marauders_map::geo::Point;
+use marauders_map::net::chaos::run_default_matrix;
+use marauders_map::net::tcp::{run_node, serve, RetryConfig};
+use marauders_map::net::{
+    required_slack_s, split_by_time, split_round_robin, Aggregator, FleetConfig, LoopbackFleet,
+    NetError, NodeConfig, SnifferNode,
+};
 use marauders_map::sim::deploy::Rect;
 use marauders_map::sim::mobility::CircuitWalk;
 use marauders_map::sim::scenario::CampusScenario;
@@ -58,13 +64,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `replay` and `stats` accept the capture log as a positional
-    // argument (`marauder replay run1/capture.log`); everything else is
-    // flags.
+    // `replay`, `stats`, `fleet` and `node` accept the capture log as a
+    // positional argument (`marauder replay run1/capture.log`);
+    // everything else is flags.
+    let takes_positional = matches!(cmd.as_str(), "replay" | "stats" | "fleet" | "node");
     let (positional, rest) = match rest.split_first() {
-        Some((p, more)) if (cmd == "replay" || cmd == "stats") && !p.starts_with("--") => {
-            (Some(p.clone()), more)
-        }
+        Some((p, more)) if takes_positional && !p.starts_with("--") => (Some(p.clone()), more),
         _ => (None, rest),
     };
     let mut opts = match parse_opts(rest) {
@@ -93,6 +98,8 @@ fn main() -> ExitCode {
         "replay" => replay(&opts),
         "stats" => stats(&opts),
         "chaos" => chaos(&opts),
+        "fleet" => fleet(&opts),
+        "node" => node(&opts),
         "link" => link(&opts),
         "report" => report(&opts),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -138,6 +145,8 @@ enum CliError {
     Pipeline(PipelineError),
     /// An unparsable `--faults` spec.
     Plan(PlanParseError),
+    /// A typed fleet/wire-protocol failure.
+    Net(NetError),
 }
 
 impl std::fmt::Display for CliError {
@@ -148,6 +157,7 @@ impl std::fmt::Display for CliError {
             CliError::Input(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Plan(e) => write!(f, "{e}"),
+            CliError::Net(e) => write!(f, "{e}"),
         }
     }
 }
@@ -158,8 +168,15 @@ impl std::error::Error for CliError {
             CliError::Io(_, e) => Some(e),
             CliError::Pipeline(e) => Some(e),
             CliError::Plan(e) => Some(e),
+            CliError::Net(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<NetError> for CliError {
+    fn from(e: NetError) -> Self {
+        CliError::Net(e)
     }
 }
 
@@ -200,6 +217,15 @@ const USAGE: &str = "usage:
                  [--level full|locations|none] [--error-budget N]
   marauder chaos [--seed N] [--fault-seed N] [--scenario quick|fig13]
                  [--faults SPEC] [--out FILE]
+  marauder fleet LOG (--knowledge FILE | --training FILE) [--level L]
+                 [--loopback N] [--split rr|time] [--faults SPEC]
+                 [--fault-seed N]
+  marauder fleet --listen ADDR --nodes N (--knowledge FILE | ...)
+                 [--idle-timeout SECS]
+  marauder fleet --chaos [--scenario quick|fig13] [--seed N]
+                 [--fault-seed N] [--nodes N] [--out FILE]
+  marauder node LOG --connect ADDR [--node-id K] [--offset SECS]
+                [--batch N] [--slack SECS] [--retries N]
   marauder link --captures FILE
   marauder report --knowledge FILE --captures FILE
   marauder help | --help | -h
@@ -207,7 +233,9 @@ const USAGE: &str = "usage:
   replay streams the capture through the live tracking engine, printing
   each fix as its window closes. --speed N paces the replay at N times
   real time (0, the default, replays as fast as possible); --follow
-  keeps tailing the log for appended frames, like tail -f;
+  keeps tailing the log for appended frames, like tail -f (a live
+  tail cannot run \"as fast as possible\", so --follow rejects an
+  explicit --speed 0);
   --error-budget N tolerates up to N malformed log lines (skipped
   deterministically and reported) before aborting.
 
@@ -217,6 +245,20 @@ const USAGE: &str = "usage:
   drop:P burst:PE:PX dup:P reorder:D jitter:S skew:O bitflip:P
   apflap:T carddrop:T truncate:F); without --faults the full
   10-kind x 3-intensity matrix runs.
+
+  fleet merges a capture log across N sniffer nodes into one tracked
+  stream. --loopback N runs the whole fleet in-process over the
+  deterministic transport (--split rr interleaves frames round-robin,
+  time hands each node a contiguous shift; --faults corrupts every
+  node's slice with a per-node sub-seeded plan); --listen ADDR serves
+  real TCP nodes started with `marauder node`; --chaos runs the
+  per-node fault matrix against a simulated capture and emits a JSON
+  report verifying the merge is byte-identical to a single stream.
+
+  node streams a capture log to a TCP fleet aggregator, batching
+  frames and reconnecting with bounded exponential backoff. --offset
+  declares the node's clock skew so the aggregator can correct its
+  watermark; --slack widens the out-of-order tolerance it promises.
 
   stats replays the capture through the streaming engine and prints
   the metrics registry as JSON: deterministic counters, gauges and
@@ -230,7 +272,7 @@ const USAGE: &str = "usage:
 type Opts = HashMap<String, String>;
 
 /// Flags that stand alone instead of taking a value.
-const BOOL_FLAGS: &[&str] = &["follow"];
+const BOOL_FLAGS: &[&str] = &["follow", "chaos"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     let mut out = HashMap::new();
@@ -474,6 +516,15 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
             "--speed must be a finite number >= 0".into(),
         ));
     }
+    // `--speed 0` means "as fast as possible", which a live tail can
+    // never satisfy: the follower would chew through each poll instantly
+    // and spin on the file forever. Explicitly asking for both is a
+    // contradiction, not a replay.
+    if opts.contains_key("follow") && opts.contains_key("speed") && speed == 0.0 {
+        return Err(CliError::Usage(
+            "--follow cannot be paced at --speed 0; pass a positive rate or drop --speed".into(),
+        ));
+    }
     let lag: f64 = get_num(opts, "lag", StreamConfig::default().allowed_lag_s)?;
     if !lag.is_finite() || lag < 0.0 {
         return Err(CliError::Usage("--lag must be a finite number >= 0".into()));
@@ -616,6 +667,265 @@ fn chaos(opts: &Opts) -> Result<(), CliError> {
         }
         None => print!("{json}"),
     }
+    Ok(())
+}
+
+/// Reads a capture log into frames, failing on the first malformed
+/// line (fleet ingestion has no error budget: a node must not silently
+/// thin its slice).
+fn load_frames(path: &str) -> Result<Vec<marauders_map::wifi::sniffer::CapturedFrame>, CliError> {
+    let mut frames = Vec::new();
+    for item in capture_log_frames(&read(path)?) {
+        frames.push(item.map_err(|e| CliError::Input(format!("{path} line {}: {e}", e.line())))?);
+    }
+    Ok(frames)
+}
+
+/// Prints fleet fixes in the `attack` CSV format plus a stderr summary.
+fn print_fleet_outcome(
+    mut agg: Aggregator,
+    closed: Vec<marauders_map::stream::ClosedWindow>,
+    level: &str,
+) -> Result<(), CliError> {
+    let windows = agg.engine().stats().windows_closed;
+    let late = agg.engine().stats().frames_late;
+    let stats = agg.stats().clone();
+    let fixes = agg.batch_fixes(closed);
+    println!("time_s,mobile,x,y,k,area_m2");
+    let mut out = std::io::stdout();
+    for fix in fixes.iter().cloned() {
+        print_fix(&mut out, Some(fix))?;
+    }
+    eprintln!(
+        "fleet: {} frames over {} batches ({} duplicates ignored, {} reconnects, \
+         {} evicted nodes) -> {} windows closed, {} late, {} fixes \
+         (knowledge level: {level})",
+        stats.frames_relayed,
+        stats.batches,
+        stats.duplicate_batches,
+        stats.reconnects,
+        stats.nodes_evicted,
+        windows,
+        late,
+        fixes.len()
+    );
+    Ok(())
+}
+
+/// Merges a capture log across N sniffer nodes — in-process over the
+/// deterministic loopback transport, over real TCP with `--listen`, or
+/// as the chaos matrix with `--chaos`.
+fn fleet(opts: &Opts) -> Result<(), CliError> {
+    if opts.contains_key("chaos") {
+        return fleet_chaos(opts);
+    }
+    if opts.contains_key("listen") {
+        return fleet_listen(opts);
+    }
+
+    let path = opts
+        .get("captures")
+        .ok_or("fleet requires a capture log (positional or --captures), or --listen/--chaos")?
+        .clone();
+    let nodes: usize = get_num(opts, "loopback", 2)?;
+    if nodes == 0 {
+        return Err(CliError::Usage("--loopback needs at least 1 node".into()));
+    }
+    let fault_seed: u64 = get_num(opts, "fault-seed", 1)?;
+    let plan = opts
+        .get("faults")
+        .map(|s| FaultPlan::parse(s))
+        .transpose()?;
+    let frames = load_frames(&path)?;
+    let slices = match opts.get("split").map(String::as_str).unwrap_or("rr") {
+        "rr" => split_round_robin(&frames, nodes),
+        "time" => split_by_time(&frames, nodes),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --split {other:?} (rr|time)"
+            )))
+        }
+    };
+    let (map, level) = build_map(opts)?;
+    let aggregator = Aggregator::new(
+        map,
+        FleetConfig {
+            expected_nodes: nodes,
+            ..FleetConfig::default()
+        },
+    );
+    let seats: Vec<(NodeConfig, _)> = slices
+        .into_iter()
+        .enumerate()
+        .map(|(k, slice)| {
+            let slice = match &plan {
+                Some(p) => marauders_map::net::corrupt_slice(
+                    &slice,
+                    marauders_map::par::sub_seed(fault_seed, k as u64),
+                    p,
+                ),
+                None => slice,
+            };
+            (
+                NodeConfig {
+                    reorder_slack_s: required_slack_s(&slice),
+                    ..NodeConfig::default()
+                },
+                slice,
+            )
+        })
+        .collect();
+    eprintln!(
+        "fleet: merging {} frames across {nodes} loopback node(s)",
+        frames.len()
+    );
+    let mut fleet = LoopbackFleet::new(aggregator, seats);
+    let closed = fleet.run()?;
+    print_fleet_outcome(fleet.into_aggregator(), closed, &level)
+}
+
+/// Serves a real-TCP fleet: accepts `--nodes N` sniffer connections and
+/// merges their streams until every node completes.
+fn fleet_listen(opts: &Opts) -> Result<(), CliError> {
+    let addr = opts.get("listen").expect("caller checked --listen");
+    let nodes: usize = get_num(opts, "nodes", 1)?;
+    let idle: f64 = get_num(opts, "idle-timeout", 30.0)?;
+    if !idle.is_finite() || idle <= 0.0 {
+        return Err(CliError::Usage(
+            "--idle-timeout must be a positive number of seconds".into(),
+        ));
+    }
+    let (map, level) = build_map(opts)?;
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| CliError::Io(format!("cannot listen on {addr}"), e))?;
+    eprintln!(
+        "fleet: listening on {} for {nodes} node(s)",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone())
+    );
+    let aggregator = Aggregator::new(
+        map,
+        FleetConfig {
+            expected_nodes: nodes,
+            ..FleetConfig::default()
+        },
+    );
+    let outcome = serve(listener, aggregator, Duration::from_secs_f64(idle))?;
+    let completed = outcome.completed;
+    print_fleet_outcome(outcome.aggregator, outcome.closed, &level)?;
+    if !completed {
+        return Err(CliError::Input(format!(
+            "fleet went idle for {idle} s before every node completed"
+        )));
+    }
+    Ok(())
+}
+
+/// Runs the per-node fault matrix (clean/drop/reorder/skew/truncate/
+/// combo) through the loopback fleet and emits the JSON report. Fails
+/// when any cell's merged fixes diverge from a single-stream replay of
+/// the identical corrupted union.
+fn fleet_chaos(opts: &Opts) -> Result<(), CliError> {
+    let seed: u64 = get_num(opts, "seed", 1)?;
+    let fault_seed: u64 = get_num(opts, "fault-seed", seed)?;
+    let nodes: usize = get_num(opts, "nodes", 4)?;
+    let scenario_name = opts.get("scenario").map(String::as_str).unwrap_or("fig13");
+    let scenario = match scenario_name {
+        "quick" => ChaosScenario::quick(seed),
+        "fig13" => ChaosScenario::fig13(seed),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --scenario {other:?} (quick|fig13)"
+            )))
+        }
+    };
+    eprintln!("fleet chaos: scenario {scenario_name} (seed {seed}), {nodes} node(s) per cell");
+    let report = run_default_matrix(&scenario, fault_seed, nodes)?;
+    for cell in &report.cells {
+        eprintln!(
+            "  {:<10} {:<22} {} frames -> {} fixes, {} windows, merge {}",
+            cell.name,
+            cell.plan,
+            cell.frames_in,
+            cell.fixes,
+            cell.windows_closed,
+            if cell.matches_single_stream {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    let json = report.to_json();
+    match opts.get("out") {
+        Some(path) => {
+            write(Path::new(path), &json)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if !report.all_match() {
+        return Err(CliError::Input(
+            "fleet merge diverged from single-stream replay in at least one cell".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Streams a capture log to a TCP fleet aggregator started with
+/// `marauder fleet --listen`.
+fn node(opts: &Opts) -> Result<(), CliError> {
+    let path = opts
+        .get("captures")
+        .ok_or("node requires a capture log (positional or --captures)")?
+        .clone();
+    let addr = opts.get("connect").ok_or("node requires --connect ADDR")?;
+    let id: u32 = get_num(opts, "node-id", 0u32)?;
+    let offset: f64 = get_num(opts, "offset", 0.0)?;
+    if !offset.is_finite() {
+        return Err(CliError::Usage("--offset must be finite".into()));
+    }
+    let batch: usize = get_num(opts, "batch", NodeConfig::default().batch_frames)?;
+    if batch == 0 {
+        return Err(CliError::Usage("--batch needs at least 1 frame".into()));
+    }
+    let retries: u32 = get_num(opts, "retries", RetryConfig::default().max_retries)?;
+    let frames = load_frames(&path)?;
+    let slack: f64 = get_num(opts, "slack", required_slack_s(&frames))?;
+    if !slack.is_finite() || slack < 0.0 {
+        return Err(CliError::Usage(
+            "--slack must be a finite number >= 0".into(),
+        ));
+    }
+    eprintln!(
+        "node {id}: streaming {} frames to {addr} (offset {offset} s, slack {slack} s)",
+        frames.len()
+    );
+    let mut node = SnifferNode::new(
+        id,
+        NodeConfig {
+            batch_frames: batch,
+            reorder_slack_s: slack,
+            clock_offset_s: offset,
+            wants_snapshot: false,
+        },
+        frames,
+    );
+    run_node(
+        addr,
+        &mut node,
+        &RetryConfig {
+            max_retries: retries,
+            ..RetryConfig::default()
+        },
+    )?;
+    let s = node.stats();
+    eprintln!(
+        "node {id}: done — {} frames in {} batches ({} skipped on resume, {} reconnects)",
+        s.frames_sent, s.batches_sent, s.batches_skipped, s.reconnects
+    );
     Ok(())
 }
 

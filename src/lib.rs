@@ -15,6 +15,7 @@ pub use marauder_core as core;
 pub use marauder_fault as fault;
 pub use marauder_geo as geo;
 pub use marauder_lp as lp;
+pub use marauder_net as net;
 pub use marauder_obs as obs;
 pub use marauder_par as par;
 pub use marauder_rf as rf;

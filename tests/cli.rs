@@ -276,6 +276,133 @@ fn replay_follow_tails_an_appended_log() {
 }
 
 #[test]
+fn follow_rejects_explicit_speed_zero() {
+    let dir = temp_dir("follow-speed");
+    std::fs::write(dir.join("c.log"), "# marauder capture v1\n").expect("write log");
+    std::fs::write(
+        dir.join("a.csv"),
+        "bssid,ssid,x,y,radius\n00:16:00:00:00:64,,0,0,120\n",
+    )
+    .expect("write knowledge");
+
+    // A live tail cannot run "as fast as possible": the combination is
+    // a usage mistake (exit 2, usage printed), not a runtime failure.
+    let out = marauder()
+        .arg("replay")
+        .arg(dir.join("c.log"))
+        .arg("--knowledge")
+        .arg(dir.join("a.csv"))
+        .args(["--follow", "--speed", "0"])
+        .output()
+        .expect("run replay");
+    assert_eq!(out.status.code(), Some(2), "--follow --speed 0 must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--follow"),
+        "error must name the flags: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "usage must follow: {stderr}");
+
+    // Flag order must not matter.
+    let out = marauder()
+        .arg("replay")
+        .arg(dir.join("c.log"))
+        .arg("--knowledge")
+        .arg(dir.join("a.csv"))
+        .args(["--speed", "0", "--follow"])
+        .output()
+        .expect("run replay");
+    assert_eq!(out.status.code(), Some(2), "flag order must not matter");
+
+    // --speed 0 alone stays the documented "as fast as possible" mode.
+    let out = marauder()
+        .arg("replay")
+        .arg(dir.join("c.log"))
+        .arg("--knowledge")
+        .arg(dir.join("a.csv"))
+        .args(["--speed", "0"])
+        .output()
+        .expect("run replay");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--speed 0 without --follow is fine"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_loopback_matches_replay() {
+    let dir = temp_dir("fleet");
+    let out = marauder()
+        .args([
+            "simulate",
+            "--seed",
+            "13",
+            "--aps",
+            "50",
+            "--mobiles",
+            "3",
+            "--duration",
+            "180",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let collect = |bytes: &[u8]| -> Vec<String> {
+        let text = String::from_utf8_lossy(bytes).to_string();
+        let mut lines: Vec<String> = text.lines().skip(1).map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    let replay = marauder()
+        .arg("replay")
+        .arg(dir.join("capture.log"))
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .output()
+        .expect("run replay");
+    assert!(replay.status.success());
+    let baseline = collect(&replay.stdout);
+    assert!(!baseline.is_empty(), "replay produced no fixes");
+
+    // The same log merged across loopback nodes, both split policies,
+    // yields the same fixes.
+    for (nodes, split) in [("1", "rr"), ("3", "rr"), ("4", "time")] {
+        let fleet = marauder()
+            .arg("fleet")
+            .arg(dir.join("capture.log"))
+            .arg("--knowledge")
+            .arg(dir.join("aps.csv"))
+            .args(["--loopback", nodes, "--split", split])
+            .output()
+            .expect("run fleet");
+        assert!(
+            fleet.status.success(),
+            "fleet --loopback {nodes} --split {split} failed: {}",
+            String::from_utf8_lossy(&fleet.stderr)
+        );
+        assert_eq!(
+            collect(&fleet.stdout),
+            baseline,
+            "fleet --loopback {nodes} --split {split} diverged from replay"
+        );
+        let stderr = String::from_utf8_lossy(&fleet.stderr);
+        assert!(stderr.contains("windows closed"), "no summary: {stderr}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn explicit_help_exits_zero() {
     // Requested help is a success: usage on stdout, exit 0 — in every
     // spelling, including after a subcommand.
