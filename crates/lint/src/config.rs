@@ -30,6 +30,28 @@ pub struct RuleConfig {
     /// `forbid-unsafe` only: crates allowed to contain `unsafe` blocks
     /// (each block still needs a `// SAFETY:` comment).
     pub unsafe_crates: Vec<String>,
+    /// `lock-discipline` only: declared lock acquisition order,
+    /// outermost first. Nesting that contradicts or is absent from the
+    /// order is a violation.
+    pub lock_order: Vec<String>,
+    /// `error-hygiene` only: typed error enums whose matches must not
+    /// contain a wildcard arm. Empty means the built-in workspace list.
+    pub error_enums: Vec<String>,
+    /// `determinism-taint` only: extra taint-source identifiers beyond
+    /// the built-ins.
+    pub taint_sources: Vec<String>,
+    /// `determinism-taint` only: extra sink method/macro names beyond
+    /// the built-ins.
+    pub taint_sinks: Vec<String>,
+    /// `error-hygiene` only: extra `Result`-returning function names
+    /// whose value must not be unwrapped.
+    pub result_fns: Vec<String>,
+    /// `wire-schema` only: workspace-relative path of the codec source
+    /// to fingerprint. Defaults to `crates/net/src/codec.rs`.
+    pub codec_path: Option<String>,
+    /// `wire-schema` only: workspace-relative path of the committed
+    /// golden fingerprint. Defaults to `results/wire_schema.txt`.
+    pub golden_path: Option<String>,
 }
 
 impl RuleConfig {
@@ -133,6 +155,16 @@ impl Value {
             Value::Str(s) => Ok(vec![s]),
             other => Err(format!(
                 "lint.toml:{lineno}: `{key}` wants an array of strings, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn into_str(self, key: &str, lineno: usize) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!(
+                "lint.toml:{lineno}: `{key}` wants a string, got {}",
                 other.type_name()
             )),
         }
@@ -268,6 +300,13 @@ fn apply_key(
                 "allow-paths" => rc.allow_paths = value.into_array(key, lineno)?,
                 "include-tests" => rc.include_tests = Some(value.into_bool(key, lineno)?),
                 "unsafe-crates" => rc.unsafe_crates = value.into_array(key, lineno)?,
+                "lock-order" => rc.lock_order = value.into_array(key, lineno)?,
+                "error-enums" => rc.error_enums = value.into_array(key, lineno)?,
+                "taint-sources" => rc.taint_sources = value.into_array(key, lineno)?,
+                "taint-sinks" => rc.taint_sinks = value.into_array(key, lineno)?,
+                "result-fns" => rc.result_fns = value.into_array(key, lineno)?,
+                "codec" => rc.codec_path = Some(value.into_str(key, lineno)?),
+                "golden" => rc.golden_path = Some(value.into_str(key, lineno)?),
                 _ => {
                     return Err(format!(
                         "lint.toml:{lineno}: unknown rule key `{key}` for `{rule}`"

@@ -24,11 +24,13 @@ use std::path::{Path, PathBuf};
 
 use crate::config::Config;
 use crate::lexer::{self, Token};
+use crate::parse;
 use crate::rules::{self, FileCtx, RawDiag};
 use crate::{Diagnostic, LintError, Severity};
 
-/// Lints every `.rs` file under the configured roots of `root`.
-/// Diagnostics come back sorted by (path, line, col, rule).
+/// Lints every `.rs` file under the configured roots of `root`, then
+/// runs the workspace-level `wire-schema` check. Diagnostics come back
+/// sorted by (path, line, col, rule).
 pub fn run(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, LintError> {
     let mut files = Vec::new();
     for dir in &config.roots {
@@ -41,6 +43,66 @@ pub fn run(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, LintError> {
             fs::read_to_string(path).map_err(|e| LintError::Io(path.clone(), e.to_string()))?;
         let rel = relative_path(root, path);
         out.extend(lint_source(&rel, &source, config));
+    }
+    let schema_rc = config.rule("wire-schema");
+    if schema_rc.enabled {
+        out.extend(crate::schema::check(root, &schema_rc));
+    }
+    sort_diagnostics(&mut out);
+    Ok(out)
+}
+
+/// Lints only the given workspace-relative files — the `--changed`
+/// fast path. Non-`.rs` and excluded paths are skipped silently (a
+/// diff touches READMEs too); a listed `.rs` file that cannot be read
+/// is an error (it was reported changed, so it must exist — deleted
+/// files should not be passed here). The `wire-schema` check runs only
+/// when the changed set touches the codec or the golden file.
+pub fn run_files(
+    root: &Path,
+    config: &Config,
+    rels: &[String],
+) -> Result<Vec<Diagnostic>, LintError> {
+    let mut out = Vec::new();
+    let schema_rc = config.rule("wire-schema");
+    let codec_rel = schema_rc
+        .codec_path
+        .clone()
+        .unwrap_or_else(|| crate::schema::DEFAULT_CODEC.to_string());
+    let golden_rel = schema_rc
+        .golden_path
+        .clone()
+        .unwrap_or_else(|| crate::schema::DEFAULT_GOLDEN.to_string());
+    let mut schema_touched = false;
+    for rel in rels {
+        let rel = rel.replace('\\', "/");
+        if rel == codec_rel || rel == golden_rel {
+            schema_touched = true;
+        }
+        if !rel.ends_with(".rs")
+            || config
+                .exclude_paths
+                .iter()
+                .any(|p| rel.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        // Mirror the walker's directory skips: vendored and generated
+        // trees are outside the lint contract even when git reports
+        // them changed.
+        if rel
+            .split('/')
+            .any(|seg| matches!(seg, "target" | "vendor" | ".git"))
+        {
+            continue;
+        }
+        let path = root.join(&rel);
+        let source =
+            fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e.to_string()))?;
+        out.extend(lint_source(&rel, &source, config));
+    }
+    if schema_rc.enabled && schema_touched {
+        out.extend(crate::schema::check(root, &schema_rc));
     }
     sort_diagnostics(&mut out);
     Ok(out)
@@ -61,6 +123,7 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Diagnostic> 
         krate: &krate,
         is_lib: is_lib_path(rel),
         is_crate_root: is_crate_root(rel),
+        is_test_file: is_test_file_path(rel),
         tokens: &tokens,
         code: &code,
         in_test: &in_test,
@@ -68,6 +131,7 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Diagnostic> 
 
     let (mut suppressions, mut diags) = parse_suppressions(rel, &tokens, &code);
 
+    let structure = parse::parse(&tokens, &code);
     let mut raw: Vec<RawDiag> = Vec::new();
     for rule in rules::RULE_NAMES {
         let rc = config.rule(rule);
@@ -88,7 +152,7 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Diagnostic> 
         let include_tests = rc
             .include_tests
             .unwrap_or_else(|| rules::default_include_tests(rule));
-        rules::check_rule(rule, &ctx, include_tests, &rc.unsafe_crates, &mut raw);
+        rules::check_rule(rule, &ctx, &structure, &rc, include_tests, &mut raw);
     }
 
     for rd in raw {
@@ -201,6 +265,15 @@ fn is_lib_path(rel: &str) -> bool {
 
 fn is_crate_root(rel: &str) -> bool {
     rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+}
+
+/// Integration-test and bench files are test code in cargo's own
+/// model: they only build under `cargo test`/`cargo bench`.
+fn is_test_file_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.starts_with("benches/")
+        || rel.contains("/benches/")
 }
 
 /// Marks every token inside a `#[cfg(test)]` item or `#[test]` /
@@ -386,12 +459,17 @@ fn parse_suppressions(
         if !ok || names.is_empty() {
             continue;
         }
-        // Same line when code precedes the comment, else the next line.
-        let code_before = code
+        // The suppression covers its own line when it shares it with
+        // code — before it (trailing comment) or after it (a block
+        // comment suppression with trailing code). A comment alone on
+        // its line covers the next line. Stale reports always use the
+        // comment's own position, so a suppression whose target line
+        // was deleted still points at itself.
+        let code_same_line = code
             .iter()
             .filter_map(|&ci| tokens.get(ci))
-            .any(|c| c.line == t.line && c.col < t.col);
-        let target_line = if code_before { t.line } else { t.line + 1 };
+            .any(|c| c.line == t.line);
+        let target_line = if code_same_line { t.line } else { t.line + 1 };
         sups.push(Suppression {
             rules: names,
             target_line,

@@ -424,4 +424,72 @@ mod tests {
             let _ = lex(src);
         }
     }
+
+    /// Regression: raw strings with hash fences must swallow their
+    /// whole body — a quote-hash sequence shorter than the fence does
+    /// not close the string, and rule-triggering text inside must not
+    /// surface as code tokens.
+    #[test]
+    fn raw_string_hash_fences() {
+        // `"#` inside a `##`-fenced string is body, not a terminator.
+        let toks = kinds(r###"f(r##"inner "# quote unwrap()"##)"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1, "{toks:?}");
+        assert_eq!(strs[0].1, r###"r##"inner "# quote unwrap()"##"###);
+        assert!(!toks.iter().any(|t| t.1 == "unwrap"), "{toks:?}");
+        // Zero-hash raw string closes at the first quote.
+        let toks = kinds(r#"r"plain" x"#);
+        assert_eq!(toks[0], (TokenKind::Str, "r\"plain\"".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        // Byte raw string with fence.
+        let toks = kinds(r##"br#"panic!"# y"##);
+        assert_eq!(toks[0], (TokenKind::Str, "br#\"panic!\"#".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "y".into()));
+    }
+
+    /// Regression: block comments nest to arbitrary depth and comment
+    /// openers inside line comments or strings do not start a block.
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b");
+        assert_eq!(toks.len(), 3, "{toks:?}");
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+        // `/*` inside a string is not a comment opener.
+        let toks = kinds("\"/*\" c */ d");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks.iter().any(|t| t.1 == "c"), "{toks:?}");
+        // Unterminated nesting consumes to EOF without panicking.
+        let toks = kinds("e /* outer /* inner */ still open");
+        assert_eq!(toks[0], (TokenKind::Ident, "e".into()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks.len(), 2, "{toks:?}");
+    }
+
+    /// Regression: lifetimes are never mis-lexed as char literals, in
+    /// bounds, labels, and next to real char literals.
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("struct R<'a, 'static_like>(&'a str);");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())), "{toks:?}");
+        assert!(
+            toks.contains(&(TokenKind::Lifetime, "'static_like".into())),
+            "{toks:?}"
+        );
+        // Loop labels are lifetimes lexically.
+        let toks = kinds("'outer: loop { break 'outer; }");
+        assert_eq!(toks[0], (TokenKind::Lifetime, "'outer".into()));
+        // `'_'` is a char, `'_` is the anonymous lifetime.
+        let toks = kinds("m('_', x: &'_ u8)");
+        assert!(toks.contains(&(TokenKind::Char, "'_'".into())), "{toks:?}");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'_".into())), "{toks:?}");
+        // Escaped and byte chars stay chars.
+        let toks = kinds(r"('\n', b'x', '\u{41}')");
+        assert!(toks.contains(&(TokenKind::Char, r"'\n'".into())), "{toks:?}");
+        assert!(toks.contains(&(TokenKind::Char, "b'x'".into())), "{toks:?}");
+        assert!(
+            toks.contains(&(TokenKind::Char, r"'\u{41}'".into())),
+            "{toks:?}"
+        );
+    }
 }

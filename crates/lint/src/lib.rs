@@ -8,12 +8,16 @@
 //! End-to-end tests catch such bugs late and only on the seeds they
 //! run; this crate catches them at the source level, before merge.
 //!
-//! The linter is three layers, each usable on its own:
+//! The linter is four layers, each usable on its own:
 //!
 //! * [`lexer`] — a minimal panic-free Rust lexer,
-//! * [`rules`] — the six invariant rules over a lexed file,
+//! * [`parse`] — a panic-free structural parser (items, bodies,
+//!   match arms, field layouts) over the token stream,
+//! * [`rules`] + [`structural`] — the invariant rules over a lexed
+//!   (and, for the structural families, parsed) file,
 //! * [`engine`] — workspace walking, `lint:allow` suppressions with
-//!   mandatory reasons, and stale-suppression detection.
+//!   mandatory reasons, stale-suppression detection, and the
+//!   workspace-level [`schema`] wire-fingerprint check.
 //!
 //! Run it with `cargo run -p marauder-lint` from anywhere in the
 //! workspace; configuration lives in `lint.toml` at the workspace
@@ -23,8 +27,15 @@
 
 pub mod config;
 pub mod engine;
+pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
+pub mod schema;
+pub mod structural;
+
+pub use sarif::render_sarif;
 
 use std::fmt;
 use std::path::PathBuf;
@@ -138,7 +149,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! cargo run -p marauder-lint [-- OPTIONS]
-//!   --format human|json   output format (default human)
-//!   --config PATH         lint.toml path (default <root>/lint.toml)
-//!   --root PATH           workspace root (default: found from cwd)
-//!   --list-rules          print rule names and exit
+//!   --format human|json|sarif  output format (default human)
+//!   --config PATH              lint.toml path (default <root>/lint.toml)
+//!   --root PATH                workspace root (default: found from cwd)
+//!   --changed                  lint only files changed per git (fast pre-step)
+//!   --write-schema             regenerate the golden wire-schema fingerprint
+//!   --list-rules               print rule names and exit
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations (or stale/bad suppressions),
@@ -14,7 +16,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use marauder_lint::{config::Config, engine, render_human, render_json, rules, LintError};
+use marauder_lint::{
+    config::Config, engine, render_human, render_json, render_sarif, rules, schema, LintError,
+};
 
 fn main() -> ExitCode {
     match real_main() {
@@ -30,20 +34,24 @@ fn real_main() -> Result<ExitCode, String> {
     let mut format = String::from("human");
     let mut config_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
+    let mut changed = false;
+    let mut write_schema = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
                 format = args.next().ok_or("--format needs a value")?;
-                if format != "human" && format != "json" {
-                    return Err(format!("unknown format `{format}` (human|json)"));
+                if format != "human" && format != "json" && format != "sarif" {
+                    return Err(format!("unknown format `{format}` (human|json|sarif)"));
                 }
             }
             "--config" => {
                 config_path = Some(PathBuf::from(args.next().ok_or("--config needs a value")?))
             }
             "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--changed" => changed = true,
+            "--write-schema" => write_schema = true,
             "--list-rules" => {
                 for rule in rules::RULE_NAMES {
                     println!("{rule}");
@@ -53,7 +61,8 @@ fn real_main() -> Result<ExitCode, String> {
             "--help" | "-h" => {
                 println!(
                     "marauder-lint: determinism & safety linter\n\
-                     usage: marauder-lint [--format human|json] [--config PATH] [--root PATH] [--list-rules]"
+                     usage: marauder-lint [--format human|json|sarif] [--config PATH] \
+                     [--root PATH] [--changed] [--write-schema] [--list-rules]"
                 );
                 return Ok(ExitCode::SUCCESS);
             }
@@ -76,9 +85,24 @@ fn real_main() -> Result<ExitCode, String> {
         None => load_config(&root.join("lint.toml"))?,
     };
 
-    let diags = engine::run(&root, &config).map_err(|e| e.to_string())?;
+    if write_schema {
+        return regenerate_schema(&root, &config);
+    }
+
+    let diags = if changed {
+        let files = git_changed_files(&root)?;
+        if files.is_empty() {
+            // Nothing changed: trivially clean, skip the walk entirely.
+            Vec::new()
+        } else {
+            engine::run_files(&root, &config, &files).map_err(|e| e.to_string())?
+        }
+    } else {
+        engine::run(&root, &config).map_err(|e| e.to_string())?
+    };
     match format.as_str() {
         "json" => print!("{}", render_json(&diags)),
+        "sarif" => print!("{}", render_sarif(&diags)),
         _ => print!("{}", render_human(&diags)),
     }
     if diags.is_empty() {
@@ -86,6 +110,86 @@ fn real_main() -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// Regenerates the golden wire-schema fingerprint from the configured
+/// codec source and writes it to the configured golden path.
+fn regenerate_schema(root: &Path, config: &Config) -> Result<ExitCode, String> {
+    let rc = config.rule("wire-schema");
+    let codec_rel = rc.codec_path.as_deref().unwrap_or(schema::DEFAULT_CODEC);
+    let golden_rel = rc.golden_path.as_deref().unwrap_or(schema::DEFAULT_GOLDEN);
+    let codec = root.join(codec_rel);
+    let source = std::fs::read_to_string(&codec)
+        .map_err(|e| format!("cannot read codec `{}`: {e}", codec.display()))?;
+    let fp = schema::fingerprint(&source);
+    let golden = root.join(golden_rel);
+    if let Some(dir) = golden.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&golden, &fp).map_err(|e| format!("cannot write golden: {e}"))?;
+    eprintln!("marauder-lint: wrote {} ({} lines)", golden.display(), fp.lines().count());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Workspace-relative paths of files changed per git: staged, unstaged
+/// and untracked, plus the committed diff against the default branch's
+/// merge base when on a topic branch. The workspace root must be the
+/// git toplevel, otherwise the relative paths would not line up.
+fn git_changed_files(root: &Path) -> Result<Vec<String>, String> {
+    let git = |cmd_args: &[&str]| -> Result<String, String> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(cmd_args)
+            .output()
+            .map_err(|e| format!("cannot run git: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                cmd_args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+
+    let toplevel = git(&["rev-parse", "--show-toplevel"])?;
+    let toplevel = Path::new(toplevel.trim());
+    let root_canon = root.canonicalize().map_err(|e| e.to_string())?;
+    let top_canon = toplevel.canonicalize().map_err(|e| e.to_string())?;
+    if root_canon != top_canon {
+        return Err(format!(
+            "--changed requires the workspace root ({}) to be the git toplevel ({})",
+            root_canon.display(),
+            top_canon.display()
+        ));
+    }
+
+    let mut files: Vec<String> = Vec::new();
+    // Working-tree changes: `XY path` porcelain lines; renames show
+    // `old -> new`, keep the new side. Deleted files are skipped —
+    // there is nothing left to lint.
+    for line in git(&["status", "--porcelain"])?.lines() {
+        if line.len() < 4 {
+            continue;
+        }
+        let (status, path) = line.split_at(3);
+        if status.contains('D') {
+            continue;
+        }
+        let path = path.rsplit(" -> ").next().unwrap_or(path).trim();
+        files.push(path.trim_matches('"').to_string());
+    }
+    // Committed-but-unmerged work relative to the upstream when one is
+    // set; a detached or local-only branch just lints working-tree
+    // changes.
+    if let Ok(diff) = git(&["diff", "--name-only", "--diff-filter=d", "@{upstream}...HEAD"]) {
+        files.extend(diff.lines().map(|l| l.trim().to_string()));
+    }
+    files.retain(|f| !f.is_empty());
+    files.sort();
+    files.dedup();
+    Ok(files)
 }
 
 /// Reads and parses `lint.toml`; a missing file falls back to the

@@ -1,0 +1,760 @@
+//! Structural layer: a lightweight, panic-free item/block parser over
+//! the lexed token stream.
+//!
+//! The lexical rules of [`crate::rules`] see one token at a time; the
+//! structural rule families (determinism-taint, lock-discipline,
+//! error-hygiene, wire-schema) need to know where a function body
+//! starts and ends, which arms a `match` has, and how an enum lays out
+//! its fields. This module recovers exactly that much shape — no
+//! types, no name resolution, no `syn` — by brace-matching over the
+//! comment-free code tokens.
+//!
+//! All positions in this module are **code-token indices**: indices
+//! into the `code` slice that [`crate::engine::lint_source`] builds
+//! (comments removed), the same coordinate system `FileCtx` uses. The
+//! parser never fails: malformed source yields fewer items, not an
+//! error, which is the right contract for a linter that must not crash
+//! on the code it polices.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Code position of the `fn` keyword.
+    pub kw: usize,
+    /// Code positions of the body braces `(open, close)`; `None` for a
+    /// bodiless trait-method declaration.
+    pub body: Option<(usize, usize)>,
+    /// Whether the declared return type mentions `Result`.
+    pub returns_result: bool,
+}
+
+/// One parsed `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// Code position of the `match` keyword.
+    pub kw: usize,
+    /// Code positions of the scrutinee tokens `(start, end)` (exclusive
+    /// end — the position of the block's `{`).
+    pub scrutinee: (usize, usize),
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// One `pattern => body` arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Pattern token range `(start, end)`, exclusive end (the `=>`).
+    /// Includes any `if` guard tokens.
+    pub pat: (usize, usize),
+    /// Body token range `(start, end)`, exclusive end.
+    pub body: (usize, usize),
+    /// True when the pattern is a bare `_` (optionally guarded).
+    pub wildcard: bool,
+}
+
+/// One field of a struct or enum variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name, or the index (`"0"`, `"1"`, ...) for tuple fields.
+    pub name: String,
+    /// Type tokens joined with single spaces (`Vec < u8 >`).
+    pub ty: String,
+}
+
+/// One enum variant with its field layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    pub name: String,
+    pub line: u32,
+    pub fields: Vec<Field>,
+}
+
+/// One parsed `enum` item.
+#[derive(Debug, Clone)]
+pub struct EnumDecl {
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<Variant>,
+}
+
+/// One parsed `struct` item (unit structs have no fields).
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    pub name: String,
+    pub line: u32,
+    pub fields: Vec<Field>,
+}
+
+/// One parsed `const NAME: TYPE = VALUE;` item.
+#[derive(Debug, Clone)]
+pub struct ConstDecl {
+    pub name: String,
+    pub line: u32,
+    /// Type tokens joined with single spaces.
+    pub ty: String,
+    /// Value tokens joined with single spaces.
+    pub value: String,
+}
+
+/// Everything the structural rules need from one file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    pub fns: Vec<FnDecl>,
+    pub matches: Vec<MatchExpr>,
+    pub enums: Vec<EnumDecl>,
+    pub structs: Vec<StructDecl>,
+    pub consts: Vec<ConstDecl>,
+}
+
+/// Read-only token cursor shared by the parse passes.
+pub(crate) struct Cursor<'a> {
+    pub tokens: &'a [Token<'a>],
+    pub code: &'a [usize],
+}
+
+impl<'a> Cursor<'a> {
+    pub fn tok(&self, p: usize) -> Option<&Token<'a>> {
+        self.code.get(p).and_then(|&i| self.tokens.get(i))
+    }
+
+    pub fn text(&self, p: usize) -> &'a str {
+        self.tok(p).map_or("", |t| t.text)
+    }
+
+    pub fn kind(&self, p: usize) -> Option<TokenKind> {
+        self.tok(p).map(|t| t.kind)
+    }
+
+    pub fn line(&self, p: usize) -> u32 {
+        self.tok(p).map_or(0, |t| t.line)
+    }
+
+    /// Position of the `}` matching the `{` at `open`, if any.
+    pub fn matching_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for p in open..self.code.len() {
+            match self.text(p) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(p);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Skips an attribute starting at `#` (`p`), returning the position
+    /// just past its closing `]`.
+    fn skip_attr(&self, p: usize) -> usize {
+        let mut q = p + 1;
+        if self.text(q) == "!" {
+            q += 1;
+        }
+        if self.text(q) != "[" {
+            return p + 1;
+        }
+        let mut depth = 0i64;
+        while q < self.code.len() {
+            match self.text(q) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return q + 1;
+                    }
+                }
+                _ => {}
+            }
+            q += 1;
+        }
+        self.code.len()
+    }
+}
+
+/// Parses the structural items of one file.
+pub fn parse<'a>(tokens: &'a [Token<'a>], code: &'a [usize]) -> Structure {
+    let c = Cursor { tokens, code };
+    let mut s = Structure::default();
+    for p in 0..code.len() {
+        if c.kind(p) != Some(TokenKind::Ident) {
+            continue;
+        }
+        match c.text(p) {
+            "fn" => {
+                if let Some(f) = parse_fn(&c, p) {
+                    s.fns.push(f);
+                }
+            }
+            "match" => {
+                if let Some(m) = parse_match(&c, p) {
+                    s.matches.push(m);
+                }
+            }
+            "enum" => {
+                if let Some(e) = parse_enum(&c, p) {
+                    s.enums.push(e);
+                }
+            }
+            "struct" => {
+                if let Some(st) = parse_struct(&c, p) {
+                    s.structs.push(st);
+                }
+            }
+            "const" => {
+                if let Some(k) = parse_const(&c, p) {
+                    s.consts.push(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+fn parse_fn(c: &Cursor<'_>, kw: usize) -> Option<FnDecl> {
+    if c.kind(kw + 1) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let name = c.text(kw + 1).to_string();
+    // Find the body `{` (or the `;` of a bodiless declaration) at
+    // bracket depth zero past the signature.
+    let mut depth = 0i64;
+    let mut arrow: Option<usize> = None;
+    let mut q = kw + 2;
+    let (open, ret_end) = loop {
+        if q >= c.code.len() {
+            return None;
+        }
+        match c.text(q) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "->" if depth == 0 => arrow = Some(q),
+            "where" if depth == 0 && arrow.is_some() => {
+                // Remember where the return type ended; keep scanning
+                // for the body.
+            }
+            "{" if depth == 0 => break (Some(q), q),
+            ";" if depth == 0 => break (None, q),
+            _ => {}
+        }
+        q += 1;
+    };
+    let returns_result = match arrow {
+        Some(a) => (a + 1..ret_end).any(|r| c.text(r) == "Result"),
+        None => false,
+    };
+    let body = open.and_then(|o| c.matching_brace(o).map(|close| (o, close)));
+    Some(FnDecl {
+        name,
+        kw,
+        body,
+        returns_result,
+    })
+}
+
+fn parse_match(c: &Cursor<'_>, kw: usize) -> Option<MatchExpr> {
+    // `match` used as a path segment or field is not an expression.
+    if matches!(c.text(kw.wrapping_sub(1)), "." | "::") && kw > 0 {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut q = kw + 1;
+    let open = loop {
+        if q >= c.code.len() || q > kw + 256 {
+            return None;
+        }
+        match c.text(q) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    return None; // `match` inside a call with no block
+                }
+                depth -= 1;
+            }
+            "{" if depth == 0 => break q,
+            ";" | "}" if depth == 0 => return None,
+            _ => {}
+        }
+        q += 1;
+    };
+    let close = c.matching_brace(open)?;
+    let mut arms = Vec::new();
+    let mut r = open + 1;
+    while r < close {
+        // Skip arm attributes (`#[cfg(...)] Pat => ...`).
+        while c.text(r) == "#" {
+            r = c.skip_attr(r);
+        }
+        if r >= close {
+            break;
+        }
+        // Pattern runs to the `=>` at depth zero.
+        let pat_start = r;
+        let mut depth = 0i64;
+        let arrow = loop {
+            if r >= close {
+                break None;
+            }
+            match c.text(r) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=>" if depth == 0 => break Some(r),
+                _ => {}
+            }
+            r += 1;
+        };
+        let Some(arrow) = arrow else { break };
+        let body_start = arrow + 1;
+        let body_end;
+        if c.text(body_start) == "{" {
+            match c.matching_brace(body_start) {
+                Some(e) if e <= close => {
+                    body_end = e + 1;
+                    r = if c.text(e + 1) == "," { e + 2 } else { e + 1 };
+                }
+                _ => break,
+            }
+        } else {
+            let mut depth = 0i64;
+            let mut e = body_start;
+            while e < close {
+                match c.text(e) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                e += 1;
+            }
+            body_end = e;
+            r = if c.text(e) == "," { e + 1 } else { e };
+        }
+        let wildcard = c.text(pat_start) == "_"
+            && (pat_start + 1 == arrow || c.text(pat_start + 1) == "if");
+        arms.push(Arm {
+            pat: (pat_start, arrow),
+            body: (body_start, body_end),
+            wildcard,
+        });
+    }
+    Some(MatchExpr {
+        kw,
+        scrutinee: (kw + 1, open),
+        arms,
+    })
+}
+
+/// Parses a brace-delimited field list starting at `{` (named fields)
+/// or a paren-delimited one starting at `(` (tuple fields).
+fn parse_fields(c: &Cursor<'_>, open: usize) -> (Vec<Field>, usize) {
+    let named = c.text(open) == "{";
+    let close_t = if named { "}" } else { ")" };
+    let mut fields = Vec::new();
+    let mut item: Vec<&str> = Vec::new();
+    let mut depth = 1i64;
+    // Angle depth keeps commas inside `BTreeMap<K, V>` from splitting
+    // a field. `>>` lexes as two `>` tokens, so clamp at zero.
+    let mut angle = 0i64;
+    let mut p = open + 1;
+    while p < c.code.len() {
+        let t = c.text(p);
+        match t {
+            "(" | "[" | "{" => {
+                depth += 1;
+                item.push(t);
+            }
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 && t == close_t {
+                    if !item.is_empty() {
+                        push_field(&mut fields, &item, named);
+                    }
+                    return (fields, p);
+                }
+                item.push(t);
+            }
+            "<" => {
+                angle += 1;
+                item.push(t);
+            }
+            ">" => {
+                angle = (angle - 1).max(0);
+                item.push(t);
+            }
+            "," if depth == 1 && angle == 0 => {
+                if !item.is_empty() {
+                    push_field(&mut fields, &item, named);
+                }
+                item.clear();
+            }
+            _ => item.push(t),
+        }
+        p += 1;
+    }
+    (fields, p)
+}
+
+fn push_field(fields: &mut Vec<Field>, item: &[&str], named: bool) {
+    // Drop leading visibility and attributes.
+    let mut toks: &[&str] = item;
+    while let Some((&first, rest)) = toks.split_first() {
+        match first {
+            "pub" => {
+                toks = rest;
+                if toks.first() == Some(&"(") {
+                    // `pub(crate)` — skip to the matching `)`.
+                    let mut depth = 0i64;
+                    let mut i = 0;
+                    while i < toks.len() {
+                        match toks[i] {
+                            "(" => depth += 1,
+                            ")" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    toks = toks.get(i + 1..).unwrap_or(&[]);
+                }
+            }
+            "#" => {
+                // Attribute tokens `# [ ... ]`.
+                let mut depth = 0i64;
+                let mut i = 1;
+                while i < toks.len() {
+                    match toks[i] {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                toks = toks.get(i + 1..).unwrap_or(&[]);
+            }
+            _ => break,
+        }
+    }
+    if toks.is_empty() {
+        return;
+    }
+    if named {
+        let Some(colon) = toks.iter().position(|&t| t == ":") else {
+            return;
+        };
+        let name = toks.get(..colon).unwrap_or(&[]).join(" ");
+        let ty = toks.get(colon + 1..).unwrap_or(&[]).join(" ");
+        fields.push(Field { name, ty });
+    } else {
+        let name = fields.len().to_string();
+        fields.push(Field {
+            name,
+            ty: toks.join(" "),
+        });
+    }
+}
+
+fn parse_enum(c: &Cursor<'_>, kw: usize) -> Option<EnumDecl> {
+    if c.kind(kw + 1) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let name = c.text(kw + 1).to_string();
+    let line = c.line(kw + 1);
+    // Skip generics to the body `{`.
+    let mut q = kw + 2;
+    while q < c.code.len() && c.text(q) != "{" {
+        if c.text(q) == ";" {
+            return None;
+        }
+        q += 1;
+    }
+    let open = q;
+    let close = c.matching_brace(open)?;
+    let mut variants = Vec::new();
+    let mut p = open + 1;
+    while p < close {
+        while c.text(p) == "#" {
+            p = c.skip_attr(p);
+        }
+        if p >= close || c.kind(p) != Some(TokenKind::Ident) {
+            break;
+        }
+        let vname = c.text(p).to_string();
+        let vline = c.line(p);
+        let mut fields = Vec::new();
+        let next = c.text(p + 1);
+        let mut after = p + 1;
+        if next == "{" || next == "(" {
+            let (f, end) = parse_fields(c, p + 1);
+            fields = f;
+            after = end + 1;
+        }
+        variants.push(Variant {
+            name: vname,
+            line: vline,
+            fields,
+        });
+        // Skip a discriminant (`= expr`) and the separating comma.
+        let mut depth = 0i64;
+        while after < close {
+            match c.text(after) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    after += 1;
+                    break;
+                }
+                _ => {}
+            }
+            after += 1;
+        }
+        p = after;
+    }
+    Some(EnumDecl {
+        name,
+        line,
+        variants,
+    })
+}
+
+fn parse_struct(c: &Cursor<'_>, kw: usize) -> Option<StructDecl> {
+    if c.kind(kw + 1) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let name = c.text(kw + 1).to_string();
+    let line = c.line(kw + 1);
+    let mut q = kw + 2;
+    // Generics, then `{` (named), `(` (tuple), or `;` (unit).
+    let mut angle = 0i64;
+    while q < c.code.len() {
+        match c.text(q) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" | "(" if angle <= 0 => break,
+            ";" if angle <= 0 => {
+                return Some(StructDecl {
+                    name,
+                    line,
+                    fields: Vec::new(),
+                })
+            }
+            _ => {}
+        }
+        q += 1;
+    }
+    if q >= c.code.len() {
+        return None;
+    }
+    let (fields, _) = parse_fields(c, q);
+    Some(StructDecl { name, line, fields })
+}
+
+fn parse_const(c: &Cursor<'_>, kw: usize) -> Option<ConstDecl> {
+    // `const fn`, `const N: usize` generics, and `const _` are not the
+    // named items the schema pass wants.
+    if c.kind(kw + 1) != Some(TokenKind::Ident) || c.text(kw + 1) == "fn" {
+        return None;
+    }
+    if c.text(kw + 2) != ":" {
+        return None;
+    }
+    let name = c.text(kw + 1).to_string();
+    let line = c.line(kw + 1);
+    let mut ty = Vec::new();
+    let mut q = kw + 3;
+    let mut depth = 0i64;
+    while q < c.code.len() {
+        match c.text(q) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "=" if depth == 0 => break,
+            ";" if depth == 0 => return None, // associated const decl
+            t => {
+                ty.push(t);
+                q += 1;
+                continue;
+            }
+        }
+        ty.push(c.text(q));
+        q += 1;
+    }
+    if q >= c.code.len() {
+        return None;
+    }
+    let mut value = Vec::new();
+    let mut r = q + 1;
+    let mut depth = 0i64;
+    while r < c.code.len() {
+        match c.text(r) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => break,
+            _ => {}
+        }
+        value.push(c.text(r));
+        r += 1;
+    }
+    Some(ConstDecl {
+        name,
+        line,
+        ty: ty.join(" "),
+        value: value.join(" "),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn structure(src: &str) -> (Structure, Vec<String>) {
+        let tokens = lexer::lex(src);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let s = parse(&tokens, &code);
+        let texts = code.iter().map(|&i| tokens[i].text.to_string()).collect();
+        (s, texts)
+    }
+
+    #[test]
+    fn fn_bodies_and_result_returns() {
+        let src = r#"
+fn plain(x: u8) -> u8 { x + 1 }
+pub fn failing(path: &str) -> Result<String, Error> {
+    let t = read(path)?;
+    Ok(t)
+}
+trait T { fn decl(&self) -> Result<(), E>; }
+"#;
+        let (s, texts) = structure(src);
+        assert_eq!(s.fns.len(), 3);
+        assert_eq!(s.fns[0].name, "plain");
+        assert!(!s.fns[0].returns_result);
+        assert!(s.fns[1].returns_result);
+        let (o, c) = s.fns[1].body.unwrap();
+        assert_eq!(texts[o], "{");
+        assert_eq!(texts[c], "}");
+        assert!(s.fns[2].body.is_none());
+        assert!(s.fns[2].returns_result);
+    }
+
+    #[test]
+    fn match_arms_with_blocks_and_guards() {
+        let src = r#"
+fn f(e: E) -> u32 {
+    match e {
+        E::A(x) if x > 1 => x,
+        E::B { y, .. } => { let z = y + 1; z }
+        _ => 0,
+    }
+}
+"#;
+        let (s, texts) = structure(src);
+        assert_eq!(s.matches.len(), 1);
+        let m = &s.matches[0];
+        assert_eq!(texts[m.scrutinee.0], "e");
+        assert_eq!(m.arms.len(), 3);
+        assert!(!m.arms[0].wildcard);
+        assert!(!m.arms[1].wildcard);
+        assert!(m.arms[2].wildcard);
+        // Guard tokens stay inside the pattern range.
+        let pat0: Vec<&str> = (m.arms[0].pat.0..m.arms[0].pat.1)
+            .map(|p| texts[p].as_str())
+            .collect();
+        assert_eq!(pat0, vec!["E", "::", "A", "(", "x", ")", "if", "x", ">", "1"]);
+    }
+
+    #[test]
+    fn nested_matches_are_both_found() {
+        let src = r#"
+fn f(a: u8, b: u8) -> u8 {
+    match a {
+        0 => match b { 1 => 2, _ => 3 },
+        _ => 9,
+    }
+}
+"#;
+        let (s, _) = structure(src);
+        assert_eq!(s.matches.len(), 2);
+        assert_eq!(s.matches[0].arms.len(), 2);
+        assert_eq!(s.matches[1].arms.len(), 2);
+    }
+
+    #[test]
+    fn enum_field_layouts() {
+        let src = r#"
+pub enum Message {
+    Hello { node_id: u32, clock_offset_s: f64 },
+    Batch(u32, Vec<u8>),
+    Done,
+}
+"#;
+        let (s, _) = structure(src);
+        assert_eq!(s.enums.len(), 1);
+        let e = &s.enums[0];
+        assert_eq!(e.name, "Message");
+        assert_eq!(e.variants.len(), 3);
+        assert_eq!(e.variants[0].fields.len(), 2);
+        assert_eq!(e.variants[0].fields[0].name, "node_id");
+        assert_eq!(e.variants[0].fields[0].ty, "u32");
+        assert_eq!(e.variants[1].fields[0].name, "0");
+        assert_eq!(e.variants[1].fields[1].ty, "Vec < u8 >");
+        assert!(e.variants[2].fields.is_empty());
+    }
+
+    #[test]
+    fn consts_and_structs() {
+        let src = r#"
+const TAG_HELLO: u8 = 1;
+pub const PROTOCOL_VERSION: u16 = 1;
+const DERIVED: u32 = 1 << 24;
+pub struct CapturedFrame { pub time_s: f64, pub card: usize }
+struct Marker;
+"#;
+        let (s, _) = structure(src);
+        assert_eq!(s.consts.len(), 3);
+        assert_eq!(s.consts[0].name, "TAG_HELLO");
+        assert_eq!(s.consts[0].ty, "u8");
+        assert_eq!(s.consts[0].value, "1");
+        assert_eq!(s.consts[2].value, "1 << 24");
+        assert_eq!(s.structs.len(), 2);
+        assert_eq!(s.structs[0].fields.len(), 2);
+        assert_eq!(s.structs[0].fields[1].name, "card");
+        assert!(s.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn never_panics_on_malformed_items() {
+        for src in [
+            "fn",
+            "fn f(",
+            "match x",
+            "match x { 1 => ",
+            "enum E {",
+            "enum E { A(",
+            "const X",
+            "const X: u8 =",
+            "struct S {",
+            "fn f() { match } }",
+        ] {
+            let _ = structure(src);
+        }
+    }
+}

@@ -1,12 +1,15 @@
-//! The six workspace invariant rules.
+//! The lexical workspace invariant rules, plus dispatch for the
+//! structural families in [`crate::structural`].
 //!
-//! Each rule is a pure function over a [`FileCtx`] — the lexed token
-//! stream of one file plus its workspace coordinates (relative path,
-//! crate name, lib/test classification). Rules are lexical by design:
-//! they over-approximate (a false positive is silenced with a reasoned
-//! `lint:allow`) and under-approximate (type-driven cases a lexer
-//! cannot see are documented limitations), which is the right contract
-//! for a zero-dependency gate that runs in milliseconds on every push.
+//! Each lexical rule is a pure function over a [`FileCtx`] — the lexed
+//! token stream of one file plus its workspace coordinates (relative
+//! path, crate name, lib/test classification). Rules are lexical by
+//! design: they over-approximate (a false positive is silenced with a
+//! reasoned `lint:allow`) and under-approximate (type-driven cases a
+//! lexer cannot see are documented limitations), which is the right
+//! contract for a zero-dependency gate that runs in milliseconds on
+//! every push. The structural families additionally see the parsed
+//! [`crate::parse::Structure`] of the file.
 //!
 //! | rule | invariant it protects |
 //! |------|----------------------|
@@ -16,17 +19,29 @@
 //! | `no-panic-in-lib` | library code returns `Result`, it does not abort the attack pipeline |
 //! | `no-float-eq` | float comparisons are epsilon/total_cmp based outside bit-exact codecs |
 //! | `forbid-unsafe` | `#![forbid(unsafe_code)]` everywhere; audited `// SAFETY:` islands in `par` |
+//! | `determinism-taint` | flow-aware: no nondeterministic value reaches an output sink |
+//! | `lock-discipline` | locks nest in declared order; no `.lock().unwrap()` |
+//! | `error-hygiene` | no wildcard arms on typed errors; no unwrap on `Result` |
+//! | `wire-schema` | codec layout matches the committed golden fingerprint (workspace-level) |
 
+use crate::config::RuleConfig;
 use crate::lexer::{Token, TokenKind};
+use crate::parse::Structure;
 
-/// Names of all rules, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+/// Names of all rules, in reporting order. `wire-schema` is
+/// workspace-level: it is validated and suppressible like the others
+/// but dispatched from [`crate::engine::run`], not per file.
+pub const RULE_NAMES: [&str; 10] = [
     "no-hash-iteration",
     "no-wall-clock",
     "no-unseeded-entropy",
     "no-panic-in-lib",
     "no-float-eq",
     "forbid-unsafe",
+    "determinism-taint",
+    "lock-discipline",
+    "error-hygiene",
+    "wire-schema",
 ];
 
 /// Whether a rule also applies inside `#[cfg(test)]` / `#[test]`
@@ -49,6 +64,12 @@ pub struct FileCtx<'a> {
     pub is_lib: bool,
     /// True for a crate root file (`lib.rs` under a `src/`).
     pub is_crate_root: bool,
+    /// True for whole-file test code: integration tests (`tests/**`,
+    /// `crates/*/tests/**`) and benches (`*/benches/**`). The
+    /// structural rule families treat such files like `#[cfg(test)]`
+    /// regions; the lexical rules keep their narrower attribute-based
+    /// mask for compatibility with existing scoping.
+    pub is_test_file: bool,
     /// All tokens, comments included.
     pub tokens: &'a [Token<'a>],
     /// Indices into `tokens` of non-comment tokens.
@@ -59,19 +80,19 @@ pub struct FileCtx<'a> {
 
 impl<'a> FileCtx<'a> {
     /// The `p`-th code token (comments skipped), if any.
-    fn tok(&self, p: usize) -> Option<&Token<'a>> {
+    pub(crate) fn tok(&self, p: usize) -> Option<&Token<'a>> {
         self.code.get(p).and_then(|&i| self.tokens.get(i))
     }
 
-    fn text(&self, p: usize) -> &'a str {
+    pub(crate) fn text(&self, p: usize) -> &'a str {
         self.tok(p).map_or("", |t| t.text)
     }
 
-    fn kind(&self, p: usize) -> Option<TokenKind> {
+    pub(crate) fn kind(&self, p: usize) -> Option<TokenKind> {
         self.tok(p).map(|t| t.kind)
     }
 
-    fn is_test(&self, p: usize) -> bool {
+    pub(crate) fn is_test(&self, p: usize) -> bool {
         self.code
             .get(p)
             .and_then(|&i| self.in_test.get(i))
@@ -90,7 +111,12 @@ pub struct RawDiag {
     pub message: String,
 }
 
-fn diag(out: &mut Vec<RawDiag>, rule: &'static str, tok: &Token<'_>, message: String) {
+pub(crate) fn diag_at(
+    out: &mut Vec<RawDiag>,
+    rule: &'static str,
+    tok: &Token<'_>,
+    message: String,
+) {
     out.push(RawDiag {
         rule,
         line: tok.line,
@@ -99,14 +125,21 @@ fn diag(out: &mut Vec<RawDiag>, rule: &'static str, tok: &Token<'_>, message: St
     });
 }
 
+fn diag(out: &mut Vec<RawDiag>, rule: &'static str, tok: &Token<'_>, message: String) {
+    diag_at(out, rule, tok, message);
+}
+
 /// Dispatches one rule by name. `include_tests` is the resolved
-/// (config or default) test-region policy; `unsafe_crates` only
-/// matters to `forbid-unsafe`.
+/// (config or default) test-region policy; `structure` is the parsed
+/// item/block shape the structural families consume; `rc` carries the
+/// per-rule extras (`lock-order`, `error-enums`, taint lists).
+/// `wire-schema` is workspace-level and not dispatched here.
 pub fn check_rule(
     rule: &str,
     ctx: &FileCtx<'_>,
+    structure: &Structure,
+    rc: &RuleConfig,
     include_tests: bool,
-    unsafe_crates: &[String],
     out: &mut Vec<RawDiag>,
 ) {
     match rule {
@@ -115,13 +148,20 @@ pub fn check_rule(
         "no-unseeded-entropy" => no_unseeded_entropy(ctx, include_tests, out),
         "no-panic-in-lib" => no_panic_in_lib(ctx, include_tests, out),
         "no-float-eq" => no_float_eq(ctx, include_tests, out),
-        "forbid-unsafe" => forbid_unsafe(ctx, unsafe_crates, out),
+        "forbid-unsafe" => forbid_unsafe(ctx, &rc.unsafe_crates, out),
+        "determinism-taint" => {
+            crate::structural::determinism_taint(ctx, structure, rc, include_tests, out)
+        }
+        "lock-discipline" => {
+            crate::structural::lock_discipline(ctx, structure, rc, include_tests, out)
+        }
+        "error-hygiene" => crate::structural::error_hygiene(ctx, structure, rc, include_tests, out),
         _ => {}
     }
 }
 
 /// Iterator-family methods whose visit order is the hasher's.
-const HASH_ITER_METHODS: [&str; 9] = [
+pub(crate) const HASH_ITER_METHODS: [&str; 9] = [
     "iter",
     "iter_mut",
     "keys",
@@ -136,20 +176,19 @@ const HASH_ITER_METHODS: [&str; 9] = [
 /// Path-segment tokens skipped when walking back from `HashMap` to the
 /// declared name (`macs: std::collections::HashSet<_>`).
 fn is_hash_path_filler(text: &str) -> bool {
-    matches!(text, "::" | "std" | "collections" | "hash_map" | "hash_set")
+    // `&` and `mut` let `name: &HashMap<..>` / `name: &mut HashMap<..>`
+    // parameters resolve to `name` too.
+    matches!(
+        text,
+        "::" | "std" | "collections" | "hash_map" | "hash_set" | "&" | "mut"
+    )
 }
 
-/// rule `no-hash-iteration` — in ordered-output crates, iterating a
-/// `HashMap`/`HashSet` is only allowed when the statement visibly
-/// restores an order (a `sort*` call or a collect into a `BTree*`).
-///
-/// Receiver resolution is name-based: the first pass records every
-/// identifier declared with a hash-container type in this file, the
-/// second flags iterator-family calls whose receiver's last path
-/// segment is such a name, plus `for ... in` loops whose iterated
-/// expression mentions one.
-fn no_hash_iteration(ctx: &FileCtx<'_>, include_tests: bool, out: &mut Vec<RawDiag>) {
-    // Pass 1: names declared as HashMap/HashSet.
+/// Every identifier declared with a hash-container type in this file —
+/// typed bindings/fields (`name: HashMap<..>`) and inferred bindings
+/// (`let name = HashMap::new()`). Shared by `no-hash-iteration` and
+/// `determinism-taint`.
+pub(crate) fn hash_container_names<'a>(ctx: &FileCtx<'a>) -> Vec<&'a str> {
     let mut names: Vec<&str> = Vec::new();
     for p in 0..ctx.code.len() {
         if !matches!(ctx.text(p), "HashMap" | "HashSet") {
@@ -172,6 +211,21 @@ fn no_hash_iteration(ctx: &FileCtx<'_>, include_tests: bool, out: &mut Vec<RawDi
             names.push(ctx.text(q - 2));
         }
     }
+    names
+}
+
+/// rule `no-hash-iteration` — in ordered-output crates, iterating a
+/// `HashMap`/`HashSet` is only allowed when the statement visibly
+/// restores an order (a `sort*` call or a collect into a `BTree*`).
+///
+/// Receiver resolution is name-based: the first pass records every
+/// identifier declared with a hash-container type in this file, the
+/// second flags iterator-family calls whose receiver's last path
+/// segment is such a name, plus `for ... in` loops whose iterated
+/// expression mentions one.
+fn no_hash_iteration(ctx: &FileCtx<'_>, include_tests: bool, out: &mut Vec<RawDiag>) {
+    // Pass 1: names declared as HashMap/HashSet.
+    let names = hash_container_names(ctx);
 
     // Pass 2: iterator-family calls on those names.
     for p in 0..ctx.code.len() {

@@ -1,0 +1,252 @@
+//! rule `wire-schema` — canonical fingerprint of the wire codec,
+//! checked against a committed golden file.
+//!
+//! The fleet protocol in `crates/net/src/codec.rs` is a hand-rolled
+//! binary format: message tags, field order and field width *are* the
+//! schema. A reordered field or a re-numbered tag changes the bytes on
+//! the wire without changing any test that round-trips through the
+//! same build. This rule parses the codec source into a canonical
+//! textual fingerprint — every top-level `const` (tags, limits,
+//! `PROTOCOL_VERSION`) plus every `enum` with its variant and field
+//! layout in declaration order — and compares it line-by-line with the
+//! golden file committed under `results/`. Any drift fails lint until
+//! the golden and `PROTOCOL_VERSION` are updated together (the version
+//! is embedded in the fingerprint, so bumping it without regenerating
+//! the golden also fails).
+//!
+//! Regenerate with `cargo run -p marauder-lint -- --write-schema`.
+
+use std::fs;
+use std::path::Path;
+
+use crate::config::RuleConfig;
+use crate::lexer;
+use crate::parse;
+use crate::{Diagnostic, Severity};
+
+/// Default codec source, relative to the workspace root.
+pub const DEFAULT_CODEC: &str = "crates/net/src/codec.rs";
+/// Default golden fingerprint, relative to the workspace root.
+pub const DEFAULT_GOLDEN: &str = "results/wire_schema.txt";
+
+const HEADER: &str = "# marauder wire-schema fingerprint";
+
+/// Renders the canonical fingerprint of a codec source file.
+///
+/// Layout-bearing items only: top-level consts (sorted by name — their
+/// declaration order is not wire-visible) and enums in declaration
+/// order with variants and fields in declaration order (which *is*
+/// wire-visible). Internal structs (reader cursors etc.) are excluded
+/// so codec-internal refactors do not churn the golden.
+pub fn fingerprint(source: &str) -> String {
+    let tokens = lexer::lex(source);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let s = parse::parse(&tokens, &code);
+
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str("# regenerate: cargo run -p marauder-lint -- --write-schema\n");
+
+    let mut consts: Vec<_> = s.consts.iter().collect();
+    consts.sort_by(|a, b| a.name.cmp(&b.name));
+    for c in consts {
+        out.push_str(&format!(
+            "const {}: {} = {}\n",
+            c.name,
+            tight(&c.ty),
+            tight(&c.value)
+        ));
+    }
+    for e in &s.enums {
+        out.push_str(&format!("enum {}\n", e.name));
+        for v in &e.variants {
+            if v.fields.is_empty() {
+                out.push_str(&format!("  {}\n", v.name));
+            } else {
+                let fields: Vec<String> = v
+                    .fields
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, tight(&f.ty)))
+                    .collect();
+                out.push_str(&format!("  {} {{ {} }}\n", v.name, fields.join(", ")));
+            }
+        }
+    }
+    out
+}
+
+/// Collapses the parser's space-joined token text into canonical type
+/// syntax: `Vec < u8 >` becomes `Vec<u8>`, `BTreeMap < u32 , u64 >`
+/// becomes `BTreeMap<u32, u64>`. Purely textual; the only requirement
+/// is that equal layouts render equally and different ones differently.
+fn tight(ty: &str) -> String {
+    let mut t = ty.to_string();
+    let rewrites = [
+        (" <", "<"),
+        ("< ", "<"),
+        (" >", ">"),
+        (" ::", "::"),
+        (":: ", "::"),
+        (" ,", ","),
+        ("( ", "("),
+        (" )", ")"),
+        ("[ ", "["),
+        (" ]", "]"),
+        ("& ", "&"),
+        (" ;", ";"),
+    ];
+    for (from, to) in rewrites {
+        while t.contains(from) {
+            t = t.replace(from, to);
+        }
+    }
+    t
+}
+
+/// Runs the workspace-level check. Returns diagnostics (empty when the
+/// codec matches the golden, or when the codec file itself is absent —
+/// a workspace without a wire protocol has no schema to drift).
+pub fn check(root: &Path, rc: &RuleConfig) -> Vec<Diagnostic> {
+    let codec_rel = rc.codec_path.as_deref().unwrap_or(DEFAULT_CODEC);
+    let golden_rel = rc.golden_path.as_deref().unwrap_or(DEFAULT_GOLDEN);
+    let codec_abs = root.join(codec_rel);
+    if !codec_abs.is_file() {
+        return Vec::new();
+    }
+    let source = match fs::read_to_string(&codec_abs) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![schema_diag(
+                codec_rel,
+                1,
+                format!("cannot read codec source: {e}"),
+            )]
+        }
+    };
+    let current = fingerprint(&source);
+    let golden = match fs::read_to_string(root.join(golden_rel)) {
+        Ok(s) => s,
+        Err(_) => {
+            return vec![schema_diag(
+                golden_rel,
+                1,
+                format!(
+                    "golden wire-schema fingerprint missing; generate it with \
+                     `cargo run -p marauder-lint -- --write-schema` and commit it"
+                ),
+            )]
+        }
+    };
+    diff(&current, &golden, codec_rel, golden_rel)
+}
+
+/// Line-by-line comparison; one diagnostic per drifted line so the
+/// report names the exact tag/variant that moved.
+fn diff(current: &str, golden: &str, codec_rel: &str, golden_rel: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cur: Vec<&str> = current.lines().collect();
+    let gold: Vec<&str> = golden.lines().collect();
+    let n = cur.len().max(gold.len());
+    for i in 0..n {
+        let c = cur.get(i).copied();
+        let g = gold.get(i).copied();
+        if c == g {
+            continue;
+        }
+        let what = match (c, g) {
+            (Some(c), Some(g)) => format!("codec says `{c}` but golden says `{g}`"),
+            (Some(c), None) => format!("codec adds `{c}` beyond the golden"),
+            (None, Some(g)) => format!("golden expects `{g}` which the codec no longer has"),
+            (None, None) => continue,
+        };
+        out.push(schema_diag(
+            codec_rel,
+            (i + 1) as u32,
+            format!(
+                "wire schema drifted from {golden_rel} (fingerprint line {}): {what}; \
+                 if the wire change is intended, bump PROTOCOL_VERSION and regenerate \
+                 the golden with `--write-schema`",
+                i + 1
+            ),
+        ));
+    }
+    out
+}
+
+fn schema_diag(file: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        path: file.to_string(),
+        line,
+        col: 1,
+        rule: "wire-schema".to_string(),
+        severity: Severity::Error,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CODEC: &str = r#"
+pub const PROTOCOL_VERSION: u16 = 1;
+const TAG_HELLO: u8 = 1;
+const TAG_PING: u8 = 2;
+
+pub enum Message {
+    Hello { node_id: u64, version: u16 },
+    Ping,
+}
+
+struct Reader<'a> { buf: &'a [u8], pos: usize }
+"#;
+
+    #[test]
+    fn fingerprint_is_canonical() {
+        let fp = fingerprint(CODEC);
+        let lines: Vec<&str> = fp.lines().collect();
+        assert!(lines[0].starts_with('#'), "{fp}");
+        // Consts sorted by name, enums in order, Reader excluded.
+        assert_eq!(lines[2], "const PROTOCOL_VERSION: u16 = 1");
+        assert_eq!(lines[3], "const TAG_HELLO: u8 = 1");
+        assert_eq!(lines[4], "const TAG_PING: u8 = 2");
+        assert_eq!(lines[5], "enum Message");
+        assert_eq!(lines[6], "  Hello { node_id: u64, version: u16 }");
+        assert_eq!(lines[7], "  Ping");
+        assert!(!fp.contains("Reader"));
+    }
+
+    #[test]
+    fn field_reorder_changes_fingerprint() {
+        let reordered = CODEC.replace(
+            "Hello { node_id: u64, version: u16 }",
+            "Hello { version: u16, node_id: u64 }",
+        );
+        assert_ne!(fingerprint(CODEC), fingerprint(&reordered));
+    }
+
+    #[test]
+    fn tag_renumber_changes_fingerprint() {
+        let renumbered = CODEC.replace("TAG_PING: u8 = 2", "TAG_PING: u8 = 7");
+        assert_ne!(fingerprint(CODEC), fingerprint(&renumbered));
+    }
+
+    #[test]
+    fn diff_names_the_drifted_line() {
+        let a = fingerprint(CODEC);
+        let b = fingerprint(&CODEC.replace("TAG_PING: u8 = 2", "TAG_PING: u8 = 7"));
+        let diags = diff(&a, &b, "crates/net/src/codec.rs", "results/wire_schema.txt");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("TAG_PING"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("PROTOCOL_VERSION"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn generic_types_render_tight() {
+        let fp = fingerprint("pub enum E { V { data: Vec<u8>, map: BTreeMap<u32, u64> } }");
+        assert!(fp.contains("V { data: Vec<u8>, map: BTreeMap<u32, u64> }"), "{fp}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture wire codec. Reordering a field, renumbering a tag or
+//! bumping the version here without regenerating the golden makes the
+//! `wire-schema` rule fail — the drift test edits a copy of this file.
+
+pub const PROTOCOL_VERSION: u16 = 1;
+const TAG_PING: u8 = 1;
+const TAG_PONG: u8 = 2;
+
+pub enum Msg {
+    Ping { seq: u64, node: u32 },
+    Pong { seq: u64 },
+}
+
+pub fn tag_of(m: &Msg) -> u8 {
+    match m {
+        Msg::Ping { .. } => TAG_PING,
+        Msg::Pong { .. } => TAG_PONG,
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture net crate: carries the mini codec the `wire-schema` rule
+//! fingerprints against `results/wire_schema.txt`.
+#![forbid(unsafe_code)]
+
+pub mod codec;

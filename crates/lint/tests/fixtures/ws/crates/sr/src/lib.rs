@@ -1,0 +1,98 @@
+//! Fixture crate for the structural rule families: one planted
+//! violation per rule plus clean counterparts that must NOT fire.
+//! `no-wall-clock` and `no-panic-in-lib` are scoped off this crate in
+//! the fixture lint.toml so each structural rule is observed alone.
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub struct Report {
+    pub body: String,
+}
+
+// VIOLATION (determinism-taint): the clock read flows through a
+// let-chain into the report sink on line 19.
+pub fn render_report(r: &mut Report) {
+    let t = Instant::now();
+    let stamp = t;
+    r.body.push_str(&format!("{:?}", stamp));
+}
+
+/// Clean: the clock read never reaches an output sink.
+pub fn measure() -> u32 {
+    let t = Instant::now();
+    let _ = t;
+    0
+}
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+// VIOLATION (lock-discipline) on line 38: `a` is acquired while `b`
+// is held — the fixture lock-order declares a before b.
+pub fn reversed(p: &Pair) -> u32 {
+    let gb = recover(p.b.lock());
+    let ga = recover(p.a.lock());
+    *ga + *gb
+}
+
+/// Clean: nesting in the declared order.
+pub fn ordered(p: &Pair) -> u32 {
+    let ga = recover(p.a.lock());
+    let gb = recover(p.b.lock());
+    *ga + *gb
+}
+
+// VIOLATION (lock-discipline) on line 51: panic on poison.
+pub fn peek(p: &Pair) -> u32 {
+    *p.a.lock().unwrap()
+}
+
+/// Clean: the suppression shares the line with the code it covers.
+pub fn poll(p: &Pair) -> u32 {
+    /* lint:allow(lock-discipline) -- fixture: single-threaded accessor */ *p.a.lock().unwrap()
+}
+
+fn recover<T>(r: Result<std::sync::MutexGuard<'_, T>, std::sync::PoisonError<std::sync::MutexGuard<'_, T>>>) -> std::sync::MutexGuard<'_, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+pub enum WireError {
+    Truncated,
+    BadPayload,
+}
+
+// VIOLATION (error-hygiene) on line 73: wildcard arm swallows future
+// `WireError` variants.
+pub fn classify(e: &WireError) -> &'static str {
+    match e {
+        WireError::Truncated => "truncated",
+        _ => "other",
+    }
+}
+
+/// Clean: exhaustive match.
+pub fn describe(e: &WireError) -> &'static str {
+    match e {
+        WireError::Truncated => "truncated",
+        WireError::BadPayload => "bad payload",
+    }
+}
+
+// VIOLATION (error-hygiene) on line 87: unwrap on a `Result`.
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+/// Clean: propagates instead.
+pub fn parse_port_checked(s: &str) -> Result<u16, std::num::ParseIntError> {
+    s.parse()
+}
+
+// VIOLATION (stale-suppression): the line this suppression covered was
+// deleted; the report must point at the comment's own line (the last
+// line of the file), not a line past end-of-file.
+// lint:allow(error-hygiene) -- fixture: the unwrap this covered is gone

@@ -3,5 +3,6 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let arg = std::env::args().nth(1).unwrap();
+    // lint:allow(determinism-taint) -- fixture: operator-facing timing print
     println!("{arg} {:?}", t0.elapsed());
 }

@@ -1,7 +1,8 @@
-//! Per-rule unit tests: for each of the six rules a positive case
+//! Per-rule unit tests: for each file-scoped rule a positive case
 //! (violation reported), a negative case (clean code passes), and a
 //! suppressed case (reasoned `lint:allow` silences it), plus the
-//! suppression-hygiene diagnostics themselves.
+//! suppression-hygiene diagnostics themselves. The workspace-level
+//! wire-schema rule is covered in `fixtures.rs` and `schema.rs`.
 
 use marauder_lint::config::Config;
 use marauder_lint::engine::lint_source;
@@ -319,4 +320,214 @@ fn f(a: Option<u8>, b: Option<u8>) -> u8 {
     let diags = lint("crates/geo/src/x.rs", src);
     assert_eq!(rules_of(&diags), vec!["no-panic-in-lib"]);
     assert_eq!(diags[0].line, 5);
+}
+
+// ------------------------------------------------- determinism-taint
+
+#[test]
+fn determinism_taint_positive() {
+    // The clock value flows through a let-chain into a report sink.
+    // `crates/bench/` is a no-wall-clock allow-path, so only the flow
+    // fires — reading the clock alone is permitted there.
+    let src = r#"
+use std::time::Instant;
+fn stamp_report(out: &mut String) {
+    let t0 = Instant::now();
+    let elapsed = t0.elapsed();
+    let line = format!("{:?}", elapsed);
+    out.push_str(&line);
+}
+"#;
+    let diags = lint("crates/bench/src/x.rs", src);
+    assert_eq!(rules_of(&diags), vec!["determinism-taint"], "{diags:?}");
+    assert_eq!(diags[0].line, 7, "reported at the sink: {diags:?}");
+}
+
+#[test]
+fn determinism_taint_hash_order_source() {
+    // Hash-map iteration order is a taint source even in crates outside
+    // no-hash-iteration's scope (bench is not in its crate list).
+    let src = r#"
+use std::collections::HashMap;
+fn dump(counts: &HashMap<u32, u32>, out: &mut String) {
+    let vals: Vec<u32> = counts.values().copied().collect();
+    out.push_str(&format!("{:?}", vals));
+}
+"#;
+    let diags = lint("crates/bench/src/x.rs", src);
+    assert_eq!(rules_of(&diags), vec!["determinism-taint"], "{diags:?}");
+}
+
+#[test]
+fn determinism_taint_negative() {
+    // A clock read that never reaches a sink is clean, and so is a sink
+    // fed only untainted values.
+    let src = r#"
+use std::time::Instant;
+fn slow(budget_s: u64) -> bool {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs() > budget_s
+}
+fn emit(out: &mut String, label: &str) {
+    out.push_str(label);
+}
+"#;
+    let diags = lint("crates/bench/src/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn determinism_taint_suppressed() {
+    let src = r#"
+use std::time::Instant;
+fn stamp(out: &mut String) {
+    let t0 = Instant::now();
+    // lint:allow(determinism-taint) -- operator-facing progress line
+    out.push_str(&format!("{:?}", t0));
+}
+"#;
+    let diags = lint("crates/bench/src/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --------------------------------------------------- lock-discipline
+
+/// The lock fixtures recover from poison explicitly so the clean cases
+/// stay clean (`.lock().unwrap()` is itself a violation).
+const RECOVER: &str = r#"
+fn recover<T>(
+    r: Result<std::sync::MutexGuard<'_, T>, std::sync::PoisonError<std::sync::MutexGuard<'_, T>>>,
+) -> std::sync::MutexGuard<'_, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+"#;
+
+#[test]
+fn lock_discipline_positive() {
+    // lock.toml declares order ["inner", "OVERRIDE_LOCK"]: acquiring
+    // `inner` while `OVERRIDE_LOCK` is held reverses it, and
+    // `.lock().unwrap()` panics on poison.
+    let src = format!(
+        r#"
+use std::sync::Mutex;
+static OVERRIDE_LOCK: Mutex<u32> = Mutex::new(0);
+struct Reg {{ inner: Mutex<u32> }}
+fn reversed(r: &Reg) -> u32 {{
+    let outer = recover(OVERRIDE_LOCK.lock());
+    let held = recover(r.inner.lock());
+    *held + *outer
+}}
+fn peek(r: &Reg) -> u32 {{
+    *r.inner.lock().unwrap()
+}}
+{RECOVER}"#
+    );
+    let diags = lint("src/bin/x.rs", &src);
+    assert_eq!(rules_of(&diags), vec!["lock-discipline"; 2], "{diags:?}");
+}
+
+#[test]
+fn lock_discipline_negative() {
+    // Nesting in the declared order is fine; so are back-to-back
+    // statement-scoped guards whose lifetimes never overlap.
+    let src = format!(
+        r#"
+use std::sync::Mutex;
+static OVERRIDE_LOCK: Mutex<u32> = Mutex::new(0);
+struct Reg {{ inner: Mutex<u32> }}
+fn ordered(r: &Reg) -> u32 {{
+    let first = recover(r.inner.lock());
+    let second = recover(OVERRIDE_LOCK.lock());
+    *first + *second
+}}
+fn sequential(r: &Reg) {{
+    *recover(OVERRIDE_LOCK.lock()) += 1;
+    *recover(r.inner.lock()) += 1;
+}}
+{RECOVER}"#
+    );
+    let diags = lint("src/bin/x.rs", &src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_discipline_suppressed() {
+    let src = r#"
+use std::sync::Mutex;
+struct Reg { inner: Mutex<u32> }
+fn peek(r: &Reg) -> u32 {
+    // lint:allow(lock-discipline) -- single-threaded startup path
+    *r.inner.lock().unwrap()
+}
+"#;
+    let diags = lint("src/bin/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ----------------------------------------------------- error-hygiene
+
+#[test]
+fn error_hygiene_positive() {
+    // A wildcard arm over a configured error enum swallows future
+    // variants; `.parse().unwrap()` panics on a Result. Binaries are
+    // exempt from no-panic-in-lib, so only error-hygiene fires.
+    let src = r#"
+enum WireError { Truncated, Oversized }
+fn classify(e: &WireError) -> &'static str {
+    match e {
+        WireError::Truncated => "truncated",
+        _ => "other",
+    }
+}
+fn port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+"#;
+    let diags = lint("src/bin/x.rs", src);
+    assert_eq!(rules_of(&diags), vec!["error-hygiene"; 2], "{diags:?}");
+    assert_eq!(diags[0].line, 6, "the wildcard arm: {diags:?}");
+    assert_eq!(diags[1].line, 10, "the unwrap: {diags:?}");
+}
+
+#[test]
+fn error_hygiene_negative() {
+    // Exhaustive matches over error enums are fine; wildcards over
+    // non-error enums are fine; unwrap on an Option accessor is not an
+    // error-hygiene concern.
+    let src = r#"
+enum WireError { Truncated, Oversized }
+fn classify(e: &WireError) -> &'static str {
+    match e {
+        WireError::Truncated => "truncated",
+        WireError::Oversized => "oversized",
+    }
+}
+enum Mode { Fast, Slow }
+fn label(m: &Mode) -> &'static str {
+    match m {
+        Mode::Fast => "fast",
+        _ => "slow",
+    }
+}
+fn port(s: &str) -> Result<u16, std::num::ParseIntError> {
+    s.parse()
+}
+fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+"#;
+    let diags = lint("src/bin/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn error_hygiene_suppressed() {
+    let src = r#"
+fn port(s: &str) -> u16 {
+    // lint:allow(error-hygiene) -- argv already validated by the usage check
+    s.parse().unwrap()
+}
+"#;
+    let diags = lint("src/bin/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
 }

@@ -169,7 +169,7 @@ impl std::error::Error for CliError {
             CliError::Pipeline(e) => Some(e),
             CliError::Plan(e) => Some(e),
             CliError::Net(e) => Some(e),
-            _ => None,
+            CliError::Usage(_) | CliError::Input(_) => None,
         }
     }
 }
