@@ -1,0 +1,505 @@
+//! Kill-at-every-boundary crash sweep.
+//!
+//! The durability subsystem's headline invariant (DESIGN.md
+//! "Durability & crash recovery") is *crash equivalence*: killing
+//! ingestion at **any** frame boundary, recovering from the
+//! write-ahead journal, and resuming must produce fix output
+//! byte-identical to the uninterrupted run. This module proves it by
+//! brute force: [`crash_sweep`] simulates the kill at every boundary
+//! of a [`ChaosScenario`] capture (optionally every `stride`-th), runs
+//! crash → [`FrameJournal::recover`] → resume for each, and compares
+//! the final fixes against the clean run byte for byte.
+//!
+//! Two deterministic fault classes drive the sweep:
+//!
+//! * `crash:N` — the process dies after exactly `N` frames. Simulated
+//!   by journaling and ingesting exactly `N` frames, then dropping
+//!   everything that was not on disk.
+//! * `tornwrite:K` — the process dies *mid-append*, leaving `K` bytes
+//!   of the final record on disk. Simulated by physically truncating
+//!   the last journal segment `K` bytes into its final record.
+//!
+//! Everything is a pure function of `(scenario seed, sweep config)`:
+//! no RNG, no clocks, and the per-boundary cells are
+//! order-independent, so reports are bit-identical at any thread
+//! count.
+
+use crate::harness::ChaosScenario;
+use marauder_stream::{
+    FlushPolicy, FrameJournal, JournalConfig, JournalError, RecoveryError, StreamConfig,
+    StreamEngine, TrackFix,
+};
+use marauder_wifi::sniffer::CapturedFrame;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Sweep knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSweepConfig {
+    /// Test every `stride`-th frame boundary (1 = all of them; the
+    /// final boundary is always included).
+    pub stride: usize,
+    /// Write a journal checkpoint every this many frames (0 = journal
+    /// only, every recovery replays from scratch).
+    pub checkpoint_every: usize,
+    /// Additionally tear the final record at each crash point
+    /// (`tornwrite` at this many bytes into the record; 0 = off) and
+    /// require clean torn-tail recovery plus equivalence.
+    pub torn_write_bytes: usize,
+}
+
+impl Default for CrashSweepConfig {
+    fn default() -> Self {
+        CrashSweepConfig {
+            stride: 1,
+            checkpoint_every: 64,
+            torn_write_bytes: 3,
+        }
+    }
+}
+
+/// A sweep failure — not an equivalence miss (those land in the
+/// report), but a journal or recovery operation that failed outright.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Writing the journal for a crash point failed.
+    Journal(JournalError),
+    /// Recovering a crash point failed.
+    Recovery(RecoveryError),
+    /// Filesystem trouble outside the journal itself.
+    Io {
+        /// What the sweep was doing.
+        op: String,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Journal(e) => write!(f, "crash sweep: {e}"),
+            SweepError::Recovery(e) => write!(f, "crash sweep: {e}"),
+            SweepError::Io { op, source } => write!(f, "crash sweep {op}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Journal(e) => Some(e),
+            SweepError::Recovery(e) => Some(e),
+            SweepError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<JournalError> for SweepError {
+    fn from(e: JournalError) -> Self {
+        SweepError::Journal(e)
+    }
+}
+
+impl From<RecoveryError> for SweepError {
+    fn from(e: RecoveryError) -> Self {
+        SweepError::Recovery(e)
+    }
+}
+
+/// One crash boundary's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashCell {
+    /// Frames ingested before the kill.
+    pub crash_after: usize,
+    /// Whether crash → recover → resume matched the clean run byte
+    /// for byte.
+    pub matched: bool,
+    /// Sequence the recovery's checkpoint covered (`None`: replayed
+    /// from scratch).
+    pub checkpoint_seq: Option<u64>,
+    /// Journal records the recovery replayed.
+    pub records_replayed: u64,
+    /// The torn-write companion run, when enabled.
+    pub torn: Option<TornOutcome>,
+}
+
+/// Outcome of the torn-write companion run at one boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornOutcome {
+    /// Bytes of the final record left on disk.
+    pub bytes: usize,
+    /// Bytes of torn tail the recovery truncated (0 when the tear
+    /// landed on a record boundary).
+    pub torn_tail_bytes: u64,
+    /// Whether tear → recover → resume matched the clean run.
+    pub matched: bool,
+}
+
+/// The sweep report: one [`CrashCell`] per tested boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed of the simulated campus.
+    pub sim_seed: u64,
+    /// Frames in the clean capture (= the number of boundaries + 1).
+    pub frames: usize,
+    /// The sweep configuration used.
+    pub stride: usize,
+    /// Checkpoint cadence in frames (0 = none).
+    pub checkpoint_every: usize,
+    /// Torn-write tear size in bytes (0 = off).
+    pub torn_write_bytes: usize,
+    /// Per-boundary outcomes, ascending by `crash_after`.
+    pub cells: Vec<CrashCell>,
+}
+
+impl CrashReport {
+    /// Whether every cell (and every torn companion) matched.
+    pub fn all_matched(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.matched && c.torn.as_ref().map(|t| t.matched).unwrap_or(true))
+    }
+
+    /// Boundaries that failed equivalence.
+    pub fn mismatches(&self) -> Vec<usize> {
+        self.cells
+            .iter()
+            .filter(|c| !c.matched || c.torn.as_ref().map(|t| !t.matched).unwrap_or(false))
+            .map(|c| c.crash_after)
+            .collect()
+    }
+
+    /// Renders the report as JSON (hand-written, std-only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", self.scenario);
+        let _ = writeln!(out, "  \"sim_seed\": {},", self.sim_seed);
+        let _ = writeln!(out, "  \"frames\": {},", self.frames);
+        let _ = writeln!(out, "  \"stride\": {},", self.stride);
+        let _ = writeln!(out, "  \"checkpoint_every\": {},", self.checkpoint_every);
+        let _ = writeln!(out, "  \"torn_write_bytes\": {},", self.torn_write_bytes);
+        let _ = writeln!(out, "  \"all_matched\": {},", self.all_matched());
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let ckpt = match c.checkpoint_seq {
+                Some(s) => s.to_string(),
+                None => "null".to_string(),
+            };
+            let torn = match &c.torn {
+                Some(t) => format!(
+                    "{{\"bytes\": {}, \"torn_tail_bytes\": {}, \"matched\": {}}}",
+                    t.bytes, t.torn_tail_bytes, t.matched
+                ),
+                None => "null".to_string(),
+            };
+            let sep = if i + 1 == self.cells.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"crash_after\": {}, \"matched\": {}, \"checkpoint_seq\": {}, \
+                 \"records_replayed\": {}, \"torn\": {}}}{}",
+                c.crash_after, c.matched, ckpt, c.records_replayed, torn, sep
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Canonical byte rendering of a fix list: every float as its IEEE-754
+/// bits, so "byte-identical" means exactly that.
+pub fn render_fixes(fixes: &[TrackFix]) -> String {
+    let mut out = String::new();
+    for f in fixes {
+        let gamma: Vec<String> = f.gamma.iter().map(|m| m.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{:016x} {} {:016x} {:016x} {}",
+            f.time_s.to_bits(),
+            f.mobile,
+            f.estimate.position.x.to_bits(),
+            f.estimate.position.y.to_bits(),
+            gamma.join(",")
+        );
+    }
+    out
+}
+
+/// The engine configuration every sweep run uses: batch-equivalent
+/// output only, so live localization stays off.
+fn sweep_config() -> StreamConfig {
+    StreamConfig {
+        live_localization: false,
+        warm_start: false,
+        ..StreamConfig::default()
+    }
+}
+
+/// The journal configuration for sweep cells. Rotation is kept small
+/// so multi-segment recovery is exercised constantly; syncing is left
+/// to rotation because the sweep kills by *dropping state*, not by
+/// killing a process — everything written is on disk either way.
+fn sweep_journal_config() -> JournalConfig {
+    JournalConfig {
+        segment_frames: 256,
+        flush: FlushPolicy::OnRotate,
+    }
+}
+
+/// The uninterrupted run: push everything, close out, batch-localize.
+fn clean_reference(scenario: &ChaosScenario, frames: &[CapturedFrame]) -> String {
+    let mut engine = StreamEngine::new(scenario.fresh_map(), sweep_config());
+    let mut closed = Vec::new();
+    for f in frames {
+        closed.extend(engine.push(f));
+    }
+    closed.extend(engine.finish());
+    render_fixes(&engine.batch_fixes(closed))
+}
+
+/// Journals and ingests exactly `n` frames — the pre-crash run. What
+/// this function *returns* is deliberately nothing: the kill loses all
+/// in-memory state, and recovery may only use the directory.
+fn run_until_crash(
+    scenario: &ChaosScenario,
+    frames: &[CapturedFrame],
+    n: usize,
+    dir: &Path,
+    checkpoint_every: usize,
+) -> Result<(), SweepError> {
+    let mut journal = FrameJournal::create(dir, sweep_journal_config())?;
+    let mut engine = StreamEngine::new(scenario.fresh_map(), sweep_config());
+    let mut closed = Vec::new();
+    for (k, f) in frames[..n].iter().enumerate() {
+        journal.append(f)?;
+        closed.extend(engine.push(f));
+        if checkpoint_every > 0 && (k + 1) % checkpoint_every == 0 {
+            journal.checkpoint(&engine, &closed)?;
+        }
+    }
+    journal.sync()?;
+    Ok(())
+}
+
+/// Recovers `dir`, resumes ingestion from the recovered sequence, and
+/// renders the final fixes. Returns the rendering plus the recovery
+/// accounting.
+fn recover_and_resume(
+    scenario: &ChaosScenario,
+    frames: &[CapturedFrame],
+    dir: &Path,
+) -> Result<(String, marauder_stream::RecoveryReport), SweepError> {
+    let rec = FrameJournal::recover(dir, scenario.fresh_map(), sweep_config())?;
+    let mut journal = rec.journal;
+    journal.set_config(sweep_journal_config());
+    let mut engine = rec.engine;
+    let mut closed = rec.closed;
+    let resume_from = rec.next_seq as usize;
+    for f in &frames[resume_from.min(frames.len())..] {
+        journal.append(f)?;
+        closed.extend(engine.push(f));
+    }
+    closed.extend(engine.finish());
+    Ok((render_fixes(&engine.batch_fixes(closed)), rec.report))
+}
+
+/// Truncates the final journal segment in `dir` to `bytes` bytes into
+/// its last record — the on-disk signature of dying mid-append.
+/// Returns `false` when there is nothing to tear (no segments, no
+/// records, or the record is shorter than `bytes`).
+pub fn tear_last_record(dir: &Path, bytes: usize) -> Result<bool, SweepError> {
+    let io = |op: &str| {
+        let op = op.to_string();
+        move |source: std::io::Error| SweepError::Io { op, source }
+    };
+    // Find the lexicographically (= numerically: names are
+    // zero-padded) last segment file.
+    let mut segments: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(io("scan journal dir"))? {
+        let entry = entry.map_err(io("scan journal dir"))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("segment-") && name.ends_with(".wal") {
+            segments.push(entry.path());
+        }
+    }
+    segments.sort();
+    let Some(path) = segments.last() else {
+        return Ok(false);
+    };
+    let data = std::fs::read(path).map_err(io("read final segment"))?;
+    // Walk the records to find where the last one starts: 16-byte
+    // segment header, then length-prefixed records.
+    let mut pos = 16usize;
+    let mut last_start = None;
+    while pos + 8 <= data.len() {
+        let len = u32::from_be_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+        let next = pos + 8 + len as usize;
+        if next > data.len() {
+            break;
+        }
+        last_start = Some(pos);
+        pos = next;
+    }
+    let Some(start) = last_start else {
+        return Ok(false);
+    };
+    let keep = start + bytes;
+    if keep >= data.len() {
+        return Ok(false); // the tear would not actually shorten it
+    }
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(io("reopen final segment"))?;
+    file.set_len(keep as u64)
+        .map_err(io("tear final segment"))?;
+    Ok(true)
+}
+
+/// Runs the crash-equivalence sweep for `scenario` under `dir` (one
+/// scratch subdirectory per boundary, removed as each cell finishes).
+///
+/// # Errors
+///
+/// [`SweepError`] if a journal write or recovery fails outright —
+/// equivalence *misses* are not errors; they land in the report's
+/// `matched` flags.
+pub fn crash_sweep(
+    scenario: &ChaosScenario,
+    dir: &Path,
+    config: &CrashSweepConfig,
+) -> Result<CrashReport, SweepError> {
+    let frames: Vec<CapturedFrame> = scenario.captures().iter().cloned().collect();
+    let reference = clean_reference(scenario, &frames);
+    let stride = config.stride.max(1);
+    let mut boundaries: Vec<usize> = (0..=frames.len()).step_by(stride).collect();
+    if boundaries.last() != Some(&frames.len()) {
+        boundaries.push(frames.len());
+    }
+
+    let cells: Vec<Result<CrashCell, SweepError>> =
+        marauder_par::par_map_range(boundaries.len(), |i| {
+            let n = boundaries[i];
+            let cell_dir = dir.join(format!("crash-{n:08}"));
+            let _ = std::fs::remove_dir_all(&cell_dir);
+            run_until_crash(scenario, &frames, n, &cell_dir, config.checkpoint_every)?;
+            let (rendered, report) = recover_and_resume(scenario, &frames, &cell_dir)?;
+            let matched = rendered == reference;
+
+            let torn = if config.torn_write_bytes > 0 {
+                // Fresh pre-crash state, then tear the final record.
+                let _ = std::fs::remove_dir_all(&cell_dir);
+                run_until_crash(scenario, &frames, n, &cell_dir, config.checkpoint_every)?;
+                if tear_last_record(&cell_dir, config.torn_write_bytes)? {
+                    let (rendered, report) = recover_and_resume(scenario, &frames, &cell_dir)?;
+                    Some(TornOutcome {
+                        bytes: config.torn_write_bytes,
+                        torn_tail_bytes: report.torn_tail_bytes,
+                        matched: rendered == reference,
+                    })
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+
+            let _ = std::fs::remove_dir_all(&cell_dir);
+            marauder_obs::global().counter_add("crash_sweep.cells", 1);
+            Ok(CrashCell {
+                crash_after: n,
+                matched,
+                checkpoint_seq: report.checkpoint_seq,
+                records_replayed: report.records_replayed,
+                torn,
+            })
+        });
+
+    let mut out = Vec::with_capacity(cells.len());
+    for cell in cells {
+        out.push(cell?);
+    }
+    Ok(CrashReport {
+        scenario: scenario.name().to_string(),
+        sim_seed: scenario.sim_seed(),
+        frames: frames.len(),
+        stride,
+        checkpoint_every: config.checkpoint_every,
+        torn_write_bytes: config.torn_write_bytes,
+        cells: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "marauder-crash-sweep-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn coarse_sweep_is_crash_equivalent() {
+        let scenario = ChaosScenario::quick(7);
+        let frames = scenario.captures().len();
+        assert!(frames > 0);
+        let dir = scratch("coarse");
+        let config = CrashSweepConfig {
+            stride: (frames / 7).max(1),
+            checkpoint_every: 50,
+            torn_write_bytes: 3,
+        };
+        let report = crash_sweep(&scenario, &dir, &config).unwrap();
+        assert!(
+            report.all_matched(),
+            "mismatched boundaries: {:?}",
+            report.mismatches()
+        );
+        assert_eq!(report.cells.first().map(|c| c.crash_after), Some(0));
+        assert_eq!(report.cells.last().map(|c| c.crash_after), Some(frames));
+        // Some mid-sweep cells must have restored a checkpoint and
+        // some must have torn-tail outcomes, or the sweep is not
+        // exercising what it claims to.
+        assert!(report.cells.iter().any(|c| c.checkpoint_seq.is_some()));
+        assert!(report.cells.iter().any(|c| c
+            .torn
+            .as_ref()
+            .map(|t| t.torn_tail_bytes > 0)
+            .unwrap_or(false)));
+        let json = report.to_json();
+        assert!(json.contains("\"all_matched\": true"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_report_is_thread_invariant() {
+        let scenario = ChaosScenario::quick(3);
+        let frames = scenario.captures().len();
+        let config = CrashSweepConfig {
+            stride: (frames / 3).max(1),
+            checkpoint_every: 64,
+            torn_write_bytes: 2,
+        };
+        let dir1 = scratch("threads-1");
+        marauder_par::set_threads(1);
+        let a = crash_sweep(&scenario, &dir1, &config).unwrap();
+        let dir7 = scratch("threads-7");
+        marauder_par::set_threads(7);
+        let b = crash_sweep(&scenario, &dir7, &config).unwrap();
+        marauder_par::set_threads(0);
+        assert_eq!(a, b, "sweep must be thread-count-invariant");
+        assert_eq!(a.to_json(), b.to_json());
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir7);
+    }
+}

@@ -394,6 +394,12 @@ pub fn default_matrix() -> Vec<FaultPlan> {
     for fraction in [0.1, 0.3, 0.6] {
         out.push(FaultPlan::single(Fault::Truncate { fraction }));
     }
+    for after_frames in [50, 500, 2000] {
+        out.push(FaultPlan::single(Fault::Crash { after_frames }));
+    }
+    for bytes in [1, 3, 9] {
+        out.push(FaultPlan::single(Fault::TornWrite { bytes }));
+    }
     out
 }
 
@@ -670,8 +676,8 @@ mod tests {
             .iter()
             .flat_map(|p| p.faults.iter().map(|f| f.name()))
             .collect();
-        assert_eq!(kinds.len(), 10, "kinds covered: {kinds:?}");
-        assert_eq!(plans.len(), 30);
+        assert_eq!(kinds.len(), 12, "kinds covered: {kinds:?}");
+        assert_eq!(plans.len(), 36);
     }
 
     #[test]

@@ -237,6 +237,27 @@ fn apply(
             frames.truncate(keep);
             frames
         }
+        Fault::Crash { after_frames } => {
+            // Positional kill: everything past the boundary vanishes.
+            // The crash-*recovery* story (journal replay) lives in the
+            // sweep harness; on a bare frame stream a kill is a cut.
+            let keep = after_frames.min(frames.len());
+            counts.truncated += frames.len() - keep;
+            let mut frames = frames;
+            frames.truncate(keep);
+            frames
+        }
+        Fault::TornWrite { .. } => {
+            // A torn final record never parses, so on a frame stream
+            // the fault is the loss of the last frame (recovery-side
+            // byte-level tearing is exercised against real journal
+            // files in the sweep harness and proptests).
+            let mut frames = frames;
+            if frames.pop().is_some() {
+                counts.truncated += 1;
+            }
+            frames
+        }
     }
 }
 

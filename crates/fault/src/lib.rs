@@ -10,7 +10,7 @@
 //! Three pieces:
 //!
 //! * [`plan`] — a composable, parseable fault plan
-//!   (`"drop:0.2,reorder:5"`) covering ten fault classes,
+//!   (`"drop:0.2,reorder:5"`) covering twelve fault classes,
 //! * [`inject`] — [`FaultInjector`], a pure function of
 //!   `(seed, plan, frames)`: identical inputs yield byte-identical
 //!   corrupted streams on any machine at any thread count,
@@ -23,13 +23,24 @@
 //! matrix; bit-identical reports for identical seeds at any thread
 //! count; and losses only ever for the one unrecoverable reason
 //! (no observed AP known to the attacker).
+//!
+//! A fourth piece, [`crash`], attacks durability instead of the
+//! radio path: [`crash_sweep`] kills ingestion at every frame
+//! boundary (`crash:N`), tears final journal records mid-append
+//! (`tornwrite:K`), and requires recovery + resume to reproduce the
+//! clean run's fixes byte for byte.
 
 #![forbid(unsafe_code)]
 
+pub mod crash;
 pub mod harness;
 pub mod inject;
 pub mod plan;
 
+pub use crash::{
+    crash_sweep, render_fixes, tear_last_record, CrashCell, CrashReport, CrashSweepConfig,
+    SweepError, TornOutcome,
+};
 pub use harness::{
     default_matrix, reason_key, CellOutcome, ChaosScenario, DegradationReport, ERROR_THRESHOLDS_M,
 };

@@ -82,6 +82,22 @@ pub enum Fault {
         /// Fraction of trailing frames cut, in `[0, 1]`.
         fraction: f64,
     },
+    /// Process kill at an exact frame boundary: ingestion stops after
+    /// `after_frames` frames. Unlike [`Truncate`](Fault::Truncate)
+    /// this is positional, not fractional — the crash-equivalence
+    /// sweep drives it across every boundary in a scenario.
+    Crash {
+        /// Frames ingested before the kill.
+        after_frames: usize,
+    },
+    /// Torn write: the process dies mid-append, leaving a partial
+    /// final record — `bytes` bytes of it made it to disk. On a frame
+    /// stream this loses the final frame; against a journal it tears
+    /// the last record `bytes` into its header/payload.
+    TornWrite {
+        /// Bytes of the final record that reached disk (≥ 1).
+        bytes: usize,
+    },
 }
 
 impl Fault {
@@ -98,6 +114,8 @@ impl Fault {
             Fault::ApFlap { .. } => "apflap",
             Fault::CardDropout { .. } => "carddrop",
             Fault::Truncate { .. } => "truncate",
+            Fault::Crash { .. } => "crash",
+            Fault::TornWrite { .. } => "tornwrite",
         }
     }
 
@@ -127,6 +145,7 @@ impl Fault {
             {
                 bad("outage must be finite and non-negative")
             }
+            Fault::TornWrite { bytes: 0 } => bad("a torn write leaves at least 1 byte behind"),
             f => Ok(f),
         }
     }
@@ -145,6 +164,8 @@ impl fmt::Display for Fault {
             Fault::ApFlap { outage_s } => write!(f, "apflap:{outage_s}"),
             Fault::CardDropout { outage_s } => write!(f, "carddrop:{outage_s}"),
             Fault::Truncate { fraction } => write!(f, "truncate:{fraction}"),
+            Fault::Crash { after_frames } => write!(f, "crash:{after_frames}"),
+            Fault::TornWrite { bytes } => write!(f, "tornwrite:{bytes}"),
         }
     }
 }
@@ -300,6 +321,22 @@ fn parse_fault(part: &str) -> Result<Fault, PlanParseError> {
                 fraction: num(fields[1])?,
             }
         }
+        "crash" => {
+            arity(1)?;
+            Fault::Crash {
+                after_frames: fields[1]
+                    .parse::<usize>()
+                    .map_err(|e| fail(&format!("bad frame count {:?}: {e}", fields[1])))?,
+            }
+        }
+        "tornwrite" => {
+            arity(1)?;
+            Fault::TornWrite {
+                bytes: fields[1]
+                    .parse::<usize>()
+                    .map_err(|e| fail(&format!("bad byte count {:?}: {e}", fields[1])))?,
+            }
+        }
         other => return Err(fail(&format!("unknown fault {other:?}"))),
     };
     fault.validate()
@@ -322,9 +359,10 @@ mod tests {
     #[test]
     fn every_fault_kind_round_trips() {
         let spec = "drop:0.1,burst:0.05:0.3,dup:0.2,reorder:8,jitter:0.5,\
-                    skew:-2.5,bitflip:0.1,apflap:120,carddrop:60,truncate:0.25";
+                    skew:-2.5,bitflip:0.1,apflap:120,carddrop:60,truncate:0.25,\
+                    crash:100,tornwrite:3";
         let plan = FaultPlan::parse(spec).unwrap();
-        assert_eq!(plan.faults.len(), 10);
+        assert_eq!(plan.faults.len(), 12);
         assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
     }
 
@@ -339,6 +377,9 @@ mod tests {
         assert!(FaultPlan::parse("jitter:-1").is_err());
         assert!(FaultPlan::parse("jitter:inf").is_err());
         assert!(FaultPlan::parse("truncate:2").is_err());
+        assert!(FaultPlan::parse("crash:1.5").is_err());
+        assert!(FaultPlan::parse("crash:-1").is_err());
+        assert!(FaultPlan::parse("tornwrite:0").is_err());
         let e = FaultPlan::parse("drop:nope").unwrap_err();
         assert!(e.to_string().contains("drop:nope"), "{e}");
     }

@@ -20,7 +20,7 @@ use marauder_wifi::capture_log::{parse_capture_log, write_capture_log};
 fn full_fault_matrix_completes_with_exact_accounting() {
     let scenario = ChaosScenario::quick(7);
     let report = scenario.run_matrix(9, &default_matrix());
-    assert_eq!(report.cells.len(), 30, "10 fault kinds × 3 intensities");
+    assert_eq!(report.cells.len(), 36, "12 fault kinds × 3 intensities");
     for cell in std::iter::once(&report.clean).chain(&report.cells) {
         assert_eq!(
             cell.windows_fixed + cell.windows_lost,

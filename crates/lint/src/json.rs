@@ -199,9 +199,7 @@ impl<'a> Parser<'a> {
                     }
                     other => return Err(format!("bad escape {other:?}")),
                 },
-                Some(c) if c < 0x20 => {
-                    return Err(format!("raw control byte {c:#x} in string"))
-                }
+                Some(c) if c < 0x20 => return Err(format!("raw control byte {c:#x} in string")),
                 Some(c) if c < 0x80 => out.push(c as char),
                 Some(_) => {
                     // Re-decode the UTF-8 sequence starting one byte back.
@@ -239,8 +237,7 @@ mod tests {
 
     #[test]
     fn parses_nested_document() {
-        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true}, "e": null}"#)
-            .unwrap();
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true}, "e": null}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
         assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_num(), Some(2.5));
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));

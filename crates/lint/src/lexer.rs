@@ -471,7 +471,10 @@ mod tests {
     #[test]
     fn lifetimes_vs_char_literals() {
         let toks = kinds("struct R<'a, 'static_like>(&'a str);");
-        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())), "{toks:?}");
+        assert!(
+            toks.contains(&(TokenKind::Lifetime, "'a".into())),
+            "{toks:?}"
+        );
         assert!(
             toks.contains(&(TokenKind::Lifetime, "'static_like".into())),
             "{toks:?}"
@@ -482,10 +485,16 @@ mod tests {
         // `'_'` is a char, `'_` is the anonymous lifetime.
         let toks = kinds("m('_', x: &'_ u8)");
         assert!(toks.contains(&(TokenKind::Char, "'_'".into())), "{toks:?}");
-        assert!(toks.contains(&(TokenKind::Lifetime, "'_".into())), "{toks:?}");
+        assert!(
+            toks.contains(&(TokenKind::Lifetime, "'_".into())),
+            "{toks:?}"
+        );
         // Escaped and byte chars stay chars.
         let toks = kinds(r"('\n', b'x', '\u{41}')");
-        assert!(toks.contains(&(TokenKind::Char, r"'\n'".into())), "{toks:?}");
+        assert!(
+            toks.contains(&(TokenKind::Char, r"'\n'".into())),
+            "{toks:?}"
+        );
         assert!(toks.contains(&(TokenKind::Char, "b'x'".into())), "{toks:?}");
         assert!(
             toks.contains(&(TokenKind::Char, r"'\u{41}'".into())),

@@ -127,7 +127,11 @@ fn regenerate_schema(root: &Path, config: &Config) -> Result<ExitCode, String> {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     }
     std::fs::write(&golden, &fp).map_err(|e| format!("cannot write golden: {e}"))?;
-    eprintln!("marauder-lint: wrote {} ({} lines)", golden.display(), fp.lines().count());
+    eprintln!(
+        "marauder-lint: wrote {} ({} lines)",
+        golden.display(),
+        fp.lines().count()
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -183,7 +187,12 @@ fn git_changed_files(root: &Path) -> Result<Vec<String>, String> {
     // Committed-but-unmerged work relative to the upstream when one is
     // set; a detached or local-only branch just lints working-tree
     // changes.
-    if let Ok(diff) = git(&["diff", "--name-only", "--diff-filter=d", "@{upstream}...HEAD"]) {
+    if let Ok(diff) = git(&[
+        "diff",
+        "--name-only",
+        "--diff-filter=d",
+        "@{upstream}...HEAD",
+    ]) {
         files.extend(diff.lines().map(|l| l.trim().to_string()));
     }
     files.retain(|f| !f.is_empty());

@@ -337,8 +337,8 @@ fn parse_match(c: &Cursor<'_>, kw: usize) -> Option<MatchExpr> {
             body_end = e;
             r = if c.text(e) == "," { e + 1 } else { e };
         }
-        let wildcard = c.text(pat_start) == "_"
-            && (pat_start + 1 == arrow || c.text(pat_start + 1) == "if");
+        let wildcard =
+            c.text(pat_start) == "_" && (pat_start + 1 == arrow || c.text(pat_start + 1) == "if");
         arms.push(Arm {
             pat: (pat_start, arrow),
             body: (body_start, body_end),
@@ -678,7 +678,10 @@ fn f(e: E) -> u32 {
         let pat0: Vec<&str> = (m.arms[0].pat.0..m.arms[0].pat.1)
             .map(|p| texts[p].as_str())
             .collect();
-        assert_eq!(pat0, vec!["E", "::", "A", "(", "x", ")", "if", "x", ">", "1"]);
+        assert_eq!(
+            pat0,
+            vec!["E", "::", "A", "(", "x", ")", "if", "x", ">", "1"]
+        );
     }
 
     #[test]

@@ -44,10 +44,7 @@ pub fn render_sarif(diags: &[Diagnostic]) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "\n            {{\"id\": {}}}",
-            json_string(rule)
-        ));
+        out.push_str(&format!("\n            {{\"id\": {}}}", json_string(rule)));
     }
     if !rules_seen.is_empty() {
         out.push_str("\n          ");
@@ -178,7 +175,12 @@ mod tests {
             Some("determinism-taint")
         );
         assert_eq!(
-            results[1].get("message").unwrap().get("text").unwrap().as_str(),
+            results[1]
+                .get("message")
+                .unwrap()
+                .get("text")
+                .unwrap()
+                .as_str(),
             Some("schema drift\nsecond line")
         );
     }

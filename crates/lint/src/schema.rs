@@ -133,10 +133,9 @@ pub fn check(root: &Path, rc: &RuleConfig) -> Vec<Diagnostic> {
             return vec![schema_diag(
                 golden_rel,
                 1,
-                format!(
-                    "golden wire-schema fingerprint missing; generate it with \
-                     `cargo run -p marauder-lint -- --write-schema` and commit it"
-                ),
+                "golden wire-schema fingerprint missing; generate it with \
+                 `cargo run -p marauder-lint -- --write-schema` and commit it"
+                    .to_string(),
             )]
         }
     };
@@ -240,13 +239,24 @@ struct Reader<'a> { buf: &'a [u8], pos: usize }
         let b = fingerprint(&CODEC.replace("TAG_PING: u8 = 2", "TAG_PING: u8 = 7"));
         let diags = diff(&a, &b, "crates/net/src/codec.rs", "results/wire_schema.txt");
         assert_eq!(diags.len(), 1);
-        assert!(diags[0].message.contains("TAG_PING"), "{}", diags[0].message);
-        assert!(diags[0].message.contains("PROTOCOL_VERSION"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("TAG_PING"),
+            "{}",
+            diags[0].message
+        );
+        assert!(
+            diags[0].message.contains("PROTOCOL_VERSION"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]
     fn generic_types_render_tight() {
         let fp = fingerprint("pub enum E { V { data: Vec<u8>, map: BTreeMap<u32, u64> } }");
-        assert!(fp.contains("V { data: Vec<u8>, map: BTreeMap<u32, u64> }"), "{fp}");
+        assert!(
+            fp.contains("V { data: Vec<u8>, map: BTreeMap<u32, u64> }"),
+            "{fp}"
+        );
     }
 }

@@ -23,11 +23,11 @@ use crate::rules::{diag_at, FileCtx, RawDiag};
 /// identifier token (with context checks below). `lint.toml` can add
 /// more via `taint-sources`.
 const BUILTIN_SOURCES: [&str; 6] = [
-    "now",            // Instant::now / SystemTime::now
-    "thread_rng",     // OS-entropy RNG
-    "from_entropy",   // OS-entropy RNG
-    "current",        // thread::current (thread ids)
-    "elapsed",        // Instant deltas
+    "now",              // Instant::now / SystemTime::now
+    "thread_rng",       // OS-entropy RNG
+    "from_entropy",     // OS-entropy RNG
+    "current",          // thread::current (thread ids)
+    "elapsed",          // Instant deltas
     "nondeterministic", // obs registry's quarantined section
 ];
 
@@ -156,10 +156,7 @@ pub fn determinism_taint(
                 && p >= 2
                 && hash_names.contains(&ctx.text(p - 2))
             {
-                Some(format!(
-                    "hash-order iteration of `{}`",
-                    ctx.text(p - 2)
-                ))
+                Some(format!("hash-order iteration of `{}`", ctx.text(p - 2)))
             } else {
                 None
             };
@@ -241,9 +238,7 @@ pub fn determinism_taint(
                                 line: ctx.tok(r).map_or(0, |t| t.line),
                             });
                         } else if ctx.kind(r) == Some(TokenKind::Ident) {
-                            if let Some((_, t)) =
-                                tainted.iter().find(|(n, _)| n == ctx.text(r))
-                            {
+                            if let Some((_, t)) = tainted.iter().find(|(n, _)| n == ctx.text(r)) {
                                 carried = Some(t.clone());
                             }
                         }
@@ -303,9 +298,7 @@ pub fn determinism_taint(
                             line: ctx.tok(q).map_or(0, |t| t.line),
                         });
                     } else if ctx.kind(q) == Some(TokenKind::Ident) {
-                        if let Some((n, tt)) =
-                            tainted.iter().find(|(n, _)| n == ctx.text(q))
-                        {
+                        if let Some((n, tt)) = tainted.iter().find(|(n, _)| n == ctx.text(q)) {
                             guilty = Some(Taint {
                                 origin: format!("`{n}` (tainted by {})", tt.origin),
                                 line: tt.line,
@@ -476,13 +469,8 @@ pub fn lock_discipline(
 fn receiver_name<'a>(ctx: &FileCtx<'a>, lock_pos: usize) -> Option<&'a str> {
     let mut q = lock_pos.checked_sub(2)?;
     // Walk over a trailing call/index: `guards[i].lock()`.
-    loop {
-        match ctx.text(q) {
-            ")" | "]" => {
-                q = matching_open_back(ctx, q)?.checked_sub(1)?;
-            }
-            _ => break,
-        }
+    while let ")" | "]" = ctx.text(q) {
+        q = matching_open_back(ctx, q)?.checked_sub(1)?;
     }
     (ctx.kind(q) == Some(TokenKind::Ident)).then(|| ctx.text(q))
 }

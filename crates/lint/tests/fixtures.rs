@@ -184,10 +184,8 @@ fn copy_fixture_to(dst: &Path) {
 
 #[test]
 fn codec_field_reorder_without_golden_update_fails_wire_schema() {
-    let scratch = std::env::temp_dir().join(format!(
-        "marauder-lint-schema-drift-{}",
-        std::process::id()
-    ));
+    let scratch =
+        std::env::temp_dir().join(format!("marauder-lint-schema-drift-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
     copy_fixture_to(&scratch);
 
@@ -199,7 +197,10 @@ fn codec_field_reorder_without_golden_update_fails_wire_schema() {
         "Ping { seq: u64, node: u32 }",
         "Ping { node: u32, seq: u64 }",
     );
-    assert_ne!(source, mutated, "fixture codec must contain the Ping layout");
+    assert_ne!(
+        source, mutated,
+        "fixture codec must contain the Ping layout"
+    );
     std::fs::write(&codec, mutated).expect("write mutated codec");
 
     let out = Command::new(env!("CARGO_BIN_EXE_marauder-lint"))
@@ -212,7 +213,10 @@ fn codec_field_reorder_without_golden_update_fails_wire_schema() {
     let human = String::from_utf8_lossy(&out.stdout).into_owned();
     assert_eq!(out.status.code(), Some(1), "{human}");
     assert!(human.contains("error[wire-schema]"), "{human}");
-    assert!(human.contains("seq"), "drift report names the moved field: {human}");
+    assert!(
+        human.contains("seq"),
+        "drift report names the moved field: {human}"
+    );
 
     // Renumbering a tag is also drift.
     std::fs::write(

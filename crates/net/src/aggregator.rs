@@ -192,11 +192,11 @@ pub const FLEET_SNAPSHOT_HEADER: &str = "# marauder fleet snapshot v1";
 /// Version this build writes and reads.
 const FLEET_SNAPSHOT_VERSION: u32 = 1;
 
-fn hex(v: f64) -> String {
+pub(crate) fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-fn unhex(s: &str) -> Result<f64, String> {
+pub(crate) fn unhex(s: &str) -> Result<f64, String> {
     u64::from_str_radix(s, 16)
         .map(f64::from_bits)
         .map_err(|e| format!("bad f64 bits {s:?}: {e}"))

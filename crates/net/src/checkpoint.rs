@@ -1,0 +1,537 @@
+//! Periodic fleet checkpoints and supervised restart.
+//!
+//! A long campaign must survive an aggregator crash without losing a
+//! single closed window. This module writes the aggregator's full
+//! merge state — engine, per-node sequence cursors, release gate, and
+//! every window closed so far — to an atomically-renamed checkpoint
+//! file on a *stream-time* cadence, and restores the newest valid one
+//! on restart. Rejoining nodes fast-forward through the aggregator's
+//! `resume_seq`, replaying exactly the frames the checkpoint had not
+//! yet absorbed, so the resumed run closes every window the interrupted
+//! run would have.
+//!
+//! Cadence is keyed on [`Aggregator::fleet_watermark`] rather than the
+//! wall clock: identical message sequences checkpoint at identical
+//! points, which keeps crash-recovery tests bit-exact.
+
+use crate::aggregator::{hex, unhex, Aggregator, FleetConfig};
+use marauder_core::{MaraudersMap, PipelineError};
+use marauder_stream::{write_atomic, ClosedWindow};
+use marauder_wifi::MacAddr;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Magic first line of a fleet checkpoint file.
+pub const FLEET_CHECKPOINT_HEADER: &str = "# marauder fleet checkpoint v1";
+
+/// Filename extension of checkpoint files in a checkpoint directory.
+const CHECKPOINT_SUFFIX: &str = ".ckpt";
+
+/// Errors from writing or restoring fleet checkpoints.
+///
+/// Corruption inside an individual checkpoint file is deliberately
+/// *not* an error at this level: [`restore_latest`] skips damaged
+/// files newest-first and only reports I/O failures on the directory
+/// itself.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the checkpointer was doing.
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { op, source } => {
+                write!(f, "fleet checkpoint {op}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> CheckpointError {
+    move |source| CheckpointError::Io { op, source }
+}
+
+/// Writes periodic checkpoints of an [`Aggregator`] plus the closed
+/// windows accumulated so far.
+///
+/// Files are named `fleet-<n>.ckpt` with a zero-padded monotone
+/// counter, so lexicographic order is write order; each is produced
+/// with [`write_atomic`], so a crash mid-write leaves either the old
+/// file set or the new one, never a torn checkpoint.
+#[derive(Debug)]
+pub struct Checkpointer {
+    dir: PathBuf,
+    every_s: f64,
+    /// Fleet watermark at the last checkpoint; `-inf` before the first.
+    last_mark: f64,
+    next_index: u64,
+}
+
+impl Checkpointer {
+    /// Opens (creating if needed) a checkpoint directory, continuing
+    /// the file counter past any checkpoints already present.
+    ///
+    /// `every_s` is the minimum *stream-time* advance of the fleet
+    /// watermark between checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the directory cannot be created or
+    /// listed.
+    pub fn new(dir: &Path, every_s: f64) -> Result<Self, CheckpointError> {
+        std::fs::create_dir_all(dir).map_err(io_err("create checkpoint dir"))?;
+        let next_index = match list_checkpoints(dir)?.last() {
+            Some((n, _)) => n + 1,
+            None => 0,
+        };
+        Ok(Checkpointer {
+            dir: dir.to_path_buf(),
+            every_s,
+            last_mark: f64::NEG_INFINITY,
+            next_index,
+        })
+    }
+
+    /// The directory checkpoints are written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Checkpoints if the fleet watermark has advanced by at least the
+    /// configured cadence since the last checkpoint (the first finite
+    /// watermark always triggers one). Returns whether a checkpoint was
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the checkpoint cannot be written.
+    pub fn maybe_checkpoint(
+        &mut self,
+        aggregator: &Aggregator,
+        closed: &[ClosedWindow],
+    ) -> Result<bool, CheckpointError> {
+        let wm = aggregator.fleet_watermark();
+        if !wm.is_finite() && wm < 0.0 {
+            return Ok(false);
+        }
+        let due = if self.last_mark.is_finite() {
+            wm >= self.last_mark + self.every_s
+        } else {
+            // `-inf` means never checkpointed: take the first finite
+            // watermark. `+inf` means the completion checkpoint is
+            // already on disk: nothing further to record.
+            self.last_mark < 0.0
+        };
+        if !due {
+            return Ok(false);
+        }
+        self.checkpoint_now(aggregator, closed)?;
+        Ok(true)
+    }
+
+    /// Unconditionally writes a checkpoint capturing `aggregator` and
+    /// the complete list of windows closed so far.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the checkpoint cannot be written.
+    pub fn checkpoint_now(
+        &mut self,
+        aggregator: &Aggregator,
+        closed: &[ClosedWindow],
+    ) -> Result<(), CheckpointError> {
+        let doc = checkpoint_document(aggregator, closed);
+        let name = checkpoint_name(self.next_index);
+        write_atomic(&self.dir.join(name), doc.as_bytes()).map_err(io_err("write checkpoint"))?;
+        self.next_index += 1;
+        self.last_mark = aggregator.fleet_watermark();
+        let reg = marauder_obs::global();
+        reg.counter_add("fleet.checkpoints", 1);
+        reg.counter_add("fleet.checkpoint_bytes", doc.len() as u64);
+        Ok(())
+    }
+}
+
+/// What [`restore_latest`] recovered.
+pub struct FleetRestore {
+    /// The aggregator, rebuilt at checkpoint state; rejoining nodes
+    /// fast-forward through its `resume_seq` handshake.
+    pub aggregator: Aggregator,
+    /// Every window the interrupted run had closed by checkpoint time.
+    /// Feed these plus the resumed run's windows to
+    /// [`Aggregator::batch_fixes`].
+    pub closed: Vec<ClosedWindow>,
+    /// The checkpoint file that was restored.
+    pub file: PathBuf,
+    /// Newer checkpoint files that were skipped as damaged.
+    pub skipped: usize,
+}
+
+/// Restores the newest valid checkpoint in `dir`, skipping damaged
+/// files (truncated, corrupted, or from a different format version)
+/// newest-first. Returns `None` when the directory holds no usable
+/// checkpoint — the caller starts a fresh campaign.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the directory itself cannot be listed.
+/// Damage inside individual files is never an error.
+pub fn restore_latest(
+    dir: &Path,
+    map: &MaraudersMap,
+    config: &FleetConfig,
+) -> Result<Option<FleetRestore>, CheckpointError> {
+    let reg = marauder_obs::global();
+    let mut skipped = 0usize;
+    let files = list_checkpoints(dir)?;
+    for (_, path) in files.iter().rev() {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            skipped += 1;
+            continue;
+        };
+        match parse_checkpoint(&text, map.clone(), config.clone()) {
+            Ok((aggregator, closed)) => {
+                reg.counter_add("fleet.restores", 1);
+                reg.counter_add("fleet.checkpoints_skipped", skipped as u64);
+                return Ok(Some(FleetRestore {
+                    aggregator,
+                    closed,
+                    file: path.clone(),
+                    skipped,
+                }));
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    reg.counter_add("fleet.checkpoints_skipped", skipped as u64);
+    Ok(None)
+}
+
+fn checkpoint_name(index: u64) -> String {
+    format!("fleet-{index:020}{CHECKPOINT_SUFFIX}")
+}
+
+/// Numbered checkpoint files in `dir`, sorted ascending by index.
+fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(io_err("list checkpoint dir"))?;
+    for entry in entries {
+        let entry = entry.map_err(io_err("list checkpoint dir"))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("fleet-")
+            .and_then(|s| s.strip_suffix(CHECKPOINT_SUFFIX))
+        else {
+            continue;
+        };
+        if let Ok(n) = stem.parse::<u64>() {
+            out.push((n, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Renders the checkpoint document: header, one `closed` record per
+/// closed window, the embedded aggregator snapshot, and an `end`
+/// sentinel carrying the record count (so truncation is detectable).
+fn checkpoint_document(aggregator: &Aggregator, closed: &[ClosedWindow]) -> String {
+    let mut out = String::new();
+    out.push_str(FLEET_CHECKPOINT_HEADER);
+    out.push('\n');
+    for c in closed {
+        let gamma = if c.gamma.is_empty() {
+            "-".to_string()
+        } else {
+            c.gamma
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!(
+            "closed {} {} {} {gamma}\n",
+            c.window,
+            hex(c.window_start_s),
+            c.mobile
+        ));
+    }
+    let fleet = aggregator.snapshot();
+    let nlines = fleet.lines().count();
+    out.push_str(&format!("fleet {nlines}\n"));
+    out.push_str(&fleet);
+    if !fleet.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(&format!("end {}\n", closed.len()));
+    out
+}
+
+/// Parses a checkpoint document back into an aggregator and its closed
+/// windows. Errors are strings because the only caller skips the file
+/// and tries an older one.
+fn parse_checkpoint(
+    text: &str,
+    map: MaraudersMap,
+    config: FleetConfig,
+) -> Result<(Aggregator, Vec<ClosedWindow>), String> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.first().copied() != Some(FLEET_CHECKPOINT_HEADER) {
+        return Err("bad checkpoint header".to_string());
+    }
+    let mut closed = Vec::new();
+    let mut i = 1usize;
+    while i < lines.len() {
+        let line = lines[i];
+        if let Some(rest) = line.strip_prefix("closed ") {
+            closed.push(parse_closed(rest).map_err(|e| format!("line {}: {e}", i + 1))?);
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let Some(fleet_decl) = lines.get(i) else {
+        return Err("missing fleet block".to_string());
+    };
+    let nlines: usize = fleet_decl
+        .strip_prefix("fleet ")
+        .ok_or_else(|| format!("line {}: expected fleet block", i + 1))?
+        .parse()
+        .map_err(|e| format!("line {}: bad fleet line count: {e}", i + 1))?;
+    i += 1;
+    if i + nlines > lines.len() {
+        return Err("truncated fleet block".to_string());
+    }
+    let fleet_text: String = lines[i..i + nlines]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    i += nlines;
+    match lines.get(i) {
+        Some(end) if *end == format!("end {}", closed.len()) => {}
+        Some(end) => return Err(format!("bad end sentinel {end:?}")),
+        None => return Err("missing end sentinel".to_string()),
+    }
+    let aggregator =
+        Aggregator::restore(map, config, &fleet_text).map_err(|e| format!("fleet block: {e}"))?;
+    Ok((aggregator, closed))
+}
+
+/// Parses one `closed` record body:
+/// `<window> <start_bits_hex> <mobile> <gamma_csv|->`.
+///
+/// The localization outcome is not persisted — checkpointed campaigns
+/// run with live localization off and refix everything in one batch
+/// pass — so restored windows carry the deferred marker.
+fn parse_closed(rest: &str) -> Result<ClosedWindow, String> {
+    let fields: Vec<&str> = rest.split(' ').collect();
+    if fields.len() != 4 {
+        return Err(format!("expected 4 fields, got {}", fields.len()));
+    }
+    let window: i64 = fields[0]
+        .parse()
+        .map_err(|e| format!("bad window index: {e}"))?;
+    let window_start_s = unhex(fields[1])?;
+    let mobile = MacAddr::from_str(fields[2]).map_err(|e| e.to_string())?;
+    let mut gamma = BTreeSet::new();
+    if fields[3] != "-" {
+        for part in fields[3].split(',') {
+            gamma.insert(MacAddr::from_str(part).map_err(|e| e.to_string())?);
+        }
+    }
+    Ok(ClosedWindow {
+        window,
+        window_start_s,
+        mobile,
+        gamma,
+        outcome: Err(PipelineError::DeferredLocalization),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Message, PROTOCOL_VERSION};
+    use marauder_core::apdb::{ApDatabase, ApRecord};
+    use marauder_core::pipeline::{AttackConfig, KnowledgeLevel};
+    use marauder_geo::Point;
+    use marauder_stream::StreamConfig;
+    use marauder_wifi::channel::Channel;
+    use marauder_wifi::sniffer::CapturedFrame;
+    use marauder_wifi::ssid::Ssid;
+    use marauder_wifi::Frame;
+
+    fn map() -> MaraudersMap {
+        let db: ApDatabase = [
+            (100u64, Point::new(0.0, 0.0)),
+            (101, Point::new(100.0, 0.0)),
+            (102, Point::new(50.0, 80.0)),
+        ]
+        .into_iter()
+        .map(|(i, p)| ApRecord {
+            bssid: MacAddr::from_index(i),
+            ssid: None,
+            location: p,
+            radius: Some(120.0),
+        })
+        .collect();
+        MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default())
+    }
+
+    fn config() -> FleetConfig {
+        FleetConfig {
+            stream: StreamConfig {
+                live_localization: false,
+                ..StreamConfig::default()
+            },
+            expected_nodes: 1,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn hello(id: u32) -> Message {
+        Message::Hello {
+            node_id: id,
+            clock_offset_s: 0.0,
+            version: PROTOCOL_VERSION,
+            wants_snapshot: false,
+        }
+    }
+
+    fn response(t: f64, ap: u64, mobile: u64) -> CapturedFrame {
+        CapturedFrame {
+            time_s: t,
+            card: 0,
+            frame: Frame::probe_response(
+                MacAddr::from_index(ap),
+                MacAddr::from_index(mobile),
+                Ssid::new("x").expect("valid ssid"),
+                Channel::bg(6).expect("valid channel"),
+            ),
+        }
+    }
+
+    fn driven_aggregator(n_frames: usize) -> (Aggregator, Vec<ClosedWindow>) {
+        let mut agg = Aggregator::new(map(), config());
+        let mut closed = Vec::new();
+        closed.extend(agg.on_message(&hello(1)).expect("hello").closed);
+        let frames: Vec<CapturedFrame> = (0..n_frames)
+            .map(|k| response(k as f64 * 7.0, 100 + (k as u64 % 3), 0x50 + (k as u64 % 2)))
+            .collect();
+        let last_t = (n_frames as f64 - 1.0) * 7.0;
+        closed.extend(
+            agg.on_message(&Message::FrameBatch {
+                node_id: 1,
+                seq: 0,
+                frames,
+            })
+            .expect("batch")
+            .closed,
+        );
+        closed.extend(
+            agg.on_message(&Message::Heartbeat {
+                node_id: 1,
+                watermark_s: last_t,
+            })
+            .expect("heartbeat")
+            .closed,
+        );
+        (agg, closed)
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("marauder-fleet-ckpt-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn checkpoint_round_trips_closed_windows_and_state() {
+        let dir = temp_dir("roundtrip");
+        let (agg, closed) = driven_aggregator(40);
+        assert!(!closed.is_empty(), "scenario closes windows");
+        let mut cp = Checkpointer::new(&dir, 30.0).expect("checkpointer");
+        cp.checkpoint_now(&agg, &closed).expect("checkpoint");
+
+        let restored = restore_latest(&dir, &map(), &config())
+            .expect("restore")
+            .expect("a checkpoint exists");
+        assert_eq!(restored.skipped, 0);
+        assert_eq!(restored.closed.len(), closed.len());
+        for (a, b) in restored.closed.iter().zip(&closed) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.window_start_s.to_bits(), b.window_start_s.to_bits());
+            assert_eq!(a.mobile, b.mobile);
+            assert_eq!(a.gamma, b.gamma);
+        }
+        assert_eq!(restored.aggregator.snapshot(), agg.snapshot());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn damaged_newest_checkpoint_is_skipped() {
+        let dir = temp_dir("skip");
+        let (agg, closed) = driven_aggregator(40);
+        let mut cp = Checkpointer::new(&dir, 30.0).expect("checkpointer");
+        cp.checkpoint_now(&agg, &closed).expect("first checkpoint");
+        cp.checkpoint_now(&agg, &closed).expect("second checkpoint");
+        // Truncate the newest file mid-document.
+        let newest = dir.join(checkpoint_name(1));
+        let text = std::fs::read_to_string(&newest).expect("read newest");
+        std::fs::write(&newest, &text[..text.len() / 2]).expect("truncate");
+
+        let restored = restore_latest(&dir, &map(), &config())
+            .expect("restore")
+            .expect("older checkpoint survives");
+        assert_eq!(restored.skipped, 1);
+        assert_eq!(restored.file, dir.join(checkpoint_name(0)));
+        assert_eq!(restored.aggregator.snapshot(), agg.snapshot());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn empty_directory_restores_nothing() {
+        let dir = temp_dir("empty");
+        assert!(restore_latest(&dir, &map(), &config())
+            .expect("restore")
+            .is_none());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn checkpointer_continues_numbering_and_respects_cadence() {
+        let dir = temp_dir("cadence");
+        let (agg, closed) = driven_aggregator(40);
+        let mut cp = Checkpointer::new(&dir, 1e9).expect("checkpointer");
+        // First finite watermark always checkpoints; the huge cadence
+        // then suppresses the second attempt.
+        assert!(cp.maybe_checkpoint(&agg, &closed).expect("first"));
+        assert!(!cp.maybe_checkpoint(&agg, &closed).expect("second"));
+
+        // A new checkpointer over the same directory keeps counting.
+        let mut cp2 = Checkpointer::new(&dir, 1e9).expect("reopen");
+        cp2.checkpoint_now(&agg, &closed).expect("checkpoint");
+        assert!(dir.join(checkpoint_name(1)).exists());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -23,6 +23,11 @@
 //!   buffers bounded out-of-order arrival against the fleet watermark
 //!   (min over live nodes, stream-time eviction of the dead), and
 //!   feeds the engine a globally nondecreasing frame sequence.
+//! - [`checkpoint`]: [`Checkpointer`] writes atomic, stream-time-paced
+//!   fleet checkpoints (aggregator snapshot + every closed window), and
+//!   [`restore_latest`] rebuilds the newest valid one after a crash so
+//!   a restarted aggregator resumes mid-campaign with zero windows
+//!   lost.
 //! - [`loopback`]: [`LoopbackFleet`] drives everything round-robin on
 //!   one thread for hermetic, bit-exact tests; [`chaos`] runs the
 //!   per-node fault matrix from `crates/fault` over it.
@@ -32,6 +37,7 @@
 
 pub mod aggregator;
 pub mod chaos;
+pub mod checkpoint;
 pub mod codec;
 pub mod loopback;
 pub mod node;
@@ -40,6 +46,9 @@ pub mod transport;
 
 pub use aggregator::{
     Aggregator, FleetConfig, FleetSnapshotError, FleetStats, Turn, NODE_LAG_BOUNDS_S,
+};
+pub use checkpoint::{
+    restore_latest, CheckpointError, Checkpointer, FleetRestore, FLEET_CHECKPOINT_HEADER,
 };
 pub use codec::{Message, WireError, MAX_BODY_LEN, PROTOCOL_VERSION};
 pub use loopback::{

@@ -9,6 +9,7 @@
 //! process waits when every node goes quiet.
 
 use crate::aggregator::{Aggregator, Turn};
+use crate::checkpoint::Checkpointer;
 use crate::codec::{WireError, MAX_BODY_LEN};
 use crate::node::SnifferNode;
 use crate::transport::{recv_message, NetError, Transport};
@@ -128,11 +129,29 @@ impl Default for RetryConfig {
     }
 }
 
+/// Deterministic jitter for one reconnect delay: the doubled base
+/// backoff scaled into `[base/2, base)` by a fraction derived from the
+/// node's identity and the attempt number.
+///
+/// Jitter decorrelates a fleet's reconnect stampede after an
+/// aggregator restart, but entropy-based jitter would make network
+/// runs unreproducible — so the fraction is a pure function of
+/// `(node_seed, attempt)` via [`marauder_par::sub_seed`], bit-identical
+/// on every machine.
+pub fn backoff_with_jitter(base: Duration, node_seed: u64, attempt: u32) -> Duration {
+    // 53 high-quality bits → a fraction in [0, 1).
+    let bits = marauder_par::sub_seed(node_seed, u64::from(attempt));
+    let frac = (bits >> 11) as f64 / (1u64 << 53) as f64;
+    let nanos = base.as_nanos() as f64 * (0.5 + 0.5 * frac);
+    Duration::from_nanos(nanos as u64)
+}
+
 /// Runs a node against a TCP aggregator until its stream completes,
-/// reconnecting with bounded exponential backoff across connection
-/// failures and mid-stream disconnects. Each successful handshake
-/// resumes from the aggregator's `resume_seq`, so a flapping link
-/// never loses or duplicates a batch.
+/// reconnecting with bounded exponential backoff (plus deterministic
+/// per-node jitter) across connection failures and mid-stream
+/// disconnects. Each successful handshake resumes from the
+/// aggregator's `resume_seq`, so a flapping link never loses or
+/// duplicates a batch.
 ///
 /// # Errors
 ///
@@ -167,7 +186,7 @@ pub fn run_node(addr: &str, node: &mut SnifferNode, retry: &RetryConfig) -> Resu
             }
         }
         if !node.is_done() {
-            std::thread::sleep(backoff);
+            std::thread::sleep(backoff_with_jitter(backoff, u64::from(node.id()), failures));
             backoff = (backoff * 2).min(retry.max_backoff);
         }
     }
@@ -245,8 +264,29 @@ pub struct ServeOutcome {
 /// [`NetError::Io`] when the listener cannot be polled.
 pub fn serve(
     listener: TcpListener,
+    aggregator: Aggregator,
+    idle_timeout: Duration,
+) -> Result<ServeOutcome, NetError> {
+    serve_with(listener, aggregator, idle_timeout, None, Vec::new())
+}
+
+/// [`serve`] with crash durability: closed windows accumulate on top
+/// of `initial_closed` (the restored pre-crash list, so a later
+/// checkpoint never forgets them), and `checkpointer` — when present —
+/// writes periodic fleet checkpoints plus a final one after the run
+/// completes. Checkpoint write failures are counted
+/// (`fleet.checkpoint_errors`) but never take the server down; the
+/// merge keeps running on the last durable state.
+///
+/// # Errors
+///
+/// [`NetError::Io`] when the listener cannot be polled.
+pub fn serve_with(
+    listener: TcpListener,
     mut aggregator: Aggregator,
     idle_timeout: Duration,
+    mut checkpointer: Option<&mut Checkpointer>,
+    initial_closed: Vec<ClosedWindow>,
 ) -> Result<ServeOutcome, NetError> {
     listener
         .set_nonblocking(true)
@@ -255,7 +295,7 @@ pub fn serve(
     let mut writers: BTreeMap<u64, TcpStream> = BTreeMap::new();
     let mut node_of: BTreeMap<u64, u32> = BTreeMap::new();
     let mut next_conn = 0u64;
-    let mut closed = Vec::new();
+    let mut closed = initial_closed;
     let mut last_activity = Instant::now();
     let reg = marauder_obs::global();
 
@@ -292,6 +332,11 @@ pub fn serve(
                             node_of.insert(conn, id);
                         }
                         closed.extend(turn.closed);
+                        if let Some(cp) = checkpointer.as_deref_mut() {
+                            if cp.maybe_checkpoint(&aggregator, &closed).is_err() {
+                                reg.counter_add("fleet.checkpoint_errors", 1);
+                            }
+                        }
                         if let Some(writer) = writers.get_mut(&conn) {
                             for reply in &turn.replies {
                                 if writer.write_all(&crate::codec::encode(reply)).is_err() {
@@ -327,6 +372,11 @@ pub fn serve(
         }
     };
     closed.extend(aggregator.finish());
+    if let Some(cp) = checkpointer {
+        if cp.checkpoint_now(&aggregator, &closed).is_err() {
+            reg.counter_add("fleet.checkpoint_errors", 1);
+        }
+    }
     Ok(ServeOutcome {
         aggregator,
         closed,
@@ -364,4 +414,38 @@ fn handle_frame(
     };
     let turn = aggregator.on_message(&msg)?;
     Ok((joined, turn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconnect_jitter_is_reproducible_and_bounded() {
+        let base = Duration::from_millis(200);
+        for node in 0..8u64 {
+            for attempt in 0..8u32 {
+                let a = backoff_with_jitter(base, node, attempt);
+                let b = backoff_with_jitter(base, node, attempt);
+                assert_eq!(a, b, "jitter must be a pure function of (node, attempt)");
+                assert!(
+                    a >= base / 2 && a < base,
+                    "delay {a:?} outside [base/2, base)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconnect_jitter_decorrelates_nodes() {
+        let base = Duration::from_secs(2);
+        let delays: Vec<Duration> = (0..16u64)
+            .map(|node| backoff_with_jitter(base, node, 0))
+            .collect();
+        let distinct: std::collections::BTreeSet<Duration> = delays.iter().copied().collect();
+        assert!(
+            distinct.len() > 8,
+            "a fleet's first retries must spread out, got {distinct:?}"
+        );
+    }
 }

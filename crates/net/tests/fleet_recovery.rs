@@ -1,0 +1,126 @@
+//! The fleet durability invariant: kill the aggregator mid-campaign,
+//! restore its newest checkpoint, resume the nodes — and lose zero
+//! closed windows. The resumed run's batch fixes must be byte-identical
+//! to an uninterrupted run over the same captures.
+
+use marauder_fault::{render_fixes, ChaosScenario};
+use marauder_net::loopback::{required_slack_s, split_round_robin, LoopbackFleet};
+use marauder_net::node::NodeConfig;
+use marauder_net::{restore_latest, Aggregator, Checkpointer, FleetConfig};
+use marauder_stream::StreamConfig;
+use marauder_wifi::sniffer::CapturedFrame;
+use std::path::PathBuf;
+
+fn fleet_config(nodes: usize) -> FleetConfig {
+    FleetConfig {
+        stream: StreamConfig {
+            live_localization: false,
+            ..StreamConfig::default()
+        },
+        expected_nodes: nodes,
+        ..FleetConfig::default()
+    }
+}
+
+fn seats(slices: &[Vec<CapturedFrame>]) -> Vec<(NodeConfig, Vec<CapturedFrame>)> {
+    slices
+        .iter()
+        .map(|slice| {
+            (
+                NodeConfig {
+                    // Small batches so the kill lands mid-stream for
+                    // every node.
+                    batch_frames: 16,
+                    reorder_slack_s: required_slack_s(slice),
+                    ..NodeConfig::default()
+                },
+                slice.clone(),
+            )
+        })
+        .collect()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "marauder-fleet-recovery-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn mid_campaign_kill_and_restore_loses_zero_closed_windows() {
+    let scenario = ChaosScenario::quick(7);
+    let frames: Vec<CapturedFrame> = scenario.captures().iter().cloned().collect();
+    let nodes = 3;
+    let slices = split_round_robin(&frames, nodes);
+
+    // Uninterrupted reference run.
+    let mut fleet = LoopbackFleet::new(
+        Aggregator::new(scenario.fresh_map(), fleet_config(nodes)),
+        seats(&slices),
+    );
+    let closed_clean = fleet.run().expect("clean run");
+    assert!(!closed_clean.is_empty(), "scenario closes windows");
+    let mut agg = fleet.into_aggregator();
+    let reference = render_fixes(&agg.batch_fixes(closed_clean.clone()));
+
+    // Checkpointed run, killed mid-campaign: drop the fleet — and with
+    // it every byte of in-memory merge state — once half the windows
+    // have closed.
+    let dir = temp_dir("kill");
+    let mut cp = Checkpointer::new(&dir, 20.0).expect("checkpointer");
+    let mut fleet = LoopbackFleet::new(
+        Aggregator::new(scenario.fresh_map(), fleet_config(nodes)),
+        seats(&slices),
+    );
+    let mut closed = Vec::new();
+    let target = (closed_clean.len() / 2).max(1);
+    loop {
+        let (c, moved) = fleet.step().expect("step");
+        closed.extend(c);
+        cp.maybe_checkpoint(fleet.aggregator(), &closed)
+            .expect("checkpoint");
+        if closed.len() >= target {
+            break;
+        }
+        assert!(moved, "stream drained before reaching the kill point");
+    }
+    drop(fleet);
+
+    // Supervised restart: newest valid checkpoint, fresh node
+    // processes. Each node re-handshakes and the aggregator's
+    // `resume_seq` fast-forwards it past everything the checkpoint
+    // already absorbed.
+    let restored = restore_latest(&dir, &scenario.fresh_map(), &fleet_config(nodes))
+        .expect("restore scans the directory")
+        .expect("a checkpoint is on disk");
+    assert_eq!(restored.skipped, 0, "every checkpoint written was valid");
+    assert!(
+        restored.closed.len() <= closed.len(),
+        "the checkpoint cannot know windows closed after it"
+    );
+    let mut fleet = LoopbackFleet::new(restored.aggregator, seats(&slices));
+    let resumed = fleet.run().expect("resumed run");
+
+    // Windows closed between checkpoint and kill were lost from
+    // memory, but their frames sit above the checkpoint's per-node
+    // cursors, so the resumed run closes them again: the union is
+    // exactly the clean run's window set, with no duplicates.
+    let mut total = restored.closed;
+    total.extend(resumed);
+    assert_eq!(
+        total.len(),
+        closed_clean.len(),
+        "a closed window was lost or duplicated across the crash"
+    );
+    let mut agg = fleet.into_aggregator();
+    assert_eq!(
+        render_fixes(&agg.batch_fixes(total)),
+        reference,
+        "recovered fixes differ from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

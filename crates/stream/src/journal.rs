@@ -1,0 +1,1248 @@
+//! Write-ahead frame journal: crash-safe durability for the stream
+//! engine.
+//!
+//! A long surveillance campaign must survive the sniffer process
+//! dying. The journal makes ingestion durable with the classic WAL
+//! discipline: every frame is appended to an on-disk log *before* it
+//! is pushed into the [`StreamEngine`], so after a kill the engine can
+//! be rebuilt exactly — restore the newest checkpoint, then replay the
+//! journal tail.
+//!
+//! # On-disk layout
+//!
+//! A journal is a directory holding two kinds of files:
+//!
+//! * **Segments** (`segment-<first_seq>.wal`): append-only binary
+//!   record logs, rotated every [`JournalConfig::segment_frames`]
+//!   records. Each segment opens with a 16-byte header — an 8-byte
+//!   magic (`MRDRWAL` + format version byte) and the big-endian `u64`
+//!   sequence number of its first record. Records are length-prefixed
+//!   and checksummed:
+//!
+//!   ```text
+//!   record  := len:u32be  crc:u32be  payload[len]
+//!   payload := seq:u64be  time_bits:u64be  card:u32be  frame-bytes
+//!   ```
+//!
+//!   `crc` is CRC-32 (IEEE) over the payload; `time_bits` is the
+//!   frame timestamp's IEEE-754 bits, so replay is bit-exact.
+//!
+//! * **Checkpoints** (`checkpoint-<seq>.ckpt`): line-oriented text
+//!   documents written atomically ([`write_atomic`]) that embed an
+//!   engine snapshot plus every window closed so far. `<seq>` is the
+//!   number of frames the checkpoint covers — recovery replays journal
+//!   records with `seq >= <seq>`.
+//!
+//! # Recovery
+//!
+//! [`FrameJournal::recover`] scans checkpoints newest-first and takes
+//! the first one that parses (corrupt or torn candidates are skipped
+//! and counted, never fatal — the journal itself is the source of
+//! truth, so with zero valid checkpoints recovery simply replays the
+//! whole journal from a fresh engine). It then walks the segments,
+//! verifying each record's length and CRC, pushing the tail through
+//! the engine.
+//!
+//! **Torn tails are not errors.** A crash mid-append leaves a partial
+//! final record; recovery detects it (short header, short payload, or
+//! CRC mismatch in the *final* segment), truncates the file back to
+//! the last intact record, and resumes from there. The frame inside
+//! the torn record was never acknowledged as ingested, so the producer
+//! re-feeds it and the resumed run stays byte-identical to an
+//! uninterrupted one. The same damage in a *non-final* segment cannot
+//! be a crash artifact and is reported as [`RecoveryError::Corrupt`].
+//!
+//! # Crash equivalence
+//!
+//! The invariant pinned by `crates/fault`'s kill-at-every-boundary
+//! sweep: for any crash point, crash → recover → resume produces fixes
+//! byte-identical to the clean run (with [`FlushPolicy::EveryRecord`],
+//! which is the default).
+
+use crate::engine::{ClosedWindow, StreamConfig, StreamEngine};
+use crate::snapshot::{parse_mac, write_atomic};
+use marauder_core::pipeline::MaraudersMap;
+use marauder_core::PipelineError;
+use marauder_wifi::frame::Frame;
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::sniffer::{window_start, CapturedFrame};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file; the trailing byte is the
+/// binary format version.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"MRDRWAL\x01";
+
+/// Bytes of segment header preceding the first record.
+const SEGMENT_HEADER_LEN: u64 = 16;
+
+/// Bytes of record header (length prefix + CRC) preceding the payload.
+const RECORD_HEADER_LEN: u64 = 8;
+
+/// Fixed payload bytes before the encoded frame (seq + time + card).
+const PAYLOAD_PREFIX_LEN: usize = 20;
+
+/// Upper bound on a record payload. Real records are tens of bytes; a
+/// length prefix beyond this is corruption, and capping it keeps a
+/// flipped length byte from asking the reader to allocate gigabytes.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// Magic first line of the checkpoint text format.
+pub const CHECKPOINT_HEADER: &str = "# marauder journal checkpoint v1";
+
+/// When appended records are pushed to the OS.
+///
+/// Durability is what the crash-equivalence invariant rides on: with
+/// [`EveryRecord`](FlushPolicy::EveryRecord) every acknowledged append
+/// survives a process kill, so recovery loses nothing. The batched
+/// policies trade that completeness for fewer `write(2)` calls — after
+/// a kill, at most the unflushed suffix is gone, which recovery
+/// reports as a (clean) torn tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush after every record (default; required for exact crash
+    /// equivalence at arbitrary kill points).
+    EveryRecord,
+    /// Flush after every `n` records and on rotation.
+    EveryN(usize),
+    /// Flush only when a segment rotates (and on checkpoint).
+    OnRotate,
+}
+
+/// Journal behaviour knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Records per segment before rotating to a fresh file.
+    pub segment_frames: usize,
+    /// When appended records become durable.
+    pub flush: FlushPolicy,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            segment_frames: 4096,
+            flush: FlushPolicy::EveryRecord,
+        }
+    }
+}
+
+/// Error writing to (or creating) a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O failure, with the operation that failed.
+    Io {
+        /// What the journal was doing.
+        op: String,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// [`FrameJournal::create`] found existing journal files: a
+    /// non-empty journal must be opened through
+    /// [`FrameJournal::recover`], never blindly overwritten.
+    NotEmpty {
+        /// The offending directory.
+        dir: PathBuf,
+    },
+}
+
+impl JournalError {
+    fn io(op: impl Into<String>) -> impl FnOnce(std::io::Error) -> JournalError {
+        let op = op.into();
+        move |source| JournalError::Io { op, source }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { op, source } => write!(f, "journal {op}: {source}"),
+            JournalError::NotEmpty { dir } => write!(
+                f,
+                "journal directory {} already holds journal files; recover it instead of \
+                 creating over it",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            JournalError::NotEmpty { .. } => None,
+        }
+    }
+}
+
+/// Error recovering a journal directory.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// An I/O failure, with the operation that failed.
+    Io {
+        /// What recovery was doing.
+        op: String,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// A segment that is not the journal's final one holds a damaged
+    /// record. A torn tail can only live at the physical end of the
+    /// log, so this is real corruption, not a crash artifact.
+    Corrupt {
+        /// The offending segment file name.
+        segment: String,
+        /// Byte offset of the first bad record.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl RecoveryError {
+    fn io(op: impl Into<String>) -> impl FnOnce(std::io::Error) -> RecoveryError {
+        let op = op.into();
+        move |source| RecoveryError::Io { op, source }
+    }
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io { op, source } => write!(f, "journal recovery {op}: {source}"),
+            RecoveryError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "journal segment {segment} corrupt at byte {offset}: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Io { source, .. } => Some(source),
+            RecoveryError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`. Bitwise —
+/// no table — because journal records are tens of bytes and the whole
+/// workspace is std-only.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("segment-{first_seq:020}.wal")
+}
+
+fn checkpoint_name(seq: u64) -> String {
+    format!("checkpoint-{seq:020}.ckpt")
+}
+
+/// Parses `prefix-<u64>.suffix` file names back to their number.
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// What [`FrameJournal::recover`] found and rebuilt.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The journal, positioned to append record `next_seq` (a torn
+    /// tail, if any, has been physically truncated away).
+    pub journal: FrameJournal,
+    /// The rebuilt engine, byte-identical to the pre-crash engine
+    /// state after `next_seq` frames.
+    pub engine: StreamEngine,
+    /// Every window the pre-crash run had closed, in emission order —
+    /// checkpoint-carried windows first, then the tail replay's.
+    pub closed: Vec<ClosedWindow>,
+    /// Sequence number of the next frame to ingest (= frames durably
+    /// journaled).
+    pub next_seq: u64,
+    /// How the recovery went, for operators and the sweep harness.
+    pub report: RecoveryReport,
+}
+
+/// Accounting for one recovery pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence the restored checkpoint covered (`None`: recovered
+    /// from scratch).
+    pub checkpoint_seq: Option<u64>,
+    /// Checkpoint files that failed to parse and were skipped.
+    pub checkpoints_skipped: usize,
+    /// Segment files scanned.
+    pub segments_scanned: usize,
+    /// Journal records replayed through the engine.
+    pub records_replayed: u64,
+    /// Bytes of torn tail truncated from the final segment (0: clean
+    /// shutdown).
+    pub torn_tail_bytes: u64,
+}
+
+/// An append-only write-ahead log of captured frames.
+///
+/// See the [module docs](self) for the format and recovery contract.
+#[derive(Debug)]
+pub struct FrameJournal {
+    dir: PathBuf,
+    config: JournalConfig,
+    /// The open segment, if any (`None` until the first append after
+    /// creation or a rotation boundary).
+    segment: Option<File>,
+    /// Records already in the open segment.
+    segment_records: usize,
+    /// Sequence number the next append receives.
+    next_seq: u64,
+    /// Appends since the last flush, for [`FlushPolicy::EveryN`].
+    unflushed: usize,
+    /// Frames covered by the newest checkpoint written through this
+    /// handle (or carried in at recovery).
+    checkpointed_seq: u64,
+}
+
+impl FrameJournal {
+    /// Creates a fresh journal in `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NotEmpty`] when `dir` already holds segments or
+    /// checkpoints (recover those instead), or [`JournalError::Io`].
+    pub fn create(dir: &Path, config: JournalConfig) -> Result<FrameJournal, JournalError> {
+        std::fs::create_dir_all(dir)
+            .map_err(JournalError::io(format!("create dir {}", dir.display())))?;
+        let (segments, checkpoints) =
+            list_journal_files(dir).map_err(JournalError::io(format!("scan {}", dir.display())))?;
+        if !segments.is_empty() || !checkpoints.is_empty() {
+            return Err(JournalError::NotEmpty {
+                dir: dir.to_path_buf(),
+            });
+        }
+        Ok(FrameJournal {
+            dir: dir.to_path_buf(),
+            config,
+            segment: None,
+            segment_records: 0,
+            next_seq: 0,
+            unflushed: 0,
+            checkpointed_seq: 0,
+        })
+    }
+
+    /// The directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number the next append will receive (= frames durably
+    /// journaled so far).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one frame, returning its sequence number. Call this
+    /// *before* pushing the frame into the engine — write-ahead is the
+    /// whole durability argument.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on any filesystem failure; the journal's
+    /// logical position is unchanged on error.
+    pub fn append(&mut self, frame: &CapturedFrame) -> Result<u64, JournalError> {
+        if self.segment.is_none() || self.segment_records >= self.config.segment_frames {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let frame_bytes = frame.frame.encode();
+        let mut payload = Vec::with_capacity(PAYLOAD_PREFIX_LEN + frame_bytes.len());
+        payload.extend_from_slice(&seq.to_be_bytes());
+        payload.extend_from_slice(&frame.time_s.to_bits().to_be_bytes());
+        payload.extend_from_slice(&(frame.card as u32).to_be_bytes());
+        payload.extend_from_slice(&frame_bytes);
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        record.extend_from_slice(&crc32(&payload).to_be_bytes());
+        record.extend_from_slice(&payload);
+        let file = self.segment.as_mut().ok_or_else(|| JournalError::Io {
+            op: "open segment".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "no open segment"),
+        })?;
+        file.write_all(&record)
+            .map_err(JournalError::io("append record"))?;
+        self.next_seq += 1;
+        self.segment_records += 1;
+        self.unflushed += 1;
+        let flush_now = match self.config.flush {
+            FlushPolicy::EveryRecord => true,
+            FlushPolicy::EveryN(n) => self.unflushed >= n.max(1),
+            FlushPolicy::OnRotate => false,
+        };
+        if flush_now {
+            self.sync()?;
+        }
+        let reg = marauder_obs::global();
+        reg.counter_add("journal.appends", 1);
+        reg.counter_add("journal.bytes", record.len() as u64);
+        Ok(seq)
+    }
+
+    /// Pushes buffered appends to durable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`].
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        if let Some(file) = self.segment.as_mut() {
+            file.sync_data().map_err(JournalError::io("sync segment"))?;
+        }
+        if self.unflushed > 0 {
+            marauder_obs::global().counter_add("journal.flushes", 1);
+        }
+        self.unflushed = 0;
+        Ok(())
+    }
+
+    /// Closes the open segment (after a final sync) and starts the
+    /// next one, named after the first sequence it will hold.
+    fn rotate(&mut self) -> Result<(), JournalError> {
+        self.sync()?;
+        self.segment = None;
+        self.segment_records = 0;
+        let path = self.dir.join(segment_name(self.next_seq));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(JournalError::io(format!("create {}", path.display())))?;
+        let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+        header.extend_from_slice(&SEGMENT_MAGIC);
+        header.extend_from_slice(&self.next_seq.to_be_bytes());
+        file.write_all(&header)
+            .map_err(JournalError::io("write segment header"))?;
+        self.segment = Some(file);
+        marauder_obs::global().counter_add("journal.segments", 1);
+        Ok(())
+    }
+
+    /// Writes a checkpoint covering everything ingested so far: the
+    /// engine snapshot plus every closed window, to
+    /// `checkpoint-<next_seq>.ckpt` via the atomic temp-file + rename
+    /// helper. The segment is synced first, so a checkpoint never
+    /// claims to cover frames that are not yet durable.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`].
+    pub fn checkpoint(
+        &mut self,
+        engine: &StreamEngine,
+        closed: &[ClosedWindow],
+    ) -> Result<(), JournalError> {
+        self.sync()?;
+        let doc = checkpoint_document(engine, closed, self.next_seq);
+        let path = self.dir.join(checkpoint_name(self.next_seq));
+        write_atomic(&path, doc.as_bytes())
+            .map_err(JournalError::io(format!("write {}", path.display())))?;
+        self.checkpointed_seq = self.next_seq;
+        let reg = marauder_obs::global();
+        reg.counter_add("journal.checkpoints", 1);
+        reg.counter_add("journal.checkpoint_bytes", doc.len() as u64);
+        Ok(())
+    }
+
+    /// Frames covered by the newest checkpoint this handle wrote.
+    pub fn checkpointed_seq(&self) -> u64 {
+        self.checkpointed_seq
+    }
+
+    /// Rebuilds engine state from the journal in `dir`: restores the
+    /// newest checkpoint that parses (skipping, not failing on,
+    /// corrupt ones — the journal itself is authoritative) and replays
+    /// the journal tail through the engine. A partial final record —
+    /// the signature of a crash mid-append — is truncated away and
+    /// reported, not an error.
+    ///
+    /// `config`'s `live_localization`/`warm_start` are applied to the
+    /// rebuilt engine (they are process configuration, never
+    /// serialized); its windowing knobs are used only when recovering
+    /// from scratch — a restored checkpoint carries its own.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Io`] on filesystem failures and
+    /// [`RecoveryError::Corrupt`] for a damaged record anywhere but
+    /// the journal's physical tail.
+    pub fn recover(
+        dir: &Path,
+        map: MaraudersMap,
+        config: StreamConfig,
+    ) -> Result<Recovery, RecoveryError> {
+        let (segments, mut checkpoints) = list_journal_files(dir)
+            .map_err(RecoveryError::io(format!("scan {}", dir.display())))?;
+        let mut report = RecoveryReport::default();
+
+        // Newest checkpoint that parses wins; the rest are skipped.
+        let mut engine: Option<StreamEngine> = None;
+        let mut closed: Vec<ClosedWindow> = Vec::new();
+        let mut start_seq = 0u64;
+        checkpoints.reverse();
+        for (seq, name) in &checkpoints {
+            let path = dir.join(name);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(_) => {
+                    report.checkpoints_skipped += 1;
+                    continue;
+                }
+            };
+            match parse_checkpoint(&text, map.clone()) {
+                Ok((restored, windows, covers)) if covers == *seq => {
+                    engine = Some(restored);
+                    closed = windows;
+                    start_seq = covers;
+                    report.checkpoint_seq = Some(covers);
+                    break;
+                }
+                // A checkpoint whose file name disagrees with its
+                // `covers` record is as untrustworthy as one that
+                // fails to parse.
+                Ok(_) | Err(_) => report.checkpoints_skipped += 1,
+            }
+        }
+        let mut engine = match engine {
+            Some(e) => e,
+            None => StreamEngine::new(map, config.clone()),
+        };
+        engine.set_mode(config.live_localization, config.warm_start);
+
+        // Replay the tail: walk segments in order, skipping any whose
+        // entire range the checkpoint already covers.
+        let mut next_seq = start_seq;
+        let mut tail_torn = 0u64;
+        for (idx, (first_seq, name)) in segments.iter().enumerate() {
+            let covered_by_next = segments
+                .get(idx + 1)
+                .map(|(next_first, _)| *next_first <= start_seq)
+                .unwrap_or(false);
+            if covered_by_next {
+                continue;
+            }
+            let is_final = idx + 1 == segments.len();
+            let path = dir.join(name);
+            let scan = scan_segment(&path, name, *first_seq, is_final)?;
+            report.segments_scanned += 1;
+            for (seq, frame) in scan.frames {
+                if seq != next_seq && seq >= start_seq {
+                    return Err(RecoveryError::Corrupt {
+                        segment: name.clone(),
+                        offset: 0,
+                        reason: format!("record sequence {seq} where {next_seq} was expected"),
+                    });
+                }
+                if seq < start_seq {
+                    continue;
+                }
+                closed.extend(engine.push(&frame));
+                next_seq += 1;
+                report.records_replayed += 1;
+            }
+            if is_final {
+                tail_torn = scan.torn_bytes;
+                if scan.torn_bytes > 0 {
+                    // Physically truncate the torn tail so the journal
+                    // can be appended to from a clean record boundary.
+                    let file = OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(RecoveryError::io(format!("reopen {}", path.display())))?;
+                    file.set_len(scan.valid_len)
+                        .map_err(RecoveryError::io(format!("truncate {}", path.display())))?;
+                }
+            }
+        }
+        report.torn_tail_bytes = tail_torn;
+
+        // Reopen the final segment for append (if any).
+        let (segment, segment_records) = match segments.last() {
+            Some((first_seq, name)) => {
+                let path = dir.join(name);
+                let mut file = OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .map_err(RecoveryError::io(format!("reopen {}", path.display())))?;
+                file.seek(SeekFrom::End(0))
+                    .map_err(RecoveryError::io("seek to end"))?;
+                (Some(file), (next_seq - first_seq) as usize)
+            }
+            None => (None, 0),
+        };
+
+        let reg = marauder_obs::global();
+        reg.counter_add("recovery.runs", 1);
+        reg.counter_add("recovery.records_replayed", report.records_replayed);
+        reg.counter_add("recovery.segments_scanned", report.segments_scanned as u64);
+        reg.counter_add(
+            "recovery.checkpoints_skipped",
+            report.checkpoints_skipped as u64,
+        );
+        reg.counter_add("recovery.torn_tail_bytes", report.torn_tail_bytes);
+        if report.torn_tail_bytes > 0 {
+            reg.counter_add("recovery.torn_tails", 1);
+        }
+
+        Ok(Recovery {
+            journal: FrameJournal {
+                dir: dir.to_path_buf(),
+                config: JournalConfig::default(),
+                segment,
+                segment_records,
+                next_seq,
+                unflushed: 0,
+                checkpointed_seq: start_seq,
+            },
+            engine,
+            closed,
+            next_seq,
+            report,
+        })
+    }
+}
+
+impl FrameJournal {
+    /// Replaces the journal's rotation/flush configuration (used after
+    /// [`recover`](Self::recover), which resumes with the defaults).
+    pub fn set_config(&mut self, config: JournalConfig) {
+        self.config = config;
+    }
+}
+
+/// `(number, file_name)` pairs, ascending by number: segments first,
+/// checkpoints second.
+type JournalFiles = (Vec<(u64, String)>, Vec<(u64, String)>);
+
+/// Lists `(number, file_name)` for segments and checkpoints in `dir`,
+/// each sorted ascending by number. Foreign files are ignored.
+fn list_journal_files(dir: &Path) -> std::io::Result<JournalFiles> {
+    let mut segments = Vec::new();
+    let mut checkpoints = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = match entry.file_name().into_string() {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        if let Some(seq) = parse_numbered(&name, "segment-", ".wal") {
+            segments.push((seq, name));
+        } else if let Some(seq) = parse_numbered(&name, "checkpoint-", ".ckpt") {
+            checkpoints.push((seq, name));
+        }
+    }
+    segments.sort();
+    checkpoints.sort();
+    Ok((segments, checkpoints))
+}
+
+/// One scanned segment: the intact records and where validity ended.
+struct SegmentScan {
+    frames: Vec<(u64, CapturedFrame)>,
+    /// Bytes of the file that held intact records (incl. header).
+    valid_len: u64,
+    /// Bytes past `valid_len` (0 when the file ends exactly on a
+    /// record boundary).
+    torn_bytes: u64,
+}
+
+/// Reads every record of one segment. In the final segment damage is a
+/// torn tail (scan stops, remainder reported); anywhere else it is
+/// [`RecoveryError::Corrupt`].
+fn scan_segment(
+    path: &Path,
+    name: &str,
+    expect_first_seq: u64,
+    is_final: bool,
+) -> Result<SegmentScan, RecoveryError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(RecoveryError::io(format!("read {}", path.display())))?;
+    let corrupt = |offset: u64, reason: String| RecoveryError::Corrupt {
+        segment: name.to_string(),
+        offset,
+        reason,
+    };
+    // The header: even this can be torn if the crash hit during
+    // rotation — a short or mismatched header on the *final* segment
+    // is an empty torn tail, not corruption.
+    let header_ok = bytes.len() as u64 >= SEGMENT_HEADER_LEN
+        && bytes[..8] == SEGMENT_MAGIC
+        && u64::from_be_bytes([
+            bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+        ]) == expect_first_seq;
+    if !header_ok {
+        if is_final {
+            return Ok(SegmentScan {
+                frames: Vec::new(),
+                valid_len: 0,
+                torn_bytes: bytes.len() as u64,
+            });
+        }
+        return Err(corrupt(0, "bad segment header".into()));
+    }
+
+    let mut frames = Vec::new();
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    loop {
+        if pos == bytes.len() {
+            break; // clean end on a record boundary
+        }
+        let fail_or_tear = |reason: String| -> Result<usize, RecoveryError> {
+            if is_final {
+                Ok(pos) // tear here
+            } else {
+                Err(corrupt(pos as u64, reason))
+            }
+        };
+        if bytes.len() - pos < RECORD_HEADER_LEN as usize {
+            let tear = fail_or_tear("short record header".into())?;
+            return Ok(finish_scan(frames, tear, bytes.len()));
+        }
+        let len = u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        let crc = u32::from_be_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        if len > MAX_RECORD_LEN || (len as usize) < PAYLOAD_PREFIX_LEN {
+            let tear = fail_or_tear(format!("implausible record length {len}"))?;
+            return Ok(finish_scan(frames, tear, bytes.len()));
+        }
+        let body_start = pos + RECORD_HEADER_LEN as usize;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            let tear = fail_or_tear("record extends past end of file".into())?;
+            return Ok(finish_scan(frames, tear, bytes.len()));
+        }
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            let tear = fail_or_tear("checksum mismatch".into())?;
+            return Ok(finish_scan(frames, tear, bytes.len()));
+        }
+        let seq = u64::from_be_bytes([
+            payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
+            payload[7],
+        ]);
+        let time_s = f64::from_bits(u64::from_be_bytes([
+            payload[8],
+            payload[9],
+            payload[10],
+            payload[11],
+            payload[12],
+            payload[13],
+            payload[14],
+            payload[15],
+        ]));
+        let card =
+            u32::from_be_bytes([payload[16], payload[17], payload[18], payload[19]]) as usize;
+        let frame = match Frame::decode(&payload[PAYLOAD_PREFIX_LEN..]) {
+            Ok(f) => f,
+            Err(e) => {
+                // The CRC passed but the frame codec rejects the bytes:
+                // that is structural corruption, not a torn write.
+                return Err(corrupt(pos as u64, format!("undecodable frame: {e:?}")));
+            }
+        };
+        frames.push((
+            seq,
+            CapturedFrame {
+                time_s,
+                card,
+                frame,
+            },
+        ));
+        pos = body_end;
+    }
+    Ok(SegmentScan {
+        frames,
+        valid_len: pos as u64,
+        torn_bytes: 0,
+    })
+}
+
+fn finish_scan(frames: Vec<(u64, CapturedFrame)>, valid: usize, total: usize) -> SegmentScan {
+    SegmentScan {
+        frames,
+        valid_len: valid as u64,
+        torn_bytes: (total - valid) as u64,
+    }
+}
+
+/// Renders the checkpoint document: `covers`, one `closed` record per
+/// window, the embedded engine snapshot, and the truncation sentinel.
+fn checkpoint_document(engine: &StreamEngine, closed: &[ClosedWindow], covers: u64) -> String {
+    let mut out = String::new();
+    out.push_str(CHECKPOINT_HEADER);
+    out.push('\n');
+    out.push_str(&format!("covers {covers}\n"));
+    for c in closed {
+        let macs: Vec<String> = c.gamma.iter().map(|m| m.to_string()).collect();
+        out.push_str(&format!(
+            "closed {} {} {}\n",
+            c.window,
+            c.mobile,
+            macs.join(",")
+        ));
+    }
+    let engine_text = engine.snapshot();
+    out.push_str(&format!("engine {}\n", engine_text.lines().count()));
+    out.push_str(&engine_text);
+    if !engine_text.ends_with('\n') {
+        out.push('\n');
+    }
+    let records = out.lines().count() - 1;
+    out.push_str(&format!("end {records}\n"));
+    out
+}
+
+/// Parses a checkpoint document back to `(engine, closed, covers)`.
+/// All errors are stringly typed: the caller (recovery) treats any
+/// failure as "skip this checkpoint", and the string only feeds logs.
+fn parse_checkpoint(
+    text: &str,
+    map: MaraudersMap,
+) -> Result<(StreamEngine, Vec<ClosedWindow>, u64), String> {
+    let lines: Vec<&str> = text.lines().collect();
+    match lines.first() {
+        Some(h) if h.trim() == CHECKPOINT_HEADER => {}
+        _ => return Err(format!("missing header {CHECKPOINT_HEADER:?}")),
+    }
+    let mut covers: Option<u64> = None;
+    let mut raw_closed: Vec<(i64, MacAddr, BTreeSet<MacAddr>)> = Vec::new();
+    let mut engine: Option<StreamEngine> = None;
+    let mut records = 0usize;
+    let mut end_seen = false;
+    let mut i = 1usize;
+    while i < lines.len() {
+        let line = lines[i];
+        i += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if end_seen {
+            return Err("record after the end sentinel".into());
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let args = &fields[1..];
+        match fields[0] {
+            "covers" => {
+                if args.len() != 1 {
+                    return Err("covers takes 1 field".into());
+                }
+                covers = Some(args[0].parse().map_err(|e| format!("bad covers: {e}"))?);
+            }
+            "closed" => {
+                if args.len() != 3 {
+                    return Err("closed takes 3 fields".into());
+                }
+                let w = args[0]
+                    .parse::<i64>()
+                    .map_err(|e| format!("bad window: {e}"))?;
+                let mobile = parse_mac(args[1])?;
+                let gamma: BTreeSet<MacAddr> = args[2]
+                    .split(',')
+                    .map(parse_mac)
+                    .collect::<Result<_, _>>()?;
+                if gamma.is_empty() {
+                    return Err("closed window with empty gamma".into());
+                }
+                raw_closed.push((w, mobile, gamma));
+            }
+            "engine" => {
+                if args.len() != 1 {
+                    return Err("engine takes 1 field".into());
+                }
+                let count = args[0]
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad engine line count: {e}"))?;
+                if i + count > lines.len() {
+                    return Err(format!(
+                        "engine block declares {count} lines but only {} remain",
+                        lines.len() - i
+                    ));
+                }
+                let block = lines[i..i + count].join("\n");
+                let restored = StreamEngine::restore(map.clone(), &block)
+                    .map_err(|e| format!("embedded engine snapshot: {e}"))?;
+                engine = Some(restored);
+                records += count;
+                i += count;
+            }
+            "end" => {
+                if args.len() != 1 {
+                    return Err("end takes 1 field".into());
+                }
+                let declared = args[0]
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad end count: {e}"))?;
+                if declared != records {
+                    return Err(format!(
+                        "checkpoint truncated: end sentinel declares {declared} records \
+                         but {records} were read"
+                    ));
+                }
+                end_seen = true;
+                continue;
+            }
+            other => return Err(format!("unknown record {other:?}")),
+        }
+        records += 1;
+    }
+    if !end_seen {
+        return Err("checkpoint truncated: missing end sentinel".into());
+    }
+    let covers = covers.ok_or("missing covers record")?;
+    let engine = engine.ok_or("missing engine block")?;
+    let window_s = engine.window_s;
+    let closed = raw_closed
+        .into_iter()
+        .map(|(w, mobile, gamma)| ClosedWindow {
+            window: w,
+            window_start_s: window_start(w, window_s),
+            mobile,
+            gamma,
+            // Checkpoints serve batch-fix pipelines, whose engines run
+            // with live localization off: the live outcome is always
+            // deferred, and `batch_fixes` never reads it.
+            outcome: Err(PipelineError::DeferredLocalization),
+        })
+        .collect();
+    Ok((engine, closed, covers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StreamConfig;
+    use marauder_core::apdb::{ApDatabase, ApRecord};
+    use marauder_core::pipeline::{AttackConfig, KnowledgeLevel};
+    use marauder_geo::Point;
+    use marauder_wifi::channel::Channel;
+    use marauder_wifi::frame::Frame;
+    use marauder_wifi::ssid::Ssid;
+
+    fn mac(i: u64) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn map() -> MaraudersMap {
+        let db: ApDatabase = [
+            (100u64, Point::new(0.0, 0.0)),
+            (101, Point::new(100.0, 0.0)),
+            (102, Point::new(50.0, 80.0)),
+        ]
+        .into_iter()
+        .map(|(i, p)| ApRecord {
+            bssid: mac(i),
+            ssid: None,
+            location: p,
+            radius: Some(120.0),
+        })
+        .collect();
+        MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default())
+    }
+
+    fn response(t: f64, ap: u64, mobile: u64) -> CapturedFrame {
+        CapturedFrame {
+            time_s: t,
+            card: 0,
+            frame: Frame::probe_response(
+                mac(ap),
+                mac(mobile),
+                Ssid::new("x").unwrap(),
+                Channel::bg(6).unwrap(),
+            ),
+        }
+    }
+
+    fn frames(n: usize) -> Vec<CapturedFrame> {
+        (0..n)
+            .map(|k| response(k as f64 * 7.0, 100 + (k % 3) as u64, 1 + (k % 2) as u64))
+            .collect()
+    }
+
+    fn lazy() -> StreamConfig {
+        StreamConfig {
+            live_localization: false,
+            warm_start: false,
+            ..StreamConfig::default()
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "marauder-journal-test-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Canonical byte rendering of a fix list, for equality asserts.
+    fn render(fixes: &[crate::TrackFix]) -> String {
+        fixes
+            .iter()
+            .map(|f| {
+                format!(
+                    "{:016x} {} {:016x} {:016x} {}\n",
+                    f.time_s.to_bits(),
+                    f.mobile,
+                    f.estimate.position.x.to_bits(),
+                    f.estimate.position.y.to_bits(),
+                    f.gamma.len()
+                )
+            })
+            .collect()
+    }
+
+    fn clean_fixes(n: usize) -> String {
+        let mut engine = StreamEngine::new(map(), lazy());
+        let mut closed = Vec::new();
+        for f in frames(n) {
+            closed.extend(engine.push(&f));
+        }
+        closed.extend(engine.finish());
+        render(&engine.batch_fixes(closed))
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn journal_rotates_and_recovers_everything() {
+        let dir = scratch("rotate");
+        let all = frames(50);
+        let mut journal = FrameJournal::create(
+            &dir,
+            JournalConfig {
+                segment_frames: 8,
+                flush: FlushPolicy::EveryRecord,
+            },
+        )
+        .unwrap();
+        let mut engine = StreamEngine::new(map(), lazy());
+        let mut closed = Vec::new();
+        for (k, f) in all.iter().enumerate() {
+            assert_eq!(journal.append(f).unwrap(), k as u64);
+            closed.extend(engine.push(f));
+            if k == 20 {
+                journal.checkpoint(&engine, &closed).unwrap();
+            }
+        }
+        drop(journal); // crash after frame 50
+
+        let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec.next_seq, 50);
+        assert_eq!(rec.report.checkpoint_seq, Some(21));
+        assert_eq!(rec.report.records_replayed, 50 - 21);
+        assert_eq!(rec.report.torn_tail_bytes, 0);
+        assert!(rec.report.segments_scanned >= 4);
+
+        let mut recovered = rec.engine;
+        let mut closed2 = rec.closed;
+        closed2.extend(recovered.finish());
+        closed.extend(engine.finish());
+        assert_eq!(engine.stats(), recovered.stats());
+        assert_eq!(
+            render(&engine.batch_fixes(closed)),
+            render(&recovered.batch_fixes(closed2))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_resumable() {
+        let dir = scratch("torn");
+        let all = frames(12);
+        let mut journal = FrameJournal::create(&dir, JournalConfig::default()).unwrap();
+        let mut engine = StreamEngine::new(map(), lazy());
+        for f in &all {
+            journal.append(f).unwrap();
+            engine.push(f);
+        }
+        drop(journal);
+
+        // Tear 3 bytes into the final record.
+        let (segments, _) = list_journal_files(&dir).unwrap();
+        let (_, name) = segments.last().unwrap();
+        let path = dir.join(name);
+        let len = std::fs::metadata(&path).unwrap().len();
+        // All frames encode identically here; records are equal
+        // sized, so the last record's start is easy to find.
+        let record_len = (len - SEGMENT_HEADER_LEN) / 12;
+        let last_start = len - record_len;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(last_start + 3)
+            .unwrap();
+
+        let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec.next_seq, 11, "the torn record is gone");
+        assert_eq!(rec.report.torn_tail_bytes, 3);
+        // The torn frame was never acknowledged; re-append and resume.
+        let mut journal = rec.journal;
+        let mut recovered = rec.engine;
+        let mut closed = rec.closed;
+        assert_eq!(journal.append(&all[11]).unwrap(), 11);
+        closed.extend(recovered.push(&all[11]));
+        closed.extend(recovered.finish());
+        assert_eq!(render(&recovered.batch_fixes(closed)), clean_fixes(12));
+
+        // The repaired journal recovers cleanly a second time.
+        drop(journal);
+        let rec2 = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec2.next_seq, 12);
+        assert_eq!(rec2.report.torn_tail_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_skipped_not_fatal() {
+        let dir = scratch("badckpt");
+        let all = frames(30);
+        let mut journal = FrameJournal::create(&dir, JournalConfig::default()).unwrap();
+        let mut engine = StreamEngine::new(map(), lazy());
+        let mut closed = Vec::new();
+        for (k, f) in all.iter().enumerate() {
+            journal.append(f).unwrap();
+            closed.extend(engine.push(f));
+            if k == 10 || k == 20 {
+                journal.checkpoint(&engine, &closed).unwrap();
+            }
+        }
+        drop(journal);
+
+        // Flip a byte in the newest checkpoint.
+        let (_, checkpoints) = list_journal_files(&dir).unwrap();
+        let newest = dir.join(&checkpoints.last().unwrap().1);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert!(rec.report.checkpoints_skipped >= 1);
+        assert_eq!(rec.report.checkpoint_seq, Some(11));
+        assert_eq!(rec.next_seq, 30);
+        let mut recovered = rec.engine;
+        let mut closed = rec.closed;
+        closed.extend(recovered.finish());
+        assert_eq!(render(&recovered.batch_fixes(closed)), clean_fixes(30));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_a_non_final_segment_is_a_typed_error() {
+        let dir = scratch("midcorrupt");
+        let mut journal = FrameJournal::create(
+            &dir,
+            JournalConfig {
+                segment_frames: 4,
+                flush: FlushPolicy::EveryRecord,
+            },
+        )
+        .unwrap();
+        for f in frames(12) {
+            journal.append(&f).unwrap();
+        }
+        drop(journal);
+        let (segments, _) = list_journal_files(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        let first = dir.join(&segments[0].1);
+        let mut bytes = std::fs::read(&first).unwrap();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0xFF;
+        std::fs::write(&first, &bytes).unwrap();
+        let err = FrameJournal::recover(&dir, map(), lazy()).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::Corrupt { .. }),
+            "want Corrupt, got {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_a_non_empty_journal() {
+        let dir = scratch("nonempty");
+        let mut journal = FrameJournal::create(&dir, JournalConfig::default()).unwrap();
+        journal.append(&response(0.0, 100, 1)).unwrap();
+        drop(journal);
+        let err = FrameJournal::create(&dir, JournalConfig::default()).unwrap_err();
+        assert!(matches!(err, JournalError::NotEmpty { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovering_an_empty_directory_yields_a_fresh_journal() {
+        let dir = scratch("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec.next_seq, 0);
+        assert_eq!(rec.report, RecoveryReport::default());
+        let mut journal = rec.journal;
+        assert_eq!(journal.append(&response(0.0, 100, 1)).unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_policies_accept_appends() {
+        for flush in [FlushPolicy::EveryN(4), FlushPolicy::OnRotate] {
+            let dir = scratch(&format!("flush-{flush:?}"));
+            let mut journal = FrameJournal::create(
+                &dir,
+                JournalConfig {
+                    segment_frames: 6,
+                    flush,
+                },
+            )
+            .unwrap();
+            for f in frames(20) {
+                journal.append(&f).unwrap();
+            }
+            journal.sync().unwrap();
+            drop(journal);
+            let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+            assert_eq!(rec.next_seq, 20);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

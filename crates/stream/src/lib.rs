@@ -51,16 +51,31 @@
 //! carried across a process restart, restored
 //! ([`StreamEngine::restore`]) and resumed — with output identical to
 //! the uninterrupted run.
+//!
+//! # Durability
+//!
+//! Snapshots are cooperative — someone has to ask for one. The
+//! [`FrameJournal`] makes ingestion durable against *kills*: every
+//! frame is appended to a checksummed write-ahead log before it is
+//! pushed, so [`FrameJournal::recover`] can rebuild the engine (newest
+//! checkpoint + journal-tail replay, torn tails truncated) with state
+//! byte-identical to the uninterrupted run. See
+//! DESIGN.md "Durability & crash recovery".
 
 #![forbid(unsafe_code)]
 
 mod engine;
+mod journal;
 mod replay;
 mod snapshot;
 
 pub use engine::{ClosedWindow, StreamConfig, StreamEngine, StreamStats};
+pub use journal::{
+    FlushPolicy, FrameJournal, JournalConfig, JournalError, Recovery, RecoveryError,
+    RecoveryReport, CHECKPOINT_HEADER, MAX_RECORD_LEN, SEGMENT_MAGIC,
+};
 pub use replay::{replay_database, replay_frames, replay_log};
-pub use snapshot::SnapshotError;
+pub use snapshot::{write_atomic, SnapshotError};
 
 // Re-exported for downstream convenience (CLI, benches).
 pub use marauder_core::pipeline::{MaraudersMap, TrackFix};

@@ -97,18 +97,55 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-fn hex(v: f64) -> String {
+pub(crate) fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-fn unhex(s: &str) -> Result<f64, String> {
+pub(crate) fn unhex(s: &str) -> Result<f64, String> {
     u64::from_str_radix(s, 16)
         .map(f64::from_bits)
         .map_err(|e| format!("bad f64 bits {s:?}: {e}"))
 }
 
-fn parse_mac(s: &str) -> Result<MacAddr, String> {
+pub(crate) fn parse_mac(s: &str) -> Result<MacAddr, String> {
     s.parse().map_err(|_| format!("bad MAC {s:?}"))
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// file in the same directory, which is then renamed over the target.
+/// A crash mid-write leaves either the old file or the new one — never
+/// a torn hybrid — because the rename is the only mutation of `path`
+/// and renames within one directory are atomic on every platform the
+/// workspace targets.
+///
+/// The temporary name is derived from the target name (`.{name}.tmp`),
+/// so concurrent writers of *different* files never collide; the
+/// workspace's checkpoint writers are single-threaded per target.
+///
+/// # Errors
+///
+/// Any I/O failure creating, writing, syncing, or renaming the
+/// temporary file. On failure the target is untouched.
+pub fn write_atomic(path: &std::path::Path, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no name"))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(name);
+    tmp_name.push(".tmp");
+    let tmp = dir.join(tmp_name);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents)?;
+    // The data must be durable before the rename publishes it: a
+    // rename that survives a crash while the bytes behind it did not
+    // would be exactly the torn checkpoint this helper exists to
+    // prevent.
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 impl StreamEngine {
@@ -177,6 +214,18 @@ impl StreamEngine {
         reg.counter_add("stream.snapshots", 1);
         reg.counter_add("stream.snapshot_bytes", out.len() as u64);
         out
+    }
+
+    /// Serializes the engine's state and writes it to `path` via
+    /// [`write_atomic`], so a crash mid-write can never leave a
+    /// half-written snapshot behind (the reader sees the previous
+    /// snapshot or the new one, nothing in between).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure from [`write_atomic`].
+    pub fn snapshot_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        write_atomic(path, self.snapshot().as_bytes())
     }
 
     /// Rebuilds an engine from `map` (the same AP knowledge the

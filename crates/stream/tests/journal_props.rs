@@ -1,0 +1,212 @@
+//! Property tests for the frame journal's damage tolerance, mirroring
+//! the wire-codec fuzz suite: any truncation or single-byte corruption
+//! of a segment or checkpoint file yields either a clean torn-tail
+//! recovery or a typed [`RecoveryError`] — never a panic, and never a
+//! recovery that claims more frames than were written.
+//!
+//! Two invariants are pinned exactly:
+//!
+//! * damage to a *checkpoint* is never fatal (the journal is the
+//!   source of truth; the checkpoint is skipped),
+//! * damage to the *final segment* is never fatal (it is
+//!   indistinguishable from a crash mid-append, so it is a torn tail).
+
+use marauder_core::apdb::{ApDatabase, ApRecord};
+use marauder_core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
+use marauder_geo::Point;
+use marauder_stream::{
+    FlushPolicy, FrameJournal, JournalConfig, RecoveryError, StreamConfig, StreamEngine,
+};
+use marauder_wifi::channel::Channel;
+use marauder_wifi::frame::Frame;
+use marauder_wifi::mac::MacAddr;
+use marauder_wifi::sniffer::CapturedFrame;
+use marauder_wifi::ssid::Ssid;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Frames in the template journal.
+const FRAMES: usize = 24;
+
+fn map() -> MaraudersMap {
+    let db: ApDatabase = [
+        (100u64, Point::new(0.0, 0.0)),
+        (101, Point::new(100.0, 0.0)),
+        (102, Point::new(50.0, 80.0)),
+    ]
+    .into_iter()
+    .map(|(i, p)| ApRecord {
+        bssid: MacAddr::from_index(i),
+        ssid: None,
+        location: p,
+        radius: Some(120.0),
+    })
+    .collect();
+    MaraudersMap::new(db, KnowledgeLevel::Full, AttackConfig::default())
+}
+
+fn frames(n: usize) -> Vec<CapturedFrame> {
+    (0..n)
+        .map(|k| CapturedFrame {
+            time_s: k as f64 * 7.0,
+            card: 0,
+            frame: Frame::probe_response(
+                MacAddr::from_index(100 + (k % 3) as u64),
+                MacAddr::from_index(1 + (k % 2) as u64),
+                Ssid::new("x").expect("short ssid"),
+                Channel::bg(6).expect("bg channel"),
+            ),
+        })
+        .collect()
+}
+
+fn lazy() -> StreamConfig {
+    StreamConfig {
+        live_localization: false,
+        warm_start: false,
+        ..StreamConfig::default()
+    }
+}
+
+/// The template journal, built once and replayed from memory for every
+/// case: three 8-record segments plus a mid-run checkpoint.
+fn template() -> &'static Vec<(String, Vec<u8>)> {
+    static T: OnceLock<Vec<(String, Vec<u8>)>> = OnceLock::new();
+    T.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "marauder-journal-props-template-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = FrameJournal::create(
+            &dir,
+            JournalConfig {
+                segment_frames: 8,
+                flush: FlushPolicy::OnRotate,
+            },
+        )
+        .expect("create journal");
+        let mut engine = StreamEngine::new(map(), lazy());
+        let mut closed = Vec::new();
+        for (k, f) in frames(FRAMES).iter().enumerate() {
+            journal.append(f).expect("append");
+            closed.extend(engine.push(f));
+            if k == 10 {
+                journal.checkpoint(&engine, &closed).expect("checkpoint");
+            }
+        }
+        journal.sync().expect("sync");
+        drop(journal);
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+            .expect("list template")
+            .map(|e| {
+                let e = e.expect("entry");
+                (
+                    e.file_name().into_string().expect("utf-8 name"),
+                    std::fs::read(e.path()).expect("read file"),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        files.sort();
+        assert!(files.len() >= 3, "template must rotate segments");
+        files
+    })
+}
+
+/// Writes one damaged copy of the template to a fresh scratch dir.
+fn materialize(files: &[(String, Vec<u8>)]) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "marauder-journal-props-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    for (name, bytes) in files {
+        std::fs::write(dir.join(name), bytes).expect("write file");
+    }
+    dir
+}
+
+fn final_segment_name(files: &[(String, Vec<u8>)]) -> String {
+    files
+        .iter()
+        .filter(|(n, _)| n.starts_with("segment-"))
+        .map(|(n, _)| n.clone())
+        .max()
+        .expect("template has segments")
+}
+
+/// Shared verdict: recovery of a journal with one damaged file either
+/// succeeds within bounds or fails with the typed corruption error —
+/// and the two protected damage classes always succeed.
+fn check_recovery(
+    files: &[(String, Vec<u8>)],
+    damaged: &str,
+    final_segment: &str,
+) -> Result<(), TestCaseError> {
+    let is_checkpoint = damaged.starts_with("checkpoint-");
+    let is_final_segment = damaged == final_segment;
+    let dir = materialize(files);
+    let result = FrameJournal::recover(&dir, map(), lazy());
+    let verdict = match result {
+        Ok(rec) => {
+            prop_assert!(
+                rec.next_seq <= FRAMES as u64,
+                "recovered more frames than were written"
+            );
+            prop_assert_eq!(rec.next_seq, rec.journal.next_seq());
+            Ok(())
+        }
+        Err(RecoveryError::Corrupt { .. }) => {
+            prop_assert!(
+                !is_checkpoint,
+                "checkpoint damage must be skipped, never fatal"
+            );
+            prop_assert!(
+                !is_final_segment,
+                "final-segment damage is a torn tail, never fatal"
+            );
+            Ok(())
+        }
+        Err(e) => Err(TestCaseError::fail(format!("unexpected I/O error: {e}"))),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn any_truncation_recovers_or_fails_typed(
+        file_sel in any::<usize>(),
+        cut in any::<usize>(),
+    ) {
+        let mut files = template().clone();
+        let final_segment = final_segment_name(&files);
+        let fi = file_sel % files.len();
+        let damaged = files[fi].0.clone();
+        let cut = cut % (files[fi].1.len() + 1);
+        files[fi].1.truncate(cut);
+        check_recovery(&files, &damaged, &final_segment)?;
+    }
+
+    #[test]
+    fn any_single_byte_corruption_recovers_or_fails_typed(
+        file_sel in any::<usize>(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut files = template().clone();
+        let final_segment = final_segment_name(&files);
+        let fi = file_sel % files.len();
+        let damaged = files[fi].0.clone();
+        let pos = pos % files[fi].1.len();
+        files[fi].1[pos] ^= 1 << bit;
+        check_recovery(&files, &damaged, &final_segment)?;
+    }
+}

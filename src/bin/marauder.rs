@@ -6,8 +6,11 @@
 //! marauder attack   --knowledge run1/aps.csv --captures run1/capture.log --level locations
 //! marauder attack   --training run1/training.csv --captures run1/capture.log --level none
 //! marauder replay   run1/capture.log --knowledge run1/aps.csv --speed 10
+//! marauder replay   run1/capture.log --knowledge run1/aps.csv --journal run1/wal
+//! marauder recover  run1/wal --knowledge run1/aps.csv
 //! marauder stats    run1/capture.log --knowledge run1/aps.csv --level locations
 //! marauder chaos    --seed 7 --faults drop:0.2,reorder:5 --out chaos.json
+//! marauder crash    --scenario quick --seed 7 --out crash.json
 //! marauder link     --captures run1/capture.log
 //! marauder report   --knowledge run1/aps.csv --captures run1/capture.log
 //! ```
@@ -27,19 +30,24 @@ use marauders_map::core::map::MapBuilder;
 use marauders_map::core::pipeline::{AttackConfig, KnowledgeLevel, MaraudersMap};
 use marauders_map::core::pseudonym::PseudonymLinker;
 use marauders_map::core::PipelineError;
-use marauders_map::fault::{default_matrix, ChaosScenario, FaultPlan, PlanParseError};
+use marauders_map::fault::{
+    crash_sweep, default_matrix, ChaosScenario, CrashSweepConfig, FaultPlan, PlanParseError,
+    SweepError,
+};
 use marauders_map::geo::Point;
 use marauders_map::net::chaos::run_default_matrix;
-use marauders_map::net::tcp::{run_node, serve, RetryConfig};
+use marauders_map::net::tcp::{run_node, serve_with, RetryConfig};
 use marauders_map::net::{
-    required_slack_s, split_by_time, split_round_robin, Aggregator, FleetConfig, LoopbackFleet,
-    NetError, NodeConfig, SnifferNode,
+    required_slack_s, restore_latest, split_by_time, split_round_robin, Aggregator,
+    CheckpointError, Checkpointer, FleetConfig, LoopbackFleet, NetError, NodeConfig, SnifferNode,
 };
 use marauders_map::sim::deploy::Rect;
 use marauders_map::sim::mobility::CircuitWalk;
 use marauders_map::sim::scenario::CampusScenario;
 use marauders_map::sim::wardrive::{training_from_csv, training_to_csv, wardrive, WardriveRoute};
-use marauders_map::stream::{StreamConfig, StreamEngine, TrackFix};
+use marauders_map::stream::{
+    FrameJournal, JournalConfig, JournalError, RecoveryError, StreamConfig, StreamEngine, TrackFix,
+};
 use marauders_map::wifi::capture_log::{
     capture_log_frames, parse_capture_line, parse_capture_log, write_capture_log, HEADER,
 };
@@ -66,8 +74,12 @@ fn main() -> ExitCode {
     };
     // `replay`, `stats`, `fleet` and `node` accept the capture log as a
     // positional argument (`marauder replay run1/capture.log`);
-    // everything else is flags.
-    let takes_positional = matches!(cmd.as_str(), "replay" | "stats" | "fleet" | "node");
+    // `recover` takes the journal directory the same way; everything
+    // else is flags.
+    let takes_positional = matches!(
+        cmd.as_str(),
+        "replay" | "stats" | "fleet" | "node" | "recover"
+    );
     let (positional, rest) = match rest.split_first() {
         Some((p, more)) if takes_positional && !p.starts_with("--") => (Some(p.clone()), more),
         _ => (None, rest),
@@ -79,8 +91,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Some(log) = positional {
-        opts.entry("captures".to_string()).or_insert(log);
+    if let Some(arg) = positional {
+        let key = if cmd == "recover" {
+            "journal"
+        } else {
+            "captures"
+        };
+        opts.entry(key.to_string()).or_insert(arg);
     }
     // Worker count for the parallel campaign engine: default all cores,
     // `--threads 1` forces the sequential path (output is identical
@@ -96,8 +113,10 @@ fn main() -> ExitCode {
         "simulate" => simulate(&opts),
         "attack" => attack(&opts),
         "replay" => replay(&opts),
+        "recover" => recover(&opts),
         "stats" => stats(&opts),
         "chaos" => chaos(&opts),
+        "crash" => crash(&opts),
         "fleet" => fleet(&opts),
         "node" => node(&opts),
         "link" => link(&opts),
@@ -147,6 +166,14 @@ enum CliError {
     Plan(PlanParseError),
     /// A typed fleet/wire-protocol failure.
     Net(NetError),
+    /// A write-ahead journal failure.
+    Journal(JournalError),
+    /// A journal recovery failure.
+    Recovery(RecoveryError),
+    /// A fleet checkpoint failure.
+    Checkpoint(CheckpointError),
+    /// A crash-sweep harness failure.
+    Sweep(SweepError),
 }
 
 impl std::fmt::Display for CliError {
@@ -158,6 +185,10 @@ impl std::fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Plan(e) => write!(f, "{e}"),
             CliError::Net(e) => write!(f, "{e}"),
+            CliError::Journal(e) => write!(f, "{e}"),
+            CliError::Recovery(e) => write!(f, "{e}"),
+            CliError::Checkpoint(e) => write!(f, "{e}"),
+            CliError::Sweep(e) => write!(f, "{e}"),
         }
     }
 }
@@ -169,6 +200,10 @@ impl std::error::Error for CliError {
             CliError::Pipeline(e) => Some(e),
             CliError::Plan(e) => Some(e),
             CliError::Net(e) => Some(e),
+            CliError::Journal(e) => Some(e),
+            CliError::Recovery(e) => Some(e),
+            CliError::Checkpoint(e) => Some(e),
+            CliError::Sweep(e) => Some(e),
             CliError::Usage(_) | CliError::Input(_) => None,
         }
     }
@@ -189,6 +224,30 @@ impl From<PipelineError> for CliError {
 impl From<PlanParseError> for CliError {
     fn from(e: PlanParseError) -> Self {
         CliError::Plan(e)
+    }
+}
+
+impl From<JournalError> for CliError {
+    fn from(e: JournalError) -> Self {
+        CliError::Journal(e)
+    }
+}
+
+impl From<RecoveryError> for CliError {
+    fn from(e: RecoveryError) -> Self {
+        CliError::Recovery(e)
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
+impl From<SweepError> for CliError {
+    fn from(e: SweepError) -> Self {
+        CliError::Sweep(e)
     }
 }
 
@@ -213,15 +272,21 @@ const USAGE: &str = "usage:
   marauder replay LOG (--knowledge FILE | --training FILE)
                   [--level full|locations|none] [--speed N] [--lag SECS]
                   [--error-budget N] [--follow]
+                  [--journal DIR] [--checkpoint-every FRAMES]
+  marauder recover DIR (--knowledge FILE | --training FILE) [--level L]
   marauder stats LOG (--knowledge FILE | --training FILE)
                  [--level full|locations|none] [--error-budget N]
   marauder chaos [--seed N] [--fault-seed N] [--scenario quick|fig13]
                  [--faults SPEC] [--out FILE]
+  marauder crash [--scenario quick|fig13] [--seed N] [--stride N]
+                 [--checkpoint-every FRAMES] [--torn-bytes K]
+                 [--dir DIR] [--out FILE]
   marauder fleet LOG (--knowledge FILE | --training FILE) [--level L]
                  [--loopback N] [--split rr|time] [--faults SPEC]
                  [--fault-seed N]
   marauder fleet --listen ADDR --nodes N (--knowledge FILE | ...)
                  [--idle-timeout SECS]
+                 [--checkpoint-dir DIR] [--checkpoint-every SECS]
   marauder fleet --chaos [--scenario quick|fig13] [--seed N]
                  [--fault-seed N] [--nodes N] [--out FILE]
   marauder node LOG --connect ADDR [--node-id K] [--offset SECS]
@@ -237,7 +302,23 @@ const USAGE: &str = "usage:
   tail cannot run \"as fast as possible\", so --follow rejects an
   explicit --speed 0);
   --error-budget N tolerates up to N malformed log lines (skipped
-  deterministically and reported) before aborting.
+  deterministically and reported) before aborting. --journal DIR
+  write-ahead journals every frame before it is ingested and
+  checkpoints every --checkpoint-every frames (default 1024); rerun
+  the same command after a crash and the replay resumes exactly where
+  it died, printing only the fixes the dead process never reached.
+
+  recover rebuilds the engine from a write-ahead journal directory
+  (newest valid checkpoint + tail replay; a torn final record is
+  truncated, not an error) and prints the batch fixes for everything
+  the journal holds.
+
+  crash proves crash equivalence by brute force: at every --stride-th
+  frame boundary it kills a journaled ingestion run, recovers,
+  resumes, and compares the final fixes byte-for-byte against the
+  uninterrupted run (plus a --torn-bytes torn-write companion at each
+  boundary). JSON report to stdout or --out FILE; nonzero exit on any
+  mismatch.
 
   chaos injects deterministic faults into a simulated capture and
   reports how the attack degrades, as JSON (stdout, or --out FILE).
@@ -254,6 +335,11 @@ const USAGE: &str = "usage:
   real TCP nodes started with `marauder node`; --chaos runs the
   per-node fault matrix against a simulated capture and emits a JSON
   report verifying the merge is byte-identical to a single stream.
+  --checkpoint-dir DIR makes a --listen fleet durable: the aggregator
+  checkpoints atomically every --checkpoint-every seconds of stream
+  time (default 30) and, on restart, restores the newest valid
+  checkpoint — reconnecting nodes fast-forward past everything it
+  already absorbed, so a mid-campaign kill loses no closed windows.
 
   node streams a capture log to a TCP fleet aggregator, batching
   frames and reconnecting with bounded exponential backoff. --offset
@@ -531,14 +617,47 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
     }
     let budget: usize = get_num(opts, "error-budget", 0)?;
     let follow = opts.contains_key("follow");
+    let journal_dir = opts.get("journal").map(PathBuf::from);
+    // A live tail has no final frame count, so a resumed follower could
+    // never tell "already journaled" from "not yet appended" — the two
+    // modes do not compose.
+    if follow && journal_dir.is_some() {
+        return Err(CliError::Usage(
+            "--journal cannot be combined with --follow".into(),
+        ));
+    }
+    let checkpoint_every: usize = get_num(opts, "checkpoint-every", 1024)?;
     let (map, level) = build_map(opts)?;
-    let mut engine = StreamEngine::new(
-        map,
-        StreamConfig {
-            allowed_lag_s: lag,
-            ..StreamConfig::default()
+    let config = StreamConfig {
+        allowed_lag_s: lag,
+        ..StreamConfig::default()
+    };
+    // Journal-backed replay: an empty --journal DIR starts a fresh
+    // write-ahead log (each frame is journaled *before* it is pushed);
+    // a non-empty one is recovered first, so an interrupted replay
+    // resumes exactly where it died — already-ingested frames are
+    // skipped, and their fixes (printed by the dead process) are not
+    // re-printed.
+    let (mut engine, mut journal, start_seq, mut closed) = match &journal_dir {
+        None => (StreamEngine::new(map, config), None, 0u64, Vec::new()),
+        Some(dir) => match FrameJournal::create(dir, JournalConfig::default()) {
+            Ok(j) => (StreamEngine::new(map, config), Some(j), 0, Vec::new()),
+            Err(JournalError::NotEmpty { .. }) => {
+                let rec = FrameJournal::recover(dir, map, config)?;
+                eprintln!(
+                    "recovered journal {}: {} frames on disk ({} replayed above \
+                     checkpoint, {} windows closed pre-crash, {} B torn tail truncated)",
+                    dir.display(),
+                    rec.next_seq,
+                    rec.report.records_replayed,
+                    rec.closed.len(),
+                    rec.report.torn_tail_bytes
+                );
+                (rec.engine, Some(rec.journal), rec.next_seq, rec.closed)
+            }
+            Err(e) => return Err(e.into()),
         },
-    );
+    };
 
     println!("time_s,mobile,x,y,k,area_m2");
     let mut pacer = Pacer::new(speed);
@@ -547,12 +666,33 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
         return follow_log(&path, &mut engine, &mut pacer, &mut out);
     }
     let mut skipped = 0usize;
+    let mut valid_seen = 0u64;
     for item in capture_log_frames(&read(&path)?) {
         match item {
             Ok(frame) => {
+                // Frames below the recovered sequence were durably
+                // journaled (and ingested) by the interrupted run.
+                if valid_seen < start_seq {
+                    valid_seen += 1;
+                    continue;
+                }
+                valid_seen += 1;
+                if let Some(j) = journal.as_mut() {
+                    j.append(&frame)?;
+                }
                 pacer.wait_for(frame.time_s);
                 for event in engine.push(&frame) {
+                    if journal.is_some() {
+                        closed.push(event.clone());
+                    }
                     print_fix(&mut out, event.into_fix())?;
+                }
+                if let Some(j) = journal.as_mut() {
+                    if checkpoint_every > 0
+                        && (valid_seen - start_seq).is_multiple_of(checkpoint_every as u64)
+                    {
+                        j.checkpoint(&engine, &closed)?;
+                    }
                 }
             }
             // Malformed body lines consume the --error-budget; a bad
@@ -572,6 +712,13 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
             }
         }
     }
+    // Seal the journal before closing out: the final checkpoint covers
+    // every appended frame (finish() itself is not journaled — a
+    // recovery replays the log and finishes again).
+    if let Some(j) = journal.as_mut() {
+        j.checkpoint(&engine, &closed)?;
+        j.sync()?;
+    }
     for event in engine.finish() {
         print_fix(&mut out, event.into_fix())?;
     }
@@ -586,6 +733,53 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
         stats.windows_closed,
         stats.lp_solves,
         stats.windows_evicted
+    );
+    Ok(())
+}
+
+/// Recovers a write-ahead frame journal: newest valid checkpoint plus
+/// tail replay, then closes out and prints the batch fixes for
+/// everything the journal holds.
+fn recover(opts: &Opts) -> Result<(), CliError> {
+    let dir = opts
+        .get("journal")
+        .ok_or("recover requires a journal directory (positional or --journal)")?;
+    let (map, level) = build_map(opts)?;
+    // Recovery emits the canonical batch fixes at the end, so the
+    // rebuilt engine runs lazy — live per-window estimates would be
+    // recomputed work the batch pass redoes anyway.
+    let config = StreamConfig {
+        live_localization: false,
+        warm_start: false,
+        ..StreamConfig::default()
+    };
+    let rec = FrameJournal::recover(Path::new(dir), map, config)?;
+    eprintln!(
+        "recovered {dir}: {} frames ({} segments scanned, checkpoint covered {}, \
+         {} records replayed, {} checkpoint(s) skipped, {} B torn tail truncated)",
+        rec.next_seq,
+        rec.report.segments_scanned,
+        rec.report
+            .checkpoint_seq
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "none".to_string()),
+        rec.report.records_replayed,
+        rec.report.checkpoints_skipped,
+        rec.report.torn_tail_bytes
+    );
+    let mut engine = rec.engine;
+    let mut closed = rec.closed;
+    closed.extend(engine.finish());
+    let fixes = engine.batch_fixes(closed);
+    println!("time_s,mobile,x,y,k,area_m2");
+    let mut out = std::io::stdout();
+    for fix in fixes.iter().cloned() {
+        print_fix(&mut out, Some(fix))?;
+    }
+    eprintln!(
+        "{} fixes from {} journaled frames (knowledge level: {level})",
+        fixes.len(),
+        rec.next_seq
     );
     Ok(())
 }
@@ -666,6 +860,65 @@ fn chaos(opts: &Opts) -> Result<(), CliError> {
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// Runs the kill-at-every-boundary crash-equivalence sweep: for each
+/// tested frame boundary, journal + ingest up to it, drop all in-memory
+/// state, recover, resume, and compare the final fixes byte-for-byte
+/// against the uninterrupted run. Exits nonzero unless every boundary
+/// (and every torn-write companion) matches.
+fn crash(opts: &Opts) -> Result<(), CliError> {
+    let seed: u64 = get_num(opts, "seed", 1)?;
+    let scenario_name = opts.get("scenario").map(String::as_str).unwrap_or("quick");
+    let scenario = match scenario_name {
+        "quick" => ChaosScenario::quick(seed),
+        "fig13" => ChaosScenario::fig13(seed),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --scenario {other:?} (quick|fig13)"
+            )))
+        }
+    };
+    let frames = scenario.captures().len();
+    // Default stride keeps the sweep to ~25 cells; --stride 1 tests
+    // every boundary.
+    let stride: usize = get_num(opts, "stride", (frames / 24).max(1))?;
+    let config = CrashSweepConfig {
+        stride: stride.max(1),
+        checkpoint_every: get_num(opts, "checkpoint-every", 64)?,
+        torn_write_bytes: get_num(opts, "torn-bytes", 3)?,
+    };
+    let dir = match opts.get("dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("marauder-crash-sweep-{}", std::process::id())),
+    };
+    eprintln!(
+        "crash sweep: scenario {scenario_name} (seed {seed}), {frames} frames, \
+         stride {}, checkpoint every {}, torn-write {} B",
+        config.stride, config.checkpoint_every, config.torn_write_bytes
+    );
+    let report = crash_sweep(&scenario, &dir, &config)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "  {} boundaries tested, {} mismatched",
+        report.cells.len(),
+        report.mismatches().len()
+    );
+    let json = report.to_json();
+    match opts.get("out") {
+        Some(path) => {
+            write(Path::new(path), &json)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if !report.all_matched() {
+        return Err(CliError::Input(format!(
+            "crash equivalence failed at boundaries {:?}",
+            report.mismatches()
+        )));
     }
     Ok(())
 }
@@ -795,6 +1048,12 @@ fn fleet_listen(opts: &Opts) -> Result<(), CliError> {
             "--idle-timeout must be a positive number of seconds".into(),
         ));
     }
+    let every: f64 = get_num(opts, "checkpoint-every", 30.0)?;
+    if !every.is_finite() || every <= 0.0 {
+        return Err(CliError::Usage(
+            "--checkpoint-every must be a positive number of seconds".into(),
+        ));
+    }
     let (map, level) = build_map(opts)?;
     let listener = std::net::TcpListener::bind(addr)
         .map_err(|e| CliError::Io(format!("cannot listen on {addr}"), e))?;
@@ -805,14 +1064,41 @@ fn fleet_listen(opts: &Opts) -> Result<(), CliError> {
             .map(|a| a.to_string())
             .unwrap_or_else(|_| addr.clone())
     );
-    let aggregator = Aggregator::new(
-        map,
-        FleetConfig {
-            expected_nodes: nodes,
-            ..FleetConfig::default()
-        },
-    );
-    let outcome = serve(listener, aggregator, Duration::from_secs_f64(idle))?;
+    let config = FleetConfig {
+        expected_nodes: nodes,
+        ..FleetConfig::default()
+    };
+    // Supervised-restart mode: with --checkpoint-dir the aggregator
+    // restores its newest valid checkpoint before listening (nodes
+    // fast-forward past everything it absorbed via resume_seq) and
+    // checkpoints every --checkpoint-every seconds of stream time.
+    let (aggregator, initial_closed, mut checkpointer) = match opts.get("checkpoint-dir") {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            let cp = Checkpointer::new(&dir, every)?;
+            match restore_latest(&dir, &map, &config)? {
+                Some(restored) => {
+                    eprintln!(
+                        "restored {} ({} closed window(s) carried over, {} damaged \
+                         checkpoint(s) skipped)",
+                        restored.file.display(),
+                        restored.closed.len(),
+                        restored.skipped
+                    );
+                    (restored.aggregator, restored.closed, Some(cp))
+                }
+                None => (Aggregator::new(map, config), Vec::new(), Some(cp)),
+            }
+        }
+        None => (Aggregator::new(map, config), Vec::new(), None),
+    };
+    let outcome = serve_with(
+        listener,
+        aggregator,
+        Duration::from_secs_f64(idle),
+        checkpointer.as_mut(),
+        initial_closed,
+    )?;
     let completed = outcome.completed;
     print_fleet_outcome(outcome.aggregator, outcome.closed, &level)?;
     if !completed {
