@@ -19,6 +19,12 @@
 //!   of the final record on disk. Simulated by physically truncating
 //!   the last journal segment `K` bytes into its final record.
 //!
+//! A third companion run tears the *segment header* instead: the kill
+//! lands inside `rotate()`, after the new segment file is created but
+//! before its 16-byte header is durable. Recovery must discard the
+//! headerless file, and a second recovery after the resumed run must
+//! still see every acknowledged append.
+//!
 //! Everything is a pure function of `(scenario seed, sweep config)`:
 //! no RNG, no clocks, and the per-boundary cells are
 //! order-independent, so reports are bit-identical at any thread
@@ -47,6 +53,14 @@ pub struct CrashSweepConfig {
     /// (`tornwrite` at this many bytes into the record; 0 = off) and
     /// require clean torn-tail recovery plus equivalence.
     pub torn_write_bytes: usize,
+    /// Additionally simulate a kill *inside segment rotation* at each
+    /// crash point: a `segment-<n>.wal` file exists holding only this
+    /// many bytes of its 16-byte header (0 = off; clamped to 15).
+    /// Recovery must discard the headerless file, and — crucially — a
+    /// SECOND recovery after the resumed run must still see every
+    /// acknowledged append (this is where reopening a headerless
+    /// segment for append silently loses fsync'd records).
+    pub torn_header_bytes: usize,
 }
 
 impl Default for CrashSweepConfig {
@@ -55,6 +69,7 @@ impl Default for CrashSweepConfig {
             stride: 1,
             checkpoint_every: 64,
             torn_write_bytes: 3,
+            torn_header_bytes: 5,
         }
     }
 }
@@ -123,6 +138,9 @@ pub struct CrashCell {
     pub records_replayed: u64,
     /// The torn-write companion run, when enabled.
     pub torn: Option<TornOutcome>,
+    /// The torn-header (kill-inside-rotation) companion run, when
+    /// enabled.
+    pub torn_header: Option<TornOutcome>,
 }
 
 /// Outcome of the torn-write companion run at one boundary.
@@ -152,6 +170,8 @@ pub struct CrashReport {
     pub checkpoint_every: usize,
     /// Torn-write tear size in bytes (0 = off).
     pub torn_write_bytes: usize,
+    /// Torn-header size in bytes (0 = off).
+    pub torn_header_bytes: usize,
     /// Per-boundary outcomes, ascending by `crash_after`.
     pub cells: Vec<CrashCell>,
 }
@@ -159,16 +179,22 @@ pub struct CrashReport {
 impl CrashReport {
     /// Whether every cell (and every torn companion) matched.
     pub fn all_matched(&self) -> bool {
-        self.cells
-            .iter()
-            .all(|c| c.matched && c.torn.as_ref().map(|t| t.matched).unwrap_or(true))
+        self.cells.iter().all(|c| {
+            c.matched
+                && c.torn.as_ref().map(|t| t.matched).unwrap_or(true)
+                && c.torn_header.as_ref().map(|t| t.matched).unwrap_or(true)
+        })
     }
 
     /// Boundaries that failed equivalence.
     pub fn mismatches(&self) -> Vec<usize> {
         self.cells
             .iter()
-            .filter(|c| !c.matched || c.torn.as_ref().map(|t| !t.matched).unwrap_or(false))
+            .filter(|c| {
+                !c.matched
+                    || c.torn.as_ref().map(|t| !t.matched).unwrap_or(false)
+                    || c.torn_header.as_ref().map(|t| !t.matched).unwrap_or(false)
+            })
             .map(|c| c.crash_after)
             .collect()
     }
@@ -183,26 +209,33 @@ impl CrashReport {
         let _ = writeln!(out, "  \"stride\": {},", self.stride);
         let _ = writeln!(out, "  \"checkpoint_every\": {},", self.checkpoint_every);
         let _ = writeln!(out, "  \"torn_write_bytes\": {},", self.torn_write_bytes);
+        let _ = writeln!(out, "  \"torn_header_bytes\": {},", self.torn_header_bytes);
         let _ = writeln!(out, "  \"all_matched\": {},", self.all_matched());
         out.push_str("  \"cells\": [\n");
+        let torn_json = |t: &Option<TornOutcome>| match t {
+            Some(t) => format!(
+                "{{\"bytes\": {}, \"torn_tail_bytes\": {}, \"matched\": {}}}",
+                t.bytes, t.torn_tail_bytes, t.matched
+            ),
+            None => "null".to_string(),
+        };
         for (i, c) in self.cells.iter().enumerate() {
             let ckpt = match c.checkpoint_seq {
                 Some(s) => s.to_string(),
-                None => "null".to_string(),
-            };
-            let torn = match &c.torn {
-                Some(t) => format!(
-                    "{{\"bytes\": {}, \"torn_tail_bytes\": {}, \"matched\": {}}}",
-                    t.bytes, t.torn_tail_bytes, t.matched
-                ),
                 None => "null".to_string(),
             };
             let sep = if i + 1 == self.cells.len() { "" } else { "," };
             let _ = writeln!(
                 out,
                 "    {{\"crash_after\": {}, \"matched\": {}, \"checkpoint_seq\": {}, \
-                 \"records_replayed\": {}, \"torn\": {}}}{}",
-                c.crash_after, c.matched, ckpt, c.records_replayed, torn, sep
+                 \"records_replayed\": {}, \"torn\": {}, \"torn_header\": {}}}{}",
+                c.crash_after,
+                c.matched,
+                ckpt,
+                c.records_replayed,
+                torn_json(&c.torn),
+                torn_json(&c.torn_header),
+                sep
             );
         }
         out.push_str("  ]\n}\n");
@@ -361,6 +394,28 @@ pub fn tear_last_record(dir: &Path, bytes: usize) -> Result<bool, SweepError> {
     Ok(true)
 }
 
+/// Simulates a kill *between segment-file creation and its header
+/// write* (inside `rotate()`): creates `segment-<first_seq>.wal`
+/// holding only the first `bytes` bytes of the 16-byte header (0 = an
+/// empty file; clamped to 15 so the result is never a valid header).
+/// `first_seq` must be the number of frames journaled so far — the
+/// sequence the torn rotation would have been named after.
+pub fn tear_segment_header(
+    dir: &Path,
+    first_seq: u64,
+    bytes: usize,
+) -> Result<(), SweepError> {
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(&marauder_stream::SEGMENT_MAGIC);
+    header.extend_from_slice(&first_seq.to_be_bytes());
+    header.truncate(bytes.min(15));
+    let path = dir.join(format!("segment-{first_seq:020}.wal"));
+    std::fs::write(&path, &header).map_err(|source| SweepError::Io {
+        op: format!("tear segment header {}", path.display()),
+        source,
+    })
+}
+
 /// Runs the crash-equivalence sweep for `scenario` under `dir` (one
 /// scratch subdirectory per boundary, removed as each cell finishes).
 ///
@@ -409,6 +464,29 @@ pub fn crash_sweep(
                 None
             };
 
+            let torn_header = if config.torn_header_bytes > 0 {
+                // Fresh pre-crash state, then die mid-rotation: the
+                // next segment file exists, headerless.
+                let _ = std::fs::remove_dir_all(&cell_dir);
+                run_until_crash(scenario, &frames, n, &cell_dir, config.checkpoint_every)?;
+                tear_segment_header(&cell_dir, n as u64, config.torn_header_bytes)?;
+                let (rendered, report) = recover_and_resume(scenario, &frames, &cell_dir)?;
+                // The resumed run journaled the remaining frames; a
+                // second recovery must see every one of them. This is
+                // the check that catches resumed appends landing in a
+                // reopened headerless segment and being discarded as
+                // a torn tail on the next recovery.
+                let rec2 =
+                    FrameJournal::recover(&cell_dir, scenario.fresh_map(), sweep_config())?;
+                Some(TornOutcome {
+                    bytes: config.torn_header_bytes,
+                    torn_tail_bytes: report.torn_tail_bytes,
+                    matched: rendered == reference && rec2.next_seq as usize == frames.len(),
+                })
+            } else {
+                None
+            };
+
             let _ = std::fs::remove_dir_all(&cell_dir);
             marauder_obs::global().counter_add("crash_sweep.cells", 1);
             Ok(CrashCell {
@@ -417,6 +495,7 @@ pub fn crash_sweep(
                 checkpoint_seq: report.checkpoint_seq,
                 records_replayed: report.records_replayed,
                 torn,
+                torn_header,
             })
         });
 
@@ -431,6 +510,7 @@ pub fn crash_sweep(
         stride,
         checkpoint_every: config.checkpoint_every,
         torn_write_bytes: config.torn_write_bytes,
+        torn_header_bytes: config.torn_header_bytes,
         cells: out,
     })
 }
@@ -458,6 +538,7 @@ mod tests {
             stride: (frames / 7).max(1),
             checkpoint_every: 50,
             torn_write_bytes: 3,
+            torn_header_bytes: 5,
         };
         let report = crash_sweep(&scenario, &dir, &config).unwrap();
         assert!(
@@ -471,6 +552,16 @@ mod tests {
         // some must have torn-tail outcomes, or the sweep is not
         // exercising what it claims to.
         assert!(report.cells.iter().any(|c| c.checkpoint_seq.is_some()));
+        // Every cell ran the torn-header companion and the headerless
+        // segment was detected as a (partial-header-sized) torn tail.
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.torn_header.as_ref().map(|t| t.matched).unwrap_or(false)));
+        assert!(report
+            .cells
+            .iter()
+            .any(|c| c.torn_header.as_ref().map(|t| t.torn_tail_bytes == 5) == Some(true)));
         assert!(report.cells.iter().any(|c| c
             .torn
             .as_ref()
@@ -489,6 +580,7 @@ mod tests {
             stride: (frames / 3).max(1),
             checkpoint_every: 64,
             torn_write_bytes: 2,
+            torn_header_bytes: 3,
         };
         let dir1 = scratch("threads-1");
         marauder_par::set_threads(1);

@@ -38,8 +38,8 @@ pub mod inject;
 pub mod plan;
 
 pub use crash::{
-    crash_sweep, render_fixes, tear_last_record, CrashCell, CrashReport, CrashSweepConfig,
-    SweepError, TornOutcome,
+    crash_sweep, render_fixes, tear_last_record, tear_segment_header, CrashCell, CrashReport,
+    CrashSweepConfig, SweepError, TornOutcome,
 };
 pub use harness::{
     default_matrix, reason_key, CellOutcome, ChaosScenario, DegradationReport, ERROR_THRESHOLDS_M,

@@ -16,7 +16,7 @@
 
 use crate::aggregator::{hex, unhex, Aggregator, FleetConfig};
 use marauder_core::{MaraudersMap, PipelineError};
-use marauder_stream::{write_atomic, ClosedWindow};
+use marauder_stream::{write_atomic, ClosedWindow, RETAINED_CHECKPOINTS};
 use marauder_wifi::MacAddr;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -75,6 +75,12 @@ fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> CheckpointError {
 /// counter, so lexicographic order is write order; each is produced
 /// with [`write_atomic`], so a crash mid-write leaves either the old
 /// file set or the new one, never a torn checkpoint.
+///
+/// Every checkpoint is a *full-state* document — engine snapshot plus
+/// the complete closed-window list — so its size grows with campaign
+/// length. To keep a long campaign's directory (and summed write cost)
+/// bounded, only the newest [`RETAINED_CHECKPOINTS`] files are kept;
+/// older ones are pruned after each successful write.
 #[derive(Debug)]
 pub struct Checkpointer {
     dir: PathBuf,
@@ -128,18 +134,7 @@ impl Checkpointer {
         closed: &[ClosedWindow],
     ) -> Result<bool, CheckpointError> {
         let wm = aggregator.fleet_watermark();
-        if !wm.is_finite() && wm < 0.0 {
-            return Ok(false);
-        }
-        let due = if self.last_mark.is_finite() {
-            wm >= self.last_mark + self.every_s
-        } else {
-            // `-inf` means never checkpointed: take the first finite
-            // watermark. `+inf` means the completion checkpoint is
-            // already on disk: nothing further to record.
-            self.last_mark < 0.0
-        };
-        if !due {
+        if !checkpoint_due(self.last_mark, wm, self.every_s) {
             return Ok(false);
         }
         self.checkpoint_now(aggregator, closed)?;
@@ -161,11 +156,56 @@ impl Checkpointer {
         let name = checkpoint_name(self.next_index);
         write_atomic(&self.dir.join(name), doc.as_bytes()).map_err(io_err("write checkpoint"))?;
         self.next_index += 1;
-        self.last_mark = aggregator.fleet_watermark();
+        // A NaN watermark must never be stored: with `last_mark = NaN`
+        // both the `is_finite` and `< 0.0` cadence arms go false, which
+        // would silently disable checkpointing for the rest of the
+        // campaign. Keep the previous mark instead.
+        let wm = aggregator.fleet_watermark();
+        if !wm.is_nan() {
+            self.last_mark = wm;
+        }
         let reg = marauder_obs::global();
         reg.counter_add("fleet.checkpoints", 1);
         reg.counter_add("fleet.checkpoint_bytes", doc.len() as u64);
+        self.prune();
         Ok(())
+    }
+
+    /// Removes checkpoint files older than the newest
+    /// [`RETAINED_CHECKPOINTS`]. Best-effort: a failed unlink never
+    /// fails the checkpoint that just succeeded.
+    fn prune(&self) {
+        let Ok(files) = list_checkpoints(&self.dir) else {
+            return;
+        };
+        let excess = files.len().saturating_sub(RETAINED_CHECKPOINTS);
+        for (_, path) in &files[..excess] {
+            if std::fs::remove_file(path).is_ok() {
+                marauder_obs::global().counter_add("fleet.checkpoints_pruned", 1);
+            }
+        }
+    }
+}
+
+/// Whether the checkpoint cadence is due at fleet watermark `wm`.
+///
+/// `last_mark` is `-inf` before the first checkpoint, `+inf` once the
+/// completion checkpoint is on disk, and finite otherwise. A
+/// non-finite `wm` triggers nothing except the `+inf` completion case;
+/// NaN in particular must neither trigger nor (see
+/// [`Checkpointer::checkpoint_now`]) ever be stored as `last_mark`.
+fn checkpoint_due(last_mark: f64, wm: f64, every_s: f64) -> bool {
+    if wm.is_nan() || (wm.is_infinite() && wm.is_sign_negative()) {
+        return false; // NaN or -inf: nothing meaningful to record
+    }
+    if last_mark.is_finite() {
+        wm >= last_mark + every_s
+    } else {
+        // `-inf` (or a poisoned NaN, which cannot arise but must not
+        // wedge the cadence) means never checkpointed: take the first
+        // usable watermark. `+inf` means the completion checkpoint is
+        // already on disk: nothing further to record.
+        !(last_mark.is_infinite() && last_mark.is_sign_positive())
     }
 }
 
@@ -515,6 +555,56 @@ mod tests {
         assert!(restore_latest(&dir, &map(), &config())
             .expect("restore")
             .is_none());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn cadence_ignores_nan_and_negative_infinity_watermarks() {
+        // NaN must neither trigger a checkpoint (it would then be
+        // stored as last_mark, wedging the cadence forever) nor arm it.
+        assert!(!checkpoint_due(f64::NEG_INFINITY, f64::NAN, 30.0));
+        assert!(!checkpoint_due(10.0, f64::NAN, 30.0));
+        assert!(!checkpoint_due(f64::NEG_INFINITY, f64::NEG_INFINITY, 30.0));
+        // First finite watermark always triggers.
+        assert!(checkpoint_due(f64::NEG_INFINITY, 0.0, 30.0));
+        // Finite cadence.
+        assert!(!checkpoint_due(10.0, 39.0, 30.0));
+        assert!(checkpoint_due(10.0, 40.0, 30.0));
+        // +inf = stream complete: one final checkpoint, then quiet.
+        assert!(checkpoint_due(10.0, f64::INFINITY, 30.0));
+        assert!(!checkpoint_due(f64::INFINITY, f64::INFINITY, 30.0));
+        // A poisoned NaN last_mark heals instead of wedging.
+        assert!(checkpoint_due(f64::NAN, 10.0, 30.0));
+    }
+
+    #[test]
+    fn nan_watermark_is_never_stored_as_last_mark() {
+        let dir = temp_dir("nanmark");
+        let (agg, closed) = driven_aggregator(40);
+        let mut cp = Checkpointer::new(&dir, 30.0).expect("checkpointer");
+        cp.last_mark = f64::NAN;
+        // A finite watermark still checkpoints and repairs the mark.
+        assert!(cp.maybe_checkpoint(&agg, &closed).expect("checkpoint"));
+        assert!(cp.last_mark.is_finite());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn old_checkpoints_are_pruned_to_retention() {
+        let dir = temp_dir("prune");
+        let (agg, closed) = driven_aggregator(40);
+        let mut cp = Checkpointer::new(&dir, 30.0).expect("checkpointer");
+        for _ in 0..RETAINED_CHECKPOINTS + 3 {
+            cp.checkpoint_now(&agg, &closed).expect("checkpoint");
+        }
+        let files = list_checkpoints(&dir).expect("list");
+        assert_eq!(files.len(), RETAINED_CHECKPOINTS);
+        // The newest survive, and restore still works.
+        assert_eq!(files.last().unwrap().0, RETAINED_CHECKPOINTS as u64 + 2);
+        let restored = restore_latest(&dir, &map(), &config())
+            .expect("restore")
+            .expect("a checkpoint exists");
+        assert_eq!(restored.aggregator.snapshot(), agg.snapshot());
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

@@ -93,6 +93,14 @@ pub const MAX_RECORD_LEN: u32 = 1 << 20;
 /// Magic first line of the checkpoint text format.
 pub const CHECKPOINT_HEADER: &str = "# marauder journal checkpoint v1";
 
+/// Checkpoint files retained after each new one is written; older ones
+/// are pruned. Each checkpoint is a full-state document whose size
+/// grows with the campaign's closed-window count, so keeping every one
+/// would grow the directory (and the summed write cost) quadratically
+/// over a long run. Recovery only ever needs the newest valid
+/// checkpoint; the older survivors are fallback against a torn newest.
+pub const RETAINED_CHECKPOINTS: usize = 4;
+
 /// When appended records are pushed to the OS.
 ///
 /// Durability is what the crash-equivalence invariant rides on: with
@@ -249,6 +257,26 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Encodes one record payload: sequence, timestamp bits, card index,
+/// then the frame's wire bytes.
+fn encode_payload(seq: u64, frame: &CapturedFrame) -> Vec<u8> {
+    let frame_bytes = frame.frame.encode();
+    let mut payload = Vec::with_capacity(PAYLOAD_PREFIX_LEN + frame_bytes.len());
+    payload.extend_from_slice(&seq.to_be_bytes());
+    payload.extend_from_slice(&frame.time_s.to_bits().to_be_bytes());
+    payload.extend_from_slice(&(frame.card as u32).to_be_bytes());
+    payload.extend_from_slice(&frame_bytes);
+    payload
+}
+
+/// CRC-32 of the record payload `(seq, frame)` journals as — the same
+/// value stored in the record header by [`FrameJournal::append`]. A
+/// resuming replay uses this with [`Recovery::tail_crcs`] to detect a
+/// capture log that diverges from what the interrupted run journaled.
+pub fn record_crc(seq: u64, frame: &CapturedFrame) -> u32 {
+    crc32(&encode_payload(seq, frame))
+}
+
 fn segment_name(first_seq: u64) -> String {
     format!("segment-{first_seq:020}.wal")
 }
@@ -280,6 +308,13 @@ pub struct Recovery {
     /// Sequence number of the next frame to ingest (= frames durably
     /// journaled).
     pub next_seq: u64,
+    /// Payload CRC-32 of every replayed record, in sequence order:
+    /// `tail_crcs[i]` covers sequence `checkpoint_seq + i` (0 when no
+    /// checkpoint was restored). A resuming replay compares these
+    /// against [`record_crc`] of the frames it skips, proving the
+    /// capture log it resumes from is the one the interrupted run
+    /// journaled.
+    pub tail_crcs: Vec<u32>,
     /// How the recovery went, for operators and the sweep harness.
     pub report: RecoveryReport,
 }
@@ -374,12 +409,7 @@ impl FrameJournal {
             self.rotate()?;
         }
         let seq = self.next_seq;
-        let frame_bytes = frame.frame.encode();
-        let mut payload = Vec::with_capacity(PAYLOAD_PREFIX_LEN + frame_bytes.len());
-        payload.extend_from_slice(&seq.to_be_bytes());
-        payload.extend_from_slice(&frame.time_s.to_bits().to_be_bytes());
-        payload.extend_from_slice(&(frame.card as u32).to_be_bytes());
-        payload.extend_from_slice(&frame_bytes);
+        let payload = encode_payload(seq, frame);
         let mut record = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
         record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         record.extend_from_slice(&crc32(&payload).to_be_bytes());
@@ -449,7 +479,10 @@ impl FrameJournal {
     /// engine snapshot plus every closed window, to
     /// `checkpoint-<next_seq>.ckpt` via the atomic temp-file + rename
     /// helper. The segment is synced first, so a checkpoint never
-    /// claims to cover frames that are not yet durable.
+    /// claims to cover frames that are not yet durable. After a
+    /// successful write, checkpoints older than the newest
+    /// [`RETAINED_CHECKPOINTS`] are pruned (best-effort: a failed
+    /// unlink never fails the checkpoint that just succeeded).
     ///
     /// # Errors
     ///
@@ -468,6 +501,14 @@ impl FrameJournal {
         let reg = marauder_obs::global();
         reg.counter_add("journal.checkpoints", 1);
         reg.counter_add("journal.checkpoint_bytes", doc.len() as u64);
+        if let Ok((_, checkpoints)) = list_journal_files(&self.dir) {
+            let excess = checkpoints.len().saturating_sub(RETAINED_CHECKPOINTS);
+            for (_, name) in &checkpoints[..excess] {
+                if std::fs::remove_file(self.dir.join(name)).is_ok() {
+                    reg.counter_add("journal.checkpoints_pruned", 1);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -540,6 +581,8 @@ impl FrameJournal {
         // entire range the checkpoint already covers.
         let mut next_seq = start_seq;
         let mut tail_torn = 0u64;
+        let mut tail_crcs: Vec<u32> = Vec::new();
+        let mut final_removed = false;
         for (idx, (first_seq, name)) in segments.iter().enumerate() {
             let covered_by_next = segments
                 .get(idx + 1)
@@ -552,7 +595,7 @@ impl FrameJournal {
             let path = dir.join(name);
             let scan = scan_segment(&path, name, *first_seq, is_final)?;
             report.segments_scanned += 1;
-            for (seq, frame) in scan.frames {
+            for (seq, crc, frame) in scan.frames {
                 if seq != next_seq && seq >= start_seq {
                     return Err(RecoveryError::Corrupt {
                         segment: name.clone(),
@@ -564,12 +607,26 @@ impl FrameJournal {
                     continue;
                 }
                 closed.extend(engine.push(&frame));
+                tail_crcs.push(crc);
                 next_seq += 1;
                 report.records_replayed += 1;
             }
             if is_final {
                 tail_torn = scan.torn_bytes;
-                if scan.torn_bytes > 0 {
+                if scan.valid_len < SEGMENT_HEADER_LEN {
+                    // The crash hit rotation itself: the segment file
+                    // was created but its header never became durable.
+                    // Reopening it for append would bury every
+                    // subsequent acknowledged record in a headerless
+                    // file, which the *next* recovery would discard
+                    // wholesale as a torn tail — silent loss of
+                    // fsync'd appends. Delete the file instead; the
+                    // first post-recovery append rotates into a
+                    // fresh, properly headered segment.
+                    std::fs::remove_file(&path)
+                        .map_err(RecoveryError::io(format!("remove {}", path.display())))?;
+                    final_removed = true;
+                } else if scan.torn_bytes > 0 {
                     // Physically truncate the torn tail so the journal
                     // can be appended to from a clean record boundary.
                     let file = OpenOptions::new()
@@ -583,8 +640,11 @@ impl FrameJournal {
         }
         report.torn_tail_bytes = tail_torn;
 
-        // Reopen the final segment for append (if any).
+        // Reopen the final segment for append (if any). A final
+        // segment whose header was torn no longer exists — leave the
+        // journal with no open segment so the next append rotates.
         let (segment, segment_records) = match segments.last() {
+            Some(_) if final_removed => (None, 0),
             Some((first_seq, name)) => {
                 let path = dir.join(name);
                 let mut file = OpenOptions::new()
@@ -624,6 +684,7 @@ impl FrameJournal {
             engine,
             closed,
             next_seq,
+            tail_crcs,
             report,
         })
     }
@@ -663,9 +724,10 @@ fn list_journal_files(dir: &Path) -> std::io::Result<JournalFiles> {
     Ok((segments, checkpoints))
 }
 
-/// One scanned segment: the intact records and where validity ended.
+/// One scanned segment: the intact records (sequence, payload CRC,
+/// frame) and where validity ended.
 struct SegmentScan {
-    frames: Vec<(u64, CapturedFrame)>,
+    frames: Vec<(u64, u32, CapturedFrame)>,
     /// Bytes of the file that held intact records (incl. header).
     valid_len: u64,
     /// Bytes past `valid_len` (0 when the file ends exactly on a
@@ -775,6 +837,7 @@ fn scan_segment(
         };
         frames.push((
             seq,
+            crc,
             CapturedFrame {
                 time_s,
                 card,
@@ -790,7 +853,11 @@ fn scan_segment(
     })
 }
 
-fn finish_scan(frames: Vec<(u64, CapturedFrame)>, valid: usize, total: usize) -> SegmentScan {
+fn finish_scan(
+    frames: Vec<(u64, u32, CapturedFrame)>,
+    valid: usize,
+    total: usize,
+) -> SegmentScan {
     SegmentScan {
         frames,
         valid_len: valid as u64,
@@ -1132,6 +1199,110 @@ mod tests {
         let rec2 = FrameJournal::recover(&dir, map(), lazy()).unwrap();
         assert_eq!(rec2.next_seq, 12);
         assert_eq!(rec2.report.torn_tail_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn headerless_final_segment_is_removed_and_resumed_appends_survive() {
+        // A crash between segment-file creation and the header write
+        // (inside rotate()) leaves a headerless final segment. Recovery
+        // must delete it — reopening it for append would make every
+        // subsequent acknowledged append invisible to the NEXT
+        // recovery, silently dropping fsync'd records.
+        let dir = scratch("headerless");
+        let all = frames(12);
+        let mut journal = FrameJournal::create(
+            &dir,
+            JournalConfig {
+                segment_frames: 4,
+                flush: FlushPolicy::EveryRecord,
+            },
+        )
+        .unwrap();
+        for f in &all[..8] {
+            journal.append(f).unwrap();
+        }
+        drop(journal); // die...
+        // ...mid-rotation: the next segment file exists but holds only
+        // 5 bytes of its 16-byte header.
+        std::fs::write(dir.join(segment_name(8)), &SEGMENT_MAGIC[..5]).unwrap();
+
+        let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec.next_seq, 8);
+        assert_eq!(rec.report.torn_tail_bytes, 5);
+        assert!(
+            !dir.join(segment_name(8)).exists(),
+            "the headerless segment must be deleted, not reopened"
+        );
+
+        // Resume: two more acknowledged (EveryRecord-flushed) appends.
+        let mut journal = rec.journal;
+        journal.set_config(JournalConfig {
+            segment_frames: 4,
+            flush: FlushPolicy::EveryRecord,
+        });
+        assert_eq!(journal.append(&all[8]).unwrap(), 8);
+        assert_eq!(journal.append(&all[9]).unwrap(), 9);
+        drop(journal); // crash again
+
+        // The next recovery must see BOTH resumed appends (the bug:
+        // they landed in a headerless file and were discarded as a
+        // torn tail, next_seq = 8 instead of 10).
+        let rec2 = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec2.next_seq, 10, "acknowledged appends were lost");
+        assert_eq!(rec2.report.torn_tail_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_checkpoints_are_pruned_to_retention() {
+        let dir = scratch("prune");
+        let all = frames(40);
+        let mut journal = FrameJournal::create(&dir, JournalConfig::default()).unwrap();
+        let mut engine = StreamEngine::new(map(), lazy());
+        let mut closed = Vec::new();
+        for (k, f) in all.iter().enumerate() {
+            journal.append(f).unwrap();
+            closed.extend(engine.push(f));
+            if (k + 1) % 4 == 0 {
+                journal.checkpoint(&engine, &closed).unwrap();
+            }
+        }
+        let (_, checkpoints) = list_journal_files(&dir).unwrap();
+        assert_eq!(checkpoints.len(), RETAINED_CHECKPOINTS);
+        // The survivors are the NEWEST ones, and recovery still works.
+        assert_eq!(checkpoints.last().unwrap().0, 40);
+        drop(journal);
+        let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec.next_seq, 40);
+        assert_eq!(rec.report.checkpoint_seq, Some(40));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_crcs_match_record_crc_of_the_source_frames() {
+        let dir = scratch("tailcrc");
+        let all = frames(20);
+        let mut journal = FrameJournal::create(&dir, JournalConfig::default()).unwrap();
+        let mut engine = StreamEngine::new(map(), lazy());
+        let mut closed = Vec::new();
+        for (k, f) in all.iter().enumerate() {
+            journal.append(f).unwrap();
+            closed.extend(engine.push(f));
+            if k == 7 {
+                journal.checkpoint(&engine, &closed).unwrap();
+            }
+        }
+        drop(journal);
+        let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();
+        assert_eq!(rec.report.checkpoint_seq, Some(8));
+        assert_eq!(rec.tail_crcs.len(), 12);
+        for (i, crc) in rec.tail_crcs.iter().enumerate() {
+            let seq = 8 + i as u64;
+            assert_eq!(*crc, record_crc(seq, &all[seq as usize]), "seq {seq}");
+        }
+        // A different frame (wrong capture log) does not match.
+        assert_ne!(rec.tail_crcs[0], record_crc(8, &all[9]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

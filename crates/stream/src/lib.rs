@@ -71,8 +71,8 @@ mod snapshot;
 
 pub use engine::{ClosedWindow, StreamConfig, StreamEngine, StreamStats};
 pub use journal::{
-    FlushPolicy, FrameJournal, JournalConfig, JournalError, Recovery, RecoveryError,
-    RecoveryReport, CHECKPOINT_HEADER, MAX_RECORD_LEN, SEGMENT_MAGIC,
+    record_crc, FlushPolicy, FrameJournal, JournalConfig, JournalError, Recovery, RecoveryError,
+    RecoveryReport, CHECKPOINT_HEADER, MAX_RECORD_LEN, RETAINED_CHECKPOINTS, SEGMENT_MAGIC,
 };
 pub use replay::{replay_database, replay_frames, replay_log};
 pub use snapshot::{write_atomic, SnapshotError};

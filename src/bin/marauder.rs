@@ -46,7 +46,8 @@ use marauders_map::sim::mobility::CircuitWalk;
 use marauders_map::sim::scenario::CampusScenario;
 use marauders_map::sim::wardrive::{training_from_csv, training_to_csv, wardrive, WardriveRoute};
 use marauders_map::stream::{
-    FrameJournal, JournalConfig, JournalError, RecoveryError, StreamConfig, StreamEngine, TrackFix,
+    record_crc, FrameJournal, JournalConfig, JournalError, RecoveryError, StreamConfig,
+    StreamEngine, TrackFix,
 };
 use marauders_map::wifi::capture_log::{
     capture_log_frames, parse_capture_line, parse_capture_log, write_capture_log, HEADER,
@@ -638,10 +639,25 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
     // resumes exactly where it died — already-ingested frames are
     // skipped, and their fixes (printed by the dead process) are not
     // re-printed.
-    let (mut engine, mut journal, start_seq, mut closed) = match &journal_dir {
-        None => (StreamEngine::new(map, config), None, 0u64, Vec::new()),
+    let (mut engine, mut journal, start_seq, mut closed, ckpt_seq, tail_crcs) = match &journal_dir
+    {
+        None => (
+            StreamEngine::new(map, config),
+            None,
+            0u64,
+            Vec::new(),
+            0u64,
+            Vec::new(),
+        ),
         Some(dir) => match FrameJournal::create(dir, JournalConfig::default()) {
-            Ok(j) => (StreamEngine::new(map, config), Some(j), 0, Vec::new()),
+            Ok(j) => (
+                StreamEngine::new(map, config),
+                Some(j),
+                0,
+                Vec::new(),
+                0,
+                Vec::new(),
+            ),
             Err(JournalError::NotEmpty { .. }) => {
                 let rec = FrameJournal::recover(dir, map, config)?;
                 eprintln!(
@@ -653,7 +669,14 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
                     rec.closed.len(),
                     rec.report.torn_tail_bytes
                 );
-                (rec.engine, Some(rec.journal), rec.next_seq, rec.closed)
+                (
+                    rec.engine,
+                    Some(rec.journal),
+                    rec.next_seq,
+                    rec.closed,
+                    rec.report.checkpoint_seq.unwrap_or(0),
+                    rec.tail_crcs,
+                )
             }
             Err(e) => return Err(e.into()),
         },
@@ -671,8 +694,25 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
         match item {
             Ok(frame) => {
                 // Frames below the recovered sequence were durably
-                // journaled (and ingested) by the interrupted run.
+                // journaled (and ingested) by the interrupted run —
+                // skip them, but prove the log being skipped is the
+                // one it journaled. Frames above the restored
+                // checkpoint were replayed out of the journal, so
+                // their record CRCs are in hand; a resume pointed at
+                // a different or edited capture log fails here
+                // instead of silently ingesting a skewed stream.
                 if valid_seen < start_seq {
+                    if valid_seen >= ckpt_seq {
+                        let expect = tail_crcs[(valid_seen - ckpt_seq) as usize];
+                        if record_crc(valid_seen, &frame) != expect {
+                            return Err(CliError::Input(format!(
+                                "frame {valid_seen} of {} does not match the journal's \
+                                 record — this is not the capture log the interrupted \
+                                 run journaled",
+                                path
+                            )));
+                        }
+                    }
                     valid_seen += 1;
                     continue;
                 }
@@ -711,6 +751,16 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
                 .into())
             }
         }
+    }
+    // A log that ran out before reaching the journaled frame count is
+    // the wrong log (or a truncated copy): nothing was resumed, and
+    // continuing would close out with a silently shortened campaign.
+    if valid_seen < start_seq {
+        return Err(CliError::Input(format!(
+            "{} holds only {valid_seen} valid frames but the journal says {start_seq} \
+             were already ingested — wrong capture log for this journal?",
+            path
+        )));
     }
     // Seal the journal before closing out: the final checkpoint covers
     // every appended frame (finish() itself is not journaled — a
@@ -889,6 +939,7 @@ fn crash(opts: &Opts) -> Result<(), CliError> {
         stride: stride.max(1),
         checkpoint_every: get_num(opts, "checkpoint-every", 64)?,
         torn_write_bytes: get_num(opts, "torn-bytes", 3)?,
+        torn_header_bytes: get_num(opts, "torn-header-bytes", 5)?,
     };
     let dir = match opts.get("dir") {
         Some(d) => PathBuf::from(d),
@@ -896,8 +947,8 @@ fn crash(opts: &Opts) -> Result<(), CliError> {
     };
     eprintln!(
         "crash sweep: scenario {scenario_name} (seed {seed}), {frames} frames, \
-         stride {}, checkpoint every {}, torn-write {} B",
-        config.stride, config.checkpoint_every, config.torn_write_bytes
+         stride {}, checkpoint every {}, torn-write {} B, torn-header {} B",
+        config.stride, config.checkpoint_every, config.torn_write_bytes, config.torn_header_bytes
     );
     let report = crash_sweep(&scenario, &dir, &config)?;
     let _ = std::fs::remove_dir_all(&dir);
