@@ -89,13 +89,38 @@ fn parse_medians(text: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// The `host_cores` the exporter stamped into the document header, if
+/// any (older baselines predate the field).
+fn parse_host_cores(text: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|line| field_num(line, "\"host_cores\":"))
+        .filter(|&n| n >= 1.0)
+        .map(|n| n as u64)
+}
+
+/// Whether `id` is a thread-scaling row at a thread count other than 1
+/// (`.../threads/N`). Such rows measure how work divides across cores,
+/// so their medians are only comparable between runs on hosts with the
+/// same parallelism; the `threads/1` row stays comparable everywhere.
+fn is_multi_thread_scaling_id(id: &str) -> bool {
+    match id.rfind("/threads/") {
+        Some(at) => id[at + "/threads/".len()..]
+            .parse::<u64>()
+            .map(|n| n != 1)
+            .unwrap_or(false),
+        None => false,
+    }
+}
+
 fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let rest = &line[line.find(key)? + key.len()..];
     Some(&rest[..rest.find('"')?])
 }
 
 fn field_num(line: &str, key: &str) -> Option<f64> {
-    let rest = &line[line.find(key)? + key.len()..];
+    // The exporter writes record fields as `"k":v` but header fields as
+    // `"k": v`; tolerate the space either way.
+    let rest = line[line.find(key)? + key.len()..].trim_start();
     let end = rest
         .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
         .unwrap_or(rest.len());
@@ -115,32 +140,32 @@ struct FileReport {
     rows: Vec<Row>,
     only_baseline: Vec<String>,
     only_current: Vec<String>,
+    /// Thread-scaling ids excluded because the baseline and current
+    /// hosts expose different core counts.
+    skipped_cross_core: Vec<String>,
+    baseline_cores: Option<u64>,
+    current_cores: Option<u64>,
 }
 
-fn compare_file(
-    file: &str,
-    baseline: &Path,
-    current: &Path,
-    threshold: f64,
-) -> Result<FileReport, String> {
-    let read = |dir: &Path| -> Result<BTreeMap<String, f64>, String> {
-        let path = dir.join(file);
-        let text =
-            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        if !text.contains("marauder-criterion-v1") {
-            return Err(format!(
-                "{}: not a marauder-criterion-v1 file",
-                path.display()
-            ));
-        }
-        Ok(parse_medians(&text))
-    };
-    let base = read(baseline)?;
-    let cur = read(current)?;
+/// Compares two already-read `marauder-criterion-v1` documents. When
+/// the hosts' core counts are known and differ, `/threads/N` (N > 1)
+/// rows are skipped rather than compared: thread-scaling medians from
+/// a 1-core container say nothing about an 8-core baseline's, and a
+/// false "regression" there would teach people to ignore the guard.
+fn compare_docs(file: &str, base_text: &str, cur_text: &str, threshold: f64) -> FileReport {
+    let base_cores = parse_host_cores(base_text);
+    let cur_cores = parse_host_cores(cur_text);
+    let cross_core = matches!((base_cores, cur_cores), (Some(b), Some(c)) if b != c);
+    let base = parse_medians(base_text);
+    let cur = parse_medians(cur_text);
     let mut rows = Vec::new();
     let mut only_baseline = Vec::new();
+    let mut skipped_cross_core = Vec::new();
     for (id, &b) in &base {
         match cur.get(id) {
+            Some(_) if cross_core && is_multi_thread_scaling_id(id) => {
+                skipped_cross_core.push(id.clone());
+            }
             Some(&c) if b > 0.0 => {
                 let ratio = c / b;
                 rows.push(Row {
@@ -160,12 +185,38 @@ fn compare_file(
         .filter(|id| !base.contains_key(*id))
         .cloned()
         .collect();
-    Ok(FileReport {
+    FileReport {
         file: file.to_string(),
         rows,
         only_baseline,
         only_current,
-    })
+        skipped_cross_core,
+        baseline_cores: base_cores,
+        current_cores: cur_cores,
+    }
+}
+
+fn compare_file(
+    file: &str,
+    baseline: &Path,
+    current: &Path,
+    threshold: f64,
+) -> Result<FileReport, String> {
+    let read = |dir: &Path| -> Result<String, String> {
+        let path = dir.join(file);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !text.contains("marauder-criterion-v1") {
+            return Err(format!(
+                "{}: not a marauder-criterion-v1 file",
+                path.display()
+            ));
+        }
+        Ok(text)
+    };
+    let base_text = read(baseline)?;
+    let cur_text = read(current)?;
+    Ok(compare_docs(file, &base_text, &cur_text, threshold))
 }
 
 fn json_str_list(items: &[String]) -> String {
@@ -195,13 +246,19 @@ fn render_report(reports: &[FileReport], threshold: f64, regressions: usize) -> 
                     )
                 })
                 .collect();
+            let cores = |c: Option<u64>| c.map_or("null".to_string(), |n| n.to_string());
             format!(
-                "    {{\n      \"file\": \"{}\",\n      \"rows\": [\n{}\n      ],\n      \
-                 \"only_in_baseline\": {},\n      \"only_in_current\": {}\n    }}",
+                "    {{\n      \"file\": \"{}\",\n      \"baseline_host_cores\": {},\n      \
+                 \"current_host_cores\": {},\n      \"rows\": [\n{}\n      ],\n      \
+                 \"only_in_baseline\": {},\n      \"only_in_current\": {},\n      \
+                 \"skipped_cross_core\": {}\n    }}",
                 r.file,
+                cores(r.baseline_cores),
+                cores(r.current_cores),
                 rows.join(",\n"),
                 json_str_list(&r.only_baseline),
-                json_str_list(&r.only_current)
+                json_str_list(&r.only_current),
+                json_str_list(&r.skipped_cross_core)
             )
         })
         .collect();
@@ -259,6 +316,17 @@ fn run(args: &Args) -> Result<usize, String> {
             println!(
                 "{status:<9} {:<55} baseline {:>12.0} ns  current {:>12.0} ns  x{:.2}",
                 row.id, row.baseline_ns, row.current_ns, row.ratio
+            );
+        }
+        for id in &report.skipped_cross_core {
+            println!(
+                "SKIPPED   {id:<55} thread-scaling row; hosts differ ({} vs {} cores)",
+                report
+                    .baseline_cores
+                    .map_or("?".to_string(), |n| n.to_string()),
+                report
+                    .current_cores
+                    .map_or("?".to_string(), |n| n.to_string()),
             );
         }
         for id in &report.only_baseline {
@@ -330,5 +398,83 @@ mod tests {
     fn negative_and_integer_medians_parse() {
         let medians = parse_medians("{\"id\":\"a\",\"median_ns\":42}");
         assert_eq!(medians["a"], 42.0);
+    }
+
+    #[test]
+    fn host_cores_parses_and_tolerates_absence() {
+        assert_eq!(
+            parse_host_cores("{\n  \"host_cores\": 8,\n  \"results\": []\n}"),
+            Some(8)
+        );
+        assert_eq!(parse_host_cores("{\n  \"results\": []\n}"), None);
+        // A nonsense value never becomes a core count.
+        assert_eq!(parse_host_cores("{\"host_cores\": 0}"), None);
+    }
+
+    #[test]
+    fn thread_scaling_ids_are_recognised() {
+        assert!(is_multi_thread_scaling_id("pipeline/track_all/threads/8"));
+        assert!(is_multi_thread_scaling_id("stream/replay_fixes/threads/2"));
+        assert!(!is_multi_thread_scaling_id("pipeline/track_all/threads/1"));
+        assert!(!is_multi_thread_scaling_id("lp/cold_solve/sparse/16"));
+        assert!(!is_multi_thread_scaling_id("serve/threads/not-a-number"));
+    }
+
+    fn doc(cores: Option<u64>, rows: &[(&str, f64)]) -> String {
+        let header = match cores {
+            Some(n) => format!("  \"host_cores\": {n},\n"),
+            None => String::new(),
+        };
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(id, m)| format!("    {{\"id\":\"{id}\",\"median_ns\":{m}}}"))
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"marauder-criterion-v1\",\n{header}  \"results\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn cross_core_runs_skip_multi_thread_rows_only() {
+        let base = doc(
+            Some(8),
+            &[
+                ("pipe/threads/1", 100.0),
+                ("pipe/threads/4", 100.0),
+                ("lp/solve", 100.0),
+            ],
+        );
+        // Same ids, wildly slower, measured on a 1-core host: only the
+        // multi-thread row is excused; the others still regress.
+        let cur = doc(
+            Some(1),
+            &[
+                ("pipe/threads/1", 1000.0),
+                ("pipe/threads/4", 1000.0),
+                ("lp/solve", 1000.0),
+            ],
+        );
+        let report = compare_docs("BENCH_x.json", &base, &cur, 3.0);
+        assert_eq!(report.skipped_cross_core, vec!["pipe/threads/4"]);
+        let compared: Vec<&str> = report.rows.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(compared, vec!["lp/solve", "pipe/threads/1"]);
+        assert!(report.rows.iter().all(|r| r.regressed));
+        assert_eq!(report.baseline_cores, Some(8));
+        assert_eq!(report.current_cores, Some(1));
+    }
+
+    #[test]
+    fn matching_or_unknown_cores_compare_everything() {
+        for (b, c) in [(Some(4), Some(4)), (None, Some(1)), (None, None)] {
+            let base = doc(b, &[("pipe/threads/4", 100.0)]);
+            let cur = doc(c, &[("pipe/threads/4", 100.0)]);
+            let report = compare_docs("BENCH_x.json", &base, &cur, 3.0);
+            assert!(
+                report.skipped_cross_core.is_empty(),
+                "cores {b:?}/{c:?} must not skip"
+            );
+            assert_eq!(report.rows.len(), 1);
+        }
     }
 }

@@ -1,0 +1,209 @@
+//! Misbehaving-HTTP-client fault classes for the serving layer.
+//!
+//! The radio-path injector ([`crate::inject`]) attacks the *input* of
+//! the pipeline; these attack its *output* surface: clients that stall
+//! mid-head (slow-loris), hang up mid-request, speak garbage, or send
+//! absurdly oversized heads. Following the crate's discipline, a
+//! client's entire misbehaviour is a **pure schedule** — a function of
+//! `(kind, seed)` only, computed up front — so a chaos run is
+//! byte-reproducible and the executor (in `marauder-serve`) does
+//! nothing but play the schedule against a socket.
+//!
+//! Each schedule carries the *contract* the server must honour for it
+//! ([`Expectation`]): either a specific 4xx status or a silent drop.
+//! "The server panicked" or "the server answered something else" are
+//! the findings the chaos matrix exists to surface.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// The request a well-behaved client would have sent; misbehaving
+/// schedules are derived from (or replace) it.
+pub const BASE_REQUEST: &[u8] = b"GET /healthz HTTP/1.1\r\nHost: chaos\r\n\r\n";
+
+/// The ways a client can misbehave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientFaultKind {
+    /// Sends the head one morsel at a time, slower than any sane
+    /// client, and never sends the terminator — the classic socket
+    /// exhaustion attack. Contract: the server's head deadline fires
+    /// (`408`) and the worker is reclaimed.
+    SlowLoris,
+    /// Sends a prefix of a valid request, then disconnects. Contract:
+    /// the server drops the connection quietly (nothing is owed to a
+    /// peer that left) and the worker is reclaimed.
+    MidRequestDisconnect,
+    /// Sends bytes that were never HTTP. Contract: rejected `400`
+    /// *eagerly* — garbage must not hold a worker until a deadline.
+    Garbage,
+    /// Sends a head past the server's size cap. Contract: `431`, and
+    /// the rejection must arrive without buffering the whole flood.
+    Oversized,
+}
+
+impl ClientFaultKind {
+    /// Every kind, in matrix order.
+    pub const ALL: [ClientFaultKind; 4] = [
+        ClientFaultKind::SlowLoris,
+        ClientFaultKind::MidRequestDisconnect,
+        ClientFaultKind::Garbage,
+        ClientFaultKind::Oversized,
+    ];
+
+    /// Stable key for reports and metrics.
+    pub fn key(self) -> &'static str {
+        match self {
+            ClientFaultKind::SlowLoris => "slow_loris",
+            ClientFaultKind::MidRequestDisconnect => "mid_request_disconnect",
+            ClientFaultKind::Garbage => "garbage",
+            ClientFaultKind::Oversized => "oversized",
+        }
+    }
+}
+
+/// What the server owes a misbehaving client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// A response with exactly this status, then connection close.
+    Status(u16),
+    /// No response: the connection just ends.
+    Dropped,
+}
+
+/// A fully precomputed misbehaviour: chunks to write, the pause
+/// between them, whether to hang up instead of awaiting a response,
+/// and the contract to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSchedule {
+    /// Which fault this schedule realizes.
+    pub kind: ClientFaultKind,
+    /// Byte chunks to write, in order.
+    pub chunks: Vec<Vec<u8>>,
+    /// Pause before every chunk after the first.
+    pub pause: Duration,
+    /// Hang up right after the last chunk instead of reading.
+    pub disconnect_after_send: bool,
+    /// The server's side of the contract.
+    pub expect: Expectation,
+}
+
+impl ClientSchedule {
+    /// Total bytes the schedule writes.
+    pub fn wire_len(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds the deterministic schedule for one chaos client. Pure in
+/// `(kind, seed)`: the same pair yields the identical schedule on any
+/// machine, which is what makes a chaos failure replayable.
+pub fn client_schedule(kind: ClientFaultKind, seed: u64) -> ClientSchedule {
+    let mut rng = StdRng::seed_from_u64(marauder_par::sub_seed(seed, kind.key().len() as u64));
+    match kind {
+        ClientFaultKind::SlowLoris => {
+            // Drip the head in 1..=3-byte morsels and withhold the
+            // final terminator forever.
+            let head = &BASE_REQUEST[..BASE_REQUEST.len() - 4];
+            let mut chunks = Vec::new();
+            let mut at = 0;
+            while at < head.len() {
+                let step = rng.gen_range(1..=3usize).min(head.len() - at);
+                chunks.push(head[at..at + step].to_vec());
+                at += step;
+            }
+            ClientSchedule {
+                kind,
+                chunks,
+                pause: Duration::from_millis(5),
+                disconnect_after_send: false,
+                expect: Expectation::Status(408),
+            }
+        }
+        ClientFaultKind::MidRequestDisconnect => {
+            // Cut somewhere strictly inside the request.
+            let cut = rng.gen_range(1..BASE_REQUEST.len() - 1);
+            ClientSchedule {
+                kind,
+                chunks: vec![BASE_REQUEST[..cut].to_vec()],
+                pause: Duration::ZERO,
+                disconnect_after_send: true,
+                expect: Expectation::Dropped,
+            }
+        }
+        ClientFaultKind::Garbage => {
+            // Random bytes led by one guaranteed non-head byte, so the
+            // eager-rejection contract (400 *now*, not 408 later) is
+            // what gets tested regardless of what the tail looks like.
+            let len = rng.gen_range(8..=256usize);
+            let mut bytes = vec![0xFFu8];
+            for _ in 1..len {
+                bytes.push(rng.gen::<u8>());
+            }
+            ClientSchedule {
+                kind,
+                chunks: vec![bytes],
+                pause: Duration::ZERO,
+                disconnect_after_send: false,
+                expect: Expectation::Status(400),
+            }
+        }
+        ClientFaultKind::Oversized => {
+            // One header padded past the 16 KiB head cap, sent in
+            // 4 KiB bursts, terminator withheld — the server must
+            // reject on size alone.
+            let mut head = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+            let target = 17 * 1024 + rng.gen_range(0..1024usize);
+            head.resize(target, b'a');
+            let chunks = head.chunks(4096).map(<[u8]>::to_vec).collect();
+            ClientSchedule {
+                kind,
+                chunks,
+                pause: Duration::ZERO,
+                disconnect_after_send: false,
+                expect: Expectation::Status(431),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_kind_and_seed() {
+        for kind in ClientFaultKind::ALL {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let a = client_schedule(kind, seed);
+                let b = client_schedule(kind, seed);
+                assert_eq!(a, b, "{kind:?} seed {seed} not reproducible");
+                assert!(!a.chunks.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_honour_their_class_invariants() {
+        for seed in 0..16u64 {
+            let loris = client_schedule(ClientFaultKind::SlowLoris, seed);
+            let wire: Vec<u8> = loris.chunks.concat();
+            assert!(
+                !wire.windows(4).any(|w| w == b"\r\n\r\n"),
+                "slow-loris must never complete its head"
+            );
+            assert_eq!(loris.expect, Expectation::Status(408));
+
+            let cut = client_schedule(ClientFaultKind::MidRequestDisconnect, seed);
+            assert!(cut.disconnect_after_send);
+            assert!(cut.wire_len() < BASE_REQUEST.len());
+
+            let garbage = client_schedule(ClientFaultKind::Garbage, seed);
+            assert_eq!(garbage.chunks[0][0], 0xFF, "first byte must be non-HTTP");
+
+            let oversized = client_schedule(ClientFaultKind::Oversized, seed);
+            assert!(oversized.wire_len() > 16 * 1024);
+            assert_eq!(oversized.expect, Expectation::Status(431));
+        }
+    }
+}

@@ -400,11 +400,7 @@ pub fn tear_last_record(dir: &Path, bytes: usize) -> Result<bool, SweepError> {
 /// empty file; clamped to 15 so the result is never a valid header).
 /// `first_seq` must be the number of frames journaled so far — the
 /// sequence the torn rotation would have been named after.
-pub fn tear_segment_header(
-    dir: &Path,
-    first_seq: u64,
-    bytes: usize,
-) -> Result<(), SweepError> {
+pub fn tear_segment_header(dir: &Path, first_seq: u64, bytes: usize) -> Result<(), SweepError> {
     let mut header = Vec::with_capacity(16);
     header.extend_from_slice(&marauder_stream::SEGMENT_MAGIC);
     header.extend_from_slice(&first_seq.to_be_bytes());
@@ -476,8 +472,7 @@ pub fn crash_sweep(
                 // the check that catches resumed appends landing in a
                 // reopened headerless segment and being discarded as
                 // a torn tail on the next recovery.
-                let rec2 =
-                    FrameJournal::recover(&cell_dir, scenario.fresh_map(), sweep_config())?;
+                let rec2 = FrameJournal::recover(&cell_dir, scenario.fresh_map(), sweep_config())?;
                 Some(TornOutcome {
                     bytes: config.torn_header_bytes,
                     torn_tail_bytes: report.torn_tail_bytes,
@@ -554,14 +549,16 @@ mod tests {
         assert!(report.cells.iter().any(|c| c.checkpoint_seq.is_some()));
         // Every cell ran the torn-header companion and the headerless
         // segment was detected as a (partial-header-sized) torn tail.
-        assert!(report
-            .cells
-            .iter()
-            .all(|c| c.torn_header.as_ref().map(|t| t.matched).unwrap_or(false)));
-        assert!(report
-            .cells
-            .iter()
-            .any(|c| c.torn_header.as_ref().map(|t| t.torn_tail_bytes == 5) == Some(true)));
+        assert!(report.cells.iter().all(|c| c
+            .torn_header
+            .as_ref()
+            .map(|t| t.matched)
+            .unwrap_or(false)));
+        assert!(report.cells.iter().any(|c| c
+            .torn_header
+            .as_ref()
+            .map(|t| t.torn_tail_bytes == 5)
+            == Some(true)));
         assert!(report.cells.iter().any(|c| c
             .torn
             .as_ref()

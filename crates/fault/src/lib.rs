@@ -32,11 +32,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod client;
 pub mod crash;
 pub mod harness;
 pub mod inject;
 pub mod plan;
 
+pub use client::{client_schedule, ClientFaultKind, ClientSchedule, Expectation, BASE_REQUEST};
 pub use crash::{
     crash_sweep, render_fixes, tear_last_record, tear_segment_header, CrashCell, CrashReport,
     CrashSweepConfig, SweepError, TornOutcome,

@@ -1,0 +1,560 @@
+//! A panic-free HTTP/1.1 request parser and response writer.
+//!
+//! Hand-rolled because the workspace is std-only, and *minimal*
+//! because the serving layer only ever answers `GET`: no bodies, no
+//! chunked coding, no continuation lines. What it does do, it does
+//! defensively — the parser is driven by the chaos harness with
+//! arbitrary bytes, truncations and oversized heads, and its contract
+//! is that every input yields either a parsed request, "need more
+//! bytes", or a typed [`HttpError`] that maps onto a 4xx/5xx status.
+//! Nothing panics; the proptest suite (`tests/http_props.rs`) pins
+//! that over the full byte space.
+//!
+//! Incremental use: callers accumulate bytes into a buffer and call
+//! [`parse_request`] after every read. [`Parsed::Incomplete`] means
+//! "keep reading"; [`Parsed::Complete`] reports how many bytes the
+//! request consumed so pipelined requests behind it stay in the
+//! buffer.
+
+use std::fmt;
+
+/// Upper bound on a request head (request line + headers + the blank
+/// line), bytes. A head that exceeds it is rejected `431` before the
+/// terminator arrives, so an attacker cannot buffer-balloon a worker.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// Upper bound on the request target (path + query), bytes.
+pub const MAX_TARGET_BYTES: usize = 2048;
+
+/// Everything that can be wrong with a request head, each mapping to
+/// the HTTP status a correct server answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The head outgrew [`MAX_HEAD_BYTES`] (431).
+    HeadTooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The request line is not `METHOD SP TARGET SP VERSION`, or the
+    /// head contains bytes that can never appear in one (400).
+    BadRequestLine {
+        /// What specifically was malformed.
+        reason: &'static str,
+    },
+    /// A syntactically valid method the server does not implement —
+    /// everything but `GET` (405).
+    UnsupportedMethod {
+        /// The method as received.
+        method: String,
+    },
+    /// An `HTTP/x.y` version other than 1.0/1.1 (505).
+    UnsupportedVersion {
+        /// The version token as received.
+        version: String,
+    },
+    /// The request target outgrew [`MAX_TARGET_BYTES`] (414).
+    TargetTooLong {
+        /// Received target length, bytes.
+        len: usize,
+        /// The limit it exceeded.
+        limit: usize,
+    },
+    /// More than [`MAX_HEADERS`] header lines (431).
+    TooManyHeaders {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A header line without a colon, or with an empty/invalid name
+    /// (400). `line` is 1-based within the header block.
+    BadHeader {
+        /// 1-based header line number.
+        line: usize,
+        /// What specifically was malformed.
+        reason: &'static str,
+    },
+    /// The request declares a body (`Content-Length` > 0 or any
+    /// `Transfer-Encoding`) — GET endpoints take none (413).
+    BodyNotAllowed,
+}
+
+impl HttpError {
+    /// The response status a correct server answers this error with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge { .. } => 431,
+            HttpError::BadRequestLine { .. } => 400,
+            HttpError::UnsupportedMethod { .. } => 405,
+            HttpError::UnsupportedVersion { .. } => 505,
+            HttpError::TargetTooLong { .. } => 414,
+            HttpError::TooManyHeaders { .. } => 431,
+            HttpError::BadHeader { .. } => 400,
+            HttpError::BodyNotAllowed => 413,
+        }
+    }
+
+    /// A stable snake_case key for metrics accounting
+    /// (`serve.reject.<kind>` counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HttpError::HeadTooLarge { .. } => "head_too_large",
+            HttpError::BadRequestLine { .. } => "bad_request_line",
+            HttpError::UnsupportedMethod { .. } => "unsupported_method",
+            HttpError::UnsupportedVersion { .. } => "unsupported_version",
+            HttpError::TargetTooLong { .. } => "target_too_long",
+            HttpError::TooManyHeaders { .. } => "too_many_headers",
+            HttpError::BadHeader { .. } => "bad_header",
+            HttpError::BodyNotAllowed => "body_not_allowed",
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::BadRequestLine { reason } => write!(f, "bad request line: {reason}"),
+            HttpError::UnsupportedMethod { method } => {
+                write!(f, "method {method:?} not allowed (GET only)")
+            }
+            HttpError::UnsupportedVersion { version } => {
+                write!(f, "unsupported HTTP version {version:?}")
+            }
+            HttpError::TargetTooLong { len, limit } => {
+                write!(f, "request target is {len} bytes (limit {limit})")
+            }
+            HttpError::TooManyHeaders { limit } => {
+                write!(f, "more than {limit} header lines")
+            }
+            HttpError::BadHeader { line, reason } => {
+                write!(f, "bad header on line {line}: {reason}")
+            }
+            HttpError::BodyNotAllowed => write!(f, "request bodies are not accepted"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A successfully parsed `GET` request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Decoded path component (everything before `?`), always
+    /// starting with `/`.
+    pub path: String,
+    /// Raw query string (everything after `?`), if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs, names lowercased, values
+    /// whitespace-trimmed, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection stays open after the response
+    /// (HTTP/1.1 default, overridable by `Connection:` either way).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a `key=value` pair in the query string, if any.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Outcome of a [`parse_request`] attempt over the bytes so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A full head was parsed; `consumed` bytes belong to it (the
+    /// rest of the buffer is the next pipelined request, if any).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+    },
+    /// No full head yet — read more bytes and call again.
+    Incomplete,
+}
+
+/// True for bytes that may appear in a request head: printable ASCII
+/// plus HTAB (CR/LF are handled structurally, not here).
+fn head_byte_ok(b: u8) -> bool {
+    b == b'\t' || (0x20..0x7f).contains(&b)
+}
+
+/// First offset of `needle` in `haystack`, if any.
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Attempts to parse one request head from the front of `buf`.
+///
+/// # Errors
+///
+/// A typed [`HttpError`] for any head that can never become valid —
+/// oversized, malformed, or declaring an unsupported feature. Garbage
+/// is detected eagerly: a buffer containing a byte that cannot occur
+/// in any request head is rejected immediately, without waiting for a
+/// head terminator that will never come.
+pub fn parse_request(buf: &[u8]) -> Result<Parsed, HttpError> {
+    let head = match find_subslice(buf, b"\r\n\r\n") {
+        Some(end) => &buf[..end],
+        None => {
+            // No terminator yet. Reject eagerly what can never parse:
+            // a byte outside the head alphabet, or a head already over
+            // the size cap. Everything else genuinely needs more bytes.
+            if buf
+                .iter()
+                .any(|&b| b != b'\r' && b != b'\n' && !head_byte_ok(b))
+            {
+                return Err(HttpError::BadRequestLine {
+                    reason: "invalid byte in request head",
+                });
+            }
+            if buf.len() >= MAX_HEAD_BYTES {
+                return Err(HttpError::HeadTooLarge {
+                    limit: MAX_HEAD_BYTES,
+                });
+            }
+            return Ok(Parsed::Incomplete);
+        }
+    };
+    let consumed = head.len() + 4;
+    if consumed > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge {
+            limit: MAX_HEAD_BYTES,
+        });
+    }
+    if head
+        .iter()
+        .any(|&b| b != b'\r' && b != b'\n' && !head_byte_ok(b))
+    {
+        return Err(HttpError::BadRequestLine {
+            reason: "invalid byte in request head",
+        });
+    }
+    // The head is printable ASCII by the check above, so this never
+    // fails — but the contract is "no panics", not "trust me".
+    let head = std::str::from_utf8(head).map_err(|_| HttpError::BadRequestLine {
+        reason: "request head is not ASCII",
+    })?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() && !v.is_empty() => {
+            (m, t, v)
+        }
+        _ => {
+            return Err(HttpError::BadRequestLine {
+                reason: "expected `METHOD SP TARGET SP VERSION`",
+            })
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine {
+            reason: "method is not an uppercase token",
+        });
+    }
+    if method != "GET" {
+        return Err(HttpError::UnsupportedMethod {
+            method: method.to_string(),
+        });
+    }
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => {
+            return Err(HttpError::UnsupportedVersion {
+                version: v.to_string(),
+            })
+        }
+        _ => {
+            return Err(HttpError::BadRequestLine {
+                reason: "version is not HTTP/x.y",
+            })
+        }
+    };
+    if target.len() > MAX_TARGET_BYTES {
+        return Err(HttpError::TargetTooLong {
+            len: target.len(),
+            limit: MAX_TARGET_BYTES,
+        });
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequestLine {
+            reason: "target must start with /",
+        });
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders { limit: MAX_HEADERS });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader {
+                line: i + 1,
+                reason: "missing colon",
+            });
+        };
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_graphic() && b != b':') {
+            return Err(HttpError::BadHeader {
+                line: i + 1,
+                reason: "invalid header name",
+            });
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // GET endpoints take no bodies; a request that declares one would
+    // desynchronize the keep-alive framing if we ignored it.
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::BodyNotAllowed);
+    }
+    if let Some(len) = headers.iter().find(|(n, _)| n == "content-length") {
+        if len.1.parse::<u64>().map_or(true, |n| n > 0) {
+            return Err(HttpError::BodyNotAllowed);
+        }
+    }
+
+    let keep_alive = match headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        Some(_) | None => keep_alive_default,
+    };
+
+    Ok(Parsed::Complete {
+        request: Request {
+            path,
+            query,
+            headers,
+            keep_alive,
+        },
+        consumed,
+    })
+}
+
+/// A response ready to render: status, content type, body, and
+/// whether the connection survives it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether to keep the connection open after writing.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+            keep_alive: true,
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            keep_alive: true,
+        }
+    }
+
+    /// Serializes the status line, headers and body into wire bytes.
+    pub fn render(&self) -> Vec<u8> {
+        let head =
+            format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.keep_alive { "keep-alive" } else { "close" },
+        );
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// The canonical reason phrase for every status this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            Ok(Parsed::Complete { request, consumed }) => (request, consumed),
+            other => panic!("expected complete parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let (req, consumed) = complete(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, None);
+        assert!(req.keep_alive);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(consumed, 34);
+    }
+
+    #[test]
+    fn splits_query_and_reads_params() {
+        let (req, _) = complete(b"GET /tiles?bbox=0,0,10,10&format=geojson HTTP/1.1\r\n\r\n");
+        assert_eq!(req.path, "/tiles");
+        assert_eq!(req.query_param("bbox"), Some("0,0,10,10"));
+        assert_eq!(req.query_param("format"), Some("geojson"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        assert!(complete(b"GET / HTTP/1.1\r\n\r\n").0.keep_alive);
+        assert!(!complete(b"GET / HTTP/1.0\r\n\r\n").0.keep_alive);
+        assert!(
+            !complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .0
+                .keep_alive
+        );
+        assert!(
+            complete(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .0
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_report_exact_consumption() {
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, consumed) = complete(wire);
+        assert_eq!(req.path, "/a");
+        let (req2, consumed2) = complete(&wire[consumed..]);
+        assert_eq!(req2.path, "/b");
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn truncations_are_incomplete_not_errors() {
+        let wire = b"GET /track/00:11 HTTP/1.1\r\nHost: a\r\n\r\n";
+        for cut in 0..wire.len() - 1 {
+            assert_eq!(
+                parse_request(&wire[..cut]),
+                Ok(Parsed::Incomplete),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let cases: [(&[u8], u16); 8] = [
+            (b"POST / HTTP/1.1\r\n\r\n", 405),
+            (b"GET / HTTP/2.0\r\n\r\n", 505),
+            (b"GET\r\n\r\n", 400),
+            (b"GET / HTTP/1.1 extra\r\n\r\n", 400),
+            (b"\x00\xffgarbage", 400),
+            (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n", 413),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 413),
+        ];
+        for (wire, status) in cases {
+            let err = parse_request(wire).expect_err(&format!("{wire:?}"));
+            assert_eq!(err.status(), status, "{wire:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_heads_reject_with_and_without_terminator() {
+        // Unterminated: rejected the moment the cap is reached.
+        let mut huge = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        huge.resize(MAX_HEAD_BYTES, b'a');
+        assert_eq!(
+            parse_request(&huge),
+            Err(HttpError::HeadTooLarge {
+                limit: MAX_HEAD_BYTES
+            })
+        );
+        // Terminated but over the cap: same rejection.
+        huge.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(
+            parse_request(&huge),
+            Err(HttpError::HeadTooLarge {
+                limit: MAX_HEAD_BYTES
+            })
+        );
+        // A long-but-legal target draws the finer-grained 414.
+        let mut long_target = b"GET /".to_vec();
+        long_target.extend(std::iter::repeat_n(b'a', MAX_TARGET_BYTES + 1));
+        long_target.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert!(matches!(
+            parse_request(&long_target),
+            Err(HttpError::TargetTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_content_length_is_fine() {
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert_eq!(req.header("content-length"), Some("0"));
+    }
+
+    #[test]
+    fn response_renders_with_exact_content_length() {
+        let wire = Response::ok("application/json", "{}").render();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

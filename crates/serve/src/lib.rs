@@ -1,0 +1,89 @@
+//! Serving layer: live tracker state over HTTP, without ever making a
+//! reader block the ingest path.
+//!
+//! The paper's attack is a *live* surveillance system — its output is
+//! only useful if an operator can watch tracks as they form. This
+//! crate is that last hop: the stream engine publishes immutable
+//! snapshots onto a [`SnapshotPlane`] (via the
+//! [`TrackerPublisher`] sink), and a std-only HTTP/1.1 server
+//! ([`server::start`]) serves them to any number of concurrent
+//! readers. The protocol is deliberately asymmetric: publishing costs
+//! the ingest thread an `Arc` swap regardless of reader count, and a
+//! reader's steady-state request costs one atomic load to confirm its
+//! cached snapshot is still current — readers can stall, disconnect,
+//! or spin without ever delaying a frame.
+//!
+//! ```text
+//! frames ─▶ StreamEngine ─▶ TrackerPublisher ─▶ SnapshotPlane
+//!                                                  │ (epoch + Arc swap)
+//!                              ┌───────────────────┼──────────────┐
+//!                          PlaneReader          PlaneReader    PlaneReader
+//!                              │                    │              │
+//!                          HTTP conn            HTTP conn      HTTP conn
+//! ```
+//!
+//! Endpoints: `/track/<mac>` (CSV/JSON history), `/tiles?bbox=…`
+//! (GeoJSON), `/metrics` (obs registry), `/snapshot` (engine text
+//! snapshot), `/healthz`. The [`loadgen`] module measures the layer
+//! (`results/BENCH_serve.json`); the [`chaos`] module drives it with
+//! misbehaving clients and pins "typed errors, never panics".
+
+#![forbid(unsafe_code)]
+
+pub mod chaos;
+pub mod http;
+pub mod loadgen;
+pub mod plane;
+pub mod server;
+pub mod state;
+
+pub use http::{parse_request, HttpError, Parsed, Request, Response};
+pub use plane::{PlaneReader, SnapshotPlane};
+pub use server::{route, start, ServeConfig, ServerHandle};
+pub use state::{BBox, PublisherConfig, TrackerPublisher, TrackerSnapshot};
+
+use std::fmt;
+
+/// Everything the serving layer can fail with at its API surface.
+/// (Per-connection HTTP errors are [`HttpError`] and are answered on
+/// the wire, not returned here.)
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or filesystem operation failed; `context` names it.
+    Io {
+        /// What was being attempted.
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The load generator could not complete a measurement.
+    Bench(String),
+    /// The chaos harness hit an infrastructure failure (not a finding
+    /// — findings are reported in the matrix, not as errors).
+    Chaos(String),
+}
+
+impl ServeError {
+    pub(crate) fn io(context: &'static str, source: std::io::Error) -> Self {
+        ServeError::Io { context, source }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Bench(msg) => write!(f, "load generator: {msg}"),
+            ServeError::Chaos(msg) => write!(f, "chaos harness: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::Bench(_) | ServeError::Chaos(_) => None,
+        }
+    }
+}

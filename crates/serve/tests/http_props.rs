@@ -1,0 +1,155 @@
+//! Property tests over the HTTP parser's full input space: arbitrary
+//! bytes, truncations of valid requests, oversized floods, and
+//! pipelined garbage. The contract under test is the module's own —
+//! every input yields a parsed request, `Incomplete`, or a typed
+//! [`HttpError`] mapping to a 4xx/5xx — *never* a panic. These
+//! properties are what let the chaos harness promise "malformed input
+//! draws a typed rejection" without enumerating malformations.
+
+use marauder_serve::http::{parse_request, HttpError, Parsed, MAX_HEAD_BYTES, MAX_TARGET_BYTES};
+use proptest::prelude::*;
+
+/// A syntactically valid GET request the parser must accept, built
+/// from arbitrary-but-legal path segments, query, and headers.
+fn arb_valid_request() -> impl Strategy<Value = Vec<u8>> {
+    let path = proptest::collection::vec("[A-Za-z0-9_.-]{1,12}", 0..4)
+        .prop_map(|segs| format!("/{}", segs.join("/")));
+    let query = proptest::option::of("[A-Za-z0-9=&,.-]{1,32}");
+    // The vendored proptest stub supports a single `[class]{lo,hi}`
+    // pattern; an `x-` prefix guarantees a letter-led header name.
+    let headers = proptest::collection::vec(
+        (
+            "[A-Za-z0-9-]{1,14}".prop_map(|s| format!("x-{s}")),
+            "[A-Za-z0-9 _.;=-]{0,24}",
+        ),
+        0..4,
+    );
+    (path, query, headers, any::<bool>()).prop_map(|(path, query, headers, http10)| {
+        let target = match query {
+            Some(q) => format!("{path}?{q}"),
+            None => path,
+        };
+        let version = if http10 { "HTTP/1.0" } else { "HTTP/1.1" };
+        let mut wire = format!("GET {target} {version}\r\n");
+        for (name, value) in headers {
+            // `content-length`/`transfer-encoding` legitimately draw a
+            // 413; keep this strategy to requests that must *succeed*.
+            if name.eq_ignore_ascii_case("content-length")
+                || name.eq_ignore_ascii_case("transfer-encoding")
+            {
+                continue;
+            }
+            wire.push_str(&format!("{name}: {value}\r\n"));
+        }
+        wire.push_str("\r\n");
+        wire.into_bytes()
+    })
+}
+
+/// Every parser outcome is within contract; no outcome is a panic.
+fn assert_typed(buf: &[u8]) {
+    match parse_request(buf) {
+        Ok(Parsed::Complete { consumed, .. }) => {
+            assert!(consumed >= 4, "a head is at least its terminator");
+            assert!(consumed <= buf.len(), "consumed past the buffer");
+        }
+        Ok(Parsed::Incomplete) => {
+            assert!(
+                buf.len() < MAX_HEAD_BYTES,
+                "an over-cap buffer may never be left pending"
+            );
+        }
+        Err(e) => {
+            assert!(
+                (400..=599).contains(&e.status()),
+                "error {e:?} has non-error status {}",
+                e.status()
+            );
+            assert!(!e.kind().is_empty() && e.kind().is_ascii());
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes — the raw chaos-client space — never panic and
+    /// never escape the typed contract.
+    #[test]
+    fn arbitrary_bytes_yield_typed_outcomes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        assert_typed(&bytes);
+    }
+
+    /// Any truncation of a valid request is `Incomplete`: a prefix
+    /// holds no terminator, only legal head bytes, and is under the
+    /// size cap — the parser must keep waiting, not guess.
+    #[test]
+    fn truncated_valid_requests_are_incomplete(
+        wire in arb_valid_request(),
+        cut_seed in any::<u16>(),
+    ) {
+        let cut = cut_seed as usize % wire.len();
+        prop_assert!(matches!(
+            parse_request(&wire[..cut]),
+            Ok(Parsed::Incomplete)
+        ));
+    }
+
+    /// Valid requests parse, and whatever rides behind them in the
+    /// buffer — pipelined garbage included — neither corrupts the
+    /// parse nor changes how much is consumed.
+    #[test]
+    fn pipelined_garbage_cannot_reach_back(
+        wire in arb_valid_request(),
+        tail in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut buf = wire.clone();
+        buf.extend_from_slice(&tail);
+        match parse_request(&buf) {
+            Ok(Parsed::Complete { request, consumed }) => {
+                prop_assert_eq!(consumed, wire.len());
+                prop_assert!(request.path.starts_with('/'));
+                // The leftover is the tail verbatim; parsing it stays
+                // inside the contract too.
+                assert_typed(&buf[consumed..]);
+            }
+            other => prop_assert!(false, "valid request failed: {other:?}"),
+        }
+    }
+
+    /// Unterminated floods past the head cap are rejected on size the
+    /// moment the cap is crossed — never buffered indefinitely.
+    #[test]
+    fn oversized_heads_draw_the_size_error(
+        pad in MAX_HEAD_BYTES..MAX_HEAD_BYTES + 4096,
+    ) {
+        let mut wire = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        wire.resize(pad, b'a');
+        prop_assert_eq!(
+            parse_request(&wire),
+            Err(HttpError::HeadTooLarge { limit: MAX_HEAD_BYTES })
+        );
+    }
+
+    /// Oversized *targets* draw the target error even when the head
+    /// itself fits, and the reported length is the real one.
+    #[test]
+    fn oversized_targets_draw_the_target_error(
+        extra in 1usize..1024,
+    ) {
+        let len = MAX_TARGET_BYTES + extra;
+        let mut wire = b"GET /".to_vec();
+        wire.resize(4 + len, b'a');
+        wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        match parse_request(&wire) {
+            Err(HttpError::TargetTooLong { len: got, limit }) => {
+                prop_assert_eq!(got, len);
+                prop_assert_eq!(limit, MAX_TARGET_BYTES);
+            }
+            other => prop_assert!(false, "expected TargetTooLong, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end serving-layer integration: the deterministic load
+//! generator against a live loopback server.
+//!
+//! Thresholds here are deliberately loose — CI containers are slow,
+//! single-core, and noisy, and the real numbers live in
+//! `results/BENCH_serve.json`. What these tests pin is *structure*:
+//! the server completes a mixed closed-loop sweep without a single
+//! error, and reader load cannot slow paced ingestion beyond a margin
+//! far wider than the production budget (a reader-blocks-writer bug
+//! shows up as a multiple, not a percentage).
+
+use marauder_serve::loadgen::{run_bench, LoadgenConfig};
+use std::time::Duration;
+
+#[test]
+fn loopback_sweep_serves_errorfree_and_ingest_is_isolated() {
+    let config = LoadgenConfig {
+        seed: 42,
+        concurrency_levels: vec![1, 8],
+        requests_per_client: 40,
+        frames: 400,
+        readers: 8,
+        devices: 4,
+        paced_interval: Duration::from_micros(500),
+        reader_interval: Duration::from_millis(10),
+        // Production budget is 5%; the test margin is 30% so only a
+        // structural stall (readers blocking the publish path) fails.
+        max_slowdown: 0.30,
+    };
+    let report = run_bench(&config).expect("bench run");
+
+    assert_eq!(report.rows.len(), 2);
+    for row in &report.rows {
+        assert_eq!(row.errors, 0, "non-200 at concurrency {}", row.concurrency);
+        assert_eq!(
+            row.requests,
+            (row.concurrency * config.requests_per_client) as u64
+        );
+        assert!(
+            row.req_per_s > 200.0,
+            "throughput collapsed at concurrency {}: {:.1} req/s",
+            row.concurrency,
+            row.req_per_s
+        );
+        assert!(row.p50_us <= row.p99_us);
+    }
+
+    let interference = &report.interference;
+    assert_eq!(interference.frames, config.frames);
+    assert!(
+        interference.reader_responses > 0,
+        "readers never completed a poll — interference run measured nothing"
+    );
+    assert!(
+        interference.slowdown <= config.max_slowdown,
+        "readers slowed paced ingestion by {:.1}% (margin {:.0}%)",
+        interference.slowdown * 100.0,
+        config.max_slowdown * 100.0
+    );
+
+    // The artifact is self-describing: schema, seed, and the host
+    // cores perfguard needs to gate thread-scaling comparisons.
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"marauder-serve-bench-v1\""));
+    assert!(json.contains("\"host_cores\": "));
+    assert!(json.contains("\"within_budget\": true"));
+}

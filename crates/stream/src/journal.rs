@@ -853,11 +853,7 @@ fn scan_segment(
     })
 }
 
-fn finish_scan(
-    frames: Vec<(u64, u32, CapturedFrame)>,
-    valid: usize,
-    total: usize,
-) -> SegmentScan {
+fn finish_scan(frames: Vec<(u64, u32, CapturedFrame)>, valid: usize, total: usize) -> SegmentScan {
     SegmentScan {
         frames,
         valid_len: valid as u64,
@@ -1223,8 +1219,8 @@ mod tests {
             journal.append(f).unwrap();
         }
         drop(journal); // die...
-        // ...mid-rotation: the next segment file exists but holds only
-        // 5 bytes of its 16-byte header.
+                       // ...mid-rotation: the next segment file exists but holds only
+                       // 5 bytes of its 16-byte header.
         std::fs::write(dir.join(segment_name(8)), &SEGMENT_MAGIC[..5]).unwrap();
 
         let rec = FrameJournal::recover(&dir, map(), lazy()).unwrap();

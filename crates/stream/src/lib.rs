@@ -66,6 +66,7 @@
 
 mod engine;
 mod journal;
+mod publish;
 mod replay;
 mod snapshot;
 
@@ -74,7 +75,10 @@ pub use journal::{
     record_crc, FlushPolicy, FrameJournal, JournalConfig, JournalError, Recovery, RecoveryError,
     RecoveryReport, CHECKPOINT_HEADER, MAX_RECORD_LEN, RETAINED_CHECKPOINTS, SEGMENT_MAGIC,
 };
-pub use replay::{replay_database, replay_frames, replay_log};
+pub use publish::SnapshotSink;
+pub use replay::{
+    pacing_gap, replay_database, replay_frames, replay_log, Pacer, PollBackoff, MAX_PACING_GAP_S,
+};
 pub use snapshot::{write_atomic, SnapshotError};
 
 // Re-exported for downstream convenience (CLI, benches).

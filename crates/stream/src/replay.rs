@@ -1,11 +1,140 @@
 //! Capture replay: drive the engine from stored frames and recover the
-//! batch-equivalent fix list.
+//! batch-equivalent fix list — plus the wall-clock helpers a *live*
+//! replay needs (pacing, follow-mode polling).
 
 use crate::engine::{ClosedWindow, StreamConfig, StreamEngine, StreamStats};
 use marauder_core::pipeline::{MaraudersMap, TrackFix};
 use marauder_core::PipelineError;
 use marauder_wifi::capture_log::{capture_log_frames, ParseLogError};
 use marauder_wifi::sniffer::{CaptureDatabase, CapturedFrame};
+use std::time::{Duration, Instant};
+
+/// Ceiling on a single replay's pacing span, seconds (~31 years).
+///
+/// Any legitimate capture fits with orders of magnitude to spare; a
+/// frame that claims to be further than this into the replay carries a
+/// corrupt timestamp (`1e300`, `+inf` survivors of an error budget),
+/// not a schedule. [`pacing_gap`] treats such jumps as discontinuities
+/// instead of feeding them to `Duration::from_secs_f64` — which panics
+/// outside Duration's representable range.
+pub const MAX_PACING_GAP_S: f64 = 1e9;
+
+/// How long after the replay epoch the frame at `t` is due, given the
+/// epoch frame time `t0` and a `speed`× real-time factor.
+///
+/// Returns `None` for a malformed schedule — a non-finite timestamp,
+/// or a jump beyond [`MAX_PACING_GAP_S`] — which callers treat as a
+/// log discontinuity: don't sleep, don't panic, keep replaying.
+/// Frames earlier than the epoch are due immediately (`ZERO`), which
+/// also covers the bounded timestamp inversions real rigs produce.
+pub fn pacing_gap(t0: f64, t: f64, speed: f64) -> Option<Duration> {
+    let gap = (t - t0) / speed;
+    if !gap.is_finite() || gap > MAX_PACING_GAP_S {
+        return None;
+    }
+    Some(Duration::from_secs_f64(gap.max(0.0)))
+}
+
+/// Paces a replay at `speed`× real time, keyed off frame timestamps.
+/// Speed 0 disables pacing entirely. The clock starts at the first
+/// frame, so leading silence in the log is skipped.
+///
+/// Malformed timestamps (NaN, `±inf`, absurd values like `1e300` that
+/// survive a replay error budget) are treated as discontinuities — the
+/// frame is released immediately and the pacing epoch is left alone —
+/// rather than panicking inside `Duration::from_secs_f64` like the
+/// original CLI-local implementation did.
+#[derive(Debug)]
+pub struct Pacer {
+    speed: f64,
+    start: Instant,
+    first_t: Option<f64>,
+}
+
+impl Pacer {
+    /// A pacer at `speed`× real time (0 disables pacing).
+    pub fn new(speed: f64) -> Self {
+        Self {
+            speed,
+            start: Instant::now(),
+            first_t: None,
+        }
+    }
+
+    /// Sleeps until the wall clock catches up with frame time `t`.
+    pub fn wait_for(&mut self, t: f64) {
+        if self.speed <= 0.0 {
+            return;
+        }
+        // A non-finite first frame must not become the epoch: every
+        // later gap against it would be NaN and pacing would silently
+        // turn off for the rest of the replay.
+        let t0 = match self.first_t {
+            Some(t0) => t0,
+            None if t.is_finite() => {
+                self.first_t = Some(t);
+                self.start = Instant::now();
+                t
+            }
+            None => return,
+        };
+        let Some(target) = pacing_gap(t0, t, self.speed) else {
+            return; // discontinuity: release immediately, keep the epoch
+        };
+        if let Some(wait) = target.checked_sub(self.start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+    }
+}
+
+/// Deterministic poll schedule for follow-mode (`tail -f`) readers.
+///
+/// A fixed sleep puts a constant latency floor under every frame — too
+/// slow when the log is hot, pure waste when it is idle. This backoff
+/// re-polls *immediately* after any poll that found data (a busy writer
+/// gets drained at I/O speed) and decays exponentially toward `max`
+/// while idle, so a quiet log costs one `stat` every 200 ms instead of
+/// fifty.
+///
+/// The schedule is a pure function of the `found_data` history — no
+/// clock reads — so it is unit-testable tick by tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollBackoff {
+    initial: Duration,
+    max: Duration,
+    next: Duration,
+}
+
+impl PollBackoff {
+    /// A schedule starting at `initial` and doubling up to `max` while
+    /// idle.
+    pub fn new(initial: Duration, max: Duration) -> Self {
+        PollBackoff {
+            initial,
+            max: max.max(initial),
+            next: initial,
+        }
+    }
+
+    /// The follow-mode default: 10 ms → 200 ms.
+    pub fn follow_default() -> Self {
+        PollBackoff::new(Duration::from_millis(10), Duration::from_millis(200))
+    }
+
+    /// How long to sleep before the next poll, given whether the one
+    /// just completed found data. A hit resets the schedule and
+    /// returns `ZERO` (re-poll immediately); a miss returns the
+    /// current delay and doubles it, saturating at `max`.
+    pub fn next_delay(&mut self, found_data: bool) -> Duration {
+        if found_data {
+            self.next = self.initial;
+            return Duration::ZERO;
+        }
+        let delay = self.next;
+        self.next = (self.next * 2).min(self.max);
+        delay
+    }
+}
 
 /// Streams `frames` through a fresh engine and returns the
 /// batch-equivalent fixes plus the ingestion counters.
@@ -317,6 +446,67 @@ mod tests {
                 budget: n - 1
             }
         );
+    }
+
+    #[test]
+    fn pacing_gap_rejects_malformed_schedules_without_panicking() {
+        // The regression this module exists for: 1e300 fed to
+        // Duration::from_secs_f64 panics ("can not convert float
+        // seconds to Duration"). pacing_gap types it as a
+        // discontinuity instead.
+        assert_eq!(pacing_gap(0.0, 1e300, 1.0), None);
+        assert_eq!(pacing_gap(0.0, f64::INFINITY, 1.0), None);
+        assert_eq!(pacing_gap(0.0, f64::NAN, 1.0), None);
+        assert_eq!(pacing_gap(f64::NAN, 5.0, 1.0), None);
+        assert_eq!(pacing_gap(0.0, MAX_PACING_GAP_S * 1.01, 1.0), None);
+        // Speed divides the gap, so an absurd timestamp is absurd at
+        // any speed — and a huge gap at high speed becomes sane again.
+        assert_eq!(pacing_gap(0.0, 1e300, 1e6), None);
+        assert_eq!(
+            pacing_gap(0.0, 2e9, 4.0),
+            Some(Duration::from_secs_f64(5e8))
+        );
+
+        // Sane schedules pace exactly; inversions release immediately.
+        assert_eq!(pacing_gap(10.0, 70.0, 2.0), Some(Duration::from_secs(30)));
+        assert_eq!(pacing_gap(10.0, 4.0, 2.0), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn pacer_survives_malformed_timestamps() {
+        // Pure-logic end of the CLI regression test: the old
+        // CLI-local Pacer panicked here. No assertion on wall time —
+        // the discontinuity rule means none of these sleeps.
+        let mut pacer = Pacer::new(1_000_000.0);
+        pacer.wait_for(0.0);
+        pacer.wait_for(1e300); // absurd: skipped, epoch kept
+        pacer.wait_for(f64::NAN);
+        pacer.wait_for(0.5); // paced normally off the 0.0 epoch
+        let mut nan_first = Pacer::new(10.0);
+        nan_first.wait_for(f64::NAN); // must not poison the epoch
+        nan_first.wait_for(3.0);
+        assert_eq!(nan_first.first_t, Some(3.0));
+    }
+
+    #[test]
+    fn poll_backoff_schedule_is_exact() {
+        let mut poll = PollBackoff::follow_default();
+        let ms = Duration::from_millis;
+        // Idle decay: 10, 20, 40, 80, 160, then clamped at 200.
+        let idle: Vec<Duration> = (0..7).map(|_| poll.next_delay(false)).collect();
+        assert_eq!(
+            idle,
+            vec![ms(10), ms(20), ms(40), ms(80), ms(160), ms(200), ms(200)]
+        );
+        // A hit re-polls immediately and resets the decay.
+        assert_eq!(poll.next_delay(true), Duration::ZERO);
+        assert_eq!(poll.next_delay(true), Duration::ZERO);
+        assert_eq!(poll.next_delay(false), ms(10));
+        assert_eq!(poll.next_delay(false), ms(20));
+        // max < initial is clamped, not a panic.
+        let mut tight = PollBackoff::new(ms(50), ms(10));
+        assert_eq!(tight.next_delay(false), ms(50));
+        assert_eq!(tight.next_delay(false), ms(50));
     }
 
     #[test]

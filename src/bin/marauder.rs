@@ -41,13 +41,18 @@ use marauders_map::net::{
     required_slack_s, restore_latest, split_by_time, split_round_robin, Aggregator,
     CheckpointError, Checkpointer, FleetConfig, LoopbackFleet, NetError, NodeConfig, SnifferNode,
 };
+use marauders_map::serve::{
+    chaos::{run_chaos, ChaosConfig},
+    loadgen::{run_bench, LoadgenConfig},
+    PublisherConfig, ServeConfig, ServeError, TrackerPublisher,
+};
 use marauders_map::sim::deploy::Rect;
 use marauders_map::sim::mobility::CircuitWalk;
 use marauders_map::sim::scenario::CampusScenario;
 use marauders_map::sim::wardrive::{training_from_csv, training_to_csv, wardrive, WardriveRoute};
 use marauders_map::stream::{
-    record_crc, FrameJournal, JournalConfig, JournalError, RecoveryError, StreamConfig,
-    StreamEngine, TrackFix,
+    record_crc, FrameJournal, JournalConfig, JournalError, Pacer, PollBackoff, RecoveryError,
+    StreamConfig, StreamEngine, TrackFix,
 };
 use marauders_map::wifi::capture_log::{
     capture_log_frames, parse_capture_line, parse_capture_log, write_capture_log, HEADER,
@@ -57,7 +62,7 @@ use marauders_map::wifi::mac::MacAddr;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,13 +78,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `replay`, `stats`, `fleet` and `node` accept the capture log as a
-    // positional argument (`marauder replay run1/capture.log`);
+    // `replay`, `stats`, `fleet`, `node` and `serve` accept the capture
+    // log as a positional argument (`marauder replay run1/capture.log`);
     // `recover` takes the journal directory the same way; everything
     // else is flags.
     let takes_positional = matches!(
         cmd.as_str(),
-        "replay" | "stats" | "fleet" | "node" | "recover"
+        "replay" | "stats" | "fleet" | "node" | "recover" | "serve"
     );
     let (positional, rest) = match rest.split_first() {
         Some((p, more)) if takes_positional && !p.starts_with("--") => (Some(p.clone()), more),
@@ -120,6 +125,7 @@ fn main() -> ExitCode {
         "crash" => crash(&opts),
         "fleet" => fleet(&opts),
         "node" => node(&opts),
+        "serve" => serve_cmd(&opts),
         "link" => link(&opts),
         "report" => report(&opts),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -175,6 +181,8 @@ enum CliError {
     Checkpoint(CheckpointError),
     /// A crash-sweep harness failure.
     Sweep(SweepError),
+    /// A serving-layer failure (bind, load generator, chaos harness).
+    Serve(ServeError),
 }
 
 impl std::fmt::Display for CliError {
@@ -190,6 +198,7 @@ impl std::fmt::Display for CliError {
             CliError::Recovery(e) => write!(f, "{e}"),
             CliError::Checkpoint(e) => write!(f, "{e}"),
             CliError::Sweep(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -205,8 +214,15 @@ impl std::error::Error for CliError {
             CliError::Recovery(e) => Some(e),
             CliError::Checkpoint(e) => Some(e),
             CliError::Sweep(e) => Some(e),
+            CliError::Serve(e) => Some(e),
             CliError::Usage(_) | CliError::Input(_) => None,
         }
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 
@@ -292,6 +308,12 @@ const USAGE: &str = "usage:
                  [--fault-seed N] [--nodes N] [--out FILE]
   marauder node LOG --connect ADDR [--node-id K] [--offset SECS]
                 [--batch N] [--slack SECS] [--retries N]
+  marauder serve LOG (--knowledge FILE | --training FILE) [--level L]
+                 [--listen ADDR] [--speed N] [--lag SECS]
+                 [--snapshot-every SECS] [--linger SECS] [--error-budget N]
+  marauder serve --bench [--seed N] [--clients N] [--requests N]
+                 [--frames N] [--readers N] [--max-slowdown F] [--out FILE]
+  marauder serve --chaos [--seed N] [--repeats N] [--out FILE]
   marauder link --captures FILE
   marauder report --knowledge FILE --captures FILE
   marauder help | --help | -h
@@ -347,6 +369,25 @@ const USAGE: &str = "usage:
   declares the node's clock skew so the aggregator can correct its
   watermark; --slack widens the out-of-order tolerance it promises.
 
+  serve ingests a capture log through the live tracking engine and
+  exposes the evolving tracker state over HTTP: /track/<mac> (CSV, or
+  ?format=json), /tiles?bbox=x0,y0,x1,y1 (GeoJSON), /snapshot (engine
+  text snapshot), /metrics, /healthz. Readers never block ingestion —
+  the engine publishes immutable snapshots onto a lock-free-reader
+  plane. --listen defaults to 127.0.0.1:8646 (use :0 for an ephemeral
+  port; the bound address is printed first on stdout); --speed paces
+  ingest like replay (default 1, real time; 0 ingests instantly);
+  --snapshot-every sets the /snapshot regeneration cadence in stream
+  seconds; --linger exits that many wall seconds after the log is
+  drained (default: serve until interrupted). `serve --bench` runs the
+  deterministic loopback load generator (closed-loop req/s + p50/p99,
+  then the paced-ingest interference pair) and emits the
+  marauder-serve-bench-v1 JSON; `serve --chaos` plays the misbehaving-
+  client matrix (slow-loris, mid-request disconnect, garbage,
+  oversized) and exits nonzero unless every cell got its typed 4xx (or
+  quiet drop), every misbehaviour was counted, and the server stayed
+  healthy.
+
   stats replays the capture through the streaming engine and prints
   the metrics registry as JSON: deterministic counters, gauges and
   histograms first (byte-identical at any --threads value), timings
@@ -359,7 +400,7 @@ const USAGE: &str = "usage:
 type Opts = HashMap<String, String>;
 
 /// Flags that stand alone instead of taking a value.
-const BOOL_FLAGS: &[&str] = &["follow", "chaos"];
+const BOOL_FLAGS: &[&str] = &["follow", "chaos", "bench"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     let mut out = HashMap::new();
@@ -639,8 +680,7 @@ fn replay(opts: &Opts) -> Result<(), CliError> {
     // resumes exactly where it died — already-ingested frames are
     // skipped, and their fixes (printed by the dead process) are not
     // re-printed.
-    let (mut engine, mut journal, start_seq, mut closed, ckpt_seq, tail_crcs) = match &journal_dir
-    {
+    let (mut engine, mut journal, start_seq, mut closed, ckpt_seq, tail_crcs) = match &journal_dir {
         None => (
             StreamEngine::new(map, config),
             None,
@@ -1266,10 +1306,214 @@ fn node(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `marauder serve`: live mode ingests a capture log and serves
+/// tracker state over HTTP; `--bench` and `--chaos` run the layer's
+/// measurement and adversarial harnesses instead.
+fn serve_cmd(opts: &Opts) -> Result<(), CliError> {
+    if opts.contains_key("bench") {
+        return serve_bench(opts);
+    }
+    if opts.contains_key("chaos") {
+        return serve_chaos(opts);
+    }
+    let path = opts
+        .get("captures")
+        .ok_or("serve requires a capture log (positional or --captures)")?
+        .clone();
+    let speed: f64 = get_num(opts, "speed", 1.0)?;
+    if !speed.is_finite() || speed < 0.0 {
+        return Err(CliError::Usage(
+            "--speed must be a finite number >= 0".into(),
+        ));
+    }
+    let lag: f64 = get_num(opts, "lag", StreamConfig::default().allowed_lag_s)?;
+    if !lag.is_finite() || lag < 0.0 {
+        return Err(CliError::Usage("--lag must be a finite number >= 0".into()));
+    }
+    let snapshot_every: f64 = get_num(opts, "snapshot-every", 10.0)?;
+    if !snapshot_every.is_finite() || snapshot_every < 0.0 {
+        return Err(CliError::Usage(
+            "--snapshot-every must be a finite number >= 0".into(),
+        ));
+    }
+    let linger: Option<f64> = match opts.get("linger") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s >= 0.0)
+                .ok_or_else(|| CliError::Usage("--linger must be a finite number >= 0".into()))?,
+        ),
+    };
+    let budget: usize = get_num(opts, "error-budget", 0)?;
+    let listen = opts
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:8646".to_string());
+    let (map, level) = build_map(opts)?;
+
+    let (mut publisher, plane) = TrackerPublisher::new(PublisherConfig {
+        snapshot_every_s: snapshot_every,
+        ..PublisherConfig::default()
+    });
+    let mut server = marauders_map::serve::start(&listen, plane, ServeConfig::default())?;
+    // The bound address goes first on stdout (and is flushed) so a
+    // caller that passed `:0` can read the ephemeral port back.
+    println!("serving on {}", server.addr());
+    std::io::Write::flush(&mut std::io::stdout())
+        .map_err(|e| CliError::Io("stdout".to_string(), e))?;
+
+    let mut engine = StreamEngine::new(
+        map,
+        StreamConfig {
+            allowed_lag_s: lag,
+            ..StreamConfig::default()
+        },
+    );
+    let mut pacer = Pacer::new(speed);
+    let mut skipped = 0usize;
+    for item in capture_log_frames(&read(&path)?) {
+        match item {
+            Ok(frame) => {
+                pacer.wait_for(frame.time_s);
+                engine.push_published(&frame, &mut publisher);
+            }
+            Err(e) if e.line() <= 1 => return Err(PipelineError::BadHeader.into()),
+            Err(e) if skipped < budget => {
+                skipped += 1;
+                eprintln!("skipping malformed line {}: {e}", e.line());
+            }
+            Err(e) => {
+                return Err(PipelineError::BudgetExhausted {
+                    line: e.line(),
+                    budget,
+                }
+                .into())
+            }
+        }
+    }
+    engine.finish_published(&mut publisher);
+    let stats = engine.stats();
+    eprintln!(
+        "serve: ingested {} frames ({} relevant, {} malformed skipped) -> {} windows \
+         closed, {} snapshots published (knowledge level: {level}); \
+         live at http://{}",
+        stats.frames_total,
+        stats.frames_relevant,
+        skipped,
+        stats.windows_closed,
+        publisher.seq(),
+        server.addr()
+    );
+    match linger {
+        // No --linger: serve until the process is interrupted.
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs_f64(secs.min(1e9)));
+            server.shutdown();
+            Ok(())
+        }
+    }
+}
+
+/// `marauder serve --bench`: the deterministic loopback load
+/// generator; summary to stderr, `marauder-serve-bench-v1` JSON to
+/// stdout or `--out`.
+fn serve_bench(opts: &Opts) -> Result<(), CliError> {
+    let defaults = LoadgenConfig::default();
+    let clients: usize = get_num(opts, "clients", 64)?;
+    if clients == 0 {
+        return Err(CliError::Usage("--clients must be >= 1".into()));
+    }
+    let mut levels = vec![1, (clients / 8).max(1), clients];
+    levels.dedup();
+    let config = LoadgenConfig {
+        seed: get_num(opts, "seed", defaults.seed)?,
+        concurrency_levels: levels,
+        requests_per_client: get_num(opts, "requests", defaults.requests_per_client)?,
+        frames: get_num(opts, "frames", defaults.frames)?,
+        readers: get_num(opts, "readers", defaults.readers)?,
+        max_slowdown: get_num(opts, "max-slowdown", defaults.max_slowdown)?,
+        ..defaults
+    };
+    let report = run_bench(&config)?;
+    for row in &report.rows {
+        eprintln!(
+            "closed loop: {:>3} clients -> {:>9.1} req/s (p50 {} us, p99 {} us, {} errors)",
+            row.concurrency, row.req_per_s, row.p50_us, row.p99_us, row.errors
+        );
+    }
+    let i = &report.interference;
+    eprintln!(
+        "ingest interference: {} paced frames, {} readers -> slowdown {:.2}% \
+         (budget {:.0}%, {})",
+        i.frames,
+        i.readers,
+        i.slowdown * 100.0,
+        i.max_slowdown * 100.0,
+        if i.within_budget {
+            "within budget"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+    let json = report.to_json();
+    match opts.get("out") {
+        Some(path) => {
+            write(Path::new(path), &json)?;
+            eprintln!("wrote bench report to {path}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// `marauder serve --chaos`: the misbehaving-client matrix. Exits
+/// nonzero unless every cell's contract was honoured, every
+/// misbehaviour was counted, and the server answered /healthz after.
+fn serve_chaos(opts: &Opts) -> Result<(), CliError> {
+    let defaults = ChaosConfig::default();
+    let config = ChaosConfig {
+        seed: get_num(opts, "seed", defaults.seed)?,
+        repeats_per_kind: get_num(opts, "repeats", defaults.repeats_per_kind)?,
+        ..defaults
+    };
+    let report = run_chaos(&config)?;
+    let json = report.to_json();
+    match opts.get("out") {
+        Some(path) => {
+            write(Path::new(path), &json)?;
+            eprintln!("wrote chaos report to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if !report.pass() {
+        let violations = report.violations().count();
+        return Err(CliError::Input(format!(
+            "serve chaos matrix failed: {violations} contract violations \
+             (accounting: {:?}, healthz after: {})",
+            report.accounting, report.healthz_after
+        )));
+    }
+    eprintln!(
+        "serve chaos: {} cells across {} fault kinds — all contracts honoured, \
+         all misbehaviour accounted, server healthy",
+        report.cells.len(),
+        marauders_map::fault::ClientFaultKind::ALL.len()
+    );
+    Ok(())
+}
+
 /// Tails `path` like `tail -f`: parses any complete lines appended
 /// since the last poll, feeds them through the engine, and sleeps
-/// between polls. Runs until the process is interrupted, so windows
-/// held open by the watermark are never force-closed.
+/// between polls. Polling adapts via [`PollBackoff`]: a poll that
+/// found fresh lines re-polls immediately, an idle file backs the
+/// interval off exponentially (10 ms doubling to 200 ms), so a bursty
+/// capture is followed with low latency without spinning on a quiet
+/// one. Runs until the process is interrupted, so windows held open by
+/// the watermark are never force-closed.
 fn follow_log(
     path: &str,
     engine: &mut StreamEngine,
@@ -1278,6 +1522,7 @@ fn follow_log(
 ) -> Result<(), CliError> {
     let mut consumed = 0usize; // bytes of complete lines already parsed
     let mut line_no = 0usize;
+    let mut backoff = PollBackoff::follow_default();
     loop {
         let text = read(path)?;
         if text.len() < consumed {
@@ -1313,45 +1558,7 @@ fn follow_log(
             }
         }
         consumed += complete;
-        std::thread::sleep(Duration::from_millis(200));
-    }
-}
-
-/// Paces a replay at `speed`× real time, keyed off frame timestamps.
-/// Speed 0 disables pacing entirely. The clock starts at the first
-/// frame, so leading silence in the log is skipped.
-struct Pacer {
-    speed: f64,
-    start: Instant,
-    first_t: Option<f64>,
-}
-
-impl Pacer {
-    fn new(speed: f64) -> Self {
-        Self {
-            speed,
-            start: Instant::now(),
-            first_t: None,
-        }
-    }
-
-    /// Sleeps until the wall clock catches up with frame time `t`.
-    fn wait_for(&mut self, t: f64) {
-        if self.speed <= 0.0 {
-            return;
-        }
-        let t0 = match self.first_t {
-            Some(t0) => t0,
-            None => {
-                self.first_t = Some(t);
-                self.start = Instant::now();
-                t
-            }
-        };
-        let target = Duration::from_secs_f64(((t - t0) / self.speed).max(0.0));
-        if let Some(wait) = target.checked_sub(self.start.elapsed()) {
-            std::thread::sleep(wait);
-        }
+        std::thread::sleep(backoff.next_delay(complete > 0));
     }
 }
 

@@ -19,6 +19,7 @@ pub use marauder_net as net;
 pub use marauder_obs as obs;
 pub use marauder_par as par;
 pub use marauder_rf as rf;
+pub use marauder_serve as serve;
 pub use marauder_sim as sim;
 pub use marauder_stream as stream;
 pub use marauder_wifi as wifi;

@@ -542,3 +542,129 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --level"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Regression: the CLI once paced replays with a local
+/// `Duration::from_secs_f64((t - t0) / speed)` — a capture line whose
+/// timestamp survives parsing but is absurd (`1e300`) panicked the
+/// whole process the moment `--speed` turned pacing on. The stream
+/// `Pacer` treats such jumps as log discontinuities: released
+/// immediately, no panic, replay completes. This test fed the old
+/// binary a three-line doctored log and watched it abort; against the
+/// fix it must exit 0, fast.
+#[test]
+fn replay_survives_absurd_timestamp_at_high_speed() {
+    let dir = temp_dir("pacer-regression");
+    let out = marauder()
+        .args([
+            "simulate",
+            "--seed",
+            "7",
+            "--aps",
+            "40",
+            "--mobiles",
+            "2",
+            "--duration",
+            "120",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    // Rewrite three real frame lines to t = 1.0, 1e300, 2.0: a valid
+    // log whose schedule no Duration can represent.
+    let full = std::fs::read_to_string(dir.join("capture.log")).expect("read capture");
+    let frames: Vec<&str> = full.lines().filter(|l| !l.starts_with('#')).collect();
+    assert!(frames.len() >= 3, "simulate produced too few frames");
+    let retime = |line: &str, t: &str| {
+        let rest = line.split_once(' ').expect("frame line").1;
+        format!("{t} {rest}")
+    };
+    let doctored = format!(
+        "# marauder capture v1\n{}\n{}\n{}\n",
+        retime(frames[0], "1.0"),
+        retime(frames[1], "1e300"),
+        retime(frames[2], "2.0"),
+    );
+    let log = dir.join("doctored.log");
+    std::fs::write(&log, doctored).expect("write doctored log");
+
+    let out = marauder()
+        .arg("replay")
+        .arg(&log)
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .args(["--speed", "1000000"])
+        .output()
+        .expect("run replay");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "replay died on an absurd timestamp: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "replay panicked: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `marauder serve` end to end: replays a capture into the serving
+/// plane and answers real HTTP on the announced address.
+#[test]
+fn serve_announces_and_answers_http() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = temp_dir("serve-smoke");
+    let out = marauder()
+        .args([
+            "simulate",
+            "--seed",
+            "11",
+            "--aps",
+            "40",
+            "--mobiles",
+            "2",
+            "--duration",
+            "120",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    let mut child = marauder()
+        .arg("serve")
+        .arg(dir.join("capture.log"))
+        .arg("--knowledge")
+        .arg(dir.join("aps.csv"))
+        .args(["--listen", "127.0.0.1:0", "--speed", "0", "--linger", "30"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // First stdout line announces the bound address (`:0` resolved).
+    let mut announce = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut announce)
+        .expect("read announcement");
+    let addr = announce
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("bad announcement: {announce:?}"))
+        .to_string();
+
+    let mut client = marauders_map::serve::loadgen::BenchClient::connect(&addr)
+        .expect("connect to served address");
+    let health = client.get_body("/healthz").expect("/healthz");
+    assert_eq!(health, "ok\n");
+    let metrics = client.get_body("/metrics").expect("/metrics");
+    assert!(metrics.contains("serve.requests"));
+    let snapshot = client.get_body("/snapshot").expect("/snapshot");
+    assert!(snapshot.starts_with("# marauder stream snapshot v1"));
+    assert_eq!(client.get("/nope").expect("/nope"), 404);
+
+    child.kill().expect("stop serve");
+    child.wait().expect("reap serve");
+    let _ = std::fs::remove_dir_all(&dir);
+}
